@@ -1,0 +1,115 @@
+// Microbenchmarks for the categorical-data discovery algorithms of
+// Section 2: TANE (exact FDs and AFDs), FastFDs, CORDS and PFD counting.
+
+#include <benchmark/benchmark.h>
+
+#include "discovery/cfd_discovery.h"
+#include "discovery/cords.h"
+#include "discovery/fastfd.h"
+#include "discovery/pfd_discovery.h"
+#include "discovery/tane.h"
+#include "gen/generators.h"
+
+namespace famtree {
+namespace {
+
+Relation MakeRelation(int rows, int attrs, double error_rate) {
+  CategoricalConfig config;
+  config.num_rows = rows;
+  config.chain_length = std::max(2, attrs / 2);
+  config.noise_attrs = attrs - config.chain_length;
+  config.head_domain = 64;
+  config.error_rate = error_rate;
+  config.seed = 42;
+  return GenerateCategorical(config).relation;
+}
+
+void BM_TaneExact(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)),
+                            static_cast<int>(state.range(1)), 0.0);
+  TaneOptions options;
+  options.max_lhs_size = 3;
+  for (auto _ : state) {
+    auto fds = DiscoverFdsTane(r, options);
+    benchmark::DoNotOptimize(fds);
+  }
+  state.SetLabel(std::to_string(r.num_rows()) + " rows, " +
+                 std::to_string(r.num_columns()) + " attrs");
+}
+BENCHMARK(BM_TaneExact)
+    ->Args({1000, 4})
+    ->Args({5000, 4})
+    ->Args({20000, 4})
+    ->Args({1000, 6})
+    ->Args({1000, 8});
+
+void BM_TaneApproximate(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)), 5, 0.05);
+  TaneOptions options;
+  options.max_lhs_size = 3;
+  options.max_error = 0.1;
+  for (auto _ : state) {
+    auto afds = DiscoverFdsTane(r, options);
+    benchmark::DoNotOptimize(afds);
+  }
+}
+BENCHMARK(BM_TaneApproximate)->Arg(1000)->Arg(5000);
+
+void BM_FastFd(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)), 5, 0.0);
+  for (auto _ : state) {
+    auto fds = DiscoverFdsFastFd(r);
+    benchmark::DoNotOptimize(fds);
+  }
+}
+BENCHMARK(BM_FastFd)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_Cords(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)), 6, 0.02);
+  CordsOptions options;
+  options.sample_size = 1000;
+  for (auto _ : state) {
+    auto sfds = DiscoverSfdsCords(r, options);
+    benchmark::DoNotOptimize(sfds);
+  }
+}
+// CORDS cost is ~flat across table sizes: the sample bounds the work.
+BENCHMARK(BM_Cords)->Arg(2000)->Arg(20000)->Arg(80000);
+
+void BM_PfdDiscovery(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)), 5, 0.05);
+  PfdDiscoveryOptions options;
+  options.max_lhs_size = 2;
+  options.min_probability = 0.85;
+  for (auto _ : state) {
+    auto pfds = DiscoverPfds(r, options);
+    benchmark::DoNotOptimize(pfds);
+  }
+}
+BENCHMARK(BM_PfdDiscovery)->Arg(1000)->Arg(4000);
+
+void BM_ConstantCfds(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)), 5, 0.0);
+  CfdDiscoveryOptions options;
+  options.min_support = 10;
+  options.max_lhs_size = 2;
+  for (auto _ : state) {
+    auto cfds = DiscoverConstantCfds(r, options);
+    benchmark::DoNotOptimize(cfds);
+  }
+}
+BENCHMARK(BM_ConstantCfds)->Arg(1000)->Arg(4000);
+
+void BM_GreedyTableau(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)), 5, 0.02);
+  for (auto _ : state) {
+    auto tableau = BuildGreedyTableau(r, AttrSet::Of({0, 1}), 2, 0, {});
+    benchmark::DoNotOptimize(tableau);
+  }
+}
+BENCHMARK(BM_GreedyTableau)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace famtree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Microbenchmarks for the heterogeneous-data machinery of Section 3:
+// pairwise validators (MFD/NED/DD), DD threshold determination and
+// discovery, MD discovery, and the MD-based matcher.
+
+#include <benchmark/benchmark.h>
+
+#include "deps/dd.h"
+#include "deps/md.h"
+#include "deps/mfd.h"
+#include "discovery/dd_discovery.h"
+#include "discovery/md_discovery.h"
+#include "gen/generators.h"
+#include "metric/metric.h"
+#include "quality/dedup.h"
+
+namespace famtree {
+namespace {
+
+Relation MakeRelation(int entities) {
+  HeterogeneousConfig config;
+  config.num_entities = entities;
+  config.max_duplicates = 3;
+  config.variation_rate = 0.4;
+  config.typo_rate = 0.03;
+  config.seed = 42;
+  return GenerateHeterogeneous(config).relation;
+}
+
+void BM_MfdValidate(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)));
+  Mfd mfd(AttrSet::Single(1),
+          {MetricConstraint{5, GetAbsDiffMetric(), 50.0}});
+  for (auto _ : state) {
+    auto report = mfd.Validate(r, 16);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetLabel(std::to_string(r.num_rows()) + " rows");
+}
+BENCHMARK(BM_MfdValidate)->Arg(100)->Arg(400)->Arg(1600);
+
+void BM_DdValidate(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)));
+  Dd dd({DifferentialFunction(2, GetEditDistanceMetric(),
+                              DistRange::AtMost(4))},
+        {DifferentialFunction(4, GetAbsDiffMetric(), DistRange::AtMost(0))});
+  for (auto _ : state) {
+    auto report = dd.Validate(r, 16);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetLabel(std::to_string(r.num_rows()) + " rows (O(n^2) pairs)");
+}
+BENCHMARK(BM_DdValidate)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_ThresholdDetermination(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto ths = DetermineThresholds(r, 2, {0.05, 0.25, 0.5});
+    benchmark::DoNotOptimize(ths);
+  }
+}
+BENCHMARK(BM_ThresholdDetermination)->Arg(100)->Arg(300);
+
+void BM_DdDiscovery(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)));
+  DdDiscoveryOptions options;
+  options.max_lhs_attrs = 1;
+  for (auto _ : state) {
+    auto dds = DiscoverDds(r, options);
+    benchmark::DoNotOptimize(dds);
+  }
+}
+BENCHMARK(BM_DdDiscovery)->Arg(60)->Arg(120);
+
+void BM_MdDiscovery(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)));
+  MdDiscoveryOptions options;
+  options.max_lhs_attrs = 1;
+  for (auto _ : state) {
+    auto mds = DiscoverMds(r, AttrSet::Single(4), options);
+    benchmark::DoNotOptimize(mds);
+  }
+}
+BENCHMARK(BM_MdDiscovery)->Arg(60)->Arg(120);
+
+void BM_MdMatcher(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)));
+  Md md({SimilarityPredicate{1, GetEditDistanceMetric(), 6},
+         SimilarityPredicate{2, GetEditDistanceMetric(), 4}},
+        AttrSet::Single(4));
+  MdMatcher matcher({md});
+  for (auto _ : state) {
+    auto match = matcher.Match(r);
+    benchmark::DoNotOptimize(match);
+  }
+}
+BENCHMARK(BM_MdMatcher)->Arg(100)->Arg(300);
+
+}  // namespace
+}  // namespace famtree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Microbenchmarks for the numerical-data machinery of Section 4: FASTDC
+// evidence construction and cover search, unary OD discovery, SD
+// confidence and the polynomial CSD tableau DP.
+
+#include <benchmark/benchmark.h>
+
+#include "deps/sd.h"
+#include "discovery/fastdc.h"
+#include "discovery/od_discovery.h"
+#include "discovery/sd_discovery.h"
+#include "gen/generators.h"
+
+namespace famtree {
+namespace {
+
+Relation MakeRelation(int rows, double outliers = 0.0) {
+  NumericalConfig config;
+  config.num_rows = rows;
+  config.noise_stddev = 0.4;
+  config.outlier_rate = outliers;
+  config.seed = 42;
+  return GenerateNumerical(config).relation;
+}
+
+void BM_FastDc(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)));
+  FastDcOptions options;
+  options.max_predicates = 2;
+  for (auto _ : state) {
+    auto dcs = DiscoverDcs(r, options);
+    benchmark::DoNotOptimize(dcs);
+  }
+  state.SetLabel(std::to_string(r.num_rows()) + " rows");
+}
+BENCHMARK(BM_FastDc)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_FastDcDepth(benchmark::State& state) {
+  Relation r = MakeRelation(120);
+  FastDcOptions options;
+  options.max_predicates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto dcs = DiscoverDcs(r, options);
+    benchmark::DoNotOptimize(dcs);
+  }
+  state.SetLabel("max " + std::to_string(state.range(0)) + " predicates");
+}
+BENCHMARK(BM_FastDcDepth)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_OdDiscovery(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)), 0.01);
+  for (auto _ : state) {
+    auto ods = DiscoverUnaryOds(r);
+    benchmark::DoNotOptimize(ods);
+  }
+}
+BENCHMARK(BM_OdDiscovery)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_SdConfidence(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)), 0.02);
+  for (auto _ : state) {
+    double conf = Sd::Confidence(r, 0, 2, Interval::AtLeast(0));
+    benchmark::DoNotOptimize(conf);
+  }
+}
+BENCHMARK(BM_SdConfidence)->Arg(200)->Arg(400)->Arg(800);
+
+void BM_CsdTableau(benchmark::State& state) {
+  Relation r = MakeRelation(static_cast<int>(state.range(0)), 0.02);
+  CsdDiscoveryOptions options;
+  options.gap = Interval::AtLeast(0);
+  options.min_confidence = 0.9;
+  for (auto _ : state) {
+    auto csd = DiscoverCsdTableau(r, 0, 2, options);
+    benchmark::DoNotOptimize(csd);
+  }
+  state.SetLabel(std::to_string(r.num_rows()) + " rows (quadratic DP)");
+}
+BENCHMARK(BM_CsdTableau)->Arg(250)->Arg(500)->Arg(1000);
+
+}  // namespace
+}  // namespace famtree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Microbenchmarks for the reasoning module: closures, implication,
+// minimal covers, candidate keys and Armstrong construction — the
+// schema-design toolkit's cost profile.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "gen/armstrong.h"
+#include "reasoning/closure.h"
+#include "reasoning/normalize.h"
+
+namespace famtree {
+namespace {
+
+std::vector<Fd> RandomFds(int attrs, int count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Fd> fds;
+  for (int i = 0; i < count; ++i) {
+    AttrSet lhs;
+    int size = static_cast<int>(rng.Uniform(1, 2));
+    while (lhs.size() < size) {
+      lhs.Add(static_cast<int>(rng.Uniform(0, attrs - 1)));
+    }
+    int rhs = static_cast<int>(rng.Uniform(0, attrs - 1));
+    if (!lhs.Contains(rhs)) fds.push_back(Fd(lhs, AttrSet::Single(rhs)));
+  }
+  return fds;
+}
+
+void BM_Closure(benchmark::State& state) {
+  int attrs = static_cast<int>(state.range(0));
+  auto fds = RandomFds(attrs, attrs * 2, 7);
+  for (auto _ : state) {
+    AttrSet c = Closure(AttrSet::Single(0), fds);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_Closure)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MinimalCover(benchmark::State& state) {
+  int attrs = static_cast<int>(state.range(0));
+  auto fds = RandomFds(attrs, attrs * 2, 11);
+  for (auto _ : state) {
+    auto cover = MinimalCover(fds);
+    benchmark::DoNotOptimize(cover);
+  }
+}
+BENCHMARK(BM_MinimalCover)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_CandidateKeys(benchmark::State& state) {
+  int attrs = static_cast<int>(state.range(0));
+  auto fds = RandomFds(attrs, attrs, 13);
+  for (auto _ : state) {
+    auto keys = CandidateKeys(attrs, fds);
+    benchmark::DoNotOptimize(keys);
+  }
+  state.SetLabel(std::to_string(attrs) + " attrs (exponential search)");
+}
+BENCHMARK(BM_CandidateKeys)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_BcnfDecomposition(benchmark::State& state) {
+  int attrs = static_cast<int>(state.range(0));
+  auto fds = RandomFds(attrs, attrs, 17);
+  for (auto _ : state) {
+    auto frags = DecomposeBcnf(attrs, fds);
+    benchmark::DoNotOptimize(frags);
+  }
+}
+BENCHMARK(BM_BcnfDecomposition)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_ArmstrongConstruction(benchmark::State& state) {
+  int attrs = static_cast<int>(state.range(0));
+  auto fds = RandomFds(attrs, attrs, 19);
+  for (auto _ : state) {
+    auto rel = BuildArmstrongRelation(attrs, fds);
+    benchmark::DoNotOptimize(rel);
+  }
+  state.SetLabel(std::to_string(attrs) + " attrs (2^n closures)");
+}
+BENCHMARK(BM_ArmstrongConstruction)->Arg(6)->Arg(10)->Arg(14);
+
+}  // namespace
+}  // namespace famtree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Relative validation cost of the dependency classes on one shared
+// workload: group-based validators (FDs and the statistical family) scale
+// near-linearly, pairwise validators (the heterogeneous family, pairwise
+// order checks) are quadratic, sorted-scan validators (SDs) sit between.
+
+#include <benchmark/benchmark.h>
+
+#include "core/embeddings.h"
+#include "gen/generators.h"
+#include "metric/metric.h"
+
+namespace famtree {
+namespace {
+
+Relation Workload(int rows) {
+  HotelConfig config;
+  config.num_hotels = std::max(1, rows / 3);
+  config.rows_per_hotel = 3;
+  config.variation_rate = 0.3;
+  config.error_rate = 0.02;
+  config.seed = 42;
+  return GenerateHotels(config).relation;
+}
+
+template <typename MakeDep>
+void RunValidation(benchmark::State& state, MakeDep make) {
+  Relation r = Workload(static_cast<int>(state.range(0)));
+  auto dep = make(r);
+  for (auto _ : state) {
+    auto report = dep->Validate(r, 8);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetLabel(std::to_string(r.num_rows()) + " rows");
+}
+
+void BM_ValidateFd(benchmark::State& state) {
+  RunValidation(state, [](const Relation&) {
+    return std::make_shared<Fd>(AttrSet::Single(1), AttrSet::Single(2));
+  });
+}
+BENCHMARK(BM_ValidateFd)->Arg(300)->Arg(3000)->Arg(30000);
+
+void BM_ValidateAfd(benchmark::State& state) {
+  RunValidation(state, [](const Relation&) {
+    return std::make_shared<Afd>(AttrSet::Single(1), AttrSet::Single(2),
+                                 0.1);
+  });
+}
+BENCHMARK(BM_ValidateAfd)->Arg(300)->Arg(3000)->Arg(30000);
+
+void BM_ValidateMvd(benchmark::State& state) {
+  RunValidation(state, [](const Relation&) {
+    return std::make_shared<Mvd>(AttrSet::Single(1), AttrSet::Single(2));
+  });
+}
+BENCHMARK(BM_ValidateMvd)->Arg(300)->Arg(3000);
+
+void BM_ValidateMfd(benchmark::State& state) {
+  RunValidation(state, [](const Relation&) {
+    return std::make_shared<Mfd>(
+        AttrSet::Single(1),
+        std::vector<MetricConstraint>{
+            MetricConstraint{2, GetEditDistanceMetric(), 4.0}});
+  });
+}
+BENCHMARK(BM_ValidateMfd)->Arg(300)->Arg(3000);
+
+void BM_ValidateDd(benchmark::State& state) {
+  RunValidation(state, [](const Relation&) {
+    return std::make_shared<Dd>(
+        std::vector<DifferentialFunction>{DifferentialFunction(
+            1, GetEditDistanceMetric(), DistRange::AtMost(3))},
+        std::vector<DifferentialFunction>{DifferentialFunction(
+            2, GetEditDistanceMetric(), DistRange::AtMost(4))});
+  });
+}
+BENCHMARK(BM_ValidateDd)->Arg(100)->Arg(300)->Arg(900);
+
+void BM_ValidateOd(benchmark::State& state) {
+  RunValidation(state, [](const Relation&) {
+    return std::make_shared<Od>(
+        std::vector<MarkedAttr>{MarkedAttr{3, OrderMark::kLeq}},
+        std::vector<MarkedAttr>{MarkedAttr{4, OrderMark::kLeq}});
+  });
+}
+BENCHMARK(BM_ValidateOd)->Arg(100)->Arg(300)->Arg(900);
+
+void BM_ValidateSd(benchmark::State& state) {
+  RunValidation(state, [](const Relation&) {
+    return std::make_shared<Sd>(4, 3, Interval::AtLeast(-1000));
+  });
+}
+BENCHMARK(BM_ValidateSd)->Arg(300)->Arg(3000)->Arg(30000);
+
+void BM_ValidateDc(benchmark::State& state) {
+  RunValidation(state, [](const Relation&) {
+    return std::make_shared<Dc>(std::vector<DcPredicate>{
+        DcPredicate{DcOperand::TupleA(3), CmpOp::kLt, DcOperand::TupleB(3)},
+        DcPredicate{DcOperand::TupleA(4), CmpOp::kGt,
+                    DcOperand::TupleB(4)}});
+  });
+}
+BENCHMARK(BM_ValidateDc)->Arg(100)->Arg(300)->Arg(900);
+
+}  // namespace
+}  // namespace famtree
+
+BENCHMARK_MAIN();

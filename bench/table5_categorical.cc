@@ -1,0 +1,102 @@
+// Reproduces Table 5 and every worked measure of Section 2 on it:
+//   S(address -> region)  = 2/3      S(name -> address)  = 1/2   (SFDs)
+//   P(address -> region)  = 3/4      P(name -> address)  = 1/2   (PFDs)
+//   g3(address -> region) = 1/4      g3(name -> address) = 1/2   (AFDs)
+//   nud1: address ->_2 region holds                              (NUDs)
+//   cfd1: (region='Jackson', name=_ -> address=_) holds          (CFDs)
+//   ecfd1: (rate<=200, name=_ -> address=_) holds                (eCFDs)
+//   mvd1: address, rate ->> region holds                         (MVDs)
+
+#include <cstdio>
+
+#include "deps/afd.h"
+#include "deps/cfd.h"
+#include "deps/ecfd.h"
+#include "deps/mvd.h"
+#include "deps/nud.h"
+#include "deps/pfd.h"
+#include "deps/sfd.h"
+#include "gen/paper_tables.h"
+
+namespace famtree {
+namespace {
+
+using paper::R5Attrs;
+
+int g_failures = 0;
+
+void Check(const char* what, double expected, double measured) {
+  bool ok = expected == measured ||
+            (measured > expected - 1e-9 && measured < expected + 1e-9);
+  if (!ok) ++g_failures;
+  std::printf("  %-36s paper: %-8.4f measured: %-8.4f %s\n", what, expected,
+              measured, ok ? "MATCH" : "MISMATCH");
+}
+
+void CheckHolds(const char* what, bool expected, bool measured) {
+  bool ok = expected == measured;
+  if (!ok) ++g_failures;
+  std::printf("  %-36s paper: %-8s measured: %-8s %s\n", what,
+              expected ? "holds" : "fails", measured ? "holds" : "fails",
+              ok ? "MATCH" : "MISMATCH");
+}
+
+int Run() {
+  Relation r5 = paper::R5();
+  std::printf("Table 5: relation r5 of Hotel\n\n%s\n",
+              r5.ToPrettyString().c_str());
+
+  AttrSet name = AttrSet::Single(R5Attrs::kName);
+  AttrSet address = AttrSet::Single(R5Attrs::kAddress);
+  AttrSet region = AttrSet::Single(R5Attrs::kRegion);
+
+  std::printf("SFD strength (Section 2.1.1):\n");
+  Check("S(address -> region)", 2.0 / 3.0, Sfd::Strength(r5, address, region));
+  Check("S(name -> address)", 1.0 / 2.0, Sfd::Strength(r5, name, address));
+
+  std::printf("\nPFD probability (Section 2.2.1):\n");
+  Check("P(address -> region)", 3.0 / 4.0,
+        Pfd::Probability(r5, address, region));
+  Check("P(name -> address)", 1.0 / 2.0, Pfd::Probability(r5, name, address));
+
+  std::printf("\nAFD g3 error (Section 2.3.1):\n");
+  Check("g3(address -> region)", 1.0 / 4.0, Afd::G3Error(r5, address, region));
+  Check("g3(name -> address)", 1.0 / 2.0, Afd::G3Error(r5, name, address));
+
+  std::printf("\nNUD (Section 2.4.1):\n");
+  CheckHolds("nud1: address ->_2 region", true,
+             Nud(address, region, 2).Holds(r5));
+  Check("max fanout of address on region", 2.0,
+        Nud::MaxFanout(r5, address, region));
+
+  std::printf("\nCFD (Section 2.5.1):\n");
+  Cfd cfd1(AttrSet::Of({R5Attrs::kRegion, R5Attrs::kName}), address,
+           PatternTuple({PatternItem::Const(R5Attrs::kRegion,
+                                            Value("Jackson")),
+                         PatternItem::Wildcard(R5Attrs::kName),
+                         PatternItem::Wildcard(R5Attrs::kAddress)}));
+  CheckHolds("cfd1: region='Jackson', name -> address", true,
+             cfd1.Holds(r5));
+  Check("support of cfd1", 2.0, cfd1.Support(r5));
+
+  std::printf("\neCFD (Section 2.5.5):\n");
+  Ecfd ecfd1(AttrSet::Of({R5Attrs::kRate, R5Attrs::kName}), address,
+             PatternTuple({PatternItem::Const(R5Attrs::kRate, Value(200),
+                                              CmpOp::kLe),
+                           PatternItem::Wildcard(R5Attrs::kName),
+                           PatternItem::Wildcard(R5Attrs::kAddress)}));
+  CheckHolds("ecfd1: rate<=200, name -> address", true, ecfd1.Holds(r5));
+
+  std::printf("\nMVD (Section 2.6.1):\n");
+  Mvd mvd1(AttrSet::Of({R5Attrs::kAddress, R5Attrs::kRate}), region);
+  CheckHolds("mvd1: address, rate ->> region", true, mvd1.Holds(r5));
+
+  std::printf("\n%s\n", g_failures == 0 ? "ALL MEASURES MATCH THE PAPER."
+                                        : "SOME MEASURES MISMATCH!");
+  return g_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace famtree
+
+int main() { return famtree::Run(); }

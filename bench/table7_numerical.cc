@@ -1,0 +1,91 @@
+// Reproduces Table 7 and the Section 4 worked examples on it:
+//   ofd1: subtotal ->^P taxes holds                              (OFDs)
+//   od1: nights^<= -> avg/night^>= holds                         (ODs)
+//   od2: subtotal^<= -> taxes^<= holds                           (ODs)
+//   dc1: not(subtotal< and taxes>) holds                         (DCs)
+//   dc2: not(nights>= and avg/night>) holds                      (DCs)
+//   dc3: the eCFD rewrite of ecfd1 holds on r5                   (DCs)
+//   sd1: nights ->_[100,200] subtotal holds (gap 170 in range)   (SDs)
+//   sd2: nights ->_(-inf,0] avg/night holds                      (SDs)
+//   CSD: full-range tableau equals sd1                           (CSDs)
+
+#include <cstdio>
+
+#include "core/embeddings.h"
+#include "gen/paper_tables.h"
+
+namespace famtree {
+namespace {
+
+using paper::R7Attrs;
+
+int g_failures = 0;
+
+void CheckHolds(const char* what, bool expected, bool measured) {
+  bool ok = expected == measured;
+  if (!ok) ++g_failures;
+  std::printf("  %-48s paper: %-6s measured: %-6s %s\n", what,
+              expected ? "holds" : "fails", measured ? "holds" : "fails",
+              ok ? "MATCH" : "MISMATCH");
+}
+
+int Run() {
+  Relation r7 = paper::R7();
+  std::printf("Table 7: numerical relation r7 of hotel rates\n\n%s\n",
+              r7.ToPrettyString().c_str());
+
+  std::printf("OFD (Section 4.1.1):\n");
+  Ofd ofd1(AttrSet::Single(R7Attrs::kSubtotal),
+           AttrSet::Single(R7Attrs::kTaxes));
+  CheckHolds("ofd1: subtotal ->^P taxes", true, ofd1.Holds(r7));
+
+  std::printf("\nOD (Section 4.2.1-4.2.2):\n");
+  Od od1({MarkedAttr{R7Attrs::kNights, OrderMark::kLeq}},
+         {MarkedAttr{R7Attrs::kAvgNight, OrderMark::kGeq}});
+  CheckHolds("od1: nights^<= -> avg/night^>=", true, od1.Holds(r7));
+  Od od2 = OdFromOfd(ofd1);
+  CheckHolds("od2: subtotal^<= -> taxes^<= (= ofd1)", true, od2.Holds(r7));
+
+  std::printf("\nDC (Section 4.3.1-4.3.3):\n");
+  Dc dc1({DcPredicate{DcOperand::TupleA(R7Attrs::kSubtotal), CmpOp::kLt,
+                      DcOperand::TupleB(R7Attrs::kSubtotal)},
+          DcPredicate{DcOperand::TupleA(R7Attrs::kTaxes), CmpOp::kGt,
+                      DcOperand::TupleB(R7Attrs::kTaxes)}});
+  CheckHolds("dc1: not(subtotal< and taxes>)", true, dc1.Holds(r7));
+  Dc dc2 = DcFromOd(od1).value();
+  CheckHolds("dc2: OD rewrite not(nights>= and avg>)", true, dc2.Holds(r7));
+
+  // dc3 rewrites ecfd1 (rate<=200, name -> address) over Table 5.
+  Relation r5 = paper::R5();
+  Ecfd ecfd1(AttrSet::Of({paper::R5Attrs::kRate, paper::R5Attrs::kName}),
+             AttrSet::Single(paper::R5Attrs::kAddress),
+             PatternTuple({PatternItem::Const(paper::R5Attrs::kRate,
+                                              Value(200), CmpOp::kLe),
+                           PatternItem::Wildcard(paper::R5Attrs::kName)}));
+  Dc dc3 = DcFromEcfd(ecfd1).value();
+  CheckHolds("dc3: eCFD rewrite on r5", true, dc3.Holds(r5));
+  std::printf("    dc3 = %s\n", dc3.ToString(&r5.schema()).c_str());
+
+  std::printf("\nSD (Section 4.4.1-4.4.2):\n");
+  Sd sd1(R7Attrs::kNights, R7Attrs::kSubtotal, Interval::Between(100, 200));
+  CheckHolds("sd1: nights ->_[100,200] subtotal", true, sd1.Holds(r7));
+  std::printf(
+      "    (consecutive subtotal increases: 370-190=180, 540-370=170, "
+      "700-540=160, all within [100,200]; the paper highlights 170)\n");
+  Sd sd2(R7Attrs::kNights, R7Attrs::kAvgNight, Interval::AtMost(0));
+  CheckHolds("sd2: nights ->_(-inf,0] avg/night (= od1)", true,
+             sd2.Holds(r7));
+
+  std::printf("\nCSD (Section 4.4.5):\n");
+  Csd csd = CsdFromSd(sd1);
+  CheckHolds("full-range CSD tableau of sd1", true, csd.Holds(r7));
+
+  std::printf("\n%s\n", g_failures == 0 ? "ALL MEASURES MATCH THE PAPER."
+                                        : "SOME MEASURES MISMATCH!");
+  return g_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace famtree
+
+int main() { return famtree::Run(); }

@@ -1,0 +1,127 @@
+// Interactive guide to the family tree — the paper's "which dependency
+// should I use?" question (Section 1):
+//
+//   $ ./build/examples/family_tree_explorer                   # full tree
+//   $ ./build/examples/family_tree_explorer repair cat num    # suggestions
+//   $ ./build/examples/family_tree_explorer info DCs          # one class
+//
+// tasks:      detect, repair, optimize, cqa, dedup, partition,
+//             normalize, fairness
+// categories: cat (categorical), het (heterogeneous), num (numerical)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/family_tree.h"
+
+using namespace famtree;
+
+namespace {
+
+bool ParseTask(const std::string& s, Application* out) {
+  if (s == "detect") *out = Application::kViolationDetection;
+  else if (s == "repair") *out = Application::kDataRepairing;
+  else if (s == "optimize") *out = Application::kQueryOptimization;
+  else if (s == "cqa") *out = Application::kConsistentQueryAnswering;
+  else if (s == "dedup") *out = Application::kDataDeduplication;
+  else if (s == "partition") *out = Application::kDataPartition;
+  else if (s == "normalize") *out = Application::kSchemaNormalization;
+  else if (s == "fairness") *out = Application::kModelFairness;
+  else return false;
+  return true;
+}
+
+bool ParseCategory(const std::string& s, DataCategory* out) {
+  if (s == "cat") *out = DataCategory::kCategorical;
+  else if (s == "het") *out = DataCategory::kHeterogeneous;
+  else if (s == "num") *out = DataCategory::kNumerical;
+  else return false;
+  return true;
+}
+
+void PrintInfo(const std::string& acronym) {
+  for (DependencyClass c : AllDependencyClasses()) {
+    if (acronym != DependencyClassAcronym(c)) continue;
+    const ClassInfo& info = GetClassInfo(c);
+    const FamilyTree& tree = FamilyTree::Get();
+    std::printf("%s — %s\n", DependencyClassAcronym(c),
+                DependencyClassFullName(c));
+    std::printf("  proposed:   %d\n", info.year);
+    std::printf("  data type:  %s\n", DataCategoryName(info.category));
+    std::printf("  pubs using: %d\n", info.publications);
+    std::printf("  discovery:  %s — %s\n",
+                DiscoveryComplexityName(info.discovery_complexity),
+                info.complexity_note.c_str());
+    std::printf("  references: def %s | discovery %s | application %s\n",
+                info.refs_definition.c_str(), info.refs_discovery.c_str(),
+                info.refs_application.c_str());
+    std::printf("  extends:    ");
+    for (DependencyClass p : tree.Parents(c)) {
+      std::printf("%s ", DependencyClassAcronym(p));
+    }
+    std::printf("\n  extended by: ");
+    for (DependencyClass k : tree.Children(c)) {
+      std::printf("%s ", DependencyClassAcronym(k));
+    }
+    std::printf("\n  applications: ");
+    for (Application a : info.applications) {
+      std::printf("%s; ", ApplicationName(a));
+    }
+    std::printf("\n");
+    return;
+  }
+  std::printf("unknown dependency class '%s' (use e.g. DCs, CFDs, MDs)\n",
+              acronym.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FamilyTree& tree = FamilyTree::Get();
+  if (argc == 1) {
+    std::printf("%s\n%s\n", tree.RenderAscii().c_str(),
+                tree.RenderTimeline().c_str());
+    std::printf(
+        "try:  family_tree_explorer repair cat num\n"
+        "      family_tree_explorer info DCs\n");
+    return 0;
+  }
+  if (std::strcmp(argv[1], "info") == 0 && argc > 2) {
+    PrintInfo(argv[2]);
+    return 0;
+  }
+  Application task;
+  if (!ParseTask(argv[1], &task)) {
+    std::fprintf(stderr, "unknown task '%s'\n", argv[1]);
+    return 1;
+  }
+  std::vector<DataCategory> cats;
+  for (int i = 2; i < argc; ++i) {
+    DataCategory c;
+    if (!ParseCategory(argv[i], &c)) {
+      std::fprintf(stderr, "unknown category '%s'\n", argv[i]);
+      return 1;
+    }
+    cats.push_back(c);
+  }
+  auto suggestions = tree.Suggest(cats, task);
+  std::printf("dependencies supporting '%s'", ApplicationName(task));
+  if (!cats.empty()) {
+    std::printf(" over");
+    for (DataCategory c : cats) std::printf(" %s", DataCategoryName(c));
+    std::printf(" data");
+  }
+  std::printf(":\n");
+  for (DependencyClass c : suggestions) {
+    const ClassInfo& info = GetClassInfo(c);
+    std::printf("  %-6s (%s, discovery: %s)\n", DependencyClassAcronym(c),
+                DataCategoryName(info.category),
+                DiscoveryComplexityName(info.discovery_complexity));
+  }
+  if (suggestions.empty()) {
+    std::printf("  (none registered for this combination)\n");
+  }
+  return 0;
+}

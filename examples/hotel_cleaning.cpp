@@ -1,0 +1,104 @@
+// End-to-end data-quality pipeline on a dirty, heterogeneous hotel feed —
+// the workload the paper's introduction motivates:
+//
+//   1. generate dirty multi-source hotel data (format variety + typos),
+//   2. detect violations with rules of increasing expressive power
+//      (FD -> MFD, per the family tree),
+//   3. deduplicate records with a matching dependency (MD),
+//   4. impute missing prices with a neighborhood dependency (NED),
+//   5. repair remaining inconsistencies with an FD repair.
+//
+//   $ ./build/examples/hotel_cleaning
+
+#include <cstdio>
+#include <memory>
+
+#include "deps/fd.h"
+#include "deps/md.h"
+#include "deps/mfd.h"
+#include "deps/ned.h"
+#include "gen/generators.h"
+#include "metric/metric.h"
+#include "quality/dedup.h"
+#include "quality/detector.h"
+#include "quality/impute.h"
+#include "quality/repair.h"
+
+using namespace famtree;
+
+int main() {
+  // 1. Dirty feed: ~50 hotels rendered up to 3 times across two sources.
+  HeterogeneousConfig config;
+  config.num_entities = 50;
+  config.max_duplicates = 3;
+  config.variation_rate = 0.5;
+  config.typo_rate = 0.04;
+  config.seed = 2026;
+  GeneratedData feed = GenerateHeterogeneous(config);
+  Relation data = feed.relation;
+  std::printf("feed: %d records from 2 sources (%zu cells corrupted)\n\n",
+              data.num_rows(), feed.errors.size());
+  std::printf("%s\n", data.ToPrettyString(8).c_str());
+
+  const Schema& schema = data.schema();
+  int name = *schema.IndexOf("name");
+  int street = *schema.IndexOf("street");
+  int city = *schema.IndexOf("city");
+  int zip = *schema.IndexOf("zip");
+  int price = *schema.IndexOf("price");
+
+  // 2. Detection: exact FD vs metric MFD (street determines zip).
+  std::vector<DependencyPtr> rules;
+  rules.push_back(std::make_shared<Fd>(AttrSet::Single(street),
+                                       AttrSet::Single(zip)));
+  auto fd_summary = ViolationDetector(rules).Detect(data).value();
+  rules.clear();
+  rules.push_back(std::make_shared<Mfd>(
+      AttrSet::Single(street),
+      std::vector<MetricConstraint>{
+          MetricConstraint{zip, GetAbsDiffMetric(), 0.0}}));
+  auto mfd_summary = ViolationDetector(rules).Detect(data).value();
+  std::printf("detection: FD street->zip flags %zu rows\n",
+              fd_summary.flagged_rows.size());
+  std::printf("           MFD street->zip(0) flags %zu rows\n\n",
+              mfd_summary.flagged_rows.size());
+
+  // 3. Deduplication with an MD tuned to the feed's format variants.
+  Md md({SimilarityPredicate{name, GetEditDistanceMetric(), 6},
+         SimilarityPredicate{street, GetEditDistanceMetric(), 4},
+         SimilarityPredicate{city, GetEditDistanceMetric(), 4}},
+        AttrSet::Of({zip, price}));
+  MdMatcher matcher({md});
+  MatchResult match = matcher.Match(data).value();
+  ClusterScore score = ScoreClusters(match.cluster_ids, feed.entity_ids);
+  std::printf(
+      "dedup: %d records -> %d entities  (pairwise precision %.2f, recall "
+      "%.2f, F1 %.2f)\n",
+      data.num_rows(), match.num_clusters, score.pairwise_precision,
+      score.pairwise_recall, score.f1);
+  Relation identified = matcher.Apply(data, match).value();
+  std::printf("       zip/price identified within clusters\n\n");
+
+  // 4. Imputation: blank a few prices, refill them from street neighbors.
+  Relation with_nulls = identified;
+  int blanked = 0;
+  for (int r = 0; r < with_nulls.num_rows(); r += 7) {
+    with_nulls.Set(r, price, Value::Null());
+    ++blanked;
+  }
+  Ned ned({Ned::Predicate{street, GetEditDistanceMetric(), 4.0},
+           Ned::Predicate{city, GetEditDistanceMetric(), 4.0}},
+          {Ned::Predicate{price, GetAbsDiffMetric(), 50.0}});
+  ImputeResult imputed = ImputeWithNed(with_nulls, ned).value();
+  std::printf("impute: blanked %d prices, refilled %d (%d had no "
+              "neighbors)\n\n",
+              blanked, imputed.filled, imputed.unfilled);
+
+  // 5. Final FD repair on the identified relation.
+  Fd zip_rule(AttrSet::Single(street), AttrSet::Single(zip));
+  RepairResult repaired = RepairWithFds(imputed.imputed, {zip_rule}).value();
+  std::printf("repair: %zu cell changes; street->zip holds: %s\n",
+              repaired.changes.size(),
+              zip_rule.Holds(repaired.repaired) ? "yes" : "no");
+  return 0;
+}

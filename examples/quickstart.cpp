@@ -1,0 +1,57 @@
+// Quickstart: declare a relation, state a functional dependency, check it,
+// measure how badly it fails, and repair the data.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "deps/afd.h"
+#include "deps/fd.h"
+#include "deps/sfd.h"
+#include "quality/repair.h"
+#include "relation/relation.h"
+
+using namespace famtree;
+
+int main() {
+  // 1. Build a relation (or load one with ReadCsvFile).
+  RelationBuilder builder({"name", "address", "region"});
+  builder.AddRow({Value("New Center"), Value("No.5, Central Park"),
+                  Value("New York")});
+  builder.AddRow({Value("New Center Hotel"), Value("No.5, Central Park"),
+                  Value("New York")});
+  builder.AddRow({Value("St. Regis"), Value("#3, West Lake Rd."),
+                  Value("Boston")});
+  builder.AddRow({Value("St. Regis Hotel"), Value("#3, West Lake Rd."),
+                  Value("Chicago")});  // an error
+  Relation hotels = std::move(builder.Build()).value();
+  std::printf("%s\n", hotels.ToPrettyString().c_str());
+
+  // 2. Declare the dependency: address determines region.
+  Fd fd(*hotels.schema().SetOf({"address"}), *hotels.schema().SetOf({"region"}));
+  std::printf("rule: %s\n\n", fd.ToString(&hotels.schema()).c_str());
+
+  // 3. Check it and inspect the violations.
+  ValidationReport report = fd.Validate(hotels, 16).value();
+  std::printf("holds: %s, violating pairs: %lld\n",
+              report.holds ? "yes" : "no",
+              static_cast<long long>(report.violation_count));
+  for (const Violation& v : report.violations) {
+    std::printf("  rows (%d, %d): %s\n", v.rows[0], v.rows[1],
+                v.description.c_str());
+  }
+
+  // 4. Quantify: the statistical measures of Section 2.
+  std::printf("\nstrength    S(address -> region)  = %.3f  (SFDs)\n",
+              Sfd::Strength(hotels, fd.lhs(), fd.rhs()));
+  std::printf("g3 error    g3(address -> region) = %.3f  (AFDs)\n",
+              Afd::G3Error(hotels, fd.lhs(), fd.rhs()));
+
+  // 5. Repair: plurality value per address group.
+  RepairResult repaired = RepairWithFds(hotels, {fd}).value();
+  std::printf("\nrepaired with %zu cell change(s); rule now holds: %s\n",
+              repaired.changes.size(),
+              fd.Holds(repaired.repaired) ? "yes" : "no");
+  std::printf("%s\n", repaired.repaired.ToPrettyString().c_str());
+  return 0;
+}

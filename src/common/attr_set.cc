@@ -1,0 +1,37 @@
+#include "common/attr_set.h"
+
+namespace famtree {
+
+std::vector<AttrSet> AllSubsetsOfSize(int n, int k) {
+  std::vector<AttrSet> out;
+  if (k < 0 || k > n) return out;
+  if (k == 0) {
+    out.push_back(AttrSet());
+    return out;
+  }
+  // Gosper's hack: iterate k-subsets of an n-bit universe in increasing
+  // mask order.
+  uint64_t v = (1ULL << k) - 1;
+  uint64_t limit = (n >= 64) ? ~0ULL : (1ULL << n);
+  while (n >= 64 || v < limit) {
+    out.push_back(AttrSet(v));
+    uint64_t t = v | (v - 1);
+    uint64_t next = (t + 1) | (((~t & -(~t)) - 1) >> (__builtin_ctzll(v) + 1));
+    if (next <= v) break;  // overflow wrapped
+    v = next;
+    if (n < 64 && v >= limit) break;
+  }
+  return out;
+}
+
+std::vector<AttrSet> ProperNonEmptySubsets(AttrSet s) {
+  std::vector<AttrSet> out;
+  uint64_t m = s.mask();
+  // Standard subset-of-mask enumeration.
+  for (uint64_t sub = (m - 1) & m; sub != 0; sub = (sub - 1) & m) {
+    out.push_back(AttrSet(sub));
+  }
+  return out;
+}
+
+}  // namespace famtree

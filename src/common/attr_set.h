@@ -1,0 +1,81 @@
+#ifndef FAMTREE_COMMON_ATTR_SET_H_
+#define FAMTREE_COMMON_ATTR_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace famtree {
+
+/// A set of attribute indices represented as a 64-bit mask. Relations in this
+/// library are limited to 64 attributes, which comfortably covers the data
+/// profiling workloads the paper considers (lattice searches are exponential
+/// in the attribute count anyway).
+class AttrSet {
+ public:
+  AttrSet() : mask_(0) {}
+  explicit AttrSet(uint64_t mask) : mask_(mask) {}
+  /// Builds a set from explicit indices, e.g. AttrSet::Of({0, 2}).
+  static AttrSet Of(std::initializer_list<int> attrs) {
+    AttrSet s;
+    for (int a : attrs) s.Add(a);
+    return s;
+  }
+  static AttrSet Of(const std::vector<int>& attrs) {
+    AttrSet s;
+    for (int a : attrs) s.Add(a);
+    return s;
+  }
+  /// The full set {0, ..., n-1}.
+  static AttrSet Full(int n) {
+    return n >= 64 ? AttrSet(~0ULL) : AttrSet((1ULL << n) - 1);
+  }
+  static AttrSet Single(int a) { return AttrSet(1ULL << a); }
+
+  void Add(int a) { mask_ |= (1ULL << a); }
+  void Remove(int a) { mask_ &= ~(1ULL << a); }
+  bool Contains(int a) const { return (mask_ >> a) & 1ULL; }
+  bool ContainsAll(AttrSet other) const {
+    return (mask_ & other.mask_) == other.mask_;
+  }
+  bool Intersects(AttrSet other) const { return (mask_ & other.mask_) != 0; }
+  bool empty() const { return mask_ == 0; }
+  int size() const { return __builtin_popcountll(mask_); }
+  uint64_t mask() const { return mask_; }
+
+  AttrSet Union(AttrSet o) const { return AttrSet(mask_ | o.mask_); }
+  AttrSet Intersect(AttrSet o) const { return AttrSet(mask_ & o.mask_); }
+  AttrSet Minus(AttrSet o) const { return AttrSet(mask_ & ~o.mask_); }
+  AttrSet With(int a) const { return AttrSet(mask_ | (1ULL << a)); }
+  AttrSet Without(int a) const { return AttrSet(mask_ & ~(1ULL << a)); }
+
+  /// Member indices in increasing order.
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    uint64_t m = mask_;
+    while (m) {
+      int a = __builtin_ctzll(m);
+      out.push_back(a);
+      m &= m - 1;
+    }
+    return out;
+  }
+
+  friend bool operator==(AttrSet a, AttrSet b) { return a.mask_ == b.mask_; }
+  friend bool operator!=(AttrSet a, AttrSet b) { return a.mask_ != b.mask_; }
+  friend bool operator<(AttrSet a, AttrSet b) { return a.mask_ < b.mask_; }
+
+ private:
+  uint64_t mask_;
+};
+
+/// Enumerates all non-empty subsets of {0,..,n-1} of exactly `k` elements in
+/// lexicographic mask order. Used by levelwise lattice searches.
+std::vector<AttrSet> AllSubsetsOfSize(int n, int k);
+
+/// All non-empty proper subsets of `s` (2^|s| - 2 of them).
+std::vector<AttrSet> ProperNonEmptySubsets(AttrSet s);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_COMMON_ATTR_SET_H_

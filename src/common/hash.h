@@ -1,0 +1,16 @@
+#ifndef FAMTREE_COMMON_HASH_H_
+#define FAMTREE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace famtree {
+
+/// Mixes `v` into `seed` (boost::hash_combine recipe, 64-bit constants).
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace famtree
+
+#endif  // FAMTREE_COMMON_HASH_H_

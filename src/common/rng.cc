@@ -1,0 +1,42 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace famtree {
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse-CDF sampling over the (unnormalized) harmonic weights. For the
+  // sizes used by our generators (n up to ~1e6) a per-call linear scan would
+  // be too slow, so use the standard rejection-free approximation by
+  // partial-sum bisection over precomputed boundaries is overkill; a simple
+  // iterative approach over a capped number of ranks suffices because the
+  // head of a Zipf distribution carries almost all the mass.
+  double u = NextDouble();
+  double norm = 0.0;
+  const int64_t cap = std::min<int64_t>(n, 10000);
+  for (int64_t k = 0; k < cap; ++k) norm += 1.0 / std::pow(k + 1, theta);
+  double target = u * norm;
+  double acc = 0.0;
+  for (int64_t k = 0; k < cap; ++k) {
+    acc += 1.0 / std::pow(k + 1, theta);
+    if (acc >= target) return k;
+  }
+  return cap - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  std::vector<int> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  // Partial Fisher-Yates: only the first k positions need shuffling.
+  for (int i = 0; i < k && i < n; ++i) {
+    int j = static_cast<int>(Uniform(i, n - 1));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(std::min(n, k));
+  return idx;
+}
+
+}  // namespace famtree

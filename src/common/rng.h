@@ -1,0 +1,53 @@
+#ifndef FAMTREE_COMMON_RNG_H_
+#define FAMTREE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace famtree {
+
+/// Deterministic random source used by generators, sampling-based discovery
+/// algorithms and property tests. All randomized behaviour in the library is
+/// seeded explicitly so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Gaussian sample.
+  double Normal(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Zipf-distributed rank in [0, n): probability of rank k proportional to
+  /// 1/(k+1)^theta. Used for skewed categorical domains.
+  int64_t Zipf(int64_t n, double theta);
+
+  /// Samples k distinct indices from [0, n) (k <= n), in arbitrary order.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_COMMON_RNG_H_

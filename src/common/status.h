@@ -1,0 +1,122 @@
+#ifndef FAMTREE_COMMON_STATUS_H_
+#define FAMTREE_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace famtree {
+
+/// Error codes for operations that can fail. The library does not throw
+/// exceptions from its public API; fallible operations return Status or
+/// Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a short human-readable name such as "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: either OK or a code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (checked in debug builds).
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional, mirrors
+  // absl::StatusOr so `return value;` and `return status;` both work.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace famtree
+
+/// Propagates a non-OK Status from an expression, absl-style.
+#define FAMTREE_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::famtree::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// moves the value into `lhs`.
+#define FAMTREE_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto FAMTREE_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!FAMTREE_CONCAT_(_res_, __LINE__).ok())        \
+    return FAMTREE_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(FAMTREE_CONCAT_(_res_, __LINE__)).value()
+
+#define FAMTREE_CONCAT_INNER_(a, b) a##b
+#define FAMTREE_CONCAT_(a, b) FAMTREE_CONCAT_INNER_(a, b)
+
+#endif  // FAMTREE_COMMON_STATUS_H_

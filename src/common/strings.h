@@ -1,0 +1,39 @@
+#ifndef FAMTREE_COMMON_STRINGS_H_
+#define FAMTREE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace famtree {
+
+/// Splits `s` on `sep`; keeps empty fields. Split("a,,b", ',') == {a,"",b}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a full string as int64/double. Returns false on trailing garbage.
+bool ParseInt64(std::string_view s, long long* out);
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double trimming trailing zeros ("3" not "3.000000").
+std::string FormatDouble(double v);
+
+/// Pads/truncates to exactly `width` columns, left-aligned.
+std::string PadRight(std::string_view s, size_t width);
+/// Right-aligned variant.
+std::string PadLeft(std::string_view s, size_t width);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_COMMON_STRINGS_H_

@@ -1,0 +1,219 @@
+#include "core/class_info.h"
+
+namespace famtree {
+
+namespace {
+
+using App = Application;
+using DC = DependencyClass;
+using Cat = DataCategory;
+using Cx = DiscoveryComplexity;
+
+std::vector<ClassInfo> BuildInfos() {
+  std::vector<ClassInfo> infos;
+  auto add = [&infos](DC id, Cat cat, int year, int pubs, std::string def,
+                      std::string disc, std::string app, Cx cx,
+                      std::string note, std::vector<App> apps) {
+    infos.push_back(ClassInfo{id, cat, year, pubs, std::move(def),
+                              std::move(disc), std::move(app), cx,
+                              std::move(note), std::move(apps)});
+  };
+
+  // --- Categorical (Table 2, top block). Publication counts follow the
+  // paper's Google Scholar census; the survey narrative pins CFDs as the
+  // most-used categorical extension.
+  add(DC::kSfd, Cat::kCategorical, 2004, 327, "[55]", "[55], [60]",
+      "[55], [60]", Cx::kPolynomial,
+      "CORDS samples column pairs; cost independent of table size (S2.1.3)",
+      {App::kQueryOptimization});
+  add(DC::kPfd, Cat::kCategorical, 2009, 55, "[104]", "[104]", "[104]",
+      Cx::kExponentialOutput,
+      "TANE-style lattice per source; counting per candidate is "
+      "polynomial (S2.2.3)",
+      {App::kViolationDetection, App::kSchemaNormalization});
+  add(DC::kAfd, Cat::kCategorical, 1995, 248, "[61]", "[53], [54]", "[111]",
+      Cx::kExponentialOutput,
+      "TANE with g3 validity test; minimal cover can be exponential "
+      "(S1.4.2, S2.3.3)",
+      {App::kQueryOptimization});
+  add(DC::kNud, Cat::kCategorical, 1981, 404, "[50]", "", "[22]",
+      Cx::kPolynomial,
+      "weight of a given NUD computes by grouping; derivation studied "
+      "in [22] (S2.4)",
+      {App::kQueryOptimization});
+  add(DC::kCfd, Cat::kCategorical, 2007, 471, "[11], [34]",
+      "[18], [35], [36], [49], [113]", "[25], [40]", Cx::kNpComplete,
+      "optimal tableau generation for a given FD is NP-complete [49] "
+      "(S2.5.3)",
+      {App::kViolationDetection, App::kDataRepairing,
+       App::kDataDeduplication});
+  add(DC::kEcfd, Cat::kCategorical, 2008, 76, "[14]", "[114]", "[14]",
+      Cx::kNpComplete,
+      "implication co-NP-complete as CFDs; tableau problem inherited "
+      "(S2.5.5)",
+      {App::kViolationDetection, App::kDataRepairing});
+  add(DC::kMvd, Cat::kCategorical, 1977, 191, "[30]", "[82]", "[80]",
+      Cx::kExponentialOutput,
+      "hypothesis-space search over generalization lattice [82] (S2.6.3)",
+      {App::kDataRepairing, App::kSchemaNormalization, App::kModelFairness});
+  add(DC::kFhd, Cat::kCategorical, 1978, 1, "[27], [52]", "", "",
+      Cx::kExponentialOutput, "hierarchical decompositions extend the MVD "
+      "search space (S2.6.5)",
+      {App::kSchemaNormalization});
+  add(DC::kAmvd, Cat::kCategorical, 2020, 0, "[59]", "[59]", "[59]",
+      Cx::kExponentialOutput,
+      "mining approximate acyclic schemes searches join trees (S2.6.6)",
+      {App::kQueryOptimization});
+
+  // --- Heterogeneous (Table 2, middle block).
+  add(DC::kMfd, Cat::kHeterogeneous, 2009, 86, "[64]", "[64]", "[64]",
+      Cx::kPolynomial,
+      "verifying an MFD takes O(n^2); approximate verification faster "
+      "[64] (S3.1.3)",
+      {App::kViolationDetection});
+  add(DC::kNed, Cat::kHeterogeneous, 2001, 15, "[4]", "[4]", "[4]",
+      Cx::kNpHard,
+      "finding an LHS predicate with support and confidence is NP-hard "
+      "in #attributes (S3.2.3)",
+      {App::kDataRepairing});
+  add(DC::kDd, Cat::kHeterogeneous, 2011, 109, "[86]",
+      "[65], [86], [88], [89]", "[86], [93], [94], [95], [96]",
+      Cx::kExponentialOutput,
+      "minimal DDs can be exponentially many; implication co-NP-complete "
+      "[86] (S3.3.3)",
+      {App::kDataRepairing, App::kQueryOptimization, App::kDataDeduplication,
+       App::kDataPartition});
+  add(DC::kCdd, Cat::kHeterogeneous, 2015, 3, "[66]", "[66]", "[66]",
+      Cx::kNpComplete,
+      "generalizes CFDs, hence no easier than CFD discovery (S3.3.5)",
+      {App::kViolationDetection, App::kDataRepairing});
+  add(DC::kCd, Cat::kHeterogeneous, 2011, 18, "[91], [92]", "[92]", "[92]",
+      Cx::kNpComplete,
+      "error (g3 <= e) and confidence (conf >= c) validation are "
+      "NP-complete [91] (S3.4.3)",
+      {App::kViolationDetection, App::kQueryOptimization,
+       App::kDataDeduplication});
+  add(DC::kPac, Cat::kHeterogeneous, 2003, 39, "[63]", "[63]", "[63]",
+      Cx::kPolynomial,
+      "PAC-Man instantiates Delta/eps/delta from rule templates and "
+      "training data (S3.5.3)",
+      {App::kViolationDetection, App::kQueryOptimization});
+  add(DC::kFfd, Cat::kHeterogeneous, 1988, 496, "[79]", "[109], [108]",
+      "[13], [56], [71]", Cx::kExponentialOutput,
+      "TANE-style small-to-large search with pairwise EQUAL checks "
+      "(S3.6.3)",
+      {App::kQueryOptimization, App::kDataDeduplication});
+  add(DC::kMd, Cat::kHeterogeneous, 2009, 197, "[33], [37]",
+      "[85], [87], [90]", "[37], [38], [41]", Cx::kNpComplete,
+      "bounded-size matching-key sets with supp/conf are NP-complete "
+      "[90] (S3.7.3)",
+      {App::kDataRepairing, App::kDataDeduplication, App::kDataPartition});
+  add(DC::kCmd, Cat::kHeterogeneous, 2017, 15, "[110]", "[110]", "[110]",
+      Cx::kNpComplete,
+      "deciding g3 <= e for a CMD is NP-complete [110] (S3.7.5)",
+      {App::kDataRepairing, App::kDataDeduplication});
+
+  // --- Numerical (Table 2, bottom block).
+  add(DC::kOfd, Cat::kNumerical, 1999, 27, "[76], [77]", "", "[75]",
+      Cx::kExponentialOutput,
+      "attribute-set lattice as for ODs (S4.1)",
+      {App::kConsistentQueryAnswering});
+  add(DC::kOd, Cat::kNumerical, 1982, 27, "[28]", "[67], [99]",
+      "[28], [100]", Cx::kExponentialOutput,
+      "lattice of marked attribute sets; implication co-NP-complete "
+      "[101] (S4.2.3)",
+      {App::kViolationDetection, App::kDataRepairing,
+       App::kQueryOptimization});
+  add(DC::kDc, Cat::kNumerical, 2005, 52, "[8], [9]",
+      "[10], [19], [21], [78]", "[8], [9], [20], [70], [98]",
+      Cx::kNpComplete,
+      "FASTDC reduces discovery to minimal set covers of evidence sets "
+      "[19] (S4.3.4)",
+      {App::kViolationDetection, App::kDataRepairing,
+       App::kConsistentQueryAnswering});
+  add(DC::kSd, Cat::kNumerical, 2009, 97, "[48]", "[48]", "[48]",
+      Cx::kPolynomial,
+      "confidence of simple SDs computes efficiently [48] (S4.4.3)",
+      {App::kViolationDetection});
+  add(DC::kCsd, Cat::kNumerical, 2009, 97, "[48]", "[48]", "[48]",
+      Cx::kPolynomial,
+      "exact DP tableau construction, quadratic in candidate intervals "
+      "[48] (S1.4.2, S4.4.5)",
+      {App::kViolationDetection});
+
+  // --- The root.
+  add(DC::kFd, Cat::kCategorical, 1971, 0, "[24]", "[53], [54], [112]",
+      "[7], [24]", Cx::kExponentialOutput,
+      "minimal cover may be exponential [72], [73]; key-of-size-k "
+      "NP-complete [5] (S1.4.2)",
+      {App::kViolationDetection, App::kDataRepairing,
+       App::kConsistentQueryAnswering, App::kSchemaNormalization});
+  return infos;
+}
+
+}  // namespace
+
+const char* DataCategoryName(DataCategory c) {
+  switch (c) {
+    case DataCategory::kCategorical: return "Categorical";
+    case DataCategory::kHeterogeneous: return "Heterogeneous";
+    case DataCategory::kNumerical: return "Numerical";
+  }
+  return "?";
+}
+
+const char* ApplicationName(Application a) {
+  switch (a) {
+    case Application::kViolationDetection: return "Violation detection";
+    case Application::kDataRepairing: return "Data repairing";
+    case Application::kQueryOptimization: return "Query optimization";
+    case Application::kConsistentQueryAnswering:
+      return "Consistent query answering";
+    case Application::kDataDeduplication: return "Data deduplication";
+    case Application::kDataPartition: return "Data partition";
+    case Application::kSchemaNormalization: return "Schema normalization";
+    case Application::kModelFairness: return "Model fairness";
+  }
+  return "?";
+}
+
+const std::vector<Application>& AllApplications() {
+  static const std::vector<Application>& all = *new std::vector<Application>{
+      Application::kViolationDetection,
+      Application::kDataRepairing,
+      Application::kQueryOptimization,
+      Application::kConsistentQueryAnswering,
+      Application::kDataDeduplication,
+      Application::kDataPartition,
+      Application::kSchemaNormalization,
+      Application::kModelFairness,
+  };
+  return all;
+}
+
+const char* DiscoveryComplexityName(DiscoveryComplexity c) {
+  switch (c) {
+    case DiscoveryComplexity::kPolynomial: return "P";
+    case DiscoveryComplexity::kNpComplete: return "NP-complete";
+    case DiscoveryComplexity::kNpHard: return "NP-hard";
+    case DiscoveryComplexity::kExponentialOutput:
+      return "poly/candidate, exp. output";
+  }
+  return "?";
+}
+
+const std::vector<ClassInfo>& AllClassInfos() {
+  static const std::vector<ClassInfo>& infos =
+      *new std::vector<ClassInfo>(BuildInfos());
+  return infos;
+}
+
+const ClassInfo& GetClassInfo(DependencyClass cls) {
+  for (const ClassInfo& info : AllClassInfos()) {
+    if (info.id == cls) return info;
+  }
+  // Unreachable: AllClassInfos covers the enum.
+  return AllClassInfos().front();
+}
+
+}  // namespace famtree

@@ -1,0 +1,75 @@
+#ifndef FAMTREE_CORE_CLASS_INFO_H_
+#define FAMTREE_CORE_CLASS_INFO_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/dependency.h"
+
+namespace famtree {
+
+/// The data-type category a dependency class targets (Table 2 grouping).
+enum class DataCategory { kCategorical, kHeterogeneous, kNumerical };
+
+const char* DataCategoryName(DataCategory c);
+
+/// Application tasks of Table 3.
+enum class Application {
+  kViolationDetection,
+  kDataRepairing,
+  kQueryOptimization,
+  kConsistentQueryAnswering,
+  kDataDeduplication,
+  kDataPartition,
+  kSchemaNormalization,
+  kModelFairness,
+};
+
+const char* ApplicationName(Application a);
+const std::vector<Application>& AllApplications();
+
+/// Complexity of a class's discovery problem as classified by Fig. 3.
+enum class DiscoveryComplexity {
+  /// Discovery/tableau construction is polynomial-time (e.g. CSDs).
+  kPolynomial,
+  /// A core decision problem of discovery is NP-complete.
+  kNpComplete,
+  /// Discovery is NP-hard (in the number of attributes).
+  kNpHard,
+  /// Output (minimal cover) can be exponential in the attribute count,
+  /// though each candidate validates in polynomial time.
+  kExponentialOutput,
+};
+
+const char* DiscoveryComplexityName(DiscoveryComplexity c);
+
+/// Everything Table 2 records about one dependency class, plus the Fig. 3
+/// complexity classification and the Table 3 application tasks.
+struct ClassInfo {
+  DependencyClass id;
+  DataCategory category;
+  /// Year the notation was proposed (Table 2 / Fig. 2 timeline).
+  int year;
+  /// Number of publications using the dependency per the paper's Google
+  /// Scholar count (Fig. 1B / Table 2). Zero where the paper leaves the
+  /// cell blank (AMVDs, proposed 2020).
+  int publications;
+  /// Reference lists exactly as printed in Table 2.
+  std::string refs_definition;
+  std::string refs_discovery;
+  std::string refs_application;
+  DiscoveryComplexity discovery_complexity;
+  /// Short justification for the complexity cell (paper section).
+  std::string complexity_note;
+  std::vector<Application> applications;
+};
+
+/// Metadata for one class.
+const ClassInfo& GetClassInfo(DependencyClass cls);
+
+/// All 24 classes in Table 2 row order.
+const std::vector<ClassInfo>& AllClassInfos();
+
+}  // namespace famtree
+
+#endif  // FAMTREE_CORE_CLASS_INFO_H_

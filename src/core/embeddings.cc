@@ -1,0 +1,499 @@
+#include "core/embeddings.h"
+
+#include <memory>
+
+#include "metric/fuzzy.h"
+#include "metric/metric.h"
+
+namespace famtree {
+
+Sfd SfdFromFd(const Fd& fd) { return Sfd(fd.lhs(), fd.rhs(), 1.0); }
+
+Pfd PfdFromFd(const Fd& fd) { return Pfd(fd.lhs(), fd.rhs(), 1.0); }
+
+Afd AfdFromFd(const Fd& fd) { return Afd(fd.lhs(), fd.rhs(), 0.0); }
+
+Nud NudFromFd(const Fd& fd) { return Nud(fd.lhs(), fd.rhs(), 1); }
+
+Cfd CfdFromFd(const Fd& fd) {
+  std::vector<PatternItem> items;
+  for (int a : fd.lhs().Union(fd.rhs()).ToVector()) {
+    items.push_back(PatternItem::Wildcard(a));
+  }
+  return Cfd(fd.lhs(), fd.rhs(), PatternTuple(std::move(items)));
+}
+
+Ecfd EcfdFromCfd(const Cfd& cfd) {
+  return Ecfd(cfd.lhs(), cfd.rhs(), cfd.pattern());
+}
+
+Result<Mvd> MvdFromFd(const Fd& fd) {
+  if (fd.lhs().Intersects(fd.rhs())) {
+    return Status::Invalid(
+        "MVD embedding requires disjoint LHS and RHS; drop trivial "
+        "attributes from the FD first");
+  }
+  return Mvd(fd.lhs(), fd.rhs());
+}
+
+Fhd FhdFromMvd(const Mvd& mvd) {
+  return Fhd(mvd.lhs(), {mvd.rhs()});
+}
+
+Amvd AmvdFromMvd(const Mvd& mvd) {
+  return Amvd(mvd.lhs(), mvd.rhs(), 0.0);
+}
+
+Mfd MfdFromFd(const Fd& fd) {
+  std::vector<MetricConstraint> rhs;
+  for (int a : fd.rhs().ToVector()) {
+    rhs.push_back(MetricConstraint{a, GetDiscreteMetric(), 0.0});
+  }
+  return Mfd(fd.lhs(), std::move(rhs));
+}
+
+Ned NedFromMfd(const Mfd& mfd) {
+  std::vector<Ned::Predicate> lhs, rhs;
+  for (int a : mfd.lhs().ToVector()) {
+    lhs.push_back(Ned::Predicate{a, GetDiscreteMetric(), 0.0});
+  }
+  for (const auto& mc : mfd.rhs()) {
+    rhs.push_back(Ned::Predicate{mc.attr, mc.metric, mc.delta});
+  }
+  return Ned(std::move(lhs), std::move(rhs));
+}
+
+Dd DdFromNed(const Ned& ned) {
+  std::vector<DifferentialFunction> lhs, rhs;
+  for (const auto& p : ned.lhs()) {
+    lhs.push_back(
+        DifferentialFunction(p.attr, p.metric, DistRange::AtMost(p.threshold)));
+  }
+  for (const auto& p : ned.rhs()) {
+    rhs.push_back(
+        DifferentialFunction(p.attr, p.metric, DistRange::AtMost(p.threshold)));
+  }
+  return Dd(std::move(lhs), std::move(rhs));
+}
+
+Cdd CddFromDd(const Dd& dd) {
+  return Cdd(PatternTuple(), dd.lhs(), dd.rhs());
+}
+
+Result<Cdd> CddFromCfd(const Cfd& cfd) {
+  for (int a : cfd.rhs().ToVector()) {
+    const PatternItem* it = cfd.pattern().Find(a);
+    if (it != nullptr && !it->is_wildcard) {
+      return Status::Invalid(
+          "CDD embedding requires a wildcard RHS pattern (constant-RHS "
+          "CFDs have single-tuple semantics)");
+    }
+  }
+  std::vector<PatternItem> cond;
+  for (int a : cfd.lhs().ToVector()) {
+    const PatternItem* it = cfd.pattern().Find(a);
+    if (it != nullptr && !it->is_wildcard) cond.push_back(*it);
+  }
+  std::vector<DifferentialFunction> lhs, rhs;
+  for (int a : cfd.lhs().ToVector()) {
+    lhs.push_back(
+        DifferentialFunction(a, GetDiscreteMetric(), DistRange::AtMost(0.0)));
+  }
+  for (int a : cfd.rhs().ToVector()) {
+    rhs.push_back(
+        DifferentialFunction(a, GetDiscreteMetric(), DistRange::AtMost(0.0)));
+  }
+  return Cdd(PatternTuple(std::move(cond)), std::move(lhs), std::move(rhs));
+}
+
+Result<Cd> CdFromNed(const Ned& ned) {
+  if (ned.rhs().size() != 1) {
+    return Status::Invalid(
+        "CD embedding requires exactly one RHS predicate (a CD has one "
+        "RHS similarity function)");
+  }
+  auto to_fn = [](const Ned::Predicate& p) {
+    SimilarityFunction f;
+    f.attr_i = p.attr;
+    f.attr_j = p.attr;
+    f.metric = p.metric;
+    f.max_dist_ii = p.threshold;
+    f.max_dist_ij = p.threshold;
+    f.max_dist_jj = p.threshold;
+    return f;
+  };
+  std::vector<SimilarityFunction> lhs;
+  for (const auto& p : ned.lhs()) lhs.push_back(to_fn(p));
+  return Cd(std::move(lhs), to_fn(ned.rhs()[0]));
+}
+
+Pac PacFromNed(const Ned& ned) {
+  std::vector<Pac::Tolerance> lhs, rhs;
+  for (const auto& p : ned.lhs()) {
+    lhs.push_back(Pac::Tolerance{p.attr, p.metric, p.threshold});
+  }
+  for (const auto& p : ned.rhs()) {
+    rhs.push_back(Pac::Tolerance{p.attr, p.metric, p.threshold});
+  }
+  return Pac(std::move(lhs), std::move(rhs), 1.0);
+}
+
+Ffd FfdFromFd(const Fd& fd) {
+  std::vector<Ffd::FuzzyAttr> lhs, rhs;
+  for (int a : fd.lhs().ToVector()) {
+    lhs.push_back(Ffd::FuzzyAttr{a, GetCrispResemblance()});
+  }
+  for (int a : fd.rhs().ToVector()) {
+    rhs.push_back(Ffd::FuzzyAttr{a, GetCrispResemblance()});
+  }
+  return Ffd(std::move(lhs), std::move(rhs));
+}
+
+Md MdFromFd(const Fd& fd) {
+  std::vector<SimilarityPredicate> lhs;
+  for (int a : fd.lhs().ToVector()) {
+    lhs.push_back(SimilarityPredicate{a, GetDiscreteMetric(), 0.0});
+  }
+  return Md(std::move(lhs), fd.rhs());
+}
+
+Cmd CmdFromMd(const Md& md) {
+  return Cmd(PatternTuple(), md.lhs(), md.rhs());
+}
+
+Od OdFromOfd(const Ofd& ofd) {
+  std::vector<MarkedAttr> lhs, rhs;
+  for (int a : ofd.lhs().ToVector()) {
+    lhs.push_back(MarkedAttr{a, OrderMark::kLeq});
+  }
+  for (int a : ofd.rhs().ToVector()) {
+    rhs.push_back(MarkedAttr{a, OrderMark::kLeq});
+  }
+  return Od(std::move(lhs), std::move(rhs));
+}
+
+namespace {
+
+/// Translates a marked attribute into the DC predicate "ta.A op tb.A".
+DcPredicate MarkToPredicate(const MarkedAttr& ma) {
+  CmpOp op;
+  switch (ma.mark) {
+    case OrderMark::kLeq: op = CmpOp::kLe; break;
+    case OrderMark::kLt: op = CmpOp::kLt; break;
+    case OrderMark::kGeq: op = CmpOp::kGe; break;
+    case OrderMark::kGt: op = CmpOp::kGt; break;
+    default: op = CmpOp::kLe; break;
+  }
+  return DcPredicate{DcOperand::TupleA(ma.attr), op,
+                     DcOperand::TupleB(ma.attr)};
+}
+
+}  // namespace
+
+Result<Dc> DcFromOd(const Od& od) {
+  if (od.rhs().size() != 1) {
+    return Status::Invalid(
+        "DC embedding takes one RHS mark; emit one DC per RHS mark");
+  }
+  std::vector<DcPredicate> preds;
+  for (const auto& ma : od.lhs()) preds.push_back(MarkToPredicate(ma));
+  preds.push_back(MarkToPredicate(od.rhs()[0]).Negated());
+  return Dc(std::move(preds));
+}
+
+Result<Dc> DcFromEcfd(const Ecfd& ecfd) {
+  std::vector<int> rhs_attrs = ecfd.rhs().ToVector();
+  if (rhs_attrs.size() != 1) {
+    return Status::Invalid("DC embedding takes a single-attribute RHS");
+  }
+  const PatternItem* rhs_item = ecfd.pattern().Find(rhs_attrs[0]);
+  if (rhs_item != nullptr && !rhs_item->is_wildcard) {
+    return Status::Invalid(
+        "DC embedding requires a wildcard RHS pattern; constant-RHS "
+        "eCFDs map to single-tuple DCs separately");
+  }
+  std::vector<DcPredicate> preds;
+  for (int a : ecfd.lhs().ToVector()) {
+    preds.push_back(DcPredicate{DcOperand::TupleA(a), CmpOp::kEq,
+                                DcOperand::TupleB(a)});
+    const PatternItem* it = ecfd.pattern().Find(a);
+    if (it != nullptr && !it->is_wildcard) {
+      preds.push_back(DcPredicate{DcOperand::TupleA(a), it->op,
+                                  DcOperand::Const(it->constant)});
+    }
+  }
+  preds.push_back(DcPredicate{DcOperand::TupleA(rhs_attrs[0]), CmpOp::kNeq,
+                              DcOperand::TupleB(rhs_attrs[0])});
+  return Dc(std::move(preds));
+}
+
+Result<Sd> SdFromOd(const Od& od) {
+  if (od.lhs().size() != 1 || od.rhs().size() != 1) {
+    return Status::Invalid("SD embedding takes unary ODs");
+  }
+  const MarkedAttr& x = od.lhs()[0];
+  const MarkedAttr& y = od.rhs()[0];
+  if (x.mark != OrderMark::kLeq) {
+    return Status::Invalid(
+        "SD embedding sorts ascending; normalize the OD to an '<=' LHS "
+        "mark first");
+  }
+  if (x.attr == y.attr) {
+    return Status::Invalid("SD embedding needs distinct order/target attrs");
+  }
+  Interval gap = (y.mark == OrderMark::kLeq || y.mark == OrderMark::kLt)
+                     ? Interval::AtLeast(0.0)
+                     : Interval::AtMost(0.0);
+  return Sd(x.attr, y.attr, gap);
+}
+
+Csd CsdFromSd(const Sd& sd) {
+  Csd::TableauRow row{-std::numeric_limits<double>::infinity(),
+                      std::numeric_limits<double>::infinity(), sd.gap()};
+  return Csd(sd.order_attr(), sd.target_attr(), {row});
+}
+
+// --------------------------------------------------------------------
+// Random generators for the property-test harness.
+namespace {
+
+/// Random non-empty attribute set over nc columns, avoiding `avoid`.
+AttrSet RandomAttrs(Rng& rng, int nc, AttrSet avoid = AttrSet(),
+                    int max_size = 2) {
+  AttrSet out;
+  int attempts = 0;
+  int want = static_cast<int>(rng.Uniform(1, max_size));
+  while (out.size() < want && attempts < 64) {
+    int a = static_cast<int>(rng.Uniform(0, nc - 1));
+    if (!avoid.Contains(a)) out.Add(a);
+    ++attempts;
+  }
+  if (out.empty()) {
+    for (int a = 0; a < nc; ++a) {
+      if (!avoid.Contains(a)) {
+        out.Add(a);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Fd RandomFd(Rng& rng, const Relation& relation, bool disjoint = false) {
+  int nc = relation.num_columns();
+  AttrSet lhs = RandomAttrs(rng, nc);
+  AttrSet rhs = RandomAttrs(rng, nc, disjoint ? lhs : AttrSet(), 1);
+  return Fd(lhs, rhs);
+}
+
+Ned RandomNed(Rng& rng, const Relation& relation, int rhs_count) {
+  int nc = relation.num_columns();
+  std::vector<Ned::Predicate> lhs, rhs;
+  int nl = static_cast<int>(rng.Uniform(1, 2));
+  for (int i = 0; i < nl; ++i) {
+    int a = static_cast<int>(rng.Uniform(0, nc - 1));
+    MetricPtr m = DefaultMetricFor(relation.schema().column(a).type);
+    lhs.push_back(Ned::Predicate{a, m, static_cast<double>(rng.Uniform(0, 5))});
+  }
+  for (int i = 0; i < rhs_count; ++i) {
+    int a = static_cast<int>(rng.Uniform(0, nc - 1));
+    MetricPtr m = DefaultMetricFor(relation.schema().column(a).type);
+    rhs.push_back(Ned::Predicate{a, m, static_cast<double>(rng.Uniform(0, 5))});
+  }
+  return Ned(std::move(lhs), std::move(rhs));
+}
+
+Cfd RandomCfd(Rng& rng, const Relation& relation, bool wildcard_rhs) {
+  // Disjoint sides: a pattern item must belong to exactly one side.
+  Fd fd = RandomFd(rng, relation, /*disjoint=*/true);
+  std::vector<PatternItem> items;
+  for (int a : fd.lhs().ToVector()) {
+    if (rng.Bernoulli(0.5) && relation.num_rows() > 0) {
+      int row = static_cast<int>(rng.Uniform(0, relation.num_rows() - 1));
+      items.push_back(PatternItem::Const(a, relation.Get(row, a)));
+    } else {
+      items.push_back(PatternItem::Wildcard(a));
+    }
+  }
+  for (int a : fd.rhs().ToVector()) {
+    if (!wildcard_rhs && rng.Bernoulli(0.3) && relation.num_rows() > 0) {
+      int row = static_cast<int>(rng.Uniform(0, relation.num_rows() - 1));
+      items.push_back(PatternItem::Const(a, relation.Get(row, a)));
+    } else {
+      items.push_back(PatternItem::Wildcard(a));
+    }
+  }
+  return Cfd(fd.lhs(), fd.rhs(), PatternTuple(std::move(items)));
+}
+
+Od RandomUnaryOd(Rng& rng, const Relation& relation, bool lhs_leq_only) {
+  int nc = relation.num_columns();
+  int x = static_cast<int>(rng.Uniform(0, nc - 1));
+  int y = static_cast<int>(rng.Uniform(0, nc - 1));
+  if (y == x) y = (x + 1) % nc;
+  auto mark = [&rng]() {
+    switch (rng.Uniform(0, 3)) {
+      case 0: return OrderMark::kLeq;
+      case 1: return OrderMark::kLt;
+      case 2: return OrderMark::kGeq;
+      default: return OrderMark::kGt;
+    }
+  };
+  OrderMark mx = lhs_leq_only ? OrderMark::kLeq : mark();
+  OrderMark my = rng.Bernoulli(0.5) ? OrderMark::kLeq : OrderMark::kGeq;
+  return Od({MarkedAttr{x, mx}}, {MarkedAttr{y, my}});
+}
+
+template <typename T>
+DependencyPtr Ptr(T dep) {
+  return std::make_shared<T>(std::move(dep));
+}
+
+}  // namespace
+
+const std::vector<CheckableEdge>& AllCheckableEdges() {
+  using DCl = DependencyClass;
+  auto eq = EdgeKind::kSpecialCaseEquivalence;
+  auto impl = EdgeKind::kImplication;
+  static const std::vector<CheckableEdge>& edges = *new std::vector<
+      CheckableEdge>{
+      {DCl::kFd, DCl::kSfd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Fd fd = RandomFd(rng, r);
+         return EmbeddedPair{Ptr(fd), Ptr(SfdFromFd(fd))};
+       }},
+      {DCl::kFd, DCl::kPfd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Fd fd = RandomFd(rng, r);
+         return EmbeddedPair{Ptr(fd), Ptr(PfdFromFd(fd))};
+       }},
+      {DCl::kFd, DCl::kAfd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Fd fd = RandomFd(rng, r);
+         return EmbeddedPair{Ptr(fd), Ptr(AfdFromFd(fd))};
+       }},
+      {DCl::kFd, DCl::kNud, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Fd fd = RandomFd(rng, r);
+         return EmbeddedPair{Ptr(fd), Ptr(NudFromFd(fd))};
+       }},
+      {DCl::kFd, DCl::kCfd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Fd fd = RandomFd(rng, r);
+         return EmbeddedPair{Ptr(fd), Ptr(CfdFromFd(fd))};
+       }},
+      {DCl::kCfd, DCl::kEcfd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Cfd cfd = RandomCfd(rng, r, /*wildcard_rhs=*/false);
+         return EmbeddedPair{Ptr(cfd), Ptr(EcfdFromCfd(cfd))};
+       }},
+      {DCl::kFd, DCl::kMvd, impl, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Fd fd = RandomFd(rng, r, /*disjoint=*/true);
+         return EmbeddedPair{Ptr(fd), Ptr(MvdFromFd(fd).value())};
+       }},
+      {DCl::kMvd, DCl::kFhd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Fd fd = RandomFd(rng, r, /*disjoint=*/true);
+         Mvd mvd = MvdFromFd(fd).value();
+         return EmbeddedPair{Ptr(mvd), Ptr(FhdFromMvd(mvd))};
+       }},
+      {DCl::kMvd, DCl::kAmvd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Fd fd = RandomFd(rng, r, /*disjoint=*/true);
+         Mvd mvd = MvdFromFd(fd).value();
+         return EmbeddedPair{Ptr(mvd), Ptr(AmvdFromMvd(mvd))};
+       }},
+      {DCl::kFd, DCl::kMfd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Fd fd = RandomFd(rng, r);
+         return EmbeddedPair{Ptr(fd), Ptr(MfdFromFd(fd))};
+       }},
+      {DCl::kMfd, DCl::kNed, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Mfd mfd = MfdFromFd(RandomFd(rng, r));
+         return EmbeddedPair{Ptr(mfd), Ptr(NedFromMfd(mfd))};
+       }},
+      {DCl::kNed, DCl::kDd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Ned ned = RandomNed(rng, r, /*rhs_count=*/1);
+         return EmbeddedPair{Ptr(ned), Ptr(DdFromNed(ned))};
+       }},
+      {DCl::kDd, DCl::kCdd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Dd dd = DdFromNed(RandomNed(rng, r, 1));
+         return EmbeddedPair{Ptr(dd), Ptr(CddFromDd(dd))};
+       }},
+      {DCl::kCfd, DCl::kCdd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Cfd cfd = RandomCfd(rng, r, /*wildcard_rhs=*/true);
+         return EmbeddedPair{Ptr(cfd), Ptr(CddFromCfd(cfd).value())};
+       }},
+      {DCl::kNed, DCl::kCd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Ned ned = RandomNed(rng, r, 1);
+         return EmbeddedPair{Ptr(ned), Ptr(CdFromNed(ned).value())};
+       }},
+      {DCl::kNed, DCl::kPac, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Ned ned = RandomNed(rng, r, /*rhs_count=*/2);
+         return EmbeddedPair{Ptr(ned), Ptr(PacFromNed(ned))};
+       }},
+      {DCl::kFd, DCl::kFfd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Fd fd = RandomFd(rng, r);
+         return EmbeddedPair{Ptr(fd), Ptr(FfdFromFd(fd))};
+       }},
+      {DCl::kFd, DCl::kMd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Fd fd = RandomFd(rng, r);
+         return EmbeddedPair{Ptr(fd), Ptr(MdFromFd(fd))};
+       }},
+      {DCl::kMd, DCl::kCmd, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         Md md = MdFromFd(RandomFd(rng, r));
+         return EmbeddedPair{Ptr(md), Ptr(CmdFromMd(md))};
+       }},
+      {DCl::kOfd, DCl::kOd, eq, EdgeDataNeed::kNumeric,
+       [](Rng& rng, const Relation& r) {
+         int nc = r.num_columns();
+         AttrSet lhs = RandomAttrs(rng, nc);
+         AttrSet rhs = RandomAttrs(rng, nc, AttrSet(), 1);
+         Ofd ofd(lhs, rhs, OrderingKind::kPointwise);
+         return EmbeddedPair{Ptr(ofd), Ptr(OdFromOfd(ofd))};
+       }},
+      {DCl::kOd, DCl::kDc, eq, EdgeDataNeed::kNumeric,
+       [](Rng& rng, const Relation& r) {
+         Od od = RandomUnaryOd(rng, r, /*lhs_leq_only=*/false);
+         return EmbeddedPair{Ptr(od), Ptr(DcFromOd(od).value())};
+       }},
+      {DCl::kEcfd, DCl::kDc, eq, EdgeDataNeed::kAny,
+       [](Rng& rng, const Relation& r) {
+         // Single-attribute RHS, wildcard RHS pattern.
+         Cfd base = RandomCfd(rng, r, /*wildcard_rhs=*/true);
+         std::vector<int> rhs = base.rhs().ToVector();
+         Ecfd ecfd(base.lhs(), AttrSet::Single(rhs[0]), base.pattern());
+         return EmbeddedPair{Ptr(ecfd), Ptr(DcFromEcfd(ecfd).value())};
+       }},
+      {DCl::kOd, DCl::kSd, eq, EdgeDataNeed::kUniqueNumericFirstColumn,
+       [](Rng& rng, const Relation& r) {
+         int nc = r.num_columns();
+         int y = static_cast<int>(rng.Uniform(1, nc - 1));
+         OrderMark my = rng.Bernoulli(0.5) ? OrderMark::kLeq : OrderMark::kGeq;
+         Od od({MarkedAttr{0, OrderMark::kLeq}}, {MarkedAttr{y, my}});
+         return EmbeddedPair{Ptr(od), Ptr(SdFromOd(od).value())};
+       }},
+      {DCl::kSd, DCl::kCsd, eq, EdgeDataNeed::kNumeric,
+       [](Rng& rng, const Relation& r) {
+         int nc = r.num_columns();
+         int y = static_cast<int>(rng.Uniform(1, nc - 1));
+         double lo = static_cast<double>(rng.Uniform(-3, 0));
+         double hi = static_cast<double>(rng.Uniform(0, 3));
+         Sd sd(0, y, Interval::Between(lo, hi));
+         return EmbeddedPair{Ptr(sd), Ptr(CsdFromSd(sd))};
+       }},
+  };
+  return edges;
+}
+
+}  // namespace famtree

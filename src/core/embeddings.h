@@ -1,0 +1,117 @@
+#ifndef FAMTREE_CORE_EMBEDDINGS_H_
+#define FAMTREE_CORE_EMBEDDINGS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/family_tree.h"
+#include "deps/afd.h"
+#include "deps/cd.h"
+#include "deps/cdd.h"
+#include "deps/cfd.h"
+#include "deps/cmd.h"
+#include "deps/dc.h"
+#include "deps/dd.h"
+#include "deps/dependency.h"
+#include "deps/ecfd.h"
+#include "deps/fd.h"
+#include "deps/ffd.h"
+#include "deps/fhd.h"
+#include "deps/md.h"
+#include "deps/mfd.h"
+#include "deps/mvd.h"
+#include "deps/ned.h"
+#include "deps/nud.h"
+#include "deps/od.h"
+#include "deps/ofd.h"
+#include "deps/pac.h"
+#include "deps/pfd.h"
+#include "deps/sd.h"
+#include "deps/sfd.h"
+
+namespace famtree {
+
+/// Typed special-case converters: each function realizes one arrow of
+/// Fig. 1 by embedding a parent-class dependency into the child class at
+/// the boundary setting the paper names (s = 1, eps = 0, empty condition,
+/// ...). Converters returning Result reject inputs outside the special
+/// case they implement.
+
+Sfd SfdFromFd(const Fd& fd);                       // s = 1 (S2.1.2)
+Pfd PfdFromFd(const Fd& fd);                       // p = 1 (S2.2.2)
+Afd AfdFromFd(const Fd& fd);                       // eps = 0 (S2.3.2)
+Nud NudFromFd(const Fd& fd);                       // k = 1 (S2.4.2)
+Cfd CfdFromFd(const Fd& fd);                       // wildcard t_p (S2.5.2)
+Ecfd EcfdFromCfd(const Cfd& cfd);                  // '=' ops only (S2.5.5)
+/// Requires disjoint LHS/RHS. Implication, not equivalence (S2.6.2).
+Result<Mvd> MvdFromFd(const Fd& fd);
+Fhd FhdFromMvd(const Mvd& mvd);                    // one block (S2.6.5)
+Amvd AmvdFromMvd(const Mvd& mvd);                  // eps = 0 (S2.6.6)
+Mfd MfdFromFd(const Fd& fd);                       // delta = 0 (S3.1.2)
+Ned NedFromMfd(const Mfd& mfd);                    // zero LHS thr (S3.2.2)
+Dd DdFromNed(const Ned& ned);                      // [0, d] ranges (S3.3.2)
+Cdd CddFromDd(const Dd& dd);                       // empty cond (S3.3.5)
+/// Requires a wildcard RHS pattern (constant-RHS CFDs have single-tuple
+/// semantics a CDD condition cannot express).
+Result<Cdd> CddFromCfd(const Cfd& cfd);
+/// Requires exactly one RHS predicate (a CD has a single RHS function).
+Result<Cd> CdFromNed(const Ned& ned);
+Pac PacFromNed(const Ned& ned);                    // delta = 1 (S3.5.2)
+Ffd FfdFromFd(const Fd& fd);                       // crisp EQUAL (S3.6.2)
+Md MdFromFd(const Fd& fd);                         // identity ~ (S3.7.2)
+Cmd CmdFromMd(const Md& md);                       // empty cond (S3.7.5)
+Od OdFromOfd(const Ofd& ofd);                      // all '<=' (S4.2.2)
+/// Requires a single RHS marked attribute (one DC per RHS mark otherwise).
+Result<Dc> DcFromOd(const Od& od);
+/// Requires a single RHS attribute and wildcard RHS pattern.
+Result<Dc> DcFromEcfd(const Ecfd& ecfd);
+/// Requires lhs mark '<=' and a single RHS mark on another attribute;
+/// exact on relations whose order attribute has distinct values (S4.4.2).
+Result<Sd> SdFromOd(const Od& od);
+Csd CsdFromSd(const Sd& sd);                       // full-range row (S4.4.5)
+
+/// --- Property-test harness -------------------------------------------
+
+/// What the equivalence check needs from test relations.
+enum class EdgeDataNeed {
+  /// Any mix of value types works.
+  kAny,
+  /// Numeric columns only (order/gap semantics).
+  kNumeric,
+  /// Numeric columns and distinct values in column 0 (consecutive-pair
+  /// semantics of SDs vs all-pairs semantics of ODs).
+  kUniqueNumericFirstColumn,
+};
+
+/// A randomly generated (parent, child) instance pair for one edge.
+struct EmbeddedPair {
+  DependencyPtr parent;
+  DependencyPtr child;
+};
+
+/// Generates a random parent dependency over `relation`'s schema together
+/// with its embedded child special case.
+using EmbeddingGenerator =
+    std::function<EmbeddedPair(Rng& rng, const Relation& relation)>;
+
+/// One checkable edge of Fig. 1: for random relations (matching `need`)
+/// and random instances, parent.Holds == child.Holds when `kind` is
+/// equivalence, and parent.Holds implies child.Holds otherwise.
+struct CheckableEdge {
+  DependencyClass from;
+  DependencyClass to;
+  EdgeKind kind;
+  EdgeDataNeed need;
+  EmbeddingGenerator generate;
+};
+
+/// All 24 edges of the family tree with their generators. The fig1 bench
+/// and tests/family_tree_property_test.cc iterate this.
+const std::vector<CheckableEdge>& AllCheckableEdges();
+
+}  // namespace famtree
+
+#endif  // FAMTREE_CORE_EMBEDDINGS_H_

@@ -1,0 +1,223 @@
+#include "core/family_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace famtree {
+
+namespace {
+using DC = DependencyClass;
+}  // namespace
+
+FamilyTree::FamilyTree() {
+  auto eq = EdgeKind::kSpecialCaseEquivalence;
+  auto impl = EdgeKind::kImplication;
+  edges_ = {
+      // Categorical branch (Section 2).
+      {DC::kFd, DC::kSfd, eq, "FDs are SFDs with strength s = 1 (S2.1.2)"},
+      {DC::kFd, DC::kPfd, eq, "FDs are PFDs with probability p = 1 (S2.2.2)"},
+      {DC::kFd, DC::kAfd, eq, "FDs are AFDs with error eps = 0 (S2.3.2)"},
+      {DC::kFd, DC::kNud, eq, "FDs are NUDs with weight k = 1 (S2.4.2)"},
+      {DC::kFd, DC::kCfd, eq,
+       "FDs are CFDs whose pattern tuple has no constants (S2.5.2)"},
+      {DC::kCfd, DC::kEcfd, eq,
+       "CFDs are eCFDs restricted to '=' pattern operators (S2.5.5)"},
+      {DC::kFd, DC::kMvd, impl,
+       "every FD X -> Y is an MVD X ->> Y; the converse fails (S2.6.2)"},
+      {DC::kMvd, DC::kFhd, eq, "MVDs are FHDs with a single block (S2.6.5)"},
+      {DC::kMvd, DC::kAmvd, eq,
+       "MVDs are AMVDs with accuracy eps = 0 (S2.6.6)"},
+      // Heterogeneous branch (Section 3).
+      {DC::kFd, DC::kMfd, eq, "FDs are MFDs with delta = 0 (S3.1.2)"},
+      {DC::kMfd, DC::kNed, eq,
+       "MFDs are NEDs with zero LHS distance thresholds (S3.2.2)"},
+      {DC::kNed, DC::kDd, eq,
+       "NEDs are DDs with 'similar' ([0, d]) ranges only (S3.3.2)"},
+      {DC::kDd, DC::kCdd, eq, "DDs are CDDs with an empty condition (S3.3.5)"},
+      {DC::kCfd, DC::kCdd, eq,
+       "CFDs are CDDs with discrete metrics and zero ranges (S3.3.5)"},
+      {DC::kNed, DC::kCd, eq,
+       "NEDs are CDs whose similarity functions compare an attribute with "
+       "itself (S3.4.2)"},
+      {DC::kNed, DC::kPac, eq,
+       "NEDs are PACs with confidence delta = 1 (S3.5.2)"},
+      {DC::kFd, DC::kFfd, eq,
+       "FDs are FFDs under crisp resemblance relations (S3.6.2)"},
+      {DC::kFd, DC::kMd, eq,
+       "FDs are MDs whose similarity operators demand identity (S3.7.2)"},
+      {DC::kMd, DC::kCmd, eq, "MDs are CMDs with an empty condition (S3.7.5)"},
+      // Numerical branch (Section 4).
+      {DC::kOfd, DC::kOd, eq,
+       "OFDs are ODs with all marks '<=' (S4.2.2)"},
+      {DC::kOd, DC::kDc, eq,
+       "ODs rewrite as DCs denying the broken ordering (S4.3.2)"},
+      {DC::kEcfd, DC::kDc, eq,
+       "eCFDs rewrite as DCs with equality and constant predicates "
+       "(S4.3.3)"},
+      {DC::kOd, DC::kSd, eq,
+       "ODs are SDs with one-sided gap intervals (S4.4.2)"},
+      {DC::kSd, DC::kCsd, eq,
+       "SDs are CSDs whose tableau holds the full range (S4.4.5)"},
+  };
+}
+
+const FamilyTree& FamilyTree::Get() {
+  static const FamilyTree& tree = *new FamilyTree();
+  return tree;
+}
+
+std::vector<DependencyClass> FamilyTree::Parents(DependencyClass cls) const {
+  std::vector<DependencyClass> out;
+  for (const auto& e : edges_) {
+    if (e.to == cls) out.push_back(e.from);
+  }
+  return out;
+}
+
+std::vector<DependencyClass> FamilyTree::Children(DependencyClass cls) const {
+  std::vector<DependencyClass> out;
+  for (const auto& e : edges_) {
+    if (e.from == cls) out.push_back(e.to);
+  }
+  return out;
+}
+
+bool FamilyTree::Subsumes(DependencyClass descendant,
+                          DependencyClass ancestor) const {
+  if (descendant == ancestor) return true;
+  // BFS over extension edges from ancestor towards descendants.
+  std::set<DependencyClass> seen{ancestor};
+  std::vector<DependencyClass> frontier{ancestor};
+  while (!frontier.empty()) {
+    std::vector<DependencyClass> next;
+    for (DependencyClass c : frontier) {
+      for (DependencyClass child : Children(c)) {
+        if (child == descendant) return true;
+        if (seen.insert(child).second) next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return false;
+}
+
+std::vector<DependencyClass> FamilyTree::Generalizations(
+    DependencyClass cls) const {
+  std::vector<DependencyClass> out;
+  for (DependencyClass c : AllDependencyClasses()) {
+    if (c != cls && Subsumes(c, cls)) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<DependencyClass> FamilyTree::TimelineOrder() const {
+  std::vector<DependencyClass> order = AllDependencyClasses();
+  std::sort(order.begin(), order.end(), [](DependencyClass a,
+                                           DependencyClass b) {
+    const ClassInfo& ia = GetClassInfo(a);
+    const ClassInfo& ib = GetClassInfo(b);
+    if (ia.year != ib.year) return ia.year < ib.year;
+    return std::string(DependencyClassAcronym(a)) <
+           std::string(DependencyClassAcronym(b));
+  });
+  return order;
+}
+
+std::vector<DependencyClass> FamilyTree::Suggest(
+    const std::vector<DataCategory>& categories, Application task) const {
+  // A class qualifies when it (or a class it subsumes) is registered for
+  // the task, and its own category — or a subsumed class's category —
+  // covers every requested data category. Following the paper's intro
+  // example, DCs qualify for repairing over categorical + numerical data
+  // because they subsume eCFDs (categorical) and ODs (numerical).
+  std::vector<DependencyClass> out;
+  for (DependencyClass c : AllDependencyClasses()) {
+    const ClassInfo& info = GetClassInfo(c);
+    bool supports_task =
+        std::find(info.applications.begin(), info.applications.end(), task) !=
+        info.applications.end();
+    if (!supports_task) continue;
+    // Categories covered by c itself or anything c subsumes.
+    std::set<DataCategory> covered{info.category};
+    for (DependencyClass other : AllDependencyClasses()) {
+      if (other != c && Subsumes(c, other)) {
+        covered.insert(GetClassInfo(other).category);
+      }
+    }
+    bool all = true;
+    for (DataCategory want : categories) {
+      if (!covered.count(want)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(c);
+  }
+  return out;
+}
+
+std::string FamilyTree::RenderAscii() const {
+  // Roots: classes that extend nothing.
+  std::string out = "Family tree of data dependency extensions (Fig. 1A)\n";
+  out += "an edge A --> B means: B extends/generalizes/subsumes A\n\n";
+  // Render as indented forest via DFS from roots; nodes with multiple
+  // parents appear under each parent (the tree is a DAG).
+  std::vector<DependencyClass> roots;
+  for (DependencyClass c : AllDependencyClasses()) {
+    if (Parents(c).empty()) roots.push_back(c);
+  }
+  std::sort(roots.begin(), roots.end(), [](DependencyClass a,
+                                           DependencyClass b) {
+    return GetClassInfo(a).year < GetClassInfo(b).year;
+  });
+  struct Frame {
+    DependencyClass cls;
+    int depth;
+  };
+  for (DependencyClass root : roots) {
+    std::vector<Frame> stack{{root, 0}};
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      const ClassInfo& info = GetClassInfo(f.cls);
+      for (int i = 0; i < f.depth; ++i) out += "  ";
+      if (f.depth > 0) out += "+-> ";
+      out += DependencyClassAcronym(f.cls);
+      out += "  (" + std::to_string(info.year) + ", " +
+             DataCategoryName(info.category) + ", " +
+             std::to_string(info.publications) + " pubs)\n";
+      std::vector<DependencyClass> kids = Children(f.cls);
+      std::sort(kids.rbegin(), kids.rend(), [](DependencyClass a,
+                                               DependencyClass b) {
+        return GetClassInfo(a).year < GetClassInfo(b).year;
+      });
+      for (DependencyClass k : kids) stack.push_back({k, f.depth + 1});
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string FamilyTree::RenderTimeline() const {
+  std::string out = "Timeline of data dependency proposals (Fig. 2)\n\n";
+  std::map<int, std::vector<DependencyClass>> by_year;
+  for (DependencyClass c : AllDependencyClasses()) {
+    by_year[GetClassInfo(c).year].push_back(c);
+  }
+  for (const auto& [year, classes] : by_year) {
+    out += std::to_string(year) + "  ";
+    std::vector<std::string> names;
+    for (DependencyClass c : classes) {
+      names.push_back(DependencyClassAcronym(c));
+    }
+    std::sort(names.begin(), names.end());
+    out += Join(names, ", ");
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace famtree

@@ -1,0 +1,78 @@
+#ifndef FAMTREE_CORE_FAMILY_TREE_H_
+#define FAMTREE_CORE_FAMILY_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/class_info.h"
+#include "deps/dependency.h"
+
+namespace famtree {
+
+/// How a family-tree edge relates parent and child semantics.
+enum class EdgeKind {
+  /// The parent class is *exactly* the child class at a boundary setting
+  /// (FD == SFD with s = 1): the embedded special case holds iff the
+  /// parent dependency holds, on every instance.
+  kSpecialCaseEquivalence,
+  /// The parent implies the embedded child but not conversely on a fixed
+  /// LHS/RHS (FD X->Y implies MVD X->>Y; the MVD can hold without the FD).
+  kImplication,
+};
+
+/// One extension arrow of Fig. 1: `to` extends/generalizes/subsumes `from`.
+struct ExtensionEdge {
+  DependencyClass from;
+  DependencyClass to;
+  EdgeKind kind;
+  /// The paper's justification, e.g. "FDs are SFDs with strength 1 (S2.1.2)".
+  std::string note;
+};
+
+/// The family tree of Fig. 1A: 24 nodes (dependency classes) and the
+/// extension edges between them. The tree is a static registry; the
+/// embedding generators in core/embeddings.h make every edge *checkable*
+/// by property tests instead of a mere claim.
+class FamilyTree {
+ public:
+  /// The singleton tree (immutable).
+  static const FamilyTree& Get();
+
+  const std::vector<ExtensionEdge>& edges() const { return edges_; }
+
+  /// Classes directly extended by `cls` (its parents in the tree).
+  std::vector<DependencyClass> Parents(DependencyClass cls) const;
+  /// Classes that directly extend `cls` (its children).
+  std::vector<DependencyClass> Children(DependencyClass cls) const;
+
+  /// True iff `descendant` transitively extends `ancestor` (or equals it).
+  bool Subsumes(DependencyClass descendant, DependencyClass ancestor) const;
+
+  /// All classes that transitively subsume `cls`, i.e. have at least its
+  /// expressive power.
+  std::vector<DependencyClass> Generalizations(DependencyClass cls) const;
+
+  /// Classes in Fig. 2 timeline order (by proposal year, ties by acronym).
+  std::vector<DependencyClass> TimelineOrder() const;
+
+  /// The paper's guidance query (Section 1): which dependency classes
+  /// support application `task` over all the given data categories?
+  /// E.g. repairing over {categorical, numerical} suggests DCs.
+  std::vector<DependencyClass> Suggest(
+      const std::vector<DataCategory>& categories, Application task) const;
+
+  /// ASCII rendering of Fig. 1A (roots at the left, arrows to the right).
+  std::string RenderAscii() const;
+
+  /// ASCII rendering of Fig. 2 (timeline of proposals).
+  std::string RenderTimeline() const;
+
+ private:
+  FamilyTree();
+
+  std::vector<ExtensionEdge> edges_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_CORE_FAMILY_TREE_H_

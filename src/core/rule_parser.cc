@@ -1,0 +1,445 @@
+#include "core/rule_parser.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "deps/afd.h"
+#include "deps/cfd.h"
+#include "deps/dc.h"
+#include "deps/dd.h"
+#include "deps/ecfd.h"
+#include "deps/fd.h"
+#include "deps/md.h"
+#include "deps/mfd.h"
+#include "deps/mvd.h"
+#include "deps/ned.h"
+#include "deps/nud.h"
+#include "deps/od.h"
+#include "deps/ofd.h"
+#include "deps/pfd.h"
+#include "deps/sd.h"
+#include "deps/sfd.h"
+#include "metric/metric.h"
+
+namespace famtree {
+
+namespace {
+
+Status Bad(const std::string& what, const std::string& line) {
+  return Status::Invalid(what + " in rule: " + line);
+}
+
+/// Column-default metric.
+MetricPtr MetricFor(const Schema& schema, int attr) {
+  return DefaultMetricFor(schema.column(attr).type);
+}
+
+Result<int> ResolveAttr(const Schema& schema, std::string_view name) {
+  return schema.IndexOf(std::string(Trim(name)));
+}
+
+/// Splits "a, b, c" into attribute indices.
+Result<AttrSet> ParseAttrList(const std::string& text, const Schema& schema) {
+  AttrSet out;
+  for (const std::string& part : Split(text, ',')) {
+    if (Trim(part).empty()) return Status::Invalid("empty attribute name");
+    FAMTREE_ASSIGN_OR_RETURN(int attr, ResolveAttr(schema, part));
+    out.Add(attr);
+  }
+  if (out.empty()) return Status::Invalid("empty attribute list");
+  return out;
+}
+
+/// Splits on `sep` at nesting depth zero w.r.t. (), [] and quotes.
+std::vector<std::string> SplitTop(const std::string& text,
+                                  const std::string& sep) {
+  std::vector<std::string> out;
+  int depth = 0;
+  bool quoted = false;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (quoted) {
+      if (c == '\'') quoted = false;
+      continue;
+    }
+    if (c == '\'') quoted = true;
+    if (c == '(' || c == '[') ++depth;
+    if (c == ')' || c == ']') --depth;
+    if (depth == 0 && text.compare(i, sep.size(), sep) == 0) {
+      out.push_back(text.substr(start, i - start));
+      start = i + sep.size();
+      i += sep.size() - 1;
+    }
+  }
+  out.push_back(text.substr(start));
+  return out;
+}
+
+/// Parses "head(arg)" or "head[lo,hi]" returning head and the bracket
+/// contents; arg empty when absent.
+void SplitHead(const std::string& head, std::string* name, std::string* arg,
+               char open = '(', char close = ')') {
+  size_t pos = head.find(open);
+  if (pos == std::string::npos || head.back() != close) {
+    *name = std::string(Trim(head));
+    arg->clear();
+    return;
+  }
+  *name = std::string(Trim(head.substr(0, pos)));
+  *arg = head.substr(pos + 1, head.size() - pos - 2);
+}
+
+Result<double> ParseNumber(const std::string& text) {
+  std::string t(Trim(text));
+  if (t == "inf") return std::numeric_limits<double>::infinity();
+  if (t == "-inf") return -std::numeric_limits<double>::infinity();
+  double v;
+  if (!ParseDouble(t, &v)) return Status::Invalid("bad number '" + t + "'");
+  return v;
+}
+
+/// "attr(<=5)" / "attr(>=2)" / "attr([1,3])" / "attr((=4))" — the
+/// differential-function item of DDs.
+Result<DifferentialFunction> ParseDiffFn(const std::string& text,
+                                         const Schema& schema) {
+  size_t open = text.find('(');
+  if (open == std::string::npos || text.back() != ')') {
+    return Status::Invalid("expected attr(range) in '" + text + "'");
+  }
+  FAMTREE_ASSIGN_OR_RETURN(int attr,
+                           ResolveAttr(schema, text.substr(0, open)));
+  std::string range(Trim(text.substr(open + 1, text.size() - open - 2)));
+  DistRange r;
+  if (StartsWith(range, "<=")) {
+    FAMTREE_ASSIGN_OR_RETURN(double v, ParseNumber(range.substr(2)));
+    r = DistRange::AtMost(v);
+  } else if (StartsWith(range, ">=")) {
+    FAMTREE_ASSIGN_OR_RETURN(double v, ParseNumber(range.substr(2)));
+    r = DistRange::AtLeast(v);
+  } else if (StartsWith(range, "=")) {
+    FAMTREE_ASSIGN_OR_RETURN(double v, ParseNumber(range.substr(1)));
+    r = DistRange::Exactly(v);
+  } else if (StartsWith(range, "[") && EndsWith(range, "]")) {
+    auto parts = Split(range.substr(1, range.size() - 2), ',');
+    if (parts.size() != 2) return Status::Invalid("bad range " + range);
+    FAMTREE_ASSIGN_OR_RETURN(double lo, ParseNumber(parts[0]));
+    FAMTREE_ASSIGN_OR_RETURN(double hi, ParseNumber(parts[1]));
+    r = DistRange::Between(lo, hi);
+  } else {
+    return Status::Invalid("bad range '" + range + "'");
+  }
+  return DifferentialFunction(attr, MetricFor(schema, attr), r);
+}
+
+/// Value literal: 'quoted string', integer, or double.
+Result<Value> ParseValueLiteral(const std::string& text) {
+  std::string t(Trim(text));
+  if (t.size() >= 2 && t.front() == '\'' && t.back() == '\'') {
+    return Value(t.substr(1, t.size() - 2));
+  }
+  long long iv;
+  if (ParseInt64(t, &iv)) return Value(static_cast<int64_t>(iv));
+  double dv;
+  if (ParseDouble(t, &dv)) return Value(dv);
+  return Status::Invalid("bad value literal '" + t + "'");
+}
+
+/// Finds the longest comparison operator at the current split point.
+Result<CmpOp> ParseOp(const std::string& op) {
+  if (op == "=") return CmpOp::kEq;
+  if (op == "!=") return CmpOp::kNeq;
+  if (op == "<") return CmpOp::kLt;
+  if (op == "<=") return CmpOp::kLe;
+  if (op == ">") return CmpOp::kGt;
+  if (op == ">=") return CmpOp::kGe;
+  return Status::Invalid("bad operator '" + op + "'");
+}
+
+/// One CFD/eCFD pattern item: "attr=_", "attr='v'", "attr<=200", ...
+Result<PatternItem> ParsePatternItem(const std::string& text,
+                                     const Schema& schema) {
+  // Find the operator (longest match first).
+  static const char* kOps[] = {"<=", ">=", "!=", "=", "<", ">"};
+  for (const char* op : kOps) {
+    size_t pos = text.find(op);
+    if (pos == std::string::npos) continue;
+    FAMTREE_ASSIGN_OR_RETURN(int attr,
+                             ResolveAttr(schema, text.substr(0, pos)));
+    std::string rhs(Trim(text.substr(pos + std::string(op).size())));
+    if (rhs == "_") return PatternItem::Wildcard(attr);
+    FAMTREE_ASSIGN_OR_RETURN(CmpOp cmp, ParseOp(op));
+    FAMTREE_ASSIGN_OR_RETURN(Value v, ParseValueLiteral(rhs));
+    return PatternItem::Const(attr, std::move(v), cmp);
+  }
+  return Status::Invalid("bad pattern item '" + text + "'");
+}
+
+/// "[item, item, ...]" -> items + the attribute set they cover.
+Result<std::vector<PatternItem>> ParsePatternList(const std::string& text,
+                                                  const Schema& schema,
+                                                  AttrSet* attrs) {
+  std::string t(Trim(text));
+  if (t.size() < 2 || t.front() != '[' || t.back() != ']') {
+    return Status::Invalid("expected [pattern items] in '" + text + "'");
+  }
+  std::vector<PatternItem> items;
+  for (const std::string& part : SplitTop(t.substr(1, t.size() - 2), ",")) {
+    FAMTREE_ASSIGN_OR_RETURN(PatternItem item,
+                             ParsePatternItem(std::string(Trim(part)), schema));
+    attrs->Add(item.attr);
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+/// DC operand: "ta.col", "tb.col" or a value literal.
+Result<DcOperand> ParseDcOperand(const std::string& text,
+                                 const Schema& schema) {
+  std::string t(Trim(text));
+  if (StartsWith(t, "ta.") || StartsWith(t, "tb.")) {
+    FAMTREE_ASSIGN_OR_RETURN(int attr, ResolveAttr(schema, t.substr(3)));
+    return StartsWith(t, "ta.") ? DcOperand::TupleA(attr)
+                                : DcOperand::TupleB(attr);
+  }
+  FAMTREE_ASSIGN_OR_RETURN(Value v, ParseValueLiteral(t));
+  return DcOperand::Const(std::move(v));
+}
+
+Result<DependencyPtr> ParseDc(const std::string& body, const Schema& schema,
+                              const std::string& line) {
+  std::string t(Trim(body));
+  if (!StartsWith(t, "not(") || !EndsWith(t, ")")) {
+    return Bad("expected not(...)", line);
+  }
+  std::string inner = t.substr(4, t.size() - 5);
+  std::vector<DcPredicate> preds;
+  for (const std::string& part : SplitTop(inner, " and ")) {
+    // Find the comparison operator at top level.
+    static const char* kOps[] = {"<=", ">=", "!=", "=", "<", ">"};
+    bool done = false;
+    for (const char* op : kOps) {
+      size_t pos = part.find(op);
+      if (pos == std::string::npos) continue;
+      FAMTREE_ASSIGN_OR_RETURN(DcOperand lhs,
+                               ParseDcOperand(part.substr(0, pos), schema));
+      FAMTREE_ASSIGN_OR_RETURN(
+          DcOperand rhs,
+          ParseDcOperand(part.substr(pos + std::string(op).size()), schema));
+      FAMTREE_ASSIGN_OR_RETURN(CmpOp cmp, ParseOp(op));
+      preds.push_back(DcPredicate{std::move(lhs), cmp, std::move(rhs)});
+      done = true;
+      break;
+    }
+    if (!done) return Bad("bad predicate '" + part + "'", line);
+  }
+  if (preds.empty()) return Bad("empty DC", line);
+  return DependencyPtr(new Dc(std::move(preds)));
+}
+
+}  // namespace
+
+Result<DependencyPtr> ParseRule(const std::string& raw,
+                                const Schema& schema) {
+  std::string line(Trim(raw));
+  size_t colon = line.find(':');
+  if (colon == std::string::npos) {
+    return Bad("expected 'kind: body'", line);
+  }
+  std::string head = line.substr(0, colon);
+  std::string body(Trim(line.substr(colon + 1)));
+  std::string kind, arg;
+  SplitHead(head, &kind, &arg);
+  // sd uses square-bracket head: sd[100,200].
+  if (kind.find('[') != std::string::npos) {
+    SplitHead(head, &kind, &arg, '[', ']');
+  }
+  kind = ToLower(kind);
+
+  // DCs have their own shape.
+  if (kind == "dc") return ParseDc(body, schema, line);
+
+  // CFD/eCFD: [items] -> [items].
+  if (kind == "cfd" || kind == "ecfd") {
+    auto sides = SplitTop(body, "->");
+    if (sides.size() != 2) return Bad("expected one '->'", line);
+    AttrSet lhs_attrs, rhs_attrs;
+    FAMTREE_ASSIGN_OR_RETURN(
+        std::vector<PatternItem> lhs_items,
+        ParsePatternList(std::string(Trim(sides[0])), schema, &lhs_attrs));
+    FAMTREE_ASSIGN_OR_RETURN(
+        std::vector<PatternItem> rhs_items,
+        ParsePatternList(std::string(Trim(sides[1])), schema, &rhs_attrs));
+    std::vector<PatternItem> items = lhs_items;
+    for (auto& it : rhs_items) items.push_back(it);
+    // Drop pure wildcards: they only declare membership.
+    std::vector<PatternItem> constants;
+    for (auto& it : items) {
+      if (!it.is_wildcard) constants.push_back(it);
+    }
+    if (kind == "cfd") {
+      return DependencyPtr(
+          new Cfd(lhs_attrs, rhs_attrs, PatternTuple(std::move(constants))));
+    }
+    return DependencyPtr(
+        new Ecfd(lhs_attrs, rhs_attrs, PatternTuple(std::move(constants))));
+  }
+
+  // Everything else splits on an arrow.
+  const std::string arrow = kind == "mvd" || kind == "amvd" ? "->>" : "->";
+  auto sides = SplitTop(body, arrow);
+  if (sides.size() != 2) return Bad("expected one '" + arrow + "'", line);
+  std::string lhs_text(Trim(sides[0]));
+  std::string rhs_text(Trim(sides[1]));
+  // ofd arrow variant "->P".
+  if (kind == "ofd" && StartsWith(rhs_text, "P")) {
+    rhs_text = std::string(Trim(rhs_text.substr(1)));
+  }
+
+  auto need_arg = [&](const char* what) -> Result<double> {
+    if (arg.empty()) return Status::Invalid(std::string(what) + " missing");
+    return ParseNumber(arg);
+  };
+
+  if (kind == "fd" || kind == "sfd" || kind == "pfd" || kind == "afd" ||
+      kind == "nud" || kind == "mvd" || kind == "mfd" || kind == "ofd") {
+    FAMTREE_ASSIGN_OR_RETURN(AttrSet lhs, ParseAttrList(lhs_text, schema));
+    FAMTREE_ASSIGN_OR_RETURN(AttrSet rhs, ParseAttrList(rhs_text, schema));
+    if (kind == "fd") return DependencyPtr(new Fd(lhs, rhs));
+    if (kind == "mvd") return DependencyPtr(new Mvd(lhs, rhs));
+    if (kind == "ofd") return DependencyPtr(new Ofd(lhs, rhs));
+    FAMTREE_ASSIGN_OR_RETURN(double threshold, need_arg("threshold"));
+    if (kind == "sfd") return DependencyPtr(new Sfd(lhs, rhs, threshold));
+    if (kind == "pfd") return DependencyPtr(new Pfd(lhs, rhs, threshold));
+    if (kind == "afd") return DependencyPtr(new Afd(lhs, rhs, threshold));
+    if (kind == "nud") {
+      return DependencyPtr(new Nud(lhs, rhs, static_cast<int>(threshold)));
+    }
+    // mfd: one constraint per RHS attribute, default metrics.
+    std::vector<MetricConstraint> constraints;
+    for (int a : rhs.ToVector()) {
+      constraints.push_back(
+          MetricConstraint{a, MetricFor(schema, a), threshold});
+    }
+    return DependencyPtr(new Mfd(lhs, std::move(constraints)));
+  }
+
+  if (kind == "ned") {
+    auto parse_preds = [&](const std::string& text)
+        -> Result<std::vector<Ned::Predicate>> {
+      std::vector<Ned::Predicate> preds;
+      for (const std::string& part : SplitTop(text, ",")) {
+        auto bits = Split(std::string(Trim(part)), '^');
+        if (bits.size() != 2) {
+          return Status::Invalid("expected attr^threshold in '" + part + "'");
+        }
+        FAMTREE_ASSIGN_OR_RETURN(int attr, ResolveAttr(schema, bits[0]));
+        FAMTREE_ASSIGN_OR_RETURN(double th, ParseNumber(bits[1]));
+        preds.push_back(Ned::Predicate{attr, MetricFor(schema, attr), th});
+      }
+      return preds;
+    };
+    FAMTREE_ASSIGN_OR_RETURN(auto lhs, parse_preds(lhs_text));
+    FAMTREE_ASSIGN_OR_RETURN(auto rhs, parse_preds(rhs_text));
+    return DependencyPtr(new Ned(std::move(lhs), std::move(rhs)));
+  }
+
+  if (kind == "dd") {
+    auto parse_fns = [&](const std::string& text)
+        -> Result<std::vector<DifferentialFunction>> {
+      std::vector<DifferentialFunction> fns;
+      for (const std::string& part : SplitTop(text, ",")) {
+        FAMTREE_ASSIGN_OR_RETURN(
+            DifferentialFunction fn,
+            ParseDiffFn(std::string(Trim(part)), schema));
+        fns.push_back(std::move(fn));
+      }
+      return fns;
+    };
+    FAMTREE_ASSIGN_OR_RETURN(auto lhs, parse_fns(lhs_text));
+    FAMTREE_ASSIGN_OR_RETURN(auto rhs, parse_fns(rhs_text));
+    return DependencyPtr(new Dd(std::move(lhs), std::move(rhs)));
+  }
+
+  if (kind == "md") {
+    std::vector<SimilarityPredicate> lhs;
+    for (const std::string& part : SplitTop(lhs_text, ",")) {
+      auto bits = Split(std::string(Trim(part)), '~');
+      if (bits.size() != 2) {
+        return Bad("expected attr~threshold in '" + part + "'", line);
+      }
+      FAMTREE_ASSIGN_OR_RETURN(int attr, ResolveAttr(schema, bits[0]));
+      FAMTREE_ASSIGN_OR_RETURN(double th, ParseNumber(bits[1]));
+      lhs.push_back(SimilarityPredicate{attr, MetricFor(schema, attr), th});
+    }
+    FAMTREE_ASSIGN_OR_RETURN(AttrSet rhs, ParseAttrList(rhs_text, schema));
+    return DependencyPtr(new Md(std::move(lhs), rhs));
+  }
+
+  if (kind == "od") {
+    auto parse_marks = [&](const std::string& text)
+        -> Result<std::vector<MarkedAttr>> {
+      std::vector<MarkedAttr> marks;
+      for (const std::string& part : SplitTop(text, ",")) {
+        std::string t(Trim(part));
+        size_t caret = t.rfind('^');
+        if (caret == std::string::npos) {
+          return Status::Invalid("expected attr^mark in '" + t + "'");
+        }
+        FAMTREE_ASSIGN_OR_RETURN(int attr,
+                                 ResolveAttr(schema, t.substr(0, caret)));
+        std::string mark = t.substr(caret + 1);
+        OrderMark m;
+        if (mark == "<=") m = OrderMark::kLeq;
+        else if (mark == "<") m = OrderMark::kLt;
+        else if (mark == ">=") m = OrderMark::kGeq;
+        else if (mark == ">") m = OrderMark::kGt;
+        else return Status::Invalid("bad mark '^" + mark + "'");
+        marks.push_back(MarkedAttr{attr, m});
+      }
+      return marks;
+    };
+    FAMTREE_ASSIGN_OR_RETURN(auto lhs, parse_marks(lhs_text));
+    FAMTREE_ASSIGN_OR_RETURN(auto rhs, parse_marks(rhs_text));
+    return DependencyPtr(new Od(std::move(lhs), std::move(rhs)));
+  }
+
+  if (kind == "sd") {
+    if (arg.empty()) return Bad("sd needs [lo,hi]", line);
+    auto parts = Split(arg, ',');
+    if (parts.size() != 2) return Bad("sd needs [lo,hi]", line);
+    FAMTREE_ASSIGN_OR_RETURN(double lo, ParseNumber(parts[0]));
+    FAMTREE_ASSIGN_OR_RETURN(double hi, ParseNumber(parts[1]));
+    FAMTREE_ASSIGN_OR_RETURN(AttrSet lhs, ParseAttrList(lhs_text, schema));
+    FAMTREE_ASSIGN_OR_RETURN(AttrSet rhs, ParseAttrList(rhs_text, schema));
+    if (lhs.size() != 1 || rhs.size() != 1) {
+      return Bad("sd takes single attributes", line);
+    }
+    return DependencyPtr(new Sd(lhs.ToVector()[0], rhs.ToVector()[0],
+                                Interval::Between(lo, hi)));
+  }
+
+  return Bad("unknown rule kind '" + kind + "'", line);
+}
+
+Result<std::vector<DependencyPtr>> ParseRules(const std::string& text,
+                                              const Schema& schema) {
+  std::vector<DependencyPtr> out;
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string line(Trim(raw));
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = std::string(Trim(line.substr(0, hash)));
+    if (line.empty()) continue;
+    auto rule = ParseRule(line, schema);
+    if (!rule.ok()) {
+      return Status::Invalid("line " + std::to_string(line_no) + ": " +
+                             rule.status().message());
+    }
+    out.push_back(std::move(rule).value());
+  }
+  return out;
+}
+
+}  // namespace famtree

@@ -1,0 +1,53 @@
+#ifndef FAMTREE_CORE_RULE_PARSER_H_
+#define FAMTREE_CORE_RULE_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "deps/dependency.h"
+#include "relation/schema.h"
+
+namespace famtree {
+
+/// Parses one textual rule against a schema. Attribute names are resolved
+/// through the schema; thresholds/metrics use the column-type defaults
+/// (edit distance for strings, |a-b| for numerics).
+///
+/// Supported syntax (one rule per line; '#' starts a comment):
+///
+///   fd:   address -> region
+///   sfd(0.9):  address -> region          # strength threshold
+///   pfd(0.75): address -> region          # probability threshold
+///   afd(0.25): address -> region          # g3 error bound
+///   nud(2):    address -> region          # fanout weight
+///   mvd:  address, rate ->> region
+///   mfd(500):  name, region -> price      # delta on every RHS attr
+///   ned:  name^1, address^5 -> street^5   # distance thresholds
+///   dd:   name(<=1), street(<=5) -> address(<=5)
+///         # ranges: (<=x), (>=x), [lo,hi], (=x)
+///   md:   street~5, region~2 -> zip       # similarity -> identify
+///   od:   nights^<= -> avg/night^>=       # marks: ^<=, ^<, ^>=, ^>
+///   ofd:  subtotal ->P taxes              # pointwise order
+///   sd[100,200]: nights -> subtotal       # gap interval; inf/-inf ok
+///   cfd:  [region='Jackson', name=_] -> [address=_]
+///   ecfd: [rate<=200, name=_] -> [address=_]
+///   dc:   not(ta.subtotal < tb.subtotal and ta.taxes > tb.taxes)
+///         # operands: ta.col, tb.col, numbers, 'string constants'
+///
+/// The remaining classes (FHDs, AMVDs, CDDs, CDs, PACs, FFDs, CMDs, CSDs)
+/// carry structure (blocks, resemblance relations, tableaux, similarity
+/// functions) that does not fit a one-line syntax; construct those via the
+/// typed API.
+Result<DependencyPtr> ParseRule(const std::string& line,
+                                const Schema& schema);
+
+/// Parses a rule file / multi-line text: one rule per line, blank lines
+/// and '#' comments ignored. Fails on the first bad line, reporting its
+/// number.
+Result<std::vector<DependencyPtr>> ParseRules(const std::string& text,
+                                              const Schema& schema);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_CORE_RULE_PARSER_H_

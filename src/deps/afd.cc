@@ -1,0 +1,48 @@
+#include "deps/afd.h"
+
+#include "common/strings.h"
+#include "relation/partition.h"
+
+namespace famtree {
+
+double Afd::G3Error(const Relation& relation, AttrSet lhs, AttrSet rhs) {
+  StrippedPartition x = StrippedPartition::ForAttributeSet(relation, lhs);
+  return x.FdError(relation, rhs);
+}
+
+std::string Afd::ToString(const Schema* schema) const {
+  return internal::AttrNames(schema, lhs_) + " ->_eps=" +
+         FormatDouble(max_error_) + " " + internal::AttrNames(schema, rhs_);
+}
+
+Result<ValidationReport> Afd::Validate(const Relation& relation,
+                                       int max_violations) const {
+  int nc = relation.num_columns();
+  if (!AttrSet::Full(nc).ContainsAll(lhs_.Union(rhs_))) {
+    return Status::Invalid("AFD refers to attributes outside the schema");
+  }
+  if (max_error_ < 0.0 || max_error_ > 1.0) {
+    return Status::Invalid("AFD error threshold must be in [0, 1]");
+  }
+  ValidationReport report;
+  report.measure = G3Error(relation, lhs_, rhs_);
+  report.holds = report.measure <= max_error_;
+  if (!report.holds) {
+    // Witnesses: non-plurality rows per violating group.
+    for (const auto& group : relation.GroupBy(lhs_)) {
+      if (group.size() < 2) continue;
+      for (size_t j = 1; j < group.size(); ++j) {
+        if (!relation.AgreeOn(group[0], group[j], rhs_)) {
+          internal::RecordViolation(
+              &report, max_violations,
+              Violation{{group[0], group[j]}, "exception tuple under g3"});
+          break;
+        }
+      }
+    }
+    report.holds = false;
+  }
+  return report;
+}
+
+}  // namespace famtree

@@ -1,0 +1,38 @@
+#ifndef FAMTREE_DEPS_AFD_H_
+#define FAMTREE_DEPS_AFD_H_
+
+#include <string>
+
+#include "deps/dependency.h"
+
+namespace famtree {
+
+/// An approximate functional dependency X ->_eps Y (Section 2.3, [61]):
+/// the g3 error — the minimum fraction of tuples to delete so that X -> Y
+/// holds — must stay within eps. An FD is exactly an AFD with eps = 0.
+class Afd : public Dependency {
+ public:
+  Afd(AttrSet lhs, AttrSet rhs, double max_error)
+      : lhs_(lhs), rhs_(rhs), max_error_(max_error) {}
+
+  AttrSet lhs() const { return lhs_; }
+  AttrSet rhs() const { return rhs_; }
+  double max_error() const { return max_error_; }
+
+  /// g3(X -> Y, r): per X-group keep the plurality Y value; count the rest.
+  static double G3Error(const Relation& relation, AttrSet lhs, AttrSet rhs);
+
+  DependencyClass cls() const override { return DependencyClass::kAfd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  AttrSet lhs_;
+  AttrSet rhs_;
+  double max_error_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_AFD_H_

@@ -1,0 +1,90 @@
+#include "deps/cd.h"
+
+#include "common/strings.h"
+#include "deps/dependency.h"
+
+namespace famtree {
+
+bool SimilarityFunction::Similar(const Relation& relation, int row1,
+                                 int row2) const {
+  const Value& a1 = relation.Get(row1, attr_i);
+  const Value& a2 = relation.Get(row2, attr_i);
+  const Value& b1 = relation.Get(row1, attr_j);
+  const Value& b2 = relation.Get(row2, attr_j);
+  auto within = [this](const Value& x, const Value& y, double t) {
+    if (x.is_null() || y.is_null()) return false;
+    return metric->Distance(x, y) <= t;
+  };
+  if (within(a1, a2, max_dist_ii)) return true;
+  if (attr_i == attr_j) return false;
+  if (within(a1, b2, max_dist_ij) || within(b1, a2, max_dist_ij)) return true;
+  if (within(b1, b2, max_dist_jj)) return true;
+  return false;
+}
+
+std::string SimilarityFunction::ToString(const Schema* schema) const {
+  std::string ai = internal::AttrName(schema, attr_i);
+  if (attr_i == attr_j) {
+    return "theta(" + ai + ")[<=" + FormatDouble(max_dist_ii) + "]";
+  }
+  std::string aj = internal::AttrName(schema, attr_j);
+  return "theta(" + ai + "," + aj + ")[" + ai + "~" + ai + "<=" +
+         FormatDouble(max_dist_ii) + ", " + ai + "~" + aj + "<=" +
+         FormatDouble(max_dist_ij) + ", " + aj + "~" + aj + "<=" +
+         FormatDouble(max_dist_jj) + "]";
+}
+
+std::string Cd::ToString(const Schema* schema) const {
+  std::string out;
+  for (size_t i = 0; i < lhs_.size(); ++i) {
+    if (i) out += " /\\ ";
+    out += lhs_[i].ToString(schema);
+  }
+  return out + " -> " + rhs_.ToString(schema);
+}
+
+Result<ValidationReport> Cd::Validate(const Relation& relation,
+                                      int max_violations) const {
+  int nc = relation.num_columns();
+  auto check = [nc](const SimilarityFunction& f) {
+    if (f.attr_i < 0 || f.attr_i >= nc || f.attr_j < 0 || f.attr_j >= nc) {
+      return Status::Invalid("CD refers to attributes outside the schema");
+    }
+    if (f.metric == nullptr) return Status::Invalid("CD metric missing");
+    return Status::OK();
+  };
+  for (const auto& f : lhs_) FAMTREE_RETURN_NOT_OK(check(f));
+  FAMTREE_RETURN_NOT_OK(check(rhs_));
+  if (lhs_.empty()) return Status::Invalid("CD needs LHS functions");
+
+  ValidationReport report;
+  int n = relation.num_rows();
+  int64_t lhs_pairs = 0, ok_pairs = 0;
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      bool all = true;
+      for (const auto& f : lhs_) {
+        if (!f.Similar(relation, i, j)) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) continue;
+      ++lhs_pairs;
+      if (rhs_.Similar(relation, i, j)) {
+        ++ok_pairs;
+      } else {
+        internal::RecordViolation(
+            &report, max_violations,
+            Violation{{i, j},
+                      "comparable on LHS functions but not on RHS"});
+      }
+    }
+  }
+  report.holds = report.violation_count == 0;
+  report.measure =
+      lhs_pairs == 0 ? 1.0 : static_cast<double>(ok_pairs) / lhs_pairs;
+  return report;
+}
+
+}  // namespace famtree

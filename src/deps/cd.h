@@ -1,0 +1,55 @@
+#ifndef FAMTREE_DEPS_CD_H_
+#define FAMTREE_DEPS_CD_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/dependency.h"
+#include "metric/metric.h"
+
+namespace famtree {
+
+/// A similarity function theta(Ai, Aj) over two (often synonym) attributes
+/// in a dataspace (Section 3.4.1): two tuples are similar w.r.t. theta when
+/// at least one of the three comparisons Ai~Ai, Ai~Aj, Aj~Aj is within its
+/// threshold. Absent (null) attribute values fail their comparisons, which
+/// is what makes the disjunction valuable on heterogeneous sources.
+struct SimilarityFunction {
+  int attr_i = 0;
+  int attr_j = 0;
+  MetricPtr metric;
+  double max_dist_ii = 0.0;
+  double max_dist_ij = 0.0;
+  double max_dist_jj = 0.0;
+
+  /// Is the pair (row1, row2) similar w.r.t. this function?
+  bool Similar(const Relation& relation, int row1, int row2) const;
+
+  std::string ToString(const Schema* schema) const;
+};
+
+/// A comparable dependency /\ theta(Ai, Aj) -> theta(Bi, Bj)
+/// (Section 3.4, [91], [92]): pairs similar under every LHS similarity
+/// function must be similar under the RHS one. NEDs are the special case
+/// where every function compares an attribute with itself.
+class Cd : public Dependency {
+ public:
+  Cd(std::vector<SimilarityFunction> lhs, SimilarityFunction rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  const std::vector<SimilarityFunction>& lhs() const { return lhs_; }
+  const SimilarityFunction& rhs() const { return rhs_; }
+
+  DependencyClass cls() const override { return DependencyClass::kCd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  std::vector<SimilarityFunction> lhs_;
+  SimilarityFunction rhs_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_CD_H_

@@ -1,0 +1,55 @@
+#include "deps/cdd.h"
+
+namespace famtree {
+
+std::string Cdd::ToString(const Schema* schema) const {
+  AttrSet cond_attrs;
+  for (const auto& it : condition_.items()) cond_attrs.Add(it.attr);
+  std::string cond = condition_.empty()
+                         ? "(true)"
+                         : condition_.ToString(schema, cond_attrs);
+  return cond + " : " + DifferentialFunctionsToString(lhs_, schema) + " -> " +
+         DifferentialFunctionsToString(rhs_, schema);
+}
+
+Result<ValidationReport> Cdd::Validate(const Relation& relation,
+                                       int max_violations) const {
+  FAMTREE_RETURN_NOT_OK(CheckDifferentialFunctions(lhs_, relation, "CDD"));
+  FAMTREE_RETURN_NOT_OK(CheckDifferentialFunctions(rhs_, relation, "CDD"));
+  if (rhs_.empty()) return Status::Invalid("CDD needs a dependent function");
+  for (const auto& it : condition_.items()) {
+    if (it.attr < 0 || it.attr >= relation.num_columns()) {
+      return Status::Invalid("CDD condition outside the schema");
+    }
+  }
+  AttrSet all = AttrSet::Full(relation.num_columns());
+  // Restrict to tuples matching the condition pattern, then run DD logic.
+  std::vector<int> matching;
+  for (int row = 0; row < relation.num_rows(); ++row) {
+    if (condition_.Matches(relation, row, all)) matching.push_back(row);
+  }
+  ValidationReport report;
+  int64_t lhs_pairs = 0, ok_pairs = 0;
+  for (size_t a = 0; a + 1 < matching.size(); ++a) {
+    for (size_t b = a + 1; b < matching.size(); ++b) {
+      int i = matching[a], j = matching[b];
+      if (!AllSatisfied(lhs_, relation, i, j)) continue;
+      ++lhs_pairs;
+      if (AllSatisfied(rhs_, relation, i, j)) {
+        ++ok_pairs;
+      } else {
+        internal::RecordViolation(
+            &report, max_violations,
+            Violation{{i, j},
+                      "pair under condition satisfies LHS ranges but not "
+                      "RHS"});
+      }
+    }
+  }
+  report.holds = report.violation_count == 0;
+  report.measure =
+      lhs_pairs == 0 ? 1.0 : static_cast<double>(ok_pairs) / lhs_pairs;
+  return report;
+}
+
+}  // namespace famtree

@@ -1,0 +1,43 @@
+#ifndef FAMTREE_DEPS_CDD_H_
+#define FAMTREE_DEPS_CDD_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/dd.h"
+#include "deps/dependency.h"
+#include "deps/pattern.h"
+
+namespace famtree {
+
+/// A conditional differential dependency (Section 3.3.5, [66]): a DD that
+/// only applies to the tuples matching a categorical condition pattern,
+/// e.g. "in region 'Chicago', similar name implies similar address". CDDs
+/// extend both DDs (condition = all wildcards) and CFDs (differential
+/// functions with discrete-metric zero ranges, condition pattern on X).
+class Cdd : public Dependency {
+ public:
+  Cdd(PatternTuple condition, std::vector<DifferentialFunction> lhs,
+      std::vector<DifferentialFunction> rhs)
+      : condition_(std::move(condition)),
+        lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  const PatternTuple& condition() const { return condition_; }
+  const std::vector<DifferentialFunction>& lhs() const { return lhs_; }
+  const std::vector<DifferentialFunction>& rhs() const { return rhs_; }
+
+  DependencyClass cls() const override { return DependencyClass::kCdd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  PatternTuple condition_;
+  std::vector<DifferentialFunction> lhs_;
+  std::vector<DifferentialFunction> rhs_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_CDD_H_

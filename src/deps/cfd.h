@@ -1,0 +1,50 @@
+#ifndef FAMTREE_DEPS_CFD_H_
+#define FAMTREE_DEPS_CFD_H_
+
+#include <string>
+
+#include "deps/dependency.h"
+#include "deps/pattern.h"
+
+namespace famtree {
+
+/// A conditional functional dependency (X -> Y, t_p) (Section 2.5, [11]):
+/// the embedded FD X -> Y holds on the subset of tuples matching the
+/// pattern tuple t_p. Pattern items on X select the subset; constant items
+/// on Y additionally pin the dependent value. CFD pattern items only use
+/// equality against constants (eCFDs lift this, see ecfd.h).
+///
+/// Semantics (standard, Fan et al. [34]): for all tuples t1, t2 matching
+/// t_p[X], t1[X] = t2[X] implies t1[Y] = t2[Y] and t1[Y], t2[Y] match
+/// t_p[Y]. Constant RHS patterns therefore yield single-tuple violations.
+class Cfd : public Dependency {
+ public:
+  Cfd(AttrSet lhs, AttrSet rhs, PatternTuple pattern)
+      : lhs_(lhs), rhs_(rhs), pattern_(std::move(pattern)) {}
+
+  AttrSet lhs() const { return lhs_; }
+  AttrSet rhs() const { return rhs_; }
+  const PatternTuple& pattern() const { return pattern_; }
+
+  /// A constant CFD has constants on every LHS and RHS attribute
+  /// (CFDMiner's target class).
+  bool IsConstant() const;
+
+  /// Number of tuples matching the LHS pattern — the support used by CFD
+  /// discovery (Section 2.5.3).
+  int Support(const Relation& relation) const;
+
+  DependencyClass cls() const override { return DependencyClass::kCfd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  AttrSet lhs_;
+  AttrSet rhs_;
+  PatternTuple pattern_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_CFD_H_

@@ -1,0 +1,70 @@
+#include "deps/cfd_tableau.h"
+
+namespace famtree {
+
+Result<CfdTableau> CfdTableau::FromCfds(const std::vector<Cfd>& rows) {
+  if (rows.empty()) {
+    return Status::Invalid("tableau needs at least one pattern row");
+  }
+  AttrSet lhs = rows[0].lhs();
+  AttrSet rhs = rows[0].rhs();
+  std::vector<PatternTuple> tableau;
+  for (const Cfd& cfd : rows) {
+    if (cfd.lhs() != lhs || cfd.rhs() != rhs) {
+      return Status::Invalid("tableau rows must share one embedded FD");
+    }
+    tableau.push_back(cfd.pattern());
+  }
+  return CfdTableau(lhs, rhs, std::move(tableau));
+}
+
+int CfdTableau::Coverage(const Relation& relation) const {
+  int covered = 0;
+  for (int row = 0; row < relation.num_rows(); ++row) {
+    for (const PatternTuple& pattern : tableau_) {
+      if (pattern.Matches(relation, row, lhs_)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return covered;
+}
+
+std::string CfdTableau::ToString(const Schema* schema) const {
+  std::string out = internal::AttrNames(schema, lhs_) + " -> " +
+                    internal::AttrNames(schema, rhs_) + ", T = {";
+  for (size_t i = 0; i < tableau_.size(); ++i) {
+    if (i) out += "; ";
+    out += tableau_[i].ToString(schema, lhs_.Union(rhs_));
+  }
+  out += "}";
+  return out;
+}
+
+Result<ValidationReport> CfdTableau::Validate(const Relation& relation,
+                                              int max_violations) const {
+  if (tableau_.empty()) {
+    return Status::Invalid("tableau needs at least one pattern row");
+  }
+  ValidationReport combined;
+  combined.measure = Coverage(relation);
+  for (const PatternTuple& pattern : tableau_) {
+    Cfd row_cfd(lhs_, rhs_, pattern);
+    FAMTREE_ASSIGN_OR_RETURN(
+        ValidationReport report,
+        row_cfd.Validate(relation,
+                         max_violations -
+                             static_cast<int>(combined.violations.size())));
+    combined.violation_count += report.violation_count;
+    for (Violation& v : report.violations) {
+      if (static_cast<int>(combined.violations.size()) < max_violations) {
+        combined.violations.push_back(std::move(v));
+      }
+    }
+  }
+  combined.holds = combined.violation_count == 0;
+  return combined;
+}
+
+}  // namespace famtree

@@ -1,0 +1,47 @@
+#ifndef FAMTREE_DEPS_CFD_TABLEAU_H_
+#define FAMTREE_DEPS_CFD_TABLEAU_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/cfd.h"
+#include "deps/dependency.h"
+
+namespace famtree {
+
+/// A CFD with a pattern *tableau* — the form the literature actually
+/// defines ([11], [34]): one embedded FD X -> Y plus a set of pattern
+/// tuples T = {t_p1, ..., t_pk}; the instance must satisfy (X -> Y, t_p)
+/// for every row of the tableau. Golab et al.'s tableau generation [49]
+/// (BuildGreedyTableau) produces exactly this object's rows.
+class CfdTableau : public Dependency {
+ public:
+  CfdTableau(AttrSet lhs, AttrSet rhs, std::vector<PatternTuple> tableau)
+      : lhs_(lhs), rhs_(rhs), tableau_(std::move(tableau)) {}
+
+  /// Builds from per-row CFDs sharing one embedded FD (e.g. the output of
+  /// BuildGreedyTableau). Fails when the embedded FDs differ.
+  static Result<CfdTableau> FromCfds(const std::vector<Cfd>& rows);
+
+  AttrSet lhs() const { return lhs_; }
+  AttrSet rhs() const { return rhs_; }
+  const std::vector<PatternTuple>& tableau() const { return tableau_; }
+
+  /// Tuples matching at least one tableau row's LHS pattern — the
+  /// coverage measure tableau generation maximizes [49].
+  int Coverage(const Relation& relation) const;
+
+  DependencyClass cls() const override { return DependencyClass::kCfd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  AttrSet lhs_;
+  AttrSet rhs_;
+  std::vector<PatternTuple> tableau_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_CFD_TABLEAU_H_

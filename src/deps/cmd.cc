@@ -1,0 +1,36 @@
+#include "deps/cmd.h"
+
+namespace famtree {
+
+std::string Cmd::ToString(const Schema* schema) const {
+  AttrSet cond_attrs;
+  for (const auto& it : condition_.items()) cond_attrs.Add(it.attr);
+  std::string cond = condition_.empty()
+                         ? "(true)"
+                         : condition_.ToString(schema, cond_attrs);
+  return cond + " : " + md_.ToString(schema);
+}
+
+Result<ValidationReport> Cmd::Validate(const Relation& relation,
+                                       int max_violations) const {
+  for (const auto& it : condition_.items()) {
+    if (it.attr < 0 || it.attr >= relation.num_columns()) {
+      return Status::Invalid("CMD condition outside the schema");
+    }
+  }
+  AttrSet all = AttrSet::Full(relation.num_columns());
+  std::vector<int> matching;
+  for (int row = 0; row < relation.num_rows(); ++row) {
+    if (condition_.Matches(relation, row, all)) matching.push_back(row);
+  }
+  Relation subset = relation.Select(matching);
+  FAMTREE_ASSIGN_OR_RETURN(ValidationReport report,
+                           md_.Validate(subset, max_violations));
+  // Re-map row indices from the subset back to the original relation.
+  for (auto& v : report.violations) {
+    for (int& row : v.rows) row = matching[row];
+  }
+  return report;
+}
+
+}  // namespace famtree

@@ -1,0 +1,39 @@
+#ifndef FAMTREE_DEPS_CMD_H_
+#define FAMTREE_DEPS_CMD_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/dependency.h"
+#include "deps/md.h"
+#include "deps/pattern.h"
+
+namespace famtree {
+
+/// A conditional matching dependency (Section 3.7.5, [110]): a matching
+/// rule that only applies to the tuples matching a condition pattern —
+/// CMDs extend MDs exactly as CFDs extend FDs. The g3-style error of a CMD
+/// (minimum tuples to remove so it holds) drives its NP-complete discovery
+/// problem; we expose the measure for the discovery module.
+class Cmd : public Dependency {
+ public:
+  Cmd(PatternTuple condition, std::vector<SimilarityPredicate> lhs,
+      AttrSet rhs)
+      : condition_(std::move(condition)), md_(std::move(lhs), rhs) {}
+
+  const PatternTuple& condition() const { return condition_; }
+  const Md& embedded_md() const { return md_; }
+
+  DependencyClass cls() const override { return DependencyClass::kCmd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  PatternTuple condition_;
+  Md md_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_CMD_H_

@@ -1,0 +1,49 @@
+#include "deps/dd.h"
+
+namespace famtree {
+
+int64_t Dd::Support(const Relation& relation) const {
+  int64_t support = 0;
+  int n = relation.num_rows();
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (AllSatisfied(lhs_, relation, i, j)) ++support;
+    }
+  }
+  return support;
+}
+
+std::string Dd::ToString(const Schema* schema) const {
+  return DifferentialFunctionsToString(lhs_, schema) + " -> " +
+         DifferentialFunctionsToString(rhs_, schema);
+}
+
+Result<ValidationReport> Dd::Validate(const Relation& relation,
+                                      int max_violations) const {
+  FAMTREE_RETURN_NOT_OK(CheckDifferentialFunctions(lhs_, relation, "DD"));
+  FAMTREE_RETURN_NOT_OK(CheckDifferentialFunctions(rhs_, relation, "DD"));
+  if (rhs_.empty()) return Status::Invalid("DD needs a dependent function");
+  ValidationReport report;
+  int n = relation.num_rows();
+  int64_t lhs_pairs = 0, ok_pairs = 0;
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (!AllSatisfied(lhs_, relation, i, j)) continue;
+      ++lhs_pairs;
+      if (AllSatisfied(rhs_, relation, i, j)) {
+        ++ok_pairs;
+      } else {
+        internal::RecordViolation(
+            &report, max_violations,
+            Violation{{i, j},
+                      "pair satisfies LHS distance ranges but not RHS"});
+      }
+    }
+  }
+  report.holds = report.violation_count == 0;
+  report.measure =
+      lhs_pairs == 0 ? 1.0 : static_cast<double>(ok_pairs) / lhs_pairs;
+  return report;
+}
+
+}  // namespace famtree

@@ -1,0 +1,42 @@
+#ifndef FAMTREE_DEPS_DD_H_
+#define FAMTREE_DEPS_DD_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/dependency.h"
+#include "deps/differential.h"
+
+namespace famtree {
+
+/// A differential dependency phi[X] -> phi[Y] (Section 3.3, [86]): any pair
+/// of tuples whose distances satisfy every LHS differential function must
+/// also satisfy every RHS differential function. Ranges may express both
+/// "similar" ([0, d]) and "dissimilar" ([d, inf)) semantics; NEDs are the
+/// special case of all-"similar" ranges.
+class Dd : public Dependency {
+ public:
+  Dd(std::vector<DifferentialFunction> lhs,
+     std::vector<DifferentialFunction> rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  const std::vector<DifferentialFunction>& lhs() const { return lhs_; }
+  const std::vector<DifferentialFunction>& rhs() const { return rhs_; }
+
+  /// Support: number of tuple pairs satisfying the LHS pattern (used by
+  /// DD discovery to prune uninteresting rules).
+  int64_t Support(const Relation& relation) const;
+
+  DependencyClass cls() const override { return DependencyClass::kDd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  std::vector<DifferentialFunction> lhs_;
+  std::vector<DifferentialFunction> rhs_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_DD_H_

@@ -1,0 +1,104 @@
+#include "deps/dependency.h"
+
+namespace famtree {
+
+const char* DependencyClassAcronym(DependencyClass cls) {
+  switch (cls) {
+    case DependencyClass::kFd: return "FDs";
+    case DependencyClass::kSfd: return "SFDs";
+    case DependencyClass::kPfd: return "PFDs";
+    case DependencyClass::kAfd: return "AFDs";
+    case DependencyClass::kNud: return "NUDs";
+    case DependencyClass::kCfd: return "CFDs";
+    case DependencyClass::kEcfd: return "eCFDs";
+    case DependencyClass::kMvd: return "MVDs";
+    case DependencyClass::kFhd: return "FHDs";
+    case DependencyClass::kAmvd: return "AMVDs";
+    case DependencyClass::kMfd: return "MFDs";
+    case DependencyClass::kNed: return "NEDs";
+    case DependencyClass::kDd: return "DDs";
+    case DependencyClass::kCdd: return "CDDs";
+    case DependencyClass::kCd: return "CDs";
+    case DependencyClass::kPac: return "PACs";
+    case DependencyClass::kFfd: return "FFDs";
+    case DependencyClass::kMd: return "MDs";
+    case DependencyClass::kCmd: return "CMDs";
+    case DependencyClass::kOfd: return "OFDs";
+    case DependencyClass::kOd: return "ODs";
+    case DependencyClass::kDc: return "DCs";
+    case DependencyClass::kSd: return "SDs";
+    case DependencyClass::kCsd: return "CSDs";
+  }
+  return "?";
+}
+
+const char* DependencyClassFullName(DependencyClass cls) {
+  switch (cls) {
+    case DependencyClass::kFd: return "Functional Dependencies";
+    case DependencyClass::kSfd: return "Soft Functional Dependencies";
+    case DependencyClass::kPfd: return "Probabilistic Functional Dependencies";
+    case DependencyClass::kAfd: return "Approximate Functional Dependencies";
+    case DependencyClass::kNud: return "Numerical Dependencies";
+    case DependencyClass::kCfd: return "Conditional Functional Dependencies";
+    case DependencyClass::kEcfd: return "extended CFDs";
+    case DependencyClass::kMvd: return "Multivalued Dependencies";
+    case DependencyClass::kFhd: return "Full Hierarchical Dependencies";
+    case DependencyClass::kAmvd: return "Approximate MVDs";
+    case DependencyClass::kMfd: return "Metric Functional Dependencies";
+    case DependencyClass::kNed: return "Neighborhood Dependencies";
+    case DependencyClass::kDd: return "Differential Dependencies";
+    case DependencyClass::kCdd: return "Conditional Differential Dependencies";
+    case DependencyClass::kCd: return "Comparable Dependencies";
+    case DependencyClass::kPac: return "Probabilistic Approximate Constraints";
+    case DependencyClass::kFfd: return "Fuzzy Functional Dependencies";
+    case DependencyClass::kMd: return "Matching Dependencies";
+    case DependencyClass::kCmd: return "Conditional Matching Dependencies";
+    case DependencyClass::kOfd: return "Ordered Functional Dependencies";
+    case DependencyClass::kOd: return "Order Dependencies";
+    case DependencyClass::kDc: return "Denial Constraints";
+    case DependencyClass::kSd: return "Sequential Dependencies";
+    case DependencyClass::kCsd: return "Conditional Sequential Dependencies";
+  }
+  return "?";
+}
+
+const std::vector<DependencyClass>& AllDependencyClasses() {
+  static const std::vector<DependencyClass>& all =
+      *new std::vector<DependencyClass>{
+          DependencyClass::kSfd,  DependencyClass::kPfd,
+          DependencyClass::kAfd,  DependencyClass::kNud,
+          DependencyClass::kCfd,  DependencyClass::kEcfd,
+          DependencyClass::kMvd,  DependencyClass::kFhd,
+          DependencyClass::kAmvd, DependencyClass::kMfd,
+          DependencyClass::kNed,  DependencyClass::kDd,
+          DependencyClass::kCdd,  DependencyClass::kCd,
+          DependencyClass::kPac,  DependencyClass::kFfd,
+          DependencyClass::kMd,   DependencyClass::kCmd,
+          DependencyClass::kOfd,  DependencyClass::kOd,
+          DependencyClass::kDc,   DependencyClass::kSd,
+          DependencyClass::kCsd,  DependencyClass::kFd,
+      };
+  return all;
+}
+
+namespace internal {
+
+std::string AttrName(const Schema* schema, int a) {
+  if (schema != nullptr && a < schema->num_columns()) return schema->name(a);
+  return "#" + std::to_string(a);
+}
+
+std::string AttrNames(const Schema* schema, AttrSet attrs) {
+  std::string out;
+  bool first = true;
+  for (int a : attrs.ToVector()) {
+    if (!first) out += ", ";
+    out += AttrName(schema, a);
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace internal
+
+}  // namespace famtree

@@ -1,0 +1,131 @@
+#ifndef FAMTREE_DEPS_DEPENDENCY_H_
+#define FAMTREE_DEPS_DEPENDENCY_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// The 24 dependency notations surveyed by the paper, grouped by the data
+/// type they were designed for (Table 2).
+enum class DependencyClass {
+  // Categorical data (Section 2).
+  kFd,
+  kSfd,
+  kPfd,
+  kAfd,
+  kNud,
+  kCfd,
+  kEcfd,
+  kMvd,
+  kFhd,
+  kAmvd,
+  // Heterogeneous data (Section 3).
+  kMfd,
+  kNed,
+  kDd,
+  kCdd,
+  kCd,
+  kPac,
+  kFfd,
+  kMd,
+  kCmd,
+  // Numerical data (Section 4).
+  kOfd,
+  kOd,
+  kDc,
+  kSd,
+  kCsd,
+};
+
+/// "FDs", "CFDs", ... — the acronyms used throughout the paper.
+const char* DependencyClassAcronym(DependencyClass cls);
+/// "Functional Dependencies", ... — the full names of Table 2.
+const char* DependencyClassFullName(DependencyClass cls);
+/// All 24 classes in Table 2 order.
+const std::vector<DependencyClass>& AllDependencyClasses();
+
+/// One witness that a dependency does not hold: the involved rows (usually
+/// a pair; a single row for constant-pattern violations) plus a description.
+struct Violation {
+  std::vector<int> rows;
+  std::string description;
+
+  friend bool operator==(const Violation& a, const Violation& b) {
+    return a.rows == b.rows && a.description == b.description;
+  }
+};
+
+/// Result of validating a dependency against a relation instance.
+struct ValidationReport {
+  /// True iff the dependency holds on the instance (for statistical
+  /// notations: the measure meets the declared threshold).
+  bool holds = true;
+  /// Witness violations, capped at the caller's limit.
+  std::vector<Violation> violations;
+  /// Total number of violations found (>= violations.size()).
+  int64_t violation_count = 0;
+  /// The notation's own quality measure where one exists (SFD strength,
+  /// PFD probability, AFD g3, PAC confidence, SD confidence, ...); NaN
+  /// when the notation has no scalar measure.
+  double measure = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Abstract base for every dependency notation in the family tree. Concrete
+/// classes expose their full typed structure (thresholds, patterns, metric
+/// choices); this interface is what generic machinery — the violation
+/// detector, the family-tree property checks, the discovery result
+/// containers — programs against.
+class Dependency {
+ public:
+  virtual ~Dependency() = default;
+
+  virtual DependencyClass cls() const = 0;
+
+  /// Paper-style rendering, e.g. "address -> region" or
+  /// "name(<=1), street(<=5) -> address(<=5)". Uses attribute names when
+  /// `schema` is provided, positional names (#i) otherwise.
+  virtual std::string ToString(const Schema* schema = nullptr) const = 0;
+
+  /// Checks the dependency against `relation`, collecting up to
+  /// `max_violations` witnesses.
+  virtual Result<ValidationReport> Validate(const Relation& relation,
+                                            int max_violations = 64) const = 0;
+
+  /// Convenience: does the dependency hold? (false on validation error —
+  /// callers needing to distinguish use Validate()).
+  bool Holds(const Relation& relation) const {
+    auto r = Validate(relation, 0);
+    return r.ok() && r->holds;
+  }
+};
+
+using DependencyPtr = std::shared_ptr<const Dependency>;
+
+namespace internal {
+/// Helper shared by pairwise validators: record a violation respecting the
+/// cap while always counting.
+inline void RecordViolation(ValidationReport* report, int max_violations,
+                            Violation v) {
+  report->holds = false;
+  ++report->violation_count;
+  if (static_cast<int>(report->violations.size()) < max_violations) {
+    report->violations.push_back(std::move(v));
+  }
+}
+
+/// Renders attribute `a` via the schema when present.
+std::string AttrName(const Schema* schema, int a);
+/// Renders an attribute set.
+std::string AttrNames(const Schema* schema, AttrSet attrs);
+}  // namespace internal
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_DEPENDENCY_H_

@@ -1,0 +1,59 @@
+#include "deps/differential.h"
+
+#include "common/strings.h"
+#include "deps/dependency.h"
+
+namespace famtree {
+
+std::string DistRange::ToString() const {
+  bool inf_max = max == std::numeric_limits<double>::infinity();
+  if (min == 0.0 && inf_max) return "(any)";
+  if (min == 0.0) return "(<=" + FormatDouble(max) + ")";
+  if (inf_max) return "(>=" + FormatDouble(min) + ")";
+  if (min == max) return "(=" + FormatDouble(min) + ")";
+  return "[" + FormatDouble(min) + "," + FormatDouble(max) + "]";
+}
+
+std::string DifferentialFunction::ToString(const Schema* schema) const {
+  return internal::AttrName(schema, attr) + range.ToString();
+}
+
+bool AllSatisfied(const std::vector<DifferentialFunction>& fns,
+                  const Relation& relation, int i, int j) {
+  for (const auto& fn : fns) {
+    if (!fn.Satisfied(relation, i, j)) return false;
+  }
+  return true;
+}
+
+std::string DifferentialFunctionsToString(
+    const std::vector<DifferentialFunction>& fns, const Schema* schema) {
+  std::string out;
+  for (size_t i = 0; i < fns.size(); ++i) {
+    if (i) out += ", ";
+    out += fns[i].ToString(schema);
+  }
+  return out;
+}
+
+Status CheckDifferentialFunctions(
+    const std::vector<DifferentialFunction>& fns, const Relation& relation,
+    const char* what) {
+  for (const auto& fn : fns) {
+    if (fn.attr < 0 || fn.attr >= relation.num_columns()) {
+      return Status::Invalid(std::string(what) +
+                             " refers to attributes outside the schema");
+    }
+    if (fn.metric == nullptr) {
+      return Status::Invalid(std::string(what) +
+                             " has a differential function without a metric");
+    }
+    if (fn.range.min > fn.range.max || fn.range.min < 0) {
+      return Status::Invalid(std::string(what) +
+                             " has an empty or negative distance range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace famtree

@@ -1,0 +1,84 @@
+#ifndef FAMTREE_DEPS_DIFFERENTIAL_H_
+#define FAMTREE_DEPS_DIFFERENTIAL_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "metric/metric.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// A closed interval of metric distances. Differential dependencies
+/// (Section 3.3) constrain tuple-pair distances to such ranges; "similar"
+/// semantics use [0, d], "dissimilar" semantics use [d, +inf).
+struct DistRange {
+  double min = 0.0;
+  double max = std::numeric_limits<double>::infinity();
+
+  static DistRange AtMost(double d) { return DistRange{0.0, d}; }
+  static DistRange AtLeast(double d) {
+    return DistRange{d, std::numeric_limits<double>::infinity()};
+  }
+  static DistRange Exactly(double d) { return DistRange{d, d}; }
+  static DistRange Between(double lo, double hi) { return DistRange{lo, hi}; }
+  static DistRange Any() { return DistRange{}; }
+
+  bool Contains(double d) const { return d >= min && d <= max; }
+
+  /// "(<=5)", "(>=10)", "[2,7]" — the paper's differential function syntax.
+  std::string ToString() const;
+
+  friend bool operator==(const DistRange& a, const DistRange& b) {
+    return a.min == b.min && a.max == b.max;
+  }
+};
+
+/// A differential function phi[A] (Section 3.3.1): attribute + metric +
+/// distance range. Two tuples are "compatible w.r.t. phi[A]" when their
+/// metric distance on A falls inside the range.
+struct DifferentialFunction {
+  int attr = 0;
+  MetricPtr metric;
+  DistRange range;
+
+  DifferentialFunction() = default;
+  DifferentialFunction(int attr_in, MetricPtr metric_in, DistRange range_in)
+      : attr(attr_in), metric(std::move(metric_in)), range(range_in) {}
+
+  /// Convenience for the common "similar" case (distance <= threshold)
+  /// with the column's default metric chosen at validation time.
+  static DifferentialFunction Similar(int attr, MetricPtr metric,
+                                      double threshold) {
+    return DifferentialFunction(attr, std::move(metric),
+                                DistRange::AtMost(threshold));
+  }
+
+  double DistanceBetween(const Relation& relation, int i, int j) const {
+    return metric->Distance(relation.Get(i, attr), relation.Get(j, attr));
+  }
+
+  bool Satisfied(const Relation& relation, int i, int j) const {
+    return range.Contains(DistanceBetween(relation, i, j));
+  }
+
+  std::string ToString(const Schema* schema) const;
+};
+
+/// True iff the pair (i, j) satisfies every differential function.
+bool AllSatisfied(const std::vector<DifferentialFunction>& fns,
+                  const Relation& relation, int i, int j);
+
+/// Renders "name(<=1), street(<=5)".
+std::string DifferentialFunctionsToString(
+    const std::vector<DifferentialFunction>& fns, const Schema* schema);
+
+/// Validates attrs are inside the schema and metrics are set.
+Status CheckDifferentialFunctions(
+    const std::vector<DifferentialFunction>& fns, const Relation& relation,
+    const char* what);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_DIFFERENTIAL_H_

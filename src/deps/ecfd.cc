@@ -1,0 +1,71 @@
+#include "deps/ecfd.h"
+
+namespace famtree {
+
+int Ecfd::Support(const Relation& relation) const {
+  int support = 0;
+  for (int row = 0; row < relation.num_rows(); ++row) {
+    if (pattern_.Matches(relation, row, lhs_)) ++support;
+  }
+  return support;
+}
+
+std::string Ecfd::ToString(const Schema* schema) const {
+  return internal::AttrNames(schema, lhs_) + " -> " +
+         internal::AttrNames(schema, rhs_) + ", " +
+         pattern_.ToString(schema, lhs_.Union(rhs_));
+}
+
+Result<ValidationReport> Ecfd::Validate(const Relation& relation,
+                                        int max_violations) const {
+  int nc = relation.num_columns();
+  if (!AttrSet::Full(nc).ContainsAll(lhs_.Union(rhs_))) {
+    return Status::Invalid("eCFD refers to attributes outside the schema");
+  }
+  for (const auto& it : pattern_.items()) {
+    if (!lhs_.Union(rhs_).Contains(it.attr)) {
+      return Status::Invalid("eCFD pattern item outside LHS/RHS attributes");
+    }
+  }
+  ValidationReport report;
+  std::vector<int> matching;
+  for (int row = 0; row < relation.num_rows(); ++row) {
+    if (pattern_.Matches(relation, row, lhs_)) matching.push_back(row);
+  }
+  report.measure = static_cast<double>(matching.size());
+
+  for (int row : matching) {
+    if (!pattern_.Matches(relation, row, rhs_)) {
+      internal::RecordViolation(
+          &report, max_violations,
+          Violation{{row}, "matches LHS pattern but breaks RHS condition"});
+    }
+  }
+  Relation subset = relation.Select(matching);
+  for (const auto& group : subset.GroupBy(lhs_)) {
+    if (group.size() < 2) continue;
+    std::vector<int> heads;
+    for (int local : group) {
+      bool placed = false;
+      for (int head : heads) {
+        if (subset.AgreeOn(head, local, rhs_)) {
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) heads.push_back(local);
+    }
+    for (size_t i = 0; i + 1 < heads.size(); ++i) {
+      for (size_t j = i + 1; j < heads.size(); ++j) {
+        internal::RecordViolation(
+            &report, max_violations,
+            Violation{{matching[heads[i]], matching[heads[j]]},
+                      "equal on LHS within condition but differ on RHS"});
+      }
+    }
+  }
+  report.holds = report.violation_count == 0;
+  return report;
+}
+
+}  // namespace famtree

@@ -1,0 +1,40 @@
+#ifndef FAMTREE_DEPS_ECFD_H_
+#define FAMTREE_DEPS_ECFD_H_
+
+#include <string>
+
+#include "deps/dependency.h"
+#include "deps/pattern.h"
+
+namespace famtree {
+
+/// An extended conditional functional dependency (Section 2.5.5, [14]):
+/// like a CFD, but pattern items may use any operator from
+/// {=, !=, <, <=, >, >=}, substantially widening the conditions that can
+/// be expressed (e.g. "rate <= 200, name = _ -> address = _").
+class Ecfd : public Dependency {
+ public:
+  Ecfd(AttrSet lhs, AttrSet rhs, PatternTuple pattern)
+      : lhs_(lhs), rhs_(rhs), pattern_(std::move(pattern)) {}
+
+  AttrSet lhs() const { return lhs_; }
+  AttrSet rhs() const { return rhs_; }
+  const PatternTuple& pattern() const { return pattern_; }
+
+  /// Number of tuples matching the LHS pattern.
+  int Support(const Relation& relation) const;
+
+  DependencyClass cls() const override { return DependencyClass::kEcfd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  AttrSet lhs_;
+  AttrSet rhs_;
+  PatternTuple pattern_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_ECFD_H_

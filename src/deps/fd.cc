@@ -1,0 +1,58 @@
+#include "deps/fd.h"
+
+namespace famtree {
+
+std::string Fd::ToString(const Schema* schema) const {
+  return internal::AttrNames(schema, lhs_) + " -> " +
+         internal::AttrNames(schema, rhs_);
+}
+
+Result<ValidationReport> Fd::Validate(const Relation& relation,
+                                      int max_violations) const {
+  int nc = relation.num_columns();
+  if (!AttrSet::Full(nc).ContainsAll(lhs_.Union(rhs_))) {
+    return Status::Invalid("FD refers to attributes outside the schema");
+  }
+  ValidationReport report;
+  for (const auto& group : relation.GroupBy(lhs_)) {
+    if (group.size() < 2) continue;
+    // Sub-group by Y; every cross-subgroup pair is a violation.
+    std::vector<std::vector<int>> sub;
+    for (int row : group) {
+      bool placed = false;
+      for (auto& s : sub) {
+        if (relation.AgreeOn(s[0], row, rhs_)) {
+          s.push_back(row);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) sub.push_back({row});
+    }
+    if (sub.size() <= 1) continue;
+    // Count violating pairs exactly; materialize witnesses up to the cap.
+    int64_t pairs = 0;
+    int64_t total = static_cast<int64_t>(group.size());
+    int64_t same = 0;
+    for (const auto& s : sub) {
+      same += static_cast<int64_t>(s.size()) * (s.size() - 1) / 2;
+    }
+    pairs = total * (total - 1) / 2 - same;
+    report.holds = false;
+    report.violation_count += pairs;
+    for (size_t i = 0; i + 1 < sub.size(); ++i) {
+      for (size_t j = i + 1; j < sub.size(); ++j) {
+        if (static_cast<int>(report.violations.size()) >= max_violations) {
+          break;
+        }
+        report.violations.push_back(Violation{
+            {sub[i][0], sub[j][0]},
+            "equal on LHS but differ on RHS"});
+      }
+    }
+  }
+  report.measure = report.holds ? 1.0 : 0.0;
+  return report;
+}
+
+}  // namespace famtree

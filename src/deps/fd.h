@@ -1,0 +1,39 @@
+#ifndef FAMTREE_DEPS_FD_H_
+#define FAMTREE_DEPS_FD_H_
+
+#include <string>
+
+#include "deps/dependency.h"
+
+namespace famtree {
+
+/// A classical functional dependency X -> Y (Section 1.1): any two tuples
+/// equal on X must be equal on Y. The root of the family tree.
+class Fd : public Dependency {
+ public:
+  Fd(AttrSet lhs, AttrSet rhs) : lhs_(lhs), rhs_(rhs) {}
+
+  AttrSet lhs() const { return lhs_; }
+  AttrSet rhs() const { return rhs_; }
+
+  DependencyClass cls() const override { return DependencyClass::kFd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+  friend bool operator==(const Fd& a, const Fd& b) {
+    return a.lhs_ == b.lhs_ && a.rhs_ == b.rhs_;
+  }
+  friend bool operator<(const Fd& a, const Fd& b) {
+    if (a.lhs_ != b.lhs_) return a.lhs_ < b.lhs_;
+    return a.rhs_ < b.rhs_;
+  }
+
+ private:
+  AttrSet lhs_;
+  AttrSet rhs_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_FD_H_

@@ -1,0 +1,72 @@
+#include "deps/ffd.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace famtree {
+
+double Ffd::PairResemblance(const std::vector<FuzzyAttr>& side,
+                            const Relation& relation, int i, int j) {
+  double mu = 1.0;
+  for (const auto& fa : side) {
+    mu = std::min(mu, fa.resemblance->Equal(relation.Get(i, fa.attr),
+                                            relation.Get(j, fa.attr)));
+  }
+  return mu;
+}
+
+std::string Ffd::ToString(const Schema* schema) const {
+  auto side = [schema](const std::vector<FuzzyAttr>& fas) {
+    std::string out;
+    for (size_t i = 0; i < fas.size(); ++i) {
+      if (i) out += ", ";
+      out += internal::AttrName(schema, fas[i].attr);
+    }
+    return out;
+  };
+  return side(lhs_) + " ~> " + side(rhs_);
+}
+
+Result<ValidationReport> Ffd::Validate(const Relation& relation,
+                                       int max_violations) const {
+  int nc = relation.num_columns();
+  auto check = [nc](const std::vector<FuzzyAttr>& fas) {
+    for (const auto& fa : fas) {
+      if (fa.attr < 0 || fa.attr >= nc) {
+        return Status::Invalid("FFD refers to attributes outside the schema");
+      }
+      if (fa.resemblance == nullptr) {
+        return Status::Invalid("FFD resemblance relation missing");
+      }
+    }
+    return Status::OK();
+  };
+  FAMTREE_RETURN_NOT_OK(check(lhs_));
+  FAMTREE_RETURN_NOT_OK(check(rhs_));
+  if (lhs_.empty() || rhs_.empty()) {
+    return Status::Invalid("FFD needs non-empty sides");
+  }
+  ValidationReport report;
+  int n = relation.num_rows();
+  double min_slack = 1.0;  // min over pairs of mu(Y) - mu(X); >= 0 iff holds
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double mx = PairResemblance(lhs_, relation, i, j);
+      double my = PairResemblance(rhs_, relation, i, j);
+      min_slack = std::min(min_slack, my - mx);
+      if (mx > my) {
+        internal::RecordViolation(
+            &report, max_violations,
+            Violation{{i, j}, "mu_EQ on X (" + FormatDouble(mx) +
+                                  ") exceeds mu_EQ on Y (" +
+                                  FormatDouble(my) + ")"});
+      }
+    }
+  }
+  report.holds = report.violation_count == 0;
+  report.measure = min_slack;
+  return report;
+}
+
+}  // namespace famtree

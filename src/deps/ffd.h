@@ -1,0 +1,45 @@
+#ifndef FAMTREE_DEPS_FFD_H_
+#define FAMTREE_DEPS_FFD_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/dependency.h"
+#include "metric/fuzzy.h"
+
+namespace famtree {
+
+/// A fuzzy functional dependency X ~> Y (Section 3.6, [79]): for all tuple
+/// pairs, mu_EQ(t1[X], t2[X]) <= mu_EQ(t1[Y], t2[Y]) where the resemblance
+/// of a tuple pair on an attribute set is the minimum over the attributes.
+/// With crisp resemblances on every attribute, an FFD is exactly an FD.
+class Ffd : public Dependency {
+ public:
+  struct FuzzyAttr {
+    int attr = 0;
+    ResemblancePtr resemblance;
+  };
+
+  Ffd(std::vector<FuzzyAttr> lhs, std::vector<FuzzyAttr> rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  const std::vector<FuzzyAttr>& lhs() const { return lhs_; }
+  const std::vector<FuzzyAttr>& rhs() const { return rhs_; }
+
+  /// mu_EQ of a pair on one side: min over attributes.
+  static double PairResemblance(const std::vector<FuzzyAttr>& side,
+                                const Relation& relation, int i, int j);
+
+  DependencyClass cls() const override { return DependencyClass::kFfd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  std::vector<FuzzyAttr> lhs_;
+  std::vector<FuzzyAttr> rhs_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_FFD_H_

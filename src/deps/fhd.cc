@@ -1,0 +1,101 @@
+#include "deps/fhd.h"
+
+#include <set>
+
+namespace famtree {
+
+std::string Fhd::ToString(const Schema* schema) const {
+  std::string out = internal::AttrNames(schema, lhs_) + " : {";
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (i) out += "; ";
+    out += internal::AttrNames(schema, blocks_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+Result<ValidationReport> Fhd::Validate(const Relation& relation,
+                                       int max_violations) const {
+  int nc = relation.num_columns();
+  AttrSet used = lhs_;
+  if (blocks_.empty()) return Status::Invalid("FHD needs at least one block");
+  for (const AttrSet& b : blocks_) {
+    if (b.empty()) return Status::Invalid("FHD block must be non-empty");
+    if (used.Intersects(b)) {
+      return Status::Invalid("FHD blocks and X must be pairwise disjoint");
+    }
+    used = used.Union(b);
+  }
+  if (!AttrSet::Full(nc).ContainsAll(used)) {
+    return Status::Invalid("FHD refers to attributes outside the schema");
+  }
+  AttrSet remainder = AttrSet::Full(nc).Minus(used);
+  std::vector<AttrSet> parts = blocks_;
+  if (!remainder.empty()) parts.push_back(remainder);
+
+  ValidationReport report;
+  for (const auto& group : relation.GroupBy(lhs_)) {
+    // Assign each row a per-part id; combos must fill the full product.
+    std::vector<std::vector<int>> part_ids(parts.size());
+    std::vector<std::vector<int>> part_heads(parts.size());
+    for (size_t p = 0; p < parts.size(); ++p) {
+      part_ids[p].resize(group.size());
+      for (size_t i = 0; i < group.size(); ++i) {
+        int row = group[i];
+        int found = -1;
+        for (size_t h = 0; h < part_heads[p].size(); ++h) {
+          if (relation.AgreeOn(part_heads[p][h], row, parts[p])) {
+            found = static_cast<int>(h);
+            break;
+          }
+        }
+        if (found < 0) {
+          found = static_cast<int>(part_heads[p].size());
+          part_heads[p].push_back(row);
+        }
+        part_ids[p][i] = found;
+      }
+    }
+    long long product = 1;
+    for (const auto& heads : part_heads) {
+      product *= static_cast<long long>(heads.size());
+    }
+    std::set<std::vector<int>> combos;
+    for (size_t i = 0; i < group.size(); ++i) {
+      std::vector<int> combo(parts.size());
+      for (size_t p = 0; p < parts.size(); ++p) combo[p] = part_ids[p][i];
+      combos.insert(std::move(combo));
+    }
+    if (static_cast<long long>(combos.size()) == product) continue;
+    int64_t count_before = report.violation_count;
+    // Witness: a pair of rows whose blockwise mix is absent. Scan pairs.
+    for (size_t i = 0; i < group.size() && report.violation_count < 1000;
+         ++i) {
+      for (size_t j = 0; j < group.size(); ++j) {
+        if (i == j) continue;
+        // Mix: part 0 from row i, the rest from row j.
+        std::vector<int> combo(parts.size());
+        combo[0] = part_ids[0][i];
+        for (size_t p = 1; p < parts.size(); ++p) combo[p] = part_ids[p][j];
+        if (!combos.count(combo)) {
+          internal::RecordViolation(
+              &report, max_violations,
+              Violation{{group[i], group[j]},
+                        "block combination missing under this X value"});
+        }
+      }
+    }
+    if (report.violation_count == count_before) {
+      // Combination shortfall exists but not witnessed by a 2-row mix of
+      // the first block; record a group-level violation.
+      internal::RecordViolation(&report, max_violations,
+                                Violation{{group[0]},
+                                          "X-group is not a full product of "
+                                          "its block projections"});
+    }
+  }
+  report.holds = report.violation_count == 0;
+  return report;
+}
+
+}  // namespace famtree

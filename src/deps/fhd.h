@@ -1,0 +1,36 @@
+#ifndef FAMTREE_DEPS_FHD_H_
+#define FAMTREE_DEPS_FHD_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/dependency.h"
+
+namespace famtree {
+
+/// A full hierarchical dependency X : {Y1, ..., Yk} (Section 2.6.5, [27]):
+/// the relation decomposes losslessly into pi_{XY1}, ..., pi_{XYk} and
+/// pi_{X(R - X Y1 ... Yk)}. Within each X-group the blocks Y1..Yk and the
+/// remainder must vary mutually independently. With k = 1 this is exactly
+/// the MVD X ->> Y1 — the family-tree edge MVD -> FHD.
+class Fhd : public Dependency {
+ public:
+  Fhd(AttrSet lhs, std::vector<AttrSet> blocks)
+      : lhs_(lhs), blocks_(std::move(blocks)) {}
+
+  AttrSet lhs() const { return lhs_; }
+  const std::vector<AttrSet>& blocks() const { return blocks_; }
+
+  DependencyClass cls() const override { return DependencyClass::kFhd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  AttrSet lhs_;
+  std::vector<AttrSet> blocks_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_FHD_H_

@@ -1,0 +1,123 @@
+#include "deps/mvd.h"
+
+#include <set>
+#include <utility>
+
+namespace famtree {
+
+namespace {
+
+/// Assigns each row of `group` an id for its projection onto `attrs`
+/// (ids are dense, 0-based, in first-occurrence order). Returns the heads.
+std::vector<int> AssignIds(const Relation& relation,
+                           const std::vector<int>& group, AttrSet attrs,
+                           std::vector<int>* ids) {
+  std::vector<int> heads;
+  ids->resize(group.size());
+  for (size_t i = 0; i < group.size(); ++i) {
+    int row = group[i];
+    int found = -1;
+    for (size_t h = 0; h < heads.size(); ++h) {
+      if (relation.AgreeOn(heads[h], row, attrs)) {
+        found = static_cast<int>(h);
+        break;
+      }
+    }
+    if (found < 0) {
+      found = static_cast<int>(heads.size());
+      heads.push_back(row);
+    }
+    (*ids)[i] = found;
+  }
+  return heads;
+}
+
+}  // namespace
+
+double Mvd::SpuriousTupleRatio(const Relation& relation, AttrSet lhs,
+                               AttrSet rhs) {
+  AttrSet z = AttrSet::Full(relation.num_columns()).Minus(lhs).Minus(rhs);
+  long long join_size = 0;
+  long long actual = 0;
+  for (const auto& group : relation.GroupBy(lhs)) {
+    std::vector<int> y_ids, z_ids;
+    std::vector<int> y_heads = AssignIds(relation, group, rhs, &y_ids);
+    std::vector<int> z_heads = AssignIds(relation, group, z, &z_ids);
+    std::set<std::pair<int, int>> combos;
+    for (size_t i = 0; i < group.size(); ++i) {
+      combos.insert({y_ids[i], z_ids[i]});
+    }
+    join_size += static_cast<long long>(y_heads.size()) * z_heads.size();
+    actual += static_cast<long long>(combos.size());
+  }
+  if (join_size == 0) return 0.0;
+  return static_cast<double>(join_size - actual) / join_size;
+}
+
+std::string Mvd::ToString(const Schema* schema) const {
+  return internal::AttrNames(schema, lhs_) + " ->> " +
+         internal::AttrNames(schema, rhs_);
+}
+
+Result<ValidationReport> Mvd::Validate(const Relation& relation,
+                                       int max_violations) const {
+  int nc = relation.num_columns();
+  if (!AttrSet::Full(nc).ContainsAll(lhs_.Union(rhs_))) {
+    return Status::Invalid("MVD refers to attributes outside the schema");
+  }
+  if (lhs_.Intersects(rhs_)) {
+    return Status::Invalid("MVD LHS and RHS must be disjoint");
+  }
+  AttrSet z = AttrSet::Full(nc).Minus(lhs_).Minus(rhs_);
+  ValidationReport report;
+  for (const auto& group : relation.GroupBy(lhs_)) {
+    std::vector<int> y_ids, z_ids;
+    std::vector<int> y_heads = AssignIds(relation, group, rhs_, &y_ids);
+    std::vector<int> z_heads = AssignIds(relation, group, z, &z_ids);
+    if (y_heads.size() <= 1 || z_heads.size() <= 1) continue;
+    std::set<std::pair<int, int>> combos;
+    for (size_t i = 0; i < group.size(); ++i) {
+      combos.insert({y_ids[i], z_ids[i]});
+    }
+    if (combos.size() ==
+        y_heads.size() * z_heads.size()) {
+      continue;
+    }
+    // Missing combos: find a witness pair for each.
+    for (size_t yi = 0; yi < y_heads.size(); ++yi) {
+      for (size_t zi = 0; zi < z_heads.size(); ++zi) {
+        if (combos.count({static_cast<int>(yi), static_cast<int>(zi)})) {
+          continue;
+        }
+        internal::RecordViolation(
+            &report, max_violations,
+            Violation{{y_heads[yi], z_heads[zi]},
+                      "no tuple combines the first tuple's Y values with "
+                      "the second tuple's Z values under this X value"});
+      }
+    }
+  }
+  report.holds = report.violation_count == 0;
+  report.measure = SpuriousTupleRatio(relation, lhs_, rhs_);
+  return report;
+}
+
+std::string Amvd::ToString(const Schema* schema) const {
+  return internal::AttrNames(schema, lhs_) + " ->>_eps=" +
+         std::to_string(epsilon_) + " " + internal::AttrNames(schema, rhs_);
+}
+
+Result<ValidationReport> Amvd::Validate(const Relation& relation,
+                                        int max_violations) const {
+  if (epsilon_ < 0.0 || epsilon_ > 1.0) {
+    return Status::Invalid("AMVD epsilon must be in [0, 1]");
+  }
+  Mvd exact(lhs_, rhs_);
+  FAMTREE_ASSIGN_OR_RETURN(ValidationReport report,
+                           exact.Validate(relation, max_violations));
+  // The AMVD tolerates spurious-tuple ratio up to epsilon.
+  report.holds = report.measure <= epsilon_;
+  return report;
+}
+
+}  // namespace famtree

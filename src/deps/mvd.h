@@ -1,0 +1,63 @@
+#ifndef FAMTREE_DEPS_MVD_H_
+#define FAMTREE_DEPS_MVD_H_
+
+#include <string>
+
+#include "deps/dependency.h"
+
+namespace famtree {
+
+/// A multivalued dependency X ->> Y (Section 2.6, [30]); Z is the rest of
+/// the schema. The instance satisfies the MVD iff r = pi_XY(r) |><| pi_XZ(r),
+/// i.e. within each X-group the Y values and Z values vary independently.
+/// MVDs are tuple-generating: a violation is a pair (t1, t2) in the same
+/// X-group such that no tuple combines t1's Y values with t2's Z values.
+class Mvd : public Dependency {
+ public:
+  /// `rhs` is Y; Z is implicitly schema minus X minus Y at validation time.
+  Mvd(AttrSet lhs, AttrSet rhs) : lhs_(lhs), rhs_(rhs) {}
+
+  AttrSet lhs() const { return lhs_; }
+  AttrSet rhs() const { return rhs_; }
+
+  /// Fraction of spurious tuples that joining pi_XY and pi_XZ would
+  /// introduce: 0 iff the MVD holds exactly (the AMVD accuracy measure).
+  static double SpuriousTupleRatio(const Relation& relation, AttrSet lhs,
+                                   AttrSet rhs);
+
+  DependencyClass cls() const override { return DependencyClass::kMvd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  AttrSet lhs_;
+  AttrSet rhs_;
+};
+
+/// An approximate MVD (Section 2.6.6, [59]): the MVD may introduce at most
+/// an `epsilon` fraction of spurious tuples when the relation is decomposed
+/// and re-joined. AMVDs with epsilon = 0 are exactly MVDs.
+class Amvd : public Dependency {
+ public:
+  Amvd(AttrSet lhs, AttrSet rhs, double epsilon)
+      : lhs_(lhs), rhs_(rhs), epsilon_(epsilon) {}
+
+  AttrSet lhs() const { return lhs_; }
+  AttrSet rhs() const { return rhs_; }
+  double epsilon() const { return epsilon_; }
+
+  DependencyClass cls() const override { return DependencyClass::kAmvd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  AttrSet lhs_;
+  AttrSet rhs_;
+  double epsilon_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_MVD_H_

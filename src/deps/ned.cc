@@ -1,0 +1,88 @@
+#include "deps/ned.h"
+
+#include "common/strings.h"
+
+namespace famtree {
+
+namespace {
+
+bool PairAgrees(const std::vector<Ned::Predicate>& preds,
+                const Relation& relation, int i, int j) {
+  for (const auto& p : preds) {
+    double d =
+        p.metric->Distance(relation.Get(i, p.attr), relation.Get(j, p.attr));
+    if (d > p.threshold) return false;
+  }
+  return true;
+}
+
+Status CheckPredicates(const std::vector<Ned::Predicate>& preds,
+                       const Relation& relation) {
+  for (const auto& p : preds) {
+    if (p.attr < 0 || p.attr >= relation.num_columns()) {
+      return Status::Invalid("NED refers to attributes outside the schema");
+    }
+    if (p.metric == nullptr) return Status::Invalid("NED metric missing");
+    if (p.threshold < 0) return Status::Invalid("NED threshold must be >= 0");
+  }
+  return Status::OK();
+}
+
+std::string PredsToString(const std::vector<Ned::Predicate>& preds,
+                          const Schema* schema) {
+  std::string out;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (i) out += " ";
+    out += internal::AttrName(schema, preds[i].attr) + "^" +
+           FormatDouble(preds[i].threshold);
+  }
+  return out;
+}
+
+}  // namespace
+
+Ned::PairStats Ned::ComputePairStats(const Relation& relation) const {
+  PairStats stats;
+  int n = relation.num_rows();
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      ++stats.total_pairs;
+      if (!PairAgrees(lhs_, relation, i, j)) continue;
+      ++stats.lhs_pairs;
+      if (PairAgrees(rhs_, relation, i, j)) ++stats.satisfying_pairs;
+    }
+  }
+  return stats;
+}
+
+std::string Ned::ToString(const Schema* schema) const {
+  return PredsToString(lhs_, schema) + " -> " + PredsToString(rhs_, schema);
+}
+
+Result<ValidationReport> Ned::Validate(const Relation& relation,
+                                       int max_violations) const {
+  FAMTREE_RETURN_NOT_OK(CheckPredicates(lhs_, relation));
+  FAMTREE_RETURN_NOT_OK(CheckPredicates(rhs_, relation));
+  ValidationReport report;
+  int n = relation.num_rows();
+  int64_t lhs_pairs = 0, ok_pairs = 0;
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (!PairAgrees(lhs_, relation, i, j)) continue;
+      ++lhs_pairs;
+      if (PairAgrees(rhs_, relation, i, j)) {
+        ++ok_pairs;
+      } else {
+        internal::RecordViolation(
+            &report, max_violations,
+            Violation{{i, j}, "neighbors on LHS but not on RHS"});
+      }
+    }
+  }
+  report.holds = report.violation_count == 0;
+  report.measure =
+      lhs_pairs == 0 ? 1.0 : static_cast<double>(ok_pairs) / lhs_pairs;
+  return report;
+}
+
+}  // namespace famtree

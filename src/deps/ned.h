@@ -1,0 +1,59 @@
+#ifndef FAMTREE_DEPS_NED_H_
+#define FAMTREE_DEPS_NED_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/dependency.h"
+#include "deps/differential.h"
+
+namespace famtree {
+
+/// A neighborhood dependency A1^a1...An^an -> B1^b1...Bm^bm (Section 3.2,
+/// [4]): any pair of tuples within distance a_i on every LHS attribute must
+/// be within distance b_j on every RHS attribute. NEDs only express the
+/// "similar" semantics ([0, threshold] ranges); DDs generalize them to
+/// arbitrary distance ranges.
+class Ned : public Dependency {
+ public:
+  /// Thresholds are upper bounds on distance ("closeness" predicates).
+  struct Predicate {
+    int attr = 0;
+    MetricPtr metric;
+    double threshold = 0.0;
+  };
+
+  Ned(std::vector<Predicate> lhs, std::vector<Predicate> rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  const std::vector<Predicate>& lhs() const { return lhs_; }
+  const std::vector<Predicate>& rhs() const { return rhs_; }
+
+  /// Support/confidence of the rule over all tuple pairs: support = #pairs
+  /// agreeing on the LHS predicate, confidence = fraction of those that
+  /// satisfy the RHS (the discovery objective of [4]).
+  struct PairStats {
+    int64_t total_pairs = 0;
+    int64_t lhs_pairs = 0;
+    int64_t satisfying_pairs = 0;
+    double confidence() const {
+      return lhs_pairs == 0
+                 ? 1.0
+                 : static_cast<double>(satisfying_pairs) / lhs_pairs;
+    }
+  };
+  PairStats ComputePairStats(const Relation& relation) const;
+
+  DependencyClass cls() const override { return DependencyClass::kNed; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  std::vector<Predicate> lhs_;
+  std::vector<Predicate> rhs_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_NED_H_

@@ -1,0 +1,76 @@
+#include "deps/nud.h"
+
+#include <algorithm>
+
+namespace famtree {
+
+namespace {
+
+/// Distinct count of `attrs` projections inside `group`.
+int DistinctWithin(const Relation& relation, const std::vector<int>& group,
+                   AttrSet attrs) {
+  std::vector<int> heads;
+  for (int row : group) {
+    bool found = false;
+    for (int head : heads) {
+      if (relation.AgreeOn(head, row, attrs)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) heads.push_back(row);
+  }
+  return static_cast<int>(heads.size());
+}
+
+}  // namespace
+
+int Nud::MaxFanout(const Relation& relation, AttrSet lhs, AttrSet rhs) {
+  int max_fanout = 0;
+  for (const auto& group : relation.GroupBy(lhs)) {
+    max_fanout =
+        std::max(max_fanout, DistinctWithin(relation, group, rhs));
+  }
+  return max_fanout;
+}
+
+std::string Nud::ToString(const Schema* schema) const {
+  return internal::AttrNames(schema, lhs_) + " ->_k=" +
+         std::to_string(weight_) + " " + internal::AttrNames(schema, rhs_);
+}
+
+Result<ValidationReport> Nud::Validate(const Relation& relation,
+                                       int max_violations) const {
+  int nc = relation.num_columns();
+  if (!AttrSet::Full(nc).ContainsAll(lhs_.Union(rhs_))) {
+    return Status::Invalid("NUD refers to attributes outside the schema");
+  }
+  if (weight_ < 1) return Status::Invalid("NUD weight must be >= 1");
+  ValidationReport report;
+  int max_fanout = 0;
+  for (const auto& group : relation.GroupBy(lhs_)) {
+    std::vector<int> heads;
+    for (int row : group) {
+      bool found = false;
+      for (int head : heads) {
+        if (relation.AgreeOn(head, row, rhs_)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) heads.push_back(row);
+    }
+    max_fanout = std::max(max_fanout, static_cast<int>(heads.size()));
+    if (static_cast<int>(heads.size()) > weight_) {
+      internal::RecordViolation(
+          &report, max_violations,
+          Violation{heads, "X value maps to " + std::to_string(heads.size()) +
+                               " > k distinct Y values"});
+    }
+  }
+  report.measure = max_fanout;
+  report.holds = report.violation_count == 0;
+  return report;
+}
+
+}  // namespace famtree

@@ -1,0 +1,39 @@
+#ifndef FAMTREE_DEPS_NUD_H_
+#define FAMTREE_DEPS_NUD_H_
+
+#include <string>
+
+#include "deps/dependency.h"
+
+namespace famtree {
+
+/// A numerical dependency X ->_k Y (Section 2.4, [50]): every X value is
+/// associated with at most k distinct Y values. An FD is exactly a NUD
+/// with k = 1.
+class Nud : public Dependency {
+ public:
+  Nud(AttrSet lhs, AttrSet rhs, int weight)
+      : lhs_(lhs), rhs_(rhs), weight_(weight) {}
+
+  AttrSet lhs() const { return lhs_; }
+  AttrSet rhs() const { return rhs_; }
+  int weight() const { return weight_; }
+
+  /// The largest number of distinct Y values associated with one X value —
+  /// the smallest k for which the NUD holds.
+  static int MaxFanout(const Relation& relation, AttrSet lhs, AttrSet rhs);
+
+  DependencyClass cls() const override { return DependencyClass::kNud; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  AttrSet lhs_;
+  AttrSet rhs_;
+  int weight_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_NUD_H_

@@ -1,0 +1,87 @@
+#include "deps/od.h"
+
+namespace famtree {
+
+const char* OrderMarkSymbol(OrderMark mark) {
+  switch (mark) {
+    case OrderMark::kLeq: return "<=";
+    case OrderMark::kLt: return "<";
+    case OrderMark::kGeq: return ">=";
+    case OrderMark::kGt: return ">";
+  }
+  return "?";
+}
+
+bool MarkedAttr::Holds(const Relation& relation, int i, int j) const {
+  const Value& a = relation.Get(i, attr);
+  const Value& b = relation.Get(j, attr);
+  switch (mark) {
+    case OrderMark::kLeq: return a <= b;
+    case OrderMark::kLt: return a < b;
+    case OrderMark::kGeq: return a >= b;
+    case OrderMark::kGt: return a > b;
+  }
+  return false;
+}
+
+std::string MarkedAttr::ToString(const Schema* schema) const {
+  return internal::AttrName(schema, attr) + "^" + OrderMarkSymbol(mark);
+}
+
+std::string Od::ToString(const Schema* schema) const {
+  auto side = [schema](const std::vector<MarkedAttr>& mas) {
+    std::string out;
+    for (size_t i = 0; i < mas.size(); ++i) {
+      if (i) out += ", ";
+      out += mas[i].ToString(schema);
+    }
+    return out;
+  };
+  return side(lhs_) + " -> " + side(rhs_);
+}
+
+Result<ValidationReport> Od::Validate(const Relation& relation,
+                                      int max_violations) const {
+  int nc = relation.num_columns();
+  auto check = [nc](const std::vector<MarkedAttr>& mas) {
+    for (const auto& ma : mas) {
+      if (ma.attr < 0 || ma.attr >= nc) {
+        return Status::Invalid("OD refers to attributes outside the schema");
+      }
+    }
+    return Status::OK();
+  };
+  FAMTREE_RETURN_NOT_OK(check(lhs_));
+  FAMTREE_RETURN_NOT_OK(check(rhs_));
+  if (lhs_.empty() || rhs_.empty()) {
+    return Status::Invalid("OD needs non-empty sides");
+  }
+  ValidationReport report;
+  int n = relation.num_rows();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      bool lhs_holds = true;
+      for (const auto& ma : lhs_) {
+        if (!ma.Holds(relation, i, j)) {
+          lhs_holds = false;
+          break;
+        }
+      }
+      if (!lhs_holds) continue;
+      for (const auto& ma : rhs_) {
+        if (!ma.Holds(relation, i, j)) {
+          internal::RecordViolation(
+              &report, max_violations,
+              Violation{{i, j}, "LHS ordering holds but RHS ordering "
+                                "broken on " + ma.ToString(nullptr)});
+          break;
+        }
+      }
+    }
+  }
+  report.holds = report.violation_count == 0;
+  return report;
+}
+
+}  // namespace famtree

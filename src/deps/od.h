@@ -1,0 +1,52 @@
+#ifndef FAMTREE_DEPS_OD_H_
+#define FAMTREE_DEPS_OD_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/dependency.h"
+
+namespace famtree {
+
+/// The orderings a marked attribute can carry (Section 4.2.1: A^<=, A^<,
+/// A^>=, A^>).
+enum class OrderMark { kLeq, kLt, kGeq, kGt };
+
+const char* OrderMarkSymbol(OrderMark mark);
+
+/// A marked attribute A^op.
+struct MarkedAttr {
+  int attr = 0;
+  OrderMark mark = OrderMark::kLeq;
+
+  /// Does the pair (i, j) satisfy t_i[A] op t_j[A]?
+  bool Holds(const Relation& relation, int i, int j) const;
+
+  std::string ToString(const Schema* schema) const;
+};
+
+/// An order dependency X -> Y over marked attributes (Section 4.2, [28]):
+/// for all tuple pairs, if every LHS marked attribute holds then every RHS
+/// marked attribute holds. OFDs are ODs whose marks are all `<=`; e.g.
+/// "nights^<= -> avg/night^>=" expresses the longer-stay-cheaper-rate rule.
+class Od : public Dependency {
+ public:
+  Od(std::vector<MarkedAttr> lhs, std::vector<MarkedAttr> rhs)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  const std::vector<MarkedAttr>& lhs() const { return lhs_; }
+  const std::vector<MarkedAttr>& rhs() const { return rhs_; }
+
+  DependencyClass cls() const override { return DependencyClass::kOd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  std::vector<MarkedAttr> lhs_;
+  std::vector<MarkedAttr> rhs_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_OD_H_

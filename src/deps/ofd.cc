@@ -1,0 +1,61 @@
+#include "deps/ofd.h"
+
+namespace famtree {
+
+namespace {
+
+/// Is t_i[attrs] <= t_j[attrs] under the given ordering kind?
+bool LeqOn(const Relation& relation, int i, int j, AttrSet attrs,
+           OrderingKind kind) {
+  if (kind == OrderingKind::kPointwise) {
+    for (int a : attrs.ToVector()) {
+      if (!(relation.Get(i, a) <= relation.Get(j, a))) return false;
+    }
+    return true;
+  }
+  // Lexicographic.
+  for (int a : attrs.ToVector()) {
+    const Value& vi = relation.Get(i, a);
+    const Value& vj = relation.Get(j, a);
+    if (vi < vj) return true;
+    if (vj < vi) return false;
+  }
+  return true;  // equal
+}
+
+}  // namespace
+
+std::string Ofd::ToString(const Schema* schema) const {
+  const char* marker = kind_ == OrderingKind::kPointwise ? "->^P" : "->^L";
+  return internal::AttrNames(schema, lhs_) + " " + marker + " " +
+         internal::AttrNames(schema, rhs_);
+}
+
+Result<ValidationReport> Ofd::Validate(const Relation& relation,
+                                       int max_violations) const {
+  int nc = relation.num_columns();
+  if (!AttrSet::Full(nc).ContainsAll(lhs_.Union(rhs_))) {
+    return Status::Invalid("OFD refers to attributes outside the schema");
+  }
+  if (lhs_.empty() || rhs_.empty()) {
+    return Status::Invalid("OFD needs non-empty sides");
+  }
+  ValidationReport report;
+  int n = relation.num_rows();
+  // Ordered pairs: the implication is directional.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (LeqOn(relation, i, j, lhs_, kind_) &&
+          !LeqOn(relation, i, j, rhs_, kind_)) {
+        internal::RecordViolation(
+            &report, max_violations,
+            Violation{{i, j}, "ordered on X but not on Y"});
+      }
+    }
+  }
+  report.holds = report.violation_count == 0;
+  return report;
+}
+
+}  // namespace famtree

@@ -1,0 +1,43 @@
+#ifndef FAMTREE_DEPS_OFD_H_
+#define FAMTREE_DEPS_OFD_H_
+
+#include <string>
+
+#include "deps/dependency.h"
+
+namespace famtree {
+
+/// How tuple projections are compared by an OFD.
+enum class OrderingKind {
+  /// t1[X] <= t2[X] componentwise on every attribute.
+  kPointwise,
+  /// Lexicographic comparison in attribute-index order ([76], [77] footnote).
+  kLexicographic,
+};
+
+/// An ordered functional dependency X ->^P Y (Section 4.1, [76], [77]):
+/// whenever t1[X] <= t2[X] (pointwise or lexicographically), then
+/// t1[Y] <= t2[Y] likewise. "Higher subtotal leads to higher taxes."
+class Ofd : public Dependency {
+ public:
+  Ofd(AttrSet lhs, AttrSet rhs, OrderingKind kind = OrderingKind::kPointwise)
+      : lhs_(lhs), rhs_(rhs), kind_(kind) {}
+
+  AttrSet lhs() const { return lhs_; }
+  AttrSet rhs() const { return rhs_; }
+  OrderingKind kind() const { return kind_; }
+
+  DependencyClass cls() const override { return DependencyClass::kOfd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  AttrSet lhs_;
+  AttrSet rhs_;
+  OrderingKind kind_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_OFD_H_

@@ -1,0 +1,107 @@
+#include "deps/pac.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace famtree {
+
+namespace {
+
+bool WithinAll(const std::vector<Pac::Tolerance>& tols,
+               const Relation& relation, int i, int j) {
+  for (const auto& t : tols) {
+    double d =
+        t.metric->Distance(relation.Get(i, t.attr), relation.Get(j, t.attr));
+    if (d > t.tolerance) return false;
+  }
+  return true;
+}
+
+std::string TolsToString(const std::vector<Pac::Tolerance>& tols,
+                         const Schema* schema) {
+  std::string out;
+  for (size_t i = 0; i < tols.size(); ++i) {
+    if (i) out += " ";
+    out += internal::AttrName(schema, tols[i].attr) + "_" +
+           FormatDouble(tols[i].tolerance);
+  }
+  return out;
+}
+
+}  // namespace
+
+double Pac::MinRhsProbability(const Relation& relation,
+                              const std::vector<Tolerance>& lhs,
+                              const std::vector<Tolerance>& rhs) {
+  int n = relation.num_rows();
+  int64_t lhs_pairs = 0;
+  std::vector<int64_t> ok(rhs.size(), 0);
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (!WithinAll(lhs, relation, i, j)) continue;
+      ++lhs_pairs;
+      for (size_t k = 0; k < rhs.size(); ++k) {
+        const auto& t = rhs[k];
+        double d = t.metric->Distance(relation.Get(i, t.attr),
+                                      relation.Get(j, t.attr));
+        if (d <= t.tolerance) ++ok[k];
+      }
+    }
+  }
+  if (lhs_pairs == 0) return 1.0;
+  double min_p = 1.0;
+  for (size_t k = 0; k < rhs.size(); ++k) {
+    min_p = std::min(min_p, static_cast<double>(ok[k]) / lhs_pairs);
+  }
+  return min_p;
+}
+
+std::string Pac::ToString(const Schema* schema) const {
+  return TolsToString(lhs_, schema) + " ->^" + FormatDouble(confidence_) +
+         " " + TolsToString(rhs_, schema);
+}
+
+Result<ValidationReport> Pac::Validate(const Relation& relation,
+                                       int max_violations) const {
+  int nc = relation.num_columns();
+  auto check = [nc](const std::vector<Tolerance>& tols) {
+    for (const auto& t : tols) {
+      if (t.attr < 0 || t.attr >= nc) {
+        return Status::Invalid("PAC refers to attributes outside the schema");
+      }
+      if (t.metric == nullptr) return Status::Invalid("PAC metric missing");
+      if (t.tolerance < 0) {
+        return Status::Invalid("PAC tolerance must be >= 0");
+      }
+    }
+    return Status::OK();
+  };
+  FAMTREE_RETURN_NOT_OK(check(lhs_));
+  FAMTREE_RETURN_NOT_OK(check(rhs_));
+  if (rhs_.empty()) return Status::Invalid("PAC needs RHS tolerances");
+  if (confidence_ < 0.0 || confidence_ > 1.0) {
+    return Status::Invalid("PAC confidence must be in [0, 1]");
+  }
+
+  ValidationReport report;
+  report.measure = MinRhsProbability(relation, lhs_, rhs_);
+  report.holds = report.measure >= confidence_;
+  if (!report.holds && max_violations > 0) {
+    int n = relation.num_rows();
+    for (int i = 0; i + 1 < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (!WithinAll(lhs_, relation, i, j)) continue;
+        if (!WithinAll(rhs_, relation, i, j)) {
+          internal::RecordViolation(
+              &report, max_violations,
+              Violation{{i, j}, "pair within LHS tolerances breaks RHS"});
+        }
+      }
+    }
+    report.holds = false;
+  }
+  return report;
+}
+
+}  // namespace famtree

@@ -1,0 +1,51 @@
+#ifndef FAMTREE_DEPS_PAC_H_
+#define FAMTREE_DEPS_PAC_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/dependency.h"
+#include "metric/metric.h"
+
+namespace famtree {
+
+/// A probabilistic approximate constraint X_Delta ->^delta Y_eps
+/// (Section 3.5, [63]): among tuple pairs within tolerance Delta_l on every
+/// LHS attribute, the fraction within tolerance eps_l on each RHS attribute
+/// must reach the confidence delta. NEDs are PACs with delta = 1.
+class Pac : public Dependency {
+ public:
+  struct Tolerance {
+    int attr = 0;
+    MetricPtr metric;
+    double tolerance = 0.0;
+  };
+
+  Pac(std::vector<Tolerance> lhs, std::vector<Tolerance> rhs,
+      double confidence)
+      : lhs_(std::move(lhs)), rhs_(std::move(rhs)), confidence_(confidence) {}
+
+  const std::vector<Tolerance>& lhs() const { return lhs_; }
+  const std::vector<Tolerance>& rhs() const { return rhs_; }
+  double confidence() const { return confidence_; }
+
+  /// Empirical Pr(|t_i[B] - t_j[B]| <= eps_B) over LHS-close pairs for the
+  /// RHS attribute with the lowest probability (the binding constraint).
+  static double MinRhsProbability(const Relation& relation,
+                                  const std::vector<Tolerance>& lhs,
+                                  const std::vector<Tolerance>& rhs);
+
+  DependencyClass cls() const override { return DependencyClass::kPac; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  std::vector<Tolerance> lhs_;
+  std::vector<Tolerance> rhs_;
+  double confidence_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_PAC_H_

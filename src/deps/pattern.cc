@@ -1,0 +1,85 @@
+#include "deps/pattern.h"
+
+#include "deps/dependency.h"
+
+namespace famtree {
+
+const char* CmpOpSymbol(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNeq: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+CmpOp NegateOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return CmpOp::kNeq;
+    case CmpOp::kNeq: return CmpOp::kEq;
+    case CmpOp::kLt: return CmpOp::kGe;
+    case CmpOp::kLe: return CmpOp::kGt;
+    case CmpOp::kGt: return CmpOp::kLe;
+    case CmpOp::kGe: return CmpOp::kLt;
+  }
+  return CmpOp::kEq;
+}
+
+bool EvalCmp(const Value& a, CmpOp op, const Value& b) {
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNeq: return a != b;
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+bool PatternTuple::AllWildcards() const {
+  for (const auto& it : items_) {
+    if (!it.is_wildcard) return false;
+  }
+  return true;
+}
+
+bool PatternTuple::Matches(const Relation& relation, int row,
+                           AttrSet attrs) const {
+  for (const auto& it : items_) {
+    if (it.is_wildcard || !attrs.Contains(it.attr)) continue;
+    if (!EvalCmp(relation.Get(row, it.attr), it.op, it.constant)) return false;
+  }
+  return true;
+}
+
+const PatternItem* PatternTuple::Find(int attr) const {
+  for (const auto& it : items_) {
+    if (it.attr == attr) return &it;
+  }
+  return nullptr;
+}
+
+std::string PatternTuple::ToString(const Schema* schema, AttrSet attrs) const {
+  std::string out = "(";
+  bool first = true;
+  for (int a : attrs.ToVector()) {
+    if (!first) out += ", ";
+    first = false;
+    out += internal::AttrName(schema, a);
+    const PatternItem* it = Find(a);
+    if (it == nullptr || it->is_wildcard) {
+      out += "=_";
+    } else {
+      out += CmpOpSymbol(it->op);
+      out += "'" + it->constant.ToString() + "'";
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace famtree

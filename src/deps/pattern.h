@@ -1,0 +1,76 @@
+#ifndef FAMTREE_DEPS_PATTERN_H_
+#define FAMTREE_DEPS_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/attr_set.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// Comparison operators available in eCFD / DC predicates
+/// ({=, !=, <, <=, >, >=} — the negation-closed operator set of Section 4.3).
+enum class CmpOp { kEq, kNeq, kLt, kLe, kGt, kGe };
+
+const char* CmpOpSymbol(CmpOp op);
+/// The negation within the closed operator set (= <-> !=, < <-> >=, ...).
+CmpOp NegateOp(CmpOp op);
+/// Evaluates `a op b` with Value ordering semantics.
+bool EvalCmp(const Value& a, CmpOp op, const Value& b);
+
+/// One cell of a pattern tuple t_p: either the unnamed variable '_' or a
+/// comparison against a constant. Plain CFDs only use kEq constants;
+/// eCFDs allow the full operator set (Section 2.5.5).
+struct PatternItem {
+  int attr = 0;
+  bool is_wildcard = true;
+  CmpOp op = CmpOp::kEq;
+  Value constant;
+
+  static PatternItem Wildcard(int attr) {
+    PatternItem it;
+    it.attr = attr;
+    return it;
+  }
+  static PatternItem Const(int attr, Value v, CmpOp op = CmpOp::kEq) {
+    PatternItem it;
+    it.attr = attr;
+    it.is_wildcard = false;
+    it.op = op;
+    it.constant = std::move(v);
+    return it;
+  }
+};
+
+/// A pattern tuple over a subset of attributes. A row "matches" when every
+/// non-wildcard item's comparison holds.
+class PatternTuple {
+ public:
+  PatternTuple() = default;
+  explicit PatternTuple(std::vector<PatternItem> items)
+      : items_(std::move(items)) {}
+
+  const std::vector<PatternItem>& items() const { return items_; }
+  bool empty() const { return items_.empty(); }
+
+  /// True iff no item is a constant (the pure-FD special case).
+  bool AllWildcards() const;
+
+  /// Does `row` of `relation` satisfy every constant item restricted to
+  /// attributes in `attrs` (pass the full set to test all items)?
+  bool Matches(const Relation& relation, int row, AttrSet attrs) const;
+
+  /// Item for `attr`, or nullptr when the pattern leaves it unconstrained.
+  const PatternItem* Find(int attr) const;
+
+  /// Renders "(region='Jackson', name=_)" style.
+  std::string ToString(const Schema* schema, AttrSet attrs) const;
+
+ private:
+  std::vector<PatternItem> items_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_PATTERN_H_

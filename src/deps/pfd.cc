@@ -1,0 +1,81 @@
+#include "deps/pfd.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace famtree {
+
+namespace {
+
+/// Size of the largest sub-group of `group` agreeing on `attrs`.
+int PluralityCount(const Relation& relation, const std::vector<int>& group,
+                   AttrSet attrs) {
+  std::vector<std::pair<int, int>> heads;  // (representative row, count)
+  int best = 0;
+  for (int row : group) {
+    bool placed = false;
+    for (auto& [head, count] : heads) {
+      if (relation.AgreeOn(head, row, attrs)) {
+        best = std::max(best, ++count);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      heads.push_back({row, 1});
+      best = std::max(best, 1);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double Pfd::Probability(const Relation& relation, AttrSet lhs, AttrSet rhs) {
+  auto groups = relation.GroupBy(lhs);
+  if (groups.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& group : groups) {
+    sum += static_cast<double>(PluralityCount(relation, group, rhs)) /
+           group.size();
+  }
+  return sum / groups.size();
+}
+
+std::string Pfd::ToString(const Schema* schema) const {
+  return internal::AttrNames(schema, lhs_) + " ->_p=" +
+         FormatDouble(min_probability_) + " " +
+         internal::AttrNames(schema, rhs_);
+}
+
+Result<ValidationReport> Pfd::Validate(const Relation& relation,
+                                       int max_violations) const {
+  int nc = relation.num_columns();
+  if (!AttrSet::Full(nc).ContainsAll(lhs_.Union(rhs_))) {
+    return Status::Invalid("PFD refers to attributes outside the schema");
+  }
+  if (min_probability_ < 0.0 || min_probability_ > 1.0) {
+    return Status::Invalid("PFD probability threshold must be in [0, 1]");
+  }
+  ValidationReport report;
+  report.measure = Probability(relation, lhs_, rhs_);
+  report.holds = report.measure >= min_probability_;
+  if (!report.holds) {
+    for (const auto& group : relation.GroupBy(lhs_)) {
+      for (size_t j = 1; j < group.size(); ++j) {
+        if (!relation.AgreeOn(group[0], group[j], rhs_)) {
+          internal::RecordViolation(
+              &report, max_violations,
+              Violation{{group[0], group[j]},
+                        "minority RHS value under this LHS value"});
+          break;
+        }
+      }
+    }
+    report.holds = false;
+  }
+  return report;
+}
+
+}  // namespace famtree

@@ -1,0 +1,40 @@
+#ifndef FAMTREE_DEPS_PFD_H_
+#define FAMTREE_DEPS_PFD_H_
+
+#include <string>
+
+#include "deps/dependency.h"
+
+namespace famtree {
+
+/// A probabilistic functional dependency X ->_p Y (Section 2.2, [104]):
+/// per distinct X-value V, P(X -> Y, V) is the fraction of V's tuples that
+/// carry the plurality Y-value; the PFD probability is the average over
+/// distinct X-values and must reach p. An FD is exactly a PFD with p = 1.
+class Pfd : public Dependency {
+ public:
+  Pfd(AttrSet lhs, AttrSet rhs, double min_probability)
+      : lhs_(lhs), rhs_(rhs), min_probability_(min_probability) {}
+
+  AttrSet lhs() const { return lhs_; }
+  AttrSet rhs() const { return rhs_; }
+  double min_probability() const { return min_probability_; }
+
+  /// P(X -> Y, r): average per-value plurality fraction.
+  static double Probability(const Relation& relation, AttrSet lhs,
+                            AttrSet rhs);
+
+  DependencyClass cls() const override { return DependencyClass::kPfd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  AttrSet lhs_;
+  AttrSet rhs_;
+  double min_probability_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_PFD_H_

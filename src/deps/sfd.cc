@@ -1,0 +1,51 @@
+#include "deps/sfd.h"
+
+#include "common/strings.h"
+
+namespace famtree {
+
+double Sfd::Strength(const Relation& relation, AttrSet lhs, AttrSet rhs) {
+  if (relation.num_rows() == 0) return 1.0;
+  int dom_x = relation.CountDistinct(lhs);
+  int dom_xy = relation.CountDistinct(lhs.Union(rhs));
+  if (dom_xy == 0) return 1.0;
+  return static_cast<double>(dom_x) / dom_xy;
+}
+
+std::string Sfd::ToString(const Schema* schema) const {
+  return internal::AttrNames(schema, lhs_) + " ->_" +
+         FormatDouble(min_strength_) + " " + internal::AttrNames(schema, rhs_);
+}
+
+Result<ValidationReport> Sfd::Validate(const Relation& relation,
+                                       int max_violations) const {
+  int nc = relation.num_columns();
+  if (!AttrSet::Full(nc).ContainsAll(lhs_.Union(rhs_))) {
+    return Status::Invalid("SFD refers to attributes outside the schema");
+  }
+  if (min_strength_ < 0.0 || min_strength_ > 1.0) {
+    return Status::Invalid("SFD strength threshold must be in [0, 1]");
+  }
+  ValidationReport report;
+  report.measure = Strength(relation, lhs_, rhs_);
+  report.holds = report.measure >= min_strength_;
+  if (!report.holds) {
+    // Witnesses: one X-group that maps to multiple XY-combinations.
+    for (const auto& group : relation.GroupBy(lhs_)) {
+      if (group.size() < 2) continue;
+      for (size_t j = 1; j < group.size(); ++j) {
+        if (!relation.AgreeOn(group[0], group[j], rhs_)) {
+          internal::RecordViolation(
+              &report, max_violations,
+              Violation{{group[0], group[j]},
+                        "same LHS value maps to multiple RHS values"});
+          break;
+        }
+      }
+    }
+    report.holds = false;
+  }
+  return report;
+}
+
+}  // namespace famtree

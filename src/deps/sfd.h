@@ -1,0 +1,38 @@
+#ifndef FAMTREE_DEPS_SFD_H_
+#define FAMTREE_DEPS_SFD_H_
+
+#include <string>
+
+#include "deps/dependency.h"
+
+namespace famtree {
+
+/// A soft functional dependency X ->_s Y (Section 2.1, CORDS [55]): the
+/// strength measure S(X -> Y, r) = |dom(X)|_r / |dom(X,Y)|_r must reach the
+/// threshold s. An FD is exactly an SFD with strength 1.
+class Sfd : public Dependency {
+ public:
+  Sfd(AttrSet lhs, AttrSet rhs, double min_strength)
+      : lhs_(lhs), rhs_(rhs), min_strength_(min_strength) {}
+
+  AttrSet lhs() const { return lhs_; }
+  AttrSet rhs() const { return rhs_; }
+  double min_strength() const { return min_strength_; }
+
+  /// The paper's strength measure on an instance.
+  static double Strength(const Relation& relation, AttrSet lhs, AttrSet rhs);
+
+  DependencyClass cls() const override { return DependencyClass::kSfd; }
+  std::string ToString(const Schema* schema = nullptr) const override;
+  Result<ValidationReport> Validate(const Relation& relation,
+                                    int max_violations) const override;
+
+ private:
+  AttrSet lhs_;
+  AttrSet rhs_;
+  double min_strength_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DEPS_SFD_H_

@@ -1,0 +1,108 @@
+#include "discovery/cd_discovery.h"
+
+namespace famtree {
+
+namespace {
+
+Status CheckFunctions(const Relation& relation,
+                      const std::vector<SimilarityFunction>& functions) {
+  int nc = relation.num_columns();
+  for (const auto& f : functions) {
+    if (f.attr_i < 0 || f.attr_i >= nc || f.attr_j < 0 || f.attr_j >= nc) {
+      return Status::Invalid("similarity function outside the schema");
+    }
+    if (f.metric == nullptr) {
+      return Status::Invalid("similarity function without a metric");
+    }
+  }
+  return Status::OK();
+}
+
+/// Evaluates one candidate (lhs indices into `functions`, rhs index).
+void Evaluate(const Relation& relation,
+              const std::vector<SimilarityFunction>& functions,
+              const std::vector<int>& lhs, int rhs,
+              const CdDiscoveryOptions& options,
+              std::vector<DiscoveredCd>* out) {
+  int n = relation.num_rows();
+  int64_t support = 0, satisfied = 0;
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      bool all = true;
+      for (int f : lhs) {
+        if (!functions[f].Similar(relation, i, j)) {
+          all = false;
+          break;
+        }
+      }
+      if (!all) continue;
+      ++support;
+      if (functions[rhs].Similar(relation, i, j)) ++satisfied;
+    }
+  }
+  if (support < options.min_support) return;
+  double confidence = static_cast<double>(satisfied) / support;
+  if (confidence < options.min_confidence) return;
+  std::vector<SimilarityFunction> lhs_fns;
+  for (int f : lhs) lhs_fns.push_back(functions[f]);
+  out->push_back(DiscoveredCd{Cd(std::move(lhs_fns), functions[rhs]),
+                              support, confidence});
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredCd>> DiscoverCds(
+    const Relation& relation,
+    const std::vector<SimilarityFunction>& functions,
+    const CdDiscoveryOptions& options) {
+  FAMTREE_RETURN_NOT_OK(CheckFunctions(relation, functions));
+  std::vector<DiscoveredCd> out;
+  int k = static_cast<int>(functions.size());
+  for (int rhs = 0; rhs < k; ++rhs) {
+    for (int a = 0; a < k; ++a) {
+      if (a == rhs) continue;
+      Evaluate(relation, functions, {a}, rhs, options, &out);
+      if (static_cast<int>(out.size()) >= options.max_results) return out;
+      if (options.max_lhs_functions < 2) continue;
+      for (int b = a + 1; b < k; ++b) {
+        if (b == rhs) continue;
+        Evaluate(relation, functions, {a, b}, rhs, options, &out);
+        if (static_cast<int>(out.size()) >= options.max_results) return out;
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<DiscoveredCd>> ExtendCdsWithFunction(
+    const Relation& relation,
+    const std::vector<SimilarityFunction>& known,
+    const SimilarityFunction& fresh, const CdDiscoveryOptions& options) {
+  FAMTREE_RETURN_NOT_OK(CheckFunctions(relation, known));
+  FAMTREE_RETURN_NOT_OK(CheckFunctions(relation, {fresh}));
+  std::vector<SimilarityFunction> all = known;
+  all.push_back(fresh);
+  int fresh_idx = static_cast<int>(all.size()) - 1;
+  int k = static_cast<int>(all.size());
+  std::vector<DiscoveredCd> out;
+  // fresh as RHS.
+  for (int a = 0; a < fresh_idx; ++a) {
+    Evaluate(relation, all, {a}, fresh_idx, options, &out);
+    for (int b = a + 1; b < fresh_idx && options.max_lhs_functions >= 2;
+         ++b) {
+      Evaluate(relation, all, {a, b}, fresh_idx, options, &out);
+    }
+  }
+  // fresh as an LHS conjunct.
+  for (int rhs = 0; rhs < fresh_idx; ++rhs) {
+    Evaluate(relation, all, {fresh_idx}, rhs, options, &out);
+    for (int b = 0; b < k && options.max_lhs_functions >= 2; ++b) {
+      if (b == rhs || b == fresh_idx) continue;
+      Evaluate(relation, all, {std::min(b, fresh_idx), std::max(b, fresh_idx)},
+               rhs, options, &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace famtree

@@ -1,0 +1,48 @@
+#ifndef FAMTREE_DISCOVERY_CD_DISCOVERY_H_
+#define FAMTREE_DISCOVERY_CD_DISCOVERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "deps/cd.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+struct CdDiscoveryOptions {
+  /// Minimum tuple pairs similar under the LHS functions.
+  int64_t min_support = 3;
+  /// Minimum fraction of LHS-similar pairs similar under the RHS.
+  double min_confidence = 0.9;
+  /// LHS conjunction size cap.
+  int max_lhs_functions = 2;
+  int max_results = 10000;
+};
+
+struct DiscoveredCd {
+  Cd cd;
+  int64_t support = 0;
+  double confidence = 0.0;
+};
+
+/// CD discovery over a dataspace ([92]): given the identified similarity
+/// functions (typically built from AssembleDataspace's matched column
+/// pairs), finds comparable dependencies /\ theta_i -> theta_r with
+/// sufficient support and confidence.
+Result<std::vector<DiscoveredCd>> DiscoverCds(
+    const Relation& relation,
+    const std::vector<SimilarityFunction>& functions,
+    const CdDiscoveryOptions& options = {});
+
+/// The pay-as-you-go step of [92]: given the functions already explored,
+/// generates only the *new* dependencies that involve `fresh` (as an LHS
+/// conjunct or as the RHS) — what a dataspace system runs when a new
+/// attribute comparison is identified at query time.
+Result<std::vector<DiscoveredCd>> ExtendCdsWithFunction(
+    const Relation& relation,
+    const std::vector<SimilarityFunction>& known,
+    const SimilarityFunction& fresh, const CdDiscoveryOptions& options = {});
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DISCOVERY_CD_DISCOVERY_H_

@@ -1,0 +1,227 @@
+#include "discovery/cfd_discovery.h"
+
+#include <algorithm>
+#include <map>
+
+#include "deps/fd.h"
+
+namespace famtree {
+
+namespace {
+
+/// Builds the pattern "attrs pinned to row's values" over `attrs`.
+PatternTuple ConstPatternFromRow(const Relation& relation, int row,
+                                 AttrSet attrs) {
+  std::vector<PatternItem> items;
+  for (int a : attrs.ToVector()) {
+    items.push_back(PatternItem::Const(a, relation.Get(row, a)));
+  }
+  return PatternTuple(std::move(items));
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
+    const Relation& relation, const CfdDiscoveryOptions& options) {
+  int nc = relation.num_columns();
+  if (nc > 63) return Status::Invalid("CFD discovery supports up to 63 attributes");
+  std::vector<DiscoveredCfd> out;
+  // Track (rhs attr, rhs value hash, lhs attrs, head row) of accepted
+  // CFDs for the minimality filter.
+  struct Accepted {
+    int rhs;
+    AttrSet lhs;
+    int head_row;
+  };
+  std::vector<Accepted> accepted;
+
+  for (int size = 1; size <= options.max_lhs_size; ++size) {
+    for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
+      auto groups = relation.GroupBy(lhs);
+      for (const auto& group : groups) {
+        if (static_cast<int>(group.size()) < options.min_support) continue;
+        for (int a = 0; a < nc; ++a) {
+          if (lhs.Contains(a)) continue;
+          // All group members must agree on a.
+          bool uniform = true;
+          for (size_t i = 1; i < group.size(); ++i) {
+            if (!(relation.Get(group[0], a) == relation.Get(group[i], a))) {
+              uniform = false;
+              break;
+            }
+          }
+          if (!uniform) continue;
+          // Minimality: some accepted CFD with lhs' subset of lhs whose
+          // pattern values agree with this group pins the same (a, value)?
+          bool minimal = true;
+          for (const Accepted& acc : accepted) {
+            if (acc.rhs != a || !lhs.ContainsAll(acc.lhs)) continue;
+            if (relation.AgreeOn(acc.head_row, group[0], acc.lhs) &&
+                relation.Get(acc.head_row, a) == relation.Get(group[0], a)) {
+              minimal = false;
+              break;
+            }
+          }
+          if (!minimal) continue;
+          PatternTuple pattern = ConstPatternFromRow(relation, group[0], lhs);
+          std::vector<PatternItem> items = pattern.items();
+          items.push_back(PatternItem::Const(a, relation.Get(group[0], a)));
+          Cfd cfd(lhs, AttrSet::Single(a), PatternTuple(std::move(items)));
+          out.push_back(
+              DiscoveredCfd{std::move(cfd), static_cast<int>(group.size())});
+          accepted.push_back(Accepted{a, lhs, group[0]});
+          if (static_cast<int>(out.size()) >= options.max_results) {
+            return out;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<DiscoveredCfd>> DiscoverGeneralCfds(
+    const Relation& relation, const CfdDiscoveryOptions& options) {
+  int nc = relation.num_columns();
+  if (nc > 63) return Status::Invalid("CFD discovery supports up to 63 attributes");
+  std::vector<DiscoveredCfd> out;
+  for (int size = 2; size <= options.max_lhs_size; ++size) {
+    for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
+      for (int a = 0; a < nc; ++a) {
+        if (lhs.Contains(a)) continue;
+        // Skip embedded FDs that hold globally — the plain FD subsumes
+        // every conditional refinement.
+        Fd fd(lhs, AttrSet::Single(a));
+        if (fd.Holds(relation)) continue;
+        // Try condition attribute sets C inside lhs (size bounded by
+        // max_condition_attrs): bind C to each of its value combinations;
+        // remaining lhs attributes stay variable.
+        int max_cond = std::min(options.max_condition_attrs, lhs.size());
+        for (int cond_size = 1; cond_size <= max_cond; ++cond_size) {
+          for (AttrSet cond : AllSubsetsOfSize(nc, cond_size)) {
+            if (!lhs.ContainsAll(cond)) continue;
+            auto groups = relation.GroupBy(cond);
+            for (const auto& group : groups) {
+              if (static_cast<int>(group.size()) < options.min_support) {
+                continue;
+              }
+              // Does the FD hold within the condition group?
+              Relation subset = relation.Select(group);
+              Fd local(lhs, AttrSet::Single(a));
+              if (!local.Holds(subset)) continue;
+              // Pattern minimality: skip when an already-accepted CFD on
+              // the same embedded FD has a condition subset matching this
+              // group (the broader condition subsumes this one).
+              bool subsumed = false;
+              for (const DiscoveredCfd& prev : out) {
+                if (prev.cfd.lhs() != lhs || !prev.cfd.rhs().Contains(a)) {
+                  continue;
+                }
+                AttrSet prev_cond;
+                for (const auto& it : prev.cfd.pattern().items()) {
+                  if (!it.is_wildcard) prev_cond.Add(it.attr);
+                }
+                if (cond.ContainsAll(prev_cond) && prev_cond != cond &&
+                    prev.cfd.pattern().Matches(relation, group[0],
+                                               prev_cond)) {
+                  subsumed = true;
+                  break;
+                }
+              }
+              if (subsumed) continue;
+              std::vector<PatternItem> items;
+              for (int b : lhs.ToVector()) {
+                items.push_back(cond.Contains(b)
+                                    ? PatternItem::Const(
+                                          b, relation.Get(group[0], b))
+                                    : PatternItem::Wildcard(b));
+              }
+              items.push_back(PatternItem::Wildcard(a));
+              Cfd cfd(lhs, AttrSet::Single(a),
+                      PatternTuple(std::move(items)));
+              out.push_back(DiscoveredCfd{std::move(cfd),
+                                          static_cast<int>(group.size())});
+              if (static_cast<int>(out.size()) >= options.max_results) {
+                return out;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<DiscoveredCfd>> BuildGreedyTableau(
+    const Relation& relation, AttrSet lhs, int rhs, int condition_attr,
+    const TableauOptions& options) {
+  int nc = relation.num_columns();
+  if (!AttrSet::Full(nc).ContainsAll(lhs) || rhs < 0 || rhs >= nc ||
+      !lhs.Contains(condition_attr)) {
+    return Status::Invalid(
+        "tableau construction needs condition_attr inside the LHS and a "
+        "valid RHS");
+  }
+  if (options.target_coverage < 0 || options.target_coverage > 1) {
+    return Status::Invalid("target_coverage must be in [0, 1]");
+  }
+  // Candidate patterns: the distinct values of condition_attr, scored by
+  // group size, violation-free groups only.
+  struct Candidate {
+    int head_row;
+    std::vector<int> rows;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& group : relation.GroupBy(AttrSet::Single(condition_attr))) {
+    if (static_cast<int>(candidates.size()) >= options.max_patterns) break;
+    Relation subset = relation.Select(group);
+    Fd local(lhs, AttrSet::Single(rhs));
+    if (!local.Holds(subset)) continue;
+    candidates.push_back(Candidate{group[0], group});
+  }
+  std::vector<DiscoveredCfd> tableau;
+  std::vector<bool> covered(relation.num_rows(), false);
+  int covered_count = 0;
+  int target = static_cast<int>(options.target_coverage *
+                                relation.num_rows());
+  std::vector<bool> used(candidates.size(), false);
+  while (covered_count < target) {
+    // Greedy: candidate with the largest marginal cover.
+    int best = -1, best_gain = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      int gain = 0;
+      for (int r : candidates[i].rows) {
+        if (!covered[r]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;  // no candidate adds coverage
+    used[best] = true;
+    for (int r : candidates[best].rows) {
+      if (!covered[r]) {
+        covered[r] = true;
+        ++covered_count;
+      }
+    }
+    std::vector<PatternItem> items;
+    for (int b : lhs.ToVector()) {
+      items.push_back(
+          b == condition_attr
+              ? PatternItem::Const(
+                    b, relation.Get(candidates[best].head_row, b))
+              : PatternItem::Wildcard(b));
+    }
+    items.push_back(PatternItem::Wildcard(rhs));
+    Cfd cfd(lhs, AttrSet::Single(rhs), PatternTuple(std::move(items)));
+    tableau.push_back(DiscoveredCfd{
+        std::move(cfd), static_cast<int>(candidates[best].rows.size())});
+  }
+  return tableau;
+}
+
+}  // namespace famtree

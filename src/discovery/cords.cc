@@ -1,0 +1,101 @@
+#include "discovery/cords.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "deps/sfd.h"
+
+namespace famtree {
+
+namespace {
+
+/// Category id of a value, bucketing the long tail into one id.
+int CategoryOf(const Value& v,
+               std::unordered_map<size_t, int>* ids,
+               std::vector<Value>* reps, int cap) {
+  size_t h = v.Hash();
+  auto it = ids->find(h);
+  if (it != ids->end()) return it->second;
+  if (static_cast<int>(reps->size()) >= cap) return cap;  // "other" bucket
+  int id = static_cast<int>(reps->size());
+  ids->emplace(h, id);
+  reps->push_back(v);
+  return id;
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredSfd>> DiscoverSfdsCords(
+    const Relation& relation, const CordsOptions& options) {
+  if (options.sample_size <= 0) {
+    return Status::Invalid("sample_size must be positive");
+  }
+  int n = relation.num_rows();
+  Rng rng(options.seed);
+  std::vector<int> sample_rows;
+  if (n <= options.sample_size) {
+    sample_rows.resize(n);
+    for (int i = 0; i < n; ++i) sample_rows[i] = i;
+  } else {
+    sample_rows = rng.SampleWithoutReplacement(n, options.sample_size);
+  }
+  Relation sample = relation.Select(sample_rows);
+
+  std::vector<DiscoveredSfd> out;
+  int nc = relation.num_columns();
+  for (int a = 0; a < nc; ++a) {
+    for (int b = 0; b < nc; ++b) {
+      if (a == b) continue;
+      DiscoveredSfd finding;
+      finding.lhs = a;
+      finding.rhs = b;
+      finding.strength =
+          Sfd::Strength(sample, AttrSet::Single(a), AttrSet::Single(b));
+      finding.is_soft_fd = finding.strength >= options.min_strength;
+
+      // Contingency table over bucketed categories.
+      std::unordered_map<size_t, int> ids_a, ids_b;
+      std::vector<Value> reps_a, reps_b;
+      std::map<std::pair<int, int>, int> counts;
+      std::map<int, int> row_totals, col_totals;
+      int total = sample.num_rows();
+      for (int r = 0; r < total; ++r) {
+        int ca = CategoryOf(sample.Get(r, a), &ids_a, &reps_a,
+                            options.max_categories);
+        int cb = CategoryOf(sample.Get(r, b), &ids_b, &reps_b,
+                            options.max_categories);
+        ++counts[{ca, cb}];
+        ++row_totals[ca];
+        ++col_totals[cb];
+      }
+      double chi2 = 0.0;
+      if (total > 0 && row_totals.size() > 1 && col_totals.size() > 1) {
+        for (const auto& [ra, ra_count] : row_totals) {
+          for (const auto& [cb, cb_count] : col_totals) {
+            double expected =
+                static_cast<double>(ra_count) * cb_count / total;
+            auto it = counts.find({ra, cb});
+            double observed = it == counts.end() ? 0.0 : it->second;
+            if (expected > 0) {
+              chi2 += (observed - expected) * (observed - expected) /
+                      expected;
+            }
+          }
+        }
+        int k = static_cast<int>(
+            std::min(row_totals.size(), col_totals.size()));
+        double v = std::sqrt(chi2 / (total * std::max(1, k - 1)));
+        finding.cramers_v = std::min(1.0, v);
+      }
+      finding.chi2 = chi2;
+      finding.is_correlated = finding.cramers_v >= options.min_cramers_v;
+      out.push_back(finding);
+    }
+  }
+  return out;
+}
+
+}  // namespace famtree

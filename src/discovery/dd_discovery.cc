@@ -1,0 +1,166 @@
+#include "discovery/dd_discovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "metric/metric.h"
+
+namespace famtree {
+
+namespace {
+
+MetricPtr MetricForColumn(const Relation& relation, int attr) {
+  return DefaultMetricFor(relation.schema().column(attr).type);
+}
+
+/// All pairwise distances on one attribute (n <= a few thousand).
+std::vector<double> PairwiseDistances(const Relation& relation, int attr,
+                                      const Metric& metric) {
+  std::vector<double> out;
+  int n = relation.num_rows();
+  out.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double d = metric.Distance(relation.Get(i, attr), relation.Get(j, attr));
+      if (std::isfinite(d)) out.push_back(d);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> DetermineThresholds(const Relation& relation, int attr,
+                                        const std::vector<double>& quantiles) {
+  MetricPtr metric = MetricForColumn(relation, attr);
+  std::vector<double> dists = PairwiseDistances(relation, attr, *metric);
+  std::sort(dists.begin(), dists.end());
+  std::vector<double> out;
+  for (double q : quantiles) {
+    if (dists.empty()) break;
+    size_t idx = std::min(dists.size() - 1,
+                          static_cast<size_t>(q * dists.size()));
+    out.push_back(dists[idx]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<std::vector<DiscoveredDd>> DiscoverDds(
+    const Relation& input, const DdDiscoveryOptions& options) {
+  Relation sampled;
+  const Relation* source = &input;
+  if (options.sample_rows > 0 && input.num_rows() > options.sample_rows) {
+    Rng rng(options.seed);
+    sampled = input.Select(
+        rng.SampleWithoutReplacement(input.num_rows(), options.sample_rows));
+    source = &sampled;
+  }
+  const Relation& relation = *source;
+  int nc = relation.num_columns();
+  int n = relation.num_rows();
+  if (n > 3000) {
+    return Status::Invalid(
+        "DD discovery is pairwise; set sample_rows to bound the input");
+  }
+  if (options.max_lhs_attrs < 1 || options.max_lhs_attrs > 2) {
+    return Status::Invalid("max_lhs_attrs must be 1 or 2");
+  }
+  std::vector<MetricPtr> metrics(nc);
+  std::vector<std::vector<double>> thresholds(nc);
+  for (int a = 0; a < nc; ++a) {
+    metrics[a] = MetricForColumn(relation, a);
+    thresholds[a] =
+        DetermineThresholds(relation, a, options.threshold_quantiles);
+  }
+  // Global per-attribute max pairwise distance (vacuity bound).
+  std::vector<double> global_max(nc, 0.0);
+  for (int a = 0; a < nc; ++a) {
+    for (double d : PairwiseDistances(relation, a, *metrics[a])) {
+      global_max[a] = std::max(global_max[a], d);
+    }
+  }
+
+  std::vector<DiscoveredDd> out;
+  // Candidate LHS: one or two attributes, each with one threshold.
+  std::vector<std::vector<DifferentialFunction>> lhs_candidates;
+  for (int a = 0; a < nc; ++a) {
+    for (double t : thresholds[a]) {
+      lhs_candidates.push_back(
+          {DifferentialFunction(a, metrics[a], DistRange::AtMost(t))});
+    }
+  }
+  if (options.max_lhs_attrs >= 2) {
+    size_t singles = lhs_candidates.size();
+    for (size_t i = 0; i < singles; ++i) {
+      for (size_t j = i + 1; j < singles; ++j) {
+        if (lhs_candidates[i][0].attr == lhs_candidates[j][0].attr) continue;
+        lhs_candidates.push_back(
+            {lhs_candidates[i][0], lhs_candidates[j][0]});
+      }
+    }
+  }
+
+  for (const auto& lhs : lhs_candidates) {
+    // Pairs satisfying the LHS.
+    std::vector<std::pair<int, int>> pairs;
+    for (int i = 0; i + 1 < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (AllSatisfied(lhs, relation, i, j)) pairs.push_back({i, j});
+      }
+    }
+    if (static_cast<int>(pairs.size()) < options.min_support) continue;
+    AttrSet lhs_attrs;
+    for (const auto& fn : lhs) lhs_attrs.Add(fn.attr);
+    for (int b = 0; b < nc; ++b) {
+      if (lhs_attrs.Contains(b)) continue;
+      // Tightest RHS bound over LHS-compatible pairs.
+      double bound = 0.0;
+      bool finite = true;
+      for (const auto& [i, j] : pairs) {
+        double d =
+            metrics[b]->Distance(relation.Get(i, b), relation.Get(j, b));
+        if (!std::isfinite(d)) {
+          finite = false;
+          break;
+        }
+        bound = std::max(bound, d);
+      }
+      if (!finite) continue;
+      if (bound >= global_max[b]) continue;  // vacuous rule
+      Dd dd(lhs, {DifferentialFunction(b, metrics[b],
+                                       DistRange::AtMost(bound))});
+      // Subsumption: drop if an already-reported DD on the same attribute
+      // sets has looser-or-equal LHS thresholds and tighter-or-equal RHS.
+      bool subsumed = false;
+      for (const DiscoveredDd& prev : out) {
+        if (prev.dd.rhs()[0].attr != b) continue;
+        if (prev.dd.lhs().size() != lhs.size()) continue;
+        bool same_attrs = true, looser_lhs = true;
+        for (size_t k = 0; k < lhs.size(); ++k) {
+          if (prev.dd.lhs()[k].attr != lhs[k].attr) {
+            same_attrs = false;
+            break;
+          }
+          if (prev.dd.lhs()[k].range.max < lhs[k].range.max) {
+            looser_lhs = false;
+          }
+        }
+        if (same_attrs && looser_lhs &&
+            prev.dd.rhs()[0].range.max <= bound) {
+          subsumed = true;
+          break;
+        }
+      }
+      if (subsumed) continue;
+      out.push_back(
+          DiscoveredDd{std::move(dd), static_cast<int64_t>(pairs.size())});
+      if (static_cast<int>(out.size()) >= options.max_results) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace famtree

@@ -1,0 +1,75 @@
+#include "discovery/ecfd_discovery.h"
+
+#include <algorithm>
+
+#include "deps/fd.h"
+
+namespace famtree {
+
+namespace {
+
+std::vector<double> Cutpoints(const Relation& relation, int attr,
+                              const std::vector<double>& quantiles) {
+  std::vector<double> values;
+  for (int r = 0; r < relation.num_rows(); ++r) {
+    const Value& v = relation.Get(r, attr);
+    if (v.is_numeric()) values.push_back(v.AsNumeric());
+  }
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  for (double q : quantiles) {
+    if (values.empty()) break;
+    out.push_back(values[std::min(values.size() - 1,
+                                  static_cast<size_t>(q * values.size()))]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredEcfd>> DiscoverEcfds(
+    const Relation& relation, const EcfdDiscoveryOptions& options) {
+  int nc = relation.num_columns();
+  if (nc > 63) return Status::Invalid("eCFD discovery supports up to 63 attributes");
+  std::vector<DiscoveredEcfd> out;
+  auto is_numeric = [&relation](int a) {
+    ValueType t = relation.schema().column(a).type;
+    return t == ValueType::kInt || t == ValueType::kDouble;
+  };
+  for (int size = 2; size <= options.max_lhs_size; ++size) {
+    for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
+      for (int a = 0; a < nc; ++a) {
+        if (lhs.Contains(a)) continue;
+        Fd fd(lhs, AttrSet::Single(a));
+        if (fd.Holds(relation)) continue;  // the plain FD subsumes
+        for (int c : lhs.ToVector()) {
+          if (!is_numeric(c)) continue;
+          for (double cut : Cutpoints(relation, c, options.cut_quantiles)) {
+            for (CmpOp op : {CmpOp::kLe, CmpOp::kGe}) {
+              std::vector<PatternItem> items;
+              for (int b : lhs.ToVector()) {
+                items.push_back(b == c ? PatternItem::Const(
+                                             b, Value(cut), op)
+                                       : PatternItem::Wildcard(b));
+              }
+              Ecfd candidate(lhs, AttrSet::Single(a),
+                             PatternTuple(std::move(items)));
+              int support = candidate.Support(relation);
+              if (support < options.min_support) continue;
+              if (!candidate.Holds(relation)) continue;
+              out.push_back(DiscoveredEcfd{std::move(candidate), support});
+              if (static_cast<int>(out.size()) >= options.max_results) {
+                return out;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace famtree

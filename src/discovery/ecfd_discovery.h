@@ -1,0 +1,38 @@
+#ifndef FAMTREE_DISCOVERY_ECFD_DISCOVERY_H_
+#define FAMTREE_DISCOVERY_ECFD_DISCOVERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "deps/ecfd.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+struct EcfdDiscoveryOptions {
+  /// Candidate range-condition cutpoints per numeric attribute are taken
+  /// at these quantiles of the column's values.
+  std::vector<double> cut_quantiles = {0.25, 0.5, 0.75};
+  /// Minimum tuples the condition must cover.
+  int min_support = 5;
+  /// Embedded-FD LHS size cap (the condition attribute included).
+  int max_lhs_size = 2;
+  int max_results = 10000;
+};
+
+struct DiscoveredEcfd {
+  Ecfd ecfd;
+  int support = 0;
+};
+
+/// eCFD discovery with built-in predicates in the spirit of Zanzi &
+/// Trombetta [114]: for each embedded FD X -> A that fails globally, and
+/// each numeric attribute C in X, finds range conditions C <= c / C >= c
+/// (cutpoints from the value distribution) under which the FD holds with
+/// sufficient support — e.g. the paper's "rate <= 200, name -> address".
+Result<std::vector<DiscoveredEcfd>> DiscoverEcfds(
+    const Relation& relation, const EcfdDiscoveryOptions& options = {});
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DISCOVERY_ECFD_DISCOVERY_H_

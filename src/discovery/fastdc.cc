@@ -1,0 +1,267 @@
+#include "discovery/fastdc.h"
+
+#include <algorithm>
+#include <bitset>
+#include <map>
+
+#include "common/rng.h"
+
+namespace famtree {
+
+namespace {
+
+constexpr int kMaxPredicates = 256;
+using Bits = std::bitset<kMaxPredicates>;
+
+/// Is pred `p` the negation of pred `q` (same operands, negated op)?
+bool AreNegations(const DcPredicate& p, const DcPredicate& q) {
+  auto same_operand = [](const DcOperand& a, const DcOperand& b) {
+    if (a.kind != b.kind) return false;
+    if (a.kind == DcOperand::Kind::kConst) return a.constant == b.constant;
+    return a.attr == b.attr;
+  };
+  return same_operand(p.lhs, q.lhs) && same_operand(p.rhs, q.rhs) &&
+         q.op == NegateOp(p.op);
+}
+
+struct Evidence {
+  Bits bits;
+  int64_t count = 0;
+};
+
+/// DFS for minimal predicate sets S such that the total count of evidence
+/// sets containing S stays within `budget` (0 = valid DC). Branches on the
+/// complement of a maximal still-covering evidence set.
+class CoverSearch {
+ public:
+  CoverSearch(const std::vector<DcPredicate>& preds,
+              const std::vector<Evidence>& evidence, int max_size,
+              int64_t budget, int max_results)
+      : preds_(preds),
+        evidence_(evidence),
+        max_size_(max_size),
+        budget_(budget),
+        max_results_(max_results) {}
+
+  void Run() { Dfs(Bits(), -1); }
+
+  const std::vector<std::pair<Bits, int64_t>>& results() const {
+    return results_;
+  }
+
+ private:
+  int64_t ViolationCount(const Bits& chosen) const {
+    int64_t total = 0;
+    for (const Evidence& e : evidence_) {
+      if ((chosen & e.bits) == chosen) total += e.count;
+    }
+    return total;
+  }
+
+  bool IsMinimal(const Bits& chosen) const {
+    for (int p = 0; p < static_cast<int>(preds_.size()); ++p) {
+      if (!chosen[p]) continue;
+      Bits reduced = chosen;
+      reduced[p] = false;
+      if (reduced.none()) continue;
+      if (ViolationCount(reduced) <= budget_) return false;
+    }
+    return true;
+  }
+
+  bool HasNegationPair(const Bits& chosen) const {
+    std::vector<int> idx;
+    for (int p = 0; p < static_cast<int>(preds_.size()); ++p) {
+      if (chosen[p]) idx.push_back(p);
+    }
+    for (size_t i = 0; i + 1 < idx.size(); ++i) {
+      for (size_t j = i + 1; j < idx.size(); ++j) {
+        if (AreNegations(preds_[idx[i]], preds_[idx[j]])) return true;
+      }
+    }
+    return false;
+  }
+
+  void Dfs(Bits chosen, int last) {
+    if (static_cast<int>(results_.size()) >= max_results_) return;
+    if (chosen.any()) {
+      int64_t violations = ViolationCount(chosen);
+      if (violations <= budget_) {
+        if (!HasNegationPair(chosen) && IsMinimal(chosen)) {
+          results_.push_back({chosen, violations});
+        }
+        return;  // adding predicates only makes it less minimal
+      }
+    }
+    if (static_cast<int>(chosen.count()) >= max_size_) return;
+    for (int p = last + 1; p < static_cast<int>(preds_.size()); ++p) {
+      Bits next = chosen;
+      next[p] = true;
+      Dfs(next, p);
+    }
+  }
+
+  const std::vector<DcPredicate>& preds_;
+  const std::vector<Evidence>& evidence_;
+  int max_size_;
+  int64_t budget_;
+  int max_results_;
+  std::vector<std::pair<Bits, int64_t>> results_;
+};
+
+}  // namespace
+
+std::vector<DcPredicate> BuildPredicateSpace(const Relation& relation,
+                                             bool cross_column) {
+  std::vector<DcPredicate> preds;
+  int nc = relation.num_columns();
+  auto is_numeric = [&relation](int a) {
+    ValueType t = relation.schema().column(a).type;
+    return t == ValueType::kInt || t == ValueType::kDouble;
+  };
+  for (int a = 0; a < nc; ++a) {
+    std::vector<CmpOp> ops = {CmpOp::kEq, CmpOp::kNeq};
+    if (is_numeric(a)) {
+      ops.insert(ops.end(),
+                 {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe});
+    }
+    for (CmpOp op : ops) {
+      preds.push_back(
+          DcPredicate{DcOperand::TupleA(a), op, DcOperand::TupleB(a)});
+    }
+  }
+  if (cross_column) {
+    for (int a = 0; a < nc; ++a) {
+      for (int b = a + 1; b < nc; ++b) {
+        if (!is_numeric(a) || !is_numeric(b)) continue;
+        for (CmpOp op : {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt, CmpOp::kGe}) {
+          preds.push_back(
+              DcPredicate{DcOperand::TupleA(a), op, DcOperand::TupleB(b)});
+        }
+      }
+    }
+  }
+  return preds;
+}
+
+Result<std::vector<DiscoveredDc>> DiscoverDcs(const Relation& relation,
+                                              const FastDcOptions& options) {
+  std::vector<DcPredicate> preds =
+      BuildPredicateSpace(relation, options.cross_column);
+  if (static_cast<int>(preds.size()) > kMaxPredicates) {
+    return Status::Invalid("predicate space exceeds " +
+                           std::to_string(kMaxPredicates) +
+                           " predicates; reduce the schema");
+  }
+  if (options.max_violation_fraction < 0 ||
+      options.max_violation_fraction > 1) {
+    return Status::Invalid("max_violation_fraction must be in [0, 1]");
+  }
+  int n = relation.num_rows();
+  // Evidence sets, deduplicated with multiplicities.
+  auto bits_less = [](const Bits& a, const Bits& b) {
+    for (int w = kMaxPredicates - 1; w >= 0; --w) {
+      if (a[w] != b[w]) return b[w];
+    }
+    return false;
+  };
+  std::map<Bits, int64_t, decltype(bits_less)> emap(bits_less);
+  int64_t total_pairs = 0;
+  auto add_pair = [&](int i, int j) {
+    Bits bits;
+    for (size_t p = 0; p < preds.size(); ++p) {
+      if (preds[p].Eval(relation, i, j)) bits[p] = true;
+    }
+    ++emap[bits];
+    ++total_pairs;
+  };
+  if (n <= options.max_rows_exact) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i != j) add_pair(i, j);
+      }
+    }
+  } else {
+    Rng rng(options.seed);
+    int64_t samples = static_cast<int64_t>(options.max_rows_exact) *
+                      options.max_rows_exact;
+    for (int64_t s = 0; s < samples; ++s) {
+      int i = static_cast<int>(rng.Uniform(0, n - 1));
+      int j = static_cast<int>(rng.Uniform(0, n - 1));
+      if (i != j) add_pair(i, j);
+    }
+  }
+  std::vector<Evidence> evidence;
+  evidence.reserve(emap.size());
+  for (const auto& [bits, count] : emap) {
+    evidence.push_back(Evidence{bits, count});
+  }
+
+  int64_t budget = static_cast<int64_t>(options.max_violation_fraction *
+                                        total_pairs);
+  CoverSearch search(preds, evidence, options.max_predicates, budget,
+                     options.max_results);
+  search.Run();
+
+  std::vector<DiscoveredDc> out;
+  for (const auto& [bits, violations] : search.results()) {
+    std::vector<DcPredicate> chosen;
+    for (size_t p = 0; p < preds.size(); ++p) {
+      if (bits[p]) chosen.push_back(preds[p]);
+    }
+    double fraction = total_pairs == 0
+                          ? 0.0
+                          : static_cast<double>(violations) / total_pairs;
+    out.push_back(DiscoveredDc{Dc(std::move(chosen)), fraction});
+  }
+  return out;
+}
+
+Result<std::vector<DiscoveredDc>> DiscoverConstantDcs(
+    const Relation& relation, int min_support) {
+  std::vector<DiscoveredDc> out;
+  int nc = relation.num_columns();
+  auto is_numeric = [&relation](int a) {
+    ValueType t = relation.schema().column(a).type;
+    return t == ValueType::kInt || t == ValueType::kDouble;
+  };
+  for (int c = 0; c < nc; ++c) {
+    if (is_numeric(c)) continue;  // conditions on categorical columns
+    for (const auto& group : relation.GroupBy(AttrSet::Single(c))) {
+      if (static_cast<int>(group.size()) < min_support) continue;
+      if (relation.Get(group[0], c).is_null()) continue;
+      for (int a = 0; a < nc; ++a) {
+        if (a == c || !is_numeric(a)) continue;
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -lo;
+        bool any = false;
+        for (int r : group) {
+          const Value& v = relation.Get(r, a);
+          if (!v.is_numeric()) continue;
+          lo = std::min(lo, v.AsNumeric());
+          hi = std::max(hi, v.AsNumeric());
+          any = true;
+        }
+        if (!any) continue;
+        Value cond = relation.Get(group[0], c);
+        // not(ta.C = cond and ta.A < lo)
+        out.push_back(DiscoveredDc{
+            Dc({DcPredicate{DcOperand::TupleA(c), CmpOp::kEq,
+                            DcOperand::Const(cond)},
+                DcPredicate{DcOperand::TupleA(a), CmpOp::kLt,
+                            DcOperand::Const(Value(lo))}}),
+            0.0});
+        // not(ta.C = cond and ta.A > hi)
+        out.push_back(DiscoveredDc{
+            Dc({DcPredicate{DcOperand::TupleA(c), CmpOp::kEq,
+                            DcOperand::Const(cond)},
+                DcPredicate{DcOperand::TupleA(a), CmpOp::kGt,
+                            DcOperand::Const(Value(hi))}}),
+            0.0});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace famtree

@@ -1,0 +1,58 @@
+#ifndef FAMTREE_DISCOVERY_FASTDC_H_
+#define FAMTREE_DISCOVERY_FASTDC_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "deps/dc.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+struct FastDcOptions {
+  /// Cap on predicates per DC (search depth).
+  int max_predicates = 4;
+  /// Cap on emitted DCs.
+  int max_results = 10000;
+  /// Approximation: a DC may be violated by at most this fraction of
+  /// ordered tuple pairs (A-FASTDC [19]); 0 = exact.
+  double max_violation_fraction = 0.0;
+  /// Also build cross-column predicates between numeric columns of the
+  /// same type (joinable columns in FASTDC terms).
+  bool cross_column = false;
+  /// Evidence sets are built from all ordered pairs when the row count is
+  /// at most this; beyond it, a random sample of pairs is used.
+  int max_rows_exact = 2000;
+  uint64_t seed = 42;
+};
+
+struct DiscoveredDc {
+  Dc dc;
+  /// Fraction of ordered pairs violating the DC (0 for exact results).
+  double violation_fraction = 0.0;
+};
+
+/// The predicate space FASTDC builds over a schema: equality/inequality
+/// for every column, the full order operator set for numeric columns.
+/// Exposed for tests and the complexity bench.
+std::vector<DcPredicate> BuildPredicateSpace(const Relation& relation,
+                                             bool cross_column);
+
+/// FASTDC [19]: computes the evidence set (satisfied predicates) of every
+/// ordered tuple pair, then finds minimal predicate sets that no evidence
+/// set contains — equivalently minimal hitting sets of the complemented
+/// evidence — each yielding a valid minimal DC. The options select the
+/// approximate (A-FASTDC) variant.
+Result<std::vector<DiscoveredDc>> DiscoverDcs(const Relation& relation,
+                                              const FastDcOptions& options = {});
+
+/// C-FASTDC-style constant DCs: for each categorical value group with
+/// sufficient support and each numeric column, emits the range constraints
+/// that hold within the group, e.g. not(region = 'Chicago' and
+/// price < 200) — the paper's Section 1.6 example.
+Result<std::vector<DiscoveredDc>> DiscoverConstantDcs(
+    const Relation& relation, int min_support = 3);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DISCOVERY_FASTDC_H_

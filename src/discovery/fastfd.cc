@@ -1,0 +1,135 @@
+#include "discovery/fastfd.h"
+
+#include <algorithm>
+#include <set>
+
+namespace famtree {
+
+namespace {
+
+/// DFS for minimal hitting sets ("covers" in FastFDs terms) of the
+/// difference sets in `diffs`, extending `chosen` with attributes > `last`
+/// (the ordering makes each cover generated once).
+void FindMinimalCovers(const std::vector<AttrSet>& diffs, AttrSet universe,
+                       AttrSet chosen, int last, int max_size,
+                       std::vector<AttrSet>* covers, int max_results) {
+  if (static_cast<int>(covers->size()) >= max_results) return;
+  // Is every difference set hit?
+  bool all_hit = true;
+  for (const AttrSet& d : diffs) {
+    if (!d.Intersects(chosen)) {
+      all_hit = false;
+      break;
+    }
+  }
+  if (all_hit) {
+    // Minimality: removing any chosen attribute must leave some set unhit.
+    for (int a : chosen.ToVector()) {
+      AttrSet reduced = chosen.Without(a);
+      bool still_hits = true;
+      for (const AttrSet& d : diffs) {
+        if (!d.Intersects(reduced)) {
+          still_hits = false;
+          break;
+        }
+      }
+      if (still_hits) return;  // non-minimal; a smaller cover exists
+    }
+    covers->push_back(chosen);
+    return;
+  }
+  if (chosen.size() >= max_size) return;
+  // Branch on attributes of the first unhit difference set (classic
+  // hitting-set DFS keeps the search focused).
+  AttrSet first_unhit;
+  for (const AttrSet& d : diffs) {
+    if (!d.Intersects(chosen)) {
+      first_unhit = d;
+      break;
+    }
+  }
+  for (int a : first_unhit.Intersect(universe).ToVector()) {
+    if (a <= last && chosen.Contains(a)) continue;
+    FindMinimalCovers(diffs, universe, chosen.With(a), a, max_size, covers,
+                      max_results);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
+    const Relation& relation, const FastFdOptions& options) {
+  int nc = relation.num_columns();
+  if (nc > 63) {
+    return Status::Invalid("FastFDs supports up to 63 attributes");
+  }
+  int n = relation.num_rows();
+  // Difference sets of all tuple pairs, deduplicated and reduced to the
+  // minimal ones (a superset of a difference set is redundant for covers).
+  std::set<uint64_t> diff_masks;
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      AttrSet d;
+      for (int a = 0; a < nc; ++a) {
+        if (!(relation.Get(i, a) == relation.Get(j, a))) d.Add(a);
+      }
+      if (!d.empty()) diff_masks.insert(d.mask());
+    }
+  }
+  std::vector<AttrSet> all_diffs;
+  for (uint64_t m : diff_masks) all_diffs.push_back(AttrSet(m));
+
+  std::vector<DiscoveredFd> out;
+  for (int a = 0; a < nc; ++a) {
+    // Difference sets relevant for RHS a: those containing a, minus a.
+    std::vector<AttrSet> diffs;
+    for (const AttrSet& d : all_diffs) {
+      if (d.Contains(a)) {
+        AttrSet rest = d.Without(a);
+        diffs.push_back(rest);
+      }
+    }
+    // If some pair differs *only* on a, no FD X -> a exists (the empty
+    // difference set cannot be hit).
+    bool impossible = false;
+    for (const AttrSet& d : diffs) {
+      if (d.empty()) {
+        impossible = true;
+        break;
+      }
+    }
+    if (impossible) continue;
+    if (diffs.empty()) {
+      // No pair ever disagrees on a: the column is constant, {} -> a.
+      out.push_back(DiscoveredFd{AttrSet(), a, 0.0});
+      continue;
+    }
+    // Keep only minimal difference sets (supersets are hit automatically).
+    std::vector<AttrSet> minimal;
+    for (const AttrSet& d : diffs) {
+      bool has_subset = false;
+      for (const AttrSet& e : diffs) {
+        if (e != d && d.ContainsAll(e)) {
+          has_subset = true;
+          break;
+        }
+      }
+      if (!has_subset) minimal.push_back(d);
+    }
+    std::sort(minimal.begin(), minimal.end());
+    minimal.erase(std::unique(minimal.begin(), minimal.end()), minimal.end());
+
+    std::vector<AttrSet> covers;
+    FindMinimalCovers(minimal, AttrSet::Full(nc).Without(a), AttrSet(), -1,
+                      options.max_lhs_size, &covers, options.max_results);
+    std::sort(covers.begin(), covers.end());
+    covers.erase(std::unique(covers.begin(), covers.end()), covers.end());
+    for (const AttrSet& x : covers) {
+      out.push_back(DiscoveredFd{x, a, 0.0});
+      if (static_cast<int>(out.size()) >= options.max_results) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace famtree

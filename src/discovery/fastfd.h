@@ -1,0 +1,29 @@
+#ifndef FAMTREE_DISCOVERY_FASTFD_H_
+#define FAMTREE_DISCOVERY_FASTFD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "discovery/tane.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+struct FastFdOptions {
+  /// Bound on emitted dependencies.
+  int max_results = 100000;
+  /// Bound on LHS size (covers larger than this are cut off).
+  int max_lhs_size = 8;
+};
+
+/// FastFDs [112]: computes the difference sets of all tuple pairs (the
+/// attribute sets on which a pair disagrees), then for each RHS attribute
+/// finds all minimal covers of the difference sets that contain it via a
+/// depth-first search. Each minimal cover X yields a minimal FD X -> A.
+/// Exact FDs only; complements TANE's levelwise strategy (Section 1.4.2).
+Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
+    const Relation& relation, const FastFdOptions& options = {});
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DISCOVERY_FASTFD_H_

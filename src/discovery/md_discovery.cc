@@ -1,0 +1,90 @@
+#include "discovery/md_discovery.h"
+
+#include <algorithm>
+
+#include "metric/metric.h"
+
+namespace famtree {
+
+Result<std::vector<DiscoveredMd>> DiscoverMds(
+    const Relation& relation, AttrSet rhs,
+    const MdDiscoveryOptions& options) {
+  int nc = relation.num_columns();
+  if (!AttrSet::Full(nc).ContainsAll(rhs) || rhs.empty()) {
+    return Status::Invalid("MD discovery needs a valid RHS attribute set");
+  }
+  Relation sample =
+      options.sample_rows > 0 && options.sample_rows < relation.num_rows()
+          ? [&] {
+              std::vector<int> rows(options.sample_rows);
+              for (int i = 0; i < options.sample_rows; ++i) rows[i] = i;
+              return relation.Select(rows);
+            }()
+          : relation;
+
+  // Candidate predicates per non-RHS attribute.
+  std::vector<SimilarityPredicate> candidates;
+  for (int a = 0; a < nc; ++a) {
+    if (rhs.Contains(a)) continue;
+    ValueType t = relation.schema().column(a).type;
+    const std::vector<double>& ths =
+        (t == ValueType::kInt || t == ValueType::kDouble)
+            ? options.numeric_thresholds
+            : options.string_thresholds;
+    MetricPtr metric = DefaultMetricFor(t);
+    for (double th : ths) {
+      candidates.push_back(SimilarityPredicate{a, metric, th});
+    }
+  }
+
+  // LHS candidate sets: one or two predicates on distinct attributes.
+  std::vector<std::vector<SimilarityPredicate>> lhs_sets;
+  for (const auto& p : candidates) lhs_sets.push_back({p});
+  if (options.max_lhs_attrs >= 2) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      for (size_t j = i + 1; j < candidates.size(); ++j) {
+        if (candidates[i].attr == candidates[j].attr) continue;
+        lhs_sets.push_back({candidates[i], candidates[j]});
+      }
+    }
+  }
+
+  std::vector<DiscoveredMd> out;
+  for (auto& lhs : lhs_sets) {
+    Md md(lhs, rhs);
+    Md::Stats stats = md.ComputeStats(sample);
+    if (stats.support() < options.min_support) continue;
+    if (stats.confidence() < options.min_confidence) continue;
+    // RCK-style minimality: skip when a reported MD's predicates are a
+    // subset with looser-or-equal thresholds (the reported one already
+    // matches at least the pairs this one matches).
+    bool redundant = false;
+    for (const DiscoveredMd& prev : out) {
+      bool covers = true;
+      for (const auto& pp : prev.md.lhs()) {
+        bool found = false;
+        for (const auto& p : lhs) {
+          if (p.attr == pp.attr && pp.threshold >= p.threshold) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          covers = false;
+          break;
+        }
+      }
+      if (covers && prev.md.lhs().size() <= lhs.size()) {
+        redundant = true;
+        break;
+      }
+    }
+    if (redundant) continue;
+    out.push_back(
+        DiscoveredMd{std::move(md), stats.support(), stats.confidence()});
+    if (static_cast<int>(out.size()) >= options.max_results) return out;
+  }
+  return out;
+}
+
+}  // namespace famtree

@@ -1,0 +1,169 @@
+#include "discovery/metric_discovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metric/metric.h"
+
+namespace famtree {
+
+namespace {
+
+double GlobalDiameter(const Relation& relation, int attr,
+                      const Metric& metric) {
+  double diameter = 0.0;
+  int n = relation.num_rows();
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double d = metric.Distance(relation.Get(i, attr),
+                                 relation.Get(j, attr));
+      if (std::isfinite(d)) diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredMfd>> DiscoverMfds(
+    const Relation& relation, const MfdDiscoveryOptions& options) {
+  int nc = relation.num_columns();
+  if (nc > 63) return Status::Invalid("MFD discovery supports up to 63 attributes");
+  if (options.max_delta_ratio <= 0 || options.max_delta_ratio > 1) {
+    return Status::Invalid("max_delta_ratio must be in (0, 1]");
+  }
+  std::vector<DiscoveredMfd> out;
+  std::vector<MetricPtr> metrics(nc);
+  std::vector<double> global(nc);
+  for (int a = 0; a < nc; ++a) {
+    metrics[a] = DefaultMetricFor(relation.schema().column(a).type);
+    global[a] = GlobalDiameter(relation, a, *metrics[a]);
+  }
+  for (int size = 1; size <= options.max_lhs_size; ++size) {
+    for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
+      for (int a = 0; a < nc; ++a) {
+        if (lhs.Contains(a)) continue;
+        double diameter =
+            Mfd::MaxGroupDiameter(relation, lhs, a, *metrics[a]);
+        if (!std::isfinite(diameter)) continue;
+        if (global[a] > 0 &&
+            diameter > options.max_delta_ratio * global[a]) {
+          continue;  // vacuous: the "metric FD" barely constrains
+        }
+        Mfd mfd(lhs, {MetricConstraint{a, metrics[a], diameter}});
+        out.push_back(DiscoveredMfd{std::move(mfd), diameter});
+        if (static_cast<int>(out.size()) >= options.max_results) return out;
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<DiscoveredFfd>> DiscoverFfds(
+    const Relation& relation, std::vector<ResemblancePtr> resemblances,
+    const FfdDiscoveryOptions& options) {
+  int nc = relation.num_columns();
+  if (static_cast<int>(resemblances.size()) != nc) {
+    return Status::Invalid("need one resemblance per attribute (or null)");
+  }
+  for (auto& r : resemblances) {
+    if (r == nullptr) r = GetCrispResemblance();
+  }
+  std::vector<DiscoveredFfd> out;
+  std::vector<std::vector<Ffd::FuzzyAttr>> lhs_sets;
+  for (int a = 0; a < nc; ++a) {
+    lhs_sets.push_back({Ffd::FuzzyAttr{a, resemblances[a]}});
+  }
+  if (options.max_lhs_attrs >= 2) {
+    for (int a = 0; a < nc; ++a) {
+      for (int b = a + 1; b < nc; ++b) {
+        lhs_sets.push_back({Ffd::FuzzyAttr{a, resemblances[a]},
+                            Ffd::FuzzyAttr{b, resemblances[b]}});
+      }
+    }
+  }
+  for (const auto& lhs : lhs_sets) {
+    AttrSet lhs_attrs;
+    for (const auto& fa : lhs) lhs_attrs.Add(fa.attr);
+    for (int a = 0; a < nc; ++a) {
+      if (lhs_attrs.Contains(a)) continue;
+      Ffd ffd(lhs, {Ffd::FuzzyAttr{a, resemblances[a]}});
+      FAMTREE_ASSIGN_OR_RETURN(ValidationReport report,
+                               ffd.Validate(relation, 0));
+      if (!report.holds) continue;
+      out.push_back(DiscoveredFfd{std::move(ffd), report.measure});
+      if (static_cast<int>(out.size()) >= options.max_results) return out;
+    }
+  }
+  return out;
+}
+
+Result<InstantiatedPac> InstantiatePac(const Relation& training,
+                                       const PacTemplate& rule_template,
+                                       const PacDiscoveryOptions& options) {
+  int nc = training.num_columns();
+  if (rule_template.lhs_attrs.empty() || rule_template.rhs_attrs.empty()) {
+    return Status::Invalid("PAC template needs LHS and RHS attributes");
+  }
+  for (int a : rule_template.lhs_attrs) {
+    if (a < 0 || a >= nc) return Status::Invalid("template attr outside schema");
+  }
+  for (int a : rule_template.rhs_attrs) {
+    if (a < 0 || a >= nc) return Status::Invalid("template attr outside schema");
+  }
+  auto metric_for = [&training](int a) {
+    return DefaultMetricFor(training.schema().column(a).type);
+  };
+  auto quantile_of = [](std::vector<double> values, double q) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    return values[std::min(values.size() - 1,
+                           static_cast<size_t>(q * values.size()))];
+  };
+  int n = training.num_rows();
+  // 1. Delta: per-LHS-attribute distance quantile over all pairs.
+  std::vector<Pac::Tolerance> lhs;
+  for (int a : rule_template.lhs_attrs) {
+    MetricPtr m = metric_for(a);
+    std::vector<double> dists;
+    for (int i = 0; i + 1 < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        double d = m->Distance(training.Get(i, a), training.Get(j, a));
+        if (std::isfinite(d)) dists.push_back(d);
+      }
+    }
+    lhs.push_back(Pac::Tolerance{a, m,
+                                 quantile_of(std::move(dists),
+                                             options.lhs_quantile)});
+  }
+  // 2. eps: per-RHS-attribute distance quantile among LHS-close pairs.
+  std::vector<Pac::Tolerance> rhs;
+  for (int b : rule_template.rhs_attrs) {
+    MetricPtr m = metric_for(b);
+    std::vector<double> dists;
+    for (int i = 0; i + 1 < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        bool close = true;
+        for (const auto& t : lhs) {
+          if (t.metric->Distance(training.Get(i, t.attr),
+                                 training.Get(j, t.attr)) > t.tolerance) {
+            close = false;
+            break;
+          }
+        }
+        if (!close) continue;
+        double d = m->Distance(training.Get(i, b), training.Get(j, b));
+        if (std::isfinite(d)) dists.push_back(d);
+      }
+    }
+    rhs.push_back(Pac::Tolerance{b, m,
+                                 quantile_of(std::move(dists),
+                                             options.rhs_quantile)});
+  }
+  // 3. delta: the measured confidence on the training data.
+  double confidence = Pac::MinRhsProbability(training, lhs, rhs);
+  InstantiatedPac out{Pac(lhs, rhs, confidence), confidence};
+  return out;
+}
+
+}  // namespace famtree

@@ -1,0 +1,112 @@
+#include "discovery/mvd_discovery.h"
+
+#include <algorithm>
+
+#include "deps/fhd.h"
+#include "deps/mvd.h"
+
+namespace famtree {
+
+Result<std::vector<DiscoveredMvd>> DiscoverMvds(
+    const Relation& relation, const MvdDiscoveryOptions& options) {
+  int nc = relation.num_columns();
+  if (nc > 20) {
+    return Status::Invalid(
+        "MVD discovery enumerates RHS blocks; limited to 20 attributes");
+  }
+  if (options.max_spurious_ratio < 0 || options.max_spurious_ratio > 1) {
+    return Status::Invalid("max_spurious_ratio must be in [0, 1]");
+  }
+  std::vector<DiscoveredMvd> out;
+  AttrSet full = AttrSet::Full(nc);
+  for (int size = 0; size <= options.max_lhs_size; ++size) {
+    for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
+      AttrSet rest = full.Minus(lhs);
+      if (rest.size() < 2) continue;  // trivial: Y or Z would be empty
+      int anchor = rest.ToVector()[0];
+      AttrSet others = rest.Without(anchor);
+      // Canonical RHS: anchor plus any subset of the remaining attributes,
+      // leaving Z non-empty (enumerating both X ->> Y and its complement
+      // X ->> Z would double-report the same constraint).
+      std::vector<int> ov = others.ToVector();
+      uint64_t limit = 1ULL << ov.size();
+      for (uint64_t m = 0; m < limit; ++m) {
+        AttrSet rhs = AttrSet::Single(anchor);
+        for (size_t i = 0; i < ov.size(); ++i) {
+          if ((m >> i) & 1) rhs.Add(ov[i]);
+        }
+        if (full.Minus(lhs).Minus(rhs).empty()) continue;  // Z empty
+        double ratio = Mvd::SpuriousTupleRatio(relation, lhs, rhs);
+        if (ratio <= options.max_spurious_ratio) {
+          out.push_back(DiscoveredMvd{lhs, rhs, ratio});
+          if (static_cast<int>(out.size()) >= options.max_results) {
+            return out;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+
+Result<std::vector<DiscoveredFhd>> DiscoverFhds(
+    const Relation& relation, const MvdDiscoveryOptions& options) {
+  FAMTREE_ASSIGN_OR_RETURN(std::vector<DiscoveredMvd> mvds,
+                           DiscoverMvds(relation, options));
+  int nc = relation.num_columns();
+  AttrSet full = AttrSet::Full(nc);
+  std::vector<DiscoveredFhd> out;
+  // Group the MVDs by LHS; within each group, greedily grow a block
+  // partition: start from one MVD's RHS, then split the remainder with
+  // further MVD RHSs while the full-product check keeps passing.
+  std::vector<AttrSet> lhs_seen;
+  for (const DiscoveredMvd& seed : mvds) {
+    bool seen = false;
+    for (AttrSet l : lhs_seen) {
+      if (l == seed.lhs) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    lhs_seen.push_back(seed.lhs);
+    // Candidate blocks: every same-LHS MVD's RHS *and* its complement
+    // (X ->> Y implies X ->> Z); the canonical discovery form anchors all
+    // RHSs on one attribute, so complements are what make blocks
+    // disjoint. Smallest blocks first gives the finest decomposition.
+    std::vector<AttrSet> candidates;
+    for (const DiscoveredMvd& other : mvds) {
+      if (!(other.lhs == seed.lhs)) continue;
+      AttrSet complement = full.Minus(other.lhs).Minus(other.rhs);
+      for (AttrSet c : {other.rhs, complement}) {
+        if (c.empty()) continue;
+        bool dup = false;
+        for (AttrSet e : candidates) dup |= e == c;
+        if (!dup) candidates.push_back(c);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](AttrSet a, AttrSet b) {
+                if (a.size() != b.size()) return a.size() < b.size();
+                return a < b;
+              });
+    std::vector<AttrSet> blocks;
+    AttrSet used = seed.lhs;
+    for (AttrSet cand : candidates) {
+      if (cand.Intersects(used)) continue;
+      std::vector<AttrSet> attempt = blocks;
+      attempt.push_back(cand);
+      Fhd fhd(seed.lhs, attempt);
+      if (fhd.Holds(relation)) {
+        blocks = std::move(attempt);
+        used = used.Union(cand);
+      }
+    }
+    if (blocks.size() >= 2) {
+      out.push_back(DiscoveredFhd{seed.lhs, std::move(blocks)});
+    }
+  }
+  return out;
+}
+}  // namespace famtree

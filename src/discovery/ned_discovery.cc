@@ -1,0 +1,44 @@
+#include "discovery/ned_discovery.h"
+
+#include "metric/metric.h"
+
+namespace famtree {
+
+Result<std::vector<DiscoveredNed>> DiscoverNeds(
+    const Relation& relation, const Ned::Predicate& target,
+    const NedDiscoveryOptions& options) {
+  int nc = relation.num_columns();
+  if (target.attr < 0 || target.attr >= nc || target.metric == nullptr) {
+    return Status::Invalid("invalid target predicate");
+  }
+  std::vector<Ned::Predicate> candidates;
+  for (int a = 0; a < nc; ++a) {
+    if (a == target.attr) continue;
+    MetricPtr metric = DefaultMetricFor(relation.schema().column(a).type);
+    for (double th : options.thresholds) {
+      candidates.push_back(Ned::Predicate{a, metric, th});
+    }
+  }
+  std::vector<std::vector<Ned::Predicate>> lhs_sets;
+  for (const auto& p : candidates) lhs_sets.push_back({p});
+  if (options.max_lhs_attrs >= 2) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      for (size_t j = i + 1; j < candidates.size(); ++j) {
+        if (candidates[i].attr == candidates[j].attr) continue;
+        lhs_sets.push_back({candidates[i], candidates[j]});
+      }
+    }
+  }
+  std::vector<DiscoveredNed> out;
+  for (auto& lhs : lhs_sets) {
+    Ned ned(lhs, {target});
+    Ned::PairStats stats = ned.ComputePairStats(relation);
+    if (stats.lhs_pairs < options.min_support) continue;
+    if (stats.confidence() < options.min_confidence) continue;
+    out.push_back(DiscoveredNed{std::move(ned), stats.lhs_pairs,
+                                stats.confidence()});
+  }
+  return out;
+}
+
+}  // namespace famtree

@@ -1,0 +1,39 @@
+#ifndef FAMTREE_DISCOVERY_NED_DISCOVERY_H_
+#define FAMTREE_DISCOVERY_NED_DISCOVERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "deps/ned.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+struct NedDiscoveryOptions {
+  /// Candidate thresholds per LHS attribute.
+  std::vector<double> thresholds = {0, 1, 2, 5};
+  /// Minimum number of pairs agreeing on the LHS.
+  int min_support = 3;
+  /// Minimum fraction of LHS pairs satisfying the target.
+  double min_confidence = 0.95;
+  /// LHS predicate count cap.
+  int max_lhs_attrs = 2;
+};
+
+struct DiscoveredNed {
+  Ned ned;
+  int64_t support = 0;
+  double confidence = 0.0;
+};
+
+/// NED discovery [4]: given the target RHS predicate, searches LHS
+/// neighborhood predicates with sufficient support and confidence. The
+/// full problem is NP-hard in the attribute count (Section 3.2.3); this
+/// enumerates LHS sets of bounded size, which is the practical regime.
+Result<std::vector<DiscoveredNed>> DiscoverNeds(
+    const Relation& relation, const Ned::Predicate& target,
+    const NedDiscoveryOptions& options = {});
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DISCOVERY_NED_DISCOVERY_H_

@@ -1,0 +1,85 @@
+#include "discovery/od_discovery.h"
+
+#include <algorithm>
+
+namespace famtree {
+
+namespace {
+
+/// Checks A^<= -> B^mark over all ordered pairs in O(n log n) by sorting:
+/// after sorting by (A, B-adjusted), the OD holds iff B is monotone in the
+/// required direction across *every* pair with a_i <= a_j — equivalently,
+/// max-so-far (or min-so-far) of B never conflicts, with ties on A
+/// requiring equal... see Od::Validate for the exact pairwise semantics;
+/// here we exploit that the unary check reduces to a scan.
+bool UnaryOdHolds(const Relation& relation, int a, int b, bool increasing) {
+  int n = relation.num_rows();
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+    return relation.Get(x, a) < relation.Get(y, a);
+  });
+  // For pairs with equal A values, A^<= holds in both directions, so B
+  // must be equal within an A-tie under either mark direction? No: for a
+  // tie (a_i == a_j) both (i,j) and (j,i) satisfy the LHS, forcing
+  // b_i <= b_j and b_j <= b_i (increasing), i.e. equality. The scan below
+  // tracks (1) the running extreme over *strictly smaller* A values and
+  // (2) uniformity of B within each A-tie group.
+  size_t i = 0;
+  bool has_prev = false;
+  Value extreme;  // B value of the previous A-tie group
+  while (i < order.size()) {
+    size_t j = i;
+    while (j < order.size() &&
+           relation.Get(order[j], a) == relation.Get(order[i], a)) {
+      ++j;
+    }
+    // Tie group [i, j): B must be uniform.
+    for (size_t k = i + 1; k < j; ++k) {
+      if (!(relation.Get(order[k], b) == relation.Get(order[i], b))) {
+        return false;
+      }
+    }
+    const Value& bv = relation.Get(order[i], b);
+    if (has_prev) {
+      if (increasing && bv < extreme) return false;
+      if (!increasing && extreme < bv) return false;
+    }
+    extreme = bv;
+    has_prev = true;
+    i = j;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredOd>> DiscoverUnaryOds(
+    const Relation& relation, const OdDiscoveryOptions& options) {
+  std::vector<DiscoveredOd> out;
+  int nc = relation.num_columns();
+  auto eligible = [&](int c) {
+    if (!options.numeric_only) return true;
+    ValueType t = relation.schema().column(c).type;
+    return t == ValueType::kInt || t == ValueType::kDouble;
+  };
+  for (int a = 0; a < nc; ++a) {
+    if (!eligible(a)) continue;
+    for (int b = 0; b < nc; ++b) {
+      if (a == b || !eligible(b)) continue;
+      if (UnaryOdHolds(relation, a, b, /*increasing=*/true)) {
+        out.push_back(DiscoveredOd{
+            Od({MarkedAttr{a, OrderMark::kLeq}},
+               {MarkedAttr{b, OrderMark::kLeq}})});
+      } else if (UnaryOdHolds(relation, a, b, /*increasing=*/false)) {
+        out.push_back(DiscoveredOd{
+            Od({MarkedAttr{a, OrderMark::kLeq}},
+               {MarkedAttr{b, OrderMark::kGeq}})});
+      }
+      if (static_cast<int>(out.size()) >= options.max_results) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace famtree

@@ -1,0 +1,33 @@
+#ifndef FAMTREE_DISCOVERY_OD_DISCOVERY_H_
+#define FAMTREE_DISCOVERY_OD_DISCOVERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "deps/od.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+struct OdDiscoveryOptions {
+  /// Only consider numeric columns (order on strings is rarely meaningful
+  /// for the paper's workloads, but can be enabled).
+  bool numeric_only = true;
+  int max_results = 10000;
+};
+
+struct DiscoveredOd {
+  Od od;
+};
+
+/// Unary OD discovery in the spirit of ORDER [67] / FASTOD [99] restricted
+/// to the bidirectional unary case: for every ordered column pair (A, B)
+/// reports A^<= -> B^<= (B sorts with A) or A^<= -> B^>= (B sorts against
+/// A) when valid. Unary ODs are the workhorse case (index reuse, Table 7's
+/// nights/avg-night rule); the validity test sorts once per column pair.
+Result<std::vector<DiscoveredOd>> DiscoverUnaryOds(
+    const Relation& relation, const OdDiscoveryOptions& options = {});
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DISCOVERY_OD_DISCOVERY_H_

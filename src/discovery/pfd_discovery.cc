@@ -1,0 +1,87 @@
+#include "discovery/pfd_discovery.h"
+
+#include <map>
+
+#include "deps/pfd.h"
+
+namespace famtree {
+
+Result<std::vector<DiscoveredPfd>> DiscoverPfds(
+    const Relation& relation, const PfdDiscoveryOptions& options) {
+  int nc = relation.num_columns();
+  if (nc > 63) return Status::Invalid("PFD discovery supports up to 63 attributes");
+  if (options.min_probability < 0 || options.min_probability > 1) {
+    return Status::Invalid("min_probability must be in [0, 1]");
+  }
+  std::vector<DiscoveredPfd> out;
+  for (int size = 1; size <= options.max_lhs_size; ++size) {
+    for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
+      for (int a = 0; a < nc; ++a) {
+        if (lhs.Contains(a)) continue;
+        bool minimal = true;
+        for (const DiscoveredPfd& p : out) {
+          if (p.rhs == a && lhs.ContainsAll(p.lhs)) {
+            minimal = false;
+            break;
+          }
+        }
+        if (!minimal) continue;
+        double prob = Pfd::Probability(relation, lhs, AttrSet::Single(a));
+        if (prob >= options.min_probability) {
+          out.push_back(DiscoveredPfd{lhs, a, prob});
+          if (static_cast<int>(out.size()) >= options.max_results) {
+            return out;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<DiscoveredPfd>> DiscoverPfdsMultiSource(
+    const std::vector<Relation>& sources,
+    const PfdDiscoveryOptions& options) {
+  if (sources.empty()) return Status::Invalid("no sources given");
+  int nc = sources[0].num_columns();
+  for (const Relation& s : sources) {
+    if (s.num_columns() != nc) {
+      return Status::Invalid("sources must share a schema");
+    }
+  }
+  // Probability of each candidate per source, merged by tuple count.
+  std::vector<DiscoveredPfd> out;
+  long long total_rows = 0;
+  for (const Relation& s : sources) total_rows += s.num_rows();
+  if (total_rows == 0) return out;
+  for (int size = 1; size <= options.max_lhs_size; ++size) {
+    for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
+      for (int a = 0; a < nc; ++a) {
+        if (lhs.Contains(a)) continue;
+        bool minimal = true;
+        for (const DiscoveredPfd& p : out) {
+          if (p.rhs == a && lhs.ContainsAll(p.lhs)) {
+            minimal = false;
+            break;
+          }
+        }
+        if (!minimal) continue;
+        double merged = 0.0;
+        for (const Relation& s : sources) {
+          if (s.num_rows() == 0) continue;
+          merged += Pfd::Probability(s, lhs, AttrSet::Single(a)) *
+                    s.num_rows() / total_rows;
+        }
+        if (merged >= options.min_probability) {
+          out.push_back(DiscoveredPfd{lhs, a, merged});
+          if (static_cast<int>(out.size()) >= options.max_results) {
+            return out;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace famtree

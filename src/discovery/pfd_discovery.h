@@ -1,0 +1,42 @@
+#ifndef FAMTREE_DISCOVERY_PFD_DISCOVERY_H_
+#define FAMTREE_DISCOVERY_PFD_DISCOVERY_H_
+
+#include <vector>
+
+#include "common/attr_set.h"
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+struct PfdDiscoveryOptions {
+  /// Minimum probability for a PFD to be reported.
+  double min_probability = 0.9;
+  /// LHS size cap for the lattice walk.
+  int max_lhs_size = 3;
+  int max_results = 100000;
+};
+
+struct DiscoveredPfd {
+  AttrSet lhs;
+  int rhs = 0;
+  double probability = 0.0;
+};
+
+/// Per-relation PFD discovery in the style of [104]'s first counting
+/// algorithm: a TANE-like levelwise walk whose validity test is
+/// P(X -> Y, r) >= p. Reports minimal PFDs (no subset of the LHS already
+/// qualified for the same RHS).
+Result<std::vector<DiscoveredPfd>> DiscoverPfds(
+    const Relation& relation, const PfdDiscoveryOptions& options = {});
+
+/// Multi-source merge in the style of [104]'s second algorithm: per-source
+/// PFD probabilities combined as a tuple-count weighted average. Sources
+/// must share a schema.
+Result<std::vector<DiscoveredPfd>> DiscoverPfdsMultiSource(
+    const std::vector<Relation>& sources,
+    const PfdDiscoveryOptions& options = {});
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DISCOVERY_PFD_DISCOVERY_H_

@@ -1,0 +1,139 @@
+#include "discovery/sd_discovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace famtree {
+
+Result<DiscoveredSd> DiscoverSd(const Relation& relation, int order_attr,
+                                int target_attr,
+                                const SdDiscoveryOptions& options) {
+  int nc = relation.num_columns();
+  if (order_attr < 0 || order_attr >= nc || target_attr < 0 ||
+      target_attr >= nc) {
+    return Status::Invalid("attributes outside the schema");
+  }
+  if (relation.num_rows() < 2) {
+    return Status::Invalid("need at least two rows");
+  }
+  std::vector<int> order = Sd::SortedOrder(relation, order_attr);
+  std::vector<double> gaps;
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    double d = relation.Get(order[i + 1], target_attr).AsNumeric() -
+               relation.Get(order[i], target_attr).AsNumeric();
+    if (std::isfinite(d)) gaps.push_back(d);
+  }
+  if (gaps.empty()) return Status::NotFound("no numeric gaps to fit");
+  std::vector<double> sorted_gaps = gaps;
+  std::sort(sorted_gaps.begin(), sorted_gaps.end());
+  auto at = [&sorted_gaps](double q) {
+    size_t idx = std::min(sorted_gaps.size() - 1,
+                          static_cast<size_t>(q * sorted_gaps.size()));
+    return sorted_gaps[idx];
+  };
+  Interval g = Interval::Between(at(options.lo_quantile),
+                                 at(options.hi_quantile));
+  Sd sd(order_attr, target_attr, g);
+  double conf = Sd::Confidence(relation, order_attr, target_attr, g);
+  if (conf < options.min_confidence) {
+    return Status::NotFound("no SD meets the confidence bound");
+  }
+  return DiscoveredSd{std::move(sd), conf};
+}
+
+Result<DiscoveredCsd> DiscoverCsdTableau(const Relation& relation,
+                                         int order_attr, int target_attr,
+                                         const CsdDiscoveryOptions& options) {
+  int nc = relation.num_columns();
+  if (order_attr < 0 || order_attr >= nc || target_attr < 0 ||
+      target_attr >= nc) {
+    return Status::Invalid("attributes outside the schema");
+  }
+  int n = relation.num_rows();
+  if (n < 2) return Status::Invalid("need at least two rows");
+
+  std::vector<int> order = Sd::SortedOrder(relation, order_attr);
+  // Distinct order-attribute groups along the sorted sequence.
+  std::vector<int> group_start;  // position of each group's first row
+  std::vector<double> group_value;
+  for (int i = 0; i < n; ++i) {
+    double x = relation.Get(order[i], order_attr).AsNumeric();
+    if (!std::isfinite(x)) {
+      return Status::Invalid("CSD discovery needs a numeric order attribute");
+    }
+    if (group_start.empty() || x != group_value.back()) {
+      group_start.push_back(i);
+      group_value.push_back(x);
+    }
+  }
+  int k = static_cast<int>(group_start.size());
+  auto group_end = [&](int g) {  // one past last sorted position of group g
+    return g + 1 < k ? group_start[g + 1] : n;
+  };
+
+  // Prefix sums of satisfied consecutive gaps: sat[i] = 1 iff the gap
+  // between sorted positions i and i+1 lies in the required interval.
+  std::vector<int> sat_prefix(n, 0);
+  for (int i = 0; i + 1 < n; ++i) {
+    double d = relation.Get(order[i + 1], target_attr).AsNumeric() -
+               relation.Get(order[i], target_attr).AsNumeric();
+    int ok = (std::isfinite(d) && options.gap.Contains(d)) ? 1 : 0;
+    sat_prefix[i + 1] = sat_prefix[i] + ok;
+  }
+
+  // Candidate interval [a, b] over distinct groups: sorted positions
+  // [group_start[a], group_end(b)); gaps inside: count = span - 1.
+  auto interval_rows = [&](int a, int b) {
+    return group_end(b) - group_start[a];
+  };
+  auto interval_conf = [&](int a, int b) {
+    int lo = group_start[a], hi = group_end(b) - 1;  // gap positions lo..hi-1
+    int gaps = hi - lo;
+    if (gaps <= 0) return 1.0;
+    int satisfied = sat_prefix[hi] - sat_prefix[lo];
+    return static_cast<double>(satisfied) / gaps;
+  };
+
+  // DP over groups: best[g] = (covered rows, chosen intervals) using
+  // groups 0..g-1. Quadratic in k — the Fig. 3 polynomial case.
+  std::vector<int> best(k + 1, 0);
+  std::vector<std::pair<int, int>> choice(k + 1, {-1, -1});  // interval a..b
+  std::vector<int> back(k + 1, 0);
+  for (int g = 1; g <= k; ++g) {
+    best[g] = best[g - 1];
+    back[g] = g - 1;
+    choice[g] = {-1, -1};
+    for (int a = 0; a < g; ++a) {
+      int b = g - 1;
+      if (interval_rows(a, b) < options.min_interval_rows) continue;
+      if (interval_conf(a, b) < options.min_confidence) continue;
+      int covered = best[a] + interval_rows(a, b);
+      if (covered > best[g]) {
+        best[g] = covered;
+        back[g] = a;
+        choice[g] = {a, b};
+      }
+    }
+  }
+  // Reconstruct tableau.
+  std::vector<Csd::TableauRow> tableau;
+  int g = k;
+  while (g > 0) {
+    if (choice[g].first >= 0) {
+      auto [a, b] = choice[g];
+      tableau.push_back(Csd::TableauRow{group_value[a], group_value[b],
+                                        options.gap});
+      g = back[g];
+    } else {
+      g = back[g];
+    }
+  }
+  std::reverse(tableau.begin(), tableau.end());
+  if (tableau.empty()) {
+    return Status::NotFound("no qualifying condition interval");
+  }
+  Csd csd(order_attr, target_attr, std::move(tableau));
+  return DiscoveredCsd{std::move(csd), best[k]};
+}
+
+}  // namespace famtree

@@ -1,0 +1,215 @@
+#include "discovery/tane.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "relation/partition.h"
+
+namespace famtree {
+
+namespace {
+
+struct Node {
+  StrippedPartition pli;
+  AttrSet cplus;  // RHS candidates C+(X)
+};
+
+using Level = std::map<uint64_t, Node>;
+
+/// e(X) in TANE terms: rows in stripped classes minus class count.
+int PartitionCost(const StrippedPartition& p) {
+  return p.num_rows_in_classes() - p.num_classes();
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
+                                                  const TaneOptions& options) {
+  int nc = relation.num_columns();
+  if (nc > 63) return Status::Invalid("TANE supports up to 63 attributes");
+  if (options.max_error < 0 || options.max_error > 1) {
+    return Status::Invalid("max_error must be in [0, 1]");
+  }
+  std::vector<DiscoveredFd> out;
+  const bool exact = options.max_error == 0.0;
+  const AttrSet full = AttrSet::Full(nc);
+
+  // Level 1.
+  Level level;
+  for (int a = 0; a < nc; ++a) {
+    Node node;
+    node.pli = StrippedPartition::ForAttribute(relation, a);
+    node.cplus = full;
+    level.emplace(AttrSet::Single(a).mask(), std::move(node));
+  }
+
+  // Level 0's C+ is the full set; dependencies {} -> A (constant columns)
+  // are reported from level 1 with an empty LHS.
+  for (auto& [mask, node] : level) {
+    AttrSet x(mask);
+    int a = x.ToVector()[0];
+    // {} -> A holds iff column A is constant; its g3 error is one minus
+    // the plurality fraction of the column.
+    int largest = 1;
+    for (const auto& cls : node.pli.classes()) {
+      largest = std::max(largest, static_cast<int>(cls.size()));
+    }
+    double err = relation.num_rows() == 0
+                     ? 0.0
+                     : 1.0 - static_cast<double>(largest) /
+                                 relation.num_rows();
+    if (err <= options.max_error) {
+      out.push_back(DiscoveredFd{AttrSet(), a, err});
+      node.cplus.Remove(a);
+    }
+  }
+
+  // Partitions of the previous level, used by the validity test
+  // e(X \ A) == e(X) (exact) / g3 from pi(X \ A) (approximate).
+  std::unordered_map<uint64_t, StrippedPartition> prev_plis;
+
+  // Level `depth` holds attribute sets X with |X| = depth; the FDs tested
+  // there have LHS size depth - 1, so the walk runs to max_lhs_size + 1.
+  for (int depth = 1; depth <= options.max_lhs_size + 1 && !level.empty();
+       ++depth) {
+    // COMPUTE_DEPENDENCIES.
+    for (auto& [mask, node] : level) {
+      AttrSet x(mask);
+      AttrSet candidates = x.Intersect(node.cplus);
+      for (int a : candidates.ToVector()) {
+        AttrSet lhs = x.Without(a);
+        // The lhs partition lives in the previous level (empty lhs is the
+        // constant-column case handled before the loop).
+        if (lhs.empty()) continue;
+        auto prev = prev_plis.find(lhs.mask());
+        if (prev == prev_plis.end()) continue;  // lhs was pruned
+        double err;
+        if (exact) {
+          err = PartitionCost(prev->second) == PartitionCost(node.pli)
+                    ? 0.0
+                    : 1.0;
+        } else {
+          err = prev->second.FdError(relation, AttrSet::Single(a));
+        }
+        bool valid = err <= options.max_error;
+        if (valid) {
+          out.push_back(DiscoveredFd{lhs, a, err});
+          if (static_cast<int>(out.size()) >= options.max_results) {
+            return out;
+          }
+          node.cplus.Remove(a);
+          if (exact) {
+            node.cplus = node.cplus.Minus(full.Minus(x));
+          }
+        }
+      }
+    }
+    // PRUNE.
+    for (auto it = level.begin(); it != level.end();) {
+      AttrSet x(it->first);
+      Node& node = it->second;
+      bool erase = node.cplus.empty();
+      if (!erase && exact && node.pli.IsKey() &&
+          x.size() <= options.max_lhs_size) {
+        for (int a : node.cplus.Minus(x).ToVector()) {
+          // Minimality check per TANE: A must be in the intersection of
+          // C+(X u {A} \ {B}) over B in X; approximate conservatively by
+          // checking no subset of X already determines A.
+          bool minimal = true;
+          for (const DiscoveredFd& fd : out) {
+            if (fd.rhs == a && x.ContainsAll(fd.lhs)) {
+              minimal = false;
+              break;
+            }
+          }
+          if (minimal) {
+            out.push_back(DiscoveredFd{x, a, 0.0});
+          }
+        }
+        erase = true;
+      }
+      it = erase ? level.erase(it) : ++it;
+    }
+    if (depth == options.max_lhs_size + 1) break;
+    // Retain this level's partitions for the next level's validity tests.
+    prev_plis.clear();
+    for (const auto& [mask, node] : level) {
+      prev_plis.emplace(mask, node.pli);
+    }
+    // GENERATE next level via prefix join.
+    Level next;
+    for (auto it1 = level.begin(); it1 != level.end(); ++it1) {
+      for (auto it2 = std::next(it1); it2 != level.end(); ++it2) {
+        AttrSet a(it1->first), b(it2->first);
+        AttrSet u = a.Union(b);
+        if (u.size() != depth + 1) continue;
+        if (next.count(u.mask())) continue;
+        // All depth-size subsets must be alive (Apriori condition).
+        bool ok = true;
+        AttrSet cplus = it1->second.cplus.Intersect(it2->second.cplus);
+        for (int drop : u.ToVector()) {
+          AttrSet sub = u.Without(drop);
+          auto found = level.find(sub.mask());
+          if (found == level.end()) {
+            ok = false;
+            break;
+          }
+          cplus = cplus.Intersect(found->second.cplus);
+        }
+        if (!ok) continue;
+        Node node;
+        node.pli = it1->second.pli.Product(it2->second.pli,
+                                           relation.num_rows());
+        node.cplus = cplus;
+        next.emplace(u.mask(), std::move(node));
+      }
+    }
+    level = std::move(next);
+  }
+  return out;
+}
+
+Result<std::vector<DiscoveredFd>> DiscoverFdsNaive(const Relation& relation,
+                                                   const TaneOptions& options) {
+  int nc = relation.num_columns();
+  if (nc > 63) return Status::Invalid("naive FD search supports up to 63 attributes");
+  std::vector<DiscoveredFd> out;
+  for (int size = 0; size <= options.max_lhs_size; ++size) {
+    for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
+      for (int a = 0; a < nc; ++a) {
+        if (lhs.Contains(a)) continue;
+        // Minimality: skip if a subset of lhs already determines a.
+        bool minimal = true;
+        for (const DiscoveredFd& fd : out) {
+          if (fd.rhs == a && lhs.ContainsAll(fd.lhs)) {
+            minimal = false;
+            break;
+          }
+        }
+        if (!minimal) continue;
+        double err;
+        if (lhs.empty()) {
+          int largest = 0;
+          for (const auto& g : relation.GroupBy(AttrSet::Single(a))) {
+            largest = std::max(largest, static_cast<int>(g.size()));
+          }
+          err = relation.num_rows() == 0
+                    ? 0.0
+                    : 1.0 - static_cast<double>(largest) /
+                                relation.num_rows();
+        } else {
+          err = StrippedPartition::ForAttributeSet(relation, lhs)
+                    .FdError(relation, AttrSet::Single(a));
+        }
+        if (err <= options.max_error) {
+          out.push_back(DiscoveredFd{lhs, a, err});
+          if (static_cast<int>(out.size()) >= options.max_results) return out;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace famtree

@@ -1,0 +1,46 @@
+#ifndef FAMTREE_DISCOVERY_TANE_H_
+#define FAMTREE_DISCOVERY_TANE_H_
+
+#include <vector>
+
+#include "common/attr_set.h"
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// One discovered (approximate) functional dependency X -> A.
+struct DiscoveredFd {
+  AttrSet lhs;
+  int rhs = 0;
+  /// g3 error of the dependency on the input (0 for exact FDs).
+  double error = 0.0;
+};
+
+struct TaneOptions {
+  /// Maximum g3 error: 0 discovers exact FDs, > 0 discovers AFDs
+  /// (Section 2.3.3 — the validity test swaps to g3 <= max_error).
+  double max_error = 0.0;
+  /// Lattice levels to explore (LHS size cap). The minimal cover can be
+  /// exponential in the attribute count (Section 1.4.2), so production
+  /// profiling runs bound the level.
+  int max_lhs_size = 5;
+  /// Safety valve on emitted dependencies.
+  int max_results = 100000;
+};
+
+/// TANE [53], [54]: levelwise lattice search over attribute sets using
+/// stripped partitions, with RHS-candidate (C+) and key pruning. Returns
+/// minimal non-trivial dependencies X -> A.
+Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
+                                                  const TaneOptions& options);
+
+/// Naive pairwise baseline used by the PLI ablation bench: checks every
+/// candidate LHS by grouping rows per candidate instead of partition
+/// products. Semantics match DiscoverFdsTane on exact FDs.
+Result<std::vector<DiscoveredFd>> DiscoverFdsNaive(const Relation& relation,
+                                                   const TaneOptions& options);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DISCOVERY_TANE_H_

@@ -1,0 +1,48 @@
+#include "gen/armstrong.h"
+
+#include <set>
+
+#include "reasoning/closure.h"
+
+namespace famtree {
+
+Result<Relation> BuildArmstrongRelation(int num_attrs,
+                                        const std::vector<Fd>& fds) {
+  if (num_attrs < 1 || num_attrs > 20) {
+    return Status::Invalid("Armstrong construction supports 1..20 attributes");
+  }
+  for (const Fd& fd : fds) {
+    if (!AttrSet::Full(num_attrs).ContainsAll(fd.lhs().Union(fd.rhs()))) {
+      return Status::Invalid("FD refers to attributes outside the schema");
+    }
+  }
+  // Closed sets: closures of every subset, deduplicated. The full set is
+  // always closed; skip it (a row agreeing everywhere is a duplicate).
+  std::set<uint64_t> closed;
+  uint64_t limit = 1ULL << num_attrs;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    closed.insert(Closure(AttrSet(mask), fds).mask());
+  }
+  closed.erase(AttrSet::Full(num_attrs).mask());
+
+  std::vector<std::string> names;
+  for (int a = 0; a < num_attrs; ++a) names.push_back("a" + std::to_string(a));
+  RelationBuilder builder(names);
+  // Base row: value 0 everywhere.
+  std::vector<Value> base(num_attrs, Value(0));
+  builder.AddRow(base);
+  // One row per closed set, with globally fresh disagreement values so
+  // rows for different closed sets never accidentally agree.
+  int64_t fresh = 1;
+  for (uint64_t mask : closed) {
+    AttrSet agree(mask);
+    std::vector<Value> row(num_attrs);
+    for (int a = 0; a < num_attrs; ++a) {
+      row[a] = agree.Contains(a) ? Value(0) : Value(fresh++);
+    }
+    builder.AddRow(std::move(row));
+  }
+  return builder.Build();
+}
+
+}  // namespace famtree

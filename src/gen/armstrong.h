@@ -1,0 +1,30 @@
+#ifndef FAMTREE_GEN_ARMSTRONG_H_
+#define FAMTREE_GEN_ARMSTRONG_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "deps/fd.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// Builds an Armstrong relation for `fds` over `num_attrs` attributes
+/// ([5], Section 1.4.2): an instance that satisfies an FD X -> Y *iff*
+/// the FD is implied by `fds`. Construction: one base row, plus one row
+/// per closed attribute set C (C = C+ under fds), agreeing with the base
+/// row exactly on C and holding globally fresh values elsewhere.
+///
+/// Closed sets are enumerated as closures of all attribute subsets —
+/// exponential in num_attrs (Armstrong relations can be exponentially
+/// large [5]); capped at 20 attributes.
+///
+/// Armstrong relations are the sharpest possible test input for FD
+/// discovery: an algorithm is exactly correct iff it returns the minimal
+/// cover of `fds` on this instance.
+Result<Relation> BuildArmstrongRelation(int num_attrs,
+                                        const std::vector<Fd>& fds);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_GEN_ARMSTRONG_H_

@@ -1,0 +1,244 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+
+namespace famtree {
+
+namespace {
+
+/// Pronounceable pseudo-word for names/streets, deterministic in rng.
+std::string MakeWord(Rng& rng, int syllables) {
+  static const char* kOnsets[] = {"b",  "ch", "d",  "f", "g",  "h",
+                                  "j",  "k",  "l",  "m", "n",  "p",
+                                  "r",  "s",  "st", "t", "tr", "w"};
+  static const char* kVowels[] = {"a", "e", "i", "o", "u", "ay", "ee", "oo"};
+  std::string word;
+  for (int s = 0; s < syllables; ++s) {
+    word += kOnsets[rng.Uniform(0, 17)];
+    word += kVowels[rng.Uniform(0, 7)];
+  }
+  if (!word.empty()) word[0] = static_cast<char>(word[0] - 'a' + 'A');
+  return word;
+}
+
+/// One random character edit (substitute, delete or insert).
+std::string ApplyTypo(Rng& rng, const std::string& s) {
+  if (s.empty()) return s;
+  std::string out = s;
+  int pos = static_cast<int>(rng.Uniform(0, static_cast<int>(s.size()) - 1));
+  char c = static_cast<char>('a' + rng.Uniform(0, 25));
+  switch (rng.Uniform(0, 2)) {
+    case 0: out[pos] = c; break;
+    case 1: out.erase(out.begin() + pos); break;
+    default: out.insert(out.begin() + pos, c); break;
+  }
+  return out;
+}
+
+}  // namespace
+
+GeneratedData GenerateCategorical(const CategoricalConfig& config) {
+  Rng rng(config.seed);
+  GeneratedData data;
+  int chain = std::max(2, config.chain_length);
+  std::vector<std::string> names;
+  for (int i = 0; i < chain; ++i) names.push_back("a" + std::to_string(i));
+  for (int i = 0; i < config.noise_attrs; ++i) {
+    names.push_back("n" + std::to_string(i));
+  }
+  RelationBuilder builder(names);
+
+  // Chain link i maps dom(A_{i-1}) onto a domain of half the size, so
+  // A_{i-1} -> A_i holds and transitively A_0 determines everything.
+  std::vector<int> domain_sizes(chain);
+  domain_sizes[0] = std::max(1, config.head_domain);
+  for (int i = 1; i < chain; ++i) {
+    domain_sizes[i] = std::max(1, domain_sizes[i - 1] / 2);
+  }
+  std::vector<std::vector<int>> link(chain);  // link[i][v_{i-1}] = v_i
+  for (int i = 1; i < chain; ++i) {
+    link[i].resize(domain_sizes[i - 1]);
+    for (int v = 0; v < domain_sizes[i - 1]; ++v) {
+      // Surjective by construction for v < domain_sizes[i].
+      link[i][v] = v < domain_sizes[i]
+                       ? v
+                       : static_cast<int>(rng.Uniform(0, domain_sizes[i] - 1));
+    }
+  }
+
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(config.num_rows);
+  for (int r = 0; r < config.num_rows; ++r) {
+    std::vector<Value> row;
+    int v = config.zipf_theta > 0
+                ? static_cast<int>(rng.Zipf(domain_sizes[0],
+                                            config.zipf_theta))
+                : static_cast<int>(rng.Uniform(0, domain_sizes[0] - 1));
+    row.push_back(Value("v" + std::to_string(v)));
+    for (int i = 1; i < chain; ++i) {
+      v = link[i][v];
+      row.push_back(Value("w" + std::to_string(i) + "_" + std::to_string(v)));
+    }
+    for (int i = 0; i < config.noise_attrs; ++i) {
+      row.push_back(Value(rng.Uniform(0, 9)));
+    }
+    rows.push_back(std::move(row));
+  }
+  // Corrupt dependent cells.
+  for (int r = 0; r < config.num_rows; ++r) {
+    if (!rng.Bernoulli(config.error_rate)) continue;
+    int col = chain >= 2 ? static_cast<int>(rng.Uniform(1, chain - 1)) : 1;
+    Value original = rows[r][col];
+    rows[r][col] =
+        Value("bad" + std::to_string(rng.Uniform(0, 1 << 20)));
+    data.errors.push_back(PlantedError{r, col, std::move(original)});
+  }
+  for (auto& row : rows) builder.AddRow(std::move(row));
+  data.relation = std::move(builder.Build()).value();
+  return data;
+}
+
+GeneratedData GenerateHeterogeneous(const HeterogeneousConfig& config) {
+  Rng rng(config.seed);
+  GeneratedData data;
+  RelationBuilder builder(
+      {"source", "name", "street", "city", "zip", "price"});
+
+  static const char* kStates[] = {"CA", "NY", "TX", "IL", "MA", "WA"};
+  struct Entity {
+    std::string name, street, city, state;
+    int zip, price;
+  };
+  std::vector<Entity> entities;
+  for (int e = 0; e < config.num_entities; ++e) {
+    Entity ent;
+    ent.name = MakeWord(rng, 2) + " Hotel";
+    ent.street = std::to_string(rng.Uniform(1, 99)) + " " + MakeWord(rng, 2) +
+                 " Street";
+    ent.city = MakeWord(rng, 2);
+    ent.state = kStates[rng.Uniform(0, 5)];
+    ent.zip = static_cast<int>(rng.Uniform(10000, 99999));
+    ent.price = static_cast<int>(rng.Uniform(80, 600));
+    entities.push_back(std::move(ent));
+  }
+
+  int row = 0;
+  for (int e = 0; e < config.num_entities; ++e) {
+    const Entity& ent = entities[e];
+    int copies = static_cast<int>(rng.Uniform(1, config.max_duplicates));
+    for (int c = 0; c < copies; ++c) {
+      std::string name = ent.name;
+      std::string street = ent.street;
+      std::string city = ent.city;
+      if (c > 0 && rng.Bernoulli(config.variation_rate)) {
+        // Alternative formats, mirroring "Chicago" vs "Chicago, IL" and
+        // "12th St." vs "12th Str".
+        if (rng.Bernoulli(0.5)) {
+          size_t pos = street.rfind(" Street");
+          if (pos != std::string::npos) street = street.substr(0, pos) + " St.";
+        }
+        if (rng.Bernoulli(0.5)) city += ", " + ent.state;
+        if (rng.Bernoulli(0.3)) {
+          size_t pos = name.rfind(" Hotel");
+          if (pos != std::string::npos) name = name.substr(0, pos);
+        }
+      }
+      std::vector<Value> vals = {
+          Value(c % 2 == 0 ? "s1" : "s2"), Value(name), Value(street),
+          Value(city), Value(static_cast<int64_t>(ent.zip)),
+          Value(static_cast<int64_t>(ent.price))};
+      // Typos are planted errors.
+      for (int col : {1, 2, 3}) {
+        if (rng.Bernoulli(config.typo_rate)) {
+          Value original = vals[col];
+          vals[col] = Value(ApplyTypo(rng, vals[col].as_string()));
+          data.errors.push_back(PlantedError{row, col, std::move(original)});
+        }
+      }
+      builder.AddRow(std::move(vals));
+      data.entity_ids.push_back(e);
+      ++row;
+    }
+  }
+  data.relation = std::move(builder.Build()).value();
+  return data;
+}
+
+GeneratedData GenerateNumerical(const NumericalConfig& config) {
+  Rng rng(config.seed);
+  GeneratedData data;
+  RelationBuilder builder({"nights", "avg/night", "subtotal", "taxes"});
+  std::vector<std::vector<Value>> rows;
+  for (int r = 0; r < config.num_rows; ++r) {
+    int nights = static_cast<int>(rng.Uniform(1, config.max_nights));
+    double rate = config.base_rate - config.discount_per_night * nights;
+    if (config.noise_stddev > 0) {
+      // Bound the noise so the declining-rate OD keeps holding.
+      double noise = rng.Normal(0.0, config.noise_stddev);
+      noise = std::clamp(noise, -config.discount_per_night / 2.01,
+                         config.discount_per_night / 2.01);
+      rate += noise;
+    }
+    double subtotal = nights * rate;
+    double taxes = 0.2 * subtotal;
+    rows.push_back({Value(nights), Value(rate), Value(subtotal),
+                    Value(taxes)});
+  }
+  for (int r = 0; r < config.num_rows; ++r) {
+    if (!rng.Bernoulli(config.outlier_rate)) continue;
+    Value original = rows[r][1];
+    // An order-breaking surge rate.
+    rows[r][1] = Value(config.base_rate * 3 + rng.NextDouble() * 100);
+    rows[r][2] = Value(rows[r][0].as_int() * rows[r][1].as_double());
+    rows[r][3] = Value(0.2 * rows[r][2].as_double());
+    data.errors.push_back(PlantedError{r, 1, std::move(original)});
+  }
+  for (auto& row : rows) builder.AddRow(std::move(row));
+  data.relation = std::move(builder.Build()).value();
+  return data;
+}
+
+GeneratedData GenerateHotels(const HotelConfig& config) {
+  Rng rng(config.seed);
+  GeneratedData data;
+  RelationBuilder builder({"name", "address", "region", "star", "price"});
+  static const char* kStates[] = {"CA", "NY", "TX", "IL", "MA", "WA"};
+  int row = 0;
+  for (int h = 0; h < config.num_hotels; ++h) {
+    std::string name = MakeWord(rng, 2) + " Hotel";
+    std::string address = "No." + std::to_string(rng.Uniform(1, 99)) + ", " +
+                          MakeWord(rng, 2) + " Park";
+    std::string region = MakeWord(rng, 2);
+    std::string state = kStates[rng.Uniform(0, 5)];
+    int star = static_cast<int>(rng.Uniform(1, 5));
+    int price = star * 100 + static_cast<int>(rng.Uniform(0, 99));
+    for (int c = 0; c < config.rows_per_hotel; ++c) {
+      std::string r_region = region;
+      std::string r_name = name;
+      if (c > 0 && rng.Bernoulli(config.variation_rate)) {
+        r_region += ", " + state;  // format variation, not an error
+      }
+      if (c > 0 && rng.Bernoulli(0.4)) {
+        size_t pos = r_name.rfind(" Hotel");
+        if (pos != std::string::npos) r_name = r_name.substr(0, pos);
+      }
+      std::vector<Value> vals = {Value(r_name), Value(address),
+                                 Value(r_region), Value(star), Value(price)};
+      if (rng.Bernoulli(config.error_rate)) {
+        Value original = vals[2];
+        vals[2] = Value(MakeWord(rng, 2));  // a genuinely wrong region
+        data.errors.push_back(PlantedError{row, 2, std::move(original)});
+      }
+      builder.AddRow(std::move(vals));
+      data.entity_ids.push_back(h);
+      ++row;
+    }
+  }
+  data.relation = std::move(builder.Build()).value();
+  return data;
+}
+
+}  // namespace famtree

@@ -1,0 +1,98 @@
+#ifndef FAMTREE_GEN_GENERATORS_H_
+#define FAMTREE_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// A cell corrupted by a generator, with its clean value — the ground
+/// truth that precision/recall experiments and repair benchmarks score
+/// against.
+struct PlantedError {
+  int row = 0;
+  int col = 0;
+  Value original;
+};
+
+/// Output of every generator: the (possibly dirtied) relation, the planted
+/// cell errors, and — for the heterogeneous generator — per-row entity ids
+/// for deduplication ground truth.
+struct GeneratedData {
+  Relation relation;
+  std::vector<PlantedError> errors;
+  std::vector<int> entity_ids;
+};
+
+/// Categorical workload: a chain of planted FDs A0 -> A1 -> ... -> Ad
+/// realized by composing surjections over shrinking domains, plus
+/// independent noise attributes. With error_rate > 0, dependent cells are
+/// corrupted (breaking the FDs for those rows), which turns exact FDs into
+/// AFDs/PFDs/SFDs with measurable strength — the Section 2 workload.
+struct CategoricalConfig {
+  int num_rows = 1000;
+  /// Number of attributes in the FD chain, including the head (>= 2).
+  int chain_length = 4;
+  /// Independent random attributes appended after the chain.
+  int noise_attrs = 1;
+  /// Distinct values of the chain head A0.
+  int head_domain = 100;
+  /// Fraction of rows whose chain cells get corrupted.
+  double error_rate = 0.0;
+  /// Zipf skew for head values (0 = uniform).
+  double zipf_theta = 0.0;
+  uint64_t seed = 42;
+};
+GeneratedData GenerateCategorical(const CategoricalConfig& config);
+
+/// Heterogeneous workload: hotel-like entities rendered multiple times with
+/// format variation (abbreviations, ", ST" region suffixes, typos) — the
+/// Section 3 workload. entity_ids holds the dedup ground truth; errors
+/// lists typo cells.
+struct HeterogeneousConfig {
+  int num_entities = 200;
+  /// Each entity appears 1..max_duplicates times.
+  int max_duplicates = 3;
+  /// Probability a duplicate renders with an alternative format.
+  double variation_rate = 0.5;
+  /// Probability of a random one-edit typo in a string cell.
+  double typo_rate = 0.05;
+  uint64_t seed = 42;
+};
+GeneratedData GenerateHeterogeneous(const HeterogeneousConfig& config);
+
+/// Numerical workload mirroring Table 7: per-row nights in [1, max_nights],
+/// a declining avg/night rate, subtotal = nights * avg, taxes = 20% — so
+/// the paper's OFDs/ODs/DCs/SDs hold by construction. outlier_rate breaks
+/// monotonicity for selected rows (recorded in errors).
+struct NumericalConfig {
+  int num_rows = 1000;
+  int max_nights = 30;
+  double base_rate = 200.0;
+  /// Rate decrease per extra night.
+  double discount_per_night = 2.0;
+  /// Gaussian noise on the rate (kept small enough to preserve order).
+  double noise_stddev = 0.0;
+  /// Fraction of rows with order-breaking corrupted rates.
+  double outlier_rate = 0.0;
+  uint64_t seed = 42;
+};
+GeneratedData GenerateNumerical(const NumericalConfig& config);
+
+/// Hotel workload scaling the paper's Table 1 pattern: (name, address,
+/// region, star, price) with address -> region holding up to format
+/// variation and planted errors.
+struct HotelConfig {
+  int num_hotels = 100;
+  int rows_per_hotel = 3;
+  double variation_rate = 0.3;
+  double error_rate = 0.02;
+  uint64_t seed = 42;
+};
+GeneratedData GenerateHotels(const HotelConfig& config);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_GEN_GENERATORS_H_

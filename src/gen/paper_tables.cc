@@ -1,0 +1,81 @@
+#include "gen/paper_tables.h"
+
+namespace famtree {
+namespace paper {
+
+namespace {
+Value S(const char* s) { return Value(s); }
+Value I(int v) { return Value(v); }
+}  // namespace
+
+Relation R1() {
+  RelationBuilder b({"name", "address", "region", "star", "price"});
+  b.AddRow({S("New Center"), S("No.5, Central Park"), S("New York"), I(3),
+            I(299)});
+  b.AddRow({S("New Center Hotel"), S("No.5, Central Park"), S("New York"),
+            I(3), I(299)});
+  b.AddRow({S("St. Regis Hotel"), S("#3, West Lake Rd."), S("Boston"), I(3),
+            I(319)});
+  b.AddRow({S("St. Regis"), S("#3, West Lake Rd."), S("Chicago, MA"), I(3),
+            I(319)});
+  b.AddRow({S("West Wood Hotel"), S("Fifth Avenue, 61st Street"),
+            S("Chicago"), I(4), I(499)});
+  b.AddRow({S("West Wood"), S("Fifth Avenue, 61st Street"), S("Chicago, IL"),
+            I(4), I(499)});
+  b.AddRow({S("Christina Hotel"), S("No.7, West Lake Rd."), S("Boston, MA"),
+            I(5), I(599)});
+  b.AddRow({S("Christina"), S("#7, West Lake Rd."), S("San Francisco"), I(5),
+            I(0)});
+  return std::move(b.Build()).value();
+}
+
+Relation R5() {
+  RelationBuilder b({"name", "address", "region", "rate"});
+  b.AddRow({S("Hyatt"), S("175 North Jackson Street"), S("Jackson"), I(230)});
+  b.AddRow({S("Hyatt"), S("175 North Jackson Street"), S("Jackson"), I(250)});
+  b.AddRow({S("Hyatt"), S("6030 Gateway Boulevard E"), S("El Paso"), I(189)});
+  b.AddRow(
+      {S("Hyatt"), S("6030 Gateway Boulevard E"), S("El Paso, TX"), I(189)});
+  return std::move(b.Build()).value();
+}
+
+Relation R6() {
+  RelationBuilder b({"source", "name", "street", "address", "region", "zip",
+                     "price", "tax"});
+  b.AddRow({S("s1"), S("NC"), S("CPark"), S("#5, Central Park"),
+            S("New York"), I(10041), I(299), I(29)});
+  b.AddRow({S("s2"), S("NC"), S("12th St."), S("#2 Ave, 12th St."),
+            S("San Jose"), I(95102), I(300), I(20)});
+  b.AddRow({S("s1"), S("Regis"), S("CPark"), S("#9, Central Park"),
+            S("New York"), I(10041), I(319), I(31)});
+  b.AddRow({S("s2"), S("Chris"), S("61st St."), S("#5 Ave, 61st St."),
+            S("Chicago"), I(60601), I(499), I(49)});
+  b.AddRow({S("s2"), S("WD"), S("12th St."), S("#6 Ave, 12th St."),
+            S("San Jose"), I(95102), I(399), I(27)});
+  b.AddRow({S("s1"), S("NC"), S("12th Str"), S("#2 Aven, 12th St."),
+            S("San Jose"), I(95102), I(300), I(20)});
+  return std::move(b.Build()).value();
+}
+
+Relation R7() {
+  RelationBuilder b({"nights", "avg/night", "subtotal", "taxes"});
+  b.AddRow({I(1), I(190), I(190), I(38)});
+  b.AddRow({I(2), I(185), I(370), I(74)});
+  b.AddRow({I(3), I(180), I(540), I(108)});
+  b.AddRow({I(4), I(175), I(700), I(140)});
+  return std::move(b.Build()).value();
+}
+
+Relation DataspaceExample() {
+  RelationBuilder b({"name", "region", "city", "addr", "post"});
+  b.AddRow({S("Alice"), S("Petersburg"), Value::Null(), S("#7 T Avenue"),
+            Value::Null()});
+  b.AddRow({S("Alice"), Value::Null(), S("St Petersburg"), Value::Null(),
+            S("#7 T Avenue")});
+  b.AddRow({S("Alex"), S("St Petersburg"), Value::Null(), Value::Null(),
+            S("No 7 T Ave")});
+  return std::move(b.Build()).value();
+}
+
+}  // namespace paper
+}  // namespace famtree

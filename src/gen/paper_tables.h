@@ -1,0 +1,76 @@
+#ifndef FAMTREE_GEN_PAPER_TABLES_H_
+#define FAMTREE_GEN_PAPER_TABLES_H_
+
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// Exact replicas of the running-example instances in the paper. Every
+/// worked measure value in EXPERIMENTS.md is recomputed against these.
+namespace paper {
+
+/// Table 1: hotel relation r1 (name, address, region, star, price);
+/// 8 tuples; fd1: address -> region has a true violation at (t3, t4), a
+/// format-variation false positive at (t5, t6), and an undetectable error
+/// at (t7, t8).
+Relation R1();
+
+/// Table 5: hotel relation r5 (name, address, region, rate); 4 tuples;
+/// address -> region almost holds (S = 2/3, P = 3/4, g3 = 1/4) while
+/// name -> address does not (S = 1/2, P = 1/2, g3 = 1/2).
+Relation R5();
+
+/// Table 6: heterogeneous relation r6 (source, name, street, address,
+/// region, zip, price, tax); 6 tuples from sources s1/s2 with format
+/// variation ("12th St." vs "12th Str").
+Relation R6();
+
+/// Table 7: numerical relation r7 (nights, avg/night, subtotal, taxes);
+/// 4 tuples with monotone rate structure.
+Relation R7();
+
+/// The 3-tuple dataspace of Section 3.4.1 (name, region, city, addr,
+/// post) with absent attributes as nulls.
+Relation DataspaceExample();
+
+/// Attribute indices of R1 in declaration order.
+struct R1Attrs {
+  static constexpr int kName = 0;
+  static constexpr int kAddress = 1;
+  static constexpr int kRegion = 2;
+  static constexpr int kStar = 3;
+  static constexpr int kPrice = 4;
+};
+
+/// Attribute indices of R5.
+struct R5Attrs {
+  static constexpr int kName = 0;
+  static constexpr int kAddress = 1;
+  static constexpr int kRegion = 2;
+  static constexpr int kRate = 3;
+};
+
+/// Attribute indices of R6.
+struct R6Attrs {
+  static constexpr int kSource = 0;
+  static constexpr int kName = 1;
+  static constexpr int kStreet = 2;
+  static constexpr int kAddress = 3;
+  static constexpr int kRegion = 4;
+  static constexpr int kZip = 5;
+  static constexpr int kPrice = 6;
+  static constexpr int kTax = 7;
+};
+
+/// Attribute indices of R7.
+struct R7Attrs {
+  static constexpr int kNights = 0;
+  static constexpr int kAvgNight = 1;
+  static constexpr int kSubtotal = 2;
+  static constexpr int kTaxes = 3;
+};
+
+}  // namespace paper
+}  // namespace famtree
+
+#endif  // FAMTREE_GEN_PAPER_TABLES_H_

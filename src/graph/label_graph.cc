@@ -1,0 +1,105 @@
+#include "graph/label_graph.h"
+
+#include <algorithm>
+
+namespace famtree {
+
+int LabelGraph::AddVertex(std::string label) {
+  labels_.push_back(std::move(label));
+  adjacency_.emplace_back();
+  return static_cast<int>(labels_.size()) - 1;
+}
+
+Status LabelGraph::AddEdge(int u, int v) {
+  if (u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices()) {
+    return Status::Invalid("edge endpoint outside the graph");
+  }
+  if (u == v) return Status::Invalid("self-loops are not supported");
+  for (int w : adjacency_[u]) {
+    if (w == v) return Status::AlreadyExists("duplicate edge");
+  }
+  edges_.push_back({u, v});
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  return Status::OK();
+}
+
+void NeighborhoodConstraint::Allow(const std::string& a,
+                                   const std::string& b) {
+  allowed_.insert({std::min(a, b), std::max(a, b)});
+}
+
+bool NeighborhoodConstraint::Allowed(const std::string& a,
+                                     const std::string& b) const {
+  return allowed_.count({std::min(a, b), std::max(a, b)}) > 0;
+}
+
+std::vector<std::pair<int, int>> NeighborhoodConstraint::Violations(
+    const LabelGraph& graph) const {
+  std::vector<std::pair<int, int>> out;
+  for (const auto& [u, v] : graph.edges()) {
+    if (!Allowed(graph.label(u), graph.label(v))) out.push_back({u, v});
+  }
+  return out;
+}
+
+Result<GraphRepairResult> RepairLabels(
+    const LabelGraph& graph, const NeighborhoodConstraint& nc,
+    const std::vector<std::string>& alphabet, int max_changes) {
+  if (alphabet.empty()) {
+    return Status::Invalid("repair needs a candidate label alphabet");
+  }
+  GraphRepairResult result;
+  result.repaired = graph;
+  LabelGraph& g = result.repaired;
+
+  auto incident_violations = [&](int v) {
+    int count = 0;
+    for (int w : g.neighbors(v)) {
+      if (!nc.Allowed(g.label(v), g.label(w))) ++count;
+    }
+    return count;
+  };
+
+  int changes = 0;
+  while (changes < max_changes) {
+    // Vertices ranked by incident violations; relabel the first one that
+    // a candidate label strictly improves (the single worst vertex may be
+    // unfixable while its neighbor is the actual culprit).
+    std::vector<std::pair<int, int>> ranked;  // (count, vertex)
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      int count = incident_violations(v);
+      if (count > 0) ranked.push_back({count, v});
+    }
+    if (ranked.empty()) break;  // consistent
+    std::sort(ranked.rbegin(), ranked.rend());
+    bool applied = false;
+    for (const auto& [count, vertex] : ranked) {
+      std::string original = g.label(vertex);
+      std::string best_label = original;
+      int best_count = count;
+      for (const std::string& cand : alphabet) {
+        if (cand == original) continue;
+        g.set_label(vertex, cand);
+        int c = incident_violations(vertex);
+        if (c < best_count) {
+          best_count = c;
+          best_label = cand;
+        }
+      }
+      g.set_label(vertex, original);
+      if (best_label != original) {
+        result.changes.push_back(LabelChange{vertex, original, best_label});
+        g.set_label(vertex, best_label);
+        ++changes;
+        applied = true;
+        break;
+      }
+    }
+    if (!applied) break;  // no vertex improves: fixpoint
+  }
+  result.remaining_violations = static_cast<int>(nc.Violations(g).size());
+  return result;
+}
+
+}  // namespace famtree

@@ -1,0 +1,82 @@
+#ifndef FAMTREE_GRAPH_LABEL_GRAPH_H_
+#define FAMTREE_GRAPH_LABEL_GRAPH_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace famtree {
+
+/// A vertex-labeled undirected graph — the Section 5.2 outlook made
+/// concrete: graph data (workflow networks, protein interactions) has no
+/// relational schema, so constraints attach to the *neighborhood*
+/// structure instead ([93], [103]).
+class LabelGraph {
+ public:
+  /// Adds a vertex; returns its id.
+  int AddVertex(std::string label);
+
+  /// Adds an undirected edge (self-loops and duplicates rejected).
+  Status AddEdge(int u, int v);
+
+  int num_vertices() const { return static_cast<int>(labels_.size()); }
+  const std::string& label(int v) const { return labels_[v]; }
+  void set_label(int v, std::string label) { labels_[v] = std::move(label); }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+  const std::vector<int>& neighbors(int v) const { return adjacency_[v]; }
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+/// A neighborhood constraint ([93]): the set of label pairs allowed on
+/// adjacent vertices (symmetric). An edge whose endpoint labels form a
+/// pair outside the set is a violation — e.g. in a workflow graph,
+/// "ship" may never neighbor "refund-before-payment".
+class NeighborhoodConstraint {
+ public:
+  /// Allows {a, b} adjacency (order-insensitive; {a, a} permits same-label
+  /// neighbors).
+  void Allow(const std::string& a, const std::string& b);
+
+  bool Allowed(const std::string& a, const std::string& b) const;
+
+  /// Edges of `graph` whose endpoint labels are not allowed.
+  std::vector<std::pair<int, int>> Violations(const LabelGraph& graph) const;
+
+ private:
+  std::set<std::pair<std::string, std::string>> allowed_;
+};
+
+/// One relabeling performed by the repair.
+struct LabelChange {
+  int vertex = 0;
+  std::string old_label;
+  std::string new_label;
+};
+
+/// Outcome of a graph repair.
+struct GraphRepairResult {
+  LabelGraph repaired;
+  std::vector<LabelChange> changes;
+  int remaining_violations = 0;
+};
+
+/// Greedy vertex-label repair under a neighborhood constraint ([93], the
+/// vertex-label repair problem, simplified): repeatedly take the vertex
+/// incident to the most violating edges and relabel it (candidates =
+/// `alphabet`) to the label minimizing its incident violations; stop at a
+/// fixpoint or the change budget.
+Result<GraphRepairResult> RepairLabels(const LabelGraph& graph,
+                                       const NeighborhoodConstraint& nc,
+                                       const std::vector<std::string>& alphabet,
+                                       int max_changes = 1000);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_GRAPH_LABEL_GRAPH_H_

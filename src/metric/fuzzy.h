@@ -1,0 +1,61 @@
+#ifndef FAMTREE_METRIC_FUZZY_H_
+#define FAMTREE_METRIC_FUZZY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "relation/value.h"
+
+namespace famtree {
+
+/// A fuzzy resemblance relation EQUAL in the sense of FFDs (Section 3.6):
+/// mu_EQ(a, b) in [0, 1], 1 meaning "fully equal". Must be reflexive
+/// (mu(a,a) == 1) and symmetric.
+class Resemblance {
+ public:
+  virtual ~Resemblance() = default;
+  virtual double Equal(const Value& a, const Value& b) const = 0;
+  virtual std::string name() const = 0;
+};
+
+using ResemblancePtr = std::shared_ptr<const Resemblance>;
+
+/// Crisp equality: 1 if a == b else 0. With this resemblance an FFD
+/// degenerates to a classical FD — the family-tree edge FD -> FFD.
+class CrispResemblance : public Resemblance {
+ public:
+  double Equal(const Value& a, const Value& b) const override;
+  std::string name() const override { return "crisp"; }
+};
+
+/// The paper's Section 3.6.1 recipe: mu(a,b) = 1 / (1 + beta * |a - b|)
+/// on numeric values; crisp on everything else.
+class ReciprocalResemblance : public Resemblance {
+ public:
+  explicit ReciprocalResemblance(double beta) : beta_(beta) {}
+  double Equal(const Value& a, const Value& b) const override;
+  std::string name() const override;
+
+ private:
+  double beta_;
+};
+
+/// mu(a,b) = max(0, 1 - edit(a,b)/scale) on string forms.
+class EditResemblance : public Resemblance {
+ public:
+  explicit EditResemblance(double scale) : scale_(scale) {}
+  double Equal(const Value& a, const Value& b) const override;
+  std::string name() const override;
+
+ private:
+  double scale_;
+};
+
+ResemblancePtr GetCrispResemblance();
+ResemblancePtr MakeReciprocalResemblance(double beta);
+ResemblancePtr MakeEditResemblance(double scale);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_METRIC_FUZZY_H_

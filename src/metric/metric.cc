@@ -1,0 +1,133 @@
+#include "metric/metric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace famtree {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Nulls: distance 0 to null, +inf to anything else. Returns true when the
+/// null rule applies and sets *out.
+bool NullRule(const Value& a, const Value& b, double* out) {
+  if (a.is_null() || b.is_null()) {
+    *out = (a.is_null() && b.is_null()) ? 0.0 : kInf;
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+int LevenshteinDistance(const std::string& a, const std::string& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double EditDistanceMetric::Distance(const Value& a, const Value& b) const {
+  double nd;
+  if (NullRule(a, b, &nd)) return nd;
+  return LevenshteinDistance(a.ToString(), b.ToString());
+}
+
+double AbsDiffMetric::Distance(const Value& a, const Value& b) const {
+  double nd;
+  if (NullRule(a, b, &nd)) return nd;
+  if (a.is_numeric() && b.is_numeric()) {
+    return std::fabs(a.AsNumeric() - b.AsNumeric());
+  }
+  return a == b ? 0.0 : kInf;
+}
+
+double DiscreteMetric::Distance(const Value& a, const Value& b) const {
+  double nd;
+  if (NullRule(a, b, &nd)) return nd == 0.0 ? 0.0 : 1.0;
+  return a == b ? 0.0 : 1.0;
+}
+
+double JaccardQGramMetric::Distance(const Value& a, const Value& b) const {
+  double nd;
+  if (NullRule(a, b, &nd)) return nd == 0.0 ? 0.0 : 1.0;
+  std::string sa = a.ToString(), sb = b.ToString();
+  if (sa == sb) return 0.0;
+  auto grams = [this](const std::string& s) {
+    std::map<std::string, int> g;
+    if (static_cast<int>(s.size()) < q_) {
+      if (!s.empty()) g[s] = 1;
+      return g;
+    }
+    for (size_t i = 0; i + q_ <= s.size(); ++i) ++g[s.substr(i, q_)];
+    return g;
+  };
+  std::map<std::string, int> ga = grams(sa), gb = grams(sb);
+  int inter = 0, uni = 0;
+  auto ia = ga.begin();
+  auto ib = gb.begin();
+  while (ia != ga.end() && ib != gb.end()) {
+    if (ia->first == ib->first) {
+      inter += std::min(ia->second, ib->second);
+      uni += std::max(ia->second, ib->second);
+      ++ia;
+      ++ib;
+    } else if (ia->first < ib->first) {
+      uni += ia->second;
+      ++ia;
+    } else {
+      uni += ib->second;
+      ++ib;
+    }
+  }
+  for (; ia != ga.end(); ++ia) uni += ia->second;
+  for (; ib != gb.end(); ++ib) uni += ib->second;
+  if (uni == 0) return 0.0;
+  return 1.0 - static_cast<double>(inter) / uni;
+}
+
+MetricPtr GetEditDistanceMetric() {
+  static const MetricPtr& m = *new MetricPtr(new EditDistanceMetric());
+  return m;
+}
+
+MetricPtr GetAbsDiffMetric() {
+  static const MetricPtr& m = *new MetricPtr(new AbsDiffMetric());
+  return m;
+}
+
+MetricPtr GetDiscreteMetric() {
+  static const MetricPtr& m = *new MetricPtr(new DiscreteMetric());
+  return m;
+}
+
+MetricPtr GetJaccardQGramMetric(int q) {
+  return MetricPtr(new JaccardQGramMetric(q));
+}
+
+MetricPtr DefaultMetricFor(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return GetAbsDiffMetric();
+    case ValueType::kString:
+      return GetEditDistanceMetric();
+    case ValueType::kNull:
+      return GetDiscreteMetric();
+  }
+  return GetDiscreteMetric();
+}
+
+}  // namespace famtree

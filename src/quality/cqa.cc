@@ -1,0 +1,122 @@
+#include "quality/cqa.h"
+
+#include <algorithm>
+#include <set>
+
+namespace famtree {
+
+namespace {
+
+Status CheckQuery(const Relation& relation, const SelectionQuery& query) {
+  int nc = relation.num_columns();
+  if (query.attr < 0 || query.attr >= nc) {
+    return Status::Invalid("selection attribute outside the schema");
+  }
+  if (!AttrSet::Full(nc).ContainsAll(query.projection) ||
+      query.projection.empty()) {
+    return Status::Invalid("projection outside the schema or empty");
+  }
+  return Status::OK();
+}
+
+bool Selected(const Relation& relation, int row,
+              const SelectionQuery& query) {
+  return EvalCmp(relation.Get(row, query.attr), query.op, query.constant);
+}
+
+/// Splits an LHS group into RHS subgroups (each a candidate repair keep).
+std::vector<std::vector<int>> Subgroups(const Relation& relation,
+                                        const std::vector<int>& group,
+                                        AttrSet rhs) {
+  std::vector<std::vector<int>> sub;
+  for (int row : group) {
+    bool placed = false;
+    for (auto& s : sub) {
+      if (relation.AgreeOn(s[0], row, rhs)) {
+        s.push_back(row);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) sub.push_back({row});
+  }
+  return sub;
+}
+
+/// Deduplicated projection append.
+void AppendProjection(const Relation& relation, int row, AttrSet projection,
+                      std::set<std::vector<std::string>>* seen,
+                      Relation* out) {
+  std::vector<Value> proj = relation.Project(row, projection);
+  std::vector<std::string> key;
+  for (const Value& v : proj) {
+    key.push_back(std::string(ValueTypeName(v.type())) + ":" + v.ToString());
+  }
+  if (seen->insert(key).second) {
+    out->AppendRow(std::move(proj)).ok();
+  }
+}
+
+}  // namespace
+
+Result<Relation> CertainAnswers(const Relation& relation, const Fd& fd,
+                                const SelectionQuery& query) {
+  FAMTREE_RETURN_NOT_OK(CheckQuery(relation, query));
+  Relation out{Schema(relation.ProjectColumns(query.projection).schema())};
+  std::set<std::vector<std::string>> seen;
+  for (const auto& group : relation.GroupBy(fd.lhs())) {
+    auto sub = Subgroups(relation, group, fd.rhs());
+    if (sub.size() == 1) {
+      // Consistent group: every selected tuple's projection is certain.
+      for (int row : group) {
+        if (Selected(relation, row, query)) {
+          AppendProjection(relation, row, query.projection, &seen, &out);
+        }
+      }
+      continue;
+    }
+    // Conflicting group: a projection from this group is certain iff
+    // every subgroup (i.e., every repair choice) contributes a selected
+    // row with that projection.
+    for (int row : group) {
+      if (!Selected(relation, row, query)) continue;
+      std::vector<Value> proj = relation.Project(row, query.projection);
+      bool in_all = true;
+      for (const auto& s : sub) {
+        bool found = false;
+        for (int other : s) {
+          if (Selected(relation, other, query) &&
+              relation.Project(other, query.projection) == proj) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) {
+        AppendProjection(relation, row, query.projection, &seen, &out);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Relation> PossibleAnswers(const Relation& relation, const Fd& fd,
+                                 const SelectionQuery& query) {
+  FAMTREE_RETURN_NOT_OK(CheckQuery(relation, query));
+  // Every selected tuple appears in the repair keeping its own subgroup.
+  Relation out{Schema(relation.ProjectColumns(query.projection).schema())};
+  std::set<std::vector<std::string>> seen;
+  for (int row = 0; row < relation.num_rows(); ++row) {
+    if (Selected(relation, row, query)) {
+      AppendProjection(relation, row, query.projection, &seen, &out);
+    }
+  }
+  (void)fd;  // every tuple survives in some subset repair
+  return out;
+}
+
+}  // namespace famtree

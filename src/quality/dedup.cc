@@ -1,0 +1,127 @@
+#include "quality/dedup.h"
+
+#include <map>
+#include <numeric>
+
+namespace famtree {
+
+namespace {
+
+struct UnionFind {
+  std::vector<int> parent;
+  explicit UnionFind(int n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int Find(int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  bool Union(int a, int b) {
+    int ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    parent[ra] = rb;
+    return true;
+  }
+};
+
+}  // namespace
+
+Result<MatchResult> MdMatcher::Match(const Relation& relation) const {
+  int n = relation.num_rows();
+  UnionFind uf(n);
+  MatchResult result;
+  for (const Md& md : rules_) {
+    for (int i = 0; i + 1 < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (md.LhsSimilar(relation, i, j)) {
+          uf.Union(i, j);
+          ++result.matched_pairs;
+        }
+      }
+    }
+  }
+  // Dense cluster ids.
+  std::map<int, int> root_to_id;
+  result.cluster_ids.resize(n);
+  for (int i = 0; i < n; ++i) {
+    int root = uf.Find(i);
+    auto [it, inserted] =
+        root_to_id.emplace(root, static_cast<int>(root_to_id.size()));
+    result.cluster_ids[i] = it->second;
+  }
+  result.num_clusters = static_cast<int>(root_to_id.size());
+  return result;
+}
+
+Result<Relation> MdMatcher::Apply(const Relation& relation,
+                                  const MatchResult& match) const {
+  if (static_cast<int>(match.cluster_ids.size()) != relation.num_rows()) {
+    return Status::Invalid("match result does not fit the relation");
+  }
+  Relation out = relation;
+  // Rows per cluster.
+  std::map<int, std::vector<int>> clusters;
+  for (int i = 0; i < relation.num_rows(); ++i) {
+    clusters[match.cluster_ids[i]].push_back(i);
+  }
+  AttrSet identify;
+  for (const Md& md : rules_) identify = identify.Union(md.rhs());
+  for (const auto& [id, rows] : clusters) {
+    if (rows.size() < 2) continue;
+    for (int col : identify.ToVector()) {
+      // Plurality value within the cluster.
+      std::vector<std::pair<Value, int>> counts;
+      for (int r : rows) {
+        const Value& v = out.Get(r, col);
+        bool found = false;
+        for (auto& [val, cnt] : counts) {
+          if (val == v) {
+            ++cnt;
+            found = true;
+            break;
+          }
+        }
+        if (!found) counts.push_back({v, 1});
+      }
+      Value target;
+      int best = 0;
+      for (const auto& [val, cnt] : counts) {
+        if (cnt > best) {
+          best = cnt;
+          target = val;
+        }
+      }
+      for (int r : rows) out.Set(r, col, target);
+    }
+  }
+  return out;
+}
+
+ClusterScore ScoreClusters(const std::vector<int>& predicted,
+                           const std::vector<int>& truth) {
+  ClusterScore score;
+  if (predicted.size() != truth.size() || predicted.empty()) return score;
+  int n = static_cast<int>(predicted.size());
+  int64_t tp = 0, fp = 0, fn = 0;
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      bool same_pred = predicted[i] == predicted[j];
+      bool same_true = truth[i] == truth[j];
+      if (same_pred && same_true) ++tp;
+      if (same_pred && !same_true) ++fp;
+      if (!same_pred && same_true) ++fn;
+    }
+  }
+  score.pairwise_precision =
+      (tp + fp) == 0 ? 1.0 : static_cast<double>(tp) / (tp + fp);
+  score.pairwise_recall =
+      (tp + fn) == 0 ? 1.0 : static_cast<double>(tp) / (tp + fn);
+  double p = score.pairwise_precision, r = score.pairwise_recall;
+  score.f1 = (p + r) == 0 ? 0.0 : 2 * p * r / (p + r);
+  return score;
+}
+
+}  // namespace famtree

@@ -1,0 +1,69 @@
+#include "quality/detector.h"
+
+#include <set>
+
+namespace famtree {
+
+Result<DetectionSummary> ViolationDetector::Detect(
+    const Relation& relation, int max_violations_per_rule) const {
+  DetectionSummary summary;
+  std::set<int> flagged;
+  for (const DependencyPtr& rule : rules_) {
+    FAMTREE_ASSIGN_OR_RETURN(
+        ValidationReport report,
+        rule->Validate(relation, max_violations_per_rule));
+    for (const Violation& v : report.violations) {
+      for (int row : v.rows) flagged.insert(row);
+    }
+    summary.results.push_back(DetectionResult{rule, std::move(report)});
+  }
+  summary.flagged_rows.assign(flagged.begin(), flagged.end());
+  return summary;
+}
+
+std::string FormatViolation(const Relation& relation,
+                            const Dependency& dependency,
+                            const Violation& violation) {
+  std::string out =
+      "violation of " + dependency.ToString(&relation.schema()) + ":\n";
+  for (int row : violation.rows) {
+    out += "  row " + std::to_string(row) + ": (";
+    for (int c = 0; c < relation.num_columns(); ++c) {
+      if (c) out += ", ";
+      out += relation.Get(row, c).ToString();
+    }
+    out += ")\n";
+  }
+  out += "  " + violation.description + "\n";
+  return out;
+}
+
+PrecisionRecall ScoreDetection(const DetectionSummary& summary,
+                               const std::vector<PlantedError>& errors) {
+  std::set<int> dirty_rows;
+  for (const PlantedError& e : errors) dirty_rows.insert(e.row);
+  PrecisionRecall pr;
+  std::set<int> flagged(summary.flagged_rows.begin(),
+                        summary.flagged_rows.end());
+  for (int row : flagged) {
+    if (dirty_rows.count(row)) {
+      ++pr.true_positives;
+    } else {
+      ++pr.false_positives;
+    }
+  }
+  for (int row : dirty_rows) {
+    if (!flagged.count(row)) ++pr.false_negatives;
+  }
+  int denom_p = pr.true_positives + pr.false_positives;
+  int denom_r = pr.true_positives + pr.false_negatives;
+  pr.precision = denom_p == 0 ? 1.0
+                              : static_cast<double>(pr.true_positives) /
+                                    denom_p;
+  pr.recall = denom_r == 0
+                  ? 1.0
+                  : static_cast<double>(pr.true_positives) / denom_r;
+  return pr;
+}
+
+}  // namespace famtree

@@ -1,0 +1,77 @@
+#include "quality/impute.h"
+
+namespace famtree {
+
+Result<ImputeResult> ImputeWithNed(const Relation& relation,
+                                   const Ned& rule) {
+  if (rule.rhs().size() != 1) {
+    return Status::Invalid("imputation takes a single-target NED");
+  }
+  int target = rule.rhs()[0].attr;
+  int n = relation.num_rows();
+  ImputeResult result;
+  result.imputed = relation;
+  for (int i = 0; i < n; ++i) {
+    if (!relation.Get(i, target).is_null()) continue;
+    // Neighbors: rows agreeing with i on every LHS predicate, with a
+    // non-null target value.
+    std::vector<int> neighbors;
+    for (int j = 0; j < n; ++j) {
+      if (j == i || relation.Get(j, target).is_null()) continue;
+      bool close = true;
+      for (const auto& p : rule.lhs()) {
+        double d = p.metric->Distance(relation.Get(i, p.attr),
+                                      relation.Get(j, p.attr));
+        if (d > p.threshold) {
+          close = false;
+          break;
+        }
+      }
+      if (close) neighbors.push_back(j);
+    }
+    if (neighbors.empty()) {
+      ++result.unfilled;
+      continue;
+    }
+    // Numeric targets: mean; otherwise plurality.
+    bool all_numeric = true;
+    for (int j : neighbors) {
+      if (!relation.Get(j, target).is_numeric()) {
+        all_numeric = false;
+        break;
+      }
+    }
+    Value prediction;
+    if (all_numeric) {
+      double sum = 0;
+      for (int j : neighbors) sum += relation.Get(j, target).AsNumeric();
+      prediction = Value(sum / neighbors.size());
+    } else {
+      std::vector<std::pair<Value, int>> counts;
+      for (int j : neighbors) {
+        const Value& v = relation.Get(j, target);
+        bool found = false;
+        for (auto& [val, cnt] : counts) {
+          if (val == v) {
+            ++cnt;
+            found = true;
+            break;
+          }
+        }
+        if (!found) counts.push_back({v, 1});
+      }
+      int best = 0;
+      for (const auto& [val, cnt] : counts) {
+        if (cnt > best) {
+          best = cnt;
+          prediction = val;
+        }
+      }
+    }
+    result.imputed.Set(i, target, prediction);
+    ++result.filled;
+  }
+  return result;
+}
+
+}  // namespace famtree

@@ -1,0 +1,31 @@
+#ifndef FAMTREE_QUALITY_IMPUTE_H_
+#define FAMTREE_QUALITY_IMPUTE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "deps/ned.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// Outcome of missing-value imputation.
+struct ImputeResult {
+  Relation imputed;
+  /// Cells that were null and got a value.
+  int filled = 0;
+  /// Null cells with no qualifying neighbor.
+  int unfilled = 0;
+};
+
+/// The P-neighborhood prediction method of NEDs (Section 3.2.4, [4]) /
+/// the similarity-rule imputation of DDs ([95], [96]): a tuple's missing
+/// target value is predicted from the tuples agreeing with it on the LHS
+/// neighborhood predicate — unlike kNN, the neighborhood radius comes from
+/// the declared rule, not a tuned k. Prediction is the neighbor plurality
+/// (categorical) or mean (numeric).
+Result<ImputeResult> ImputeWithNed(const Relation& relation, const Ned& rule);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_QUALITY_IMPUTE_H_

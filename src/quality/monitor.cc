@@ -1,0 +1,123 @@
+#include "quality/monitor.h"
+
+#include "common/hash.h"
+#include "deps/cd.h"
+#include "deps/cdd.h"
+#include "deps/cmd.h"
+#include "deps/dc.h"
+#include "deps/dd.h"
+#include "deps/fd.h"
+#include "deps/ffd.h"
+#include "deps/md.h"
+#include "deps/mfd.h"
+#include "deps/ned.h"
+#include "deps/od.h"
+#include "deps/ofd.h"
+#include "deps/pac.h"
+
+namespace famtree {
+
+namespace {
+
+size_t ProjectionKey(const Relation& r, int row, AttrSet attrs) {
+  size_t h = 0xfeedULL;
+  for (int a : attrs.ToVector()) h = HashCombine(h, r.Get(row, a).Hash());
+  return h;
+}
+
+}  // namespace
+
+Result<MonitorAlert> StreamMonitor::Append(std::vector<Value> row) {
+  FAMTREE_RETURN_NOT_OK(relation_.AppendRow(std::move(row)));
+  int new_row = relation_.num_rows() - 1;
+  MonitorAlert alert;
+  alert.row = new_row;
+
+  for (size_t rule_idx = 0; rule_idx < rules_.size(); ++rule_idx) {
+    const DependencyPtr& rule = rules_[rule_idx];
+    std::vector<Violation> findings;
+
+    if (const auto* fd = dynamic_cast<const Fd*>(rule.get())) {
+      // O(1) amortized: bucket rows by LHS projection; compare the new
+      // row against its bucket's representatives.
+      FdIndex& index = fd_indexes_[rule_idx];
+      size_t key = ProjectionKey(relation_, new_row, fd->lhs());
+      auto& bucket = index.buckets[key];
+      for (int other : bucket) {
+        if (relation_.AgreeOn(other, new_row, fd->lhs()) &&
+            !relation_.AgreeOn(other, new_row, fd->rhs())) {
+          findings.push_back(Violation{{other, new_row},
+                                       "equal on LHS but differ on RHS"});
+        }
+      }
+      bucket.push_back(new_row);
+    } else if (dynamic_cast<const Mfd*>(rule.get()) != nullptr ||
+               dynamic_cast<const Ned*>(rule.get()) != nullptr ||
+               dynamic_cast<const Dd*>(rule.get()) != nullptr ||
+               dynamic_cast<const Cdd*>(rule.get()) != nullptr ||
+               dynamic_cast<const Cd*>(rule.get()) != nullptr ||
+               dynamic_cast<const Ffd*>(rule.get()) != nullptr ||
+               dynamic_cast<const Md*>(rule.get()) != nullptr ||
+               dynamic_cast<const Cmd*>(rule.get()) != nullptr ||
+               dynamic_cast<const Od*>(rule.get()) != nullptr ||
+               dynamic_cast<const Ofd*>(rule.get()) != nullptr) {
+      // Pairwise: compare the new tuple against every stored tuple.
+      for (int other = 0; other < new_row; ++other) {
+        Relation pair = relation_.Select({other, new_row});
+        FAMTREE_ASSIGN_OR_RETURN(ValidationReport report,
+                                 rule->Validate(pair, 4));
+        for (Violation v : report.violations) {
+          for (int& r : v.rows) r = r == 0 ? other : new_row;
+          findings.push_back(std::move(v));
+        }
+      }
+    } else if (const auto* dc = dynamic_cast<const Dc*>(rule.get())) {
+      if (dc->IsSingleTuple()) {
+        Relation single = relation_.Select({new_row});
+        FAMTREE_ASSIGN_OR_RETURN(ValidationReport report,
+                                 dc->Validate(single, 1));
+        if (!report.holds) {
+          findings.push_back(
+              Violation{{new_row}, "tuple satisfies all denied predicates"});
+        }
+      } else {
+        for (int other = 0; other < new_row; ++other) {
+          Relation pair = relation_.Select({other, new_row});
+          FAMTREE_ASSIGN_OR_RETURN(ValidationReport report,
+                                   dc->Validate(pair, 4));
+          for (Violation v : report.violations) {
+            for (int& r : v.rows) r = r == 0 ? other : new_row;
+            findings.push_back(std::move(v));
+          }
+        }
+      }
+    } else {
+      // Fallback: full validation; keep only reports mentioning the row.
+      FAMTREE_ASSIGN_OR_RETURN(ValidationReport report,
+                               rule->Validate(relation_, 256));
+      if (!report.holds) {
+        for (const Violation& v : report.violations) {
+          for (int r : v.rows) {
+            if (r == new_row) {
+              findings.push_back(v);
+              break;
+            }
+          }
+        }
+        if (findings.empty() && !report.violations.empty()) {
+          // A threshold rule tipped over without a row-local witness:
+          // report the rule-level alarm on the new row.
+          findings.push_back(
+              Violation{{new_row}, "rule no longer meets its threshold"});
+        }
+      }
+    }
+
+    if (!findings.empty()) {
+      alert.findings.push_back({rule, std::move(findings)});
+    }
+  }
+  return alert;
+}
+
+}  // namespace famtree

@@ -1,0 +1,67 @@
+#ifndef FAMTREE_QUALITY_MONITOR_H_
+#define FAMTREE_QUALITY_MONITOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "deps/dependency.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// Violations triggered by one appended tuple.
+struct MonitorAlert {
+  /// Index the new row received in the monitored relation.
+  int row = 0;
+  /// One entry per violated rule: the rule and the witnesses involving
+  /// the new row.
+  std::vector<std::pair<DependencyPtr, std::vector<Violation>>> findings;
+  bool clean() const { return findings.empty(); }
+};
+
+/// Streaming data-quality monitor in the spirit of PAC-Man ([63],
+/// Section 3.5.4: "keeps on monitoring the new data overtime and alarms
+/// when violations are detected") and of incremental FFD checking [108]:
+/// tuples arrive one at a time and each is checked against the data seen
+/// so far.
+///
+/// Incremental strategies per class:
+///   - FDs: hash map from LHS projection to the first row's RHS values —
+///     O(1) per arrival;
+///   - pairwise classes (MFDs, NEDs, DDs, CDDs, CDs, PACs, FFDs, MDs,
+///     CMDs, ODs, OFDs, two-tuple DCs): the new tuple is compared against
+///     every stored tuple — O(n) per arrival instead of O(n^2) re-runs;
+///   - single-tuple DCs: O(1);
+///   - anything else (MVD-family, SDs/CSDs, statistical thresholds whose
+///     measure is global): full revalidation restricted to reports that
+///     mention the new row — correct but O(full validate); documented
+///     fallback.
+///
+/// Note for threshold classes (SFD/PFD/AFD/PAC confidences): an arrival
+/// is flagged when the rule, evaluated on the data seen so far, no longer
+/// meets its threshold *and* the new row participates in a witness.
+class StreamMonitor {
+ public:
+  explicit StreamMonitor(Schema schema, std::vector<DependencyPtr> rules)
+      : relation_(std::move(schema)), rules_(std::move(rules)) {}
+
+  const Relation& relation() const { return relation_; }
+
+  /// Appends one tuple and reports the violations it introduces.
+  Result<MonitorAlert> Append(std::vector<Value> row);
+
+ private:
+  Relation relation_;
+  std::vector<DependencyPtr> rules_;
+  /// FD fast path: per FD rule index, LHS-projection key -> witness row.
+  struct FdIndex {
+    std::unordered_map<size_t, std::vector<int>> buckets;
+  };
+  std::unordered_map<size_t, FdIndex> fd_indexes_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_QUALITY_MONITOR_H_

@@ -1,0 +1,110 @@
+#include "quality/optimizer.h"
+
+#include <algorithm>
+
+namespace famtree {
+
+std::vector<PropagatedOrder> PropagateOrders(int sorted_attr,
+                                             const std::vector<Od>& ods,
+                                             int num_attrs) {
+  // direction[a]: -1 unknown, 0 ascending, 1 descending. BFS over unary
+  // ODs: lhs mark on a known-direction attribute propagates to the RHS
+  // marks (flipping when the LHS mark runs against the known direction).
+  std::vector<int> direction(num_attrs, -1);
+  direction[sorted_attr] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Od& od : ods) {
+      if (od.lhs().size() != 1) continue;  // composite LHS: skip
+      const MarkedAttr& x = od.lhs()[0];
+      if (x.attr >= num_attrs || direction[x.attr] < 0) continue;
+      // Does the known order of x.attr satisfy the LHS mark for every
+      // adjacent pair? Ascending data satisfies <= / <-ish scans, and the
+      // mark direction composes with the data direction:
+      bool mark_ascending =
+          x.mark == OrderMark::kLeq || x.mark == OrderMark::kLt;
+      // Scanning the data in its sorted direction makes consecutive
+      // pairs satisfy an ascending mark iff the data is ascending; a
+      // descending mark iff descending. Otherwise scan backwards — either
+      // way the implication transfers, with the RHS direction flipped
+      // when we scan backwards.
+      bool flipped = (direction[x.attr] == 1) == mark_ascending;
+      for (const MarkedAttr& y : od.rhs()) {
+        if (y.attr >= num_attrs) continue;
+        bool y_ascending =
+            y.mark == OrderMark::kLeq || y.mark == OrderMark::kLt;
+        int dir = (y_ascending != flipped) ? 0 : 1;
+        if (direction[y.attr] < 0) {
+          direction[y.attr] = dir;
+          changed = true;
+        }
+      }
+    }
+  }
+  std::vector<PropagatedOrder> out;
+  for (int a = 0; a < num_attrs; ++a) {
+    if (a != sorted_attr && direction[a] >= 0) {
+      out.push_back(PropagatedOrder{a, direction[a] == 0});
+    }
+  }
+  return out;
+}
+
+bool CanSkipSort(int sorted_attr, int target, const std::vector<Od>& ods,
+                 int num_attrs) {
+  if (sorted_attr == target) return true;
+  for (const PropagatedOrder& p :
+       PropagateOrders(sorted_attr, ods, num_attrs)) {
+    if (p.attr == target) return true;
+  }
+  return false;
+}
+
+long long BoundProjectionSize(const Relation& relation, AttrSet target,
+                              const std::vector<Nud>& nuds,
+                              const std::vector<KnownCardinality>& known) {
+  long long best = relation.num_rows();
+  // Direct knowledge.
+  for (const KnownCardinality& k : known) {
+    if (k.attrs == target) best = std::min(best, k.distinct);
+  }
+  // One chaining step per pass, to a fixpoint: |Y| <= |X| * k.
+  std::vector<KnownCardinality> facts = known;
+  for (int pass = 0; pass < 8; ++pass) {
+    bool changed = false;
+    for (const Nud& nud : nuds) {
+      long long lhs_bound = -1;
+      for (const KnownCardinality& k : facts) {
+        if (k.attrs == nud.lhs()) {
+          lhs_bound = lhs_bound < 0 ? k.distinct
+                                    : std::min(lhs_bound, k.distinct);
+        }
+      }
+      if (lhs_bound < 0) continue;
+      long long derived = lhs_bound * nud.weight();
+      bool found = false;
+      for (KnownCardinality& k : facts) {
+        if (k.attrs == nud.rhs()) {
+          found = true;
+          if (derived < k.distinct) {
+            k.distinct = derived;
+            changed = true;
+          }
+        }
+      }
+      if (!found) {
+        facts.push_back(KnownCardinality{nud.rhs(), derived});
+        changed = true;
+      }
+      if (nud.rhs() == target) best = std::min(best, derived);
+    }
+    if (!changed) break;
+  }
+  for (const KnownCardinality& k : facts) {
+    if (k.attrs == target) best = std::min(best, k.distinct);
+  }
+  return std::max<long long>(best, 0);
+}
+
+}  // namespace famtree

@@ -1,0 +1,52 @@
+#ifndef FAMTREE_QUALITY_OPTIMIZER_H_
+#define FAMTREE_QUALITY_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "deps/nud.h"
+#include "deps/od.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// Order propagation with ODs (Section 4.2.4, [28], [100]): data sorted
+/// on `sorted_attr` is implicitly ordered on every attribute an OD chain
+/// reaches — "if the database is sorted by rank and rank -> salary, the
+/// data is also ordered by salary", so the sort (or index) on salary can
+/// be skipped. Returns every attribute whose ascending or descending
+/// order follows from `sorted_attr` ascending, with the direction.
+struct PropagatedOrder {
+  int attr = 0;
+  /// True: ascending follows; false: descending follows.
+  bool ascending = true;
+};
+
+std::vector<PropagatedOrder> PropagateOrders(int sorted_attr,
+                                             const std::vector<Od>& ods,
+                                             int num_attrs);
+
+/// True when a sort on `target` can be skipped given data sorted on
+/// `sorted_attr` (in either direction) under the OD set.
+bool CanSkipSort(int sorted_attr, int target, const std::vector<Od>& ods,
+                 int num_attrs);
+
+/// NUD-based projection-size bound (Section 2.4.3, [22]): an upper bound
+/// on the number of distinct `target` values, derived by chaining NUD
+/// weights from attribute sets with known distinct counts:
+///   |pi_Y(r)| <= |pi_X(r)| * k   for every NUD X ->_k Y.
+/// `known` supplies measured distinct counts for some attribute sets
+/// (e.g. from catalog statistics). Returns the tightest derivable bound,
+/// or the row count when nothing applies.
+struct KnownCardinality {
+  AttrSet attrs;
+  long long distinct = 0;
+};
+
+long long BoundProjectionSize(const Relation& relation, AttrSet target,
+                              const std::vector<Nud>& nuds,
+                              const std::vector<KnownCardinality>& known);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_QUALITY_OPTIMIZER_H_

@@ -1,0 +1,240 @@
+#include "quality/repair.h"
+
+#include <algorithm>
+#include <map>
+
+namespace famtree {
+
+namespace {
+
+/// Plurality value of `col` among `rows`; ties break to first occurrence.
+Value PluralityValue(const Relation& relation, const std::vector<int>& rows,
+                     int col) {
+  std::vector<std::pair<Value, int>> counts;
+  for (int r : rows) {
+    const Value& v = relation.Get(r, col);
+    bool found = false;
+    for (auto& [val, count] : counts) {
+      if (val == v) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counts.push_back({v, 1});
+  }
+  int best = 0;
+  Value best_value;
+  for (const auto& [val, count] : counts) {
+    if (count > best) {
+      best = count;
+      best_value = val;
+    }
+  }
+  return best_value;
+}
+
+/// One FD-repair pass over every LHS group; returns number of changes.
+int FdRepairPass(Relation* relation, const Fd& fd,
+                 std::vector<CellChange>* changes) {
+  int made = 0;
+  for (const auto& group : relation->GroupBy(fd.lhs())) {
+    if (group.size() < 2) continue;
+    for (int col : fd.rhs().ToVector()) {
+      Value target = PluralityValue(*relation, group, col);
+      for (int r : group) {
+        if (!(relation->Get(r, col) == target)) {
+          changes->push_back(
+              CellChange{r, col, relation->Get(r, col), target});
+          relation->Set(r, col, target);
+          ++made;
+        }
+      }
+    }
+  }
+  return made;
+}
+
+}  // namespace
+
+Result<RepairResult> RepairWithFds(const Relation& relation,
+                                   const std::vector<Fd>& fds,
+                                   int max_passes) {
+  RepairResult result;
+  result.repaired = relation;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    int made = 0;
+    for (const Fd& fd : fds) {
+      made += FdRepairPass(&result.repaired, fd, &result.changes);
+    }
+    if (made == 0) break;
+  }
+  for (const Fd& fd : fds) {
+    if (!fd.Holds(result.repaired)) ++result.remaining_violations;
+  }
+  return result;
+}
+
+Result<RepairResult> RepairWithCfds(const Relation& relation,
+                                    const std::vector<Cfd>& cfds,
+                                    int max_passes) {
+  RepairResult result;
+  result.repaired = relation;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    int made = 0;
+    for (const Cfd& cfd : cfds) {
+      // Tuples matching the LHS pattern.
+      std::vector<int> matching;
+      for (int r = 0; r < result.repaired.num_rows(); ++r) {
+        if (cfd.pattern().Matches(result.repaired, r, cfd.lhs())) {
+          matching.push_back(r);
+        }
+      }
+      // Constant RHS: force the constant.
+      for (int col : cfd.rhs().ToVector()) {
+        const PatternItem* it = cfd.pattern().Find(col);
+        if (it != nullptr && !it->is_wildcard) {
+          for (int r : matching) {
+            if (!(result.repaired.Get(r, col) == it->constant)) {
+              result.changes.push_back(CellChange{
+                  r, col, result.repaired.Get(r, col), it->constant});
+              result.repaired.Set(r, col, it->constant);
+              ++made;
+            }
+          }
+        }
+      }
+      // Variable RHS: plurality within each LHS group of matching tuples.
+      Relation subset = result.repaired.Select(matching);
+      for (const auto& local_group : subset.GroupBy(cfd.lhs())) {
+        if (local_group.size() < 2) continue;
+        std::vector<int> group;
+        for (int local : local_group) group.push_back(matching[local]);
+        for (int col : cfd.rhs().ToVector()) {
+          const PatternItem* it = cfd.pattern().Find(col);
+          if (it != nullptr && !it->is_wildcard) continue;  // done above
+          Value target = PluralityValue(result.repaired, group, col);
+          for (int r : group) {
+            if (!(result.repaired.Get(r, col) == target)) {
+              result.changes.push_back(
+                  CellChange{r, col, result.repaired.Get(r, col), target});
+              result.repaired.Set(r, col, target);
+              ++made;
+            }
+          }
+        }
+      }
+    }
+    if (made == 0) break;
+  }
+  for (const Cfd& cfd : cfds) {
+    if (!cfd.Holds(result.repaired)) ++result.remaining_violations;
+  }
+  return result;
+}
+
+Result<RepairResult> RepairWithDcs(const Relation& relation,
+                                   const std::vector<Dc>& dcs,
+                                   int max_changes) {
+  RepairResult result;
+  result.repaired = relation;
+  int changes_made = 0;
+  bool progress = true;
+  while (progress && changes_made < max_changes) {
+    progress = false;
+    for (const Dc& dc : dcs) {
+      auto rep = dc.Validate(result.repaired, 1);
+      if (!rep.ok()) return rep.status();
+      if (rep->holds || rep->violations.empty()) continue;
+      const Violation& v = rep->violations[0];
+      // Falsify one predicate of the violating pair/tuple: prefer an
+      // equality predicate between the tuples (copy one side), else nudge
+      // a numeric order predicate, else blank a constant predicate cell.
+      int row_a = v.rows[0];
+      int row_b = v.rows.size() > 1 ? v.rows[1] : v.rows[0];
+      bool fixed = false;
+      // Pass 1: equality between tuple cells -> make RHS-side differ by
+      // preferring to change the *second* tuple's cell to a fresh value is
+      // wrong (values must come from the domain); instead, for predicates
+      // of the form ta.A != tb.A (the FD-violation shape), copy a's value.
+      for (const DcPredicate& p : dc.predicates()) {
+        if (p.op == CmpOp::kNeq &&
+            p.lhs.kind == DcOperand::Kind::kTupleA &&
+            p.rhs.kind == DcOperand::Kind::kTupleB &&
+            p.lhs.attr == p.rhs.attr) {
+          int col = p.lhs.attr;
+          result.changes.push_back(CellChange{
+              row_b, col, result.repaired.Get(row_b, col),
+              result.repaired.Get(row_a, col)});
+          result.repaired.Set(row_b, col, result.repaired.Get(row_a, col));
+          fixed = true;
+          break;
+        }
+      }
+      if (!fixed) {
+        // Pass 2: order predicate between numeric cells -> set the two
+        // cells equal when that falsifies a strict comparison, else nudge.
+        for (const DcPredicate& p : dc.predicates()) {
+          bool two_tuple = p.lhs.kind == DcOperand::Kind::kTupleA &&
+                           p.rhs.kind == DcOperand::Kind::kTupleB;
+          if (!two_tuple) continue;
+          if (p.op == CmpOp::kLt || p.op == CmpOp::kGt) {
+            int col = p.rhs.attr;
+            result.changes.push_back(CellChange{
+                row_b, col, result.repaired.Get(row_b, col),
+                result.repaired.Get(row_a, p.lhs.attr)});
+            result.repaired.Set(row_b, col,
+                                result.repaired.Get(row_a, p.lhs.attr));
+            fixed = true;
+            break;
+          }
+        }
+      }
+      if (!fixed) {
+        // Pass 3: constant predicate -> move the cell just past the
+        // boundary so the comparison flips.
+        for (const DcPredicate& p : dc.predicates()) {
+          if (p.lhs.kind != DcOperand::Kind::kTupleA ||
+              p.rhs.kind != DcOperand::Kind::kConst) {
+            continue;
+          }
+          int col = p.lhs.attr;
+          const Value& c = p.rhs.constant;
+          Value target;
+          switch (p.op) {
+            case CmpOp::kLt:
+            case CmpOp::kGt:
+              target = c;  // v = c falsifies strict comparisons
+              break;
+            case CmpOp::kLe:
+              if (!c.is_numeric()) continue;
+              target = Value(c.AsNumeric() + 1);
+              break;
+            case CmpOp::kGe:
+              if (!c.is_numeric()) continue;
+              target = Value(c.AsNumeric() - 1);
+              break;
+            default:
+              continue;  // equality against constants: no safe local fix
+          }
+          result.changes.push_back(CellChange{
+              row_a, col, result.repaired.Get(row_a, col), target});
+          result.repaired.Set(row_a, col, target);
+          fixed = true;
+          break;
+        }
+      }
+      if (fixed) {
+        ++changes_made;
+        progress = true;
+      }
+    }
+  }
+  for (const Dc& dc : dcs) {
+    auto rep = dc.Validate(result.repaired, 0);
+    if (rep.ok() && !rep->holds) ++result.remaining_violations;
+  }
+  return result;
+}
+
+}  // namespace famtree

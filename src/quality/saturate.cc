@@ -1,0 +1,75 @@
+#include "quality/saturate.h"
+
+#include <set>
+#include <utility>
+
+namespace famtree {
+
+Result<SaturationResult> SaturateMvd(const Relation& relation,
+                                     const Mvd& mvd) {
+  int nc = relation.num_columns();
+  if (!AttrSet::Full(nc).ContainsAll(mvd.lhs().Union(mvd.rhs()))) {
+    return Status::Invalid("MVD refers to attributes outside the schema");
+  }
+  if (mvd.lhs().Intersects(mvd.rhs())) {
+    return Status::Invalid("MVD LHS and RHS must be disjoint");
+  }
+  AttrSet z = AttrSet::Full(nc).Minus(mvd.lhs()).Minus(mvd.rhs());
+  SaturationResult result;
+  result.saturated = relation;
+
+  for (const auto& group : relation.GroupBy(mvd.lhs())) {
+    // Representative row per distinct Y / Z projection in the group.
+    std::vector<int> y_reps, z_reps;
+    std::vector<int> y_of(group.size()), z_of(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      int row = group[i];
+      int found = -1;
+      for (size_t h = 0; h < y_reps.size(); ++h) {
+        if (relation.AgreeOn(y_reps[h], row, mvd.rhs())) {
+          found = static_cast<int>(h);
+          break;
+        }
+      }
+      if (found < 0) {
+        found = static_cast<int>(y_reps.size());
+        y_reps.push_back(row);
+      }
+      y_of[i] = found;
+      found = -1;
+      for (size_t h = 0; h < z_reps.size(); ++h) {
+        if (relation.AgreeOn(z_reps[h], row, z)) {
+          found = static_cast<int>(h);
+          break;
+        }
+      }
+      if (found < 0) {
+        found = static_cast<int>(z_reps.size());
+        z_reps.push_back(row);
+      }
+      z_of[i] = found;
+    }
+    std::set<std::pair<int, int>> present;
+    for (size_t i = 0; i < group.size(); ++i) {
+      present.insert({y_of[i], z_of[i]});
+    }
+    // Insert each missing combination: X from the group, Y from the Y
+    // representative, Z from the Z representative.
+    for (size_t yi = 0; yi < y_reps.size(); ++yi) {
+      for (size_t zi = 0; zi < z_reps.size(); ++zi) {
+        if (present.count({static_cast<int>(yi), static_cast<int>(zi)})) {
+          continue;
+        }
+        std::vector<Value> row(nc);
+        for (int a : mvd.lhs().ToVector()) row[a] = relation.Get(group[0], a);
+        for (int a : mvd.rhs().ToVector()) row[a] = relation.Get(y_reps[yi], a);
+        for (int a : z.ToVector()) row[a] = relation.Get(z_reps[zi], a);
+        FAMTREE_RETURN_NOT_OK(result.saturated.AppendRow(std::move(row)));
+        ++result.inserted;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace famtree

@@ -1,0 +1,30 @@
+#ifndef FAMTREE_QUALITY_SATURATE_H_
+#define FAMTREE_QUALITY_SATURATE_H_
+
+#include "common/status.h"
+#include "deps/mvd.h"
+#include "quality/repair.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// Outcome of tuple-generating repair.
+struct SaturationResult {
+  Relation saturated;
+  /// Number of tuples inserted.
+  int inserted = 0;
+};
+
+/// Tuple-generating repair for MVDs — the Section 2.6.4 application
+/// ([80]: model fairness reduces to a database repair enforcing the
+/// conditional independence X ->> Y): for every X-group, inserts the
+/// missing (Y, Z) combinations so the group becomes the full product and
+/// the MVD holds exactly. This is the *insertion* dual of the
+/// deletion/modification repairs elsewhere in quality/ (MVDs are
+/// tuple-generating dependencies, Section 2.6).
+Result<SaturationResult> SaturateMvd(const Relation& relation,
+                                     const Mvd& mvd);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_QUALITY_SATURATE_H_

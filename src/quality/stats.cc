@@ -1,0 +1,53 @@
+#include "quality/stats.h"
+
+#include <algorithm>
+
+namespace famtree {
+
+Result<CorrelationAdvisor> CorrelationAdvisor::Build(
+    const Relation& relation, const CordsOptions& options) {
+  FAMTREE_ASSIGN_OR_RETURN(std::vector<DiscoveredSfd> findings,
+                           DiscoverSfdsCords(relation, options));
+  return CorrelationAdvisor(std::move(findings));
+}
+
+Result<SelectivityEstimate> CorrelationAdvisor::EstimateConjunction(
+    const Relation& relation, int a, const Value& va, int b,
+    const Value& vb) const {
+  int nc = relation.num_columns();
+  if (a < 0 || a >= nc || b < 0 || b >= nc || a == b) {
+    return Status::Invalid("invalid column pair");
+  }
+  SelectivityEstimate est;
+  int n = relation.num_rows();
+  if (n == 0) return est;
+  int dom_a = relation.CountDistinct(AttrSet::Single(a));
+  int dom_b = relation.CountDistinct(AttrSet::Single(b));
+  int dom_ab = relation.CountDistinct(AttrSet::Of({a, b}));
+  est.independence =
+      1.0 / (static_cast<double>(std::max(1, dom_a)) * std::max(1, dom_b));
+  est.corrected = 1.0 / std::max(1, dom_ab);
+  int matches = 0;
+  for (int r = 0; r < n; ++r) {
+    if (relation.Get(r, a) == va && relation.Get(r, b) == vb) ++matches;
+  }
+  est.actual = static_cast<double>(matches) / n;
+  return est;
+}
+
+std::vector<IndexRecommendation> CorrelationAdvisor::RecommendIndexes()
+    const {
+  std::vector<IndexRecommendation> out;
+  for (const DiscoveredSfd& f : findings_) {
+    if (f.is_soft_fd) {
+      out.push_back(IndexRecommendation{f.lhs, f.rhs, f.strength});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const IndexRecommendation& x, const IndexRecommendation& y) {
+              return x.strength > y.strength;
+            });
+  return out;
+}
+
+}  // namespace famtree

@@ -1,0 +1,60 @@
+#ifndef FAMTREE_QUALITY_STATS_H_
+#define FAMTREE_QUALITY_STATS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "discovery/cords.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// Selectivity estimate for a conjunctive equality predicate a = va AND
+/// b = vb, with and without the correlation correction.
+struct SelectivityEstimate {
+  /// Attribute-value-independence estimate 1/(|dom a| * |dom b|).
+  double independence = 0.0;
+  /// CORDS-style corrected estimate 1/|dom(a, b)| using the joint
+  /// distinct count collected for correlated pairs (Section 2.1.4).
+  double corrected = 0.0;
+  /// True selectivity measured on the relation (for evaluation).
+  double actual = 0.0;
+};
+
+/// One index recommendation: when lhs soft-determines rhs, an index on
+/// lhs answers rhs-correlated scans cheaply (Kimura et al. [60]).
+struct IndexRecommendation {
+  int lhs = 0;
+  int rhs = 0;
+  double strength = 0.0;
+};
+
+/// The query-optimization application of SFDs (Table 3): joint statistics
+/// for correlated column pairs discovered by CORDS, improving selectivity
+/// estimates and recommending secondary indexes.
+class CorrelationAdvisor {
+ public:
+  static Result<CorrelationAdvisor> Build(const Relation& relation,
+                                          const CordsOptions& options = {});
+
+  const std::vector<DiscoveredSfd>& findings() const { return findings_; }
+
+  /// Selectivity of (a = va AND b = vb).
+  Result<SelectivityEstimate> EstimateConjunction(const Relation& relation,
+                                                  int a, const Value& va,
+                                                  int b,
+                                                  const Value& vb) const;
+
+  /// Pairs whose strength passes the SFD bar, strongest first.
+  std::vector<IndexRecommendation> RecommendIndexes() const;
+
+ private:
+  explicit CorrelationAdvisor(std::vector<DiscoveredSfd> findings)
+      : findings_(std::move(findings)) {}
+
+  std::vector<DiscoveredSfd> findings_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_QUALITY_STATS_H_

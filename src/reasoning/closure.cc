@@ -1,0 +1,128 @@
+#include "reasoning/closure.h"
+
+#include <algorithm>
+
+namespace famtree {
+
+AttrSet Closure(AttrSet attrs, const std::vector<Fd>& fds) {
+  AttrSet closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : fds) {
+      if (closure.ContainsAll(fd.lhs()) && !closure.ContainsAll(fd.rhs())) {
+        closure = closure.Union(fd.rhs());
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool Implies(const std::vector<Fd>& fds, const Fd& candidate) {
+  return Closure(candidate.lhs(), fds).ContainsAll(candidate.rhs());
+}
+
+std::vector<Fd> MinimalCover(const std::vector<Fd>& fds) {
+  // 1. Singleton right-hand sides.
+  std::vector<Fd> cover;
+  for (const Fd& fd : fds) {
+    for (int a : fd.rhs().ToVector()) {
+      if (fd.lhs().Contains(a)) continue;  // trivial
+      cover.push_back(Fd(fd.lhs(), AttrSet::Single(a)));
+    }
+  }
+  // 2. Remove extraneous LHS attributes: A is extraneous in X -> B when
+  // (X \ A) -> B is already implied.
+  for (Fd& fd : cover) {
+    bool shrunk = true;
+    while (shrunk && fd.lhs().size() > 1) {
+      shrunk = false;
+      for (int a : fd.lhs().ToVector()) {
+        Fd reduced(fd.lhs().Without(a), fd.rhs());
+        if (Implies(cover, reduced)) {
+          fd = reduced;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+  // 3. Remove redundant FDs.
+  for (size_t i = 0; i < cover.size();) {
+    std::vector<Fd> rest;
+    for (size_t j = 0; j < cover.size(); ++j) {
+      if (j != i) rest.push_back(cover[j]);
+    }
+    if (Implies(rest, cover[i])) {
+      cover.erase(cover.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+  // Deduplicate.
+  std::sort(cover.begin(), cover.end());
+  cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+  return cover;
+}
+
+std::vector<AttrSet> CandidateKeys(int num_attrs, const std::vector<Fd>& fds,
+                                   int max_keys) {
+  AttrSet full = AttrSet::Full(num_attrs);
+  std::vector<AttrSet> keys;
+  // Level-wise from small sets; a superset of a key is never minimal.
+  for (int size = 1; size <= num_attrs; ++size) {
+    for (AttrSet cand : AllSubsetsOfSize(num_attrs, size)) {
+      bool has_subkey = false;
+      for (const AttrSet& k : keys) {
+        if (cand.ContainsAll(k)) {
+          has_subkey = true;
+          break;
+        }
+      }
+      if (has_subkey) continue;
+      if (Closure(cand, fds) == full) {
+        keys.push_back(cand);
+        if (static_cast<int>(keys.size()) >= max_keys) return keys;
+      }
+    }
+  }
+  return keys;
+}
+
+bool MdImplies(const Md& a, const Md& b) {
+  if (!a.rhs().ContainsAll(b.rhs())) return false;
+  for (const SimilarityPredicate& pa : a.lhs()) {
+    bool matched = false;
+    for (const SimilarityPredicate& pb : b.lhs()) {
+      if (pa.attr == pb.attr && pa.metric == pb.metric &&
+          pb.threshold <= pa.threshold) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+std::vector<Md> MinimizeMds(const std::vector<Md>& mds) {
+  std::vector<Md> out;
+  for (size_t i = 0; i < mds.size(); ++i) {
+    bool implied = false;
+    for (size_t j = 0; j < mds.size(); ++j) {
+      if (i == j) continue;
+      if (MdImplies(mds[j], mds[i])) {
+        // Tie-break so mutually-implying duplicates keep exactly one.
+        if (!MdImplies(mds[i], mds[j]) || j < i) {
+          implied = true;
+          break;
+        }
+      }
+    }
+    if (!implied) out.push_back(mds[i]);
+  }
+  return out;
+}
+
+}  // namespace famtree

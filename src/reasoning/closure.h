@@ -1,0 +1,45 @@
+#ifndef FAMTREE_REASONING_CLOSURE_H_
+#define FAMTREE_REASONING_CLOSURE_H_
+
+#include <vector>
+
+#include "common/attr_set.h"
+#include "deps/fd.h"
+#include "deps/md.h"
+
+namespace famtree {
+
+/// Attribute-set closure X+ under a set of FDs (Armstrong's axioms,
+/// Section 1.1 background [24]): the largest set X determines.
+AttrSet Closure(AttrSet attrs, const std::vector<Fd>& fds);
+
+/// Logical implication: does `fds` entail `candidate`? (X -> Y iff
+/// Y subset-of X+.)
+bool Implies(const std::vector<Fd>& fds, const Fd& candidate);
+
+/// A canonical (minimal) cover: singleton RHSs, no extraneous LHS
+/// attributes, no redundant FDs. The textbook normalization preprocessor.
+std::vector<Fd> MinimalCover(const std::vector<Fd>& fds);
+
+/// All candidate keys of a schema with `num_attrs` attributes under `fds`
+/// (minimal sets whose closure is everything). Exponential in the worst
+/// case — the NP-complete key-of-size-k problem [5] (Section 1.4.2) —
+/// bounded by `max_keys`.
+std::vector<AttrSet> CandidateKeys(int num_attrs, const std::vector<Fd>& fds,
+                                   int max_keys = 64);
+
+/// MD implication (Section 3.7.4 [37], simplified to one relation): md `a`
+/// implies md `b` when b's LHS predicates are at least as *tight* (every
+/// predicate of a has a counterpart in b on the same attribute and metric
+/// with threshold <= a's) and b identifies no more than a does
+/// (b.rhs subset-of a.rhs). Pairs matching b's LHS then match a's, so a's
+/// identification applies.
+bool MdImplies(const Md& a, const Md& b);
+
+/// Removes MDs implied by another MD in the set — the concise
+/// matching-key sets of [90] in spirit.
+std::vector<Md> MinimizeMds(const std::vector<Md>& mds);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_REASONING_CLOSURE_H_

@@ -1,0 +1,84 @@
+#include "reasoning/implication.h"
+
+namespace famtree {
+
+namespace {
+
+bool SameOperand(const DcOperand& a, const DcOperand& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == DcOperand::Kind::kConst) return a.constant == b.constant;
+  return a.attr == b.attr;
+}
+
+bool SamePredicate(const DcPredicate& a, const DcPredicate& b) {
+  return a.op == b.op && SameOperand(a.lhs, b.lhs) &&
+         SameOperand(a.rhs, b.rhs);
+}
+
+bool RangeContains(const DistRange& outer, const DistRange& inner) {
+  return outer.min <= inner.min && outer.max >= inner.max;
+}
+
+}  // namespace
+
+bool DcImplies(const Dc& a, const Dc& b) {
+  for (const DcPredicate& pa : a.predicates()) {
+    bool found = false;
+    for (const DcPredicate& pb : b.predicates()) {
+      if (SamePredicate(pa, pb)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::vector<Dc> MinimizeDcs(const std::vector<Dc>& dcs) {
+  std::vector<Dc> out;
+  for (size_t i = 0; i < dcs.size(); ++i) {
+    bool implied = false;
+    for (size_t j = 0; j < dcs.size(); ++j) {
+      if (i == j) continue;
+      if (DcImplies(dcs[j], dcs[i])) {
+        if (!DcImplies(dcs[i], dcs[j]) || j < i) {
+          implied = true;
+          break;
+        }
+      }
+    }
+    if (!implied) out.push_back(dcs[i]);
+  }
+  return out;
+}
+
+bool DdImplies(const Dd& a, const Dd& b) {
+  // b's LHS must restrict at least as much as a's on a's attributes.
+  for (const DifferentialFunction& fa : a.lhs()) {
+    bool found = false;
+    for (const DifferentialFunction& fb : b.lhs()) {
+      if (fa.attr == fb.attr && fa.metric == fb.metric &&
+          RangeContains(fa.range, fb.range)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  // a's RHS must promise at least what b's RHS asks.
+  for (const DifferentialFunction& fb : b.rhs()) {
+    bool found = false;
+    for (const DifferentialFunction& fa : a.rhs()) {
+      if (fa.attr == fb.attr && fa.metric == fb.metric &&
+          RangeContains(fb.range, fa.range)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace famtree

@@ -1,0 +1,34 @@
+#ifndef FAMTREE_REASONING_IMPLICATION_H_
+#define FAMTREE_REASONING_IMPLICATION_H_
+
+#include <vector>
+
+#include "deps/dc.h"
+#include "deps/dd.h"
+
+namespace famtree {
+
+/// Syntactic one-rule DC implication: a DC not(P) implies not(Q) whenever
+/// P is a sub-conjunction of Q (any pair satisfying all of Q satisfies all
+/// of P, so Q can never be fully satisfied either). This is the subset
+/// axiom FASTDC uses for branch pruning [19]; full DC implication is
+/// co-NP-hard and out of scope.
+bool DcImplies(const Dc& a, const Dc& b);
+
+/// Removes DCs implied by another DC in the set (keeps the strongest,
+/// i.e. smallest, predicate sets).
+std::vector<Dc> MinimizeDcs(const std::vector<Dc>& dcs);
+
+/// Syntactic one-rule DD implication (Section 3.3.3 [86], the sound
+/// subsumption fragment): dd `a` implies dd `b` when
+///   - every LHS function of a has a counterpart in b on the same
+///     attribute whose range is contained in a's (b's LHS selects fewer
+///     pairs), and
+///   - every RHS function of b has a counterpart in a whose range is
+///     contained in b's (a's RHS promises more).
+/// The full DD implication problem is co-NP-complete [86].
+bool DdImplies(const Dd& a, const Dd& b);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_REASONING_IMPLICATION_H_

@@ -1,0 +1,188 @@
+#include "reasoning/normalize.h"
+
+#include <algorithm>
+
+namespace famtree {
+
+namespace {
+
+bool IsSuperkey(AttrSet attrs, int num_attrs, const std::vector<Fd>& fds) {
+  return Closure(attrs, fds) == AttrSet::Full(num_attrs);
+}
+
+bool IsTrivialFd(const Fd& fd) { return fd.lhs().ContainsAll(fd.rhs()); }
+
+}  // namespace
+
+std::vector<NormalFormViolation> BcnfViolations(int num_attrs,
+                                                const std::vector<Fd>& fds) {
+  std::vector<NormalFormViolation> out;
+  for (const Fd& fd : fds) {
+    if (IsTrivialFd(fd)) continue;
+    if (!IsSuperkey(fd.lhs(), num_attrs, fds)) {
+      out.push_back(NormalFormViolation{fd, "LHS is not a superkey"});
+    }
+  }
+  return out;
+}
+
+std::vector<NormalFormViolation> ThirdNfViolations(
+    int num_attrs, const std::vector<Fd>& fds) {
+  std::vector<NormalFormViolation> out;
+  AttrSet prime;
+  for (const AttrSet& key : CandidateKeys(num_attrs, fds)) {
+    prime = prime.Union(key);
+  }
+  for (const Fd& fd : fds) {
+    if (IsTrivialFd(fd)) continue;
+    if (IsSuperkey(fd.lhs(), num_attrs, fds)) continue;
+    // Every RHS attribute outside the LHS must be prime.
+    AttrSet nonprime = fd.rhs().Minus(fd.lhs()).Minus(prime);
+    if (!nonprime.empty()) {
+      out.push_back(NormalFormViolation{
+          fd, "LHS is not a superkey and RHS has non-prime attributes"});
+    }
+  }
+  return out;
+}
+
+std::vector<NormalFormViolation> FourthNfViolations(
+    int num_attrs, const std::vector<Fd>& fds,
+    const std::vector<Mvd>& mvds) {
+  std::vector<NormalFormViolation> out;
+  for (const Mvd& mvd : mvds) {
+    AttrSet rest =
+        AttrSet::Full(num_attrs).Minus(mvd.lhs()).Minus(mvd.rhs());
+    // Trivial MVD: Y empty or Y u X = R.
+    if (mvd.rhs().empty() || rest.empty()) continue;
+    if (!IsSuperkey(mvd.lhs(), num_attrs, fds)) {
+      out.push_back(NormalFormViolation{
+          Fd(mvd.lhs(), mvd.rhs()),
+          "MVD " + mvd.ToString() + " with non-superkey LHS"});
+    }
+  }
+  return out;
+}
+
+std::vector<Fd> ProjectFds(AttrSet fragment, const std::vector<Fd>& fds) {
+  std::vector<Fd> projected;
+  // For every subset X of the fragment, X -> (X+ intersect fragment) \ X.
+  std::vector<int> attrs = fragment.ToVector();
+  uint64_t limit = 1ULL << attrs.size();
+  for (uint64_t m = 1; m < limit; ++m) {
+    AttrSet x;
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if ((m >> i) & 1) x.Add(attrs[i]);
+    }
+    AttrSet rhs = Closure(x, fds).Intersect(fragment).Minus(x);
+    if (!rhs.empty()) projected.push_back(Fd(x, rhs));
+  }
+  return MinimalCover(projected);
+}
+
+std::vector<Fragment> DecomposeBcnf(int num_attrs,
+                                    const std::vector<Fd>& fds) {
+  std::vector<Fragment> done;
+  std::vector<Fragment> todo{Fragment{AttrSet::Full(num_attrs)}};
+  while (!todo.empty()) {
+    Fragment frag = todo.back();
+    todo.pop_back();
+    if (frag.attrs.size() > 16) {
+      // ProjectFds enumerates subsets; keep fragments tractable by
+      // splitting on the original violating FDs first.
+      std::vector<NormalFormViolation> violations =
+          BcnfViolations(num_attrs, fds);
+      bool split = false;
+      for (const auto& v : violations) {
+        if (frag.attrs.ContainsAll(v.fd.lhs()) &&
+            frag.attrs.Intersects(v.fd.rhs().Minus(v.fd.lhs()))) {
+          AttrSet y = Closure(v.fd.lhs(), fds)
+                          .Intersect(frag.attrs)
+                          .Minus(v.fd.lhs());
+          todo.push_back(Fragment{v.fd.lhs().Union(y)});
+          todo.push_back(Fragment{frag.attrs.Minus(y)});
+          split = true;
+          break;
+        }
+      }
+      if (!split) done.push_back(frag);
+      continue;
+    }
+    std::vector<Fd> local = ProjectFds(frag.attrs, fds);
+    bool split = false;
+    for (const Fd& fd : local) {
+      if (fd.lhs().ContainsAll(fd.rhs())) continue;
+      // Superkey within the fragment?
+      if (Closure(fd.lhs(), local).ContainsAll(frag.attrs)) continue;
+      AttrSet y = fd.rhs().Minus(fd.lhs());
+      todo.push_back(Fragment{fd.lhs().Union(y)});
+      todo.push_back(Fragment{frag.attrs.Minus(y)});
+      split = true;
+      break;
+    }
+    if (!split) done.push_back(frag);
+  }
+  // Drop fragments subsumed by others.
+  std::vector<Fragment> out;
+  for (const Fragment& f : done) {
+    bool subsumed = false;
+    for (const Fragment& g : done) {
+      if (f.attrs != g.attrs && g.attrs.ContainsAll(f.attrs)) {
+        subsumed = true;
+        break;
+      }
+    }
+    bool duplicate = false;
+    for (const Fragment& g : out) {
+      if (g.attrs == f.attrs) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!subsumed && !duplicate) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<Fragment> DecomposeFourthNf(int num_attrs,
+                                        const std::vector<Fd>& fds,
+                                        const std::vector<Mvd>& mvds) {
+  std::vector<Fragment> done;
+  std::vector<Fragment> todo{Fragment{AttrSet::Full(num_attrs)}};
+  while (!todo.empty()) {
+    Fragment frag = todo.back();
+    todo.pop_back();
+    bool split = false;
+    for (const Mvd& mvd : mvds) {
+      if (!frag.attrs.ContainsAll(mvd.lhs())) continue;
+      AttrSet y = mvd.rhs().Intersect(frag.attrs).Minus(mvd.lhs());
+      AttrSet z = frag.attrs.Minus(mvd.lhs()).Minus(y);
+      if (y.empty() || z.empty()) continue;  // trivial inside the fragment
+      if (IsSuperkey(mvd.lhs(), num_attrs, fds)) continue;
+      todo.push_back(Fragment{mvd.lhs().Union(y)});
+      todo.push_back(Fragment{frag.attrs.Minus(y)});
+      split = true;
+      break;
+    }
+    if (!split) done.push_back(frag);
+  }
+  // Deduplicate / drop subsumed fragments.
+  std::vector<Fragment> out;
+  for (const Fragment& f : done) {
+    bool subsumed = false;
+    for (const Fragment& g : done) {
+      if (f.attrs != g.attrs && g.attrs.ContainsAll(f.attrs)) {
+        subsumed = true;
+        break;
+      }
+    }
+    bool duplicate = false;
+    for (const Fragment& g : out) {
+      if (g.attrs == f.attrs) duplicate = true;
+    }
+    if (!subsumed && !duplicate) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace famtree

@@ -1,0 +1,62 @@
+#ifndef FAMTREE_REASONING_NORMALIZE_H_
+#define FAMTREE_REASONING_NORMALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "deps/fd.h"
+#include "deps/mvd.h"
+#include "reasoning/closure.h"
+#include "relation/schema.h"
+
+namespace famtree {
+
+/// One FD violating a normal form, with the reason.
+struct NormalFormViolation {
+  Fd fd;
+  std::string reason;
+};
+
+/// BCNF (Section 1 background, [24]): every non-trivial FD's LHS is a
+/// superkey. Returns the violating FDs (empty == in BCNF).
+std::vector<NormalFormViolation> BcnfViolations(int num_attrs,
+                                                const std::vector<Fd>& fds);
+
+/// 3NF [23]: every non-trivial FD has a superkey LHS or a prime RHS
+/// attribute (member of some candidate key).
+std::vector<NormalFormViolation> ThirdNfViolations(
+    int num_attrs, const std::vector<Fd>& fds);
+
+/// 4NF [30]: every non-trivial MVD's LHS is a superkey (under the FDs).
+/// This is where MVDs earn their place in the family tree (Section 2.6.4).
+std::vector<NormalFormViolation> FourthNfViolations(
+    int num_attrs, const std::vector<Fd>& fds,
+    const std::vector<Mvd>& mvds);
+
+/// One decomposed fragment: the attributes it keeps.
+struct Fragment {
+  AttrSet attrs;
+};
+
+/// Lossless-join BCNF decomposition (textbook algorithm): repeatedly split
+/// a fragment on a violating FD X -> Y into (X u Y) and (fragment - Y).
+/// Terminates with fragments whose projected FDs are in BCNF.
+std::vector<Fragment> DecomposeBcnf(int num_attrs,
+                                    const std::vector<Fd>& fds);
+
+/// Projects the FDs onto a fragment (closure-based; exponential in the
+/// fragment size, fine for schema-design workloads).
+std::vector<Fd> ProjectFds(AttrSet fragment, const std::vector<Fd>& fds);
+
+/// Lossless 4NF decomposition step ([30]): splits the full schema on each
+/// violating MVD X ->> Y into (X u Y) and (R - Y), recursing until no
+/// given MVD with a non-superkey LHS applies inside a fragment. Only the
+/// provided FDs/MVDs are considered (dependency projection for MVDs is
+/// undecidable in general).
+std::vector<Fragment> DecomposeFourthNf(int num_attrs,
+                                        const std::vector<Fd>& fds,
+                                        const std::vector<Mvd>& mvds);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_REASONING_NORMALIZE_H_

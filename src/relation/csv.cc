@@ -1,0 +1,155 @@
+#include "relation/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace famtree {
+
+namespace {
+
+/// Splits one CSV record honoring quotes. `pos` advances past the record's
+/// trailing newline. Returns false at end of input.
+bool NextRecord(const std::string& text, size_t* pos, char sep,
+                std::vector<std::string>* fields) {
+  if (*pos >= text.size()) return false;
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    } else {
+      field += c;
+    }
+  }
+  fields->push_back(std::move(field));
+  *pos = i;
+  return true;
+}
+
+Value ParseField(const std::string& field, const CsvOptions& options) {
+  if (field.empty() || field == options.null_literal) return Value::Null();
+  if (options.infer_types) {
+    long long iv;
+    if (ParseInt64(field, &iv)) return Value(static_cast<int64_t>(iv));
+    double dv;
+    if (ParseDouble(field, &dv)) return Value(dv);
+  }
+  return Value(field);
+}
+
+std::string EscapeField(const std::string& field, char sep) {
+  bool needs_quotes = field.find(sep) != std::string::npos ||
+                      field.find('"') != std::string::npos ||
+                      field.find('\n') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> ReadCsvString(const std::string& text,
+                               const CsvOptions& options) {
+  size_t pos = 0;
+  std::vector<std::string> fields;
+  std::vector<std::string> names;
+  if (options.has_header) {
+    if (!NextRecord(text, &pos, options.separator, &fields)) {
+      return Status::Invalid("empty CSV input");
+    }
+    for (auto& f : fields) names.push_back(std::string(Trim(f)));
+  }
+  std::vector<std::vector<Value>> rows;
+  while (NextRecord(text, &pos, options.separator, &fields)) {
+    if (fields.size() == 1 && Trim(fields[0]).empty()) continue;  // blank line
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) row.push_back(ParseField(f, options));
+    rows.push_back(std::move(row));
+  }
+  if (names.empty()) {
+    size_t width = rows.empty() ? 0 : rows[0].size();
+    for (size_t i = 0; i < width; ++i) names.push_back("c" + std::to_string(i));
+  }
+  RelationBuilder builder(names);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != names.size()) {
+      return Status::Invalid("row " + std::to_string(i + 1) + " has " +
+                             std::to_string(rows[i].size()) +
+                             " fields, expected " +
+                             std::to_string(names.size()));
+    }
+    builder.AddRow(std::move(rows[i]));
+  }
+  return builder.Build();
+}
+
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ReadCsvString(ss.str(), options);
+}
+
+std::string WriteCsvString(const Relation& relation,
+                           const CsvOptions& options) {
+  std::string out;
+  for (int c = 0; c < relation.num_columns(); ++c) {
+    if (c) out += options.separator;
+    out += EscapeField(relation.schema().name(c), options.separator);
+  }
+  out += '\n';
+  for (int r = 0; r < relation.num_rows(); ++r) {
+    for (int c = 0; c < relation.num_columns(); ++c) {
+      if (c) out += options.separator;
+      const Value& v = relation.Get(r, c);
+      if (v.is_null()) {
+        out += options.null_literal;
+      } else {
+        out += EscapeField(v.ToString(), options.separator);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << WriteCsvString(relation, options);
+  return out.good() ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+}  // namespace famtree

@@ -1,0 +1,41 @@
+#ifndef FAMTREE_RELATION_CSV_H_
+#define FAMTREE_RELATION_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// CSV parsing options. The dialect supported is RFC-4180-ish: quoted fields
+/// with doubled-quote escaping, configurable separator.
+struct CsvOptions {
+  char separator = ',';
+  /// First line holds column names.
+  bool has_header = true;
+  /// Parse numeric-looking fields into int64/double Values.
+  bool infer_types = true;
+  /// Fields equal to this literal become null (in addition to empty fields).
+  std::string null_literal = "NULL";
+};
+
+/// Parses CSV text into a Relation.
+Result<Relation> ReadCsvString(const std::string& text,
+                               const CsvOptions& options = {});
+
+/// Reads and parses a CSV file.
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+/// Serializes a relation as CSV (always writes a header).
+std::string WriteCsvString(const Relation& relation,
+                           const CsvOptions& options = {});
+
+/// Writes a relation to a CSV file.
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace famtree
+
+#endif  // FAMTREE_RELATION_CSV_H_

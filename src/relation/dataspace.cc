@@ -1,0 +1,53 @@
+#include "relation/dataspace.h"
+
+#include <map>
+
+namespace famtree {
+
+Result<Dataspace> AssembleDataspace(
+    const std::vector<Relation>& sources,
+    const std::vector<AttributeMatch>& matches) {
+  if (sources.empty()) return Status::Invalid("no sources given");
+  // Union schema: "source" first, then attributes in first-seen order.
+  std::vector<std::string> names{"source"};
+  std::map<std::string, int> index;
+  for (const Relation& src : sources) {
+    for (int c = 0; c < src.num_columns(); ++c) {
+      const std::string& name = src.schema().name(c);
+      if (name == "source") {
+        return Status::Invalid(
+            "source relations must not already have a 'source' column");
+      }
+      if (!index.count(name)) {
+        index[name] = static_cast<int>(names.size());
+        names.push_back(name);
+      }
+    }
+  }
+  RelationBuilder builder(names);
+  for (size_t s = 0; s < sources.size(); ++s) {
+    const Relation& src = sources[s];
+    for (int r = 0; r < src.num_rows(); ++r) {
+      std::vector<Value> row(names.size());
+      row[0] = Value("s" + std::to_string(s));
+      for (int c = 0; c < src.num_columns(); ++c) {
+        row[index[src.schema().name(c)]] = src.Get(r, c);
+      }
+      builder.AddRow(std::move(row));
+    }
+  }
+  Dataspace out;
+  FAMTREE_ASSIGN_OR_RETURN(out.relation, builder.Build());
+  for (const AttributeMatch& m : matches) {
+    auto a = index.find(m.name_a);
+    auto b = index.find(m.name_b);
+    if (a == index.end() || b == index.end()) {
+      return Status::NotFound("matched attribute '" + m.name_a + "'/'" +
+                              m.name_b + "' missing from every source");
+    }
+    out.matched_columns.push_back({a->second, b->second});
+  }
+  return out;
+}
+
+}  // namespace famtree

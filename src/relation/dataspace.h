@@ -1,0 +1,41 @@
+#ifndef FAMTREE_RELATION_DATASPACE_H_
+#define FAMTREE_RELATION_DATASPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// A pair of attributes from two sources treated as synonyms when the
+/// dataspace is assembled ("region" in s1 matches "city" in s2).
+struct AttributeMatch {
+  std::string name_a;
+  std::string name_b;
+};
+
+/// Dataspace assembly (Section 3.4 [43], [51]): co-locates tuples from
+/// heterogeneous sources in one relation over the union of their schemas,
+/// leaving absent attributes null. Synonym attributes stay *separate*
+/// columns (CDs compare across them via similarity functions); the
+/// `matches` list is returned alongside so callers can build
+/// SimilarityFunction pairs. A "source" column records provenance.
+struct Dataspace {
+  Relation relation;
+  /// Column index pairs corresponding to the requested matches.
+  std::vector<std::pair<int, int>> matched_columns;
+};
+
+/// Merges `sources` into a dataspace. Attribute identity is by name;
+/// `matches` declares cross-source synonyms to surface as column pairs.
+/// Source relations keep their row order; rows are tagged s0, s1, ... in
+/// the prepended "source" column.
+Result<Dataspace> AssembleDataspace(
+    const std::vector<Relation>& sources,
+    const std::vector<AttributeMatch>& matches = {});
+
+}  // namespace famtree
+
+#endif  // FAMTREE_RELATION_DATASPACE_H_

@@ -1,0 +1,97 @@
+#include "relation/partition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace famtree {
+
+StrippedPartition::StrippedPartition(std::vector<std::vector<int>> classes)
+    : classes_(std::move(classes)) {
+  for (const auto& c : classes_) rows_in_classes_ += static_cast<int>(c.size());
+}
+
+StrippedPartition StrippedPartition::ForAttribute(const Relation& relation,
+                                                  int attr) {
+  return ForAttributeSet(relation, AttrSet::Single(attr));
+}
+
+StrippedPartition StrippedPartition::ForAttributeSet(const Relation& relation,
+                                                     AttrSet attrs) {
+  std::vector<std::vector<int>> groups = relation.GroupBy(attrs);
+  std::vector<std::vector<int>> stripped;
+  for (auto& g : groups) {
+    if (g.size() >= 2) stripped.push_back(std::move(g));
+  }
+  return StrippedPartition(std::move(stripped));
+}
+
+StrippedPartition StrippedPartition::Product(const StrippedPartition& other,
+                                             int num_rows) const {
+  // TANE's linear-time partition product. `owner[row]` maps a row to its
+  // class id in *this; rows outside any stripped class map to -1.
+  std::vector<int> owner(num_rows, -1);
+  for (size_t cid = 0; cid < classes_.size(); ++cid) {
+    for (int row : classes_[cid]) owner[row] = static_cast<int>(cid);
+  }
+  // For each class of `other`, split it by owner id.
+  std::vector<std::vector<int>> result;
+  std::unordered_map<int, std::vector<int>> split;
+  for (const auto& cls : other.classes_) {
+    split.clear();
+    for (int row : cls) {
+      int o = owner[row];
+      if (o >= 0) split[o].push_back(row);
+    }
+    for (auto& [o, rows] : split) {
+      if (rows.size() >= 2) result.push_back(std::move(rows));
+    }
+  }
+  return StrippedPartition(std::move(result));
+}
+
+bool StrippedPartition::FdHolds(const StrippedPartition& x,
+                                const StrippedPartition& xy) {
+  // X -> Y holds iff refining X's classes by Y does not break any class,
+  // i.e. |classes| and covered rows coincide in cost terms:
+  // e(X) == e(XY) with e = rows_in_classes - num_classes.
+  return (x.rows_in_classes_ - x.num_classes()) ==
+         (xy.rows_in_classes_ - xy.num_classes());
+}
+
+double StrippedPartition::FdError(const Relation& relation,
+                                  AttrSet rhs) const {
+  // g3(X -> Y): within each X-class, keep the plurality Y-value; all other
+  // rows must be removed. Singleton X-classes never violate.
+  int to_remove = 0;
+  std::unordered_map<size_t, std::vector<std::pair<int, int>>> buckets;
+  for (const auto& cls : classes_) {
+    buckets.clear();  // hash -> list of (head row, count), collision-safe
+    int best = 0;
+    for (int row : cls) {
+      size_t h = 0x9e3779b9;
+      for (int a : rhs.ToVector()) {
+        h = HashCombine(h, relation.Get(row, a).Hash());
+      }
+      auto& bucket = buckets[h];
+      bool placed = false;
+      for (auto& [head, count] : bucket) {
+        if (relation.AgreeOn(head, row, rhs)) {
+          best = std::max(best, ++count);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        bucket.push_back({row, 1});
+        best = std::max(best, 1);
+      }
+    }
+    to_remove += static_cast<int>(cls.size()) - best;
+  }
+  int n = relation.num_rows();
+  return n == 0 ? 0.0 : static_cast<double>(to_remove) / n;
+}
+
+}  // namespace famtree

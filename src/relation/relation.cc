@@ -1,0 +1,184 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace famtree {
+
+namespace {
+
+/// Hash of a row's projection onto `attrs`.
+size_t ProjectionHash(const Relation& r, int row, const std::vector<int>& attrs) {
+  size_t h = 0x12345;
+  for (int a : attrs) h = HashCombine(h, r.Get(row, a).Hash());
+  return h;
+}
+
+}  // namespace
+
+Relation::Relation(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+}
+
+Status Relation::AppendRow(std::vector<Value> row) {
+  if (static_cast<int>(row.size()) != num_columns()) {
+    return Status::Invalid("row has " + std::to_string(row.size()) +
+                           " values, schema has " +
+                           std::to_string(num_columns()));
+  }
+  for (int c = 0; c < num_columns(); ++c) {
+    columns_[c].push_back(std::move(row[c]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+std::vector<Value> Relation::Row(int row) const {
+  std::vector<Value> out;
+  out.reserve(num_columns());
+  for (int c = 0; c < num_columns(); ++c) out.push_back(Get(row, c));
+  return out;
+}
+
+std::vector<Value> Relation::Project(int row, AttrSet attrs) const {
+  std::vector<Value> out;
+  for (int a : attrs.ToVector()) out.push_back(Get(row, a));
+  return out;
+}
+
+bool Relation::AgreeOn(int i, int j, AttrSet attrs) const {
+  for (int a : attrs.ToVector()) {
+    if (!(Get(i, a) == Get(j, a))) return false;
+  }
+  return true;
+}
+
+int Relation::CountDistinct(AttrSet attrs) const {
+  return static_cast<int>(GroupBy(attrs).size());
+}
+
+std::vector<std::vector<int>> Relation::GroupBy(AttrSet attrs) const {
+  std::vector<int> av = attrs.ToVector();
+  std::vector<std::vector<int>> groups;
+  // Hash rows by projection; resolve collisions by full comparison.
+  std::unordered_map<size_t, std::vector<int>> buckets;  // hash -> group ids
+  buckets.reserve(static_cast<size_t>(num_rows_) * 2);
+  for (int row = 0; row < num_rows_; ++row) {
+    size_t h = ProjectionHash(*this, row, av);
+    auto& candidates = buckets[h];
+    bool placed = false;
+    for (int gid : candidates) {
+      if (AgreeOn(groups[gid][0], row, attrs)) {
+        groups[gid].push_back(row);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      candidates.push_back(static_cast<int>(groups.size()));
+      groups.push_back({row});
+    }
+  }
+  return groups;
+}
+
+Relation Relation::Select(const std::vector<int>& rows) const {
+  Relation out(schema_);
+  for (int r : rows) {
+    std::vector<Value> row = Row(r);
+    // AppendRow cannot fail here: the arity matches by construction.
+    out.AppendRow(std::move(row)).ok();
+  }
+  return out;
+}
+
+Relation Relation::ProjectColumns(AttrSet attrs) const {
+  std::vector<int> av = attrs.ToVector();
+  std::vector<Column> cols;
+  for (int a : av) cols.push_back(schema_.column(a));
+  Relation out{Schema(std::move(cols))};
+  for (int r = 0; r < num_rows_; ++r) {
+    std::vector<Value> row;
+    row.reserve(av.size());
+    for (int a : av) row.push_back(Get(r, a));
+    out.AppendRow(std::move(row)).ok();
+  }
+  return out;
+}
+
+void Relation::InferTypes() {
+  std::vector<Column> cols = schema_.columns();
+  for (int c = 0; c < num_columns(); ++c) {
+    ValueType t = ValueType::kNull;
+    bool mixed = false;
+    for (const Value& v : columns_[c]) {
+      if (v.is_null()) continue;
+      ValueType vt = v.type();
+      // int and double merge to double.
+      if (t == ValueType::kNull) {
+        t = vt;
+      } else if (t != vt) {
+        if ((t == ValueType::kInt && vt == ValueType::kDouble) ||
+            (t == ValueType::kDouble && vt == ValueType::kInt)) {
+          t = ValueType::kDouble;
+        } else {
+          mixed = true;
+          break;
+        }
+      }
+    }
+    cols[c].type = mixed ? ValueType::kNull : t;
+  }
+  schema_ = Schema(std::move(cols));
+}
+
+std::string Relation::ToPrettyString(int max_rows) const {
+  std::vector<size_t> widths(num_columns());
+  for (int c = 0; c < num_columns(); ++c) {
+    widths[c] = schema_.name(c).size();
+  }
+  int shown = std::min(num_rows_, max_rows);
+  for (int r = 0; r < shown; ++r) {
+    for (int c = 0; c < num_columns(); ++c) {
+      widths[c] = std::max(widths[c], Get(r, c).ToString().size());
+    }
+  }
+  std::string out;
+  for (int c = 0; c < num_columns(); ++c) {
+    out += (c ? " | " : "| ") + PadRight(schema_.name(c), widths[c]);
+  }
+  out += " |\n";
+  for (int c = 0; c < num_columns(); ++c) {
+    out += (c ? "-+-" : "+-") + std::string(widths[c], '-');
+  }
+  out += "-+\n";
+  for (int r = 0; r < shown; ++r) {
+    for (int c = 0; c < num_columns(); ++c) {
+      out += (c ? " | " : "| ") + PadRight(Get(r, c).ToString(), widths[c]);
+    }
+    out += " |\n";
+  }
+  if (shown < num_rows_) {
+    out += "... (" + std::to_string(num_rows_ - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+RelationBuilder& RelationBuilder::AddRow(std::vector<Value> row) {
+  if (first_error_.ok()) {
+    Status st = relation_.AppendRow(std::move(row));
+    if (!st.ok()) first_error_ = st;
+  }
+  return *this;
+}
+
+Result<Relation> RelationBuilder::Build() {
+  if (!first_error_.ok()) return first_error_;
+  relation_.InferTypes();
+  return std::move(relation_);
+}
+
+}  // namespace famtree

@@ -1,0 +1,93 @@
+#ifndef FAMTREE_RELATION_RELATION_H_
+#define FAMTREE_RELATION_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/attr_set.h"
+#include "common/status.h"
+#include "relation/schema.h"
+#include "relation/value.h"
+
+namespace famtree {
+
+/// A relation instance: a schema plus column-major cell storage. Columns are
+/// stored as vectors of Value so the library can mix categorical,
+/// heterogeneous (string) and numerical data in one table — exactly the
+/// setting the paper's DCs and CDDs address.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  int num_columns() const { return schema_.num_columns(); }
+  int num_rows() const { return num_rows_; }
+
+  const Value& Get(int row, int col) const { return columns_[col][row]; }
+  void Set(int row, int col, Value v) { columns_[col][row] = std::move(v); }
+
+  const std::vector<Value>& column(int col) const { return columns_[col]; }
+
+  /// Appends a row; the row must have exactly num_columns() values.
+  Status AppendRow(std::vector<Value> row);
+
+  /// Materializes one row (used by pretty-printing and tests).
+  std::vector<Value> Row(int row) const;
+
+  /// Row restricted to `attrs` in increasing attribute order.
+  std::vector<Value> Project(int row, AttrSet attrs) const;
+
+  /// True when rows i and j agree (are equal) on every attribute in `attrs`.
+  bool AgreeOn(int i, int j, AttrSet attrs) const;
+
+  /// Number of distinct values in the projection onto `attrs`
+  /// (the |dom(X)|_r of the paper's SFD strength measure).
+  int CountDistinct(AttrSet attrs) const;
+
+  /// Groups row indices by equal projection onto `attrs`. Each group holds
+  /// at least one row; groups are in first-occurrence order.
+  std::vector<std::vector<int>> GroupBy(AttrSet attrs) const;
+
+  /// New relation containing only `rows` (in the given order).
+  Relation Select(const std::vector<int>& rows) const;
+
+  /// New relation containing only the attributes in `attrs`.
+  Relation ProjectColumns(AttrSet attrs) const;
+
+  /// Infers per-column types: kInt/kDouble/kString when uniform (ignoring
+  /// nulls), kNull otherwise. Updates the schema in place.
+  void InferTypes();
+
+  /// ASCII table rendering (for examples and benches).
+  std::string ToPrettyString(int max_rows = 50) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+  int num_rows_ = 0;
+};
+
+/// Builder with a fluent row API:
+///   RelationBuilder b({"name", "price"});
+///   b.AddRow({Value("Hyatt"), Value(230)});
+class RelationBuilder {
+ public:
+  explicit RelationBuilder(const std::vector<std::string>& names)
+      : relation_(Schema::FromNames(names)) {}
+  explicit RelationBuilder(Schema schema) : relation_(std::move(schema)) {}
+
+  RelationBuilder& AddRow(std::vector<Value> row);
+
+  /// Finalizes: infers column types and returns the relation. The builder
+  /// reports the first row-arity error, if any, here.
+  Result<Relation> Build();
+
+ private:
+  Relation relation_;
+  Status first_error_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_RELATION_RELATION_H_

@@ -1,0 +1,47 @@
+#include "relation/schema.h"
+
+#include "common/strings.h"
+
+namespace famtree {
+
+Schema Schema::FromNames(const std::vector<std::string>& names) {
+  std::vector<Column> cols;
+  cols.reserve(names.size());
+  for (const auto& n : names) cols.push_back(Column{n, ValueType::kNull});
+  return Schema(std::move(cols));
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+Result<AttrSet> Schema::SetOf(const std::vector<std::string>& names) const {
+  AttrSet s;
+  for (const auto& n : names) {
+    FAMTREE_ASSIGN_OR_RETURN(int idx, IndexOf(n));
+    s.Add(idx);
+  }
+  return s;
+}
+
+std::string Schema::NamesOf(AttrSet attrs) const {
+  std::vector<std::string> names;
+  for (int a : attrs.ToVector()) {
+    names.push_back(a < num_columns() ? columns_[a].name
+                                      : "#" + std::to_string(a));
+  }
+  return Join(names, ", ");
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& c : columns_) {
+    parts.push_back(c.name + ":" + ValueTypeName(c.type));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace famtree

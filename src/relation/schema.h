@@ -1,0 +1,53 @@
+#ifndef FAMTREE_RELATION_SCHEMA_H_
+#define FAMTREE_RELATION_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/attr_set.h"
+#include "common/status.h"
+#include "relation/value.h"
+
+namespace famtree {
+
+/// One attribute of a relation schema.
+struct Column {
+  std::string name;
+  /// Declared type; kNull means "untyped / mixed" (CSV inference may leave a
+  /// column untyped when values disagree).
+  ValueType type = ValueType::kNull;
+};
+
+/// An ordered list of named attributes. Attribute indices are the public
+/// currency throughout the library (AttrSet bitmasks refer to them).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  /// Convenience: untyped columns from names.
+  static Schema FromNames(const std::vector<std::string>& names);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[i]; }
+  const std::string& name(int i) const { return columns_[i].name; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the attribute named `name`, or error.
+  Result<int> IndexOf(const std::string& name) const;
+
+  /// Indices for several names at once.
+  Result<AttrSet> SetOf(const std::vector<std::string>& names) const;
+
+  /// Comma-separated names of the members of `attrs`.
+  std::string NamesOf(AttrSet attrs) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_RELATION_SCHEMA_H_

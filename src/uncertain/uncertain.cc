@@ -1,0 +1,137 @@
+#include "uncertain/uncertain.h"
+
+#include <limits>
+
+namespace famtree {
+
+Status UncertainRelation::AppendRow(std::vector<std::vector<Value>> row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::Invalid("row arity does not match the schema");
+  }
+  for (const auto& cell : row) {
+    if (cell.empty()) {
+      return Status::Invalid("every cell needs at least one alternative");
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+int64_t UncertainRelation::NumWorlds() const {
+  int64_t worlds = 1;
+  for (const auto& row : rows_) {
+    for (const auto& cell : row) {
+      if (worlds > std::numeric_limits<int64_t>::max() /
+                       static_cast<int64_t>(cell.size())) {
+        return std::numeric_limits<int64_t>::max();
+      }
+      worlds *= static_cast<int64_t>(cell.size());
+    }
+  }
+  return worlds;
+}
+
+Result<Relation> UncertainRelation::World(
+    const std::vector<std::vector<int>>& choice) const {
+  if (static_cast<int>(choice.size()) != num_rows()) {
+    return Status::Invalid("choice shape mismatch");
+  }
+  RelationBuilder builder{schema_};
+  for (int r = 0; r < num_rows(); ++r) {
+    if (static_cast<int>(choice[r].size()) != schema_.num_columns()) {
+      return Status::Invalid("choice shape mismatch");
+    }
+    std::vector<Value> row;
+    for (int c = 0; c < schema_.num_columns(); ++c) {
+      int idx = choice[r][c];
+      if (idx < 0 || idx >= static_cast<int>(rows_[r][c].size())) {
+        return Status::OutOfRange("alternative index out of range");
+      }
+      row.push_back(rows_[r][c][idx]);
+    }
+    builder.AddRow(std::move(row));
+  }
+  return builder.Build();
+}
+
+const char* UncertainVerdictName(UncertainVerdict v) {
+  switch (v) {
+    case UncertainVerdict::kCertainlyHolds: return "certainly holds";
+    case UncertainVerdict::kPossiblyHolds: return "possibly holds";
+    case UncertainVerdict::kCertainlyViolated: return "certainly violated";
+  }
+  return "?";
+}
+
+namespace {
+
+bool SetsIntersect(const std::vector<Value>& a, const std::vector<Value>& b) {
+  for (const Value& x : a) {
+    for (const Value& y : b) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
+bool ForcedEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
+  return a.size() == 1 && b.size() == 1 && a[0] == b[0];
+}
+
+}  // namespace
+
+Result<UncertainVerdict> CheckFdUnderUncertainty(
+    const UncertainRelation& relation, const Fd& fd) {
+  int nc = relation.schema().num_columns();
+  if (!AttrSet::Full(nc).ContainsAll(fd.lhs().Union(fd.rhs()))) {
+    return Status::Invalid("FD refers to attributes outside the schema");
+  }
+  if (fd.lhs().Intersects(fd.rhs())) {
+    return Status::Invalid(
+        "uncertain checking needs disjoint LHS/RHS (shared cells couple "
+        "the value choices)");
+  }
+  int n = relation.num_rows();
+  bool can_violate = false;
+  bool certainly_violated_witness = false;
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      // Can the pair agree on every LHS attribute in some world?
+      bool lhs_can_agree = true;
+      bool lhs_must_agree = true;
+      for (int a : fd.lhs().ToVector()) {
+        const auto& si = relation.Cell(i, a);
+        const auto& sj = relation.Cell(j, a);
+        lhs_can_agree &= SetsIntersect(si, sj);
+        lhs_must_agree &= ForcedEqual(si, sj);
+      }
+      if (!lhs_can_agree) continue;
+      // Can / must the RHS differ?
+      bool rhs_can_differ = false;
+      bool rhs_must_differ = false;
+      for (int b : fd.rhs().ToVector()) {
+        const auto& si = relation.Cell(i, b);
+        const auto& sj = relation.Cell(j, b);
+        if (!ForcedEqual(si, sj)) {
+          // More than one combined alternative, or distinct singletons:
+          // some choice differs unless both are the same singleton.
+          if (si.size() > 1 || sj.size() > 1 || !(si[0] == sj[0])) {
+            rhs_can_differ = true;
+          }
+        }
+        if (!SetsIntersect(si, sj)) rhs_must_differ = true;
+      }
+      if (lhs_can_agree && rhs_can_differ) can_violate = true;
+      if (lhs_must_agree && rhs_must_differ) {
+        certainly_violated_witness = true;
+      }
+    }
+  }
+  if (certainly_violated_witness) {
+    return UncertainVerdict::kCertainlyViolated;
+  }
+  if (can_violate) return UncertainVerdict::kPossiblyHolds;
+  return UncertainVerdict::kCertainlyHolds;
+}
+
+}  // namespace famtree

@@ -1,0 +1,66 @@
+#ifndef FAMTREE_UNCERTAIN_UNCERTAIN_H_
+#define FAMTREE_UNCERTAIN_UNCERTAIN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "deps/fd.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// An uncertain relation in the spirit of Sarma et al. [81] (the
+/// Section 5.1 outlook): each cell holds a non-empty set of possible
+/// values (an or-set); a *possible world* picks one value per cell.
+class UncertainRelation {
+ public:
+  explicit UncertainRelation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  /// Appends a row of or-sets; every cell needs >= 1 alternative.
+  Status AppendRow(std::vector<std::vector<Value>> row);
+
+  const std::vector<Value>& Cell(int row, int col) const {
+    return rows_[row][col];
+  }
+
+  /// Number of possible worlds (product of cell alternative counts);
+  /// saturates at INT64_MAX.
+  int64_t NumWorlds() const;
+
+  /// Materializes one world by alternative indices (for tests).
+  Result<Relation> World(const std::vector<std::vector<int>>& choice) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<std::vector<Value>>> rows_;
+};
+
+/// Sarma et al. distinguish FDs that hold in *every* world (the analogue
+/// of certain answers) from those holding in *some* world. On or-set
+/// relations both checks reduce to pairwise set reasoning — no world
+/// enumeration:
+///   - a pair can violate (possibly) iff the LHS or-sets can overlap
+///     while some RHS alternative pair differs;
+///   - a pair must violate (certainly) iff the LHS sets *must* agree
+///     (both singletons, equal) and the RHS sets must disagree (disjoint
+///     singleton... generally: no choice makes them equal).
+enum class UncertainVerdict {
+  /// The FD holds in every possible world.
+  kCertainlyHolds,
+  /// Holds in some worlds, violated in others.
+  kPossiblyHolds,
+  /// Violated in every possible world.
+  kCertainlyViolated,
+};
+
+const char* UncertainVerdictName(UncertainVerdict v);
+
+Result<UncertainVerdict> CheckFdUnderUncertainty(
+    const UncertainRelation& relation, const Fd& fd);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_UNCERTAIN_UNCERTAIN_H_

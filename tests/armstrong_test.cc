@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "discovery/fastfd.h"
+#include "discovery/tane.h"
+#include "gen/armstrong.h"
+#include "reasoning/closure.h"
+
+namespace famtree {
+namespace {
+
+std::vector<Fd> ChainFds() {
+  return {Fd(AttrSet::Single(0), AttrSet::Single(1)),
+          Fd(AttrSet::Single(1), AttrSet::Single(2))};
+}
+
+TEST(ArmstrongTest, SatisfiesExactlyTheImpliedFds) {
+  auto fds = ChainFds();
+  auto rel = BuildArmstrongRelation(4, fds);
+  ASSERT_TRUE(rel.ok());
+  // Every FD over the schema holds on the instance iff it is implied.
+  for (int lhs_size = 1; lhs_size <= 3; ++lhs_size) {
+    for (AttrSet lhs : AllSubsetsOfSize(4, lhs_size)) {
+      for (int a = 0; a < 4; ++a) {
+        if (lhs.Contains(a)) continue;
+        Fd candidate(lhs, AttrSet::Single(a));
+        EXPECT_EQ(candidate.Holds(*rel), Implies(fds, candidate))
+            << candidate.ToString();
+      }
+    }
+  }
+}
+
+TEST(ArmstrongTest, TaneRecoversExactlyTheMinimalCover) {
+  auto fds = ChainFds();
+  auto rel = BuildArmstrongRelation(4, fds);
+  ASSERT_TRUE(rel.ok());
+  TaneOptions options;
+  options.max_lhs_size = 4;
+  auto discovered = DiscoverFdsTane(*rel, options).value();
+  // Discovered set must be logically equivalent to the planted set.
+  std::vector<Fd> mined;
+  for (const DiscoveredFd& d : discovered) {
+    if (!d.lhs.empty()) mined.push_back(Fd(d.lhs, AttrSet::Single(d.rhs)));
+  }
+  for (const Fd& fd : fds) {
+    EXPECT_TRUE(Implies(mined, fd)) << "lost " << fd.ToString();
+  }
+  for (const Fd& fd : mined) {
+    EXPECT_TRUE(Implies(fds, fd)) << "hallucinated " << fd.ToString();
+  }
+}
+
+TEST(ArmstrongTest, FastFdAgreesWithTane) {
+  std::vector<Fd> fds = {Fd(AttrSet::Of({0, 1}), AttrSet::Single(2)),
+                         Fd(AttrSet::Single(2), AttrSet::Single(3))};
+  auto rel = BuildArmstrongRelation(5, fds);
+  ASSERT_TRUE(rel.ok());
+  TaneOptions topt;
+  topt.max_lhs_size = 5;
+  auto tane = DiscoverFdsTane(*rel, topt).value();
+  auto fast = DiscoverFdsFastFd(*rel).value();
+  auto as_set = [](const std::vector<DiscoveredFd>& v) {
+    std::set<std::pair<uint64_t, int>> out;
+    for (const auto& fd : v) out.insert({fd.lhs.mask(), fd.rhs});
+    return out;
+  };
+  EXPECT_EQ(as_set(tane), as_set(fast));
+}
+
+TEST(ArmstrongTest, EmptyFdSetGivesKeylessRelation) {
+  auto rel = BuildArmstrongRelation(3, {});
+  ASSERT_TRUE(rel.ok());
+  // No non-trivial FD should hold.
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_FALSE(Fd(AttrSet::Single(a), AttrSet::Single(b)).Holds(*rel));
+    }
+  }
+}
+
+TEST(ArmstrongTest, CyclicFds) {
+  // A <-> B equivalence: both directions must hold, C stays free.
+  std::vector<Fd> fds = {Fd(AttrSet::Single(0), AttrSet::Single(1)),
+                         Fd(AttrSet::Single(1), AttrSet::Single(0))};
+  auto rel = BuildArmstrongRelation(3, fds);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(Fd(AttrSet::Single(0), AttrSet::Single(1)).Holds(*rel));
+  EXPECT_TRUE(Fd(AttrSet::Single(1), AttrSet::Single(0)).Holds(*rel));
+  EXPECT_FALSE(Fd(AttrSet::Single(0), AttrSet::Single(2)).Holds(*rel));
+  EXPECT_FALSE(Fd(AttrSet::Single(2), AttrSet::Single(0)).Holds(*rel));
+}
+
+class ArmstrongSweep : public testing::TestWithParam<int> {};
+
+TEST_P(ArmstrongSweep, DiscoveryRecoversRandomTheories) {
+  // Random FD set -> Armstrong relation -> TANE and FastFDs must both
+  // return a set logically equivalent to the planted one.
+  Rng rng(GetParam() * 97 + 5);
+  const int attrs = 5;
+  std::vector<Fd> fds;
+  int count = static_cast<int>(rng.Uniform(1, 4));
+  for (int i = 0; i < count; ++i) {
+    AttrSet lhs;
+    int size = static_cast<int>(rng.Uniform(1, 2));
+    while (lhs.size() < size) {
+      lhs.Add(static_cast<int>(rng.Uniform(0, attrs - 1)));
+    }
+    int rhs = static_cast<int>(rng.Uniform(0, attrs - 1));
+    if (!lhs.Contains(rhs)) fds.push_back(Fd(lhs, AttrSet::Single(rhs)));
+  }
+  auto rel = BuildArmstrongRelation(attrs, fds);
+  ASSERT_TRUE(rel.ok());
+  TaneOptions topt;
+  topt.max_lhs_size = attrs;
+  auto tane = DiscoverFdsTane(*rel, topt).value();
+  auto fast = DiscoverFdsFastFd(*rel).value();
+  auto to_fds = [](const std::vector<DiscoveredFd>& v) {
+    std::vector<Fd> out;
+    for (const auto& d : v) {
+      if (!d.lhs.empty()) out.push_back(Fd(d.lhs, AttrSet::Single(d.rhs)));
+    }
+    return out;
+  };
+  for (const std::vector<Fd>& mined : {to_fds(tane), to_fds(fast)}) {
+    for (const Fd& fd : fds) {
+      EXPECT_TRUE(Implies(mined, fd)) << "lost " << fd.ToString();
+    }
+    for (const Fd& fd : mined) {
+      EXPECT_TRUE(Implies(fds, fd)) << "hallucinated " << fd.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArmstrongSweep, testing::Range(0, 10));
+
+TEST(ArmstrongTest, RejectsBadArguments) {
+  EXPECT_FALSE(BuildArmstrongRelation(0, {}).ok());
+  EXPECT_FALSE(BuildArmstrongRelation(25, {}).ok());
+  EXPECT_FALSE(
+      BuildArmstrongRelation(2, {Fd(AttrSet::Single(5), AttrSet::Single(0))})
+          .ok());
+}
+
+}  // namespace
+}  // namespace famtree

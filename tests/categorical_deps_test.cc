@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include "deps/afd.h"
+#include "deps/cfd.h"
+#include "deps/ecfd.h"
+#include "deps/fhd.h"
+#include "deps/mvd.h"
+#include "deps/nud.h"
+#include "deps/pfd.h"
+#include "deps/sfd.h"
+#include "gen/paper_tables.h"
+
+namespace famtree {
+namespace {
+
+using paper::R5Attrs;
+
+// ---------------------------------------------------------------- SFDs
+
+TEST(SfdTest, StrengthMatchesSection211) {
+  Relation r5 = paper::R5();
+  EXPECT_DOUBLE_EQ(Sfd::Strength(r5, AttrSet::Single(R5Attrs::kAddress),
+                                 AttrSet::Single(R5Attrs::kRegion)),
+                   2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Sfd::Strength(r5, AttrSet::Single(R5Attrs::kName),
+                                 AttrSet::Single(R5Attrs::kAddress)),
+                   1.0 / 2.0);
+}
+
+TEST(SfdTest, StrengthOneIffFdHolds) {
+  Relation r1 = paper::R1();
+  // star -> star trivially has strength 1; address -> region does not.
+  EXPECT_LT(Sfd::Strength(r1, AttrSet::Single(paper::R1Attrs::kAddress),
+                          AttrSet::Single(paper::R1Attrs::kRegion)),
+            1.0);
+}
+
+TEST(SfdTest, ValidateThreshold) {
+  Relation r5 = paper::R5();
+  Sfd strong(AttrSet::Single(R5Attrs::kAddress),
+             AttrSet::Single(R5Attrs::kRegion), 0.6);
+  EXPECT_TRUE(strong.Holds(r5));
+  Sfd stronger(AttrSet::Single(R5Attrs::kAddress),
+               AttrSet::Single(R5Attrs::kRegion), 0.7);
+  EXPECT_FALSE(stronger.Holds(r5));
+  auto report = stronger.Validate(r5, 8);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->measure, 2.0 / 3.0);
+  EXPECT_FALSE(report->violations.empty());
+}
+
+TEST(SfdTest, RejectsBadThreshold) {
+  Relation r5 = paper::R5();
+  EXPECT_FALSE(Sfd(AttrSet::Single(0), AttrSet::Single(1), 1.5)
+                   .Validate(r5, 0)
+                   .ok());
+}
+
+// ---------------------------------------------------------------- PFDs
+
+TEST(PfdTest, ProbabilityMatchesSection221) {
+  Relation r5 = paper::R5();
+  EXPECT_DOUBLE_EQ(Pfd::Probability(r5, AttrSet::Single(R5Attrs::kAddress),
+                                    AttrSet::Single(R5Attrs::kRegion)),
+                   3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(Pfd::Probability(r5, AttrSet::Single(R5Attrs::kName),
+                                    AttrSet::Single(R5Attrs::kAddress)),
+                   1.0 / 2.0);
+}
+
+TEST(PfdTest, ValidateThreshold) {
+  Relation r5 = paper::R5();
+  EXPECT_TRUE(Pfd(AttrSet::Single(R5Attrs::kAddress),
+                  AttrSet::Single(R5Attrs::kRegion), 0.75)
+                  .Holds(r5));
+  EXPECT_FALSE(Pfd(AttrSet::Single(R5Attrs::kAddress),
+                   AttrSet::Single(R5Attrs::kRegion), 0.8)
+                   .Holds(r5));
+}
+
+TEST(PfdTest, ProbabilityOneOnCleanData) {
+  RelationBuilder b({"x", "y"});
+  b.AddRow({Value(1), Value(10)});
+  b.AddRow({Value(1), Value(10)});
+  b.AddRow({Value(2), Value(20)});
+  Relation r = std::move(b.Build()).value();
+  EXPECT_DOUBLE_EQ(
+      Pfd::Probability(r, AttrSet::Single(0), AttrSet::Single(1)), 1.0);
+}
+
+// ---------------------------------------------------------------- AFDs
+
+TEST(AfdTest, G3MatchesSection231) {
+  Relation r5 = paper::R5();
+  EXPECT_DOUBLE_EQ(Afd::G3Error(r5, AttrSet::Single(R5Attrs::kAddress),
+                                AttrSet::Single(R5Attrs::kRegion)),
+                   1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(Afd::G3Error(r5, AttrSet::Single(R5Attrs::kName),
+                                AttrSet::Single(R5Attrs::kAddress)),
+                   1.0 / 2.0);
+}
+
+TEST(AfdTest, ValidateThreshold) {
+  Relation r5 = paper::R5();
+  EXPECT_TRUE(Afd(AttrSet::Single(R5Attrs::kAddress),
+                  AttrSet::Single(R5Attrs::kRegion), 0.25)
+                  .Holds(r5));
+  EXPECT_FALSE(Afd(AttrSet::Single(R5Attrs::kAddress),
+                   AttrSet::Single(R5Attrs::kRegion), 0.2)
+                   .Holds(r5));
+}
+
+TEST(AfdTest, ZeroErrorIsExactFd) {
+  Relation r5 = paper::R5();
+  // name -> name holds exactly.
+  EXPECT_TRUE(Afd(AttrSet::Single(R5Attrs::kName),
+                  AttrSet::Single(R5Attrs::kName), 0.0)
+                  .Holds(r5));
+}
+
+// ---------------------------------------------------------------- NUDs
+
+TEST(NudTest, Nud1MatchesSection241) {
+  Relation r5 = paper::R5();
+  // nud1: address ->_2 region — at most 2 region variants per address.
+  EXPECT_TRUE(Nud(AttrSet::Single(R5Attrs::kAddress),
+                  AttrSet::Single(R5Attrs::kRegion), 2)
+                  .Holds(r5));
+  EXPECT_FALSE(Nud(AttrSet::Single(R5Attrs::kAddress),
+                   AttrSet::Single(R5Attrs::kRegion), 1)
+                   .Holds(r5));
+  EXPECT_EQ(Nud::MaxFanout(r5, AttrSet::Single(R5Attrs::kAddress),
+                           AttrSet::Single(R5Attrs::kRegion)),
+            2);
+}
+
+TEST(NudTest, WeightOneIsFd) {
+  RelationBuilder b({"x", "y"});
+  b.AddRow({Value(1), Value(10)});
+  b.AddRow({Value(2), Value(20)});
+  Relation r = std::move(b.Build()).value();
+  EXPECT_TRUE(Nud(AttrSet::Single(0), AttrSet::Single(1), 1).Holds(r));
+}
+
+TEST(NudTest, RejectsZeroWeight) {
+  Relation r5 = paper::R5();
+  EXPECT_FALSE(
+      Nud(AttrSet::Single(0), AttrSet::Single(1), 0).Validate(r5, 0).ok());
+}
+
+// ---------------------------------------------------------------- CFDs
+
+TEST(CfdTest, Cfd1HoldsOnR5) {
+  Relation r5 = paper::R5();
+  // cfd1: region = 'Jackson', name = _ -> address = _ (Section 2.5.1).
+  Cfd cfd1(AttrSet::Of({R5Attrs::kRegion, R5Attrs::kName}),
+           AttrSet::Single(R5Attrs::kAddress),
+           PatternTuple({PatternItem::Const(R5Attrs::kRegion,
+                                            Value("Jackson")),
+                         PatternItem::Wildcard(R5Attrs::kName),
+                         PatternItem::Wildcard(R5Attrs::kAddress)}));
+  EXPECT_TRUE(cfd1.Holds(r5));
+  EXPECT_EQ(cfd1.Support(r5), 2);  // t1, t2
+  EXPECT_FALSE(cfd1.IsConstant());
+}
+
+TEST(CfdTest, ConditionRestrictsScope) {
+  Relation r5 = paper::R5();
+  // Unconditioned, name -> address fails on r5; conditioned on region =
+  // 'Jackson' it holds (only the two Jackson tuples are considered).
+  Cfd global(AttrSet::Single(R5Attrs::kName),
+             AttrSet::Single(R5Attrs::kAddress),
+             PatternTuple({PatternItem::Wildcard(R5Attrs::kName),
+                           PatternItem::Wildcard(R5Attrs::kAddress)}));
+  EXPECT_FALSE(global.Holds(r5));
+}
+
+TEST(CfdTest, ConstantRhsViolationIsSingleTuple) {
+  Relation r5 = paper::R5();
+  Cfd constant(AttrSet::Single(R5Attrs::kRegion),
+               AttrSet::Single(R5Attrs::kRate),
+               PatternTuple({PatternItem::Const(R5Attrs::kRegion,
+                                                Value("Jackson")),
+                             PatternItem::Const(R5Attrs::kRate,
+                                                Value(230))}));
+  auto report = constant.Validate(r5, 8);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->holds);
+  // t2 (row 1) has region Jackson but rate 250 != 230.
+  bool single = false;
+  for (const Violation& v : report->violations) {
+    if (v.rows == std::vector<int>{1}) single = true;
+  }
+  EXPECT_TRUE(single);
+}
+
+TEST(CfdTest, RejectsNonEqualityOps) {
+  Relation r5 = paper::R5();
+  Cfd bad(AttrSet::Single(R5Attrs::kRate), AttrSet::Single(R5Attrs::kName),
+          PatternTuple({PatternItem::Const(R5Attrs::kRate, Value(200),
+                                           CmpOp::kLe)}));
+  EXPECT_FALSE(bad.Validate(r5, 0).ok());
+}
+
+// ---------------------------------------------------------------- eCFDs
+
+TEST(EcfdTest, Ecfd1MatchesSection255) {
+  Relation r5 = paper::R5();
+  // ecfd1: rate <= 200, name = _ -> address = _.
+  Ecfd ecfd1(AttrSet::Of({R5Attrs::kRate, R5Attrs::kName}),
+             AttrSet::Single(R5Attrs::kAddress),
+             PatternTuple({PatternItem::Const(R5Attrs::kRate, Value(200),
+                                              CmpOp::kLe),
+                           PatternItem::Wildcard(R5Attrs::kName),
+                           PatternItem::Wildcard(R5Attrs::kAddress)}));
+  EXPECT_TRUE(ecfd1.Holds(r5));
+  EXPECT_EQ(ecfd1.Support(r5), 2);  // t3, t4 (rate 189)
+}
+
+TEST(EcfdTest, InequalityConditionViolated) {
+  Relation r5 = paper::R5();
+  // rate >= 200 selects t1, t2 (230, 250): same name, different rates —
+  // name -> rate fails within the condition.
+  Ecfd e(AttrSet::Of({R5Attrs::kRate, R5Attrs::kName}),
+         AttrSet::Single(R5Attrs::kAddress),
+         PatternTuple({PatternItem::Const(R5Attrs::kRate, Value(200),
+                                          CmpOp::kGe),
+                       PatternItem::Wildcard(R5Attrs::kName)}));
+  // t1/t2 share name and address: still holds.
+  EXPECT_TRUE(e.Holds(r5));
+  Ecfd e2(AttrSet::Single(R5Attrs::kName), AttrSet::Single(R5Attrs::kRate),
+          PatternTuple({PatternItem::Wildcard(R5Attrs::kName)}));
+  EXPECT_FALSE(e2.Holds(r5));  // Hyatt maps to many rates
+}
+
+// ---------------------------------------------------------------- MVDs
+
+TEST(MvdTest, Mvd1HoldsOnR5) {
+  Relation r5 = paper::R5();
+  // mvd1: address, rate ->> region (Section 2.6.1) over
+  // (name, address, region, rate): Z = {name}.
+  Mvd mvd1(AttrSet::Of({R5Attrs::kAddress, R5Attrs::kRate}),
+           AttrSet::Single(R5Attrs::kRegion));
+  EXPECT_TRUE(mvd1.Holds(r5));
+}
+
+TEST(MvdTest, ViolationIsTupleGenerating) {
+  RelationBuilder b({"x", "y", "z"});
+  b.AddRow({Value(1), Value("a"), Value("p")});
+  b.AddRow({Value(1), Value("b"), Value("q")});
+  // Missing (1, a, q) and (1, b, p) for independence.
+  Relation r = std::move(b.Build()).value();
+  Mvd mvd(AttrSet::Single(0), AttrSet::Single(1));
+  auto report = mvd.Validate(r, 8);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->holds);
+  EXPECT_EQ(report->violation_count, 2);
+  // Adding the missing combinations satisfies it.
+  RelationBuilder b2({"x", "y", "z"});
+  b2.AddRow({Value(1), Value("a"), Value("p")});
+  b2.AddRow({Value(1), Value("b"), Value("q")});
+  b2.AddRow({Value(1), Value("a"), Value("q")});
+  b2.AddRow({Value(1), Value("b"), Value("p")});
+  Relation r2 = std::move(b2.Build()).value();
+  EXPECT_TRUE(mvd.Holds(r2));
+}
+
+TEST(MvdTest, RejectsOverlappingSides) {
+  Relation r5 = paper::R5();
+  EXPECT_FALSE(Mvd(AttrSet::Of({0, 1}), AttrSet::Of({1, 2}))
+                   .Validate(r5, 0)
+                   .ok());
+}
+
+TEST(MvdTest, SpuriousRatioZeroIffHolds) {
+  Relation r5 = paper::R5();
+  EXPECT_DOUBLE_EQ(
+      Mvd::SpuriousTupleRatio(r5,
+                              AttrSet::Of({R5Attrs::kAddress,
+                                           R5Attrs::kRate}),
+                              AttrSet::Single(R5Attrs::kRegion)),
+      0.0);
+}
+
+// ---------------------------------------------------------------- FHDs
+
+TEST(FhdTest, SingleBlockEqualsMvd) {
+  RelationBuilder b({"x", "y", "z"});
+  b.AddRow({Value(1), Value("a"), Value("p")});
+  b.AddRow({Value(1), Value("b"), Value("q")});
+  b.AddRow({Value(1), Value("a"), Value("q")});
+  b.AddRow({Value(1), Value("b"), Value("p")});
+  Relation r = std::move(b.Build()).value();
+  EXPECT_TRUE(Fhd(AttrSet::Single(0), {AttrSet::Single(1)}).Holds(r));
+  EXPECT_TRUE(Mvd(AttrSet::Single(0), AttrSet::Single(1)).Holds(r));
+}
+
+TEST(FhdTest, MultiBlockIndependence) {
+  // x : {y; z} over (x, y, z, w): all three blocks vary independently.
+  RelationBuilder b({"x", "y", "z", "w"});
+  for (int y = 0; y < 2; ++y) {
+    for (int z = 0; z < 2; ++z) {
+      for (int w = 0; w < 2; ++w) {
+        b.AddRow({Value(1), Value(y), Value(z), Value(w)});
+      }
+    }
+  }
+  Relation r = std::move(b.Build()).value();
+  EXPECT_TRUE(
+      Fhd(AttrSet::Single(0), {AttrSet::Single(1), AttrSet::Single(2)})
+          .Holds(r));
+}
+
+TEST(FhdTest, DetectsMissingCombination) {
+  RelationBuilder b({"x", "y", "z", "w"});
+  b.AddRow({Value(1), Value(0), Value(0), Value(0)});
+  b.AddRow({Value(1), Value(1), Value(1), Value(1)});
+  Relation r = std::move(b.Build()).value();
+  EXPECT_FALSE(
+      Fhd(AttrSet::Single(0), {AttrSet::Single(1), AttrSet::Single(2)})
+          .Holds(r));
+}
+
+TEST(FhdTest, RejectsOverlappingBlocks) {
+  Relation r5 = paper::R5();
+  EXPECT_FALSE(Fhd(AttrSet::Single(0), {AttrSet::Of({1}), AttrSet::Of({1})})
+                   .Validate(r5, 0)
+                   .ok());
+}
+
+// ---------------------------------------------------------------- AMVDs
+
+TEST(AmvdTest, ToleratesBoundedSpuriousTuples) {
+  RelationBuilder b({"x", "y", "z"});
+  b.AddRow({Value(1), Value("a"), Value("p")});
+  b.AddRow({Value(1), Value("b"), Value("q")});
+  b.AddRow({Value(1), Value("a"), Value("q")});
+  // 3 of 4 combinations present: spurious ratio = 1/4.
+  Relation r = std::move(b.Build()).value();
+  EXPECT_FALSE(Amvd(AttrSet::Single(0), AttrSet::Single(1), 0.0).Holds(r));
+  EXPECT_TRUE(Amvd(AttrSet::Single(0), AttrSet::Single(1), 0.25).Holds(r));
+  EXPECT_DOUBLE_EQ(
+      Mvd::SpuriousTupleRatio(r, AttrSet::Single(0), AttrSet::Single(1)),
+      0.25);
+}
+
+}  // namespace
+}  // namespace famtree

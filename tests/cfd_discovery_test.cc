@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "discovery/cfd_discovery.h"
+#include "gen/paper_tables.h"
+
+namespace famtree {
+namespace {
+
+/// UK-style data (Section 1.5): zipcode determines street only where
+/// country = 'UK'.
+Relation CountryRelation(uint64_t seed, int rows) {
+  Rng rng(seed);
+  RelationBuilder b({"country", "zipcode", "street"});
+  for (int r = 0; r < rows; ++r) {
+    bool uk = rng.Bernoulli(0.5);
+    int zip = static_cast<int>(rng.Uniform(0, 9));
+    std::string street =
+        uk ? "st" + std::to_string(zip)  // zip -> street within UK
+           : "st" + std::to_string(rng.Uniform(0, 99));
+    b.AddRow({Value(uk ? "UK" : "US"), Value(zip), Value(street)});
+  }
+  return std::move(b.Build()).value();
+}
+
+TEST(CfdDiscoveryTest, GeneralCfdFindsTheUkCondition) {
+  Relation r = CountryRelation(1, 300);
+  CfdDiscoveryOptions options;
+  options.min_support = 10;
+  options.max_lhs_size = 2;
+  auto cfds = DiscoverGeneralCfds(r, options);
+  ASSERT_TRUE(cfds.ok());
+  bool uk_rule = false;
+  for (const DiscoveredCfd& d : *cfds) {
+    const PatternItem* c = d.cfd.pattern().Find(0);
+    if (d.cfd.lhs().Contains(0) && d.cfd.lhs().Contains(1) &&
+        d.cfd.rhs().Contains(2) && c != nullptr && !c->is_wildcard &&
+        c->constant == Value("UK")) {
+      uk_rule = true;
+      EXPECT_TRUE(d.cfd.Holds(r));
+    }
+  }
+  EXPECT_TRUE(uk_rule);
+}
+
+TEST(CfdDiscoveryTest, GeneralCfdSkipsGlobalFds) {
+  // b = a everywhere: the FD holds globally, so no CFD should be emitted
+  // for it.
+  RelationBuilder builder({"a", "b"});
+  for (int i = 0; i < 40; ++i) builder.AddRow({Value(i % 4), Value(i % 4)});
+  Relation r = std::move(builder.Build()).value();
+  auto cfds = DiscoverGeneralCfds(r, {});
+  ASSERT_TRUE(cfds.ok());
+  EXPECT_TRUE(cfds->empty());
+}
+
+TEST(CfdDiscoveryTest, ConstantCfdsHaveSupportAndHold) {
+  Relation r = CountryRelation(2, 200);
+  CfdDiscoveryOptions options;
+  options.min_support = 20;
+  options.max_lhs_size = 2;
+  auto cfds = DiscoverConstantCfds(r, options);
+  ASSERT_TRUE(cfds.ok());
+  for (const DiscoveredCfd& d : *cfds) {
+    EXPECT_GE(d.support, options.min_support);
+    EXPECT_TRUE(d.cfd.IsConstant());
+    EXPECT_TRUE(d.cfd.Holds(r)) << d.cfd.ToString(&r.schema());
+  }
+}
+
+TEST(CfdDiscoveryTest, GreedyTableauCoversUkRows) {
+  Relation r = CountryRelation(3, 300);
+  // Embedded FD {country, zipcode} -> street, condition on country.
+  auto tableau =
+      BuildGreedyTableau(r, AttrSet::Of({0, 1}), 2, 0, TableauOptions{});
+  ASSERT_TRUE(tableau.ok());
+  // The UK pattern is violation-free and covers ~half the rows; the US
+  // pattern is not violation-free, so the tableau holds exactly the UK row.
+  ASSERT_EQ(tableau->size(), 1u);
+  const PatternItem* c = (*tableau)[0].cfd.pattern().Find(0);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->constant, Value("UK"));
+  EXPECT_TRUE((*tableau)[0].cfd.Holds(r));
+}
+
+TEST(CfdDiscoveryTest, GreedyTableauValidatesArguments) {
+  Relation r = CountryRelation(4, 20);
+  EXPECT_FALSE(
+      BuildGreedyTableau(r, AttrSet::Of({0}), 2, /*condition_attr=*/1, {})
+          .ok());
+  TableauOptions bad;
+  bad.target_coverage = 1.5;
+  EXPECT_FALSE(BuildGreedyTableau(r, AttrSet::Of({0, 1}), 2, 0, bad).ok());
+}
+
+TEST(CfdDiscoveryTest, TwoConditionPatterns) {
+  // The FD zipcode -> street holds only for (country = 'UK',
+  // carrier = 'RM') jointly; either condition alone is insufficient.
+  Rng rng(7);
+  RelationBuilder b({"country", "carrier", "zipcode", "street"});
+  for (int r = 0; r < 400; ++r) {
+    bool uk = rng.Bernoulli(0.5);
+    bool rm = rng.Bernoulli(0.5);
+    int zip = static_cast<int>(rng.Uniform(0, 9));
+    std::string street = (uk && rm)
+                             ? "st" + std::to_string(zip)
+                             : "st" + std::to_string(rng.Uniform(0, 999));
+    b.AddRow({Value(uk ? "UK" : "US"), Value(rm ? "RM" : "DHL"),
+              Value(zip), Value(street)});
+  }
+  Relation r = std::move(b.Build()).value();
+  CfdDiscoveryOptions options;
+  options.min_support = 10;
+  options.max_lhs_size = 3;
+  options.max_condition_attrs = 2;
+  auto cfds = DiscoverGeneralCfds(r, options);
+  ASSERT_TRUE(cfds.ok());
+  bool joint = false;
+  for (const DiscoveredCfd& d : *cfds) {
+    const PatternItem* c0 = d.cfd.pattern().Find(0);
+    const PatternItem* c1 = d.cfd.pattern().Find(1);
+    if (c0 != nullptr && !c0->is_wildcard && c0->constant == Value("UK") &&
+        c1 != nullptr && !c1->is_wildcard && c1->constant == Value("RM") &&
+        d.cfd.rhs().Contains(3)) {
+      joint = true;
+      EXPECT_TRUE(d.cfd.Holds(r));
+    }
+  }
+  EXPECT_TRUE(joint);
+}
+
+TEST(CfdDiscoveryTest, SingleConditionSubsumesTwoConditionPattern) {
+  // When country = 'UK' alone suffices, the (UK, carrier) refinements
+  // must not be reported.
+  Relation r = CountryRelation(8, 300);
+  CfdDiscoveryOptions options;
+  options.min_support = 10;
+  options.max_lhs_size = 3;
+  options.max_condition_attrs = 2;
+  auto cfds = DiscoverGeneralCfds(r, options);
+  ASSERT_TRUE(cfds.ok());
+  for (const DiscoveredCfd& d : *cfds) {
+    AttrSet constants;
+    for (const auto& it : d.cfd.pattern().items()) {
+      if (!it.is_wildcard) constants.Add(it.attr);
+    }
+    const PatternItem* c0 = d.cfd.pattern().Find(0);
+    if (c0 != nullptr && !c0->is_wildcard &&
+        c0->constant == Value("UK")) {
+      EXPECT_EQ(constants.size(), 1)
+          << "refinement of the UK condition reported: "
+          << d.cfd.ToString(&r.schema());
+    }
+  }
+}
+
+TEST(CfdDiscoveryTest, MinimalityOfConstantCfds) {
+  // region='X' alone pins price; the 2-attr pattern (region='X',
+  // star=s) must not be re-reported.
+  RelationBuilder b({"region", "star", "price"});
+  for (int i = 0; i < 12; ++i) {
+    b.AddRow({Value("X"), Value(i % 3), Value(100)});
+    b.AddRow({Value("Y"), Value(i % 3), Value(i)});
+  }
+  Relation r = std::move(b.Build()).value();
+  CfdDiscoveryOptions options;
+  options.min_support = 3;
+  options.max_lhs_size = 2;
+  auto cfds = DiscoverConstantCfds(r, options);
+  ASSERT_TRUE(cfds.ok());
+  for (const DiscoveredCfd& d : *cfds) {
+    if (d.cfd.rhs().Contains(2) && d.cfd.lhs().size() == 2) {
+      const PatternItem* reg = d.cfd.pattern().Find(0);
+      ASSERT_NE(reg, nullptr);
+      EXPECT_NE(reg->constant, Value("X")) << "non-minimal constant CFD";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace famtree

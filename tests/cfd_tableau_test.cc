@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "deps/cfd_tableau.h"
+#include "deps/fd.h"
+#include "discovery/cfd_discovery.h"
+#include "gen/paper_tables.h"
+#include "quality/detector.h"
+
+namespace famtree {
+namespace {
+
+TEST(CfdTableauTest, TwoRowTableauOnR5) {
+  Relation r5 = paper::R5();
+  using A = paper::R5Attrs;
+  // Tableau: under region 'Jackson' AND under region 'El Paso', name
+  // determines address (each condition has one hotel).
+  CfdTableau tableau(
+      AttrSet::Of({A::kRegion, A::kName}), AttrSet::Single(A::kAddress),
+      {PatternTuple({PatternItem::Const(A::kRegion, Value("Jackson"))}),
+       PatternTuple({PatternItem::Const(A::kRegion, Value("El Paso"))})});
+  EXPECT_TRUE(tableau.Holds(r5));
+  EXPECT_EQ(tableau.Coverage(r5), 3);  // t1, t2 (Jackson) + t3 (El Paso)
+}
+
+TEST(CfdTableauTest, OneViolatingRowBreaksTheTableau) {
+  Relation r5 = paper::R5();
+  using A = paper::R5Attrs;
+  // Second row pins a wrong constant RHS.
+  CfdTableau tableau(
+      AttrSet::Single(A::kRegion), AttrSet::Single(A::kRate),
+      {PatternTuple({PatternItem::Const(A::kRegion, Value("El Paso")),
+                     PatternItem::Const(A::kRate, Value(189))}),
+       PatternTuple({PatternItem::Const(A::kRegion, Value("Jackson")),
+                     PatternItem::Const(A::kRate, Value(999))})});
+  auto report = tableau.Validate(r5, 8);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->holds);
+  // Both Jackson tuples break the 999 constant (two single-tuple
+  // violations), and they also disagree with each other on rate under an
+  // equal LHS (one pair violation).
+  EXPECT_EQ(report->violation_count, 3);
+}
+
+TEST(CfdTableauTest, FromCfdsGluesGreedyTableau) {
+  // Build the greedy tableau on the UK/US workload and lift it into one
+  // CfdTableau object.
+  Rng rng(1);
+  RelationBuilder b({"country", "zipcode", "street"});
+  for (int r = 0; r < 200; ++r) {
+    bool uk = rng.Bernoulli(0.5);
+    int zip = static_cast<int>(rng.Uniform(0, 9));
+    b.AddRow({Value(uk ? "UK" : "US"), Value(zip),
+              Value(uk ? "st" + std::to_string(zip)
+                       : "st" + std::to_string(rng.Uniform(0, 99)))});
+  }
+  Relation r = std::move(b.Build()).value();
+  auto rows = BuildGreedyTableau(r, AttrSet::Of({0, 1}), 2, 0, {}).value();
+  ASSERT_FALSE(rows.empty());
+  std::vector<Cfd> cfds;
+  for (const DiscoveredCfd& d : rows) cfds.push_back(d.cfd);
+  auto tableau = CfdTableau::FromCfds(cfds);
+  ASSERT_TRUE(tableau.ok());
+  EXPECT_TRUE(tableau->Holds(r));
+  EXPECT_GT(tableau->Coverage(r), r.num_rows() / 3);
+}
+
+TEST(CfdTableauTest, FromCfdsRejectsMixedEmbeddedFds) {
+  Cfd a(AttrSet::Single(0), AttrSet::Single(1), PatternTuple());
+  Cfd b(AttrSet::Single(0), AttrSet::Single(2), PatternTuple());
+  EXPECT_FALSE(CfdTableau::FromCfds({a, b}).ok());
+  EXPECT_FALSE(CfdTableau::FromCfds({}).ok());
+}
+
+TEST(CfdTableauTest, ToStringListsAllRows) {
+  Relation r5 = paper::R5();
+  using A = paper::R5Attrs;
+  CfdTableau tableau(
+      AttrSet::Single(A::kRegion), AttrSet::Single(A::kRate),
+      {PatternTuple({PatternItem::Const(A::kRegion, Value("Jackson"))}),
+       PatternTuple({PatternItem::Const(A::kRegion, Value("El Paso"))})});
+  std::string s = tableau.ToString(&r5.schema());
+  EXPECT_NE(s.find("Jackson"), std::string::npos);
+  EXPECT_NE(s.find("El Paso"), std::string::npos);
+  EXPECT_NE(s.find("T = {"), std::string::npos);
+}
+
+TEST(FormatViolationTest, ShowsTheTuples) {
+  Relation r1 = paper::R1();
+  Fd fd(AttrSet::Single(paper::R1Attrs::kAddress),
+        AttrSet::Single(paper::R1Attrs::kRegion));
+  auto report = fd.Validate(r1, 4).value();
+  ASSERT_FALSE(report.violations.empty());
+  std::string text = FormatViolation(r1, fd, report.violations[0]);
+  EXPECT_NE(text.find("address -> region"), std::string::npos);
+  EXPECT_NE(text.find("row "), std::string::npos);
+  EXPECT_NE(text.find("West Lake"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/attr_set.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace famtree {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::Invalid("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kAlreadyExists,
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kIoError}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Doubled(Result<int> in) {
+  FAMTREE_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(Status::Invalid("x")).ok());
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringsTest, JoinRoundTrips) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, ParseInt64) {
+  long long v;
+  EXPECT_TRUE(ParseInt64("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt64(" -7 ", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+}
+
+TEST(StringsTest, ParseDouble) {
+  double v;
+  EXPECT_TRUE(ParseDouble("1.5", &v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_TRUE(ParseDouble("-2e3", &v));
+  EXPECT_DOUBLE_EQ(v, -2000);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+}
+
+TEST(StringsTest, Padding) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("abcdef", 3), "abc");
+}
+
+TEST(AttrSetTest, BasicOperations) {
+  AttrSet s = AttrSet::Of({1, 3, 5});
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(2));
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.ToVector(), (std::vector<int>{1, 5}));
+}
+
+TEST(AttrSetTest, SetAlgebra) {
+  AttrSet a = AttrSet::Of({0, 1, 2});
+  AttrSet b = AttrSet::Of({2, 3});
+  EXPECT_EQ(a.Union(b), AttrSet::Of({0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), AttrSet::Of({2}));
+  EXPECT_EQ(a.Minus(b), AttrSet::Of({0, 1}));
+  EXPECT_TRUE(a.ContainsAll(AttrSet::Of({0, 2})));
+  EXPECT_FALSE(a.ContainsAll(b));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(AttrSet::Of({0}).Intersects(AttrSet::Of({1})));
+}
+
+TEST(AttrSetTest, FullSet) {
+  EXPECT_EQ(AttrSet::Full(3), AttrSet::Of({0, 1, 2}));
+  EXPECT_EQ(AttrSet::Full(1).size(), 1);
+  EXPECT_EQ(AttrSet::Full(0).size(), 0);
+}
+
+TEST(AttrSetTest, SubsetsOfSizeCoversAll) {
+  auto subsets = AllSubsetsOfSize(5, 2);
+  EXPECT_EQ(subsets.size(), 10u);  // C(5,2)
+  for (const AttrSet& s : subsets) EXPECT_EQ(s.size(), 2);
+  // All distinct.
+  std::set<uint64_t> seen;
+  for (const AttrSet& s : subsets) seen.insert(s.mask());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(AttrSetTest, SubsetsEdgeCases) {
+  EXPECT_EQ(AllSubsetsOfSize(4, 0).size(), 1u);
+  EXPECT_EQ(AllSubsetsOfSize(4, 4).size(), 1u);
+  EXPECT_EQ(AllSubsetsOfSize(4, 5).size(), 0u);
+  EXPECT_EQ(AllSubsetsOfSize(3, 1).size(), 3u);
+}
+
+TEST(AttrSetTest, ProperNonEmptySubsets) {
+  // {0,2} has exactly the proper non-empty subsets {0} and {2}.
+  auto subs = ProperNonEmptySubsets(AttrSet::Of({0, 2}));
+  ASSERT_EQ(subs.size(), 2u);
+  std::set<uint64_t> masks{subs[0].mask(), subs[1].mask()};
+  EXPECT_TRUE(masks.count(AttrSet::Of({0}).mask()));
+  EXPECT_TRUE(masks.count(AttrSet::Of({2}).mask()));
+}
+
+TEST(AttrSetTest, ProperNonEmptySubsetsOfThree) {
+  auto subs = ProperNonEmptySubsets(AttrSet::Of({0, 1, 2}));
+  EXPECT_EQ(subs.size(), 6u);  // 2^3 - 2
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(3);
+  auto sample = rng.SampleWithoutReplacement(100, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<int> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 20u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleMoreThanPopulation) {
+  Rng rng(3);
+  auto sample = rng.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, ZipfSkewsTowardsHead) {
+  Rng rng(5);
+  int head = 0, total = 10000;
+  for (int i = 0; i < total; ++i) {
+    if (rng.Zipf(1000, 1.2) < 10) ++head;
+  }
+  // With theta = 1.2 the top-10 ranks carry far more than 1% of the mass.
+  EXPECT_GT(head, total / 10);
+}
+
+TEST(RngTest, ZipfDegenerate) {
+  Rng rng(5);
+  EXPECT_EQ(rng.Zipf(1, 1.0), 0);
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,163 @@
+// Cross-component consistency properties:
+//   - the streaming monitor and batch validation agree on which rows are
+//     dirty;
+//   - repairs are idempotent (repairing a repaired relation changes
+//     nothing);
+//   - repaired relations satisfy their rules (validated, not assumed).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "deps/dd.h"
+#include "deps/fd.h"
+#include "gen/generators.h"
+#include "metric/metric.h"
+#include "quality/monitor.h"
+#include "quality/repair.h"
+#include "quality/speed_clean.h"
+
+namespace famtree {
+namespace {
+
+class ConsistencySeeds : public testing::TestWithParam<int> {};
+
+TEST_P(ConsistencySeeds, MonitorAgreesWithBatchValidation) {
+  HotelConfig config;
+  config.num_hotels = 20;
+  config.rows_per_hotel = 3;
+  config.variation_rate = 0.0;
+  config.error_rate = 0.1;
+  config.seed = static_cast<uint64_t>(GetParam()) + 100;
+  GeneratedData data = GenerateHotels(config);
+  auto fd = std::make_shared<Fd>(AttrSet::Single(1), AttrSet::Single(2));
+
+  // Stream every row through the monitor; a row is "streaming dirty"
+  // when its arrival (or a later row's arrival) implicates it. The
+  // monitor reports *every* violating pair; batch validation reports one
+  // representative pair per conflicting subgroup — so the streaming set
+  // contains the batch set, and every streamed pair must be a genuine
+  // violation.
+  StreamMonitor monitor(data.relation.schema(), {fd});
+  std::set<int> streaming_dirty;
+  for (int r = 0; r < data.relation.num_rows(); ++r) {
+    auto alert = monitor.Append(data.relation.Row(r));
+    ASSERT_TRUE(alert.ok());
+    for (const auto& [rule, violations] : alert->findings) {
+      for (const Violation& v : violations) {
+        ASSERT_EQ(v.rows.size(), 2u);
+        EXPECT_TRUE(data.relation.AgreeOn(v.rows[0], v.rows[1], fd->lhs()));
+        EXPECT_FALSE(data.relation.AgreeOn(v.rows[0], v.rows[1], fd->rhs()));
+        streaming_dirty.insert(v.rows.begin(), v.rows.end());
+      }
+    }
+  }
+  auto report = fd->Validate(data.relation, 1 << 20).value();
+  std::set<int> batch_dirty;
+  for (const Violation& v : report.violations) {
+    batch_dirty.insert(v.rows.begin(), v.rows.end());
+  }
+  EXPECT_EQ(report.holds, streaming_dirty.empty());
+  for (int row : batch_dirty) {
+    EXPECT_TRUE(streaming_dirty.count(row)) << "row " << row;
+  }
+  // Conversely: every streaming-dirty row sits in a conflicting group.
+  for (int row : streaming_dirty) {
+    bool in_conflict = false;
+    for (int other = 0; other < data.relation.num_rows(); ++other) {
+      if (other != row &&
+          data.relation.AgreeOn(row, other, fd->lhs()) &&
+          !data.relation.AgreeOn(row, other, fd->rhs())) {
+        in_conflict = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(in_conflict) << "row " << row;
+  }
+}
+
+TEST_P(ConsistencySeeds, FdRepairIsIdempotent) {
+  HotelConfig config;
+  config.num_hotels = 30;
+  config.rows_per_hotel = 3;
+  config.variation_rate = 0.0;
+  config.error_rate = 0.08;
+  config.seed = static_cast<uint64_t>(GetParam()) + 200;
+  GeneratedData data = GenerateHotels(config);
+  Fd fd(AttrSet::Single(1), AttrSet::Single(2));
+  auto first = RepairWithFds(data.relation, {fd}).value();
+  EXPECT_TRUE(fd.Holds(first.repaired));
+  auto second = RepairWithFds(first.repaired, {fd}).value();
+  EXPECT_TRUE(second.changes.empty());
+}
+
+TEST_P(ConsistencySeeds, SpeedRepairIsIdempotent) {
+  Rng rng(GetParam() + 300);
+  RelationBuilder b({"t", "v"});
+  for (int i = 0; i < 80; ++i) {
+    b.AddRow({Value(i),
+              Value(rng.Bernoulli(0.1) ? 1000.0 : i * 1.0)});
+  }
+  Relation r = std::move(b.Build()).value();
+  SpeedConstraint sc{-3.0, 3.0};
+  auto first = RepairWithSpeedConstraint(r, 0, 1, sc).value();
+  EXPECT_EQ(first.remaining_violations, 0);
+  auto second = RepairWithSpeedConstraint(first.repaired, 0, 1, sc).value();
+  EXPECT_TRUE(second.changes.empty());
+}
+
+TEST_P(ConsistencySeeds, CfdRepairReachesConsistency) {
+  Rng rng(GetParam() + 400);
+  RelationBuilder b({"cc", "zip", "street"});
+  for (int i = 0; i < 60; ++i) {
+    int zip = static_cast<int>(rng.Uniform(0, 5));
+    bool uk = rng.Bernoulli(0.5);
+    std::string street = uk && !rng.Bernoulli(0.1)
+                             ? "st" + std::to_string(zip)
+                             : "st" + std::to_string(rng.Uniform(0, 50));
+    b.AddRow({Value(uk ? "UK" : "US"), Value(zip), Value(street)});
+  }
+  Relation r = std::move(b.Build()).value();
+  Cfd cfd(AttrSet::Of({0, 1}), AttrSet::Single(2),
+          PatternTuple({PatternItem::Const(0, Value("UK")),
+                        PatternItem::Wildcard(1),
+                        PatternItem::Wildcard(2)}));
+  auto result = RepairWithCfds(r, {cfd}).value();
+  EXPECT_EQ(result.remaining_violations, 0);
+  EXPECT_TRUE(cfd.Holds(result.repaired));
+  auto again = RepairWithCfds(result.repaired, {cfd}).value();
+  EXPECT_TRUE(again.changes.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencySeeds, testing::Range(0, 6));
+
+TEST(ConsistencyTest, MonitorPairwiseAgreesWithBatchForDd) {
+  HeterogeneousConfig config;
+  config.num_entities = 12;
+  config.max_duplicates = 2;
+  config.typo_rate = 0.1;
+  config.seed = 9;
+  GeneratedData data = GenerateHeterogeneous(config);
+  auto dd = std::make_shared<Dd>(
+      std::vector<DifferentialFunction>{DifferentialFunction(
+          2, GetEditDistanceMetric(), DistRange::AtMost(2))},
+      std::vector<DifferentialFunction>{DifferentialFunction(
+          4, GetAbsDiffMetric(), DistRange::AtMost(0))});
+  StreamMonitor monitor(data.relation.schema(), {dd});
+  std::set<std::vector<int>> streaming_pairs;
+  for (int r = 0; r < data.relation.num_rows(); ++r) {
+    auto alert = monitor.Append(data.relation.Row(r)).value();
+    for (const auto& [rule, violations] : alert.findings) {
+      for (const Violation& v : violations) streaming_pairs.insert(v.rows);
+    }
+  }
+  auto report = dd->Validate(data.relation, 1 << 20).value();
+  std::set<std::vector<int>> batch_pairs;
+  for (const Violation& v : report.violations) batch_pairs.insert(v.rows);
+  EXPECT_EQ(streaming_pairs, batch_pairs);
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "discovery/cords.h"
+
+namespace famtree {
+namespace {
+
+/// city determines state (hard); zip is independent noise.
+Relation CorrelatedRelation(int rows, uint64_t seed) {
+  Rng rng(seed);
+  RelationBuilder b({"city", "state", "noise"});
+  for (int r = 0; r < rows; ++r) {
+    int city = static_cast<int>(rng.Uniform(0, 19));
+    b.AddRow({Value("city" + std::to_string(city)),
+              Value("state" + std::to_string(city % 5)),
+              Value(rng.Uniform(0, 999))});
+  }
+  return std::move(b.Build()).value();
+}
+
+TEST(CordsTest, DetectsSoftFd) {
+  Relation r = CorrelatedRelation(2000, 1);
+  auto findings = DiscoverSfdsCords(r);
+  ASSERT_TRUE(findings.ok());
+  bool city_state = false, state_city = false, city_noise = false;
+  for (const DiscoveredSfd& f : *findings) {
+    if (f.lhs == 0 && f.rhs == 1) {
+      city_state = f.is_soft_fd;
+      EXPECT_DOUBLE_EQ(f.strength, 1.0);  // exact FD
+      EXPECT_TRUE(f.is_correlated);
+    }
+    if (f.lhs == 1 && f.rhs == 0) state_city = f.is_soft_fd;
+    if (f.lhs == 0 && f.rhs == 2) city_noise = f.is_soft_fd;
+  }
+  EXPECT_TRUE(city_state);
+  EXPECT_FALSE(state_city);  // 5 states cannot determine 20 cities
+  EXPECT_FALSE(city_noise);
+}
+
+TEST(CordsTest, SampleIndependentOfTableSize) {
+  Relation big = CorrelatedRelation(20000, 2);
+  CordsOptions options;
+  options.sample_size = 500;
+  auto findings = DiscoverSfdsCords(big, options);
+  ASSERT_TRUE(findings.ok());
+  bool city_state = false;
+  for (const DiscoveredSfd& f : *findings) {
+    if (f.lhs == 0 && f.rhs == 1 && f.is_soft_fd) city_state = true;
+  }
+  EXPECT_TRUE(city_state);
+}
+
+TEST(CordsTest, IndependentColumnsNotCorrelated) {
+  Rng rng(3);
+  RelationBuilder b({"a", "b"});
+  for (int r = 0; r < 3000; ++r) {
+    b.AddRow({Value(rng.Uniform(0, 9)), Value(rng.Uniform(0, 9))});
+  }
+  Relation rel = std::move(b.Build()).value();
+  auto findings = DiscoverSfdsCords(rel);
+  ASSERT_TRUE(findings.ok());
+  for (const DiscoveredSfd& f : *findings) {
+    EXPECT_FALSE(f.is_correlated) << f.lhs << "->" << f.rhs << " V="
+                                  << f.cramers_v;
+    EXPECT_FALSE(f.is_soft_fd);
+  }
+}
+
+TEST(CordsTest, ReportsAllOrderedPairs) {
+  Relation r = CorrelatedRelation(100, 4);
+  auto findings = DiscoverSfdsCords(r);
+  ASSERT_TRUE(findings.ok());
+  EXPECT_EQ(findings->size(), 6u);  // 3 columns -> 6 ordered pairs
+}
+
+TEST(CordsTest, RejectsBadSampleSize) {
+  Relation r = CorrelatedRelation(10, 5);
+  CordsOptions options;
+  options.sample_size = 0;
+  EXPECT_FALSE(DiscoverSfdsCords(r, options).ok());
+}
+
+}  // namespace
+}  // namespace famtree

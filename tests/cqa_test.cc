@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "gen/paper_tables.h"
+#include "quality/cqa.h"
+
+namespace famtree {
+namespace {
+
+/// r1-style conflict: one address with two conflicting regions.
+Relation ConflictRelation() {
+  RelationBuilder b({"name", "addr", "region"});
+  b.AddRow({Value("Regis"), Value("a1"), Value("Boston")});
+  b.AddRow({Value("Regis2"), Value("a1"), Value("Chicago")});
+  b.AddRow({Value("Hyatt"), Value("a2"), Value("Boston")});
+  return std::move(b.Build()).value();
+}
+
+TEST(CqaTest, CertainAnswersExcludeConflictedTuples) {
+  Relation r = ConflictRelation();
+  Fd fd(AttrSet::Single(1), AttrSet::Single(2));  // addr -> region
+  SelectionQuery q;
+  q.attr = 2;
+  q.op = CmpOp::kEq;
+  q.constant = Value("Boston");
+  q.projection = AttrSet::Single(0);  // names of Boston hotels
+  auto certain = CertainAnswers(r, fd, q);
+  ASSERT_TRUE(certain.ok());
+  // Row 0 conflicts with row 1 (addr a1, different regions): some repair
+  // removes row 0, so 'Regis' is not certain. 'Hyatt' is.
+  ASSERT_EQ(certain->num_rows(), 1);
+  EXPECT_EQ(certain->Get(0, 0), Value("Hyatt"));
+}
+
+TEST(CqaTest, PossibleAnswersIncludeEverySelectedTuple) {
+  Relation r = ConflictRelation();
+  Fd fd(AttrSet::Single(1), AttrSet::Single(2));
+  SelectionQuery q;
+  q.attr = 2;
+  q.op = CmpOp::kEq;
+  q.constant = Value("Boston");
+  q.projection = AttrSet::Single(0);
+  auto possible = PossibleAnswers(r, fd, q);
+  ASSERT_TRUE(possible.ok());
+  EXPECT_EQ(possible->num_rows(), 2);  // Regis and Hyatt
+}
+
+TEST(CqaTest, CertainWhenAllRepairsAgreeOnProjection) {
+  // Both conflicting tuples project to the same answer: still certain.
+  RelationBuilder b({"name", "addr", "region"});
+  b.AddRow({Value("SameName"), Value("a1"), Value("Boston")});
+  b.AddRow({Value("SameName"), Value("a1"), Value("Chicago")});
+  Relation r = std::move(b.Build()).value();
+  Fd fd(AttrSet::Single(1), AttrSet::Single(2));
+  SelectionQuery q;
+  q.attr = 0;
+  q.op = CmpOp::kEq;
+  q.constant = Value("SameName");
+  q.projection = AttrSet::Single(0);
+  auto certain = CertainAnswers(r, fd, q);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_EQ(certain->num_rows(), 1);
+}
+
+TEST(CqaTest, SelectionOverlapsConflict) {
+  // Selecting on region: a conflicted tuple selected in one repair only.
+  Relation r = ConflictRelation();
+  Fd fd(AttrSet::Single(1), AttrSet::Single(2));
+  SelectionQuery q;
+  q.attr = 2;
+  q.op = CmpOp::kEq;
+  q.constant = Value("Chicago");
+  q.projection = AttrSet::Single(0);
+  auto certain = CertainAnswers(r, fd, q);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_EQ(certain->num_rows(), 0);  // 'Regis2' not in every repair
+  auto possible = PossibleAnswers(r, fd, q);
+  ASSERT_TRUE(possible.ok());
+  EXPECT_EQ(possible->num_rows(), 1);
+}
+
+TEST(CqaTest, InequalitySelection) {
+  Relation r7 = paper::R7();
+  Fd fd(AttrSet::Single(0), AttrSet::Single(1));  // holds: no conflicts
+  SelectionQuery q;
+  q.attr = paper::R7Attrs::kSubtotal;
+  q.op = CmpOp::kGe;
+  q.constant = Value(500);
+  q.projection = AttrSet::Single(paper::R7Attrs::kNights);
+  auto certain = CertainAnswers(r7, fd, q);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_EQ(certain->num_rows(), 2);  // nights 3 and 4
+}
+
+TEST(CqaTest, CertainSubsetOfPossible) {
+  Relation r = ConflictRelation();
+  Fd fd(AttrSet::Single(1), AttrSet::Single(2));
+  SelectionQuery q;
+  q.attr = 2;
+  q.op = CmpOp::kNeq;
+  q.constant = Value("nowhere");
+  q.projection = AttrSet::Of({0, 2});
+  auto certain = CertainAnswers(r, fd, q);
+  auto possible = PossibleAnswers(r, fd, q);
+  ASSERT_TRUE(certain.ok());
+  ASSERT_TRUE(possible.ok());
+  EXPECT_LE(certain->num_rows(), possible->num_rows());
+}
+
+TEST(CqaTest, RejectsBadQuery) {
+  Relation r = ConflictRelation();
+  Fd fd(AttrSet::Single(1), AttrSet::Single(2));
+  SelectionQuery q;
+  q.attr = 9;
+  q.projection = AttrSet::Single(0);
+  EXPECT_FALSE(CertainAnswers(r, fd, q).ok());
+  q.attr = 0;
+  q.projection = AttrSet();
+  EXPECT_FALSE(CertainAnswers(r, fd, q).ok());
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "relation/csv.h"
+
+namespace famtree {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto r = ReadCsvString("a,b\n1,x\n2,y\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2);
+  EXPECT_EQ(r->schema().name(0), "a");
+  EXPECT_EQ(r->Get(0, 0), Value(1));
+  EXPECT_EQ(r->Get(1, 1), Value("y"));
+}
+
+TEST(CsvTest, TypeInference) {
+  auto r = ReadCsvString("i,d,s\n1,2.5,hello\n-3,1e2,world\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get(0, 0), Value(1));
+  EXPECT_EQ(r->Get(0, 1), Value(2.5));
+  EXPECT_EQ(r->Get(1, 1), Value(100.0));
+  EXPECT_EQ(r->Get(1, 2), Value("world"));
+  EXPECT_EQ(r->schema().column(0).type, ValueType::kInt);
+}
+
+TEST(CsvTest, InferenceDisabled) {
+  CsvOptions opt;
+  opt.infer_types = false;
+  auto r = ReadCsvString("a\n12\n", opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get(0, 0), Value("12"));
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto r = ReadCsvString("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get(0, 0), Value("x,y"));
+  EXPECT_EQ(r->Get(0, 1), Value("he said \"hi\""));
+}
+
+TEST(CsvTest, NullLiterals) {
+  auto r = ReadCsvString("a,b\nNULL,\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Get(0, 0).is_null());
+  EXPECT_TRUE(r->Get(0, 1).is_null());
+}
+
+TEST(CsvTest, CustomSeparator) {
+  CsvOptions opt;
+  opt.separator = ';';
+  auto r = ReadCsvString("a;b\n1;2\n", opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get(0, 1), Value(2));
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  auto r = ReadCsvString("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1);
+  EXPECT_EQ(r->Get(0, 1), Value(2));
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto r = ReadCsvString("a,b\n1\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  auto r = ReadCsvString("name,price\n\"Hyatt, SF\",230\nWestin,NULL\n");
+  ASSERT_TRUE(r.ok());
+  std::string text = WriteCsvString(*r);
+  auto r2 = ReadCsvString(text);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->num_rows(), r->num_rows());
+  for (int i = 0; i < r->num_rows(); ++i) {
+    for (int c = 0; c < r->num_columns(); ++c) {
+      EXPECT_EQ(r->Get(i, c), r2->Get(i, c)) << i << "," << c;
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  auto r = ReadCsvString("a,b\n1,x\n");
+  ASSERT_TRUE(r.ok());
+  std::string path = testing::TempDir() + "/famtree_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(*r, path).ok());
+  auto r2 = ReadCsvFile(path);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->num_rows(), 1);
+  EXPECT_EQ(r2->Get(0, 1), Value("x"));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  auto r = ReadCsvFile("/nonexistent/path/file.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, BlankLinesSkipped) {
+  auto r = ReadCsvString("a,b\n1,2\n\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2);
+}
+
+}  // namespace
+}  // namespace famtree

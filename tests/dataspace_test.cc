@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "deps/cd.h"
+#include "metric/metric.h"
+#include "relation/dataspace.h"
+
+namespace famtree {
+namespace {
+
+Relation SourceA() {
+  RelationBuilder b({"name", "region", "addr"});
+  b.AddRow({Value("Alice"), Value("Petersburg"), Value("#7 T Avenue")});
+  return std::move(b.Build()).value();
+}
+
+Relation SourceB() {
+  RelationBuilder b({"name", "city", "post"});
+  b.AddRow({Value("Alice"), Value("St Petersburg"), Value("#7 T Avenue")});
+  b.AddRow({Value("Alex"), Value("St Petersburg"), Value("No 7 T Ave")});
+  return std::move(b.Build()).value();
+}
+
+TEST(DataspaceTest, UnionSchemaWithNulls) {
+  auto ds = AssembleDataspace({SourceA(), SourceB()});
+  ASSERT_TRUE(ds.ok());
+  const Relation& r = ds->relation;
+  EXPECT_EQ(r.num_rows(), 3);
+  EXPECT_EQ(r.num_columns(), 6);  // source, name, region, addr, city, post
+  EXPECT_EQ(r.schema().name(0), "source");
+  // Source-A row has null city/post; source-B rows have null region/addr.
+  int city = *r.schema().IndexOf("city");
+  int region = *r.schema().IndexOf("region");
+  EXPECT_TRUE(r.Get(0, city).is_null());
+  EXPECT_FALSE(r.Get(0, region).is_null());
+  EXPECT_TRUE(r.Get(1, region).is_null());
+  EXPECT_FALSE(r.Get(1, city).is_null());
+}
+
+TEST(DataspaceTest, ProvenanceColumn) {
+  auto ds = AssembleDataspace({SourceA(), SourceB()});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->relation.Get(0, 0), Value("s0"));
+  EXPECT_EQ(ds->relation.Get(1, 0), Value("s1"));
+  EXPECT_EQ(ds->relation.Get(2, 0), Value("s1"));
+}
+
+TEST(DataspaceTest, MatchedColumnsResolve) {
+  auto ds = AssembleDataspace({SourceA(), SourceB()},
+                              {{"region", "city"}, {"addr", "post"}});
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->matched_columns.size(), 2u);
+  const Relation& r = ds->relation;
+  EXPECT_EQ(ds->matched_columns[0].first, *r.schema().IndexOf("region"));
+  EXPECT_EQ(ds->matched_columns[0].second, *r.schema().IndexOf("city"));
+}
+
+TEST(DataspaceTest, CdOverAssembledDataspace) {
+  // The Section 3.4.1 example end-to-end: assemble, build similarity
+  // functions from the matches, check the CD.
+  auto ds = AssembleDataspace({SourceA(), SourceB()},
+                              {{"region", "city"}, {"addr", "post"}});
+  ASSERT_TRUE(ds.ok());
+  auto [region, city] = ds->matched_columns[0];
+  auto [addr, post] = ds->matched_columns[1];
+  SimilarityFunction lhs{region, city, GetEditDistanceMetric(), 5, 5, 5};
+  SimilarityFunction rhs{addr, post, GetEditDistanceMetric(), 7, 9, 6};
+  Cd cd({lhs}, rhs);
+  EXPECT_TRUE(cd.Holds(ds->relation));
+}
+
+TEST(DataspaceTest, MissingMatchAttributeRejected) {
+  auto ds = AssembleDataspace({SourceA()}, {{"region", "nonexistent"}});
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DataspaceTest, RejectsEmptySourceList) {
+  EXPECT_FALSE(AssembleDataspace({}).ok());
+}
+
+TEST(DataspaceTest, RejectsReservedSourceColumn) {
+  RelationBuilder b({"source", "x"});
+  b.AddRow({Value("a"), Value(1)});
+  EXPECT_FALSE(AssembleDataspace({std::move(b.Build()).value()}).ok());
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/paper_tables.h"
+#include "metric/metric.h"
+#include "quality/dedup.h"
+
+namespace famtree {
+namespace {
+
+TEST(MdMatcherTest, ClustersExactDuplicates) {
+  HeterogeneousConfig config;
+  config.num_entities = 40;
+  config.max_duplicates = 3;
+  config.variation_rate = 0.0;
+  config.typo_rate = 0.0;
+  config.seed = 2;
+  GeneratedData data = GenerateHeterogeneous(config);
+  // name~0 and street~0 identify entities exactly.
+  Md md({SimilarityPredicate{1, GetEditDistanceMetric(), 0},
+         SimilarityPredicate{2, GetEditDistanceMetric(), 0}},
+        AttrSet::Single(4));
+  MdMatcher matcher({md});
+  auto match = matcher.Match(data.relation);
+  ASSERT_TRUE(match.ok());
+  ClusterScore score = ScoreClusters(match->cluster_ids, data.entity_ids);
+  EXPECT_DOUBLE_EQ(score.pairwise_recall, 1.0);
+  EXPECT_GT(score.pairwise_precision, 0.95);
+}
+
+TEST(MdMatcherTest, SimilarityToleratesFormatVariation) {
+  HeterogeneousConfig config;
+  config.num_entities = 40;
+  config.max_duplicates = 3;
+  config.variation_rate = 0.8;  // heavy reformatting
+  config.typo_rate = 0.0;
+  config.seed = 3;
+  GeneratedData data = GenerateHeterogeneous(config);
+  // Exact matching misses variants; similarity matching recovers them.
+  Md exact({SimilarityPredicate{2, GetEditDistanceMetric(), 0},
+            SimilarityPredicate{3, GetEditDistanceMetric(), 0}},
+           AttrSet::Single(4));
+  // Thresholds sized to the generator's format variants: " Hotel" drop
+  // costs 6, " Street" -> " St." costs 4, ", ST" suffix costs 4.
+  Md fuzzy({SimilarityPredicate{1, GetEditDistanceMetric(), 6},
+            SimilarityPredicate{2, GetEditDistanceMetric(), 4},
+            SimilarityPredicate{3, GetEditDistanceMetric(), 4}},
+           AttrSet::Single(4));
+  auto exact_match = MdMatcher({exact}).Match(data.relation);
+  auto fuzzy_match = MdMatcher({fuzzy}).Match(data.relation);
+  ASSERT_TRUE(exact_match.ok());
+  ASSERT_TRUE(fuzzy_match.ok());
+  ClusterScore es = ScoreClusters(exact_match->cluster_ids, data.entity_ids);
+  ClusterScore fs = ScoreClusters(fuzzy_match->cluster_ids, data.entity_ids);
+  EXPECT_GT(fs.pairwise_recall, es.pairwise_recall);
+  EXPECT_GT(fs.f1, es.f1);
+}
+
+TEST(MdMatcherTest, ApplyNormalizesRhs) {
+  Relation r6 = paper::R6();
+  // t2/t5/t6 share street-similar San Jose rows with equal zips already;
+  // corrupt one zip and let Apply restore the plurality.
+  r6.Set(5, paper::R6Attrs::kZip, Value(99999));
+  Md md({SimilarityPredicate{paper::R6Attrs::kStreet,
+                             GetEditDistanceMetric(), 5},
+         SimilarityPredicate{paper::R6Attrs::kRegion,
+                             GetEditDistanceMetric(), 2}},
+        AttrSet::Single(paper::R6Attrs::kZip));
+  MdMatcher matcher({md});
+  auto match = matcher.Match(r6);
+  ASSERT_TRUE(match.ok());
+  auto applied = matcher.Apply(r6, *match);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->Get(5, paper::R6Attrs::kZip), Value(95102));
+}
+
+TEST(MdMatcherTest, ApplyRejectsMismatchedResult) {
+  Relation r6 = paper::R6();
+  Md md({SimilarityPredicate{1, GetEditDistanceMetric(), 0}},
+        AttrSet::Single(5));
+  MdMatcher matcher({md});
+  MatchResult wrong;
+  wrong.cluster_ids = {0, 1};  // wrong size
+  EXPECT_FALSE(matcher.Apply(r6, wrong).ok());
+}
+
+TEST(ClusterScoreTest, PerfectAndDegenerate) {
+  ClusterScore perfect = ScoreClusters({0, 0, 1, 1}, {5, 5, 9, 9});
+  EXPECT_DOUBLE_EQ(perfect.pairwise_precision, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.pairwise_recall, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.f1, 1.0);
+  ClusterScore lumped = ScoreClusters({0, 0, 0, 0}, {5, 5, 9, 9});
+  EXPECT_DOUBLE_EQ(lumped.pairwise_recall, 1.0);
+  EXPECT_LT(lumped.pairwise_precision, 1.0);
+  ClusterScore shattered = ScoreClusters({0, 1, 2, 3}, {5, 5, 9, 9});
+  EXPECT_DOUBLE_EQ(shattered.pairwise_precision, 1.0);  // no predictions
+  EXPECT_DOUBLE_EQ(shattered.pairwise_recall, 0.0);
+}
+
+TEST(MdMatcherTest, TransitiveClosure) {
+  // a ~ b and b ~ c but a !~ c: union-find still puts all three together.
+  RelationBuilder b({"s", "id"});
+  b.AddRow({Value("aaaa"), Value(1)});
+  b.AddRow({Value("aaab"), Value(2)});
+  b.AddRow({Value("aabb"), Value(3)});
+  Relation r = std::move(b.Build()).value();
+  Md md({SimilarityPredicate{0, GetEditDistanceMetric(), 1}},
+        AttrSet::Single(1));
+  auto match = MdMatcher({md}).Match(r);
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->num_clusters, 1);
+}
+
+}  // namespace
+}  // namespace famtree

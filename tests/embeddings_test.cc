@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "core/embeddings.h"
+#include "gen/paper_tables.h"
+
+namespace famtree {
+namespace {
+
+TEST(EmbeddingsTest, PaperBoundarySettings) {
+  Fd fd(AttrSet::Single(1), AttrSet::Single(2));
+  EXPECT_DOUBLE_EQ(SfdFromFd(fd).min_strength(), 1.0);
+  EXPECT_DOUBLE_EQ(PfdFromFd(fd).min_probability(), 1.0);
+  EXPECT_DOUBLE_EQ(AfdFromFd(fd).max_error(), 0.0);
+  EXPECT_EQ(NudFromFd(fd).weight(), 1);
+  EXPECT_TRUE(CfdFromFd(fd).pattern().AllWildcards());
+  EXPECT_DOUBLE_EQ(AmvdFromMvd(MvdFromFd(fd).value()).epsilon(), 0.0);
+  EXPECT_DOUBLE_EQ(PacFromNed(NedFromMfd(MfdFromFd(fd))).confidence(), 1.0);
+}
+
+TEST(EmbeddingsTest, MvdFromFdRejectsOverlap) {
+  Fd overlapping(AttrSet::Of({0, 1}), AttrSet::Of({1}));
+  EXPECT_FALSE(MvdFromFd(overlapping).ok());
+}
+
+TEST(EmbeddingsTest, CddFromCfdRejectsConstantRhs) {
+  Cfd constant_rhs(AttrSet::Single(0), AttrSet::Single(1),
+                   PatternTuple({PatternItem::Const(0, Value("x")),
+                                 PatternItem::Const(1, Value("y"))}));
+  EXPECT_FALSE(CddFromCfd(constant_rhs).ok());
+  Cfd wildcard_rhs(AttrSet::Single(0), AttrSet::Single(1),
+                   PatternTuple({PatternItem::Const(0, Value("x")),
+                                 PatternItem::Wildcard(1)}));
+  EXPECT_TRUE(CddFromCfd(wildcard_rhs).ok());
+}
+
+TEST(EmbeddingsTest, CdFromNedRequiresSingleRhs) {
+  Ned two_rhs({Ned::Predicate{0, GetEditDistanceMetric(), 1}},
+              {Ned::Predicate{1, GetEditDistanceMetric(), 1},
+               Ned::Predicate{2, GetEditDistanceMetric(), 1}});
+  EXPECT_FALSE(CdFromNed(two_rhs).ok());
+}
+
+TEST(EmbeddingsTest, DcFromOdRequiresUnaryRhs) {
+  Od od({MarkedAttr{0, OrderMark::kLeq}},
+        {MarkedAttr{1, OrderMark::kLeq}, MarkedAttr{2, OrderMark::kGeq}});
+  EXPECT_FALSE(DcFromOd(od).ok());
+}
+
+TEST(EmbeddingsTest, SdFromOdConstraints) {
+  // Wrong LHS mark.
+  EXPECT_FALSE(SdFromOd(Od({MarkedAttr{0, OrderMark::kGeq}},
+                           {MarkedAttr{1, OrderMark::kLeq}}))
+                   .ok());
+  // Same attribute both sides.
+  EXPECT_FALSE(SdFromOd(Od({MarkedAttr{0, OrderMark::kLeq}},
+                           {MarkedAttr{0, OrderMark::kLeq}}))
+                   .ok());
+  // Valid: descending target -> gap (-inf, 0].
+  auto sd = SdFromOd(Od({MarkedAttr{0, OrderMark::kLeq}},
+                        {MarkedAttr{1, OrderMark::kGeq}}));
+  ASSERT_TRUE(sd.ok());
+  EXPECT_DOUBLE_EQ(sd->gap().hi, 0.0);
+}
+
+TEST(EmbeddingsTest, DcFromEcfdBuildsEqualityAndConditionPredicates) {
+  Ecfd ecfd(AttrSet::Of({0, 1}), AttrSet::Single(2),
+            PatternTuple({PatternItem::Const(0, Value(200), CmpOp::kLe),
+                          PatternItem::Wildcard(1),
+                          PatternItem::Wildcard(2)}));
+  auto dc = DcFromEcfd(ecfd);
+  ASSERT_TRUE(dc.ok());
+  // Predicates: ta.0 = tb.0, ta.0 <= 200, ta.1 = tb.1, ta.2 != tb.2.
+  EXPECT_EQ(dc->predicates().size(), 4u);
+}
+
+TEST(EmbeddingsTest, Od1RewritesAsDc2) {
+  // Section 4.3.2: od1 rewrites to dc2 and both hold on r7.
+  Relation r7 = paper::R7();
+  Od od1({MarkedAttr{paper::R7Attrs::kNights, OrderMark::kLeq}},
+         {MarkedAttr{paper::R7Attrs::kAvgNight, OrderMark::kGeq}});
+  auto dc2 = DcFromOd(od1);
+  ASSERT_TRUE(dc2.ok());
+  EXPECT_TRUE(od1.Holds(r7));
+  EXPECT_TRUE(dc2->Holds(r7));
+}
+
+TEST(EmbeddingsTest, Sd2ExpressesOd1OnR7) {
+  // Section 4.4.2: sd2 = nights ->_(-inf,0] avg/night from od1.
+  Relation r7 = paper::R7();
+  Od od1({MarkedAttr{paper::R7Attrs::kNights, OrderMark::kLeq}},
+         {MarkedAttr{paper::R7Attrs::kAvgNight, OrderMark::kGeq}});
+  auto sd2 = SdFromOd(od1);
+  ASSERT_TRUE(sd2.ok());
+  EXPECT_TRUE(sd2->Holds(r7));
+}
+
+}  // namespace
+}  // namespace famtree

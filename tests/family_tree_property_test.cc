@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/embeddings.h"
+
+namespace famtree {
+namespace {
+
+/// Random relation tailored to an edge's data need. Small domains force
+/// plenty of coincidental agreements, which is what exercises both the
+/// holds and fails branches of each dependency class.
+Relation MakeRelation(Rng& rng, EdgeDataNeed need) {
+  const int cols = 5;
+  const int rows = 12;
+  std::vector<std::string> names;
+  for (int c = 0; c < cols; ++c) names.push_back("c" + std::to_string(c));
+  RelationBuilder b(names);
+  if (need == EdgeDataNeed::kUniqueNumericFirstColumn) {
+    std::vector<int> firsts;
+    for (int r = 0; r < rows; ++r) firsts.push_back(r * 3);
+    // Shuffle so row order does not coincide with sorted order.
+    for (int r = rows - 1; r > 0; --r) {
+      std::swap(firsts[r], firsts[rng.Uniform(0, r)]);
+    }
+    for (int r = 0; r < rows; ++r) {
+      std::vector<Value> row{Value(firsts[r])};
+      for (int c = 1; c < cols; ++c) {
+        row.push_back(Value(rng.Uniform(0, 5)));
+      }
+      b.AddRow(std::move(row));
+    }
+  } else {
+    for (int r = 0; r < rows; ++r) {
+      std::vector<Value> row;
+      for (int c = 0; c < cols; ++c) {
+        if (need == EdgeDataNeed::kNumeric || c % 2 == 0) {
+          row.push_back(Value(rng.Uniform(0, 4)));
+        } else {
+          std::string s(1, static_cast<char>('a' + rng.Uniform(0, 3)));
+          if (rng.Bernoulli(0.3)) s += "x";
+          row.push_back(Value(s));
+        }
+      }
+      b.AddRow(std::move(row));
+    }
+  }
+  return std::move(b.Build()).value();
+}
+
+/// One parameter: (edge index, seed).
+class FamilyTreeEdgeTest
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FamilyTreeEdgeTest, EmbeddingPreservesSemantics) {
+  const auto& [edge_index, seed] = GetParam();
+  const CheckableEdge& edge = AllCheckableEdges()[edge_index];
+  Rng rng(static_cast<uint64_t>(seed) * 7919 + edge_index);
+  SCOPED_TRACE(std::string(DependencyClassAcronym(edge.from)) + " -> " +
+               DependencyClassAcronym(edge.to));
+  for (int trial = 0; trial < 12; ++trial) {
+    Relation r = MakeRelation(rng, edge.need);
+    EmbeddedPair pair = edge.generate(rng, r);
+    ASSERT_NE(pair.parent, nullptr);
+    ASSERT_NE(pair.child, nullptr);
+    EXPECT_EQ(pair.parent->cls(), edge.from);
+    EXPECT_EQ(pair.child->cls(), edge.to);
+    auto parent_report = pair.parent->Validate(r, 4);
+    auto child_report = pair.child->Validate(r, 4);
+    ASSERT_TRUE(parent_report.ok()) << parent_report.status().ToString()
+                                    << " for " << pair.parent->ToString();
+    ASSERT_TRUE(child_report.ok()) << child_report.status().ToString()
+                                   << " for " << pair.child->ToString();
+    if (edge.kind == EdgeKind::kSpecialCaseEquivalence) {
+      EXPECT_EQ(parent_report->holds, child_report->holds)
+          << "parent: " << pair.parent->ToString(&r.schema())
+          << "\nchild: " << pair.child->ToString(&r.schema())
+          << "\nrelation:\n" << r.ToPrettyString();
+    } else {
+      // Implication: parent holding forces the child to hold.
+      if (parent_report->holds) {
+        EXPECT_TRUE(child_report->holds)
+            << "parent: " << pair.parent->ToString(&r.schema())
+            << "\nchild: " << pair.child->ToString(&r.schema())
+            << "\nrelation:\n" << r.ToPrettyString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEdges, FamilyTreeEdgeTest,
+    testing::Combine(
+        testing::Range(0, static_cast<int>(AllCheckableEdges().size())),
+        testing::Range(0, 4)),
+    [](const testing::TestParamInfo<std::tuple<int, int>>& info) {
+      const CheckableEdge& edge =
+          AllCheckableEdges()[std::get<0>(info.param)];
+      std::string name = std::string(DependencyClassAcronym(edge.from)) +
+                         "_to_" + DependencyClassAcronym(edge.to) + "_s" +
+                         std::to_string(std::get<1>(info.param));
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(CheckableEdgesTest, CoversTheWholeFigure) {
+  // Every edge of the static family tree has a checkable generator.
+  const FamilyTree& tree = FamilyTree::Get();
+  EXPECT_EQ(AllCheckableEdges().size(), tree.edges().size());
+  for (const ExtensionEdge& e : tree.edges()) {
+    bool found = false;
+    for (const CheckableEdge& c : AllCheckableEdges()) {
+      if (c.from == e.from && c.to == e.to) {
+        EXPECT_EQ(c.kind, e.kind);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << DependencyClassAcronym(e.from) << " -> "
+                       << DependencyClassAcronym(e.to);
+  }
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/class_info.h"
+#include "core/family_tree.h"
+
+namespace famtree {
+namespace {
+
+using DC = DependencyClass;
+
+TEST(ClassInfoTest, Covers24Classes) {
+  EXPECT_EQ(AllClassInfos().size(), 24u);
+  EXPECT_EQ(AllDependencyClasses().size(), 24u);
+  std::set<DC> seen;
+  for (const ClassInfo& info : AllClassInfos()) seen.insert(info.id);
+  EXPECT_EQ(seen.size(), 24u);
+}
+
+TEST(ClassInfoTest, Table2Years) {
+  // Spot-check the Fig. 2 timeline anchors called out in Section 1.4.1.
+  EXPECT_EQ(GetClassInfo(DC::kAfd).year, 1995);
+  EXPECT_EQ(GetClassInfo(DC::kSfd).year, 2004);
+  EXPECT_EQ(GetClassInfo(DC::kPfd).year, 2009);
+  EXPECT_EQ(GetClassInfo(DC::kCfd).year, 2007);
+  EXPECT_EQ(GetClassInfo(DC::kCdd).year, 2015);
+  EXPECT_EQ(GetClassInfo(DC::kCmd).year, 2017);
+  EXPECT_EQ(GetClassInfo(DC::kMvd).year, 1977);
+  EXPECT_EQ(GetClassInfo(DC::kAmvd).year, 2020);
+  EXPECT_EQ(GetClassInfo(DC::kOd).year, 1982);
+  EXPECT_EQ(GetClassInfo(DC::kSd).year, 2009);
+}
+
+TEST(ClassInfoTest, CategoriesMatchTable2Blocks) {
+  EXPECT_EQ(GetClassInfo(DC::kCfd).category, DataCategory::kCategorical);
+  EXPECT_EQ(GetClassInfo(DC::kDd).category, DataCategory::kHeterogeneous);
+  EXPECT_EQ(GetClassInfo(DC::kDc).category, DataCategory::kNumerical);
+}
+
+TEST(ClassInfoTest, Fig3ComplexityHighlights) {
+  // Fig. 3 / Section 1.4.2: most discovery problems NP-complete, CSDs
+  // polynomial.
+  EXPECT_EQ(GetClassInfo(DC::kCsd).discovery_complexity,
+            DiscoveryComplexity::kPolynomial);
+  EXPECT_EQ(GetClassInfo(DC::kCfd).discovery_complexity,
+            DiscoveryComplexity::kNpComplete);
+  EXPECT_EQ(GetClassInfo(DC::kCdd).discovery_complexity,
+            DiscoveryComplexity::kNpComplete);
+  EXPECT_EQ(GetClassInfo(DC::kDc).discovery_complexity,
+            DiscoveryComplexity::kNpComplete);
+  EXPECT_EQ(GetClassInfo(DC::kNed).discovery_complexity,
+            DiscoveryComplexity::kNpHard);
+  EXPECT_EQ(GetClassInfo(DC::kMfd).discovery_complexity,
+            DiscoveryComplexity::kPolynomial);
+}
+
+TEST(ClassInfoTest, AcronymsAndNames) {
+  EXPECT_STREQ(DependencyClassAcronym(DC::kCfd), "CFDs");
+  EXPECT_STREQ(DependencyClassFullName(DC::kCfd),
+               "Conditional Functional Dependencies");
+  for (DC c : AllDependencyClasses()) {
+    EXPECT_STRNE(DependencyClassAcronym(c), "?");
+    EXPECT_STRNE(DependencyClassFullName(c), "?");
+  }
+}
+
+TEST(FamilyTreeTest, EdgesMatchThePaperSections) {
+  const FamilyTree& tree = FamilyTree::Get();
+  auto has_edge = [&tree](DC from, DC to) {
+    for (const auto& e : tree.edges()) {
+      if (e.from == from && e.to == to) return true;
+    }
+    return false;
+  };
+  // Section-by-section extension claims.
+  EXPECT_TRUE(has_edge(DC::kFd, DC::kSfd));
+  EXPECT_TRUE(has_edge(DC::kFd, DC::kPfd));
+  EXPECT_TRUE(has_edge(DC::kFd, DC::kAfd));
+  EXPECT_TRUE(has_edge(DC::kFd, DC::kNud));
+  EXPECT_TRUE(has_edge(DC::kFd, DC::kCfd));
+  EXPECT_TRUE(has_edge(DC::kCfd, DC::kEcfd));
+  EXPECT_TRUE(has_edge(DC::kFd, DC::kMvd));
+  EXPECT_TRUE(has_edge(DC::kMvd, DC::kFhd));
+  EXPECT_TRUE(has_edge(DC::kMvd, DC::kAmvd));
+  EXPECT_TRUE(has_edge(DC::kFd, DC::kMfd));
+  EXPECT_TRUE(has_edge(DC::kMfd, DC::kNed));
+  EXPECT_TRUE(has_edge(DC::kNed, DC::kDd));
+  EXPECT_TRUE(has_edge(DC::kDd, DC::kCdd));
+  EXPECT_TRUE(has_edge(DC::kCfd, DC::kCdd));
+  EXPECT_TRUE(has_edge(DC::kNed, DC::kCd));
+  EXPECT_TRUE(has_edge(DC::kNed, DC::kPac));
+  EXPECT_TRUE(has_edge(DC::kFd, DC::kFfd));
+  EXPECT_TRUE(has_edge(DC::kFd, DC::kMd));
+  EXPECT_TRUE(has_edge(DC::kMd, DC::kCmd));
+  EXPECT_TRUE(has_edge(DC::kOfd, DC::kOd));
+  EXPECT_TRUE(has_edge(DC::kOd, DC::kDc));
+  EXPECT_TRUE(has_edge(DC::kEcfd, DC::kDc));
+  EXPECT_TRUE(has_edge(DC::kOd, DC::kSd));
+  EXPECT_TRUE(has_edge(DC::kSd, DC::kCsd));
+  // Section 2.5.5: CDDs extend CFDs but NOT eCFDs.
+  EXPECT_FALSE(has_edge(DC::kEcfd, DC::kCdd));
+}
+
+TEST(FamilyTreeTest, ParentsAndChildren) {
+  const FamilyTree& tree = FamilyTree::Get();
+  auto parents = tree.Parents(DC::kCdd);
+  EXPECT_EQ(parents.size(), 2u);  // DDs and CFDs
+  auto children = tree.Children(DC::kFd);
+  EXPECT_GE(children.size(), 8u);
+}
+
+TEST(FamilyTreeTest, SubsumptionIsTransitive) {
+  const FamilyTree& tree = FamilyTree::Get();
+  // FD -> CFD -> eCFD -> DC: DCs subsume FDs through the chain.
+  EXPECT_TRUE(tree.Subsumes(DC::kDc, DC::kFd));
+  EXPECT_TRUE(tree.Subsumes(DC::kDc, DC::kOfd));
+  EXPECT_TRUE(tree.Subsumes(DC::kCdd, DC::kFd));
+  EXPECT_TRUE(tree.Subsumes(DC::kCsd, DC::kOfd));
+  // Reflexive; not symmetric.
+  EXPECT_TRUE(tree.Subsumes(DC::kFd, DC::kFd));
+  EXPECT_FALSE(tree.Subsumes(DC::kFd, DC::kDc));
+  // Unrelated branches.
+  EXPECT_FALSE(tree.Subsumes(DC::kMd, DC::kOd));
+}
+
+TEST(FamilyTreeTest, RootsAreFdAndOfd) {
+  const FamilyTree& tree = FamilyTree::Get();
+  std::vector<DC> roots;
+  for (DC c : AllDependencyClasses()) {
+    if (tree.Parents(c).empty()) roots.push_back(c);
+  }
+  std::set<DC> root_set(roots.begin(), roots.end());
+  EXPECT_TRUE(root_set.count(DC::kFd));
+  EXPECT_TRUE(root_set.count(DC::kOfd));
+  EXPECT_EQ(root_set.size(), 2u);  // "mostly rooted in FDs" (Section 1)
+}
+
+TEST(FamilyTreeTest, GeneralizationsOfFd) {
+  const FamilyTree& tree = FamilyTree::Get();
+  auto gens = tree.Generalizations(DC::kFd);
+  // Everything except OFDs (and FD itself) generalizes FDs in this tree.
+  std::set<DC> set(gens.begin(), gens.end());
+  EXPECT_TRUE(set.count(DC::kDc));
+  EXPECT_TRUE(set.count(DC::kSfd));
+  EXPECT_FALSE(set.count(DC::kOfd));
+  EXPECT_FALSE(set.count(DC::kFd));
+}
+
+TEST(FamilyTreeTest, TimelineIsSortedByYear) {
+  const FamilyTree& tree = FamilyTree::Get();
+  auto order = tree.TimelineOrder();
+  ASSERT_EQ(order.size(), 24u);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(GetClassInfo(order[i - 1]).year, GetClassInfo(order[i]).year);
+  }
+  EXPECT_EQ(order.front(), DC::kFd);  // 1971
+}
+
+TEST(FamilyTreeTest, SuggestMatchesThePaperIntroExample) {
+  // Section 1: "data repairing over a data source with both categorical
+  // and numerical values -> a direct suggestion will be DCs".
+  const FamilyTree& tree = FamilyTree::Get();
+  auto suggestions = tree.Suggest(
+      {DataCategory::kCategorical, DataCategory::kNumerical},
+      Application::kDataRepairing);
+  EXPECT_NE(std::find(suggestions.begin(), suggestions.end(), DC::kDc),
+            suggestions.end());
+}
+
+TEST(FamilyTreeTest, SuggestRespectsTask) {
+  const FamilyTree& tree = FamilyTree::Get();
+  // Schema normalization over categorical data: FDs/MVDs/FHDs qualify,
+  // DCs do not (Table 3 has no normalization entry for DCs).
+  auto suggestions = tree.Suggest({DataCategory::kCategorical},
+                                  Application::kSchemaNormalization);
+  EXPECT_NE(std::find(suggestions.begin(), suggestions.end(), DC::kMvd),
+            suggestions.end());
+  EXPECT_EQ(std::find(suggestions.begin(), suggestions.end(), DC::kDc),
+            suggestions.end());
+}
+
+TEST(FamilyTreeTest, SuggestHeterogeneousDedup) {
+  const FamilyTree& tree = FamilyTree::Get();
+  auto suggestions = tree.Suggest({DataCategory::kHeterogeneous},
+                                  Application::kDataDeduplication);
+  EXPECT_NE(std::find(suggestions.begin(), suggestions.end(), DC::kMd),
+            suggestions.end());
+}
+
+TEST(FamilyTreeTest, RenderingsMentionEveryClass) {
+  const FamilyTree& tree = FamilyTree::Get();
+  std::string ascii = tree.RenderAscii();
+  std::string timeline = tree.RenderTimeline();
+  for (DC c : AllDependencyClasses()) {
+    EXPECT_NE(ascii.find(DependencyClassAcronym(c)), std::string::npos)
+        << DependencyClassAcronym(c);
+    EXPECT_NE(timeline.find(DependencyClassAcronym(c)), std::string::npos);
+  }
+}
+
+TEST(FamilyTreeTest, PublicationCountsMatchTable2) {
+  EXPECT_EQ(GetClassInfo(DC::kCfd).publications, 471);
+  EXPECT_EQ(GetClassInfo(DC::kFfd).publications, 496);
+  EXPECT_EQ(GetClassInfo(DC::kMd).publications, 197);
+  EXPECT_EQ(GetClassInfo(DC::kDd).publications, 109);
+  EXPECT_EQ(GetClassInfo(DC::kSd).publications, 97);
+  EXPECT_EQ(GetClassInfo(DC::kCdd).publications, 3);
+}
+
+}  // namespace
+}  // namespace famtree

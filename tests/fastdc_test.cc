@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "discovery/fastdc.h"
+#include "gen/paper_tables.h"
+
+namespace famtree {
+namespace {
+
+using paper::R7Attrs;
+
+TEST(PredicateSpaceTest, SizesByType) {
+  Relation r7 = paper::R7();  // 4 numeric columns
+  auto preds = BuildPredicateSpace(r7, /*cross_column=*/false);
+  EXPECT_EQ(preds.size(), 4u * 6u);
+  Relation r1 = paper::R1();  // 3 string + 2 numeric columns
+  auto preds1 = BuildPredicateSpace(r1, false);
+  EXPECT_EQ(preds1.size(), 3u * 2u + 2u * 6u);
+}
+
+TEST(PredicateSpaceTest, CrossColumnAddsNumericPairs) {
+  Relation r7 = paper::R7();
+  auto base = BuildPredicateSpace(r7, false);
+  auto cross = BuildPredicateSpace(r7, true);
+  EXPECT_EQ(cross.size(), base.size() + 6u * 4u);  // C(4,2) pairs * 4 ops
+}
+
+TEST(FastDcTest, AllDiscoveredDcsHold) {
+  Relation r7 = paper::R7();
+  FastDcOptions options;
+  options.max_predicates = 2;
+  auto dcs = DiscoverDcs(r7, options);
+  ASSERT_TRUE(dcs.ok());
+  EXPECT_FALSE(dcs->empty());
+  for (const DiscoveredDc& d : *dcs) {
+    EXPECT_TRUE(d.dc.Holds(r7)) << d.dc.ToString(&r7.schema());
+    EXPECT_DOUBLE_EQ(d.violation_fraction, 0.0);
+  }
+}
+
+TEST(FastDcTest, FindsTheSubtotalTaxesDenial) {
+  Relation r7 = paper::R7();
+  FastDcOptions options;
+  options.max_predicates = 2;
+  auto dcs = DiscoverDcs(r7, options);
+  ASSERT_TRUE(dcs.ok());
+  // dc1-like rule: not(ta.subtotal < tb.subtotal and ta.taxes > tb.taxes)
+  // or an equivalent form must be present.
+  bool found = false;
+  for (const DiscoveredDc& d : *dcs) {
+    if (d.dc.predicates().size() != 2) continue;
+    bool has_sub = false, has_tax = false;
+    for (const DcPredicate& p : d.dc.predicates()) {
+      if (p.lhs.kind == DcOperand::Kind::kTupleA &&
+          p.lhs.attr == R7Attrs::kSubtotal &&
+          (p.op == CmpOp::kLt || p.op == CmpOp::kLe)) {
+        has_sub = true;
+      }
+      if (p.lhs.kind == DcOperand::Kind::kTupleA &&
+          p.lhs.attr == R7Attrs::kTaxes &&
+          (p.op == CmpOp::kGt || p.op == CmpOp::kGe)) {
+        has_tax = true;
+      }
+    }
+    if (has_sub && has_tax) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FastDcTest, MinimalityNoSubsetIsValid) {
+  Relation r7 = paper::R7();
+  FastDcOptions options;
+  options.max_predicates = 3;
+  auto dcs = DiscoverDcs(r7, options);
+  ASSERT_TRUE(dcs.ok());
+  for (const DiscoveredDc& d : *dcs) {
+    if (d.dc.predicates().size() < 2) continue;
+    // Dropping any predicate must yield an invalid (violated) DC.
+    for (size_t skip = 0; skip < d.dc.predicates().size(); ++skip) {
+      std::vector<DcPredicate> reduced;
+      for (size_t i = 0; i < d.dc.predicates().size(); ++i) {
+        if (i != skip) reduced.push_back(d.dc.predicates()[i]);
+      }
+      EXPECT_FALSE(Dc(std::move(reduced)).Holds(r7))
+          << "non-minimal: " << d.dc.ToString(&r7.schema());
+    }
+  }
+}
+
+TEST(FastDcTest, ApproximateModeToleratesOutliers) {
+  // Monotone data plus one order-breaking outlier.
+  RelationBuilder b({"x", "y"});
+  for (int i = 0; i < 20; ++i) b.AddRow({Value(i), Value(i * 2)});
+  b.AddRow({Value(20), Value(0)});  // outlier
+  Relation r = std::move(b.Build()).value();
+  Dc monotone({DcPredicate{DcOperand::TupleA(0), CmpOp::kLt,
+                           DcOperand::TupleB(0)},
+               DcPredicate{DcOperand::TupleA(1), CmpOp::kGt,
+                           DcOperand::TupleB(1)}});
+  EXPECT_FALSE(monotone.Holds(r));
+  FastDcOptions exact;
+  exact.max_predicates = 2;
+  auto strict = DiscoverDcs(r, exact);
+  ASSERT_TRUE(strict.ok());
+  FastDcOptions approx = exact;
+  approx.max_violation_fraction = 0.15;
+  auto relaxed = DiscoverDcs(r, approx);
+  ASSERT_TRUE(relaxed.ok());
+  auto contains_monotone = [](const std::vector<DiscoveredDc>& dcs) {
+    for (const DiscoveredDc& d : dcs) {
+      bool lt = false, gt = false;
+      for (const DcPredicate& p : d.dc.predicates()) {
+        if (p.lhs.attr == 0 && p.op == CmpOp::kLt) lt = true;
+        if (p.lhs.attr == 1 && p.op == CmpOp::kGt) gt = true;
+      }
+      if (lt && gt && d.dc.predicates().size() == 2) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(contains_monotone(*strict));
+  EXPECT_TRUE(contains_monotone(*relaxed));
+}
+
+TEST(ConstantDcTest, GroupBoundsMatchSection16Example) {
+  Relation r1 = paper::R1();
+  auto dcs = DiscoverConstantDcs(r1, /*min_support=*/1);
+  ASSERT_TRUE(dcs.ok());
+  // For region 'New York' (prices 299, 299) there is a rule
+  // not(region = 'New York' and price < 299).
+  bool found = false;
+  for (const DiscoveredDc& d : *dcs) {
+    bool ny = false, price_lo = false;
+    for (const DcPredicate& p : d.dc.predicates()) {
+      if (p.rhs.kind == DcOperand::Kind::kConst &&
+          p.rhs.constant == Value("New York")) {
+        ny = true;
+      }
+      if (p.op == CmpOp::kLt && p.rhs.kind == DcOperand::Kind::kConst &&
+          p.rhs.constant == Value(299.0)) {
+        price_lo = true;
+      }
+    }
+    if (ny && price_lo) found = true;
+    EXPECT_TRUE(d.dc.Holds(r1)) << d.dc.ToString(&r1.schema());
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FastDcTest, CrossColumnPredicatesDiscoverInterColumnOrder) {
+  // On r7, nights (1..4) is always below subtotal (190..700): the
+  // cross-column DC not(ta.nights >= tb.subtotal) is valid and minimal.
+  Relation r7 = paper::R7();
+  FastDcOptions options;
+  options.max_predicates = 1;
+  options.cross_column = true;
+  auto dcs = DiscoverDcs(r7, options);
+  ASSERT_TRUE(dcs.ok());
+  bool found = false;
+  for (const DiscoveredDc& d : *dcs) {
+    if (d.dc.predicates().size() != 1) continue;
+    const DcPredicate& p = d.dc.predicates()[0];
+    if (p.lhs.kind == DcOperand::Kind::kTupleA &&
+        p.rhs.kind == DcOperand::Kind::kTupleB &&
+        p.lhs.attr == R7Attrs::kNights &&
+        p.rhs.attr == R7Attrs::kSubtotal && p.op == CmpOp::kGe) {
+      found = true;
+      EXPECT_TRUE(d.dc.Holds(r7));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FastDcTest, RejectsBadFraction) {
+  Relation r7 = paper::R7();
+  FastDcOptions bad;
+  bad.max_violation_fraction = -0.5;
+  EXPECT_FALSE(DiscoverDcs(r7, bad).ok());
+}
+
+}  // namespace
+}  // namespace famtree

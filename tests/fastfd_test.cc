@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "deps/fd.h"
+#include "discovery/fastfd.h"
+#include "discovery/tane.h"
+
+namespace famtree {
+namespace {
+
+std::set<std::pair<uint64_t, int>> AsSet(const std::vector<DiscoveredFd>& v) {
+  std::set<std::pair<uint64_t, int>> out;
+  for (const auto& fd : v) out.insert({fd.lhs.mask(), fd.rhs});
+  return out;
+}
+
+class FastFdVsTaneTest : public testing::TestWithParam<int> {};
+
+TEST_P(FastFdVsTaneTest, SameMinimalCover) {
+  Rng rng(GetParam() + 500);
+  RelationBuilder b({"a", "b", "c", "d"});
+  for (int r = 0; r < 25; ++r) {
+    b.AddRow({Value(rng.Uniform(0, 2)), Value(rng.Uniform(0, 3)),
+              Value(rng.Uniform(0, 2)), Value(rng.Uniform(0, 2))});
+  }
+  Relation rel = std::move(b.Build()).value();
+  TaneOptions topt;
+  topt.max_lhs_size = 4;
+  auto tane = DiscoverFdsTane(rel, topt);
+  FastFdOptions fopt;
+  auto fast = DiscoverFdsFastFd(rel, fopt);
+  ASSERT_TRUE(tane.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(AsSet(*tane), AsSet(*fast)) << rel.ToPrettyString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FastFdVsTaneTest, testing::Range(0, 10));
+
+TEST(FastFdTest, AllResultsHoldAndAreMinimal) {
+  Rng rng(99);
+  RelationBuilder b({"a", "b", "c"});
+  for (int r = 0; r < 30; ++r) {
+    int a = static_cast<int>(rng.Uniform(0, 4));
+    b.AddRow({Value(a), Value(a % 2), Value(rng.Uniform(0, 2))});
+  }
+  Relation rel = std::move(b.Build()).value();
+  auto fds = DiscoverFdsFastFd(rel);
+  ASSERT_TRUE(fds.ok());
+  // a -> b is planted.
+  EXPECT_TRUE(AsSet(*fds).count({AttrSet::Single(0).mask(), 1}));
+  for (const DiscoveredFd& fd : *fds) {
+    EXPECT_TRUE(Fd(fd.lhs, AttrSet::Single(fd.rhs)).Holds(rel));
+    // Minimality: every proper subset of the LHS fails.
+    for (const AttrSet& sub : ProperNonEmptySubsets(fd.lhs)) {
+      EXPECT_FALSE(Fd(sub, AttrSet::Single(fd.rhs)).Holds(rel));
+    }
+  }
+}
+
+TEST(FastFdTest, ConstantColumn) {
+  RelationBuilder b({"k", "c"});
+  for (int i = 0; i < 4; ++i) b.AddRow({Value(i), Value(1)});
+  Relation rel = std::move(b.Build()).value();
+  auto fds = DiscoverFdsFastFd(rel);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_TRUE(AsSet(*fds).count({0, 1}));  // {} -> c
+}
+
+TEST(FastFdTest, NoFdWhenOnlyRhsDiffers) {
+  RelationBuilder b({"a", "b"});
+  b.AddRow({Value(1), Value(1)});
+  b.AddRow({Value(1), Value(2)});
+  Relation rel = std::move(b.Build()).value();
+  auto fds = DiscoverFdsFastFd(rel);
+  ASSERT_TRUE(fds.ok());
+  for (const DiscoveredFd& fd : *fds) {
+    EXPECT_NE(fd.rhs, 1);  // nothing determines b
+  }
+}
+
+TEST(FastFdTest, EmptyRelation) {
+  Relation rel{Schema::FromNames({"a", "b"})};
+  auto fds = DiscoverFdsFastFd(rel);
+  ASSERT_TRUE(fds.ok());
+  // Vacuously, both columns are constant.
+  EXPECT_EQ(AsSet(*fds).count({0, 0}), 1u);
+  EXPECT_EQ(AsSet(*fds).count({0, 1}), 1u);
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "deps/fd.h"
+#include "gen/paper_tables.h"
+
+namespace famtree {
+namespace {
+
+using paper::R1Attrs;
+
+/// fd1: address -> region over Table 1 (Section 1.1).
+Fd Fd1() {
+  return Fd(AttrSet::Single(R1Attrs::kAddress),
+            AttrSet::Single(R1Attrs::kRegion));
+}
+
+TEST(FdTest, ToStringUsesSchemaNames) {
+  Relation r1 = paper::R1();
+  EXPECT_EQ(Fd1().ToString(&r1.schema()), "address -> region");
+  EXPECT_EQ(Fd1().ToString(), "#1 -> #2");
+}
+
+TEST(FdTest, Fd1DetectsTheTrueViolationT3T4) {
+  Relation r1 = paper::R1();
+  auto report = Fd1().Validate(r1, 64);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->holds);
+  // (t3, t4): same address "#3, West Lake Rd.", regions Boston vs
+  // Chicago, MA — rows 2 and 3 (0-based).
+  bool found_t3_t4 = false;
+  for (const Violation& v : report->violations) {
+    if (v.rows == std::vector<int>{2, 3}) found_t3_t4 = true;
+  }
+  EXPECT_TRUE(found_t3_t4);
+}
+
+TEST(FdTest, Fd1FlagsTheFormatVariationT5T6AsAFalsePositive) {
+  // Section 1.2: t5/t6 ("Chicago" vs "Chicago, IL") are NOT errors, yet
+  // fd1 reports them — the motivation for metric extensions.
+  Relation r1 = paper::R1();
+  auto report = Fd1().Validate(r1, 64);
+  ASSERT_TRUE(report.ok());
+  bool found_t5_t6 = false;
+  for (const Violation& v : report->violations) {
+    if (v.rows == std::vector<int>{4, 5}) found_t5_t6 = true;
+  }
+  EXPECT_TRUE(found_t5_t6);
+}
+
+TEST(FdTest, Fd1MissesTheSimilarAddressErrorT7T8) {
+  // Section 1.2: t7/t8 have *similar* addresses ("No.7," vs "#7,") and a
+  // true region error, but FD semantics require exact LHS equality.
+  Relation r1 = paper::R1();
+  auto report = Fd1().Validate(r1, 64);
+  ASSERT_TRUE(report.ok());
+  for (const Violation& v : report->violations) {
+    EXPECT_NE(v.rows, (std::vector<int>{6, 7}));
+  }
+}
+
+TEST(FdTest, HoldsOnCleanSubset) {
+  Relation r1 = paper::R1();
+  // Rows t1, t2 satisfy fd1.
+  Relation clean = r1.Select({0, 1});
+  EXPECT_TRUE(Fd1().Holds(clean));
+}
+
+TEST(FdTest, ViolationCountCountsPairsExactly) {
+  RelationBuilder b({"x", "y"});
+  b.AddRow({Value(1), Value(1)});
+  b.AddRow({Value(1), Value(2)});
+  b.AddRow({Value(1), Value(3)});
+  Relation r = std::move(b.Build()).value();
+  auto report = Fd(AttrSet::Single(0), AttrSet::Single(1)).Validate(r, 64);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->violation_count, 3);  // all C(3,2) pairs differ
+}
+
+TEST(FdTest, MultiAttributeSides) {
+  RelationBuilder b({"a", "b", "c", "d"});
+  b.AddRow({Value(1), Value(1), Value(5), Value(5)});
+  b.AddRow({Value(1), Value(1), Value(5), Value(5)});
+  b.AddRow({Value(1), Value(2), Value(9), Value(1)});
+  Relation r = std::move(b.Build()).value();
+  EXPECT_TRUE(Fd(AttrSet::Of({0, 1}), AttrSet::Of({2, 3})).Holds(r));
+  EXPECT_FALSE(Fd(AttrSet::Of({0}), AttrSet::Of({2})).Holds(r));
+}
+
+TEST(FdTest, RejectsOutOfSchemaAttributes) {
+  Relation r1 = paper::R1();
+  Fd bad(AttrSet::Single(17), AttrSet::Single(0));
+  EXPECT_FALSE(bad.Validate(r1, 8).ok());
+}
+
+TEST(FdTest, EmptyRelationHolds) {
+  Relation empty{Schema::FromNames({"a", "b"})};
+  EXPECT_TRUE(Fd(AttrSet::Single(0), AttrSet::Single(1)).Holds(empty));
+}
+
+TEST(FdTest, ViolationCapRespected) {
+  RelationBuilder b({"x", "y"});
+  for (int i = 0; i < 20; ++i) b.AddRow({Value(1), Value(i)});
+  Relation r = std::move(b.Build()).value();
+  auto report = Fd(AttrSet::Single(0), AttrSet::Single(1)).Validate(r, 5);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->violations.size(), 5u);
+  EXPECT_EQ(report->violation_count, 190);  // C(20,2)
+}
+
+}  // namespace
+}  // namespace famtree

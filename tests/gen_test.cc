@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "deps/fd.h"
+#include "deps/od.h"
+#include "gen/generators.h"
+
+namespace famtree {
+namespace {
+
+TEST(CategoricalGeneratorTest, PlantedFdsHoldWhenClean) {
+  CategoricalConfig config;
+  config.num_rows = 400;
+  config.chain_length = 4;
+  config.error_rate = 0.0;
+  config.seed = 1;
+  GeneratedData data = GenerateCategorical(config);
+  EXPECT_TRUE(data.errors.empty());
+  for (int i = 1; i < config.chain_length; ++i) {
+    EXPECT_TRUE(Fd(AttrSet::Single(i - 1), AttrSet::Single(i))
+                    .Holds(data.relation))
+        << "chain link " << i;
+  }
+}
+
+TEST(CategoricalGeneratorTest, ErrorsBreakTheFds) {
+  CategoricalConfig config;
+  config.num_rows = 400;
+  config.error_rate = 0.1;
+  config.seed = 2;
+  GeneratedData data = GenerateCategorical(config);
+  EXPECT_FALSE(data.errors.empty());
+  // Every planted error is recorded with its original value.
+  for (const PlantedError& e : data.errors) {
+    EXPECT_NE(data.relation.Get(e.row, e.col), e.original);
+  }
+}
+
+TEST(CategoricalGeneratorTest, ZipfSkewsHeadValues) {
+  CategoricalConfig uniform;
+  uniform.num_rows = 2000;
+  uniform.head_domain = 100;
+  uniform.seed = 3;
+  CategoricalConfig zipf = uniform;
+  zipf.zipf_theta = 1.2;
+  auto count_top = [](const Relation& r) {
+    auto groups = r.GroupBy(AttrSet::Single(0));
+    size_t biggest = 0;
+    for (const auto& g : groups) biggest = std::max(biggest, g.size());
+    return biggest;
+  };
+  EXPECT_GT(count_top(GenerateCategorical(zipf).relation),
+            count_top(GenerateCategorical(uniform).relation) * 3);
+}
+
+TEST(HeterogeneousGeneratorTest, EntityIdsCoverEveryRow) {
+  HeterogeneousConfig config;
+  config.num_entities = 30;
+  config.seed = 4;
+  GeneratedData data = GenerateHeterogeneous(config);
+  EXPECT_EQ(static_cast<int>(data.entity_ids.size()),
+            data.relation.num_rows());
+  for (int id : data.entity_ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, config.num_entities);
+  }
+}
+
+TEST(HeterogeneousGeneratorTest, VariationChangesRenderings) {
+  HeterogeneousConfig config;
+  config.num_entities = 50;
+  config.max_duplicates = 3;
+  config.variation_rate = 1.0;
+  config.typo_rate = 0.0;
+  config.seed = 5;
+  GeneratedData data = GenerateHeterogeneous(config);
+  // Some duplicate pair of the same entity must differ in rendering.
+  bool differs = false;
+  for (int i = 0; i + 1 < data.relation.num_rows() && !differs; ++i) {
+    for (int j = i + 1; j < data.relation.num_rows(); ++j) {
+      if (data.entity_ids[i] == data.entity_ids[j] &&
+          !data.relation.AgreeOn(i, j, AttrSet::Of({1, 2, 3}))) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(NumericalGeneratorTest, CleanDataSatisfiesTheOds) {
+  NumericalConfig config;
+  config.num_rows = 300;
+  config.noise_stddev = 0.5;
+  config.seed = 6;
+  GeneratedData data = GenerateNumerical(config);
+  // nights up -> avg/night down (od1's shape).
+  EXPECT_TRUE(Od({MarkedAttr{0, OrderMark::kLt}},
+                 {MarkedAttr{1, OrderMark::kGeq}})
+                  .Holds(data.relation));
+}
+
+TEST(NumericalGeneratorTest, OutliersAreRecorded) {
+  NumericalConfig config;
+  config.num_rows = 300;
+  config.outlier_rate = 0.05;
+  config.seed = 7;
+  GeneratedData data = GenerateNumerical(config);
+  EXPECT_FALSE(data.errors.empty());
+  EXPECT_FALSE(Od({MarkedAttr{0, OrderMark::kLt}},
+                  {MarkedAttr{1, OrderMark::kGeq}})
+                   .Holds(data.relation));
+}
+
+TEST(HotelGeneratorTest, AddressDeterminesRegionUpToVariation) {
+  HotelConfig config;
+  config.num_hotels = 50;
+  config.variation_rate = 0.0;
+  config.error_rate = 0.0;
+  config.seed = 8;
+  GeneratedData data = GenerateHotels(config);
+  EXPECT_TRUE(
+      Fd(AttrSet::Single(1), AttrSet::Single(2)).Holds(data.relation));
+  config.variation_rate = 0.9;
+  config.seed = 9;
+  GeneratedData varied = GenerateHotels(config);
+  EXPECT_FALSE(
+      Fd(AttrSet::Single(1), AttrSet::Single(2)).Holds(varied.relation));
+}
+
+TEST(HotelGeneratorTest, DeterministicForSeed) {
+  HotelConfig config;
+  config.seed = 10;
+  GeneratedData a = GenerateHotels(config);
+  GeneratedData b = GenerateHotels(config);
+  ASSERT_EQ(a.relation.num_rows(), b.relation.num_rows());
+  for (int i = 0; i < a.relation.num_rows(); ++i) {
+    for (int c = 0; c < a.relation.num_columns(); ++c) {
+      EXPECT_EQ(a.relation.Get(i, c), b.relation.Get(i, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "graph/label_graph.h"
+
+namespace famtree {
+namespace {
+
+/// The Section 5.2 workflow story: event vertices whose labels must form
+/// allowed process steps across edges.
+LabelGraph Workflow() {
+  LabelGraph g;
+  g.AddVertex("order");    // 0
+  g.AddVertex("pay");      // 1
+  g.AddVertex("ship");     // 2
+  g.AddVertex("refund");   // 3 — misplaced next to 'order'
+  g.AddEdge(0, 1).ok();
+  g.AddEdge(1, 2).ok();
+  g.AddEdge(0, 3).ok();
+  return g;
+}
+
+NeighborhoodConstraint WorkflowConstraint() {
+  NeighborhoodConstraint nc;
+  nc.Allow("order", "pay");
+  nc.Allow("pay", "ship");
+  nc.Allow("pay", "refund");
+  return nc;
+}
+
+TEST(LabelGraphTest, EdgeValidation) {
+  LabelGraph g;
+  int a = g.AddVertex("x");
+  int b = g.AddVertex("y");
+  EXPECT_TRUE(g.AddEdge(a, b).ok());
+  EXPECT_FALSE(g.AddEdge(a, a).ok());
+  EXPECT_FALSE(g.AddEdge(a, 9).ok());
+  EXPECT_FALSE(g.AddEdge(a, b).ok());  // duplicate
+  EXPECT_EQ(g.neighbors(a), (std::vector<int>{b}));
+}
+
+TEST(NeighborhoodConstraintTest, SymmetricAllowance) {
+  NeighborhoodConstraint nc;
+  nc.Allow("a", "b");
+  EXPECT_TRUE(nc.Allowed("a", "b"));
+  EXPECT_TRUE(nc.Allowed("b", "a"));
+  EXPECT_FALSE(nc.Allowed("a", "a"));
+}
+
+TEST(NeighborhoodConstraintTest, DetectsTheMisplacedEvent) {
+  LabelGraph g = Workflow();
+  auto violations = WorkflowConstraint().Violations(g);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0], (std::pair<int, int>{0, 3}));
+}
+
+TEST(GraphRepairTest, RelabelsTheMisplacedVertex) {
+  LabelGraph g = Workflow();
+  auto result = RepairLabels(g, WorkflowConstraint(),
+                             {"order", "pay", "ship", "refund"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->remaining_violations, 0);
+  ASSERT_EQ(result->changes.size(), 1u);
+  EXPECT_EQ(result->changes[0].vertex, 3);
+  // 'refund' next to 'order' relabels to 'pay' (the only allowed
+  // neighbor of 'order').
+  EXPECT_EQ(result->changes[0].new_label, "pay");
+}
+
+TEST(GraphRepairTest, ConsistentGraphUntouched) {
+  LabelGraph g;
+  g.AddVertex("order");
+  g.AddVertex("pay");
+  g.AddEdge(0, 1).ok();
+  auto result =
+      RepairLabels(g, WorkflowConstraint(), {"order", "pay", "ship"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->changes.empty());
+  EXPECT_EQ(result->remaining_violations, 0);
+}
+
+TEST(GraphRepairTest, StopsAtFixpointWhenUnrepairable) {
+  LabelGraph g;
+  g.AddVertex("a");
+  g.AddVertex("b");
+  g.AddEdge(0, 1).ok();
+  NeighborhoodConstraint nc;  // nothing allowed
+  auto result = RepairLabels(g, nc, {"a", "b"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->remaining_violations, 1);
+}
+
+TEST(GraphRepairTest, HubErrorRepairedOnce) {
+  // One wrong hub label violating against many clean neighbors.
+  LabelGraph g;
+  int hub = g.AddVertex("refund");
+  for (int i = 0; i < 6; ++i) {
+    int v = g.AddVertex("order");
+    g.AddEdge(hub, v).ok();
+  }
+  NeighborhoodConstraint nc;
+  nc.Allow("order", "pay");
+  auto result = RepairLabels(g, nc, {"order", "pay", "refund"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->remaining_violations, 0);
+  EXPECT_EQ(result->changes.size(), 1u);
+  EXPECT_EQ(result->changes[0].vertex, hub);
+}
+
+TEST(GraphRepairTest, RejectsEmptyAlphabet) {
+  LabelGraph g = Workflow();
+  EXPECT_FALSE(RepairLabels(g, WorkflowConstraint(), {}).ok());
+}
+
+}  // namespace
+}  // namespace famtree

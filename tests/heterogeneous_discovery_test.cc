@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "discovery/dd_discovery.h"
+#include "discovery/md_discovery.h"
+#include "discovery/ned_discovery.h"
+#include "gen/generators.h"
+#include "gen/paper_tables.h"
+#include "metric/metric.h"
+
+namespace famtree {
+namespace {
+
+// ---------------------------------------------------------- DD discovery
+
+TEST(DdDiscoveryTest, ThresholdsComeFromQuantiles) {
+  Relation r6 = paper::R6();
+  auto ths = DetermineThresholds(r6, paper::R6Attrs::kPrice,
+                                 {0.1, 0.5, 0.9});
+  ASSERT_FALSE(ths.empty());
+  for (size_t i = 1; i < ths.size(); ++i) EXPECT_GE(ths[i], ths[i - 1]);
+  for (double t : ths) EXPECT_GE(t, 0.0);
+}
+
+TEST(DdDiscoveryTest, DiscoveredDdsHoldAndHaveSupport) {
+  HeterogeneousConfig config;
+  config.num_entities = 40;
+  config.seed = 5;
+  GeneratedData data = GenerateHeterogeneous(config);
+  DdDiscoveryOptions options;
+  options.min_support = 3;
+  options.max_lhs_attrs = 1;
+  auto dds = DiscoverDds(data.relation, options);
+  ASSERT_TRUE(dds.ok());
+  for (const DiscoveredDd& d : *dds) {
+    EXPECT_TRUE(d.dd.Holds(data.relation))
+        << d.dd.ToString(&data.relation.schema());
+    EXPECT_GE(d.support, options.min_support);
+  }
+}
+
+TEST(DdDiscoveryTest, FindsZipFromCityRule) {
+  // Duplicated entities: tuples with identical city strings share zips
+  // far more tightly than the global zip spread.
+  HeterogeneousConfig config;
+  config.num_entities = 30;
+  config.max_duplicates = 3;
+  config.variation_rate = 0.0;  // identical renders
+  config.typo_rate = 0.0;
+  config.seed = 9;
+  GeneratedData data = GenerateHeterogeneous(config);
+  DdDiscoveryOptions options;
+  // Duplicate pairs are ~2% of all pairs; the low quantile lands the
+  // street threshold at 0 (exact duplicate renders).
+  options.threshold_quantiles = {0.01};
+  options.min_support = 2;
+  options.max_lhs_attrs = 1;
+  auto dds = DiscoverDds(data.relation, options);
+  ASSERT_TRUE(dds.ok());
+  bool street_to_zip = false;
+  for (const DiscoveredDd& d : *dds) {
+    if (d.dd.lhs()[0].attr == 2 && d.dd.rhs()[0].attr == 4 &&
+        d.dd.rhs()[0].range.max == 0.0) {
+      street_to_zip = true;  // similar street -> identical zip
+    }
+  }
+  EXPECT_TRUE(street_to_zip);
+}
+
+TEST(DdDiscoveryTest, RejectsHugeInputs) {
+  RelationBuilder b({"a"});
+  for (int i = 0; i < 3001; ++i) b.AddRow({Value(i)});
+  Relation r = std::move(b.Build()).value();
+  EXPECT_FALSE(DiscoverDds(r, {}).ok());
+}
+
+// ---------------------------------------------------------- MD discovery
+
+TEST(MdDiscoveryTest, FindsMatchingRuleOnDuplicates) {
+  HeterogeneousConfig config;
+  config.num_entities = 30;
+  config.max_duplicates = 3;
+  config.variation_rate = 0.0;
+  config.typo_rate = 0.0;
+  config.seed = 13;
+  GeneratedData data = GenerateHeterogeneous(config);
+  // RHS: zip. Exact duplicates share name/street/city, so e.g. name~0
+  // identifies zip.
+  MdDiscoveryOptions options;
+  options.min_support = 0.0005;
+  options.min_confidence = 0.95;
+  options.max_lhs_attrs = 1;
+  auto mds = DiscoverMds(data.relation, AttrSet::Single(4), options);
+  ASSERT_TRUE(mds.ok());
+  EXPECT_FALSE(mds->empty());
+  for (const DiscoveredMd& m : *mds) {
+    EXPECT_GE(m.confidence, options.min_confidence);
+    EXPECT_GE(m.support, options.min_support);
+  }
+}
+
+TEST(MdDiscoveryTest, RedundantLooserRulesPruned) {
+  HeterogeneousConfig config;
+  config.num_entities = 25;
+  config.variation_rate = 0.0;
+  config.typo_rate = 0.0;
+  config.seed = 17;
+  GeneratedData data = GenerateHeterogeneous(config);
+  MdDiscoveryOptions options;
+  options.min_support = 0.0005;
+  options.min_confidence = 0.9;
+  options.string_thresholds = {0, 1};
+  options.max_lhs_attrs = 2;
+  auto mds = DiscoverMds(data.relation, AttrSet::Single(4), options);
+  ASSERT_TRUE(mds.ok());
+  // If name~0 -> zip was reported, then (name~0, street~0) -> zip is
+  // redundant and must not be.
+  bool single_name = false;
+  for (const DiscoveredMd& m : *mds) {
+    if (m.md.lhs().size() == 1 && m.md.lhs()[0].attr == 1 &&
+        m.md.lhs()[0].threshold == 0) {
+      single_name = true;
+    }
+  }
+  if (single_name) {
+    for (const DiscoveredMd& m : *mds) {
+      if (m.md.lhs().size() == 2) {
+        bool has_name0 = false;
+        for (const auto& p : m.md.lhs()) {
+          if (p.attr == 1 && p.threshold >= 0) has_name0 = true;
+        }
+        EXPECT_FALSE(has_name0) << "redundant MD kept";
+      }
+    }
+  }
+}
+
+TEST(MdDiscoveryTest, RejectsBadRhs) {
+  Relation r6 = paper::R6();
+  EXPECT_FALSE(DiscoverMds(r6, AttrSet(), {}).ok());
+  EXPECT_FALSE(DiscoverMds(r6, AttrSet::Single(40), {}).ok());
+}
+
+// --------------------------------------------------------- NED discovery
+
+TEST(NedDiscoveryTest, FindsLhsForTargetPredicate) {
+  HeterogeneousConfig config;
+  config.num_entities = 25;
+  config.variation_rate = 0.0;
+  config.typo_rate = 0.0;
+  config.seed = 21;
+  GeneratedData data = GenerateHeterogeneous(config);
+  // Target: zip within 0.
+  Ned::Predicate target{4, GetAbsDiffMetric(), 0.0};
+  NedDiscoveryOptions options;
+  options.thresholds = {0};
+  options.min_support = 2;
+  options.min_confidence = 0.95;
+  options.max_lhs_attrs = 1;
+  auto neds = DiscoverNeds(data.relation, target, options);
+  ASSERT_TRUE(neds.ok());
+  EXPECT_FALSE(neds->empty());
+  for (const DiscoveredNed& n : *neds) {
+    EXPECT_GE(n.confidence, 0.95);
+  }
+}
+
+TEST(NedDiscoveryTest, RejectsInvalidTarget) {
+  Relation r6 = paper::R6();
+  EXPECT_FALSE(
+      DiscoverNeds(r6, Ned::Predicate{99, GetAbsDiffMetric(), 1.0}, {}).ok());
+  EXPECT_FALSE(DiscoverNeds(r6, Ned::Predicate{0, nullptr, 1.0}, {}).ok());
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metric/metric.h"
+#include "reasoning/implication.h"
+
+namespace famtree {
+namespace {
+
+DcPredicate Eq(int attr) {
+  return DcPredicate{DcOperand::TupleA(attr), CmpOp::kEq,
+                     DcOperand::TupleB(attr)};
+}
+DcPredicate Neq(int attr) {
+  return DcPredicate{DcOperand::TupleA(attr), CmpOp::kNeq,
+                     DcOperand::TupleB(attr)};
+}
+
+TEST(DcImplicationTest, SubConjunctionImplies) {
+  Dc small({Eq(0), Neq(1)});
+  Dc big({Eq(0), Neq(1), Eq(2)});
+  EXPECT_TRUE(DcImplies(small, big));
+  EXPECT_FALSE(DcImplies(big, small));
+  EXPECT_TRUE(DcImplies(small, small));
+}
+
+TEST(DcImplicationTest, DifferentPredicatesDoNotImply) {
+  Dc a({Eq(0)});
+  Dc b({Eq(1)});
+  EXPECT_FALSE(DcImplies(a, b));
+  EXPECT_FALSE(DcImplies(b, a));
+}
+
+TEST(DcImplicationTest, SoundOnInstances) {
+  // If a holds and a implies b, then b holds.
+  Rng rng(5);
+  Dc a({Eq(0), Neq(1)});
+  Dc b({Eq(0), Neq(1), Eq(2)});
+  ASSERT_TRUE(DcImplies(a, b));
+  for (int t = 0; t < 30; ++t) {
+    RelationBuilder builder({"x", "y", "z"});
+    for (int r = 0; r < 10; ++r) {
+      builder.AddRow({Value(rng.Uniform(0, 2)), Value(rng.Uniform(0, 2)),
+                      Value(rng.Uniform(0, 2))});
+    }
+    Relation rel = std::move(builder.Build()).value();
+    if (a.Holds(rel)) {
+      EXPECT_TRUE(b.Holds(rel));
+    }
+  }
+}
+
+TEST(MinimizeDcsTest, KeepsStrongest) {
+  Dc small({Eq(0), Neq(1)});
+  Dc big({Eq(0), Neq(1), Eq(2)});
+  auto minimal = MinimizeDcs({big, small});
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0].predicates().size(), 2u);
+}
+
+TEST(MinimizeDcsTest, DuplicatesCollapse) {
+  Dc a({Eq(0)});
+  Dc b({Eq(0)});
+  EXPECT_EQ(MinimizeDcs({a, b}).size(), 1u);
+}
+
+TEST(DdImplicationTest, LooserLhsTighterRhsImplies) {
+  MetricPtr edit = GetEditDistanceMetric();
+  Dd strong({DifferentialFunction(0, edit, DistRange::AtMost(5))},
+            {DifferentialFunction(1, edit, DistRange::AtMost(1))});
+  Dd weak({DifferentialFunction(0, edit, DistRange::AtMost(2))},
+          {DifferentialFunction(1, edit, DistRange::AtMost(3))});
+  EXPECT_TRUE(DdImplies(strong, weak));
+  EXPECT_FALSE(DdImplies(weak, strong));
+}
+
+TEST(DdImplicationTest, DissimilarRangesRespected) {
+  MetricPtr edit = GetEditDistanceMetric();
+  Dd a({DifferentialFunction(0, edit, DistRange::AtLeast(5))},
+       {DifferentialFunction(1, edit, DistRange::AtLeast(3))});
+  Dd b({DifferentialFunction(0, edit, DistRange::AtLeast(8))},
+       {DifferentialFunction(1, edit, DistRange::AtLeast(2))});
+  // b's LHS [8, inf) inside a's [5, inf); b's RHS [2, inf) contains a's
+  // [3, inf): a implies b.
+  EXPECT_TRUE(DdImplies(a, b));
+  EXPECT_FALSE(DdImplies(b, a));
+}
+
+TEST(DdImplicationTest, SoundOnInstances) {
+  Rng rng(9);
+  MetricPtr num = GetAbsDiffMetric();
+  Dd a({DifferentialFunction(0, num, DistRange::AtMost(5))},
+       {DifferentialFunction(1, num, DistRange::AtMost(2))});
+  Dd b({DifferentialFunction(0, num, DistRange::AtMost(3))},
+       {DifferentialFunction(1, num, DistRange::AtMost(4))});
+  ASSERT_TRUE(DdImplies(a, b));
+  for (int t = 0; t < 30; ++t) {
+    RelationBuilder builder({"x", "y"});
+    for (int r = 0; r < 8; ++r) {
+      builder.AddRow({Value(rng.Uniform(0, 10)), Value(rng.Uniform(0, 10))});
+    }
+    Relation rel = std::move(builder.Build()).value();
+    if (a.Holds(rel)) {
+      EXPECT_TRUE(b.Holds(rel));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "metric/metric.h"
+#include "quality/impute.h"
+
+namespace famtree {
+namespace {
+
+TEST(ImputeTest, FillsNumericTargetWithNeighborMean) {
+  RelationBuilder b({"street", "price"});
+  b.AddRow({Value("main st"), Value(100)});
+  b.AddRow({Value("main st"), Value(110)});
+  b.AddRow({Value("main st"), Value::Null()});
+  b.AddRow({Value("far away road"), Value(900)});
+  Relation r = std::move(b.Build()).value();
+  Ned rule({Ned::Predicate{0, GetEditDistanceMetric(), 2.0}},
+           {Ned::Predicate{1, GetAbsDiffMetric(), 50.0}});
+  auto result = ImputeWithNed(r, rule);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->filled, 1);
+  EXPECT_EQ(result->unfilled, 0);
+  EXPECT_EQ(result->imputed.Get(2, 1), Value(105.0));
+}
+
+TEST(ImputeTest, FillsCategoricalTargetWithPlurality) {
+  RelationBuilder b({"addr", "region"});
+  b.AddRow({Value("a1"), Value("Boston")});
+  b.AddRow({Value("a1"), Value("Boston")});
+  b.AddRow({Value("a2"), Value("NYC")});
+  b.AddRow({Value("a1"), Value::Null()});
+  Relation r = std::move(b.Build()).value();
+  Ned rule({Ned::Predicate{0, GetEditDistanceMetric(), 0.0}},
+           {Ned::Predicate{1, GetEditDistanceMetric(), 0.0}});
+  auto result = ImputeWithNed(r, rule);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->filled, 1);
+  EXPECT_EQ(result->imputed.Get(3, 1), Value("Boston"));
+}
+
+TEST(ImputeTest, NoNeighborLeavesCellNull) {
+  RelationBuilder b({"addr", "region"});
+  b.AddRow({Value("isolated"), Value::Null()});
+  b.AddRow({Value("different"), Value("X")});
+  Relation r = std::move(b.Build()).value();
+  Ned rule({Ned::Predicate{0, GetEditDistanceMetric(), 1.0}},
+           {Ned::Predicate{1, GetEditDistanceMetric(), 0.0}});
+  auto result = ImputeWithNed(r, rule);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->filled, 0);
+  EXPECT_EQ(result->unfilled, 1);
+  EXPECT_TRUE(result->imputed.Get(0, 1).is_null());
+}
+
+TEST(ImputeTest, NullNeighborsAreNotUsed) {
+  RelationBuilder b({"addr", "region"});
+  b.AddRow({Value("a"), Value::Null()});
+  b.AddRow({Value("a"), Value::Null()});
+  b.AddRow({Value("a"), Value("Boston")});
+  Relation r = std::move(b.Build()).value();
+  Ned rule({Ned::Predicate{0, GetEditDistanceMetric(), 0.0}},
+           {Ned::Predicate{1, GetEditDistanceMetric(), 0.0}});
+  auto result = ImputeWithNed(r, rule);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->filled, 2);
+  EXPECT_EQ(result->imputed.Get(0, 1), Value("Boston"));
+  EXPECT_EQ(result->imputed.Get(1, 1), Value("Boston"));
+}
+
+TEST(ImputeTest, RejectsMultiTargetRule) {
+  Relation r{Schema::FromNames({"a", "b", "c"})};
+  Ned rule({Ned::Predicate{0, GetEditDistanceMetric(), 0.0}},
+           {Ned::Predicate{1, GetEditDistanceMetric(), 0.0},
+            Ned::Predicate{2, GetEditDistanceMetric(), 0.0}});
+  EXPECT_FALSE(ImputeWithNed(r, rule).ok());
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,170 @@
+// Cross-module integration: discovery feeding validation, repair feeding
+// re-discovery, matching feeding repair — the loops a data steward would
+// actually run.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "discovery/cfd_discovery.h"
+#include "discovery/fastdc.h"
+#include "discovery/md_discovery.h"
+#include "discovery/tane.h"
+#include "gen/generators.h"
+#include "metric/metric.h"
+#include "quality/dedup.h"
+#include "quality/detector.h"
+#include "quality/repair.h"
+#include "reasoning/closure.h"
+
+namespace famtree {
+namespace {
+
+TEST(IntegrationTest, DiscoverAfdsRepairRediscoverExact) {
+  // Dirty chain data: the planted FDs only hold approximately. Discover
+  // AFDs, promote them to hard FDs, repair, and verify the exact FDs now
+  // hold and are rediscovered.
+  CategoricalConfig config;
+  config.num_rows = 400;
+  config.chain_length = 3;
+  config.noise_attrs = 0;
+  config.head_domain = 30;
+  config.error_rate = 0.04;
+  config.seed = 21;
+  GeneratedData data = GenerateCategorical(config);
+
+  TaneOptions exact;
+  exact.max_lhs_size = 1;
+  auto before = DiscoverFdsTane(data.relation, exact).value();
+  // The chain links are broken by the planted errors.
+  auto has_link = [](const std::vector<DiscoveredFd>& fds) {
+    for (const DiscoveredFd& fd : fds) {
+      if (fd.lhs == AttrSet::Single(0) && fd.rhs == 1) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(has_link(before));
+
+  TaneOptions approx = exact;
+  approx.max_error = 0.1;
+  auto afds = DiscoverFdsTane(data.relation, approx).value();
+  ASSERT_TRUE(has_link(afds));
+
+  std::vector<Fd> rules;
+  for (const DiscoveredFd& fd : afds) {
+    if (!fd.lhs.empty()) rules.push_back(Fd(fd.lhs, AttrSet::Single(fd.rhs)));
+  }
+  auto repaired = RepairWithFds(data.relation, rules).value();
+  EXPECT_EQ(repaired.remaining_violations, 0);
+
+  auto after = DiscoverFdsTane(repaired.repaired, exact).value();
+  EXPECT_TRUE(has_link(after));
+}
+
+TEST(IntegrationTest, FastDcFeedsDcRepair) {
+  // Discover DCs on clean numerical data, then repair a corrupted copy
+  // with them.
+  NumericalConfig config;
+  config.num_rows = 120;
+  config.seed = 23;
+  Relation clean = GenerateNumerical(config).relation;
+  FastDcOptions options;
+  options.max_predicates = 2;
+  auto dcs = DiscoverDcs(clean, options).value();
+  ASSERT_FALSE(dcs.empty());
+
+  Relation dirty = clean;
+  dirty.Set(10, 1, Value(10000.0));  // rate surge breaks the order DCs
+  std::vector<Dc> rules;
+  for (const DiscoveredDc& d : dcs) rules.push_back(d.dc);
+  int violated_before = 0;
+  for (const Dc& dc : rules) {
+    if (!dc.Holds(dirty)) ++violated_before;
+  }
+  EXPECT_GT(violated_before, 0);
+  auto repaired = RepairWithDcs(dirty, rules, /*max_changes=*/200).value();
+  int violated_after = 0;
+  for (const Dc& dc : rules) {
+    if (!dc.Holds(repaired.repaired)) ++violated_after;
+  }
+  EXPECT_LT(violated_after, violated_before);
+}
+
+TEST(IntegrationTest, DiscoveredMdsDriveDedup) {
+  HeterogeneousConfig config;
+  config.num_entities = 30;
+  config.max_duplicates = 3;
+  config.variation_rate = 0.0;
+  config.typo_rate = 0.0;
+  config.seed = 25;
+  GeneratedData data = GenerateHeterogeneous(config);
+  MdDiscoveryOptions options;
+  options.min_support = 0.0005;
+  options.min_confidence = 0.98;
+  options.max_lhs_attrs = 2;
+  options.string_thresholds = {0};
+  auto mds = DiscoverMds(data.relation, AttrSet::Single(4), options).value();
+  ASSERT_FALSE(mds.empty());
+  std::vector<Md> rules;
+  for (const DiscoveredMd& m : mds) rules.push_back(m.md);
+  auto match = MdMatcher(rules).Match(data.relation).value();
+  ClusterScore score = ScoreClusters(match.cluster_ids, data.entity_ids);
+  EXPECT_GT(score.pairwise_recall, 0.9);
+  EXPECT_GT(score.pairwise_precision, 0.9);
+}
+
+TEST(IntegrationTest, DiscoveredFdsAreConsistentUnderReasoning) {
+  // The minimal cover of TANE's output implies every discovered FD, and
+  // every cover FD holds on the data.
+  CategoricalConfig config;
+  config.num_rows = 300;
+  config.chain_length = 4;
+  config.seed = 27;
+  GeneratedData data = GenerateCategorical(config);
+  TaneOptions options;
+  options.max_lhs_size = 2;
+  auto discovered = DiscoverFdsTane(data.relation, options).value();
+  std::vector<Fd> fds;
+  for (const DiscoveredFd& d : discovered) {
+    if (!d.lhs.empty()) fds.push_back(Fd(d.lhs, AttrSet::Single(d.rhs)));
+  }
+  auto cover = MinimalCover(fds);
+  EXPECT_LE(cover.size(), fds.size());
+  for (const Fd& fd : fds) EXPECT_TRUE(Implies(cover, fd));
+  for (const Fd& fd : cover) {
+    EXPECT_TRUE(fd.Holds(data.relation)) << fd.ToString();
+  }
+}
+
+TEST(IntegrationTest, CfdTableauDetectsWithHighPrecision) {
+  // Build a greedy tableau on clean data, then detect on a dirtied copy:
+  // flagged rows should concentrate on the corrupted cells.
+  CategoricalConfig config;
+  config.num_rows = 400;
+  config.chain_length = 3;
+  config.head_domain = 20;
+  config.seed = 29;
+  GeneratedData clean = GenerateCategorical(config);
+  auto tableau =
+      BuildGreedyTableau(clean.relation, AttrSet::Of({0, 1}), 2, 0, {})
+          .value();
+  ASSERT_FALSE(tableau.empty());
+
+  Relation dirty = clean.relation;
+  std::vector<PlantedError> errors;
+  for (int r = 0; r < dirty.num_rows(); r += 40) {
+    errors.push_back(PlantedError{r, 2, dirty.Get(r, 2)});
+    dirty.Set(r, 2, Value("corrupted"));
+  }
+  std::vector<DependencyPtr> rules;
+  for (const DiscoveredCfd& d : tableau) {
+    rules.push_back(std::make_shared<Cfd>(d.cfd));
+  }
+  auto summary = ViolationDetector(rules).Detect(dirty, 100000).value();
+  PrecisionRecall pr = ScoreDetection(summary, errors);
+  EXPECT_GT(pr.recall, 0.5);   // tableau covers most of the table
+  EXPECT_GT(pr.precision, 0.3);
+}
+
+}  // namespace
+}  // namespace famtree

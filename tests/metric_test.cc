@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "metric/fuzzy.h"
+#include "metric/metric.h"
+
+namespace famtree {
+namespace {
+
+TEST(LevenshteinTest, KnownValues) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("", "ab"), 2);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0);
+  EXPECT_EQ(LevenshteinDistance("abc", "abd"), 1);
+}
+
+TEST(LevenshteinTest, PaperSection32Values) {
+  // Section 3.2.1: theta_name(t2, t6) = 0, theta_address = 1,
+  // theta_street(t2, t6) = 3 on Table 6 values.
+  EXPECT_EQ(LevenshteinDistance("NC", "NC"), 0);
+  EXPECT_EQ(LevenshteinDistance("#2 Ave, 12th St.", "#2 Aven, 12th St."), 1);
+  // The paper quotes street distance 3 for this pair; plain Levenshtein
+  // gives 1 ('.' -> 'r'), which still satisfies the <= 5 bound of ned1.
+  // EXPERIMENTS.md records the discrepancy.
+  EXPECT_EQ(LevenshteinDistance("12th St.", "12th Str"), 1);
+}
+
+TEST(EditDistanceMetricTest, StringifiesValues) {
+  EditDistanceMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance(Value("abc"), Value("abd")), 1.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Value(12), Value(13)), 1.0);  // "12" vs "13"
+}
+
+TEST(AbsDiffMetricTest, NumericAndFallback) {
+  AbsDiffMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance(Value(299), Value(300)), 1.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Value(2.5), Value(2)), 0.5);
+  EXPECT_DOUBLE_EQ(m.Distance(Value("a"), Value("a")), 0.0);
+  EXPECT_TRUE(std::isinf(m.Distance(Value("a"), Value("b"))));
+}
+
+TEST(DiscreteMetricTest, ZeroOne) {
+  DiscreteMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance(Value("a"), Value("a")), 0.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Value("a"), Value("b")), 1.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Value(1), Value(1.0)), 0.0);
+}
+
+TEST(MetricTest, NullSemantics) {
+  for (const MetricPtr& m :
+       {GetEditDistanceMetric(), GetAbsDiffMetric(), GetDiscreteMetric()}) {
+    EXPECT_DOUBLE_EQ(m->Distance(Value::Null(), Value::Null()), 0.0)
+        << m->name();
+    EXPECT_GT(m->Distance(Value::Null(), Value("x")), 0.0) << m->name();
+  }
+}
+
+TEST(JaccardTest, IdenticalAndDisjoint) {
+  JaccardQGramMetric m(2);
+  EXPECT_DOUBLE_EQ(m.Distance(Value("hello"), Value("hello")), 0.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Value("ab"), Value("cd")), 1.0);
+  double d = m.Distance(Value("hello world"), Value("hello there"));
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+TEST(JaccardTest, ShortStrings) {
+  JaccardQGramMetric m(3);
+  EXPECT_DOUBLE_EQ(m.Distance(Value("a"), Value("a")), 0.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Value("a"), Value("b")), 1.0);
+}
+
+TEST(DefaultMetricTest, PicksByType) {
+  EXPECT_EQ(DefaultMetricFor(ValueType::kInt)->name(), "absdiff");
+  EXPECT_EQ(DefaultMetricFor(ValueType::kDouble)->name(), "absdiff");
+  EXPECT_EQ(DefaultMetricFor(ValueType::kString)->name(), "edit");
+  EXPECT_EQ(DefaultMetricFor(ValueType::kNull)->name(), "discrete");
+}
+
+/// Metric axioms (Section 3.3.1): non-negativity, identity of
+/// indiscernibles, symmetry — property-tested over random values.
+class MetricAxiomTest : public testing::TestWithParam<int> {
+ protected:
+  Value RandomValue(Rng& rng) {
+    switch (rng.Uniform(0, 3)) {
+      case 0: return Value(rng.Uniform(-50, 50));
+      case 1: return Value(rng.NextDouble() * 100);
+      case 2: {
+        std::string s;
+        int len = static_cast<int>(rng.Uniform(0, 8));
+        for (int i = 0; i < len; ++i) {
+          s += static_cast<char>('a' + rng.Uniform(0, 5));
+        }
+        return Value(s);
+      }
+      default: return Value::Null();
+    }
+  }
+};
+
+TEST_P(MetricAxiomTest, AxiomsHold) {
+  Rng rng(GetParam());
+  std::vector<MetricPtr> metrics = {GetEditDistanceMetric(),
+                                    GetAbsDiffMetric(), GetDiscreteMetric(),
+                                    GetJaccardQGramMetric(2)};
+  for (int trial = 0; trial < 50; ++trial) {
+    Value a = RandomValue(rng), b = RandomValue(rng);
+    for (const MetricPtr& m : metrics) {
+      double dab = m->Distance(a, b);
+      double dba = m->Distance(b, a);
+      EXPECT_GE(dab, 0.0) << m->name();
+      EXPECT_EQ(dab, dba) << m->name();  // symmetry (incl. inf)
+      EXPECT_DOUBLE_EQ(m->Distance(a, a), 0.0) << m->name();
+      if (a == b) {
+        EXPECT_DOUBLE_EQ(dab, 0.0) << m->name();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricAxiomTest, testing::Range(0, 8));
+
+TEST(FuzzyTest, CrispResemblance) {
+  CrispResemblance r;
+  EXPECT_DOUBLE_EQ(r.Equal(Value("a"), Value("a")), 1.0);
+  EXPECT_DOUBLE_EQ(r.Equal(Value("a"), Value("b")), 0.0);
+}
+
+TEST(FuzzyTest, ReciprocalResemblanceMatchesPaperSection36) {
+  // mu(299, 300) with beta = 1 is 1/2; mu(29, 20) with beta = 10 is 1/91.
+  ReciprocalResemblance price(1.0);
+  EXPECT_DOUBLE_EQ(price.Equal(Value(299), Value(300)), 0.5);
+  ReciprocalResemblance tax(10.0);
+  EXPECT_DOUBLE_EQ(tax.Equal(Value(29), Value(20)), 1.0 / 91.0);
+}
+
+TEST(FuzzyTest, EditResemblance) {
+  EditResemblance r(4.0);
+  EXPECT_DOUBLE_EQ(r.Equal(Value("abc"), Value("abc")), 1.0);
+  EXPECT_DOUBLE_EQ(r.Equal(Value("abcd"), Value("abce")), 0.75);
+  EXPECT_DOUBLE_EQ(r.Equal(Value("aaaa"), Value("bbbbbbbb")), 0.0);
+}
+
+TEST(FuzzyTest, ResemblanceAxioms) {
+  Rng rng(11);
+  std::vector<ResemblancePtr> rs = {GetCrispResemblance(),
+                                    MakeReciprocalResemblance(2.0),
+                                    MakeEditResemblance(3.0)};
+  for (int t = 0; t < 50; ++t) {
+    Value a(static_cast<int>(rng.Uniform(0, 20)));
+    Value b(static_cast<int>(rng.Uniform(0, 20)));
+    for (const ResemblancePtr& r : rs) {
+      EXPECT_DOUBLE_EQ(r->Equal(a, a), 1.0) << r->name();  // reflexive
+      EXPECT_DOUBLE_EQ(r->Equal(a, b), r->Equal(b, a)) << r->name();
+      EXPECT_GE(r->Equal(a, b), 0.0);
+      EXPECT_LE(r->Equal(a, b), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "deps/cfd.h"
+#include "deps/dc.h"
+#include "deps/dd.h"
+#include "deps/fd.h"
+#include "deps/md.h"
+#include "deps/sfd.h"
+#include "metric/metric.h"
+#include "quality/monitor.h"
+
+namespace famtree {
+namespace {
+
+Schema HotelSchema() {
+  return Schema::FromNames({"name", "address", "region", "price"});
+}
+
+TEST(MonitorTest, FdFastPathCatchesConflict) {
+  auto fd = std::make_shared<Fd>(AttrSet::Single(1), AttrSet::Single(2));
+  StreamMonitor monitor(HotelSchema(), {fd});
+  auto a1 = monitor.Append({Value("H1"), Value("a1"), Value("Boston"),
+                            Value(100)});
+  ASSERT_TRUE(a1.ok());
+  EXPECT_TRUE(a1->clean());
+  auto a2 = monitor.Append({Value("H2"), Value("a2"), Value("NYC"),
+                            Value(200)});
+  ASSERT_TRUE(a2.ok());
+  EXPECT_TRUE(a2->clean());
+  auto a3 = monitor.Append({Value("H3"), Value("a1"), Value("Chicago"),
+                            Value(150)});
+  ASSERT_TRUE(a3.ok());
+  ASSERT_FALSE(a3->clean());
+  ASSERT_EQ(a3->findings.size(), 1u);
+  EXPECT_EQ(a3->findings[0].second[0].rows, (std::vector<int>{0, 2}));
+}
+
+TEST(MonitorTest, FdFastPathAllowsDuplicates) {
+  auto fd = std::make_shared<Fd>(AttrSet::Single(1), AttrSet::Single(2));
+  StreamMonitor monitor(HotelSchema(), {fd});
+  monitor.Append({Value("H1"), Value("a1"), Value("Boston"), Value(100)})
+      .value();
+  auto a = monitor.Append(
+      {Value("H1b"), Value("a1"), Value("Boston"), Value(120)});
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->clean());
+}
+
+TEST(MonitorTest, PairwiseDdChecked) {
+  auto dd = std::make_shared<Dd>(
+      std::vector<DifferentialFunction>{DifferentialFunction(
+          1, GetEditDistanceMetric(), DistRange::AtMost(1))},
+      std::vector<DifferentialFunction>{DifferentialFunction(
+          2, GetEditDistanceMetric(), DistRange::AtMost(4))});
+  StreamMonitor monitor(HotelSchema(), {dd});
+  monitor.Append({Value("H1"), Value("abcd"), Value("Boston"), Value(1)})
+      .value();
+  auto alert = monitor.Append(
+      {Value("H2"), Value("abce"), Value("San Francisco"), Value(2)});
+  ASSERT_TRUE(alert.ok());
+  ASSERT_FALSE(alert->clean());
+  EXPECT_EQ(alert->findings[0].second[0].rows, (std::vector<int>{0, 1}));
+}
+
+TEST(MonitorTest, SingleTupleDcImmediate) {
+  auto dc = std::make_shared<Dc>(std::vector<DcPredicate>{
+      DcPredicate{DcOperand::TupleA(3), CmpOp::kLt,
+                  DcOperand::Const(Value(0))}});
+  StreamMonitor monitor(HotelSchema(), {dc});
+  auto good = monitor.Append({Value("H"), Value("a"), Value("B"), Value(5)});
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good->clean());
+  auto bad = monitor.Append({Value("H"), Value("a"), Value("B"), Value(-5)});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->clean());
+}
+
+TEST(MonitorTest, TwoTupleDcPairwise) {
+  auto dc = std::make_shared<Dc>(std::vector<DcPredicate>{
+      DcPredicate{DcOperand::TupleA(3), CmpOp::kLt, DcOperand::TupleB(3)},
+      DcPredicate{DcOperand::TupleA(0), CmpOp::kEq, DcOperand::TupleB(0)}});
+  // not(same name and different... ) — any equal-name pair with a lower
+  // price on one side violates: i.e. names must have unique prices.
+  StreamMonitor monitor(HotelSchema(), {dc});
+  monitor.Append({Value("H"), Value("a"), Value("B"), Value(100)}).value();
+  auto same = monitor.Append({Value("H"), Value("b"), Value("C"),
+                              Value(150)});
+  ASSERT_TRUE(same.ok());
+  EXPECT_FALSE(same->clean());
+}
+
+TEST(MonitorTest, ThresholdFallbackAlarmsOnDegradation) {
+  // SFD with strength 0.9: arrivals erode the strength until the alarm.
+  auto sfd = std::make_shared<Sfd>(AttrSet::Single(1), AttrSet::Single(2),
+                                   0.9);
+  StreamMonitor monitor(HotelSchema(), {sfd});
+  EXPECT_TRUE(monitor
+                  .Append({Value("H1"), Value("a1"), Value("B"), Value(1)})
+                  ->clean());
+  EXPECT_TRUE(monitor
+                  .Append({Value("H2"), Value("a2"), Value("C"), Value(2)})
+                  ->clean());
+  // Conflicting region for a1: strength drops to 2/3 < 0.9.
+  auto alert =
+      monitor.Append({Value("H3"), Value("a1"), Value("D"), Value(3)});
+  ASSERT_TRUE(alert.ok());
+  EXPECT_FALSE(alert->clean());
+}
+
+TEST(MonitorTest, MultipleRulesReportSeparately) {
+  auto fd = std::make_shared<Fd>(AttrSet::Single(1), AttrSet::Single(2));
+  auto md = std::make_shared<Md>(
+      std::vector<SimilarityPredicate>{
+          SimilarityPredicate{0, GetEditDistanceMetric(), 1}},
+      AttrSet::Single(3));
+  StreamMonitor monitor(HotelSchema(), {fd, md});
+  monitor.Append({Value("Hyatt"), Value("a1"), Value("B"), Value(100)})
+      .value();
+  auto alert = monitor.Append(
+      {Value("Hyat"), Value("a1"), Value("C"), Value(200)});
+  ASSERT_TRUE(alert.ok());
+  EXPECT_EQ(alert->findings.size(), 2u);  // both rules fire
+}
+
+TEST(MonitorTest, CfdUsesTheFallbackPath) {
+  // CFDs are not in the pairwise fast path; the fallback revalidation
+  // must still report the arrival that breaks the rule.
+  auto cfd = std::make_shared<Cfd>(
+      AttrSet::Of({1, 2}), AttrSet::Single(3),
+      PatternTuple({PatternItem::Const(2, Value("Boston"))}));
+  StreamMonitor monitor(HotelSchema(), {cfd});
+  EXPECT_TRUE(monitor
+                  .Append({Value("H1"), Value("a1"), Value("Boston"),
+                           Value(100)})
+                  ->clean());
+  // Same (address, region) inside the condition, different price.
+  auto alert = monitor.Append(
+      {Value("H2"), Value("a1"), Value("Boston"), Value(200)});
+  ASSERT_TRUE(alert.ok());
+  EXPECT_FALSE(alert->clean());
+}
+
+TEST(MonitorTest, RejectsWrongArity) {
+  StreamMonitor monitor(HotelSchema(), {});
+  EXPECT_FALSE(monitor.Append({Value(1)}).ok());
+}
+
+}  // namespace
+}  // namespace famtree

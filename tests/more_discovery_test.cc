@@ -1,0 +1,262 @@
+// Tests for the remaining Table 2 discovery algorithms: eCFDs [114],
+// MFDs [64], FFDs [109], PAC instantiation [63], and CD discovery [92].
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "discovery/cd_discovery.h"
+#include "discovery/ecfd_discovery.h"
+#include "discovery/metric_discovery.h"
+#include "gen/paper_tables.h"
+#include "metric/fuzzy.h"
+#include "metric/metric.h"
+#include "relation/dataspace.h"
+
+namespace famtree {
+namespace {
+
+// -------------------------------------------------------- eCFD discovery
+
+Relation BudgetHotels(uint64_t seed, int rows) {
+  // Below rate 200, name determines address (small towns, one hotel per
+  // brand — the paper's ecfd1 story); above it, names repeat per city.
+  Rng rng(seed);
+  RelationBuilder b({"name", "address", "rate"});
+  for (int r = 0; r < rows; ++r) {
+    bool budget = rng.Bernoulli(0.5);
+    if (budget) {
+      int brand = static_cast<int>(rng.Uniform(0, 9));
+      b.AddRow({Value("brand" + std::to_string(brand)),
+                Value("addr" + std::to_string(brand)),
+                Value(rng.Uniform(80, 199))});
+    } else {
+      b.AddRow({Value("brand" + std::to_string(rng.Uniform(0, 9))),
+                Value("addr" + std::to_string(rng.Uniform(100, 999))),
+                Value(rng.Uniform(200, 900))});
+    }
+  }
+  return std::move(b.Build()).value();
+}
+
+TEST(EcfdDiscoveryTest, FindsTheBudgetCondition) {
+  Relation r = BudgetHotels(1, 300);
+  EcfdDiscoveryOptions options;
+  options.cut_quantiles = {0.25, 0.5, 0.75};
+  options.min_support = 20;
+  auto ecfds = DiscoverEcfds(r, options);
+  ASSERT_TRUE(ecfds.ok());
+  bool budget_rule = false;
+  for (const DiscoveredEcfd& d : *ecfds) {
+    const PatternItem* cond = d.ecfd.pattern().Find(2);
+    if (d.ecfd.lhs().Contains(0) && d.ecfd.rhs().Contains(1) &&
+        cond != nullptr && !cond->is_wildcard && cond->op == CmpOp::kLe) {
+      budget_rule = true;
+      EXPECT_TRUE(d.ecfd.Holds(r));
+      // The cut lands near the budget boundary (quantiles of the rate
+      // column), not necessarily at exactly 200.
+      EXPECT_LT(cond->constant.AsNumeric(), 250.0);
+    }
+  }
+  EXPECT_TRUE(budget_rule);
+}
+
+TEST(EcfdDiscoveryTest, SkipsGloballyHoldingFds) {
+  RelationBuilder b({"a", "b", "n"});
+  for (int i = 0; i < 30; ++i) {
+    b.AddRow({Value(i % 3), Value(i % 3), Value(i)});
+  }
+  Relation r = std::move(b.Build()).value();
+  auto ecfds = DiscoverEcfds(r, {});
+  ASSERT_TRUE(ecfds.ok());
+  for (const DiscoveredEcfd& d : *ecfds) {
+    EXPECT_FALSE(d.ecfd.lhs().Contains(0) && d.ecfd.rhs().Contains(1));
+  }
+}
+
+// -------------------------------------------------------- MFD discovery
+
+TEST(MfdDiscoveryTest, FindsTightGroupDiameters) {
+  // address determines (latitude-ish) coordinates up to jitter — the
+  // Section 3.1.4 motivation.
+  Rng rng(2);
+  RelationBuilder b({"address", "coord"});
+  for (int g = 0; g < 20; ++g) {
+    double base = g * 100.0;
+    for (int i = 0; i < 4; ++i) {
+      b.AddRow({Value("addr" + std::to_string(g)),
+                Value(base + rng.NextDouble())});
+    }
+  }
+  Relation r = std::move(b.Build()).value();
+  auto mfds = DiscoverMfds(r, {});
+  ASSERT_TRUE(mfds.ok());
+  bool addr_coord = false;
+  for (const DiscoveredMfd& d : *mfds) {
+    if (d.mfd.lhs() == AttrSet::Single(0) && d.mfd.rhs()[0].attr == 1) {
+      addr_coord = true;
+      EXPECT_LT(d.delta, 1.01);  // jitter bound
+      EXPECT_TRUE(d.mfd.Holds(r));
+    }
+  }
+  EXPECT_TRUE(addr_coord);
+}
+
+TEST(MfdDiscoveryTest, VacuousMfdsSuppressed) {
+  Rng rng(3);
+  RelationBuilder b({"k", "v"});
+  for (int i = 0; i < 40; ++i) {
+    b.AddRow({Value(i % 2), Value(rng.Uniform(0, 1000))});
+  }
+  Relation r = std::move(b.Build()).value();
+  auto mfds = DiscoverMfds(r, {});
+  ASSERT_TRUE(mfds.ok());
+  for (const DiscoveredMfd& d : *mfds) {
+    EXPECT_FALSE(d.mfd.lhs() == AttrSet::Single(0) &&
+                 d.mfd.rhs()[0].attr == 1)
+        << "k groups span the whole domain; delta would be vacuous";
+  }
+}
+
+// -------------------------------------------------------- FFD discovery
+
+TEST(FfdDiscoveryTest, FindsFuzzyRule) {
+  // name crisp; price ~ tax via reciprocal resemblances with matched
+  // granularity: tax = price / 10 exactly.
+  RelationBuilder b({"name", "price", "tax"});
+  for (int i = 0; i < 12; ++i) {
+    int price = 100 + 10 * (i % 4);
+    b.AddRow({Value("h" + std::to_string(i % 4)), Value(price),
+              Value(price / 10)});
+  }
+  Relation r = std::move(b.Build()).value();
+  std::vector<ResemblancePtr> res = {GetCrispResemblance(),
+                                     MakeReciprocalResemblance(0.1),
+                                     MakeReciprocalResemblance(1.0)};
+  auto ffds = DiscoverFfds(r, res, {});
+  ASSERT_TRUE(ffds.ok());
+  bool price_tax = false;
+  for (const DiscoveredFfd& d : *ffds) {
+    if (d.ffd.lhs().size() == 1 && d.ffd.lhs()[0].attr == 1 &&
+        d.ffd.rhs()[0].attr == 2) {
+      price_tax = true;
+      EXPECT_GE(d.min_slack, 0.0);
+    }
+  }
+  EXPECT_TRUE(price_tax);
+}
+
+TEST(FfdDiscoveryTest, RejectsWrongResemblanceCount) {
+  Relation r6 = paper::R6();
+  EXPECT_FALSE(DiscoverFfds(r6, {GetCrispResemblance()}, {}).ok());
+}
+
+// ------------------------------------------------------ PAC instantiation
+
+TEST(PacInstantiationTest, LearnsTolerancesFromTraining) {
+  // tax tracks price/10 with small noise.
+  Rng rng(4);
+  RelationBuilder b({"price", "tax"});
+  for (int i = 0; i < 60; ++i) {
+    double price = rng.Uniform(100, 600);
+    b.AddRow({Value(price), Value(price / 10 + rng.NextDouble() * 2 - 1)});
+  }
+  Relation training = std::move(b.Build()).value();
+  PacTemplate tmpl{{0}, {1}};
+  auto pac = InstantiatePac(training, tmpl);
+  ASSERT_TRUE(pac.ok());
+  // Instantiated PAC holds on its own training data by construction.
+  EXPECT_TRUE(pac->pac.Holds(training));
+  EXPECT_GT(pac->measured_confidence, 0.5);
+  EXPECT_GT(pac->pac.lhs()[0].tolerance, 0.0);
+}
+
+TEST(PacInstantiationTest, MonitorsDegradation) {
+  Rng rng(5);
+  RelationBuilder b({"price", "tax"});
+  for (int i = 0; i < 60; ++i) {
+    double price = rng.Uniform(100, 600);
+    b.AddRow({Value(price), Value(price / 10)});
+  }
+  Relation training = std::move(b.Build()).value();
+  auto pac = InstantiatePac(training, PacTemplate{{0}, {1}}).value();
+  // New batch with corrupted taxes: the monitor alarm fires.
+  RelationBuilder bad({"price", "tax"});
+  for (int i = 0; i < 60; ++i) {
+    double price = rng.Uniform(100, 600);
+    bad.AddRow({Value(price), Value(rng.Uniform(0, 1000))});
+  }
+  Relation degraded = std::move(bad.Build()).value();
+  EXPECT_FALSE(pac.pac.Holds(degraded));
+}
+
+TEST(PacInstantiationTest, RejectsEmptyTemplate) {
+  Relation r6 = paper::R6();
+  EXPECT_FALSE(InstantiatePac(r6, PacTemplate{{}, {1}}).ok());
+  EXPECT_FALSE(InstantiatePac(r6, PacTemplate{{0}, {99}}).ok());
+}
+
+// --------------------------------------------------------- CD discovery
+
+TEST(CdDiscoveryTest, FindsTheDataspaceRule) {
+  // Replicate the Section 3.4.1 setting at a useful size: entities with
+  // region/city and addr/post rendered across two sources.
+  Rng rng(6);
+  RelationBuilder sa({"name", "region", "addr"});
+  RelationBuilder sb({"name", "city", "post"});
+  for (int e = 0; e < 25; ++e) {
+    std::string city = "city" + std::to_string(e);
+    std::string addr = "#" + std::to_string(e) + " Main Street";
+    sa.AddRow({Value("p" + std::to_string(e)), Value(city), Value(addr)});
+    sb.AddRow({Value("p" + std::to_string(e)), Value("St " + city),
+               Value(addr)});
+  }
+  auto ds = AssembleDataspace(
+      {std::move(sa.Build()).value(), std::move(sb.Build()).value()},
+      {{"region", "city"}, {"addr", "post"}});
+  ASSERT_TRUE(ds.ok());
+  auto [region, city] = ds->matched_columns[0];
+  auto [addr, post] = ds->matched_columns[1];
+  std::vector<SimilarityFunction> fns = {
+      {region, city, GetEditDistanceMetric(), 1, 3, 1},
+      {addr, post, GetEditDistanceMetric(), 1, 1, 1},
+  };
+  CdDiscoveryOptions options;
+  options.min_support = 5;
+  options.min_confidence = 0.95;
+  auto cds = DiscoverCds(ds->relation, fns, options);
+  ASSERT_TRUE(cds.ok());
+  bool rule = false;
+  for (const DiscoveredCd& d : *cds) {
+    if (d.cd.lhs().size() == 1 && d.cd.lhs()[0].attr_i == region &&
+        d.cd.rhs().attr_i == addr) {
+      rule = true;
+      EXPECT_GE(d.confidence, 0.95);
+    }
+  }
+  EXPECT_TRUE(rule);
+}
+
+TEST(CdDiscoveryTest, PayAsYouGoOnlyInvolvesTheFreshFunction) {
+  Relation ds = paper::DataspaceExample();
+  SimilarityFunction f1{1, 2, GetEditDistanceMetric(), 5, 5, 5};
+  SimilarityFunction f2{3, 4, GetEditDistanceMetric(), 7, 9, 6};
+  CdDiscoveryOptions options;
+  options.min_support = 1;
+  options.min_confidence = 0.5;
+  auto extended = ExtendCdsWithFunction(ds, {f1}, f2, options);
+  ASSERT_TRUE(extended.ok());
+  for (const DiscoveredCd& d : *extended) {
+    bool involves_fresh = d.cd.rhs().attr_i == 3;
+    for (const auto& f : d.cd.lhs()) involves_fresh |= f.attr_i == 3;
+    EXPECT_TRUE(involves_fresh);
+  }
+}
+
+TEST(CdDiscoveryTest, RejectsBadFunctions) {
+  Relation ds = paper::DataspaceExample();
+  SimilarityFunction bad{99, 0, GetEditDistanceMetric(), 1, 1, 1};
+  EXPECT_FALSE(DiscoverCds(ds, {bad}, {}).ok());
+}
+
+}  // namespace
+}  // namespace famtree

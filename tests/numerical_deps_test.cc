@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "deps/dc.h"
+#include "deps/ofd.h"
+#include "deps/od.h"
+#include "deps/sd.h"
+#include "gen/paper_tables.h"
+
+namespace famtree {
+namespace {
+
+using paper::R7Attrs;
+
+// ---------------------------------------------------------------- OFDs
+
+TEST(OfdTest, Ofd1HoldsOnR7) {
+  Relation r7 = paper::R7();
+  // ofd1: subtotal ->^P taxes (Section 4.1.1).
+  Ofd ofd1(AttrSet::Single(R7Attrs::kSubtotal),
+           AttrSet::Single(R7Attrs::kTaxes));
+  EXPECT_TRUE(ofd1.Holds(r7));
+}
+
+TEST(OfdTest, ReversedDirectionFails) {
+  Relation r7 = paper::R7();
+  // nights increase while avg/night decreases: pointwise OFD fails.
+  Ofd bad(AttrSet::Single(R7Attrs::kNights),
+          AttrSet::Single(R7Attrs::kAvgNight));
+  EXPECT_FALSE(bad.Holds(r7));
+}
+
+TEST(OfdTest, PointwiseMultiAttribute) {
+  Relation r7 = paper::R7();
+  Ofd ofd(AttrSet::Of({R7Attrs::kNights, R7Attrs::kSubtotal}),
+          AttrSet::Single(R7Attrs::kTaxes));
+  EXPECT_TRUE(ofd.Holds(r7));
+}
+
+TEST(OfdTest, LexicographicOrdering) {
+  RelationBuilder b({"a", "b", "y"});
+  b.AddRow({Value(1), Value(9), Value(10)});
+  b.AddRow({Value(2), Value(1), Value(20)});
+  Relation r = std::move(b.Build()).value();
+  // Pointwise: (1,9) and (2,1) incomparable -> holds vacuously there.
+  EXPECT_TRUE(Ofd(AttrSet::Of({0, 1}), AttrSet::Single(2),
+                  OrderingKind::kPointwise)
+                  .Holds(r));
+  // Lexicographic: (1,9) <= (2,1) and 10 <= 20 -> holds.
+  EXPECT_TRUE(Ofd(AttrSet::Of({0, 1}), AttrSet::Single(2),
+                  OrderingKind::kLexicographic)
+                  .Holds(r));
+}
+
+// ----------------------------------------------------------------- ODs
+
+TEST(OdTest, Od1HoldsOnR7) {
+  Relation r7 = paper::R7();
+  // od1: nights^<= -> avg/night^>= (Section 4.2.1).
+  Od od1({MarkedAttr{R7Attrs::kNights, OrderMark::kLeq}},
+         {MarkedAttr{R7Attrs::kAvgNight, OrderMark::kGeq}});
+  EXPECT_TRUE(od1.Holds(r7));
+}
+
+TEST(OdTest, Od2EqualsOfd1) {
+  Relation r7 = paper::R7();
+  // od2: subtotal^<= -> taxes^<= (Section 4.2.2).
+  Od od2({MarkedAttr{R7Attrs::kSubtotal, OrderMark::kLeq}},
+         {MarkedAttr{R7Attrs::kTaxes, OrderMark::kLeq}});
+  EXPECT_TRUE(od2.Holds(r7));
+}
+
+TEST(OdTest, ViolationDetected) {
+  RelationBuilder b({"x", "y"});
+  b.AddRow({Value(1), Value(10)});
+  b.AddRow({Value(2), Value(5)});
+  Relation r = std::move(b.Build()).value();
+  Od od({MarkedAttr{0, OrderMark::kLeq}}, {MarkedAttr{1, OrderMark::kLeq}});
+  auto report = od.Validate(r, 8);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->holds);
+  EXPECT_EQ(report->violations[0].rows, (std::vector<int>{0, 1}));
+}
+
+TEST(OdTest, StrictMarks) {
+  RelationBuilder b({"x", "y"});
+  b.AddRow({Value(1), Value(10)});
+  b.AddRow({Value(1), Value(11)});
+  Relation r = std::move(b.Build()).value();
+  // x^< -> y^<: no pair with x strictly smaller, holds vacuously.
+  EXPECT_TRUE(Od({MarkedAttr{0, OrderMark::kLt}},
+                 {MarkedAttr{1, OrderMark::kLt}})
+                  .Holds(r));
+  // x^<= -> y^<=: ties on x force both directions on y -> violation.
+  EXPECT_FALSE(Od({MarkedAttr{0, OrderMark::kLeq}},
+                  {MarkedAttr{1, OrderMark::kLeq}})
+                   .Holds(r));
+}
+
+// ----------------------------------------------------------------- DCs
+
+TEST(DcTest, Dc1HoldsOnR7) {
+  Relation r7 = paper::R7();
+  // dc1: not(ta.subtotal < tb.subtotal and ta.taxes > tb.taxes).
+  Dc dc1({DcPredicate{DcOperand::TupleA(R7Attrs::kSubtotal), CmpOp::kLt,
+                      DcOperand::TupleB(R7Attrs::kSubtotal)},
+          DcPredicate{DcOperand::TupleA(R7Attrs::kTaxes), CmpOp::kGt,
+                      DcOperand::TupleB(R7Attrs::kTaxes)}});
+  EXPECT_TRUE(dc1.Holds(r7));
+}
+
+TEST(DcTest, Dc2HoldsOnR7) {
+  Relation r7 = paper::R7();
+  // dc2: not(ta.nights >= tb.nights and ta.avg > tb.avg) (Section 4.3.2).
+  Dc dc2({DcPredicate{DcOperand::TupleA(R7Attrs::kNights), CmpOp::kGe,
+                      DcOperand::TupleB(R7Attrs::kNights)},
+          DcPredicate{DcOperand::TupleA(R7Attrs::kAvgNight), CmpOp::kGt,
+                      DcOperand::TupleB(R7Attrs::kAvgNight)}});
+  EXPECT_TRUE(dc2.Holds(r7));
+}
+
+TEST(DcTest, ViolatedByCorruption) {
+  Relation r7 = paper::R7();
+  r7.Set(3, R7Attrs::kTaxes, Value(10));  // cheap taxes on the largest bill
+  Dc dc1({DcPredicate{DcOperand::TupleA(R7Attrs::kSubtotal), CmpOp::kLt,
+                      DcOperand::TupleB(R7Attrs::kSubtotal)},
+          DcPredicate{DcOperand::TupleA(R7Attrs::kTaxes), CmpOp::kGt,
+                      DcOperand::TupleB(R7Attrs::kTaxes)}});
+  EXPECT_FALSE(dc1.Holds(r7));
+}
+
+TEST(DcTest, SingleTupleConstantDc) {
+  Relation r7 = paper::R7();
+  // not(ta.taxes < 0): holds.
+  Dc nonneg({DcPredicate{DcOperand::TupleA(R7Attrs::kTaxes), CmpOp::kLt,
+                         DcOperand::Const(Value(0))}});
+  EXPECT_TRUE(nonneg.IsSingleTuple());
+  EXPECT_TRUE(nonneg.Holds(r7));
+  // not(ta.taxes < 100): t1 (38) and t2 (74) violate, individually.
+  Dc tight({DcPredicate{DcOperand::TupleA(R7Attrs::kTaxes), CmpOp::kLt,
+                        DcOperand::Const(Value(100))}});
+  auto report = tight.Validate(r7, 8);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->violation_count, 2);
+}
+
+TEST(DcTest, MixedCategoricalNumeric) {
+  // Section 1.6: price should not be lower than 200 in region 'Chicago'.
+  Relation r1 = paper::R1();
+  Dc dc({DcPredicate{DcOperand::TupleA(paper::R1Attrs::kRegion), CmpOp::kEq,
+                     DcOperand::Const(Value("Chicago"))},
+         DcPredicate{DcOperand::TupleA(paper::R1Attrs::kPrice), CmpOp::kLt,
+                     DcOperand::Const(Value(200))}});
+  EXPECT_TRUE(dc.Holds(r1));  // the Chicago tuple has price 499
+}
+
+TEST(DcTest, RejectsEmptyPredicateList) {
+  Relation r7 = paper::R7();
+  EXPECT_FALSE(Dc({}).Validate(r7, 0).ok());
+}
+
+// ----------------------------------------------------------------- SDs
+
+TEST(SdTest, Sd1MatchesSection441) {
+  Relation r7 = paper::R7();
+  // sd1: nights ->_[100,200] subtotal; gaps are 180, 170, 160.
+  Sd sd1(R7Attrs::kNights, R7Attrs::kSubtotal,
+         Interval::Between(100, 200));
+  EXPECT_TRUE(sd1.Holds(r7));
+}
+
+TEST(SdTest, TightIntervalViolated) {
+  Relation r7 = paper::R7();
+  Sd tight(R7Attrs::kNights, R7Attrs::kSubtotal,
+           Interval::Between(100, 165));
+  auto report = tight.Validate(r7, 8);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->holds);
+  // Gaps 180 (t1->t2) and 170 (t2->t3) violate; 160 (t3->t4) is fine.
+  EXPECT_EQ(report->violation_count, 2);
+}
+
+TEST(SdTest, Sd2ExpressesOd1) {
+  Relation r7 = paper::R7();
+  // sd2: nights ->_(-inf, 0] avg/night (Section 4.4.2).
+  Sd sd2(R7Attrs::kNights, R7Attrs::kAvgNight, Interval::AtMost(0));
+  EXPECT_TRUE(sd2.Holds(r7));
+}
+
+TEST(SdTest, ConfidenceDropsWithOutliers) {
+  RelationBuilder b({"t", "v"});
+  for (int i = 0; i < 10; ++i) {
+    b.AddRow({Value(i), Value(i == 5 ? 1000 : i * 10)});
+  }
+  Relation r = std::move(b.Build()).value();
+  double conf =
+      Sd::Confidence(r, 0, 1, Interval::Between(0, 20));
+  EXPECT_LT(conf, 1.0);
+  EXPECT_GE(conf, 0.8);  // removing the single outlier suffices
+}
+
+TEST(SdTest, PerfectConfidenceWhenHolds) {
+  Relation r7 = paper::R7();
+  EXPECT_DOUBLE_EQ(Sd::Confidence(r7, R7Attrs::kNights,
+                                  R7Attrs::kSubtotal,
+                                  Interval::Between(100, 200)),
+                   1.0);
+}
+
+// ---------------------------------------------------------------- CSDs
+
+TEST(CsdTest, FullRangeTableauEqualsSd) {
+  Relation r7 = paper::R7();
+  Csd csd(R7Attrs::kNights, R7Attrs::kSubtotal,
+          {Csd::TableauRow{-1e18, 1e18, Interval::Between(100, 200)}});
+  EXPECT_TRUE(csd.Holds(r7));
+}
+
+TEST(CsdTest, PerRangeGaps) {
+  // Polling-style data (Section 4.4.4): interval ~10 in the first regime,
+  // ~20 in the second.
+  RelationBuilder b({"pollnum", "time"});
+  for (int i = 0; i < 5; ++i) b.AddRow({Value(i), Value(i * 10)});
+  for (int i = 5; i < 10; ++i) b.AddRow({Value(i), Value(40 + (i - 4) * 20)});
+  Relation r = std::move(b.Build()).value();
+  Csd csd(0, 1,
+          {Csd::TableauRow{0, 4, Interval::Between(9, 11)},
+           Csd::TableauRow{5, 9, Interval::Between(19, 21)}});
+  EXPECT_TRUE(csd.Holds(r));
+  // One global SD with interval [9,11] fails.
+  EXPECT_FALSE(Sd(0, 1, Interval::Between(9, 11)).Holds(r));
+}
+
+TEST(CsdTest, ViolationInsideRange) {
+  RelationBuilder b({"x", "y"});
+  b.AddRow({Value(1), Value(10)});
+  b.AddRow({Value(2), Value(100)});
+  Relation r = std::move(b.Build()).value();
+  Csd csd(0, 1, {Csd::TableauRow{0, 10, Interval::Between(0, 20)}});
+  auto report = csd.Validate(r, 8);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->holds);
+}
+
+TEST(CsdTest, RejectsEmptyTableau) {
+  Relation r7 = paper::R7();
+  EXPECT_FALSE(Csd(0, 1, {}).Validate(r7, 0).ok());
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "discovery/pfd_discovery.h"
+#include "gen/paper_tables.h"
+
+namespace famtree {
+namespace {
+
+TEST(PfdDiscoveryTest, FindsPaperTable5Pfd) {
+  Relation r5 = paper::R5();
+  PfdDiscoveryOptions options;
+  options.min_probability = 0.75;
+  options.max_lhs_size = 1;
+  auto pfds = DiscoverPfds(r5, options);
+  ASSERT_TRUE(pfds.ok());
+  bool addr_region = false;
+  for (const DiscoveredPfd& p : *pfds) {
+    if (p.lhs == AttrSet::Single(paper::R5Attrs::kAddress) &&
+        p.rhs == paper::R5Attrs::kRegion) {
+      addr_region = true;
+      EXPECT_DOUBLE_EQ(p.probability, 0.75);
+    }
+    // name -> address has probability 1/2 < 0.75.
+    EXPECT_FALSE(p.lhs == AttrSet::Single(paper::R5Attrs::kName) &&
+                 p.rhs == paper::R5Attrs::kAddress);
+  }
+  EXPECT_TRUE(addr_region);
+}
+
+TEST(PfdDiscoveryTest, MinimalityFilter) {
+  RelationBuilder b({"a", "b", "c"});
+  for (int i = 0; i < 20; ++i) {
+    b.AddRow({Value(i % 5), Value((i % 5) * 2), Value(i % 3)});
+  }
+  Relation r = std::move(b.Build()).value();
+  PfdDiscoveryOptions options;
+  options.min_probability = 1.0;
+  options.max_lhs_size = 2;
+  auto pfds = DiscoverPfds(r, options);
+  ASSERT_TRUE(pfds.ok());
+  // a -> b holds; {a, c} -> b must not be reported (non-minimal).
+  for (const DiscoveredPfd& p : *pfds) {
+    EXPECT_FALSE(p.rhs == 1 && p.lhs == AttrSet::Of({0, 2}));
+  }
+}
+
+TEST(PfdDiscoveryTest, MultiSourceMergeWeightsByTupleCount) {
+  // Source 1 (clean, 30 rows): a -> b perfectly. Source 2 (dirty, 10
+  // rows): a -> b at probability ~0.5. Merged: ~ (30*1 + 10*0.5)/40.
+  RelationBuilder clean({"a", "b"});
+  for (int i = 0; i < 30; ++i) clean.AddRow({Value(i % 3), Value(i % 3)});
+  RelationBuilder dirty({"a", "b"});
+  for (int i = 0; i < 10; ++i) dirty.AddRow({Value(0), Value(i % 2)});
+  std::vector<Relation> sources;
+  sources.push_back(std::move(clean.Build()).value());
+  sources.push_back(std::move(dirty.Build()).value());
+  PfdDiscoveryOptions options;
+  options.min_probability = 0.8;
+  options.max_lhs_size = 1;
+  auto merged = DiscoverPfdsMultiSource(sources, options);
+  ASSERT_TRUE(merged.ok());
+  bool found = false;
+  for (const DiscoveredPfd& p : *merged) {
+    if (p.lhs == AttrSet::Single(0) && p.rhs == 1) {
+      found = true;
+      EXPECT_NEAR(p.probability, (30.0 * 1.0 + 10.0 * 0.5) / 40.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PfdDiscoveryTest, MultiSourceRejectsMismatchedSchemas) {
+  std::vector<Relation> sources;
+  sources.push_back(Relation{Schema::FromNames({"a"})});
+  sources.push_back(Relation{Schema::FromNames({"a", "b"})});
+  EXPECT_FALSE(DiscoverPfdsMultiSource(sources, {}).ok());
+}
+
+TEST(PfdDiscoveryTest, RejectsEmptySourceList) {
+  EXPECT_FALSE(DiscoverPfdsMultiSource({}, {}).ok());
+}
+
+}  // namespace
+}  // namespace famtree

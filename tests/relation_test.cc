@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "gen/paper_tables.h"
+#include "relation/relation.h"
+
+namespace famtree {
+namespace {
+
+Relation SmallRelation() {
+  RelationBuilder b({"a", "b", "c"});
+  b.AddRow({Value("x"), Value(1), Value("p")});
+  b.AddRow({Value("x"), Value(1), Value("q")});
+  b.AddRow({Value("y"), Value(2), Value("p")});
+  b.AddRow({Value("x"), Value(3), Value("q")});
+  return std::move(b.Build()).value();
+}
+
+TEST(SchemaTest, IndexLookup) {
+  Schema s = Schema::FromNames({"a", "b"});
+  EXPECT_EQ(*s.IndexOf("b"), 1);
+  EXPECT_FALSE(s.IndexOf("z").ok());
+  EXPECT_EQ(*s.SetOf({"a", "b"}), AttrSet::Of({0, 1}));
+  EXPECT_FALSE(s.SetOf({"a", "zz"}).ok());
+}
+
+TEST(SchemaTest, NamesOf) {
+  Schema s = Schema::FromNames({"a", "b", "c"});
+  EXPECT_EQ(s.NamesOf(AttrSet::Of({0, 2})), "a, c");
+}
+
+TEST(RelationTest, BuilderRejectsWrongArity) {
+  RelationBuilder b({"a", "b"});
+  b.AddRow({Value(1)});
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(RelationTest, GetSetRoundTrip) {
+  Relation r = SmallRelation();
+  EXPECT_EQ(r.num_rows(), 4);
+  EXPECT_EQ(r.num_columns(), 3);
+  EXPECT_EQ(r.Get(0, 0), Value("x"));
+  r.Set(0, 0, Value("z"));
+  EXPECT_EQ(r.Get(0, 0), Value("z"));
+}
+
+TEST(RelationTest, RowAndProject) {
+  Relation r = SmallRelation();
+  EXPECT_EQ(r.Row(2),
+            (std::vector<Value>{Value("y"), Value(2), Value("p")}));
+  EXPECT_EQ(r.Project(1, AttrSet::Of({0, 2})),
+            (std::vector<Value>{Value("x"), Value("q")}));
+}
+
+TEST(RelationTest, AgreeOn) {
+  Relation r = SmallRelation();
+  EXPECT_TRUE(r.AgreeOn(0, 1, AttrSet::Of({0, 1})));
+  EXPECT_FALSE(r.AgreeOn(0, 1, AttrSet::Of({2})));
+  EXPECT_TRUE(r.AgreeOn(0, 3, AttrSet::Of({0})));
+}
+
+TEST(RelationTest, CountDistinct) {
+  Relation r = SmallRelation();
+  EXPECT_EQ(r.CountDistinct(AttrSet::Of({0})), 2);   // x, y
+  EXPECT_EQ(r.CountDistinct(AttrSet::Of({1})), 3);   // 1, 2, 3
+  EXPECT_EQ(r.CountDistinct(AttrSet::Of({0, 1})), 3);
+}
+
+TEST(RelationTest, GroupByPartitionsAllRows) {
+  Relation r = SmallRelation();
+  auto groups = r.GroupBy(AttrSet::Of({0}));
+  ASSERT_EQ(groups.size(), 2u);
+  size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, 4u);
+  // First-occurrence order: group of "x" first.
+  EXPECT_EQ(groups[0], (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(groups[1], (std::vector<int>{2}));
+}
+
+TEST(RelationTest, GroupByWholeSchemaSeparatesDistinctRows) {
+  Relation r = SmallRelation();
+  EXPECT_EQ(r.GroupBy(AttrSet::Full(3)).size(), 4u);
+}
+
+TEST(RelationTest, SelectPreservesOrder) {
+  Relation r = SmallRelation();
+  Relation s = r.Select({3, 0});
+  EXPECT_EQ(s.num_rows(), 2);
+  EXPECT_EQ(s.Get(0, 1), Value(3));
+  EXPECT_EQ(s.Get(1, 1), Value(1));
+}
+
+TEST(RelationTest, ProjectColumns) {
+  Relation r = SmallRelation();
+  Relation p = r.ProjectColumns(AttrSet::Of({1, 2}));
+  EXPECT_EQ(p.num_columns(), 2);
+  EXPECT_EQ(p.schema().name(0), "b");
+  EXPECT_EQ(p.Get(0, 0), Value(1));
+  EXPECT_EQ(p.Get(0, 1), Value("p"));
+}
+
+TEST(RelationTest, InferTypes) {
+  RelationBuilder b({"i", "d", "s", "mixed", "with_null"});
+  b.AddRow({Value(1), Value(1.5), Value("x"), Value(1), Value(2)});
+  b.AddRow({Value(2), Value(2), Value("y"), Value("one"), Value::Null()});
+  Relation r = std::move(b.Build()).value();
+  EXPECT_EQ(r.schema().column(0).type, ValueType::kInt);
+  EXPECT_EQ(r.schema().column(1).type, ValueType::kDouble);  // int+double
+  EXPECT_EQ(r.schema().column(2).type, ValueType::kString);
+  EXPECT_EQ(r.schema().column(3).type, ValueType::kNull);  // mixed
+  EXPECT_EQ(r.schema().column(4).type, ValueType::kInt);  // nulls ignored
+}
+
+TEST(RelationTest, PrettyStringContainsHeaderAndValues) {
+  Relation r = SmallRelation();
+  std::string s = r.ToPrettyString();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("x"), std::string::npos);
+}
+
+TEST(RelationTest, PrettyStringTruncates) {
+  Relation r = SmallRelation();
+  std::string s = r.ToPrettyString(2);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+TEST(PaperTablesTest, ShapesMatchThePaper) {
+  EXPECT_EQ(paper::R1().num_rows(), 8);
+  EXPECT_EQ(paper::R1().num_columns(), 5);
+  EXPECT_EQ(paper::R5().num_rows(), 4);
+  EXPECT_EQ(paper::R5().num_columns(), 4);
+  EXPECT_EQ(paper::R6().num_rows(), 6);
+  EXPECT_EQ(paper::R6().num_columns(), 8);
+  EXPECT_EQ(paper::R7().num_rows(), 4);
+  EXPECT_EQ(paper::R7().num_columns(), 4);
+  EXPECT_EQ(paper::DataspaceExample().num_rows(), 3);
+}
+
+TEST(PaperTablesTest, R1KnownCells) {
+  Relation r1 = paper::R1();
+  EXPECT_EQ(r1.Get(0, paper::R1Attrs::kRegion), Value("New York"));
+  EXPECT_EQ(r1.Get(3, paper::R1Attrs::kRegion), Value("Chicago, MA"));
+  EXPECT_EQ(r1.Get(7, paper::R1Attrs::kPrice), Value(0));
+}
+
+TEST(PaperTablesTest, TypesInferred) {
+  Relation r7 = paper::R7();
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(r7.schema().column(c).type, ValueType::kInt);
+  }
+  Relation r1 = paper::R1();
+  EXPECT_EQ(r1.schema().column(paper::R1Attrs::kName).type,
+            ValueType::kString);
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "gen/paper_tables.h"
+#include "quality/repair.h"
+
+namespace famtree {
+namespace {
+
+TEST(FdRepairTest, MajorityWinsWithinGroups) {
+  RelationBuilder b({"addr", "region"});
+  b.AddRow({Value("a1"), Value("Boston")});
+  b.AddRow({Value("a1"), Value("Boston")});
+  b.AddRow({Value("a1"), Value("Chicago")});  // the error
+  Relation r = std::move(b.Build()).value();
+  Fd fd(AttrSet::Single(0), AttrSet::Single(1));
+  auto result = RepairWithFds(r, {fd});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->changes.size(), 1u);
+  EXPECT_EQ(result->changes[0].row, 2);
+  EXPECT_EQ(result->changes[0].new_value, Value("Boston"));
+  EXPECT_TRUE(fd.Holds(result->repaired));
+  EXPECT_EQ(result->remaining_violations, 0);
+}
+
+TEST(FdRepairTest, RestoresPlantedErrors) {
+  HotelConfig config;
+  config.num_hotels = 100;
+  config.rows_per_hotel = 4;
+  config.variation_rate = 0.0;
+  config.error_rate = 0.05;
+  config.seed = 5;
+  GeneratedData data = GenerateHotels(config);
+  Fd fd(AttrSet::Single(1), AttrSet::Single(2));  // address -> region
+  auto result = RepairWithFds(data.relation, {fd});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(fd.Holds(result->repaired));
+  // Count how many planted errors were restored to the original value.
+  int restored = 0;
+  for (const PlantedError& e : data.errors) {
+    if (result->repaired.Get(e.row, e.col) == e.original) ++restored;
+  }
+  // With 4 rows per hotel and 5% errors, the clean majority usually wins.
+  EXPECT_GT(restored, static_cast<int>(data.errors.size() * 0.8));
+}
+
+TEST(FdRepairTest, MultipleFdsReachFixpoint) {
+  RelationBuilder b({"a", "b", "c"});
+  b.AddRow({Value(1), Value(10), Value(100)});
+  b.AddRow({Value(1), Value(10), Value(100)});
+  b.AddRow({Value(1), Value(11), Value(101)});
+  Relation r = std::move(b.Build()).value();
+  Fd ab(AttrSet::Single(0), AttrSet::Single(1));
+  Fd bc(AttrSet::Single(1), AttrSet::Single(2));
+  auto result = RepairWithFds(r, {ab, bc});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(ab.Holds(result->repaired));
+  EXPECT_TRUE(bc.Holds(result->repaired));
+  EXPECT_EQ(result->remaining_violations, 0);
+}
+
+TEST(CfdRepairTest, ConstantRhsForced) {
+  RelationBuilder b({"region", "rate"});
+  b.AddRow({Value("Jackson"), Value(230)});
+  b.AddRow({Value("Jackson"), Value(999)});
+  b.AddRow({Value("El Paso"), Value(50)});
+  Relation r = std::move(b.Build()).value();
+  Cfd cfd(AttrSet::Single(0), AttrSet::Single(1),
+          PatternTuple({PatternItem::Const(0, Value("Jackson")),
+                        PatternItem::Const(1, Value(230))}));
+  auto result = RepairWithCfds(r, {cfd});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->repaired.Get(1, 1), Value(230));
+  EXPECT_EQ(result->repaired.Get(2, 1), Value(50));  // outside condition
+  EXPECT_TRUE(cfd.Holds(result->repaired));
+}
+
+TEST(CfdRepairTest, VariableRhsUsesGroupPlurality) {
+  RelationBuilder b({"cc", "zip", "street"});
+  b.AddRow({Value("UK"), Value(1), Value("Main")});
+  b.AddRow({Value("UK"), Value(1), Value("Main")});
+  b.AddRow({Value("UK"), Value(1), Value("Oops")});
+  b.AddRow({Value("US"), Value(1), Value("Other")});  // outside condition
+  Relation r = std::move(b.Build()).value();
+  Cfd cfd(AttrSet::Of({0, 1}), AttrSet::Single(2),
+          PatternTuple({PatternItem::Const(0, Value("UK")),
+                        PatternItem::Wildcard(1),
+                        PatternItem::Wildcard(2)}));
+  auto result = RepairWithCfds(r, {cfd});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->repaired.Get(2, 2), Value("Main"));
+  EXPECT_EQ(result->repaired.Get(3, 2), Value("Other"));
+  EXPECT_TRUE(cfd.Holds(result->repaired));
+}
+
+TEST(DcRepairTest, FixesFdShapedDenial) {
+  RelationBuilder b({"addr", "region"});
+  b.AddRow({Value("a1"), Value("Boston")});
+  b.AddRow({Value("a1"), Value("Chicago")});
+  Relation r = std::move(b.Build()).value();
+  // not(ta.addr = tb.addr and ta.region != tb.region).
+  Dc dc({DcPredicate{DcOperand::TupleA(0), CmpOp::kEq,
+                     DcOperand::TupleB(0)},
+         DcPredicate{DcOperand::TupleA(1), CmpOp::kNeq,
+                     DcOperand::TupleB(1)}});
+  auto result = RepairWithDcs(r, {dc});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->remaining_violations, 0);
+  EXPECT_TRUE(dc.Holds(result->repaired));
+  EXPECT_GE(result->changes.size(), 1u);
+}
+
+TEST(DcRepairTest, FixesConstantBoundViolation) {
+  RelationBuilder b({"region", "price"});
+  b.AddRow({Value("Chicago"), Value(150)});
+  b.AddRow({Value("Chicago"), Value(450)});
+  Relation r = std::move(b.Build()).value();
+  // Section 1.6: not(region = 'Chicago' and price < 200).
+  Dc dc({DcPredicate{DcOperand::TupleA(0), CmpOp::kEq,
+                     DcOperand::Const(Value("Chicago"))},
+         DcPredicate{DcOperand::TupleA(1), CmpOp::kLt,
+                     DcOperand::Const(Value(200))}});
+  auto result = RepairWithDcs(r, {dc});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->remaining_violations, 0);
+  EXPECT_TRUE(dc.Holds(result->repaired));
+  EXPECT_EQ(result->repaired.Get(0, 1), Value(200));
+}
+
+TEST(DcRepairTest, OrderDenialRepaired) {
+  RelationBuilder b({"subtotal", "taxes"});
+  b.AddRow({Value(100), Value(50)});
+  b.AddRow({Value(200), Value(10)});  // more subtotal, fewer taxes
+  Relation r = std::move(b.Build()).value();
+  Dc dc({DcPredicate{DcOperand::TupleA(0), CmpOp::kLt,
+                     DcOperand::TupleB(0)},
+         DcPredicate{DcOperand::TupleA(1), CmpOp::kGt,
+                     DcOperand::TupleB(1)}});
+  EXPECT_FALSE(dc.Holds(r));
+  auto result = RepairWithDcs(r, {dc});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(dc.Holds(result->repaired));
+}
+
+TEST(DcRepairTest, ChangeBudgetRespected) {
+  RelationBuilder b({"x", "y"});
+  for (int i = 0; i < 30; ++i) {
+    b.AddRow({Value(i), Value(30 - i)});  // thoroughly anti-monotone
+  }
+  Relation r = std::move(b.Build()).value();
+  Dc dc({DcPredicate{DcOperand::TupleA(0), CmpOp::kLt,
+                     DcOperand::TupleB(0)},
+         DcPredicate{DcOperand::TupleA(1), CmpOp::kGt,
+                     DcOperand::TupleB(1)}});
+  auto result = RepairWithDcs(r, {dc}, /*max_changes=*/5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->changes.size(), 5u);
+}
+
+TEST(RepairCostTest, ChangesCarryOldAndNewValues) {
+  Relation r5 = paper::R5();
+  Fd fd(AttrSet::Single(paper::R5Attrs::kAddress),
+        AttrSet::Single(paper::R5Attrs::kRegion));
+  auto result = RepairWithFds(r5, {fd});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->changes.size(), 1u);
+  const CellChange& change = result->changes[0];
+  EXPECT_EQ(change.col, paper::R5Attrs::kRegion);
+  EXPECT_NE(change.old_value, change.new_value);
+  EXPECT_TRUE(fd.Holds(result->repaired));
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/rule_parser.h"
+#include "gen/paper_tables.h"
+
+namespace famtree {
+namespace {
+
+class ParserOnR5 : public testing::Test {
+ protected:
+  Relation r5_ = paper::R5();
+  const Schema& schema() { return r5_.schema(); }
+};
+
+TEST_F(ParserOnR5, ParsesFd) {
+  auto rule = ParseRule("fd: address -> region", schema());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ((*rule)->cls(), DependencyClass::kFd);
+  EXPECT_FALSE((*rule)->Holds(r5_));
+}
+
+TEST_F(ParserOnR5, ParsesStatisticalFamily) {
+  // The Table 5 thresholds: strength 2/3, probability 3/4, g3 1/4.
+  EXPECT_TRUE(ParseRule("sfd(0.66): address -> region", schema())
+                  .value()
+                  ->Holds(r5_));
+  EXPECT_FALSE(ParseRule("sfd(0.7): address -> region", schema())
+                   .value()
+                   ->Holds(r5_));
+  EXPECT_TRUE(ParseRule("pfd(0.75): address -> region", schema())
+                  .value()
+                  ->Holds(r5_));
+  EXPECT_TRUE(ParseRule("afd(0.25): address -> region", schema())
+                  .value()
+                  ->Holds(r5_));
+  EXPECT_TRUE(ParseRule("nud(2): address -> region", schema())
+                  .value()
+                  ->Holds(r5_));
+  EXPECT_FALSE(ParseRule("nud(1): address -> region", schema())
+                   .value()
+                   ->Holds(r5_));
+}
+
+TEST_F(ParserOnR5, ParsesMvd) {
+  auto rule = ParseRule("mvd: address, rate ->> region", schema());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ((*rule)->cls(), DependencyClass::kMvd);
+  EXPECT_TRUE((*rule)->Holds(r5_));
+}
+
+TEST_F(ParserOnR5, ParsesCfdWithConstantAndWildcard) {
+  auto rule = ParseRule(
+      "cfd: [region='Jackson', name=_] -> [address=_]", schema());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ((*rule)->cls(), DependencyClass::kCfd);
+  EXPECT_TRUE((*rule)->Holds(r5_));
+}
+
+TEST_F(ParserOnR5, ParsesEcfdWithRangeCondition) {
+  auto rule =
+      ParseRule("ecfd: [rate<=200, name=_] -> [address=_]", schema());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ((*rule)->cls(), DependencyClass::kEcfd);
+  EXPECT_TRUE((*rule)->Holds(r5_));
+}
+
+TEST_F(ParserOnR5, RejectsGarbage) {
+  EXPECT_FALSE(ParseRule("address -> region", schema()).ok());
+  EXPECT_FALSE(ParseRule("xyz: address -> region", schema()).ok());
+  EXPECT_FALSE(ParseRule("fd: nosuchattr -> region", schema()).ok());
+  EXPECT_FALSE(ParseRule("fd: address region", schema()).ok());
+  EXPECT_FALSE(ParseRule("sfd: address -> region", schema()).ok());
+  EXPECT_FALSE(ParseRule("sd[1]: rate -> rate", schema()).ok());
+}
+
+class ParserOnR6 : public testing::Test {
+ protected:
+  Relation r6_ = paper::R6();
+  const Schema& schema() { return r6_.schema(); }
+};
+
+TEST_F(ParserOnR6, ParsesNed) {
+  auto rule =
+      ParseRule("ned: name^1, address^5 -> street^5", schema());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ((*rule)->cls(), DependencyClass::kNed);
+  EXPECT_TRUE((*rule)->Holds(r6_));
+}
+
+TEST_F(ParserOnR6, ParsesDdWithBothSemantics) {
+  auto similar = ParseRule(
+      "dd: name(<=1), street(<=5) -> address(<=5)", schema());
+  ASSERT_TRUE(similar.ok()) << similar.status().ToString();
+  EXPECT_TRUE((*similar)->Holds(r6_));
+  auto dissimilar =
+      ParseRule("dd: street(>=10) -> address(>=5)", schema());
+  ASSERT_TRUE(dissimilar.ok());
+  EXPECT_EQ((*dissimilar)->cls(), DependencyClass::kDd);
+}
+
+TEST_F(ParserOnR6, ParsesMd) {
+  auto rule = ParseRule("md: street~5, region~2 -> zip", schema());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ((*rule)->cls(), DependencyClass::kMd);
+  EXPECT_TRUE((*rule)->Holds(r6_));
+}
+
+TEST_F(ParserOnR6, ParsesMfd) {
+  auto rule = ParseRule("mfd(500): name, region -> price", schema());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ((*rule)->cls(), DependencyClass::kMfd);
+  EXPECT_TRUE((*rule)->Holds(r6_));
+}
+
+class ParserOnR7 : public testing::Test {
+ protected:
+  Relation r7_ = paper::R7();
+  const Schema& schema() { return r7_.schema(); }
+};
+
+TEST_F(ParserOnR7, ParsesOd) {
+  auto rule = ParseRule("od: nights^<= -> avg/night^>=", schema());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ((*rule)->cls(), DependencyClass::kOd);
+  EXPECT_TRUE((*rule)->Holds(r7_));
+}
+
+TEST_F(ParserOnR7, ParsesOfd) {
+  auto rule = ParseRule("ofd: subtotal ->P taxes", schema());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ((*rule)->cls(), DependencyClass::kOfd);
+  EXPECT_TRUE((*rule)->Holds(r7_));
+}
+
+TEST_F(ParserOnR7, ParsesSd) {
+  auto rule = ParseRule("sd[100,200]: nights -> subtotal", schema());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ((*rule)->cls(), DependencyClass::kSd);
+  EXPECT_TRUE((*rule)->Holds(r7_));
+  auto decreasing =
+      ParseRule("sd[-inf,0]: nights -> avg/night", schema());
+  ASSERT_TRUE(decreasing.ok());
+  EXPECT_TRUE((*decreasing)->Holds(r7_));
+}
+
+TEST_F(ParserOnR7, ParsesDc) {
+  auto rule = ParseRule(
+      "dc: not(ta.subtotal < tb.subtotal and ta.taxes > tb.taxes)",
+      schema());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ((*rule)->cls(), DependencyClass::kDc);
+  EXPECT_TRUE((*rule)->Holds(r7_));
+}
+
+TEST_F(ParserOnR7, ParsesConstantDc) {
+  auto rule = ParseRule("dc: not(ta.taxes < 0)", schema());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE((*rule)->Holds(r7_));
+}
+
+TEST(ParseRulesTest, MultiLineWithCommentsOnR1) {
+  Relation r1 = paper::R1();
+  std::string text =
+      "# rules for the hotel feed\n"
+      "fd: address -> region\n"
+      "\n"
+      "mfd(4): address -> region   # tolerate ', IL' variants\n"
+      "dc: not(ta.region = 'Chicago' and ta.price < 200)\n";
+  auto rules = ParseRules(text, r1.schema());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_EQ(rules->size(), 3u);
+  EXPECT_FALSE((*rules)[0]->Holds(r1));  // fd1 is violated
+  EXPECT_TRUE((*rules)[2]->Holds(r1));   // the Chicago price bound holds
+}
+
+TEST(ParseRulesTest, ReportsTheBadLineNumber) {
+  Relation r1 = paper::R1();
+  auto rules = ParseRules("fd: address -> region\nbogus\n", r1.schema());
+  ASSERT_FALSE(rules.ok());
+  EXPECT_NE(rules.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParseRulesTest, DcWithQuotedAnd) {
+  RelationBuilder b({"tag", "n"});
+  b.AddRow({Value("rock and roll"), Value(1)});
+  Relation r = std::move(b.Build()).value();
+  auto rule =
+      ParseRule("dc: not(ta.tag = 'rock and roll' and ta.n < 0)",
+                r.schema());
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE((*rule)->Holds(r));
+}
+
+TEST(ParserFuzzTest, GarbageNeverCrashes) {
+  Relation r5 = paper::R5();
+  Rng rng(3);
+  const std::string alphabet = "fdsancmo:->()[]^~<=>'_#, .x1";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string line;
+    int len = static_cast<int>(rng.Uniform(0, 40));
+    for (int i = 0; i < len; ++i) {
+      line += alphabet[rng.Uniform(0, alphabet.size() - 1)];
+    }
+    // Must not crash; outcome is ok-or-error, both fine.
+    auto rule = ParseRule(line, r5.schema());
+    if (rule.ok()) {
+      // Parsed rules must be usable.
+      (void)(*rule)->Validate(r5, 4);
+    }
+  }
+}
+
+TEST(ParserRoundTripTest, ParsedRulesRenderSanely) {
+  Relation r7 = paper::R7();
+  auto rule = ParseRule("od: nights^<= -> avg/night^>=", r7.schema());
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ((*rule)->ToString(&r7.schema()), "nights^<= -> avg/night^>=");
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "quality/speed_clean.h"
+
+namespace famtree {
+namespace {
+
+/// Sensor-style series: time steps of 1, values drifting slowly, with a
+/// spike planted at one position.
+Relation SpikedSeries(int spike_at, double spike_value) {
+  RelationBuilder b({"t", "v"});
+  for (int i = 0; i < 20; ++i) {
+    double v = i == spike_at ? spike_value : i * 1.0;
+    b.AddRow({Value(i), Value(v)});
+  }
+  return std::move(b.Build()).value();
+}
+
+TEST(SpeedCleanTest, DetectsTheSpike) {
+  Relation r = SpikedSeries(10, 500.0);
+  SpeedConstraint sc{-5.0, 5.0};
+  auto violations = DetectSpeedViolations(r, 0, 1, sc);
+  ASSERT_TRUE(violations.ok());
+  // Two violating steps: into the spike and out of it.
+  EXPECT_EQ(violations->size(), 2u);
+  EXPECT_EQ((*violations)[0].rows, (std::vector<int>{9, 10}));
+  EXPECT_EQ((*violations)[1].rows, (std::vector<int>{10, 11}));
+}
+
+TEST(SpeedCleanTest, CleanSeriesHasNoViolations) {
+  Relation r = SpikedSeries(-1, 0);
+  SpeedConstraint sc{-5.0, 5.0};
+  auto violations = DetectSpeedViolations(r, 0, 1, sc);
+  ASSERT_TRUE(violations.ok());
+  EXPECT_TRUE(violations->empty());
+}
+
+TEST(SpeedCleanTest, RepairClampsTheSpike) {
+  Relation r = SpikedSeries(10, 500.0);
+  SpeedConstraint sc{-5.0, 5.0};
+  auto result = RepairWithSpeedConstraint(r, 0, 1, sc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->remaining_violations, 0);
+  EXPECT_EQ(result->changes.size(), 1u);
+  EXPECT_EQ(result->changes[0].row, 10);
+  // The spike is clamped to prev + max_speed * dt = 9 + 5 = 14.
+  EXPECT_DOUBLE_EQ(result->repaired.Get(10, 1).AsNumeric(), 14.0);
+  // Downstream values are already feasible from the clamped point.
+  auto violations = DetectSpeedViolations(result->repaired, 0, 1, sc);
+  ASSERT_TRUE(violations.ok());
+  EXPECT_TRUE(violations->empty());
+}
+
+TEST(SpeedCleanTest, RepairHandlesUnsortedInput) {
+  // Rows arrive out of time order; the cleaner sorts by timestamp.
+  RelationBuilder b({"t", "v"});
+  b.AddRow({Value(2), Value(2.0)});
+  b.AddRow({Value(0), Value(0.0)});
+  b.AddRow({Value(1), Value(100.0)});  // spike in the middle of time
+  Relation r = std::move(b.Build()).value();
+  SpeedConstraint sc{-2.0, 2.0};
+  auto result = RepairWithSpeedConstraint(r, 0, 1, sc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->remaining_violations, 0);
+  EXPECT_DOUBLE_EQ(result->repaired.Get(2, 1).AsNumeric(), 2.0);
+}
+
+TEST(SpeedCleanTest, AsymmetricBand) {
+  // Monotone non-decreasing constraint: min speed 0.
+  RelationBuilder b({"t", "v"});
+  b.AddRow({Value(0), Value(10.0)});
+  b.AddRow({Value(1), Value(5.0)});   // drops: violates min_speed 0
+  b.AddRow({Value(2), Value(12.0)});
+  Relation r = std::move(b.Build()).value();
+  SpeedConstraint sc{0.0, 100.0};
+  auto result = RepairWithSpeedConstraint(r, 0, 1, sc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->repaired.Get(1, 1).AsNumeric(), 10.0);
+  EXPECT_EQ(result->remaining_violations, 0);
+}
+
+TEST(SpeedCleanTest, DuplicateTimestampsSkipped) {
+  RelationBuilder b({"t", "v"});
+  b.AddRow({Value(0), Value(0.0)});
+  b.AddRow({Value(0), Value(99.0)});  // dt = 0: undefined speed, skipped
+  b.AddRow({Value(1), Value(1.0)});
+  Relation r = std::move(b.Build()).value();
+  SpeedConstraint sc{-5, 5};
+  auto violations = DetectSpeedViolations(r, 0, 1, sc);
+  ASSERT_TRUE(violations.ok());
+  // Only the (row1 -> row2) step has dt > 0; speed (1-99)/1 violates.
+  EXPECT_EQ(violations->size(), 1u);
+}
+
+TEST(SpeedCleanTest, RejectsBadArguments) {
+  Relation r = SpikedSeries(-1, 0);
+  EXPECT_FALSE(DetectSpeedViolations(r, 0, 0, SpeedConstraint{}).ok());
+  EXPECT_FALSE(DetectSpeedViolations(r, 0, 9, SpeedConstraint{}).ok());
+  EXPECT_FALSE(
+      DetectSpeedViolations(r, 0, 1, SpeedConstraint{5.0, -5.0}).ok());
+}
+
+TEST(SpeedCleanTest, NoisySensorWorkload) {
+  // Larger randomized check: repair always terminates violation-free.
+  Rng rng(11);
+  RelationBuilder b({"t", "v"});
+  double v = 0;
+  for (int i = 0; i < 300; ++i) {
+    v += rng.NextDouble() * 2 - 1;
+    double observed = rng.Bernoulli(0.05) ? v + 200 : v;
+    b.AddRow({Value(i), Value(observed)});
+  }
+  Relation r = std::move(b.Build()).value();
+  SpeedConstraint sc{-2.0, 2.0};
+  auto result = RepairWithSpeedConstraint(r, 0, 1, sc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->remaining_violations, 0);
+  EXPECT_GT(result->changes.size(), 0u);
+}
+
+}  // namespace
+}  // namespace famtree

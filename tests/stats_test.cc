@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "quality/stats.h"
+
+namespace famtree {
+namespace {
+
+Relation CorrelatedRelation(int rows, uint64_t seed) {
+  Rng rng(seed);
+  RelationBuilder b({"make", "model", "color"});
+  // model determines make (CORDS' canonical example); color independent.
+  for (int r = 0; r < rows; ++r) {
+    int model = static_cast<int>(rng.Uniform(0, 19));
+    b.AddRow({Value("make" + std::to_string(model % 4)),
+              Value("model" + std::to_string(model)),
+              Value("color" + std::to_string(rng.Uniform(0, 7)))});
+  }
+  return std::move(b.Build()).value();
+}
+
+TEST(CorrelationAdvisorTest, CorrectedEstimateBeatsIndependence) {
+  Relation r = CorrelatedRelation(4000, 1);
+  auto advisor = CorrelationAdvisor::Build(r);
+  ASSERT_TRUE(advisor.ok());
+  // Predicate make = make0 AND model = model0 (consistent pair).
+  auto est = advisor->EstimateConjunction(r, 0, Value("make0"), 1,
+                                          Value("model0"));
+  ASSERT_TRUE(est.ok());
+  // True selectivity ~ 1/20; independence predicts ~ 1/80.
+  double err_ind = std::fabs(est->independence - est->actual);
+  double err_cor = std::fabs(est->corrected - est->actual);
+  EXPECT_LT(err_cor, err_ind);
+  EXPECT_NEAR(est->corrected, est->actual, 0.02);
+}
+
+TEST(CorrelationAdvisorTest, IndependenceFineForIndependentColumns) {
+  Relation r = CorrelatedRelation(4000, 2);
+  auto advisor = CorrelationAdvisor::Build(r);
+  ASSERT_TRUE(advisor.ok());
+  auto est = advisor->EstimateConjunction(r, 1, Value("model0"), 2,
+                                          Value("color0"));
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->independence, est->actual, 0.01);
+}
+
+TEST(CorrelationAdvisorTest, RecommendsIndexOnSoftFd) {
+  Relation r = CorrelatedRelation(4000, 3);
+  auto advisor = CorrelationAdvisor::Build(r);
+  ASSERT_TRUE(advisor.ok());
+  auto recs = advisor->RecommendIndexes();
+  ASSERT_FALSE(recs.empty());
+  // model -> make is the strongest soft FD.
+  EXPECT_EQ(recs[0].lhs, 1);
+  EXPECT_EQ(recs[0].rhs, 0);
+  EXPECT_DOUBLE_EQ(recs[0].strength, 1.0);
+  // Sorted by strength.
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_GE(recs[i - 1].strength, recs[i].strength);
+  }
+}
+
+TEST(CorrelationAdvisorTest, RejectsBadColumnPair) {
+  Relation r = CorrelatedRelation(100, 4);
+  auto advisor = CorrelationAdvisor::Build(r);
+  ASSERT_TRUE(advisor.ok());
+  EXPECT_FALSE(advisor->EstimateConjunction(r, 0, Value(1), 0, Value(2)).ok());
+  EXPECT_FALSE(advisor->EstimateConjunction(r, 0, Value(1), 9, Value(2)).ok());
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,103 @@
+// Rendering coverage: every dependency class prints its paper-style
+// notation, with and without a schema, without crashing — these strings
+// are the library's user interface in logs and reports.
+
+#include <gtest/gtest.h>
+
+#include "core/embeddings.h"
+#include "gen/paper_tables.h"
+
+namespace famtree {
+namespace {
+
+TEST(ToStringTest, EveryClassRendersWithSchemaNames) {
+  Relation r6 = paper::R6();
+  const Schema* s = &r6.schema();
+  Fd fd(AttrSet::Single(3), AttrSet::Single(4));
+
+  std::vector<std::pair<DependencyClass, std::string>> rendered;
+  rendered.push_back({DependencyClass::kFd, fd.ToString(s)});
+  rendered.push_back({DependencyClass::kSfd, SfdFromFd(fd).ToString(s)});
+  rendered.push_back({DependencyClass::kPfd, PfdFromFd(fd).ToString(s)});
+  rendered.push_back({DependencyClass::kAfd, AfdFromFd(fd).ToString(s)});
+  rendered.push_back({DependencyClass::kNud, NudFromFd(fd).ToString(s)});
+  Cfd cfd = CfdFromFd(fd);
+  rendered.push_back({DependencyClass::kCfd, cfd.ToString(s)});
+  rendered.push_back({DependencyClass::kEcfd, EcfdFromCfd(cfd).ToString(s)});
+  Mvd mvd = MvdFromFd(fd).value();
+  rendered.push_back({DependencyClass::kMvd, mvd.ToString(s)});
+  rendered.push_back({DependencyClass::kFhd, FhdFromMvd(mvd).ToString(s)});
+  rendered.push_back({DependencyClass::kAmvd, AmvdFromMvd(mvd).ToString(s)});
+  Mfd mfd = MfdFromFd(fd);
+  rendered.push_back({DependencyClass::kMfd, mfd.ToString(s)});
+  Ned ned = NedFromMfd(mfd);
+  rendered.push_back({DependencyClass::kNed, ned.ToString(s)});
+  Dd dd = DdFromNed(ned);
+  rendered.push_back({DependencyClass::kDd, dd.ToString(s)});
+  rendered.push_back({DependencyClass::kCdd, CddFromDd(dd).ToString(s)});
+  rendered.push_back({DependencyClass::kCd,
+                      CdFromNed(ned).value().ToString(s)});
+  rendered.push_back({DependencyClass::kPac, PacFromNed(ned).ToString(s)});
+  rendered.push_back({DependencyClass::kFfd, FfdFromFd(fd).ToString(s)});
+  Md md = MdFromFd(fd);
+  rendered.push_back({DependencyClass::kMd, md.ToString(s)});
+  rendered.push_back({DependencyClass::kCmd, CmdFromMd(md).ToString(s)});
+  Ofd ofd(AttrSet::Single(6), AttrSet::Single(7));
+  rendered.push_back({DependencyClass::kOfd, ofd.ToString(s)});
+  Od od = OdFromOfd(ofd);
+  rendered.push_back({DependencyClass::kOd, od.ToString(s)});
+  rendered.push_back({DependencyClass::kDc,
+                      DcFromOd(od).value().ToString(s)});
+  Sd sd(6, 7, Interval::Between(0, 10));
+  rendered.push_back({DependencyClass::kSd, sd.ToString(s)});
+  rendered.push_back({DependencyClass::kCsd, CsdFromSd(sd).ToString(s)});
+
+  EXPECT_EQ(rendered.size(), 24u);
+  for (const auto& [cls, text] : rendered) {
+    EXPECT_FALSE(text.empty()) << DependencyClassAcronym(cls);
+    // Schema names appear (every rendering mentions a real column).
+    bool has_name = false;
+    for (int c = 0; c < r6.num_columns(); ++c) {
+      if (text.find(r6.schema().name(c)) != std::string::npos) {
+        has_name = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_name) << DependencyClassAcronym(cls) << ": " << text;
+  }
+}
+
+TEST(ToStringTest, PaperNotationShapes) {
+  Relation r5 = paper::R5();
+  const Schema* s = &r5.schema();
+  Fd fd(AttrSet::Single(1), AttrSet::Single(2));
+  EXPECT_EQ(fd.ToString(s), "address -> region");
+  EXPECT_EQ(SfdFromFd(fd).ToString(s), "address ->_1 region");
+  EXPECT_EQ(MvdFromFd(fd).value().ToString(s), "address ->> region");
+  Sd sd(0, 3, Interval::Between(100, 200));
+  EXPECT_EQ(sd.ToString(s), "name ->_[100,200] rate");
+  Od od({MarkedAttr{0, OrderMark::kLeq}}, {MarkedAttr{3, OrderMark::kGeq}});
+  EXPECT_EQ(od.ToString(s), "name^<= -> rate^>=");
+}
+
+TEST(ToStringTest, FallbackWithoutSchema) {
+  Fd fd(AttrSet::Of({0, 2}), AttrSet::Single(1));
+  EXPECT_EQ(fd.ToString(), "#0, #2 -> #1");
+}
+
+TEST(ToStringTest, DistRangeForms) {
+  EXPECT_EQ(DistRange::AtMost(5).ToString(), "(<=5)");
+  EXPECT_EQ(DistRange::AtLeast(10).ToString(), "(>=10)");
+  EXPECT_EQ(DistRange::Exactly(3).ToString(), "(=3)");
+  EXPECT_EQ(DistRange::Between(2, 7).ToString(), "[2,7]");
+  EXPECT_EQ(DistRange::Any().ToString(), "(any)");
+}
+
+TEST(ToStringTest, IntervalForms) {
+  EXPECT_EQ(Interval::Between(100, 200).ToString(), "[100,200]");
+  EXPECT_EQ(Interval::AtLeast(0).ToString(), "[0,inf]");
+  EXPECT_EQ(Interval::AtMost(0).ToString(), "[-inf,0]");
+}
+
+}  // namespace
+}  // namespace famtree

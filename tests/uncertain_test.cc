@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "uncertain/uncertain.h"
+
+namespace famtree {
+namespace {
+
+UncertainRelation TwoRowRelation(std::vector<Value> lhs1,
+                                 std::vector<Value> rhs1,
+                                 std::vector<Value> lhs2,
+                                 std::vector<Value> rhs2) {
+  UncertainRelation r(Schema::FromNames({"x", "y"}));
+  r.AppendRow({std::move(lhs1), std::move(rhs1)}).ok();
+  r.AppendRow({std::move(lhs2), std::move(rhs2)}).ok();
+  return r;
+}
+
+Fd XtoY() { return Fd(AttrSet::Single(0), AttrSet::Single(1)); }
+
+TEST(UncertainTest, CertainlyHoldsWhenLhsCannotAgree) {
+  auto r = TwoRowRelation({Value(1)}, {Value(10), Value(11)}, {Value(2)},
+                          {Value(20)});
+  auto verdict = CheckFdUnderUncertainty(r, XtoY());
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, UncertainVerdict::kCertainlyHolds);
+}
+
+TEST(UncertainTest, CertainlyHoldsWhenRhsForcedEqual) {
+  auto r = TwoRowRelation({Value(1), Value(2)}, {Value(10)}, {Value(1)},
+                          {Value(10)});
+  auto verdict = CheckFdUnderUncertainty(r, XtoY());
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, UncertainVerdict::kCertainlyHolds);
+}
+
+TEST(UncertainTest, PossiblyHoldsWithOverlappingAlternatives) {
+  // LHS may or may not agree; RHS may or may not differ.
+  auto r = TwoRowRelation({Value(1), Value(2)}, {Value(10), Value(11)},
+                          {Value(1)}, {Value(10)});
+  auto verdict = CheckFdUnderUncertainty(r, XtoY());
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, UncertainVerdict::kPossiblyHolds);
+}
+
+TEST(UncertainTest, CertainlyViolatedWhenForced) {
+  // LHS forced equal, RHS or-sets disjoint: every world violates.
+  auto r = TwoRowRelation({Value(1)}, {Value(10), Value(11)}, {Value(1)},
+                          {Value(20), Value(21)});
+  auto verdict = CheckFdUnderUncertainty(r, XtoY());
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(*verdict, UncertainVerdict::kCertainlyViolated);
+}
+
+TEST(UncertainTest, VerdictsAgreeWithWorldEnumeration) {
+  // Cross-check the pairwise reasoning against brute-force enumeration
+  // on a relation small enough to enumerate.
+  auto r = TwoRowRelation({Value(1), Value(2)}, {Value(10), Value(20)},
+                          {Value(1), Value(3)}, {Value(10)});
+  Fd fd = XtoY();
+  int holds = 0, worlds = 0;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int c = 0; c < 2; ++c) {
+        auto world = r.World({{a, b}, {c, 0}});
+        ASSERT_TRUE(world.ok());
+        ++worlds;
+        holds += fd.Holds(*world);
+      }
+    }
+  }
+  EXPECT_EQ(worlds, 8);
+  auto verdict = CheckFdUnderUncertainty(r, fd);
+  ASSERT_TRUE(verdict.ok());
+  if (holds == worlds) {
+    EXPECT_EQ(*verdict, UncertainVerdict::kCertainlyHolds);
+  } else if (holds == 0) {
+    EXPECT_EQ(*verdict, UncertainVerdict::kCertainlyViolated);
+  } else {
+    EXPECT_EQ(*verdict, UncertainVerdict::kPossiblyHolds);
+  }
+}
+
+TEST(UncertainTest, NumWorldsMultiplies) {
+  auto r = TwoRowRelation({Value(1), Value(2)}, {Value(10)},
+                          {Value(1), Value(2), Value(3)}, {Value(10)});
+  EXPECT_EQ(r.NumWorlds(), 6);
+}
+
+TEST(UncertainTest, CertainRelationBehavesClassically) {
+  auto clean = TwoRowRelation({Value(1)}, {Value(10)}, {Value(1)},
+                              {Value(10)});
+  EXPECT_EQ(*CheckFdUnderUncertainty(clean, XtoY()),
+            UncertainVerdict::kCertainlyHolds);
+  auto dirty = TwoRowRelation({Value(1)}, {Value(10)}, {Value(1)},
+                              {Value(11)});
+  EXPECT_EQ(*CheckFdUnderUncertainty(dirty, XtoY()),
+            UncertainVerdict::kCertainlyViolated);
+}
+
+TEST(UncertainTest, RejectsBadInputs) {
+  UncertainRelation r(Schema::FromNames({"x", "y"}));
+  EXPECT_FALSE(r.AppendRow({{Value(1)}}).ok());           // arity
+  EXPECT_FALSE(r.AppendRow({{Value(1)}, {}}).ok());       // empty cell
+  r.AppendRow({{Value(1)}, {Value(2)}}).ok();
+  EXPECT_FALSE(
+      CheckFdUnderUncertainty(r, Fd(AttrSet::Single(0), AttrSet::Single(9)))
+          .ok());
+  EXPECT_FALSE(
+      CheckFdUnderUncertainty(r, Fd(AttrSet::Of({0, 1}), AttrSet::Single(1)))
+          .ok());  // overlapping sides
+}
+
+TEST(UncertainTest, WorldMaterialization) {
+  auto r = TwoRowRelation({Value(1), Value(2)}, {Value(10)}, {Value(3)},
+                          {Value(30)});
+  auto world = r.World({{1, 0}, {0, 0}});
+  ASSERT_TRUE(world.ok());
+  EXPECT_EQ(world->Get(0, 0), Value(2));
+  EXPECT_FALSE(r.World({{5, 0}, {0, 0}}).ok());
+}
+
+}  // namespace
+}  // namespace famtree

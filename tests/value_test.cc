@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relation/value.h"
+
+namespace famtree {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "∅");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value(3).type(), ValueType::kInt);
+  EXPECT_EQ(Value(int64_t{3}).type(), ValueType::kInt);
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value(std::string("hi")).type(), ValueType::kString);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("x").as_string(), "x");
+}
+
+TEST(ValueTest, AsNumericWidensInts) {
+  EXPECT_DOUBLE_EQ(Value(4).AsNumeric(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(4.25).AsNumeric(), 4.25);
+  EXPECT_TRUE(std::isnan(Value("x").AsNumeric()));
+  EXPECT_TRUE(std::isnan(Value().AsNumeric()));
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_NE(Value(3), Value(4));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, CrossNumericEquality) {
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_NE(Value(2), Value(2.5));
+  // Numbers never equal their string rendering.
+  EXPECT_NE(Value(2), Value("2"));
+}
+
+TEST(ValueTest, EqualValuesHashEqually) {
+  EXPECT_EQ(Value(2).Hash(), Value(2.0).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value().Hash(), Value().Hash());
+}
+
+TEST(ValueTest, TotalOrder) {
+  // null < numerics < strings.
+  EXPECT_LT(Value(), Value(0));
+  EXPECT_LT(Value(99), Value("a"));
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1.5), Value(2));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value() < Value());
+}
+
+TEST(ValueTest, ComparisonOperatorsAgree) {
+  Value a(1), b(2);
+  EXPECT_TRUE(a <= b);
+  EXPECT_TRUE(a <= Value(1));
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= a);
+  EXPECT_FALSE(a >= b);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("text").ToString(), "text");
+  EXPECT_EQ(Value(3.0).ToString(), "3");
+  EXPECT_EQ(Value(3.25).ToString(), "3.25");
+}
+
+TEST(ValueTest, LargeIntegersCompareExactly) {
+  // Beyond 2^53 doubles lose integer precision; the int-int comparison
+  // path must stay exact.
+  int64_t big = (int64_t{1} << 60) + 1;
+  EXPECT_LT(Value(big - 1), Value(big));
+  EXPECT_NE(Value(big), Value(big - 1));
+  EXPECT_EQ(Value(big), Value(big));
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNull), "null");
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt), "int");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDouble), "double");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace famtree
