@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_evidence.dir/ablation_evidence.cc.o"
+  "CMakeFiles/ablation_evidence.dir/ablation_evidence.cc.o.d"
+  "ablation_evidence"
+  "ablation_evidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_evidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

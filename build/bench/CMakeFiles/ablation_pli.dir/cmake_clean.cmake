@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pli.dir/ablation_pli.cc.o"
+  "CMakeFiles/ablation_pli.dir/ablation_pli.cc.o.d"
+  "ablation_pli"
+  "ablation_pli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

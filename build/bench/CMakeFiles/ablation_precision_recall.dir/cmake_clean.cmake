@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_precision_recall.dir/ablation_precision_recall.cc.o"
+  "CMakeFiles/ablation_precision_recall.dir/ablation_precision_recall.cc.o.d"
+  "ablation_precision_recall"
+  "ablation_precision_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_precision_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discovery_categorical.dir/bench_discovery_categorical.cc.o"
+  "CMakeFiles/bench_discovery_categorical.dir/bench_discovery_categorical.cc.o.d"
+  "bench_discovery_categorical"
+  "bench_discovery_categorical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discovery_categorical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discovery_heterogeneous.dir/bench_discovery_heterogeneous.cc.o"
+  "CMakeFiles/bench_discovery_heterogeneous.dir/bench_discovery_heterogeneous.cc.o.d"
+  "bench_discovery_heterogeneous"
+  "bench_discovery_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discovery_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

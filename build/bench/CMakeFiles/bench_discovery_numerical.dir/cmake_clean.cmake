@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discovery_numerical.dir/bench_discovery_numerical.cc.o"
+  "CMakeFiles/bench_discovery_numerical.dir/bench_discovery_numerical.cc.o.d"
+  "bench_discovery_numerical"
+  "bench_discovery_numerical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discovery_numerical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reasoning.dir/bench_reasoning.cc.o"
+  "CMakeFiles/bench_reasoning.dir/bench_reasoning.cc.o.d"
+  "bench_reasoning"
+  "bench_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

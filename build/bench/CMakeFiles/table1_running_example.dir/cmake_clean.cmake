@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_running_example.dir/table1_running_example.cc.o"
+  "CMakeFiles/table1_running_example.dir/table1_running_example.cc.o.d"
+  "table1_running_example"
+  "table1_running_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_running_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

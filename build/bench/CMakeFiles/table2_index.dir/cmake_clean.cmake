@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_index.dir/table2_index.cc.o"
+  "CMakeFiles/table2_index.dir/table2_index.cc.o.d"
+  "table2_index"
+  "table2_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

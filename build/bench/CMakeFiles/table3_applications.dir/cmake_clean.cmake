@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_applications.dir/table3_applications.cc.o"
+  "CMakeFiles/table3_applications.dir/table3_applications.cc.o.d"
+  "table3_applications"
+  "table3_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_categorical.dir/table5_categorical.cc.o"
+  "CMakeFiles/table5_categorical.dir/table5_categorical.cc.o.d"
+  "table5_categorical"
+  "table5_categorical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_categorical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

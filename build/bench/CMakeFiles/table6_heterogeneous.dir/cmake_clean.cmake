@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_heterogeneous.dir/table6_heterogeneous.cc.o"
+  "CMakeFiles/table6_heterogeneous.dir/table6_heterogeneous.cc.o.d"
+  "table6_heterogeneous"
+  "table6_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_numerical.dir/table7_numerical.cc.o"
+  "CMakeFiles/table7_numerical.dir/table7_numerical.cc.o.d"
+  "table7_numerical"
+  "table7_numerical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_numerical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_discovery.dir/dependency_discovery.cpp.o"
+  "CMakeFiles/dependency_discovery.dir/dependency_discovery.cpp.o.d"
+  "dependency_discovery"
+  "dependency_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

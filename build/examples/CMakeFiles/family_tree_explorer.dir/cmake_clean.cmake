@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_tree_explorer.dir/family_tree_explorer.cpp.o"
+  "CMakeFiles/family_tree_explorer.dir/family_tree_explorer.cpp.o.d"
+  "family_tree_explorer"
+  "family_tree_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_tree_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_cleaning.dir/hotel_cleaning.cpp.o"
+  "CMakeFiles/hotel_cleaning.dir/hotel_cleaning.cpp.o.d"
+  "hotel_cleaning"
+  "hotel_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

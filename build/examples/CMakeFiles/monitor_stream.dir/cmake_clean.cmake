@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_stream.dir/monitor_stream.cpp.o"
+  "CMakeFiles/monitor_stream.dir/monitor_stream.cpp.o.d"
+  "monitor_stream"
+  "monitor_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_check.dir/rules_check.cpp.o"
+  "CMakeFiles/rules_check.dir/rules_check.cpp.o.d"
+  "rules_check"
+  "rules_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_cleaning.dir/sensor_cleaning.cpp.o"
+  "CMakeFiles/sensor_cleaning.dir/sensor_cleaning.cpp.o.d"
+  "sensor_cleaning"
+  "sensor_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

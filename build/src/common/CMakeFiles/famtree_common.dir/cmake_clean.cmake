@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/famtree_common.dir/attr_set.cc.o"
+  "CMakeFiles/famtree_common.dir/attr_set.cc.o.d"
+  "CMakeFiles/famtree_common.dir/rng.cc.o"
+  "CMakeFiles/famtree_common.dir/rng.cc.o.d"
+  "CMakeFiles/famtree_common.dir/status.cc.o"
+  "CMakeFiles/famtree_common.dir/status.cc.o.d"
+  "CMakeFiles/famtree_common.dir/strings.cc.o"
+  "CMakeFiles/famtree_common.dir/strings.cc.o.d"
+  "libfamtree_common.a"
+  "libfamtree_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/famtree_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/class_info.cc" "src/core/CMakeFiles/famtree_core.dir/class_info.cc.o" "gcc" "src/core/CMakeFiles/famtree_core.dir/class_info.cc.o.d"
+  "/root/repo/src/core/embeddings.cc" "src/core/CMakeFiles/famtree_core.dir/embeddings.cc.o" "gcc" "src/core/CMakeFiles/famtree_core.dir/embeddings.cc.o.d"
+  "/root/repo/src/core/family_tree.cc" "src/core/CMakeFiles/famtree_core.dir/family_tree.cc.o" "gcc" "src/core/CMakeFiles/famtree_core.dir/family_tree.cc.o.d"
+  "/root/repo/src/core/rule_parser.cc" "src/core/CMakeFiles/famtree_core.dir/rule_parser.cc.o" "gcc" "src/core/CMakeFiles/famtree_core.dir/rule_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deps/CMakeFiles/famtree_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/famtree_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/famtree_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/famtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

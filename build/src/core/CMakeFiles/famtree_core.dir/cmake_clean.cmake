@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/famtree_core.dir/class_info.cc.o"
+  "CMakeFiles/famtree_core.dir/class_info.cc.o.d"
+  "CMakeFiles/famtree_core.dir/embeddings.cc.o"
+  "CMakeFiles/famtree_core.dir/embeddings.cc.o.d"
+  "CMakeFiles/famtree_core.dir/family_tree.cc.o"
+  "CMakeFiles/famtree_core.dir/family_tree.cc.o.d"
+  "CMakeFiles/famtree_core.dir/rule_parser.cc.o"
+  "CMakeFiles/famtree_core.dir/rule_parser.cc.o.d"
+  "libfamtree_core.a"
+  "libfamtree_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/famtree_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

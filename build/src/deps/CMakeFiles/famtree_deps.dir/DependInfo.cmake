@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deps/afd.cc" "src/deps/CMakeFiles/famtree_deps.dir/afd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/afd.cc.o.d"
+  "/root/repo/src/deps/cd.cc" "src/deps/CMakeFiles/famtree_deps.dir/cd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/cd.cc.o.d"
+  "/root/repo/src/deps/cdd.cc" "src/deps/CMakeFiles/famtree_deps.dir/cdd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/cdd.cc.o.d"
+  "/root/repo/src/deps/cfd.cc" "src/deps/CMakeFiles/famtree_deps.dir/cfd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/cfd.cc.o.d"
+  "/root/repo/src/deps/cfd_tableau.cc" "src/deps/CMakeFiles/famtree_deps.dir/cfd_tableau.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/cfd_tableau.cc.o.d"
+  "/root/repo/src/deps/cmd.cc" "src/deps/CMakeFiles/famtree_deps.dir/cmd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/cmd.cc.o.d"
+  "/root/repo/src/deps/dc.cc" "src/deps/CMakeFiles/famtree_deps.dir/dc.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/dc.cc.o.d"
+  "/root/repo/src/deps/dd.cc" "src/deps/CMakeFiles/famtree_deps.dir/dd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/dd.cc.o.d"
+  "/root/repo/src/deps/dependency.cc" "src/deps/CMakeFiles/famtree_deps.dir/dependency.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/dependency.cc.o.d"
+  "/root/repo/src/deps/differential.cc" "src/deps/CMakeFiles/famtree_deps.dir/differential.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/differential.cc.o.d"
+  "/root/repo/src/deps/ecfd.cc" "src/deps/CMakeFiles/famtree_deps.dir/ecfd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/ecfd.cc.o.d"
+  "/root/repo/src/deps/fd.cc" "src/deps/CMakeFiles/famtree_deps.dir/fd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/fd.cc.o.d"
+  "/root/repo/src/deps/ffd.cc" "src/deps/CMakeFiles/famtree_deps.dir/ffd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/ffd.cc.o.d"
+  "/root/repo/src/deps/fhd.cc" "src/deps/CMakeFiles/famtree_deps.dir/fhd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/fhd.cc.o.d"
+  "/root/repo/src/deps/md.cc" "src/deps/CMakeFiles/famtree_deps.dir/md.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/md.cc.o.d"
+  "/root/repo/src/deps/mfd.cc" "src/deps/CMakeFiles/famtree_deps.dir/mfd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/mfd.cc.o.d"
+  "/root/repo/src/deps/mvd.cc" "src/deps/CMakeFiles/famtree_deps.dir/mvd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/mvd.cc.o.d"
+  "/root/repo/src/deps/ned.cc" "src/deps/CMakeFiles/famtree_deps.dir/ned.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/ned.cc.o.d"
+  "/root/repo/src/deps/nud.cc" "src/deps/CMakeFiles/famtree_deps.dir/nud.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/nud.cc.o.d"
+  "/root/repo/src/deps/od.cc" "src/deps/CMakeFiles/famtree_deps.dir/od.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/od.cc.o.d"
+  "/root/repo/src/deps/ofd.cc" "src/deps/CMakeFiles/famtree_deps.dir/ofd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/ofd.cc.o.d"
+  "/root/repo/src/deps/pac.cc" "src/deps/CMakeFiles/famtree_deps.dir/pac.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/pac.cc.o.d"
+  "/root/repo/src/deps/pattern.cc" "src/deps/CMakeFiles/famtree_deps.dir/pattern.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/pattern.cc.o.d"
+  "/root/repo/src/deps/pfd.cc" "src/deps/CMakeFiles/famtree_deps.dir/pfd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/pfd.cc.o.d"
+  "/root/repo/src/deps/sd.cc" "src/deps/CMakeFiles/famtree_deps.dir/sd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/sd.cc.o.d"
+  "/root/repo/src/deps/sfd.cc" "src/deps/CMakeFiles/famtree_deps.dir/sfd.cc.o" "gcc" "src/deps/CMakeFiles/famtree_deps.dir/sfd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/famtree_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/famtree_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/famtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/cd_discovery.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/cd_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/cd_discovery.cc.o.d"
+  "/root/repo/src/discovery/cfd_discovery.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/cfd_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/cfd_discovery.cc.o.d"
+  "/root/repo/src/discovery/cords.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/cords.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/cords.cc.o.d"
+  "/root/repo/src/discovery/dd_discovery.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/dd_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/dd_discovery.cc.o.d"
+  "/root/repo/src/discovery/ecfd_discovery.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/ecfd_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/ecfd_discovery.cc.o.d"
+  "/root/repo/src/discovery/fastdc.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/fastdc.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/fastdc.cc.o.d"
+  "/root/repo/src/discovery/fastfd.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/fastfd.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/fastfd.cc.o.d"
+  "/root/repo/src/discovery/md_discovery.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/md_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/md_discovery.cc.o.d"
+  "/root/repo/src/discovery/metric_discovery.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/metric_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/metric_discovery.cc.o.d"
+  "/root/repo/src/discovery/mvd_discovery.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/mvd_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/mvd_discovery.cc.o.d"
+  "/root/repo/src/discovery/ned_discovery.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/ned_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/ned_discovery.cc.o.d"
+  "/root/repo/src/discovery/od_discovery.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/od_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/od_discovery.cc.o.d"
+  "/root/repo/src/discovery/pfd_discovery.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/pfd_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/pfd_discovery.cc.o.d"
+  "/root/repo/src/discovery/sd_discovery.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/sd_discovery.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/sd_discovery.cc.o.d"
+  "/root/repo/src/discovery/tane.cc" "src/discovery/CMakeFiles/famtree_discovery.dir/tane.cc.o" "gcc" "src/discovery/CMakeFiles/famtree_discovery.dir/tane.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deps/CMakeFiles/famtree_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/famtree_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/famtree_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/famtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/famtree_discovery.dir/cd_discovery.cc.o"
+  "CMakeFiles/famtree_discovery.dir/cd_discovery.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/cfd_discovery.cc.o"
+  "CMakeFiles/famtree_discovery.dir/cfd_discovery.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/cords.cc.o"
+  "CMakeFiles/famtree_discovery.dir/cords.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/dd_discovery.cc.o"
+  "CMakeFiles/famtree_discovery.dir/dd_discovery.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/ecfd_discovery.cc.o"
+  "CMakeFiles/famtree_discovery.dir/ecfd_discovery.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/fastdc.cc.o"
+  "CMakeFiles/famtree_discovery.dir/fastdc.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/fastfd.cc.o"
+  "CMakeFiles/famtree_discovery.dir/fastfd.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/md_discovery.cc.o"
+  "CMakeFiles/famtree_discovery.dir/md_discovery.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/metric_discovery.cc.o"
+  "CMakeFiles/famtree_discovery.dir/metric_discovery.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/mvd_discovery.cc.o"
+  "CMakeFiles/famtree_discovery.dir/mvd_discovery.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/ned_discovery.cc.o"
+  "CMakeFiles/famtree_discovery.dir/ned_discovery.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/od_discovery.cc.o"
+  "CMakeFiles/famtree_discovery.dir/od_discovery.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/pfd_discovery.cc.o"
+  "CMakeFiles/famtree_discovery.dir/pfd_discovery.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/sd_discovery.cc.o"
+  "CMakeFiles/famtree_discovery.dir/sd_discovery.cc.o.d"
+  "CMakeFiles/famtree_discovery.dir/tane.cc.o"
+  "CMakeFiles/famtree_discovery.dir/tane.cc.o.d"
+  "libfamtree_discovery.a"
+  "libfamtree_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/famtree_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/famtree_gen.dir/armstrong.cc.o"
+  "CMakeFiles/famtree_gen.dir/armstrong.cc.o.d"
+  "CMakeFiles/famtree_gen.dir/generators.cc.o"
+  "CMakeFiles/famtree_gen.dir/generators.cc.o.d"
+  "CMakeFiles/famtree_gen.dir/paper_tables.cc.o"
+  "CMakeFiles/famtree_gen.dir/paper_tables.cc.o.d"
+  "libfamtree_gen.a"
+  "libfamtree_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/famtree_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

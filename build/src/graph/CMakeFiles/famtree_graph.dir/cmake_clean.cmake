@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/famtree_graph.dir/label_graph.cc.o"
+  "CMakeFiles/famtree_graph.dir/label_graph.cc.o.d"
+  "libfamtree_graph.a"
+  "libfamtree_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/famtree_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metric/fuzzy.cc" "src/metric/CMakeFiles/famtree_metric.dir/fuzzy.cc.o" "gcc" "src/metric/CMakeFiles/famtree_metric.dir/fuzzy.cc.o.d"
+  "/root/repo/src/metric/metric.cc" "src/metric/CMakeFiles/famtree_metric.dir/metric.cc.o" "gcc" "src/metric/CMakeFiles/famtree_metric.dir/metric.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relation/CMakeFiles/famtree_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/famtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/famtree_metric.dir/fuzzy.cc.o"
+  "CMakeFiles/famtree_metric.dir/fuzzy.cc.o.d"
+  "CMakeFiles/famtree_metric.dir/metric.cc.o"
+  "CMakeFiles/famtree_metric.dir/metric.cc.o.d"
+  "libfamtree_metric.a"
+  "libfamtree_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/famtree_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quality/cqa.cc" "src/quality/CMakeFiles/famtree_quality.dir/cqa.cc.o" "gcc" "src/quality/CMakeFiles/famtree_quality.dir/cqa.cc.o.d"
+  "/root/repo/src/quality/dedup.cc" "src/quality/CMakeFiles/famtree_quality.dir/dedup.cc.o" "gcc" "src/quality/CMakeFiles/famtree_quality.dir/dedup.cc.o.d"
+  "/root/repo/src/quality/detector.cc" "src/quality/CMakeFiles/famtree_quality.dir/detector.cc.o" "gcc" "src/quality/CMakeFiles/famtree_quality.dir/detector.cc.o.d"
+  "/root/repo/src/quality/holistic.cc" "src/quality/CMakeFiles/famtree_quality.dir/holistic.cc.o" "gcc" "src/quality/CMakeFiles/famtree_quality.dir/holistic.cc.o.d"
+  "/root/repo/src/quality/impute.cc" "src/quality/CMakeFiles/famtree_quality.dir/impute.cc.o" "gcc" "src/quality/CMakeFiles/famtree_quality.dir/impute.cc.o.d"
+  "/root/repo/src/quality/monitor.cc" "src/quality/CMakeFiles/famtree_quality.dir/monitor.cc.o" "gcc" "src/quality/CMakeFiles/famtree_quality.dir/monitor.cc.o.d"
+  "/root/repo/src/quality/optimizer.cc" "src/quality/CMakeFiles/famtree_quality.dir/optimizer.cc.o" "gcc" "src/quality/CMakeFiles/famtree_quality.dir/optimizer.cc.o.d"
+  "/root/repo/src/quality/repair.cc" "src/quality/CMakeFiles/famtree_quality.dir/repair.cc.o" "gcc" "src/quality/CMakeFiles/famtree_quality.dir/repair.cc.o.d"
+  "/root/repo/src/quality/saturate.cc" "src/quality/CMakeFiles/famtree_quality.dir/saturate.cc.o" "gcc" "src/quality/CMakeFiles/famtree_quality.dir/saturate.cc.o.d"
+  "/root/repo/src/quality/speed_clean.cc" "src/quality/CMakeFiles/famtree_quality.dir/speed_clean.cc.o" "gcc" "src/quality/CMakeFiles/famtree_quality.dir/speed_clean.cc.o.d"
+  "/root/repo/src/quality/stats.cc" "src/quality/CMakeFiles/famtree_quality.dir/stats.cc.o" "gcc" "src/quality/CMakeFiles/famtree_quality.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deps/CMakeFiles/famtree_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/famtree_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/famtree_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/reasoning/CMakeFiles/famtree_reasoning.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/famtree_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/famtree_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/famtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/famtree_quality.dir/cqa.cc.o"
+  "CMakeFiles/famtree_quality.dir/cqa.cc.o.d"
+  "CMakeFiles/famtree_quality.dir/dedup.cc.o"
+  "CMakeFiles/famtree_quality.dir/dedup.cc.o.d"
+  "CMakeFiles/famtree_quality.dir/detector.cc.o"
+  "CMakeFiles/famtree_quality.dir/detector.cc.o.d"
+  "CMakeFiles/famtree_quality.dir/holistic.cc.o"
+  "CMakeFiles/famtree_quality.dir/holistic.cc.o.d"
+  "CMakeFiles/famtree_quality.dir/impute.cc.o"
+  "CMakeFiles/famtree_quality.dir/impute.cc.o.d"
+  "CMakeFiles/famtree_quality.dir/monitor.cc.o"
+  "CMakeFiles/famtree_quality.dir/monitor.cc.o.d"
+  "CMakeFiles/famtree_quality.dir/optimizer.cc.o"
+  "CMakeFiles/famtree_quality.dir/optimizer.cc.o.d"
+  "CMakeFiles/famtree_quality.dir/repair.cc.o"
+  "CMakeFiles/famtree_quality.dir/repair.cc.o.d"
+  "CMakeFiles/famtree_quality.dir/saturate.cc.o"
+  "CMakeFiles/famtree_quality.dir/saturate.cc.o.d"
+  "CMakeFiles/famtree_quality.dir/speed_clean.cc.o"
+  "CMakeFiles/famtree_quality.dir/speed_clean.cc.o.d"
+  "CMakeFiles/famtree_quality.dir/stats.cc.o"
+  "CMakeFiles/famtree_quality.dir/stats.cc.o.d"
+  "libfamtree_quality.a"
+  "libfamtree_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/famtree_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

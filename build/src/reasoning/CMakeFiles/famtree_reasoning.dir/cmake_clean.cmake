@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/famtree_reasoning.dir/closure.cc.o"
+  "CMakeFiles/famtree_reasoning.dir/closure.cc.o.d"
+  "CMakeFiles/famtree_reasoning.dir/implication.cc.o"
+  "CMakeFiles/famtree_reasoning.dir/implication.cc.o.d"
+  "CMakeFiles/famtree_reasoning.dir/normalize.cc.o"
+  "CMakeFiles/famtree_reasoning.dir/normalize.cc.o.d"
+  "libfamtree_reasoning.a"
+  "libfamtree_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/famtree_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

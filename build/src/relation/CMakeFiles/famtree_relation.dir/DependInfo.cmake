@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/csv.cc" "src/relation/CMakeFiles/famtree_relation.dir/csv.cc.o" "gcc" "src/relation/CMakeFiles/famtree_relation.dir/csv.cc.o.d"
+  "/root/repo/src/relation/dataspace.cc" "src/relation/CMakeFiles/famtree_relation.dir/dataspace.cc.o" "gcc" "src/relation/CMakeFiles/famtree_relation.dir/dataspace.cc.o.d"
+  "/root/repo/src/relation/partition.cc" "src/relation/CMakeFiles/famtree_relation.dir/partition.cc.o" "gcc" "src/relation/CMakeFiles/famtree_relation.dir/partition.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/relation/CMakeFiles/famtree_relation.dir/relation.cc.o" "gcc" "src/relation/CMakeFiles/famtree_relation.dir/relation.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/relation/CMakeFiles/famtree_relation.dir/schema.cc.o" "gcc" "src/relation/CMakeFiles/famtree_relation.dir/schema.cc.o.d"
+  "/root/repo/src/relation/value.cc" "src/relation/CMakeFiles/famtree_relation.dir/value.cc.o" "gcc" "src/relation/CMakeFiles/famtree_relation.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/famtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/famtree_relation.dir/csv.cc.o"
+  "CMakeFiles/famtree_relation.dir/csv.cc.o.d"
+  "CMakeFiles/famtree_relation.dir/dataspace.cc.o"
+  "CMakeFiles/famtree_relation.dir/dataspace.cc.o.d"
+  "CMakeFiles/famtree_relation.dir/partition.cc.o"
+  "CMakeFiles/famtree_relation.dir/partition.cc.o.d"
+  "CMakeFiles/famtree_relation.dir/relation.cc.o"
+  "CMakeFiles/famtree_relation.dir/relation.cc.o.d"
+  "CMakeFiles/famtree_relation.dir/schema.cc.o"
+  "CMakeFiles/famtree_relation.dir/schema.cc.o.d"
+  "CMakeFiles/famtree_relation.dir/value.cc.o"
+  "CMakeFiles/famtree_relation.dir/value.cc.o.d"
+  "libfamtree_relation.a"
+  "libfamtree_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/famtree_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

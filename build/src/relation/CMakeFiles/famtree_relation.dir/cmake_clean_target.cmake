@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfamtree_relation.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/famtree_uncertain.dir/uncertain.cc.o"
+  "CMakeFiles/famtree_uncertain.dir/uncertain.cc.o.d"
+  "libfamtree_uncertain.a"
+  "libfamtree_uncertain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/famtree_uncertain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

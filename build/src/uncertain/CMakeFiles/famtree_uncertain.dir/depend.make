@@ -1,0 +1,2 @@
+# Empty dependencies file for famtree_uncertain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/categorical_deps_test.dir/categorical_deps_test.cc.o"
+  "CMakeFiles/categorical_deps_test.dir/categorical_deps_test.cc.o.d"
+  "categorical_deps_test"
+  "categorical_deps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/categorical_deps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cfd_discovery_test.cc" "tests/CMakeFiles/cfd_discovery_test.dir/cfd_discovery_test.cc.o" "gcc" "tests/CMakeFiles/cfd_discovery_test.dir/cfd_discovery_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/famtree_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/famtree_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/famtree_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/famtree_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/reasoning/CMakeFiles/famtree_reasoning.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/famtree_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/uncertain/CMakeFiles/famtree_uncertain.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/famtree_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/famtree_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/relation/CMakeFiles/famtree_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/famtree_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfd_discovery_test.dir/cfd_discovery_test.cc.o"
+  "CMakeFiles/cfd_discovery_test.dir/cfd_discovery_test.cc.o.d"
+  "cfd_discovery_test"
+  "cfd_discovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfd_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfd_tableau_test.dir/cfd_tableau_test.cc.o"
+  "CMakeFiles/cfd_tableau_test.dir/cfd_tableau_test.cc.o.d"
+  "cfd_tableau_test"
+  "cfd_tableau_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfd_tableau_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqa_test.dir/cqa_test.cc.o"
+  "CMakeFiles/cqa_test.dir/cqa_test.cc.o.d"
+  "cqa_test"
+  "cqa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

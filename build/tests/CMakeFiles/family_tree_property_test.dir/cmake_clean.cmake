@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_tree_property_test.dir/family_tree_property_test.cc.o"
+  "CMakeFiles/family_tree_property_test.dir/family_tree_property_test.cc.o.d"
+  "family_tree_property_test"
+  "family_tree_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_tree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

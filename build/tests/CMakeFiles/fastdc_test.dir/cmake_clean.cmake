@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastdc_test.dir/fastdc_test.cc.o"
+  "CMakeFiles/fastdc_test.dir/fastdc_test.cc.o.d"
+  "fastdc_test"
+  "fastdc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastdc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastfd_test.dir/fastfd_test.cc.o"
+  "CMakeFiles/fastfd_test.dir/fastfd_test.cc.o.d"
+  "fastfd_test"
+  "fastfd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastfd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

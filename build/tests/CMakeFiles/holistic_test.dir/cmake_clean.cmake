@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/holistic_test.dir/holistic_test.cc.o"
+  "CMakeFiles/holistic_test.dir/holistic_test.cc.o.d"
+  "holistic_test"
+  "holistic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/holistic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

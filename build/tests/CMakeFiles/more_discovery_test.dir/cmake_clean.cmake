@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/more_discovery_test.dir/more_discovery_test.cc.o"
+  "CMakeFiles/more_discovery_test.dir/more_discovery_test.cc.o.d"
+  "more_discovery_test"
+  "more_discovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/more_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvd_discovery_test.dir/mvd_discovery_test.cc.o"
+  "CMakeFiles/mvd_discovery_test.dir/mvd_discovery_test.cc.o.d"
+  "mvd_discovery_test"
+  "mvd_discovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvd_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numerical_deps_test.dir/numerical_deps_test.cc.o"
+  "CMakeFiles/numerical_deps_test.dir/numerical_deps_test.cc.o.d"
+  "numerical_deps_test"
+  "numerical_deps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numerical_deps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

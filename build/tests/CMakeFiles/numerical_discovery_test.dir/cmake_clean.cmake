@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numerical_discovery_test.dir/numerical_discovery_test.cc.o"
+  "CMakeFiles/numerical_discovery_test.dir/numerical_discovery_test.cc.o.d"
+  "numerical_discovery_test"
+  "numerical_discovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numerical_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

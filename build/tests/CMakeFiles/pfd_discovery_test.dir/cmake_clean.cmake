@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfd_discovery_test.dir/pfd_discovery_test.cc.o"
+  "CMakeFiles/pfd_discovery_test.dir/pfd_discovery_test.cc.o.d"
+  "pfd_discovery_test"
+  "pfd_discovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfd_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reasoning_test.dir/reasoning_test.cc.o"
+  "CMakeFiles/reasoning_test.dir/reasoning_test.cc.o.d"
+  "reasoning_test"
+  "reasoning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reasoning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

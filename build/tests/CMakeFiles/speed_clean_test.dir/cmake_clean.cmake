@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_clean_test.dir/speed_clean_test.cc.o"
+  "CMakeFiles/speed_clean_test.dir/speed_clean_test.cc.o.d"
+  "speed_clean_test"
+  "speed_clean_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_clean_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tostring_test.dir/tostring_test.cc.o"
+  "CMakeFiles/tostring_test.dir/tostring_test.cc.o.d"
+  "tostring_test"
+  "tostring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tostring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
