@@ -1,0 +1,210 @@
+// Serial-vs-parallel speedup of the lattice engine on the synthetic hotel
+// workload, plus the shared PLI cache counters. Exits nonzero if any
+// parallel run deviates from the serial result — the speedup numbers are
+// hardware-dependent, the byte-identity is not.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "discovery/cords.h"
+#include "discovery/fastdc.h"
+#include "discovery/fastfd.h"
+#include "discovery/tane.h"
+#include "engine/pli_cache.h"
+#include "gen/generators.h"
+
+namespace famtree {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool SameFds(const std::vector<DiscoveredFd>& a,
+             const std::vector<DiscoveredFd>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].lhs != b[i].lhs || a[i].rhs != b[i].rhs ||
+        a[i].error != b[i].error) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Row {
+  std::string name;
+  double serial_ms = 0;
+  double one_thread_ms = 0;
+  double eight_thread_ms = 0;
+  bool identical = true;
+};
+
+void PrintRow(const Row& row) {
+  std::printf("| %-22s | %9.1f | %9.1f | %9.1f | %7.2fx | %-9s |\n",
+              row.name.c_str(), row.serial_ms, row.one_thread_ms,
+              row.eight_thread_ms,
+              row.eight_thread_ms > 0 ? row.one_thread_ms / row.eight_thread_ms
+                                      : 0.0,
+              row.identical ? "identical" : "MISMATCH");
+}
+
+}  // namespace
+
+int Run() {
+  HotelConfig config;
+  config.num_hotels = 12000;
+  config.rows_per_hotel = 3;
+  config.variation_rate = 0.3;
+  config.error_rate = 0.02;
+  GeneratedData data = GenerateHotels(config);
+  const Relation& hotels = data.relation;
+  std::printf("hotel relation: %d rows x %d columns\n\n", hotels.num_rows(),
+              hotels.num_columns());
+  std::printf("| %-22s | serial ms | 1-thr ms  | 8-thr ms  | speedup | result    |\n",
+              "benchmark");
+  std::printf("|------------------------|-----------|-----------|-----------|---------|-----------|\n");
+
+  bool all_identical = true;
+  PliCache::Stats tane_cache_stats;
+
+  {  // TANE in AFD mode: the g3 validity tests dominate.
+    Row row{"tane g3<=0.05"};
+    TaneOptions options;
+    options.max_error = 0.05;
+    options.max_lhs_size = 3;
+    auto start = std::chrono::steady_clock::now();
+    auto serial = DiscoverFdsTane(hotels, options);
+    row.serial_ms = MillisSince(start);
+    if (!serial.ok()) return 2;
+    for (int threads : {1, 8}) {
+      ThreadPool pool(threads);
+      PliCache cache(hotels);
+      TaneOptions parallel = options;
+      parallel.pool = &pool;
+      parallel.cache = &cache;
+      start = std::chrono::steady_clock::now();
+      auto result = DiscoverFdsTane(hotels, parallel);
+      double ms = MillisSince(start);
+      if (!result.ok()) return 2;
+      (threads == 1 ? row.one_thread_ms : row.eight_thread_ms) = ms;
+      row.identical = row.identical && SameFds(*serial, *result);
+      if (threads == 8) tane_cache_stats = cache.stats();
+    }
+    all_identical = all_identical && row.identical;
+    PrintRow(row);
+  }
+
+  {  // FastFDs on a slice (difference sets are quadratic in rows).
+    Row row{"fastfd 500-row slice"};
+    std::vector<int> rows;
+    for (int i = 0; i < 500 && i < hotels.num_rows(); ++i) rows.push_back(i);
+    Relation slice = hotels.Select(rows);
+    FastFdOptions options;
+    auto start = std::chrono::steady_clock::now();
+    auto serial = DiscoverFdsFastFd(slice, options);
+    row.serial_ms = MillisSince(start);
+    if (!serial.ok()) return 2;
+    for (int threads : {1, 8}) {
+      ThreadPool pool(threads);
+      FastFdOptions parallel = options;
+      parallel.pool = &pool;
+      start = std::chrono::steady_clock::now();
+      auto result = DiscoverFdsFastFd(slice, parallel);
+      double ms = MillisSince(start);
+      if (!result.ok()) return 2;
+      (threads == 1 ? row.one_thread_ms : row.eight_thread_ms) = ms;
+      row.identical = row.identical && SameFds(*serial, *result);
+    }
+    all_identical = all_identical && row.identical;
+    PrintRow(row);
+  }
+
+  {  // FASTDC evidence sets on a slice of the hotel table.
+    Row row{"fastdc 300-row slice"};
+    std::vector<int> rows;
+    for (int i = 0; i < 300 && i < hotels.num_rows(); ++i) rows.push_back(i);
+    Relation slice = hotels.Select(rows);
+    FastDcOptions options;
+    options.max_predicates = 3;
+    auto start = std::chrono::steady_clock::now();
+    auto serial = DiscoverDcs(slice, options);
+    row.serial_ms = MillisSince(start);
+    if (!serial.ok()) return 2;
+    for (int threads : {1, 8}) {
+      ThreadPool pool(threads);
+      FastDcOptions parallel = options;
+      parallel.pool = &pool;
+      start = std::chrono::steady_clock::now();
+      auto result = DiscoverDcs(slice, parallel);
+      double ms = MillisSince(start);
+      if (!result.ok()) return 2;
+      (threads == 1 ? row.one_thread_ms : row.eight_thread_ms) = ms;
+      bool same = serial->size() == result->size();
+      for (size_t i = 0; same && i < serial->size(); ++i) {
+        same = (*serial)[i].dc.ToString() == (*result)[i].dc.ToString() &&
+               (*serial)[i].violation_fraction ==
+                   (*result)[i].violation_fraction;
+      }
+      row.identical = row.identical && same;
+    }
+    all_identical = all_identical && row.identical;
+    PrintRow(row);
+  }
+
+  {  // CORDS column-pair sweep over the full relation.
+    Row row{"cords full sweep"};
+    CordsOptions options;
+    auto start = std::chrono::steady_clock::now();
+    auto serial = DiscoverSfdsCords(hotels, options);
+    row.serial_ms = MillisSince(start);
+    if (!serial.ok()) return 2;
+    for (int threads : {1, 8}) {
+      ThreadPool pool(threads);
+      CordsOptions parallel = options;
+      parallel.pool = &pool;
+      start = std::chrono::steady_clock::now();
+      auto result = DiscoverSfdsCords(hotels, parallel);
+      double ms = MillisSince(start);
+      if (!result.ok()) return 2;
+      (threads == 1 ? row.one_thread_ms : row.eight_thread_ms) = ms;
+      bool same = serial->size() == result->size();
+      for (size_t i = 0; same && i < serial->size(); ++i) {
+        same = (*serial)[i].lhs == (*result)[i].lhs &&
+               (*serial)[i].rhs == (*result)[i].rhs &&
+               (*serial)[i].strength == (*result)[i].strength &&
+               (*serial)[i].chi2 == (*result)[i].chi2 &&
+               (*serial)[i].cramers_v == (*result)[i].cramers_v;
+      }
+      row.identical = row.identical && same;
+    }
+    all_identical = all_identical && row.identical;
+    PrintRow(row);
+  }
+
+  std::printf(
+      "\npli cache (8-thread tane): hits=%lld misses=%lld evictions=%lld "
+      "builds=%lld bytes=%zu\n",
+      static_cast<long long>(tane_cache_stats.hits),
+      static_cast<long long>(tane_cache_stats.misses),
+      static_cast<long long>(tane_cache_stats.evictions),
+      static_cast<long long>(tane_cache_stats.builds),
+      tane_cache_stats.bytes);
+  std::printf("speedup = 1-thread ms / 8-thread ms (hardware dependent; "
+              "byte-identity is the hard check)\n");
+  if (!all_identical) {
+    std::printf("FAIL: a parallel run deviated from the serial result\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace famtree
+
+int main() { return famtree::Run(); }

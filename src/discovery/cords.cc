@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "deps/sfd.h"
 
 namespace famtree {
@@ -44,11 +45,21 @@ Result<std::vector<DiscoveredSfd>> DiscoverSfdsCords(
   }
   Relation sample = relation.Select(sample_rows);
 
-  std::vector<DiscoveredSfd> out;
+  // The per-pair analyses only read the shared sample, so the sweep runs
+  // one pair per ParallelFor iteration, each writing its pre-assigned slot.
   int nc = relation.num_columns();
+  std::vector<std::pair<int, int>> column_pairs;
+  column_pairs.reserve(static_cast<size_t>(nc) * std::max(0, nc - 1));
   for (int a = 0; a < nc; ++a) {
     for (int b = 0; b < nc; ++b) {
-      if (a == b) continue;
+      if (a != b) column_pairs.push_back({a, b});
+    }
+  }
+  std::vector<DiscoveredSfd> out(column_pairs.size());
+  FAMTREE_RETURN_NOT_OK(ParallelFor(
+      options.pool, static_cast<int64_t>(column_pairs.size()),
+      [&](int64_t idx) {
+      auto [a, b] = column_pairs[idx];
       DiscoveredSfd finding;
       finding.lhs = a;
       finding.rhs = b;
@@ -92,9 +103,9 @@ Result<std::vector<DiscoveredSfd>> DiscoverSfdsCords(
       }
       finding.chi2 = chi2;
       finding.is_correlated = finding.cramers_v >= options.min_cramers_v;
-      out.push_back(finding);
-    }
-  }
+      out[idx] = finding;
+      return Status::OK();
+      }));
   return out;
 }
 

@@ -8,6 +8,8 @@
 
 namespace famtree {
 
+class ThreadPool;
+
 struct CordsOptions {
   /// Sample size; CORDS' key property is that this is essentially
   /// independent of the table size (Section 2.1.3).
@@ -19,6 +21,11 @@ struct CordsOptions {
   /// Contingency-table cap per dimension (infrequent values bucketed).
   int max_categories = 25;
   uint64_t seed = 42;
+  /// When set, the ordered column pairs are analysed in parallel. Every
+  /// pair's finding is written into its own pre-assigned output slot, so
+  /// the result vector is bit-identical to the serial sweep for any thread
+  /// count (the sample itself is always drawn once, serially).
+  ThreadPool* pool = nullptr;
 };
 
 /// One CORDS finding for an ordered column pair (lhs -> rhs).

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace famtree {
 
@@ -158,38 +159,62 @@ Result<std::vector<DiscoveredDc>> DiscoverDcs(const Relation& relation,
     return Status::Invalid("max_violation_fraction must be in [0, 1]");
   }
   int n = relation.num_rows();
-  // Evidence sets, deduplicated with multiplicities.
-  auto bits_less = [](const Bits& a, const Bits& b) {
-    for (int w = kMaxPredicates - 1; w >= 0; --w) {
-      if (a[w] != b[w]) return b[w];
-    }
-    return false;
-  };
-  std::map<Bits, int64_t, decltype(bits_less)> emap(bits_less);
-  int64_t total_pairs = 0;
-  auto add_pair = [&](int i, int j) {
-    Bits bits;
-    for (size_t p = 0; p < preds.size(); ++p) {
-      if (preds[p].Eval(relation, i, j)) bits[p] = true;
-    }
-    ++emap[bits];
-    ++total_pairs;
-  };
+  // Evidence sets, deduplicated with multiplicities. The ordered pairs are
+  // listed up front (sampling draws stay on one serial Rng stream), then
+  // evaluated in contiguous chunks — in parallel when a pool is given.
+  // Each chunk fills a private map; merging sums counts per evidence
+  // bitset, which is commutative, so the merged multiset (and everything
+  // derived from it) is independent of the chunk count.
+  std::vector<std::pair<int, int>> pairs;
   if (n <= options.max_rows_exact) {
+    pairs.reserve(static_cast<size_t>(n) * std::max(0, n - 1));
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < n; ++j) {
-        if (i != j) add_pair(i, j);
+        if (i != j) pairs.push_back({i, j});
       }
     }
   } else {
     Rng rng(options.seed);
     int64_t samples = static_cast<int64_t>(options.max_rows_exact) *
                       options.max_rows_exact;
+    pairs.reserve(samples);
     for (int64_t s = 0; s < samples; ++s) {
       int i = static_cast<int>(rng.Uniform(0, n - 1));
       int j = static_cast<int>(rng.Uniform(0, n - 1));
-      if (i != j) add_pair(i, j);
+      if (i != j) pairs.push_back({i, j});
     }
+  }
+  auto bits_less = [](const Bits& a, const Bits& b) {
+    for (int w = kMaxPredicates - 1; w >= 0; --w) {
+      if (a[w] != b[w]) return b[w];
+    }
+    return false;
+  };
+  using EvidenceMap = std::map<Bits, int64_t, decltype(bits_less)>;
+  int num_chunks = options.pool == nullptr
+                       ? 1
+                       : std::max(1, options.pool->num_threads() * 4);
+  num_chunks = std::min<int64_t>(num_chunks,
+                                 std::max<int64_t>(1, pairs.size()));
+  std::vector<EvidenceMap> chunk_maps(num_chunks, EvidenceMap(bits_less));
+  FAMTREE_RETURN_NOT_OK(ParallelFor(options.pool, num_chunks, [&](int64_t c) {
+    size_t begin = pairs.size() * c / num_chunks;
+    size_t end = pairs.size() * (c + 1) / num_chunks;
+    EvidenceMap& local = chunk_maps[c];
+    for (size_t s = begin; s < end; ++s) {
+      auto [i, j] = pairs[s];
+      Bits bits;
+      for (size_t p = 0; p < preds.size(); ++p) {
+        if (preds[p].Eval(relation, i, j)) bits[p] = true;
+      }
+      ++local[bits];
+    }
+    return Status::OK();
+  }));
+  int64_t total_pairs = static_cast<int64_t>(pairs.size());
+  EvidenceMap emap(bits_less);
+  for (EvidenceMap& local : chunk_maps) {
+    for (const auto& [bits, count] : local) emap[bits] += count;
   }
   std::vector<Evidence> evidence;
   evidence.reserve(emap.size());

@@ -9,6 +9,8 @@
 
 namespace famtree {
 
+class ThreadPool;
+
 struct FastDcOptions {
   /// Cap on predicates per DC (search depth).
   int max_predicates = 4;
@@ -24,6 +26,12 @@ struct FastDcOptions {
   /// at most this; beyond it, a random sample of pairs is used.
   int max_rows_exact = 2000;
   uint64_t seed = 42;
+  /// When set, the evidence set — FASTDC's quadratic hotspot — is built in
+  /// parallel: tuple pairs are split into contiguous chunks, each chunk
+  /// accumulates a private evidence multiset, and the chunks are merged by
+  /// commutative addition, so the result is bit-identical to the serial
+  /// build for any thread count (tests/engine_determinism_test.cc).
+  ThreadPool* pool = nullptr;
 };
 
 struct DiscoveredDc {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/thread_pool.h"
+
 namespace famtree {
 
 namespace {
@@ -66,21 +68,42 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
   int n = relation.num_rows();
   // Difference sets of all tuple pairs, deduplicated and reduced to the
   // minimal ones (a superset of a difference set is redundant for covers).
-  std::set<uint64_t> diff_masks;
-  for (int i = 0; i + 1 < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      AttrSet d;
-      for (int a = 0; a < nc; ++a) {
-        if (!(relation.Get(i, a) == relation.Get(j, a))) d.Add(a);
+  // The pair loop is chunked over leading rows; each chunk collects a
+  // private mask set and the union of sets is order-independent, so the
+  // chunk count cannot change the result.
+  int num_chunks = options.pool == nullptr
+                       ? 1
+                       : std::max(1, options.pool->num_threads() * 4);
+  num_chunks = std::min(num_chunks, std::max(1, n));
+  std::vector<std::set<uint64_t>> chunk_masks(num_chunks);
+  FAMTREE_RETURN_NOT_OK(ParallelFor(options.pool, num_chunks, [&](int64_t c) {
+    int begin = static_cast<int>(static_cast<int64_t>(n) * c / num_chunks);
+    int end = static_cast<int>(static_cast<int64_t>(n) * (c + 1) / num_chunks);
+    std::set<uint64_t>& local = chunk_masks[c];
+    for (int i = begin; i < end; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        AttrSet d;
+        for (int a = 0; a < nc; ++a) {
+          if (!(relation.Get(i, a) == relation.Get(j, a))) d.Add(a);
+        }
+        if (!d.empty()) local.insert(d.mask());
       }
-      if (!d.empty()) diff_masks.insert(d.mask());
     }
+    return Status::OK();
+  }));
+  std::set<uint64_t> diff_masks;
+  for (const std::set<uint64_t>& local : chunk_masks) {
+    diff_masks.insert(local.begin(), local.end());
   }
   std::vector<AttrSet> all_diffs;
   for (uint64_t m : diff_masks) all_diffs.push_back(AttrSet(m));
 
-  std::vector<DiscoveredFd> out;
-  for (int a = 0; a < nc; ++a) {
+  // Per-RHS cover searches are independent; run them concurrently into
+  // per-attribute slots, then concatenate in attribute order (the serial
+  // emission order) with the same result cap.
+  std::vector<std::vector<DiscoveredFd>> per_rhs(nc);
+  FAMTREE_RETURN_NOT_OK(ParallelFor(options.pool, nc, [&](int64_t ai) {
+    int a = static_cast<int>(ai);
     // Difference sets relevant for RHS a: those containing a, minus a.
     std::vector<AttrSet> diffs;
     for (const AttrSet& d : all_diffs) {
@@ -98,11 +121,11 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
         break;
       }
     }
-    if (impossible) continue;
+    if (impossible) return Status::OK();
     if (diffs.empty()) {
       // No pair ever disagrees on a: the column is constant, {} -> a.
-      out.push_back(DiscoveredFd{AttrSet(), a, 0.0});
-      continue;
+      per_rhs[a].push_back(DiscoveredFd{AttrSet(), a, 0.0});
+      return Status::OK();
     }
     // Keep only minimal difference sets (supersets are hit automatically).
     std::vector<AttrSet> minimal;
@@ -125,8 +148,20 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
     std::sort(covers.begin(), covers.end());
     covers.erase(std::unique(covers.begin(), covers.end()), covers.end());
     for (const AttrSet& x : covers) {
-      out.push_back(DiscoveredFd{x, a, 0.0});
-      if (static_cast<int>(out.size()) >= options.max_results) return out;
+      per_rhs[a].push_back(DiscoveredFd{x, a, 0.0});
+    }
+    return Status::OK();
+  }));
+  std::vector<DiscoveredFd> out;
+  for (int a = 0; a < nc; ++a) {
+    for (const DiscoveredFd& fd : per_rhs[a]) {
+      out.push_back(fd);
+      // The cap applies to cover-derived FDs; constant columns (empty LHS)
+      // bypass it, mirroring the serial emission exactly.
+      if (!fd.lhs.empty() &&
+          static_cast<int>(out.size()) >= options.max_results) {
+        return out;
+      }
     }
   }
   return out;

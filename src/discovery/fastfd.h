@@ -14,6 +14,11 @@ struct FastFdOptions {
   int max_results = 100000;
   /// Bound on LHS size (covers larger than this are cut off).
   int max_lhs_size = 8;
+  /// When set, the quadratic difference-set construction is chunked over
+  /// row ranges and the per-RHS cover searches run concurrently; results
+  /// merge in attribute order, bit-identical to the serial search for any
+  /// thread count (tests/engine_determinism_test.cc).
+  ThreadPool* pool = nullptr;
 };
 
 /// FastFDs [112]: computes the difference sets of all tuple pairs (the

@@ -2,16 +2,24 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <set>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
+#include "engine/pli_cache.h"
 #include "relation/partition.h"
 
 namespace famtree {
 
 namespace {
 
+/// Partitions are handled by shared pointer so the serial path, the shared
+/// cache and the prev-level map can alias one partition without deep copies.
+using Pli = std::shared_ptr<const StrippedPartition>;
+
 struct Node {
-  StrippedPartition pli;
+  Pli pli;
   AttrSet cplus;  // RHS candidates C+(X)
 };
 
@@ -22,6 +30,26 @@ int PartitionCost(const StrippedPartition& p) {
   return p.num_rows_in_classes() - p.num_classes();
 }
 
+/// One validity test X \ A -> A, flattened out of the per-node candidate
+/// loops so a thread pool can chew on all of a level's tests at once.
+struct CandidateTest {
+  size_t node_index = 0;
+  int rhs = 0;
+  AttrSet lhs;
+  // Outputs (written by exactly one ParallelFor iteration each).
+  bool tested = false;
+  double error = 1.0;
+};
+
+/// One next-level lattice node whose partition product is still pending.
+struct PendingNode {
+  AttrSet attrs;
+  Pli parent1;  // unused when a cache serves the partition
+  Pli parent2;
+  AttrSet cplus;
+  Pli pli;  // output slot
+};
+
 }  // namespace
 
 Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
@@ -31,17 +59,30 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
   if (options.max_error < 0 || options.max_error > 1) {
     return Status::Invalid("max_error must be in [0, 1]");
   }
+  ThreadPool* pool = options.pool;
+  PliCache* cache = options.cache;
+  if (cache != nullptr && &cache->relation() != &relation) {
+    return Status::Invalid("PliCache serves a different relation");
+  }
   std::vector<DiscoveredFd> out;
   const bool exact = options.max_error == 0.0;
   const AttrSet full = AttrSet::Full(nc);
 
-  // Level 1.
+  // Level 1: one partition per attribute, built (or cache-served) in
+  // parallel and assembled into the level map in attribute order.
+  std::vector<Pli> singles(nc);
+  FAMTREE_RETURN_NOT_OK(ParallelFor(pool, nc, [&](int64_t a) {
+    singles[a] = cache != nullptr
+                     ? cache->Get(AttrSet::Single(static_cast<int>(a)))
+                     : std::make_shared<StrippedPartition>(
+                           StrippedPartition::ForAttribute(
+                               relation, static_cast<int>(a)));
+    return Status::OK();
+  }));
   Level level;
   for (int a = 0; a < nc; ++a) {
-    Node node;
-    node.pli = StrippedPartition::ForAttribute(relation, a);
-    node.cplus = full;
-    level.emplace(AttrSet::Single(a).mask(), std::move(node));
+    level.emplace(AttrSet::Single(a).mask(),
+                  Node{std::move(singles[a]), full});
   }
 
   // Level 0's C+ is the full set; dependencies {} -> A (constant columns)
@@ -52,7 +93,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
     // {} -> A holds iff column A is constant; its g3 error is one minus
     // the plurality fraction of the column.
     int largest = 1;
-    for (const auto& cls : node.pli.classes()) {
+    for (const auto& cls : node.pli->classes()) {
       largest = std::max(largest, static_cast<int>(cls.size()));
     }
     double err = relation.num_rows() == 0
@@ -67,42 +108,65 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
 
   // Partitions of the previous level, used by the validity test
   // e(X \ A) == e(X) (exact) / g3 from pi(X \ A) (approximate).
-  std::unordered_map<uint64_t, StrippedPartition> prev_plis;
+  std::unordered_map<uint64_t, Pli> prev_plis;
 
   // Level `depth` holds attribute sets X with |X| = depth; the FDs tested
   // there have LHS size depth - 1, so the walk runs to max_lhs_size + 1.
   for (int depth = 1; depth <= options.max_lhs_size + 1 && !level.empty();
        ++depth) {
-    // COMPUTE_DEPENDENCIES.
-    for (auto& [mask, node] : level) {
-      AttrSet x(mask);
-      AttrSet candidates = x.Intersect(node.cplus);
-      for (int a : candidates.ToVector()) {
-        AttrSet lhs = x.Without(a);
-        // The lhs partition lives in the previous level (empty lhs is the
-        // constant-column case handled before the loop).
-        if (lhs.empty()) continue;
-        auto prev = prev_plis.find(lhs.mask());
-        if (prev == prev_plis.end()) continue;  // lhs was pruned
-        double err;
-        if (exact) {
-          err = PartitionCost(prev->second) == PartitionCost(node.pli)
-                    ? 0.0
-                    : 1.0;
-        } else {
-          err = prev->second.FdError(relation, AttrSet::Single(a));
+    // COMPUTE_DEPENDENCIES. The validity tests of a level are mutually
+    // independent: each reads only immutable partitions (its node's and the
+    // previous level's), so they are flattened into one work list. Their
+    // side effects — emitting the FD and shrinking C+ — are replayed
+    // serially afterwards in exactly the order the serial walk uses, which
+    // keeps the output bit-identical for any thread count.
+    std::vector<Node*> nodes;
+    nodes.reserve(level.size());
+    std::vector<CandidateTest> tests;
+    {
+      size_t node_index = 0;
+      for (auto& [mask, node] : level) {
+        AttrSet x(mask);
+        nodes.push_back(&node);
+        for (int a : x.Intersect(node.cplus).ToVector()) {
+          AttrSet lhs = x.Without(a);
+          // The lhs partition lives in the previous level (empty lhs is
+          // the constant-column case handled before the loop).
+          if (lhs.empty()) continue;
+          tests.push_back(CandidateTest{node_index, a, lhs, false, 1.0});
         }
-        bool valid = err <= options.max_error;
-        if (valid) {
-          out.push_back(DiscoveredFd{lhs, a, err});
-          if (static_cast<int>(out.size()) >= options.max_results) {
-            return out;
-          }
-          node.cplus.Remove(a);
+        ++node_index;
+      }
+    }
+    FAMTREE_RETURN_NOT_OK(
+        ParallelFor(pool, static_cast<int64_t>(tests.size()), [&](int64_t t) {
+          CandidateTest& test = tests[t];
+          auto prev = prev_plis.find(test.lhs.mask());
+          if (prev == prev_plis.end()) return Status::OK();  // lhs pruned
+          test.tested = true;
           if (exact) {
-            node.cplus = node.cplus.Minus(full.Minus(x));
+            const Pli& node_pli = nodes[test.node_index]->pli;
+            test.error = PartitionCost(*prev->second) ==
+                                 PartitionCost(*node_pli)
+                             ? 0.0
+                             : 1.0;
+          } else {
+            test.error =
+                prev->second->FdError(relation, AttrSet::Single(test.rhs));
           }
-        }
+          return Status::OK();
+        }));
+    for (const CandidateTest& test : tests) {
+      if (!test.tested || test.error > options.max_error) continue;
+      Node& node = *nodes[test.node_index];
+      AttrSet x = test.lhs.With(test.rhs);
+      out.push_back(DiscoveredFd{test.lhs, test.rhs, test.error});
+      if (static_cast<int>(out.size()) >= options.max_results) {
+        return out;
+      }
+      node.cplus.Remove(test.rhs);
+      if (exact) {
+        node.cplus = node.cplus.Minus(full.Minus(x));
       }
     }
     // PRUNE.
@@ -110,7 +174,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
       AttrSet x(it->first);
       Node& node = it->second;
       bool erase = node.cplus.empty();
-      if (!erase && exact && node.pli.IsKey() &&
+      if (!erase && exact && node.pli->IsKey() &&
           x.size() <= options.max_lhs_size) {
         for (int a : node.cplus.Minus(x).ToVector()) {
           // Minimality check per TANE: A must be in the intersection of
@@ -137,14 +201,17 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
     for (const auto& [mask, node] : level) {
       prev_plis.emplace(mask, node.pli);
     }
-    // GENERATE next level via prefix join.
-    Level next;
+    // GENERATE next level via prefix join: enumerate the surviving
+    // candidate sets serially (cheap bit tricks), then compute the
+    // expensive partition products in parallel.
+    std::vector<PendingNode> pending;
+    std::set<uint64_t> seen;
     for (auto it1 = level.begin(); it1 != level.end(); ++it1) {
       for (auto it2 = std::next(it1); it2 != level.end(); ++it2) {
         AttrSet a(it1->first), b(it2->first);
         AttrSet u = a.Union(b);
         if (u.size() != depth + 1) continue;
-        if (next.count(u.mask())) continue;
+        if (!seen.insert(u.mask()).second) continue;
         // All depth-size subsets must be alive (Apriori condition).
         bool ok = true;
         AttrSet cplus = it1->second.cplus.Intersect(it2->second.cplus);
@@ -158,12 +225,23 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
           cplus = cplus.Intersect(found->second.cplus);
         }
         if (!ok) continue;
-        Node node;
-        node.pli = it1->second.pli.Product(it2->second.pli,
-                                           relation.num_rows());
-        node.cplus = cplus;
-        next.emplace(u.mask(), std::move(node));
+        pending.push_back(PendingNode{u, it1->second.pli, it2->second.pli,
+                                      cplus, nullptr});
       }
+    }
+    FAMTREE_RETURN_NOT_OK(ParallelFor(
+        pool, static_cast<int64_t>(pending.size()), [&](int64_t i) {
+          PendingNode& p = pending[i];
+          p.pli = cache != nullptr
+                      ? cache->Get(p.attrs)
+                      : std::make_shared<StrippedPartition>(
+                            p.parent1->Product(*p.parent2,
+                                               relation.num_rows()));
+          return Status::OK();
+        }));
+    Level next;
+    for (PendingNode& p : pending) {
+      next.emplace(p.attrs.mask(), Node{std::move(p.pli), p.cplus});
     }
     level = std::move(next);
   }

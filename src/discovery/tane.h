@@ -9,6 +9,9 @@
 
 namespace famtree {
 
+class PliCache;
+class ThreadPool;
+
 /// One discovered (approximate) functional dependency X -> A.
 struct DiscoveredFd {
   AttrSet lhs;
@@ -27,6 +30,14 @@ struct TaneOptions {
   int max_lhs_size = 5;
   /// Safety valve on emitted dependencies.
   int max_results = 100000;
+  /// Optional engine hooks (see src/engine/): when `pool` is set, each
+  /// lattice level's validity tests and partition products are evaluated in
+  /// parallel; when `cache` is set, partitions are served from the shared
+  /// per-relation PLI store instead of private copies. Both are independent
+  /// and the discovered dependency list is bit-identical in every
+  /// combination (asserted by tests/engine_determinism_test.cc).
+  ThreadPool* pool = nullptr;
+  PliCache* cache = nullptr;
 };
 
 /// TANE [53], [54]: levelwise lattice search over attribute sets using

@@ -1,0 +1,71 @@
+#include "engine/engine.h"
+
+namespace famtree {
+
+DiscoveryEngine::DiscoveryEngine(EngineOptions options)
+    : options_(options), pool_(options.num_threads) {}
+
+PliCache& DiscoveryEngine::CacheFor(const Relation& relation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<PliCache>& slot = caches_[&relation];
+  if (slot == nullptr) {
+    PliCache::Options cache_options;
+    cache_options.max_bytes = options_.cache_max_bytes;
+    slot = std::make_unique<PliCache>(relation, cache_options);
+  }
+  return *slot;
+}
+
+void DiscoveryEngine::ForgetRelation(const Relation& relation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  caches_.erase(&relation);
+}
+
+Result<std::vector<DiscoveredFd>> DiscoveryEngine::Tane(
+    const Relation& relation, TaneOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return DiscoverFdsTane(relation, options);
+}
+
+Result<std::vector<DiscoveredFd>> DiscoveryEngine::FastFd(
+    const Relation& relation, FastFdOptions options) {
+  options.pool = &pool_;
+  return DiscoverFdsFastFd(relation, options);
+}
+
+Result<std::vector<DiscoveredDc>> DiscoveryEngine::FastDc(
+    const Relation& relation, FastDcOptions options) {
+  options.pool = &pool_;
+  return DiscoverDcs(relation, options);
+}
+
+Result<std::vector<DiscoveredSfd>> DiscoveryEngine::Cords(
+    const Relation& relation, CordsOptions options) {
+  options.pool = &pool_;
+  return DiscoverSfdsCords(relation, options);
+}
+
+Result<DetectionSummary> DiscoveryEngine::Detect(
+    const Relation& relation, std::vector<DependencyPtr> rules,
+    int max_violations_per_rule) {
+  ViolationDetector detector(std::move(rules));
+  return detector.Detect(relation, max_violations_per_rule, &pool_,
+                         &CacheFor(relation));
+}
+
+PliCache::Stats DiscoveryEngine::CacheStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PliCache::Stats total;
+  for (const auto& [relation, cache] : caches_) {
+    PliCache::Stats s = cache->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.builds += s.builds;
+    total.bytes += s.bytes;
+  }
+  return total;
+}
+
+}  // namespace famtree

@@ -1,0 +1,89 @@
+#ifndef FAMTREE_ENGINE_ENGINE_H_
+#define FAMTREE_ENGINE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "discovery/cords.h"
+#include "discovery/fastdc.h"
+#include "discovery/fastfd.h"
+#include "discovery/tane.h"
+#include "engine/pli_cache.h"
+#include "quality/detector.h"
+
+namespace famtree {
+
+struct EngineOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency.
+  int num_threads = 0;
+  /// Per-relation PLI cache budget (see PliCache::Options::max_bytes).
+  size_t cache_max_bytes = 64ull << 20;
+};
+
+/// The parallel lattice engine: one thread pool plus one shared PLI store
+/// per relation, serving every discovery algorithm and the violation
+/// detector. The engine's drivers produce output bit-identical to the
+/// serial free functions — the parallelism and the cache are pure
+/// accelerations, which tests/engine_determinism_test.cc locks down across
+/// thread counts {1, 2, 8}.
+///
+/// Typical use:
+///   DiscoveryEngine engine;                     // hardware threads
+///   auto fds = engine.Tane(relation);           // cached + parallel
+///   auto dcs = engine.FastDc(relation);         // same pool
+///   auto stats = engine.CacheStats();           // hits/misses/evictions
+///
+/// Relations are identified by address: the caller keeps a relation alive
+/// and at a stable address for as long as the engine serves it.
+class DiscoveryEngine {
+ public:
+  explicit DiscoveryEngine(EngineOptions options = {});
+
+  ThreadPool& pool() { return pool_; }
+
+  /// The shared PLI store for `relation`, created on first use.
+  PliCache& CacheFor(const Relation& relation);
+
+  /// Drops the store of a relation that is going away.
+  void ForgetRelation(const Relation& relation);
+
+  /// TANE with parallel lattice levels, served from the shared PLI store.
+  Result<std::vector<DiscoveredFd>> Tane(const Relation& relation,
+                                         TaneOptions options = {});
+
+  /// FastFDs with chunked difference-set construction and concurrent
+  /// per-RHS cover searches.
+  Result<std::vector<DiscoveredFd>> FastFd(const Relation& relation,
+                                           FastFdOptions options = {});
+
+  /// FASTDC with parallel evidence-set construction.
+  Result<std::vector<DiscoveredDc>> FastDc(const Relation& relation,
+                                           FastDcOptions options = {});
+
+  /// CORDS with a parallel column-pair sweep.
+  Result<std::vector<DiscoveredSfd>> Cords(const Relation& relation,
+                                           CordsOptions options = {});
+
+  /// Violation detection with concurrent rule validation; FD rules are
+  /// confirmed from the shared PLI store when they hold.
+  Result<DetectionSummary> Detect(const Relation& relation,
+                                  std::vector<DependencyPtr> rules,
+                                  int max_violations_per_rule = 1000);
+
+  /// Cache counters aggregated over every relation the engine has served.
+  PliCache::Stats CacheStats() const;
+
+ private:
+  EngineOptions options_;
+  ThreadPool pool_;
+  mutable std::mutex mu_;  // guards caches_
+  std::map<const Relation*, std::unique_ptr<PliCache>> caches_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_ENGINE_ENGINE_H_

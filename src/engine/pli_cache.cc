@@ -1,0 +1,91 @@
+#include "engine/pli_cache.h"
+
+namespace famtree {
+
+PliCache::PliCache(const Relation& relation, Options options)
+    : relation_(relation), options_(options) {}
+
+size_t PliCache::FootprintOf(const StrippedPartition& pli) {
+  // Row indices plus per-class vector headers plus the object itself.
+  return sizeof(StrippedPartition) +
+         static_cast<size_t>(pli.num_rows_in_classes()) * sizeof(int) +
+         static_cast<size_t>(pli.num_classes()) * sizeof(std::vector<int>);
+}
+
+std::shared_ptr<const StrippedPartition> PliCache::Get(AttrSet attrs) {
+  if (attrs.empty() ||
+      !AttrSet::Full(relation_.num_columns()).ContainsAll(attrs)) {
+    return nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(attrs.mask());
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      if (!it->second.pinned) {  // touch: move to the front of the LRU list
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      }
+      return it->second.pli;
+    }
+    ++stats_.misses;
+  }
+  // Compute outside the lock so other lookups (and the recursive halves)
+  // proceed concurrently.
+  std::shared_ptr<const StrippedPartition> pli = Compute(attrs);
+  return Insert(attrs, std::move(pli));
+}
+
+std::shared_ptr<const StrippedPartition> PliCache::Compute(AttrSet attrs) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.builds;
+  }
+  if (attrs.size() == 1) {
+    return std::make_shared<StrippedPartition>(
+        StrippedPartition::ForAttribute(relation_, attrs.ToVector()[0]));
+  }
+  // Deterministic split: lowest attribute off, product with the rest. The
+  // rest is usually the already-cached prefix of a lattice walk.
+  int lowest = attrs.ToVector()[0];
+  std::shared_ptr<const StrippedPartition> rest = Get(attrs.Without(lowest));
+  std::shared_ptr<const StrippedPartition> single =
+      Get(AttrSet::Single(lowest));
+  return std::make_shared<StrippedPartition>(
+      rest->Product(*single, relation_.num_rows()));
+}
+
+std::shared_ptr<const StrippedPartition> PliCache::Insert(
+    AttrSet attrs, std::shared_ptr<const StrippedPartition> pli) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(attrs.mask());
+  if (it != entries_.end()) return it->second.pli;  // lost a benign race
+  Entry entry;
+  entry.bytes = FootprintOf(*pli);
+  entry.pinned = attrs.size() == 1;
+  entry.pli = std::move(pli);
+  stats_.bytes += entry.bytes;
+  if (!entry.pinned) {
+    lru_.push_front(attrs.mask());
+    entry.lru_pos = lru_.begin();
+    // Evict least-recently-used unpinned partitions beyond the budget, but
+    // never the entry just inserted.
+    while (stats_.bytes > options_.max_bytes && lru_.size() > 1) {
+      uint64_t victim = lru_.back();
+      lru_.pop_back();
+      auto vit = entries_.find(victim);
+      stats_.bytes -= vit->second.bytes;
+      entries_.erase(vit);
+      ++stats_.evictions;
+    }
+  }
+  auto result = entry.pli;
+  entries_.emplace(attrs.mask(), std::move(entry));
+  return result;
+}
+
+PliCache::Stats PliCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace famtree

@@ -1,0 +1,103 @@
+#ifndef FAMTREE_ENGINE_PLI_CACHE_H_
+#define FAMTREE_ENGINE_PLI_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/attr_set.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+namespace famtree {
+
+/// A shared, thread-safe store of stripped partitions (PLIs) for one
+/// relation, keyed by attribute set. Every lattice-based discovery
+/// algorithm and the violation detector historically rebuilt the same
+/// partitions from scratch; the cache computes each one once and serves it
+/// to all of them (the Desbordante-style PLI-centric architecture).
+///
+/// Partitions are memoized with size-bounded LRU eviction. Single-attribute
+/// partitions are pinned: they are the leaves every product chain starts
+/// from, are small, and evicting them would only force an immediate
+/// rebuild. Multi-attribute partitions are computed by splitting off the
+/// lowest attribute and taking the TANE partition product of the two cached
+/// halves — a deterministic recipe, so a partition's class content never
+/// depends on which algorithm (or thread) asked first.
+///
+/// Thread safety: Get may be called concurrently. Partitions are returned
+/// as shared_ptr<const ...> so an evicted entry stays alive for callers
+/// still holding it. A miss is computed outside the cache lock; two threads
+/// racing on the same key both compute the same value and the first insert
+/// wins, so results are identical either way (the differential tests assert
+/// exactly this across thread counts).
+class PliCache {
+ public:
+  struct Options {
+    /// Eviction threshold on the approximate footprint of unpinned
+    /// partitions. The default comfortably holds the lattice levels of the
+    /// paper-scale workloads; bench_engine prints the live footprint.
+    size_t max_bytes = 64ull << 20;
+  };
+
+  /// Counters exposed through bench_engine. `bytes` is the approximate
+  /// footprint of currently cached partitions (pinned included).
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t builds = 0;  // partitions actually computed (>= misses can
+                         // differ when racing threads duplicate work)
+    size_t bytes = 0;
+  };
+
+  /// The cache keeps a reference to `relation`; the caller must keep the
+  /// relation alive for the cache's lifetime (DiscoveryEngine does).
+  explicit PliCache(const Relation& relation) : PliCache(relation, Options()) {}
+  PliCache(const Relation& relation, Options options);
+
+  /// Returns the stripped partition for `attrs`, computing and memoizing it
+  /// on a miss. `attrs` must be non-empty and within the relation's schema;
+  /// out-of-schema attribute sets return nullptr.
+  std::shared_ptr<const StrippedPartition> Get(AttrSet attrs);
+
+  Stats stats() const;
+
+  const Relation& relation() const { return relation_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const StrippedPartition> pli;
+    size_t bytes = 0;
+    bool pinned = false;
+    /// Position in lru_ (unpinned entries only).
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  /// Approximate heap footprint of a partition.
+  static size_t FootprintOf(const StrippedPartition& pli);
+
+  /// Computes the partition for `attrs` without touching the map (may
+  /// recursively Get the two halves of the split).
+  std::shared_ptr<const StrippedPartition> Compute(AttrSet attrs);
+
+  /// Inserts under the lock, evicting LRU unpinned entries over budget.
+  /// Returns the winning entry (an earlier racing insert keeps priority).
+  std::shared_ptr<const StrippedPartition> Insert(
+      AttrSet attrs, std::shared_ptr<const StrippedPartition> pli);
+
+  const Relation& relation_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  /// Unpinned keys, most recently used first.
+  std::list<uint64_t> lru_;
+  Stats stats_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_ENGINE_PLI_CACHE_H_

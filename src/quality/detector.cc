@@ -2,20 +2,60 @@
 
 #include <set>
 
+#include "common/thread_pool.h"
+#include "deps/fd.h"
+#include "engine/pli_cache.h"
+
 namespace famtree {
 
+namespace {
+
+/// Confirms an exact FD rule straight from the shared PLI store: X -> Y
+/// holds iff pi(X) and pi(X u Y) have equal refinement cost. Returns true
+/// (and fills a clean report matching Fd::Validate's holding output) only
+/// when the FD holds; violated FDs return false so the caller collects
+/// witnesses through the regular path.
+bool TryConfirmFdFromCache(const Relation& relation, const Dependency& rule,
+                           PliCache* cache, ValidationReport* report) {
+  if (cache == nullptr || &cache->relation() != &relation) return false;
+  const auto* fd = dynamic_cast<const Fd*>(&rule);
+  if (fd == nullptr || fd->lhs().empty()) return false;
+  AttrSet all = fd->lhs().Union(fd->rhs());
+  if (!AttrSet::Full(relation.num_columns()).ContainsAll(all)) return false;
+  std::shared_ptr<const StrippedPartition> x = cache->Get(fd->lhs());
+  std::shared_ptr<const StrippedPartition> xy = cache->Get(all);
+  if (x == nullptr || xy == nullptr) return false;
+  if (!StrippedPartition::FdHolds(*x, *xy)) return false;
+  report->holds = true;
+  report->violation_count = 0;
+  report->violations.clear();
+  report->measure = 1.0;
+  return true;
+}
+
+}  // namespace
+
 Result<DetectionSummary> ViolationDetector::Detect(
-    const Relation& relation, int max_violations_per_rule) const {
+    const Relation& relation, int max_violations_per_rule, ThreadPool* pool,
+    PliCache* cache) const {
+  int num_rules = static_cast<int>(rules_.size());
+  std::vector<ValidationReport> reports(num_rules);
+  FAMTREE_RETURN_NOT_OK(ParallelFor(pool, num_rules, [&](int64_t i) {
+    if (TryConfirmFdFromCache(relation, *rules_[i], cache, &reports[i])) {
+      return Status::OK();
+    }
+    FAMTREE_ASSIGN_OR_RETURN(
+        reports[i], rules_[i]->Validate(relation, max_violations_per_rule));
+    return Status::OK();
+  }));
   DetectionSummary summary;
   std::set<int> flagged;
-  for (const DependencyPtr& rule : rules_) {
-    FAMTREE_ASSIGN_OR_RETURN(
-        ValidationReport report,
-        rule->Validate(relation, max_violations_per_rule));
-    for (const Violation& v : report.violations) {
+  for (int i = 0; i < num_rules; ++i) {
+    for (const Violation& v : reports[i].violations) {
       for (int row : v.rows) flagged.insert(row);
     }
-    summary.results.push_back(DetectionResult{rule, std::move(report)});
+    summary.results.push_back(
+        DetectionResult{rules_[i], std::move(reports[i])});
   }
   summary.flagged_rows.assign(flagged.begin(), flagged.end());
   return summary;

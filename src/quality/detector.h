@@ -10,6 +10,9 @@
 
 namespace famtree {
 
+class PliCache;
+class ThreadPool;
+
 /// Violations of one dependency on one relation.
 struct DetectionResult {
   DependencyPtr dependency;
@@ -33,8 +36,17 @@ class ViolationDetector {
 
   const std::vector<DependencyPtr>& rules() const { return rules_; }
 
+  /// Validates every rule against `relation`. With a `pool`, rules are
+  /// validated concurrently (each rule's report lands in its own slot, so
+  /// the summary is identical for any thread count). With a `cache`, FD
+  /// rules are first checked against the shared PLI store — a holding FD
+  /// is confirmed from two cached partitions without re-grouping the
+  /// relation; violated FDs fall back to the full witness-collecting
+  /// validation, keeping reports bit-identical to the serial path.
   Result<DetectionSummary> Detect(const Relation& relation,
-                                  int max_violations_per_rule = 1000) const;
+                                  int max_violations_per_rule = 1000,
+                                  ThreadPool* pool = nullptr,
+                                  PliCache* cache = nullptr) const;
 
  private:
   std::vector<DependencyPtr> rules_;

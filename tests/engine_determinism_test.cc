@@ -1,0 +1,372 @@
+// Differential tests for the parallel lattice engine: every parallelized
+// algorithm must produce output bit-identical to its serial path, for
+// thread counts {1, 2, 8}, with and without the shared PLI cache, on
+// randomized relations — plus the 63-attribute cap boundary.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "deps/fd.h"
+#include "discovery/cords.h"
+#include "discovery/fastdc.h"
+#include "discovery/fastfd.h"
+#include "discovery/tane.h"
+#include "engine/engine.h"
+#include "engine/pli_cache.h"
+#include "gen/generators.h"
+#include "quality/detector.h"
+
+namespace famtree {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+
+Relation MakeRandomRelation(uint64_t seed, int rows, int cols, int domain) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  for (int c = 0; c < cols; ++c) names.push_back("c" + std::to_string(c));
+  RelationBuilder b(names);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    for (int c = 0; c < cols; ++c) {
+      row.push_back(Value(rng.Uniform(0, domain - 1)));
+    }
+    b.AddRow(std::move(row));
+  }
+  return std::move(b.Build()).value();
+}
+
+/// A relation mixing categorical and numerical columns so FASTDC builds
+/// order predicates too.
+Relation MakeMixedRelation(uint64_t seed, int rows) {
+  Rng rng(seed);
+  RelationBuilder b({"cat", "grp", "num", "price"});
+  for (int r = 0; r < rows; ++r) {
+    int grp = static_cast<int>(rng.Uniform(0, 3));
+    b.AddRow({Value("c" + std::to_string(rng.Uniform(0, 4))),
+              Value(grp),
+              Value(rng.Uniform(0, 20)),
+              Value(100.0 + 10.0 * grp + rng.Uniform(0, 5))});
+  }
+  return std::move(b.Build()).value();
+}
+
+void ExpectSameFds(const std::vector<DiscoveredFd>& serial,
+                   const std::vector<DiscoveredFd>& parallel,
+                   const std::string& what) {
+  ASSERT_EQ(serial.size(), parallel.size()) << what;
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].lhs.mask(), parallel[i].lhs.mask())
+        << what << " fd " << i;
+    EXPECT_EQ(serial[i].rhs, parallel[i].rhs) << what << " fd " << i;
+    EXPECT_EQ(serial[i].error, parallel[i].error) << what << " fd " << i;
+  }
+}
+
+class EngineDeterminismTest : public testing::TestWithParam<int> {};
+
+TEST_P(EngineDeterminismTest, TaneExactMatchesSerialOnRandomRelations) {
+  ThreadPool pool(GetParam());
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Relation r = MakeRandomRelation(seed, 50 + 10 * (seed % 3), 5, 3);
+    TaneOptions serial_options;
+    auto serial = DiscoverFdsTane(r, serial_options);
+    ASSERT_TRUE(serial.ok());
+
+    // Pool only, cache only, and both — all must match the serial walk.
+    TaneOptions pooled = serial_options;
+    pooled.pool = &pool;
+    auto with_pool = DiscoverFdsTane(r, pooled);
+    ASSERT_TRUE(with_pool.ok());
+    ExpectSameFds(*serial, *with_pool,
+                  "tane pool seed " + std::to_string(seed));
+
+    PliCache cache(r);
+    TaneOptions cached = serial_options;
+    cached.cache = &cache;
+    auto with_cache = DiscoverFdsTane(r, cached);
+    ASSERT_TRUE(with_cache.ok());
+    ExpectSameFds(*serial, *with_cache,
+                  "tane cache seed " + std::to_string(seed));
+
+    TaneOptions both = serial_options;
+    both.pool = &pool;
+    both.cache = &cache;
+    auto with_both = DiscoverFdsTane(r, both);
+    ASSERT_TRUE(with_both.ok());
+    ExpectSameFds(*serial, *with_both,
+                  "tane pool+cache seed " + std::to_string(seed));
+    EXPECT_GT(cache.stats().hits, 0) << "cache was never consulted";
+  }
+}
+
+TEST_P(EngineDeterminismTest, TaneApproximateMatchesSerial) {
+  ThreadPool pool(GetParam());
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Relation r = MakeRandomRelation(seed + 50, 70, 4, 3);
+    TaneOptions options;
+    options.max_error = 0.15;
+    auto serial = DiscoverFdsTane(r, options);
+    ASSERT_TRUE(serial.ok());
+    TaneOptions parallel = options;
+    parallel.pool = &pool;
+    PliCache cache(r);
+    parallel.cache = &cache;
+    auto par = DiscoverFdsTane(r, parallel);
+    ASSERT_TRUE(par.ok());
+    ExpectSameFds(*serial, *par, "afd seed " + std::to_string(seed));
+  }
+}
+
+TEST_P(EngineDeterminismTest, TaneMaxResultsTruncationMatchesSerial) {
+  ThreadPool pool(GetParam());
+  Relation r = MakeRandomRelation(99, 60, 5, 2);
+  TaneOptions options;
+  options.max_results = 3;  // exercise mid-level truncation
+  auto serial = DiscoverFdsTane(r, options);
+  ASSERT_TRUE(serial.ok());
+  TaneOptions parallel = options;
+  parallel.pool = &pool;
+  auto par = DiscoverFdsTane(r, parallel);
+  ASSERT_TRUE(par.ok());
+  ExpectSameFds(*serial, *par, "truncated tane");
+}
+
+TEST_P(EngineDeterminismTest, TaneOnHotelWorkloadMatchesSerial) {
+  ThreadPool pool(GetParam());
+  HotelConfig config;
+  config.num_hotels = 120;
+  config.rows_per_hotel = 3;
+  GeneratedData data = GenerateHotels(config);
+  TaneOptions options;
+  options.max_error = 0.05;
+  auto serial = DiscoverFdsTane(data.relation, options);
+  ASSERT_TRUE(serial.ok());
+  PliCache cache(data.relation);
+  TaneOptions parallel = options;
+  parallel.pool = &pool;
+  parallel.cache = &cache;
+  auto par = DiscoverFdsTane(data.relation, parallel);
+  ASSERT_TRUE(par.ok());
+  ExpectSameFds(*serial, *par, "hotel tane");
+}
+
+TEST_P(EngineDeterminismTest, FastFdMatchesSerial) {
+  ThreadPool pool(GetParam());
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Relation r = MakeRandomRelation(seed + 20, 40, 5, 3);
+    auto serial = DiscoverFdsFastFd(r, FastFdOptions{});
+    ASSERT_TRUE(serial.ok());
+    FastFdOptions options;
+    options.pool = &pool;
+    auto par = DiscoverFdsFastFd(r, options);
+    ASSERT_TRUE(par.ok());
+    ExpectSameFds(*serial, *par, "fastfd seed " + std::to_string(seed));
+  }
+}
+
+TEST_P(EngineDeterminismTest, FastDcExactPathMatchesSerial) {
+  ThreadPool pool(GetParam());
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Relation r = MakeMixedRelation(seed, 30);
+    FastDcOptions options;
+    options.max_predicates = 3;
+    auto serial = DiscoverDcs(r, options);
+    ASSERT_TRUE(serial.ok());
+    FastDcOptions parallel = options;
+    parallel.pool = &pool;
+    auto par = DiscoverDcs(r, parallel);
+    ASSERT_TRUE(par.ok());
+    ASSERT_EQ(serial->size(), par->size()) << "seed " << seed;
+    for (size_t i = 0; i < serial->size(); ++i) {
+      EXPECT_EQ((*serial)[i].dc.ToString(), (*par)[i].dc.ToString())
+          << "seed " << seed << " dc " << i;
+      EXPECT_EQ((*serial)[i].violation_fraction,
+                (*par)[i].violation_fraction);
+    }
+  }
+}
+
+TEST_P(EngineDeterminismTest, FastDcSampledPathMatchesSerial) {
+  ThreadPool pool(GetParam());
+  Relation r = MakeMixedRelation(7, 60);
+  FastDcOptions options;
+  options.max_predicates = 3;
+  options.max_rows_exact = 20;  // force the sampling path
+  options.max_violation_fraction = 0.02;
+  auto serial = DiscoverDcs(r, options);
+  ASSERT_TRUE(serial.ok());
+  FastDcOptions parallel = options;
+  parallel.pool = &pool;
+  auto par = DiscoverDcs(r, parallel);
+  ASSERT_TRUE(par.ok());
+  ASSERT_EQ(serial->size(), par->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ((*serial)[i].dc.ToString(), (*par)[i].dc.ToString());
+    EXPECT_EQ((*serial)[i].violation_fraction, (*par)[i].violation_fraction);
+  }
+}
+
+TEST_P(EngineDeterminismTest, CordsMatchesSerial) {
+  ThreadPool pool(GetParam());
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Relation r = MakeRandomRelation(seed + 70, 150, 6, 4);
+    CordsOptions options;
+    options.sample_size = 80;  // force sampling
+    auto serial = DiscoverSfdsCords(r, options);
+    ASSERT_TRUE(serial.ok());
+    CordsOptions parallel = options;
+    parallel.pool = &pool;
+    auto par = DiscoverSfdsCords(r, parallel);
+    ASSERT_TRUE(par.ok());
+    ASSERT_EQ(serial->size(), par->size());
+    for (size_t i = 0; i < serial->size(); ++i) {
+      EXPECT_EQ((*serial)[i].lhs, (*par)[i].lhs) << "pair " << i;
+      EXPECT_EQ((*serial)[i].rhs, (*par)[i].rhs) << "pair " << i;
+      EXPECT_EQ((*serial)[i].strength, (*par)[i].strength) << "pair " << i;
+      EXPECT_EQ((*serial)[i].chi2, (*par)[i].chi2) << "pair " << i;
+      EXPECT_EQ((*serial)[i].cramers_v, (*par)[i].cramers_v) << "pair " << i;
+      EXPECT_EQ((*serial)[i].is_soft_fd, (*par)[i].is_soft_fd);
+      EXPECT_EQ((*serial)[i].is_correlated, (*par)[i].is_correlated);
+    }
+  }
+}
+
+TEST_P(EngineDeterminismTest, DetectorMatchesSerialWithPoolAndCache) {
+  ThreadPool pool(GetParam());
+  HotelConfig config;
+  config.num_hotels = 60;
+  config.error_rate = 0.05;
+  GeneratedData data = GenerateHotels(config);
+  const Relation& r = data.relation;
+  // A mix of holding and violated FDs (address -> region is dirtied by the
+  // generator; a column trivially determines itself).
+  std::vector<DependencyPtr> rules = {
+      std::make_shared<Fd>(AttrSet::Single(1), AttrSet::Single(2)),
+      std::make_shared<Fd>(AttrSet::Of({0, 1}), AttrSet::Single(2)),
+      std::make_shared<Fd>(AttrSet::Single(0), AttrSet::Single(0)),
+  };
+  ViolationDetector detector(rules);
+  auto serial = detector.Detect(r);
+  ASSERT_TRUE(serial.ok());
+  PliCache cache(r);
+  auto par = detector.Detect(r, 1000, &pool, &cache);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(serial->flagged_rows, par->flagged_rows);
+  ASSERT_EQ(serial->results.size(), par->results.size());
+  for (size_t i = 0; i < serial->results.size(); ++i) {
+    const ValidationReport& a = serial->results[i].report;
+    const ValidationReport& b = par->results[i].report;
+    EXPECT_EQ(a.holds, b.holds) << "rule " << i;
+    EXPECT_EQ(a.violation_count, b.violation_count) << "rule " << i;
+    EXPECT_EQ(a.violations, b.violations) << "rule " << i;
+    EXPECT_EQ(a.measure, b.measure) << "rule " << i;
+  }
+}
+
+TEST_P(EngineDeterminismTest, SixtyThreeAttributeBoundaryRelation) {
+  ThreadPool pool(GetParam());
+  // The AttrSet mask caps relations at 63 attributes; the cap boundary
+  // must behave identically in serial and parallel walks.
+  Rng rng(5);
+  std::vector<std::string> names;
+  for (int c = 0; c < 63; ++c) names.push_back("a" + std::to_string(c));
+  RelationBuilder b(names);
+  for (int r = 0; r < 24; ++r) {
+    std::vector<Value> row;
+    for (int c = 0; c < 63; ++c) row.push_back(Value(rng.Uniform(0, 1)));
+    b.AddRow(std::move(row));
+  }
+  Relation r = std::move(b.Build()).value();
+  TaneOptions options;
+  options.max_lhs_size = 1;  // keep the 63-wide lattice walk shallow
+  auto serial = DiscoverFdsTane(r, options);
+  ASSERT_TRUE(serial.ok());
+  PliCache cache(r);
+  TaneOptions parallel = options;
+  parallel.pool = &pool;
+  parallel.cache = &cache;
+  auto par = DiscoverFdsTane(r, parallel);
+  ASSERT_TRUE(par.ok());
+  ExpectSameFds(*serial, *par, "63-attribute boundary");
+
+  FastFdOptions ff;
+  ff.max_lhs_size = 2;
+  auto ff_serial = DiscoverFdsFastFd(r, ff);
+  ASSERT_TRUE(ff_serial.ok());
+  ff.pool = &pool;
+  auto ff_par = DiscoverFdsFastFd(r, ff);
+  ASSERT_TRUE(ff_par.ok());
+  ExpectSameFds(*ff_serial, *ff_par, "63-attribute fastfd");
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, EngineDeterminismTest,
+                         testing::ValuesIn(kThreadCounts));
+
+TEST(DiscoveryEngineTest, FacadeMatchesSerialAndCountsCacheTraffic) {
+  EngineOptions options;
+  options.num_threads = 4;
+  DiscoveryEngine engine(options);
+  Relation r = MakeRandomRelation(3, 80, 5, 3);
+
+  auto serial = DiscoverFdsTane(r, TaneOptions{});
+  ASSERT_TRUE(serial.ok());
+  auto parallel = engine.Tane(r);
+  ASSERT_TRUE(parallel.ok());
+  ExpectSameFds(*serial, *parallel, "engine facade tane");
+
+  // A second run over the same relation is served from the warm store.
+  PliCache::Stats first = engine.CacheStats();
+  EXPECT_GT(first.misses, 0);
+  auto again = engine.Tane(r);
+  ASSERT_TRUE(again.ok());
+  ExpectSameFds(*serial, *again, "engine facade tane rerun");
+  PliCache::Stats second = engine.CacheStats();
+  EXPECT_GT(second.hits, first.hits);
+
+  auto sfds_serial = DiscoverSfdsCords(r, CordsOptions{});
+  ASSERT_TRUE(sfds_serial.ok());
+  auto sfds = engine.Cords(r);
+  ASSERT_TRUE(sfds.ok());
+  ASSERT_EQ(sfds_serial->size(), sfds->size());
+
+  std::vector<DependencyPtr> rules = {
+      std::make_shared<Fd>(AttrSet::Single(0), AttrSet::Single(1))};
+  ViolationDetector detector(rules);
+  auto det_serial = detector.Detect(r);
+  ASSERT_TRUE(det_serial.ok());
+  auto det = engine.Detect(r, rules);
+  ASSERT_TRUE(det.ok());
+  EXPECT_EQ(det_serial->flagged_rows, det->flagged_rows);
+
+  engine.ForgetRelation(r);
+  EXPECT_EQ(engine.CacheStats().hits, 0);
+}
+
+TEST(EngineDeterminismStressTest, RepeatedParallelRunsAreStable) {
+  // Re-running the same parallel discovery many times must give the same
+  // bytes every time — the classic symptom of a rogue race is a flaky
+  // one-in-twenty mismatch.
+  ThreadPool pool(8);
+  Relation r = MakeRandomRelation(123, 60, 5, 3);
+  TaneOptions base;
+  auto expected = DiscoverFdsTane(r, base);
+  ASSERT_TRUE(expected.ok());
+  for (int round = 0; round < 10; ++round) {
+    PliCache cache(r);
+    TaneOptions options = base;
+    options.pool = &pool;
+    options.cache = &cache;
+    auto got = DiscoverFdsTane(r, options);
+    ASSERT_TRUE(got.ok());
+    ExpectSameFds(*expected, *got, "round " + std::to_string(round));
+  }
+}
+
+}  // namespace
+}  // namespace famtree

@@ -1,0 +1,110 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace famtree {
+namespace {
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing submitted
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+class ThreadPoolParallelForTest : public testing::TestWithParam<int> {};
+
+TEST_P(ThreadPoolParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(GetParam());
+  std::vector<std::atomic<int>> hits(777);
+  for (auto& h : hits) h.store(0);
+  Status st = pool.ParallelFor(777, [&hits](int64_t i) {
+    hits[i].fetch_add(1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ThreadPoolParallelForTest, ReportsLowestFailingIndex) {
+  ThreadPool pool(GetParam());
+  // Indices 5 and above all fail; the reported message must always be the
+  // one from index 5 regardless of scheduling.
+  for (int round = 0; round < 20; ++round) {
+    Status st = pool.ParallelFor(200, [](int64_t i) {
+      if (i >= 5) {
+        return Status::Invalid("fail at " + std::to_string(i));
+      }
+      return Status::OK();
+    });
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.message(), "fail at 5");
+  }
+}
+
+TEST_P(ThreadPoolParallelForTest, EmptyRangeIsOk) {
+  ThreadPool pool(GetParam());
+  EXPECT_TRUE(pool.ParallelFor(0, [](int64_t) {
+                    return Status::Invalid("never runs");
+                  }).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadPoolParallelForTest,
+                         testing::Values(1, 2, 8));
+
+TEST(ThreadPoolTest, FreeFunctionFallsBackToSerialWithoutPool) {
+  std::vector<int> hits(50, 0);
+  Status st = ParallelFor(nullptr, 50, [&hits](int64_t i) {
+    hits[i] += 1;  // no synchronization needed: serial fallback
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, FreeFunctionStopsAtFirstSerialError) {
+  int ran_up_to = -1;
+  Status st = ParallelFor(nullptr, 10, [&ran_up_to](int64_t i) {
+    ran_up_to = static_cast<int>(i);
+    if (i == 3) return Status::Internal("boom");
+    return Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(ran_up_to, 3);
+}
+
+TEST(ThreadPoolTest, ManySmallParallelForsReuseWorkers) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    Status st = pool.ParallelFor(64, [&sum](int64_t i) {
+      sum.fetch_add(i);
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace famtree
