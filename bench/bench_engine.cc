@@ -1,7 +1,10 @@
-// Serial-vs-parallel speedup of the lattice engine on the synthetic hotel
-// workload, plus the shared PLI cache counters. Exits nonzero if any
-// parallel run deviates from the serial result — the speedup numbers are
-// hardware-dependent, the byte-identity is not.
+// Engine speedup bench on the synthetic 36k-row hotel workload, in two
+// dimensions: the dictionary-encoded columnar backend vs the Value-based
+// oracle path (serial, the algorithmic speedup), and parallel runs at 1/2/8
+// threads on the encoded backend (the scaling speedup). Exits nonzero if
+// any run deviates from the serial Value-based result — speedups are
+// hardware-dependent, byte-identity is not. Writes BENCH_engine.json with
+// every timing so EXPERIMENTS.md tables regenerate from one artifact.
 
 #include <chrono>
 #include <cstdio>
@@ -40,19 +43,54 @@ bool SameFds(const std::vector<DiscoveredFd>& a,
 
 struct Row {
   std::string name;
-  double serial_ms = 0;
+  double value_ms = 0;    // serial, Value-based oracle path
+  double encoded_ms = 0;  // serial, dictionary-encoded backend
   double one_thread_ms = 0;
+  double two_thread_ms = 0;
   double eight_thread_ms = 0;
   bool identical = true;
+  double encoded_speedup() const {
+    return encoded_ms > 0 ? value_ms / encoded_ms : 0.0;
+  }
 };
 
 void PrintRow(const Row& row) {
-  std::printf("| %-22s | %9.1f | %9.1f | %9.1f | %7.2fx | %-9s |\n",
-              row.name.c_str(), row.serial_ms, row.one_thread_ms,
-              row.eight_thread_ms,
-              row.eight_thread_ms > 0 ? row.one_thread_ms / row.eight_thread_ms
-                                      : 0.0,
-              row.identical ? "identical" : "MISMATCH");
+  std::printf(
+      "| %-22s | %9.1f | %9.1f | %7.2fx | %8.1f | %8.1f | %8.1f | %-9s |\n",
+      row.name.c_str(), row.value_ms, row.encoded_ms, row.encoded_speedup(),
+      row.one_thread_ms, row.two_thread_ms, row.eight_thread_ms,
+      row.identical ? "identical" : "MISMATCH");
+}
+
+void WriteJson(const std::vector<Row>& rows, int num_rows, int num_columns,
+               const PliCache::Stats& cache_stats) {
+  std::FILE* f = std::fopen("BENCH_engine.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"workload\": {\"rows\": %d, \"columns\": %d},\n",
+               num_rows, num_columns);
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"serial_value_ms\": %.3f, "
+                 "\"serial_encoded_ms\": %.3f, \"encoded_speedup\": %.3f, "
+                 "\"parallel_encoded_ms\": {\"1\": %.3f, \"2\": %.3f, "
+                 "\"8\": %.3f}, \"identical\": %s}%s\n",
+                 r.name.c_str(), r.value_ms, r.encoded_ms,
+                 r.encoded_speedup(), r.one_thread_ms, r.two_thread_ms,
+                 r.eight_thread_ms, r.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"pli_cache_8_thread_tane\": {\"hits\": %lld, "
+               "\"misses\": %lld, \"evictions\": %lld, \"builds\": %lld, "
+               "\"bytes\": %zu}\n}\n",
+               static_cast<long long>(cache_stats.hits),
+               static_cast<long long>(cache_stats.misses),
+               static_cast<long long>(cache_stats.evictions),
+               static_cast<long long>(cache_stats.builds), cache_stats.bytes);
+  std::fclose(f);
 }
 
 }  // namespace
@@ -67,11 +105,16 @@ int Run() {
   const Relation& hotels = data.relation;
   std::printf("hotel relation: %d rows x %d columns\n\n", hotels.num_rows(),
               hotels.num_columns());
-  std::printf("| %-22s | serial ms | 1-thr ms  | 8-thr ms  | speedup | result    |\n",
-              "benchmark");
-  std::printf("|------------------------|-----------|-----------|-----------|---------|-----------|\n");
+  std::printf(
+      "| %-22s | value ms  | encode ms | enc spd | 1-thr ms | 2-thr ms | "
+      "8-thr ms | result    |\n",
+      "benchmark");
+  std::printf(
+      "|------------------------|-----------|-----------|---------|----------"
+      "|----------|----------|-----------|\n");
 
   bool all_identical = true;
+  std::vector<Row> rows;
   PliCache::Stats tane_cache_stats;
 
   {  // TANE in AFD mode: the g3 validity tests dominate.
@@ -79,11 +122,18 @@ int Run() {
     TaneOptions options;
     options.max_error = 0.05;
     options.max_lhs_size = 3;
+    TaneOptions value_opts = options;
+    value_opts.use_encoding = false;
     auto start = std::chrono::steady_clock::now();
+    auto oracle = DiscoverFdsTane(hotels, value_opts);
+    row.value_ms = MillisSince(start);
+    if (!oracle.ok()) return 2;
+    start = std::chrono::steady_clock::now();
     auto serial = DiscoverFdsTane(hotels, options);
-    row.serial_ms = MillisSince(start);
+    row.encoded_ms = MillisSince(start);
     if (!serial.ok()) return 2;
-    for (int threads : {1, 8}) {
+    row.identical = SameFds(*oracle, *serial);
+    for (int threads : {1, 2, 8}) {
       ThreadPool pool(threads);
       PliCache cache(hotels);
       TaneOptions parallel = options;
@@ -93,25 +143,37 @@ int Run() {
       auto result = DiscoverFdsTane(hotels, parallel);
       double ms = MillisSince(start);
       if (!result.ok()) return 2;
-      (threads == 1 ? row.one_thread_ms : row.eight_thread_ms) = ms;
-      row.identical = row.identical && SameFds(*serial, *result);
+      (threads == 1   ? row.one_thread_ms
+       : threads == 2 ? row.two_thread_ms
+                      : row.eight_thread_ms) = ms;
+      row.identical = row.identical && SameFds(*oracle, *result);
       if (threads == 8) tane_cache_stats = cache.stats();
     }
     all_identical = all_identical && row.identical;
     PrintRow(row);
+    rows.push_back(row);
   }
 
   {  // FastFDs on a slice (difference sets are quadratic in rows).
     Row row{"fastfd 500-row slice"};
-    std::vector<int> rows;
-    for (int i = 0; i < 500 && i < hotels.num_rows(); ++i) rows.push_back(i);
-    Relation slice = hotels.Select(rows);
+    std::vector<int> slice_rows;
+    for (int i = 0; i < 500 && i < hotels.num_rows(); ++i) {
+      slice_rows.push_back(i);
+    }
+    Relation slice = hotels.Select(slice_rows);
     FastFdOptions options;
+    FastFdOptions value_opts = options;
+    value_opts.use_encoding = false;
     auto start = std::chrono::steady_clock::now();
+    auto oracle = DiscoverFdsFastFd(slice, value_opts);
+    row.value_ms = MillisSince(start);
+    if (!oracle.ok()) return 2;
+    start = std::chrono::steady_clock::now();
     auto serial = DiscoverFdsFastFd(slice, options);
-    row.serial_ms = MillisSince(start);
+    row.encoded_ms = MillisSince(start);
     if (!serial.ok()) return 2;
-    for (int threads : {1, 8}) {
+    row.identical = SameFds(*oracle, *serial);
+    for (int threads : {1, 2, 8}) {
       ThreadPool pool(threads);
       FastFdOptions parallel = options;
       parallel.pool = &pool;
@@ -119,25 +181,48 @@ int Run() {
       auto result = DiscoverFdsFastFd(slice, parallel);
       double ms = MillisSince(start);
       if (!result.ok()) return 2;
-      (threads == 1 ? row.one_thread_ms : row.eight_thread_ms) = ms;
-      row.identical = row.identical && SameFds(*serial, *result);
+      (threads == 1   ? row.one_thread_ms
+       : threads == 2 ? row.two_thread_ms
+                      : row.eight_thread_ms) = ms;
+      row.identical = row.identical && SameFds(*oracle, *result);
     }
     all_identical = all_identical && row.identical;
     PrintRow(row);
+    rows.push_back(row);
   }
 
   {  // FASTDC evidence sets on a slice of the hotel table.
     Row row{"fastdc 300-row slice"};
-    std::vector<int> rows;
-    for (int i = 0; i < 300 && i < hotels.num_rows(); ++i) rows.push_back(i);
-    Relation slice = hotels.Select(rows);
+    std::vector<int> slice_rows;
+    for (int i = 0; i < 300 && i < hotels.num_rows(); ++i) {
+      slice_rows.push_back(i);
+    }
+    Relation slice = hotels.Select(slice_rows);
     FastDcOptions options;
     options.max_predicates = 3;
+    FastDcOptions value_opts = options;
+    value_opts.use_encoding = false;
+    auto same_dcs = [](const std::vector<DiscoveredDc>& a,
+                       const std::vector<DiscoveredDc>& b) {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].dc.ToString() != b[i].dc.ToString() ||
+            a[i].violation_fraction != b[i].violation_fraction) {
+          return false;
+        }
+      }
+      return true;
+    };
     auto start = std::chrono::steady_clock::now();
+    auto oracle = DiscoverDcs(slice, value_opts);
+    row.value_ms = MillisSince(start);
+    if (!oracle.ok()) return 2;
+    start = std::chrono::steady_clock::now();
     auto serial = DiscoverDcs(slice, options);
-    row.serial_ms = MillisSince(start);
+    row.encoded_ms = MillisSince(start);
     if (!serial.ok()) return 2;
-    for (int threads : {1, 8}) {
+    row.identical = same_dcs(*oracle, *serial);
+    for (int threads : {1, 2, 8}) {
       ThreadPool pool(threads);
       FastDcOptions parallel = options;
       parallel.pool = &pool;
@@ -145,27 +230,43 @@ int Run() {
       auto result = DiscoverDcs(slice, parallel);
       double ms = MillisSince(start);
       if (!result.ok()) return 2;
-      (threads == 1 ? row.one_thread_ms : row.eight_thread_ms) = ms;
-      bool same = serial->size() == result->size();
-      for (size_t i = 0; same && i < serial->size(); ++i) {
-        same = (*serial)[i].dc.ToString() == (*result)[i].dc.ToString() &&
-               (*serial)[i].violation_fraction ==
-                   (*result)[i].violation_fraction;
-      }
-      row.identical = row.identical && same;
+      (threads == 1   ? row.one_thread_ms
+       : threads == 2 ? row.two_thread_ms
+                      : row.eight_thread_ms) = ms;
+      row.identical = row.identical && same_dcs(*oracle, *result);
     }
     all_identical = all_identical && row.identical;
     PrintRow(row);
+    rows.push_back(row);
   }
 
   {  // CORDS column-pair sweep over the full relation.
     Row row{"cords full sweep"};
     CordsOptions options;
+    CordsOptions value_opts = options;
+    value_opts.use_encoding = false;
+    auto same_sfds = [](const std::vector<DiscoveredSfd>& a,
+                        const std::vector<DiscoveredSfd>& b) {
+      if (a.size() != b.size()) return false;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].lhs != b[i].lhs || a[i].rhs != b[i].rhs ||
+            a[i].strength != b[i].strength || a[i].chi2 != b[i].chi2 ||
+            a[i].cramers_v != b[i].cramers_v) {
+          return false;
+        }
+      }
+      return true;
+    };
     auto start = std::chrono::steady_clock::now();
+    auto oracle = DiscoverSfdsCords(hotels, value_opts);
+    row.value_ms = MillisSince(start);
+    if (!oracle.ok()) return 2;
+    start = std::chrono::steady_clock::now();
     auto serial = DiscoverSfdsCords(hotels, options);
-    row.serial_ms = MillisSince(start);
+    row.encoded_ms = MillisSince(start);
     if (!serial.ok()) return 2;
-    for (int threads : {1, 8}) {
+    row.identical = same_sfds(*oracle, *serial);
+    for (int threads : {1, 2, 8}) {
       ThreadPool pool(threads);
       CordsOptions parallel = options;
       parallel.pool = &pool;
@@ -173,19 +274,14 @@ int Run() {
       auto result = DiscoverSfdsCords(hotels, parallel);
       double ms = MillisSince(start);
       if (!result.ok()) return 2;
-      (threads == 1 ? row.one_thread_ms : row.eight_thread_ms) = ms;
-      bool same = serial->size() == result->size();
-      for (size_t i = 0; same && i < serial->size(); ++i) {
-        same = (*serial)[i].lhs == (*result)[i].lhs &&
-               (*serial)[i].rhs == (*result)[i].rhs &&
-               (*serial)[i].strength == (*result)[i].strength &&
-               (*serial)[i].chi2 == (*result)[i].chi2 &&
-               (*serial)[i].cramers_v == (*result)[i].cramers_v;
-      }
-      row.identical = row.identical && same;
+      (threads == 1   ? row.one_thread_ms
+       : threads == 2 ? row.two_thread_ms
+                      : row.eight_thread_ms) = ms;
+      row.identical = row.identical && same_sfds(*oracle, *result);
     }
     all_identical = all_identical && row.identical;
     PrintRow(row);
+    rows.push_back(row);
   }
 
   std::printf(
@@ -196,11 +292,20 @@ int Run() {
       static_cast<long long>(tane_cache_stats.evictions),
       static_cast<long long>(tane_cache_stats.builds),
       tane_cache_stats.bytes);
-  std::printf("speedup = 1-thread ms / 8-thread ms (hardware dependent; "
-              "byte-identity is the hard check)\n");
+  std::printf(
+      "enc spd = serial Value-path ms / serial encoded ms (algorithmic); "
+      "thread columns run the encoded backend\n");
+  std::printf("speedups are hardware dependent; byte-identity is the hard "
+              "check\n");
+  WriteJson(rows, hotels.num_rows(), hotels.num_columns(), tane_cache_stats);
+  std::printf("wrote BENCH_engine.json\n");
   if (!all_identical) {
-    std::printf("FAIL: a parallel run deviated from the serial result\n");
+    std::printf("FAIL: a run deviated from the serial Value-based result\n");
     return 1;
+  }
+  if (!rows.empty() && rows[0].encoded_speedup() < 2.0) {
+    std::printf("WARN: tane encoded speedup %.2fx below the 2x target\n",
+                rows[0].encoded_speedup());
   }
   return 0;
 }

@@ -1,10 +1,20 @@
 #include "deps/sfd.h"
 
 #include "common/strings.h"
+#include "relation/encoded_relation.h"
 
 namespace famtree {
 
 double Sfd::Strength(const Relation& relation, AttrSet lhs, AttrSet rhs) {
+  if (relation.num_rows() == 0) return 1.0;
+  int dom_x = relation.CountDistinct(lhs);
+  int dom_xy = relation.CountDistinct(lhs.Union(rhs));
+  if (dom_xy == 0) return 1.0;
+  return static_cast<double>(dom_x) / dom_xy;
+}
+
+double Sfd::Strength(const EncodedRelation& relation, AttrSet lhs,
+                     AttrSet rhs) {
   if (relation.num_rows() == 0) return 1.0;
   int dom_x = relation.CountDistinct(lhs);
   int dom_xy = relation.CountDistinct(lhs.Union(rhs));

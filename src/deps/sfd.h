@@ -7,6 +7,8 @@
 
 namespace famtree {
 
+class EncodedRelation;
+
 /// A soft functional dependency X ->_s Y (Section 2.1, CORDS [55]): the
 /// strength measure S(X -> Y, r) = |dom(X)|_r / |dom(X,Y)|_r must reach the
 /// threshold s. An FD is exactly an SFD with strength 1.
@@ -21,6 +23,11 @@ class Sfd : public Dependency {
 
   /// The paper's strength measure on an instance.
   static double Strength(const Relation& relation, AttrSet lhs, AttrSet rhs);
+  /// Same measure on a dictionary-encoded instance: the distinct counts come
+  /// from code arrays (no Value hashing) and both are exact integers, so the
+  /// ratio is bit-identical to the Value-based overload.
+  static double Strength(const EncodedRelation& relation, AttrSet lhs,
+                         AttrSet rhs);
 
   DependencyClass cls() const override { return DependencyClass::kSfd; }
   std::string ToString(const Schema* schema = nullptr) const override;

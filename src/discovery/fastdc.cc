@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <bitset>
 #include <map>
+#include <memory>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "relation/encoded_relation.h"
 
 namespace famtree {
 
@@ -13,6 +15,60 @@ namespace {
 
 constexpr int kMaxPredicates = 256;
 using Bits = std::bitset<kMaxPredicates>;
+
+/// One dictionary entry pre-lowered for order comparisons. `rank` mirrors
+/// Value::operator<'s type ranking (null < numeric < string); numeric cells
+/// carry both the exact int64 (when integral) and the double image.
+struct OrderCell {
+  int8_t rank = 0;  // 0 null, 1 numeric, 2 string
+  bool is_int = false;
+  int64_t i = 0;
+  double num = 0.0;
+};
+
+/// Exactly Value::operator< for non-string cells: rank order first, then
+/// exact int-int, then the double image (how AsNumeric compares).
+inline bool CellLess(const OrderCell& x, const OrderCell& y) {
+  if (x.rank != y.rank) return x.rank < y.rank;
+  if (x.rank != 1) return false;  // null == null; strings never reach here
+  if (x.is_int && y.is_int) return x.i < y.i;
+  return x.num < y.num;
+}
+
+/// A predicate lowered onto the encoded backend. Anything the lowering does
+/// not cover exactly keeps the Value evaluator (kFallback).
+struct CompiledPred {
+  enum class Kind { kSameColEq, kSameColNeq, kOrder, kFallback };
+  Kind kind = Kind::kFallback;
+  int col_a = 0;  // tuple-a operand's column
+  int col_b = 0;  // tuple-b operand's column
+  CmpOp op = CmpOp::kEq;
+};
+
+CompiledPred CompilePred(const DcPredicate& p) {
+  CompiledPred out;
+  if (p.lhs.kind != DcOperand::Kind::kTupleA ||
+      p.rhs.kind != DcOperand::Kind::kTupleB) {
+    return out;  // constants / other shapes: fallback
+  }
+  out.col_a = p.lhs.attr;
+  out.col_b = p.rhs.attr;
+  out.op = p.op;
+  switch (p.op) {
+    case CmpOp::kEq:
+      out.kind = p.lhs.attr == p.rhs.attr ? CompiledPred::Kind::kSameColEq
+                                          : CompiledPred::Kind::kFallback;
+      break;
+    case CmpOp::kNeq:
+      out.kind = p.lhs.attr == p.rhs.attr ? CompiledPred::Kind::kSameColNeq
+                                          : CompiledPred::Kind::kFallback;
+      break;
+    default:
+      out.kind = CompiledPred::Kind::kOrder;
+      break;
+  }
+  return out;
+}
 
 /// Is pred `p` the negation of pred `q` (same operands, negated op)?
 bool AreNegations(const DcPredicate& p, const DcPredicate& q) {
@@ -184,6 +240,71 @@ Result<std::vector<DiscoveredDc>> DiscoverDcs(const Relation& relation,
       if (i != j) pairs.push_back({i, j});
     }
   }
+  // Lower the predicate space onto the encoded backend: codes for same-col
+  // =/!=, per-dictionary OrderCells for </<=/>/>=. Cells are materialized
+  // once per dictionary entry, not per pair, so the quadratic loop touches
+  // only flat arrays.
+  std::unique_ptr<EncodedRelation> encoded;
+  std::vector<CompiledPred> compiled;
+  std::vector<std::vector<OrderCell>> cells;
+  if (options.use_encoding) {
+    encoded = std::make_unique<EncodedRelation>(relation);
+    compiled.reserve(preds.size());
+    for (const DcPredicate& p : preds) compiled.push_back(CompilePred(p));
+    cells.resize(relation.num_columns());
+    for (int a = 0; a < relation.num_columns(); ++a) {
+      cells[a].resize(encoded->dict_size(a));
+      for (int code = 0; code < encoded->dict_size(a); ++code) {
+        const Value& v = encoded->Decode(a, code);
+        OrderCell& c = cells[a][code];
+        switch (v.type()) {
+          case ValueType::kNull:
+            c.rank = 0;
+            break;
+          case ValueType::kInt:
+            c.rank = 1;
+            c.is_int = true;
+            c.i = v.as_int();
+            c.num = static_cast<double>(v.as_int());
+            break;
+          case ValueType::kDouble:
+            c.rank = 1;
+            c.num = v.as_double();
+            break;
+          case ValueType::kString:
+            c.rank = 2;
+            break;
+        }
+      }
+    }
+  }
+  auto eval_pred = [&](size_t p, int i, int j) {
+    if (encoded == nullptr) return preds[p].Eval(relation, i, j);
+    const CompiledPred& cp = compiled[p];
+    switch (cp.kind) {
+      case CompiledPred::Kind::kSameColEq:
+        return encoded->code(i, cp.col_a) == encoded->code(j, cp.col_a);
+      case CompiledPred::Kind::kSameColNeq:
+        return encoded->code(i, cp.col_a) != encoded->code(j, cp.col_a);
+      case CompiledPred::Kind::kOrder: {
+        const OrderCell& x = cells[cp.col_a][encoded->code(i, cp.col_a)];
+        const OrderCell& y = cells[cp.col_b][encoded->code(j, cp.col_b)];
+        if (x.rank == 2 || y.rank == 2) {
+          return preds[p].Eval(relation, i, j);  // string under order op
+        }
+        switch (cp.op) {
+          case CmpOp::kLt: return CellLess(x, y);
+          case CmpOp::kLe: return !CellLess(y, x);
+          case CmpOp::kGt: return CellLess(y, x);
+          case CmpOp::kGe: return !CellLess(x, y);
+          default: return preds[p].Eval(relation, i, j);
+        }
+      }
+      case CompiledPred::Kind::kFallback:
+        return preds[p].Eval(relation, i, j);
+    }
+    return preds[p].Eval(relation, i, j);
+  };
   auto bits_less = [](const Bits& a, const Bits& b) {
     for (int w = kMaxPredicates - 1; w >= 0; --w) {
       if (a[w] != b[w]) return b[w];
@@ -205,7 +326,7 @@ Result<std::vector<DiscoveredDc>> DiscoverDcs(const Relation& relation,
       auto [i, j] = pairs[s];
       Bits bits;
       for (size_t p = 0; p < preds.size(); ++p) {
-        if (preds[p].Eval(relation, i, j)) bits[p] = true;
+        if (eval_pred(p, i, j)) bits[p] = true;
       }
       ++local[bits];
     }

@@ -1,9 +1,11 @@
 #include "discovery/fastfd.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "common/thread_pool.h"
+#include "relation/encoded_relation.h"
 
 namespace famtree {
 
@@ -70,7 +72,16 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
   // minimal ones (a superset of a difference set is redundant for covers).
   // The pair loop is chunked over leading rows; each chunk collects a
   // private mask set and the union of sets is order-independent, so the
-  // chunk count cannot change the result.
+  // chunk count cannot change the result. With the encoded backend the
+  // per-cell comparison is one uint32 compare over flat code arrays; code
+  // equality is exactly Value equality, so both paths produce the same
+  // difference sets.
+  std::unique_ptr<EncodedRelation> encoded;
+  std::vector<const std::vector<uint32_t>*> codes;
+  if (options.use_encoding) {
+    encoded = std::make_unique<EncodedRelation>(relation);
+    for (int a = 0; a < nc; ++a) codes.push_back(&encoded->codes(a));
+  }
   int num_chunks = options.pool == nullptr
                        ? 1
                        : std::max(1, options.pool->num_threads() * 4);
@@ -83,8 +94,14 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
     for (int i = begin; i < end; ++i) {
       for (int j = i + 1; j < n; ++j) {
         AttrSet d;
-        for (int a = 0; a < nc; ++a) {
-          if (!(relation.Get(i, a) == relation.Get(j, a))) d.Add(a);
+        if (encoded != nullptr) {
+          for (int a = 0; a < nc; ++a) {
+            if ((*codes[a])[i] != (*codes[a])[j]) d.Add(a);
+          }
+        } else {
+          for (int a = 0; a < nc; ++a) {
+            if (!(relation.Get(i, a) == relation.Get(j, a))) d.Add(a);
+          }
         }
         if (!d.empty()) local.insert(d.mask());
       }

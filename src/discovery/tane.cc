@@ -68,15 +68,34 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
   const bool exact = options.max_error == 0.0;
   const AttrSet full = AttrSet::Full(nc);
 
+  // The encoded columnar backend is the default substrate: borrowed from
+  // the cache when one is attached (it encodes once per relation), built
+  // locally otherwise. `encoded == nullptr` is the Value-based oracle walk.
+  std::unique_ptr<EncodedRelation> local_encoding;
+  const EncodedRelation* encoded = nullptr;
+  if (options.use_encoding) {
+    if (cache != nullptr) {
+      encoded = &cache->encoded();
+    } else {
+      local_encoding = std::make_unique<EncodedRelation>(relation);
+      encoded = local_encoding.get();
+    }
+  }
+
   // Level 1: one partition per attribute, built (or cache-served) in
   // parallel and assembled into the level map in attribute order.
   std::vector<Pli> singles(nc);
   FAMTREE_RETURN_NOT_OK(ParallelFor(pool, nc, [&](int64_t a) {
-    singles[a] = cache != nullptr
-                     ? cache->Get(AttrSet::Single(static_cast<int>(a)))
-                     : std::make_shared<StrippedPartition>(
-                           StrippedPartition::ForAttribute(
-                               relation, static_cast<int>(a)));
+    int attr = static_cast<int>(a);
+    if (cache != nullptr) {
+      singles[a] = cache->Get(AttrSet::Single(attr));
+    } else if (encoded != nullptr) {
+      singles[a] = std::make_shared<StrippedPartition>(
+          StrippedPartition::ForAttribute(*encoded, attr));
+    } else {
+      singles[a] = std::make_shared<StrippedPartition>(
+          StrippedPartition::ForAttribute(relation, attr));
+    }
     return Status::OK();
   }));
   Level level;
@@ -92,10 +111,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
     int a = x.ToVector()[0];
     // {} -> A holds iff column A is constant; its g3 error is one minus
     // the plurality fraction of the column.
-    int largest = 1;
-    for (const auto& cls : node.pli->classes()) {
-      largest = std::max(largest, static_cast<int>(cls.size()));
-    }
+    int largest = std::max(1, node.pli->MaxClassSize());
     double err = relation.num_rows() == 0
                      ? 0.0
                      : 1.0 - static_cast<double>(largest) /
@@ -152,7 +168,11 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
                              : 1.0;
           } else {
             test.error =
-                prev->second->FdError(relation, AttrSet::Single(test.rhs));
+                encoded != nullptr
+                    ? prev->second->FdError(*encoded,
+                                            AttrSet::Single(test.rhs))
+                    : prev->second->FdError(relation,
+                                            AttrSet::Single(test.rhs));
           }
           return Status::OK();
         }));

@@ -3,13 +3,13 @@
 namespace famtree {
 
 PliCache::PliCache(const Relation& relation, Options options)
-    : relation_(relation), options_(options) {}
+    : relation_(relation), encoded_(relation), options_(options) {}
 
 size_t PliCache::FootprintOf(const StrippedPartition& pli) {
-  // Row indices plus per-class vector headers plus the object itself.
+  // Flat CSR arrays (row indices + class offsets) plus the object itself.
   return sizeof(StrippedPartition) +
          static_cast<size_t>(pli.num_rows_in_classes()) * sizeof(int) +
-         static_cast<size_t>(pli.num_classes()) * sizeof(std::vector<int>);
+         (static_cast<size_t>(pli.num_classes()) + 1) * sizeof(int);
 }
 
 std::shared_ptr<const StrippedPartition> PliCache::Get(AttrSet attrs) {
@@ -41,8 +41,11 @@ std::shared_ptr<const StrippedPartition> PliCache::Compute(AttrSet attrs) {
     ++stats_.builds;
   }
   if (attrs.size() == 1) {
+    // Leaves come out of the encoded backend: a counting sort over the
+    // column's dictionary codes, class-for-class identical to the
+    // Value-based grouping.
     return std::make_shared<StrippedPartition>(
-        StrippedPartition::ForAttribute(relation_, attrs.ToVector()[0]));
+        StrippedPartition::ForAttribute(encoded_, attrs.ToVector()[0]));
   }
   // Deterministic split: lowest attribute off, product with the rest. The
   // rest is usually the already-cached prefix of a lattice walk.

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/attr_set.h"
+#include "relation/encoded_relation.h"
 #include "relation/partition.h"
 #include "relation/relation.h"
 
@@ -67,6 +68,12 @@ class PliCache {
 
   const Relation& relation() const { return relation_; }
 
+  /// The dictionary-encoded columnar view of the relation, built once in
+  /// the constructor. Single-attribute partitions are counting-sorted from
+  /// it, and the discovery drivers borrow it for their own encoded hot
+  /// paths (e.g. TANE's g3 validity tests).
+  const EncodedRelation& encoded() const { return encoded_; }
+
  private:
   struct Entry {
     std::shared_ptr<const StrippedPartition> pli;
@@ -89,6 +96,7 @@ class PliCache {
       AttrSet attrs, std::shared_ptr<const StrippedPartition> pli);
 
   const Relation& relation_;
+  const EncodedRelation encoded_;
   const Options options_;
 
   mutable std::mutex mu_;

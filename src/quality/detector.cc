@@ -10,8 +10,10 @@ namespace famtree {
 
 namespace {
 
-/// Confirms an exact FD rule straight from the shared PLI store: X -> Y
-/// holds iff pi(X) and pi(X u Y) have equal refinement cost. Returns true
+/// Confirms an exact FD rule straight from the shared PLI store (whose
+/// partitions are counting-sorted off the cache's dictionary-encoded
+/// backend): X -> Y holds iff pi(X) and pi(X u Y) have equal refinement
+/// cost. Returns true
 /// (and fills a clean report matching Fd::Validate's holding output) only
 /// when the FD holds; violated FDs return false so the caller collects
 /// witnesses through the regular path.

@@ -1,0 +1,97 @@
+#include "relation/encoded_relation.h"
+
+#include <unordered_map>
+
+namespace famtree {
+
+EncodedRelation::EncodedRelation(const Relation& relation)
+    : num_rows_(relation.num_rows()) {
+  int nc = relation.num_columns();
+  columns_.resize(nc);
+  dicts_.resize(nc);
+  // Dictionary build per column: bucket by Value::Hash, resolve collisions
+  // by full Value comparison so distinct-but-colliding values never share a
+  // code, while cross-representation equal numerics (1 vs 1.0) always do.
+  std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+  for (int c = 0; c < nc; ++c) {
+    const std::vector<Value>& cells = relation.column(c);
+    std::vector<uint32_t>& codes = columns_[c];
+    std::vector<Value>& dict = dicts_[c];
+    codes.resize(cells.size());
+    buckets.clear();
+    buckets.reserve(cells.size() * 2);
+    for (size_t row = 0; row < cells.size(); ++row) {
+      const Value& v = cells[row];
+      std::vector<uint32_t>& candidates = buckets[v.Hash()];
+      uint32_t code = 0;
+      bool found = false;
+      for (uint32_t cand : candidates) {
+        if (dict[cand] == v) {
+          code = cand;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        code = static_cast<uint32_t>(dict.size());
+        dict.push_back(v);
+        candidates.push_back(code);
+      }
+      codes[row] = code;
+    }
+  }
+}
+
+int EncodedRelation::RowKeys(AttrSet attrs, std::vector<uint32_t>* keys) const {
+  std::vector<int> av = attrs.ToVector();
+  if (av.empty()) {
+    // Empty projection: every row agrees, mirroring Relation::GroupBy.
+    keys->assign(num_rows_, 0);
+    return num_rows_ > 0 ? 1 : 0;
+  }
+  // Start from the first column's codes (already dense ids in
+  // first-occurrence order), then fold in one column at a time: each pass
+  // re-densifies (prev_key, code) pairs, assigning new ids in row-scan
+  // order, which preserves first-occurrence order end to end.
+  keys->assign(columns_[av[0]].begin(), columns_[av[0]].end());
+  int num_keys = dict_size(av[0]);
+  std::unordered_map<uint64_t, uint32_t> remap;
+  for (size_t k = 1; k < av.size(); ++k) {
+    const std::vector<uint32_t>& codes = columns_[av[k]];
+    uint64_t stride = static_cast<uint64_t>(dict_size(av[k]));
+    remap.clear();
+    remap.reserve(static_cast<size_t>(num_keys) * 2);
+    uint32_t next = 0;
+    for (int row = 0; row < num_rows_; ++row) {
+      uint64_t combined = static_cast<uint64_t>((*keys)[row]) * stride +
+                          codes[row];
+      auto [it, inserted] = remap.try_emplace(combined, next);
+      if (inserted) ++next;
+      (*keys)[row] = it->second;
+    }
+    num_keys = static_cast<int>(next);
+  }
+  return num_keys;
+}
+
+std::vector<std::vector<int>> EncodedRelation::GroupBy(AttrSet attrs) const {
+  std::vector<uint32_t> keys;
+  int num_keys = RowKeys(attrs, &keys);
+  std::vector<std::vector<int>> groups(num_keys);
+  // Counting pass so each group vector is allocated exactly once.
+  std::vector<int> counts(num_keys, 0);
+  for (uint32_t k : keys) ++counts[k];
+  for (int k = 0; k < num_keys; ++k) groups[k].reserve(counts[k]);
+  for (int row = 0; row < num_rows_; ++row) {
+    groups[keys[row]].push_back(row);
+  }
+  return groups;
+}
+
+int EncodedRelation::CountDistinct(AttrSet attrs) const {
+  if (attrs.size() == 1) return dict_size(attrs.ToVector()[0]);
+  std::vector<uint32_t> keys;
+  return RowKeys(attrs, &keys);
+}
+
+}  // namespace famtree

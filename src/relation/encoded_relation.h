@@ -1,0 +1,76 @@
+#ifndef FAMTREE_RELATION_ENCODED_RELATION_H_
+#define FAMTREE_RELATION_ENCODED_RELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/attr_set.h"
+#include "relation/relation.h"
+#include "relation/value.h"
+
+namespace famtree {
+
+/// Dictionary-encoded columnar view of a Relation: per column, a flat
+/// std::vector<uint32_t> of codes plus a code -> Value dictionary. Built
+/// once per relation, it turns every equality-driven primitive of the
+/// discovery hot path (grouping, partition building, difference sets,
+/// evidence sets) into integer array scans instead of std::variant walks
+/// and heap-string comparisons.
+///
+/// Encoding contract: two cells of a column receive the same code iff their
+/// Values compare equal under Value::operator== — including the
+/// cross-representation numeric rule (Value(1) and Value(1.0) share one
+/// code) and null semantics (all nulls of a column share one code). Codes
+/// are dense, 0-based, and assigned in first-occurrence row order, so
+/// grouping by code reproduces Relation::GroupBy's group order exactly.
+/// The Value-based primitives on Relation remain the differential-test
+/// oracle for every encoded path (tests/encoded_property_test.cc).
+class EncodedRelation {
+ public:
+  /// Encodes every column of `relation`. The encoding is self-contained
+  /// (dictionaries copy the representative Values); `relation` does not
+  /// need to outlive the encoding.
+  explicit EncodedRelation(const Relation& relation);
+
+  int num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  /// The flat code array of one column (size num_rows()).
+  const std::vector<uint32_t>& codes(int col) const { return columns_[col]; }
+  uint32_t code(int row, int col) const { return columns_[col][row]; }
+
+  /// Number of distinct values (== codes) in a column.
+  int dict_size(int col) const {
+    return static_cast<int>(dicts_[col].size());
+  }
+
+  /// The representative Value of a code (the first occurrence's Value).
+  const Value& Decode(int col, uint32_t code) const {
+    return dicts_[col][code];
+  }
+
+  /// Dense per-row keys for the projection onto `attrs`: fills
+  /// keys[row] in [0, k) where equal keys correspond exactly to equal
+  /// projections, ids assigned in first-occurrence row order. Returns k.
+  /// This is the shared primitive behind GroupBy, CountDistinct and the
+  /// encoded partition builders. An empty `attrs` puts every row in one
+  /// group (mirroring Relation::GroupBy); attributes must be in-schema.
+  int RowKeys(AttrSet attrs, std::vector<uint32_t>* keys) const;
+
+  /// Groups row indices by equal projection onto `attrs`; identical output
+  /// (content and order) to Relation::GroupBy on the source relation.
+  std::vector<std::vector<int>> GroupBy(AttrSet attrs) const;
+
+  /// Number of distinct projections onto `attrs`; identical to
+  /// Relation::CountDistinct on the source relation.
+  int CountDistinct(AttrSet attrs) const;
+
+ private:
+  int num_rows_ = 0;
+  std::vector<std::vector<uint32_t>> columns_;
+  std::vector<std::vector<Value>> dicts_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_RELATION_ENCODED_RELATION_H_

@@ -7,9 +7,85 @@
 
 namespace famtree {
 
-StrippedPartition::StrippedPartition(std::vector<std::vector<int>> classes)
-    : classes_(std::move(classes)) {
-  for (const auto& c : classes_) rows_in_classes_ += static_cast<int>(c.size());
+namespace {
+
+/// Reusable per-thread scratch for Product and the encoded FdError. All
+/// arrays grow monotonically and are restored to their neutral state before
+/// a call returns (owner validity via epoch stamps, counters via the
+/// touched list), so no call ever pays a full-size zeroing pass and results
+/// are independent of which pool thread runs the call.
+struct PartitionScratch {
+  /// owner[row] is valid iff owner_epoch[row] == epoch.
+  std::vector<int> owner;
+  std::vector<uint32_t> owner_epoch;
+  uint32_t epoch = 0;
+
+  /// Probe table over the left partition's class ids (Product) or over RHS
+  /// codes (FdError). Zero outside calls; reset via `touched`.
+  std::vector<int> count;
+  std::vector<int> cursor;
+  std::vector<int> touched;
+
+  void StampOwners(int num_rows) {
+    if (static_cast<int>(owner.size()) < num_rows) {
+      owner.resize(num_rows);
+      owner_epoch.resize(num_rows, 0);
+    }
+    if (++epoch == 0) {  // epoch wrapped: invalidate all stamps at once
+      std::fill(owner_epoch.begin(), owner_epoch.end(), 0u);
+      epoch = 1;
+    }
+  }
+
+  void EnsureCounters(int n) {
+    if (static_cast<int>(count.size()) < n) {
+      count.resize(n, 0);
+      cursor.resize(n);
+    }
+  }
+};
+
+thread_local PartitionScratch g_scratch;
+
+}  // namespace
+
+StrippedPartition::StrippedPartition(
+    const std::vector<std::vector<int>>& classes) {
+  class_offsets_.reserve(classes.size() + 1);
+  class_offsets_.push_back(0);
+  size_t total = 0;
+  for (const auto& c : classes) total += c.size();
+  row_indices_.reserve(total);
+  for (const auto& c : classes) {
+    row_indices_.insert(row_indices_.end(), c.begin(), c.end());
+    class_offsets_.push_back(static_cast<int>(row_indices_.size()));
+  }
+}
+
+StrippedPartition StrippedPartition::FromRowKeys(
+    const std::vector<uint32_t>& keys, int num_keys) {
+  std::vector<int> count(num_keys, 0);
+  for (uint32_t k : keys) ++count[k];
+  // Keys are dense ids in first-occurrence order, so emitting surviving
+  // keys in id order reproduces the Value-based grouping's class order.
+  std::vector<int> class_of_key(num_keys, -1);
+  std::vector<int> offsets;
+  offsets.push_back(0);
+  int total = 0;
+  for (int k = 0; k < num_keys; ++k) {
+    if (count[k] >= 2) {
+      class_of_key[k] = static_cast<int>(offsets.size()) - 1;
+      total += count[k];
+      offsets.push_back(total);
+    }
+  }
+  std::vector<int> rows(total);
+  std::vector<int> cursor(offsets.begin(), offsets.end() - 1);
+  for (int row = 0; row < static_cast<int>(keys.size()); ++row) {
+    int c = class_of_key[keys[row]];
+    if (c >= 0) rows[cursor[c]++] = row;
+  }
+  return StrippedPartition(std::move(rows), std::move(offsets));
 }
 
 StrippedPartition StrippedPartition::ForAttribute(const Relation& relation,
@@ -24,31 +100,91 @@ StrippedPartition StrippedPartition::ForAttributeSet(const Relation& relation,
   for (auto& g : groups) {
     if (g.size() >= 2) stripped.push_back(std::move(g));
   }
-  return StrippedPartition(std::move(stripped));
+  return StrippedPartition(stripped);
+}
+
+StrippedPartition StrippedPartition::ForAttribute(
+    const EncodedRelation& encoded, int attr) {
+  return FromRowKeys(encoded.codes(attr), encoded.dict_size(attr));
+}
+
+StrippedPartition StrippedPartition::ForAttributeSet(
+    const EncodedRelation& encoded, AttrSet attrs) {
+  std::vector<int> av = attrs.ToVector();
+  if (av.size() == 1) return ForAttribute(encoded, av[0]);
+  std::vector<uint32_t> keys;
+  int num_keys = encoded.RowKeys(attrs, &keys);
+  return FromRowKeys(keys, num_keys);
 }
 
 StrippedPartition StrippedPartition::Product(const StrippedPartition& other,
                                              int num_rows) const {
-  // TANE's linear-time partition product. `owner[row]` maps a row to its
-  // class id in *this; rows outside any stripped class map to -1.
-  std::vector<int> owner(num_rows, -1);
-  for (size_t cid = 0; cid < classes_.size(); ++cid) {
-    for (int row : classes_[cid]) owner[row] = static_cast<int>(cid);
-  }
-  // For each class of `other`, split it by owner id.
-  std::vector<std::vector<int>> result;
-  std::unordered_map<int, std::vector<int>> split;
-  for (const auto& cls : other.classes_) {
-    split.clear();
-    for (int row : cls) {
-      int o = owner[row];
-      if (o >= 0) split[o].push_back(row);
-    }
-    for (auto& [o, rows] : split) {
-      if (rows.size() >= 2) result.push_back(std::move(rows));
+  // TANE's linear-time partition product over the flat layout. Rows of
+  // *this are stamped with their class id ("owner"); each class of `other`
+  // is then split by owner through the scratch probe table. Surviving
+  // sub-classes are emitted in first-touch order — deterministic for any
+  // thread count because the scratch state never leaks between calls.
+  PartitionScratch& s = g_scratch;
+  s.StampOwners(num_rows);
+  int nc = num_classes();
+  for (int c = 0; c < nc; ++c) {
+    const int* begin = class_begin(c);
+    const int* end = begin + class_size(c);
+    for (const int* it = begin; it != end; ++it) {
+      s.owner[*it] = c;
+      s.owner_epoch[*it] = s.epoch;
     }
   }
-  return StrippedPartition(std::move(result));
+  s.EnsureCounters(nc);
+  std::vector<int> out_rows;
+  out_rows.reserve(std::min(num_rows_in_classes(),
+                            other.num_rows_in_classes()));
+  std::vector<int> out_offsets;
+  out_offsets.push_back(0);
+  for (int oc = 0; oc < other.num_classes(); ++oc) {
+    const int* begin = other.class_begin(oc);
+    const int* end = begin + other.class_size(oc);
+    s.touched.clear();
+    for (const int* it = begin; it != end; ++it) {
+      if (s.owner_epoch[*it] != s.epoch) continue;
+      int o = s.owner[*it];
+      if (s.count[o]++ == 0) s.touched.push_back(o);
+    }
+    // Reserve one output slot range per surviving owner, in first-touch
+    // order, then place the rows through per-owner cursors.
+    for (int o : s.touched) {
+      if (s.count[o] >= 2) {
+        s.cursor[o] = static_cast<int>(out_rows.size());
+        out_rows.resize(out_rows.size() + s.count[o]);
+        out_offsets.push_back(static_cast<int>(out_rows.size()));
+      } else {
+        s.cursor[o] = -1;
+      }
+    }
+    for (const int* it = begin; it != end; ++it) {
+      if (s.owner_epoch[*it] != s.epoch) continue;
+      int o = s.owner[*it];
+      if (s.cursor[o] >= 0) out_rows[s.cursor[o]++] = *it;
+    }
+    for (int o : s.touched) s.count[o] = 0;
+  }
+  return StrippedPartition(std::move(out_rows), std::move(out_offsets));
+}
+
+int StrippedPartition::MaxClassSize() const {
+  int largest = 0;
+  for (int c = 0; c < num_classes(); ++c) {
+    largest = std::max(largest, class_size(c));
+  }
+  return largest;
+}
+
+std::vector<std::vector<int>> StrippedPartition::classes() const {
+  std::vector<std::vector<int>> out(num_classes());
+  for (int c = 0; c < num_classes(); ++c) {
+    out[c].assign(class_begin(c), class_begin(c) + class_size(c));
+  }
+  return out;
 }
 
 bool StrippedPartition::FdHolds(const StrippedPartition& x,
@@ -56,8 +192,8 @@ bool StrippedPartition::FdHolds(const StrippedPartition& x,
   // X -> Y holds iff refining X's classes by Y does not break any class,
   // i.e. |classes| and covered rows coincide in cost terms:
   // e(X) == e(XY) with e = rows_in_classes - num_classes.
-  return (x.rows_in_classes_ - x.num_classes()) ==
-         (xy.rows_in_classes_ - xy.num_classes());
+  return (x.num_rows_in_classes() - x.num_classes()) ==
+         (xy.num_rows_in_classes() - xy.num_classes());
 }
 
 double StrippedPartition::FdError(const Relation& relation,
@@ -66,10 +202,13 @@ double StrippedPartition::FdError(const Relation& relation,
   // rows must be removed. Singleton X-classes never violate.
   int to_remove = 0;
   std::unordered_map<size_t, std::vector<std::pair<int, int>>> buckets;
-  for (const auto& cls : classes_) {
+  for (int c = 0; c < num_classes(); ++c) {
+    const int* begin = class_begin(c);
+    const int* end = begin + class_size(c);
     buckets.clear();  // hash -> list of (head row, count), collision-safe
     int best = 0;
-    for (int row : cls) {
+    for (const int* it = begin; it != end; ++it) {
+      int row = *it;
       size_t h = 0x9e3779b9;
       for (int a : rhs.ToVector()) {
         h = HashCombine(h, relation.Get(row, a).Hash());
@@ -88,9 +227,47 @@ double StrippedPartition::FdError(const Relation& relation,
         best = std::max(best, 1);
       }
     }
-    to_remove += static_cast<int>(cls.size()) - best;
+    to_remove += class_size(c) - best;
   }
   int n = relation.num_rows();
+  return n == 0 ? 0.0 : static_cast<double>(to_remove) / n;
+}
+
+double StrippedPartition::FdError(const EncodedRelation& encoded,
+                                  AttrSet rhs) const {
+  // Same g3 computation over dictionary codes: the plurality count per
+  // X-class comes out of a scratch counter array indexed by RHS code — no
+  // hashing, no Value comparisons, no per-class map allocation. Equal
+  // codes are exactly equal Values, so the removal count (and the returned
+  // error) is bit-identical to the Value-based overload.
+  std::vector<int> av = rhs.ToVector();
+  const std::vector<uint32_t>* codes;
+  std::vector<uint32_t> combined;
+  int num_codes;
+  if (av.size() == 1) {
+    codes = &encoded.codes(av[0]);
+    num_codes = encoded.dict_size(av[0]);
+  } else {
+    num_codes = encoded.RowKeys(rhs, &combined);
+    codes = &combined;
+  }
+  PartitionScratch& s = g_scratch;
+  s.EnsureCounters(num_codes);
+  int to_remove = 0;
+  for (int c = 0; c < num_classes(); ++c) {
+    const int* begin = class_begin(c);
+    const int* end = begin + class_size(c);
+    s.touched.clear();
+    int best = 0;
+    for (const int* it = begin; it != end; ++it) {
+      uint32_t code = (*codes)[*it];
+      if (s.count[code]++ == 0) s.touched.push_back(static_cast<int>(code));
+      best = std::max(best, s.count[code]);
+    }
+    for (int code : s.touched) s.count[code] = 0;
+    to_remove += class_size(c) - best;
+  }
+  int n = encoded.num_rows();
   return n == 0 ? 0.0 : static_cast<double>(to_remove) / n;
 }
 

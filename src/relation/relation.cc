@@ -57,7 +57,27 @@ bool Relation::AgreeOn(int i, int j, AttrSet attrs) const {
 }
 
 int Relation::CountDistinct(AttrSet attrs) const {
-  return static_cast<int>(GroupBy(attrs).size());
+  // Count groups without materializing them: buckets hold only one head
+  // row per distinct projection (collision-safe via full comparison).
+  std::vector<int> av = attrs.ToVector();
+  std::unordered_map<size_t, std::vector<int>> heads;
+  heads.reserve(static_cast<size_t>(num_rows_) * 2);
+  int distinct = 0;
+  for (int row = 0; row < num_rows_; ++row) {
+    std::vector<int>& candidates = heads[ProjectionHash(*this, row, av)];
+    bool seen = false;
+    for (int head : candidates) {
+      if (AgreeOn(head, row, attrs)) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      candidates.push_back(row);
+      ++distinct;
+    }
+  }
+  return distinct;
 }
 
 std::vector<std::vector<int>> Relation::GroupBy(AttrSet attrs) const {

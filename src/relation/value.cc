@@ -40,15 +40,13 @@ size_t Value::Hash() const {
   switch (type()) {
     case ValueType::kNull:
       return 0x6e756c6cULL;
-    case ValueType::kInt: {
-      // Hash ints through their double image when exact, so that Value(2)
-      // and Value(2.0) — which compare equal — hash identically.
-      double d = static_cast<double>(as_int());
-      if (static_cast<int64_t>(d) == as_int()) {
-        return std::hash<double>()(d);
-      }
-      return std::hash<int64_t>()(as_int());
-    }
+    case ValueType::kInt:
+      // Hash ints through their double image unconditionally: operator==
+      // compares int-vs-double through AsNumeric(), so an int64 above 2^53
+      // whose double image loses precision can still compare equal to that
+      // double and must hash identically (distinct giant ints may collide
+      // here, which equality-checking consumers resolve by comparison).
+      return std::hash<double>()(static_cast<double>(as_int()));
     case ValueType::kDouble:
       return std::hash<double>()(as_double());
     case ValueType::kString:

@@ -56,6 +56,17 @@ TEST(ValueTest, EqualValuesHashEqually) {
   EXPECT_EQ(Value().Hash(), Value().Hash());
 }
 
+TEST(ValueTest, GiantIntHashMatchesItsDoubleImage) {
+  // 2^53 + 1 has no exact double; its double image rounds to 2^53, so it
+  // compares equal to Value(9007199254740992.0) through AsNumeric(). Hash
+  // must be consistent with operator==: equal values, equal hashes.
+  int64_t giant = (int64_t{1} << 53) + 1;
+  Value as_int(giant);
+  Value as_double(9007199254740992.0);
+  ASSERT_EQ(as_int, as_double);
+  EXPECT_EQ(as_int.Hash(), as_double.Hash());
+}
+
 TEST(ValueTest, TotalOrder) {
   // null < numerics < strings.
   EXPECT_LT(Value(), Value(0));
