@@ -13,12 +13,24 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "discovery/cfd_discovery.h"
 #include "discovery/cords.h"
+#include "discovery/dd_discovery.h"
 #include "discovery/fastdc.h"
 #include "discovery/fastfd.h"
+#include "discovery/md_discovery.h"
+#include "discovery/metric_discovery.h"
+#include "discovery/mvd_discovery.h"
+#include "discovery/ned_discovery.h"
+#include "discovery/od_discovery.h"
+#include "discovery/pfd_discovery.h"
 #include "discovery/tane.h"
 #include "engine/pli_cache.h"
 #include "gen/generators.h"
+#include "metric/metric.h"
+#include "quality/dedup.h"
+#include "quality/repair.h"
+#include "relation/csv.h"
 
 namespace famtree {
 namespace {
@@ -91,6 +103,53 @@ void WriteJson(const std::vector<Row>& rows, int num_rows, int num_columns,
                static_cast<long long>(cache_stats.evictions),
                static_cast<long long>(cache_stats.builds), cache_stats.bytes);
   std::fclose(f);
+}
+
+/// Runs one algorithm through the standard grid — serial Value oracle,
+/// serial encoded, and 1/2/8-thread encoded+cache — and records the row.
+/// `run` invokes the algorithm with the given options; `same` compares an
+/// output against the oracle's. Returns false on an algorithm error.
+template <typename Options, typename Runner, typename Same>
+bool BenchPorted(const std::string& name, const Relation& relation,
+                 Options options, Runner run, Same same,
+                 std::vector<Row>* rows, bool* all_identical) {
+  Row row{name};
+  Options value_opts = options;
+  value_opts.use_encoding = false;
+  value_opts.pool = nullptr;
+  value_opts.cache = nullptr;
+  auto start = std::chrono::steady_clock::now();
+  auto oracle = run(value_opts);
+  row.value_ms = MillisSince(start);
+  if (!oracle.ok()) return false;
+  Options encoded_opts = options;
+  encoded_opts.use_encoding = true;
+  encoded_opts.pool = nullptr;
+  encoded_opts.cache = nullptr;
+  start = std::chrono::steady_clock::now();
+  auto serial = run(encoded_opts);
+  row.encoded_ms = MillisSince(start);
+  if (!serial.ok()) return false;
+  row.identical = same(*oracle, *serial);
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    PliCache cache(relation);
+    Options parallel = encoded_opts;
+    parallel.pool = &pool;
+    parallel.cache = &cache;
+    start = std::chrono::steady_clock::now();
+    auto result = run(parallel);
+    double ms = MillisSince(start);
+    if (!result.ok()) return false;
+    (threads == 1   ? row.one_thread_ms
+     : threads == 2 ? row.two_thread_ms
+                    : row.eight_thread_ms) = ms;
+    row.identical = row.identical && same(*oracle, *result);
+  }
+  *all_identical = *all_identical && row.identical;
+  PrintRow(row);
+  rows->push_back(row);
+  return true;
 }
 
 }  // namespace
@@ -282,6 +341,241 @@ int Run() {
     all_identical = all_identical && row.identical;
     PrintRow(row);
     rows.push_back(row);
+  }
+
+  // ------------------------------------------------- ported algorithms
+  // Rows for the miners and quality applications ported onto the unified
+  // fast path in this PR. Quadratic algorithms run on row slices.
+  size_t first_ported = rows.size();
+
+  std::vector<int> slice400;
+  for (int i = 0; i < 400 && i < hotels.num_rows(); ++i) {
+    slice400.push_back(i);
+  }
+  Relation slice = hotels.Select(slice400);
+  std::vector<int> slice4k;
+  for (int i = 0; i < 4000 && i < hotels.num_rows(); ++i) {
+    slice4k.push_back(i);
+  }
+  Relation medium = hotels.Select(slice4k);
+
+  auto same_cfds = [](const std::vector<DiscoveredCfd>& a,
+                      const std::vector<DiscoveredCfd>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].cfd.ToString() != b[i].cfd.ToString() ||
+          a[i].support != b[i].support) {
+        return false;
+      }
+    }
+    return true;
+  };
+  CfdDiscoveryOptions cfd_options;
+  cfd_options.max_lhs_size = 2;
+  if (!BenchPorted(
+          "constant cfds 4k slice", medium, cfd_options,
+          [&](const CfdDiscoveryOptions& o) {
+            return DiscoverConstantCfds(medium, o);
+          },
+          same_cfds, &rows, &all_identical)) {
+    return 2;
+  }
+  if (!BenchPorted(
+          "general cfds", hotels, cfd_options,
+          [&](const CfdDiscoveryOptions& o) {
+            return DiscoverGeneralCfds(hotels, o);
+          },
+          same_cfds, &rows, &all_identical)) {
+    return 2;
+  }
+
+  PfdDiscoveryOptions pfd_options;
+  pfd_options.min_probability = 0.8;
+  pfd_options.max_lhs_size = 2;
+  if (!BenchPorted(
+          "pfds lhs<=2", hotels, pfd_options,
+          [&](const PfdDiscoveryOptions& o) { return DiscoverPfds(hotels, o); },
+          [](const std::vector<DiscoveredPfd>& a,
+             const std::vector<DiscoveredPfd>& b) {
+            if (a.size() != b.size()) return false;
+            for (size_t i = 0; i < a.size(); ++i) {
+              if (a[i].lhs != b[i].lhs || a[i].rhs != b[i].rhs ||
+                  a[i].probability != b[i].probability) {
+                return false;
+              }
+            }
+            return true;
+          },
+          &rows, &all_identical)) {
+    return 2;
+  }
+
+  MvdDiscoveryOptions mvd_options;
+  mvd_options.max_spurious_ratio = 0.05;
+  if (!BenchPorted(
+          "mvds 4k slice", medium, mvd_options,
+          [&](const MvdDiscoveryOptions& o) { return DiscoverMvds(medium, o); },
+          [](const std::vector<DiscoveredMvd>& a,
+             const std::vector<DiscoveredMvd>& b) {
+            if (a.size() != b.size()) return false;
+            for (size_t i = 0; i < a.size(); ++i) {
+              if (a[i].lhs != b[i].lhs || a[i].rhs != b[i].rhs ||
+                  a[i].spurious_ratio != b[i].spurious_ratio) {
+                return false;
+              }
+            }
+            return true;
+          },
+          &rows, &all_identical)) {
+    return 2;
+  }
+
+  if (!BenchPorted(
+          "unary ods", hotels, OdDiscoveryOptions{},
+          [&](const OdDiscoveryOptions& o) {
+            return DiscoverUnaryOds(hotels, o);
+          },
+          [](const std::vector<DiscoveredOd>& a,
+             const std::vector<DiscoveredOd>& b) {
+            if (a.size() != b.size()) return false;
+            for (size_t i = 0; i < a.size(); ++i) {
+              if (a[i].od.ToString() != b[i].od.ToString()) return false;
+            }
+            return true;
+          },
+          &rows, &all_identical)) {
+    return 2;
+  }
+
+  DdDiscoveryOptions dd_options;
+  dd_options.max_lhs_attrs = 1;
+  if (!BenchPorted(
+          "dds 400-row slice", slice, dd_options,
+          [&](const DdDiscoveryOptions& o) { return DiscoverDds(slice, o); },
+          [](const std::vector<DiscoveredDd>& a,
+             const std::vector<DiscoveredDd>& b) {
+            if (a.size() != b.size()) return false;
+            for (size_t i = 0; i < a.size(); ++i) {
+              if (a[i].dd.ToString() != b[i].dd.ToString() ||
+                  a[i].support != b[i].support) {
+                return false;
+              }
+            }
+            return true;
+          },
+          &rows, &all_identical)) {
+    return 2;
+  }
+
+  MdDiscoveryOptions md_options;
+  md_options.max_lhs_attrs = 1;
+  if (!BenchPorted(
+          "mds 400-row slice", slice, md_options,
+          [&](const MdDiscoveryOptions& o) {
+            return DiscoverMds(slice, AttrSet::Single(2), o);
+          },
+          [](const std::vector<DiscoveredMd>& a,
+             const std::vector<DiscoveredMd>& b) {
+            if (a.size() != b.size()) return false;
+            for (size_t i = 0; i < a.size(); ++i) {
+              if (a[i].md.ToString() != b[i].md.ToString() ||
+                  a[i].support != b[i].support ||
+                  a[i].confidence != b[i].confidence) {
+                return false;
+              }
+            }
+            return true;
+          },
+          &rows, &all_identical)) {
+    return 2;
+  }
+
+  NedDiscoveryOptions ned_options;
+  ned_options.min_confidence = 0.9;
+  if (!BenchPorted(
+          "neds 400-row slice", slice, ned_options,
+          [&](const NedDiscoveryOptions& o) {
+            return DiscoverNeds(
+                slice, Ned::Predicate{2, GetEditDistanceMetric(), 0.0}, o);
+          },
+          [](const std::vector<DiscoveredNed>& a,
+             const std::vector<DiscoveredNed>& b) {
+            if (a.size() != b.size()) return false;
+            for (size_t i = 0; i < a.size(); ++i) {
+              if (a[i].ned.ToString() != b[i].ned.ToString() ||
+                  a[i].support != b[i].support ||
+                  a[i].confidence != b[i].confidence) {
+                return false;
+              }
+            }
+            return true;
+          },
+          &rows, &all_identical)) {
+    return 2;
+  }
+
+  MfdDiscoveryOptions mfd_options;
+  mfd_options.max_delta_ratio = 0.5;
+  if (!BenchPorted(
+          "mfds 400-row slice", slice, mfd_options,
+          [&](const MfdDiscoveryOptions& o) { return DiscoverMfds(slice, o); },
+          [](const std::vector<DiscoveredMfd>& a,
+             const std::vector<DiscoveredMfd>& b) {
+            if (a.size() != b.size()) return false;
+            for (size_t i = 0; i < a.size(); ++i) {
+              if (a[i].mfd.ToString() != b[i].mfd.ToString() ||
+                  a[i].delta != b[i].delta) {
+                return false;
+              }
+            }
+            return true;
+          },
+          &rows, &all_identical)) {
+    return 2;
+  }
+
+  // Quality applications on the same workload.
+  std::vector<Fd> repair_fds = {Fd(AttrSet::Single(1), AttrSet::Single(2)),
+                                Fd(AttrSet::Single(0), AttrSet::Single(4))};
+  auto same_repair = [](const RepairResult& a, const RepairResult& b) {
+    return a.changes.size() == b.changes.size() &&
+           a.remaining_violations == b.remaining_violations &&
+           WriteCsvString(a.repaired) == WriteCsvString(b.repaired);
+  };
+  if (!BenchPorted(
+          "fd repair", hotels, QualityOptions{},
+          [&](const QualityOptions& o) {
+            return RepairWithFds(hotels, repair_fds, 4, o);
+          },
+          same_repair, &rows, &all_identical)) {
+    return 2;
+  }
+
+  MdMatcher matcher({Md({SimilarityPredicate{0, GetEditDistanceMetric(), 2},
+                         SimilarityPredicate{1, GetEditDistanceMetric(), 2}},
+                        AttrSet::Single(2))});
+  if (!BenchPorted(
+          "dedup 400-row slice", slice, QualityOptions{},
+          [&](const QualityOptions& o) { return matcher.Match(slice, o); },
+          [](const MatchResult& a, const MatchResult& b) {
+            return a.cluster_ids == b.cluster_ids &&
+                   a.num_clusters == b.num_clusters &&
+                   a.matched_pairs == b.matched_pairs;
+          },
+          &rows, &all_identical)) {
+    return 2;
+  }
+
+  int ported_fast = 0;
+  for (size_t i = first_ported; i < rows.size(); ++i) {
+    if (rows[i].encoded_speedup() >= 2.0) ++ported_fast;
+  }
+  std::printf(
+      "\nnewly ported rows with >=2x encoded speedup over the serial "
+      "Value path: %d of %zu (target: >=3)\n",
+      ported_fast, rows.size() - first_ported);
+  if (ported_fast < 3) {
+    std::printf("WARN: fewer than 3 ported algorithms hit the 2x target\n");
   }
 
   std::printf(

@@ -1,6 +1,8 @@
 #include "deps/mvd.h"
 
+#include <cstdint>
 #include <set>
+#include <unordered_set>
 #include <utility>
 
 namespace famtree {
@@ -48,6 +50,33 @@ double Mvd::SpuriousTupleRatio(const Relation& relation, AttrSet lhs,
       combos.insert({y_ids[i], z_ids[i]});
     }
     join_size += static_cast<long long>(y_heads.size()) * z_heads.size();
+    actual += static_cast<long long>(combos.size());
+  }
+  if (join_size == 0) return 0.0;
+  return static_cast<double>(join_size - actual) / join_size;
+}
+
+double Mvd::SpuriousTupleRatio(const EncodedRelation& encoded, AttrSet lhs,
+                               AttrSet rhs) {
+  AttrSet z = AttrSet::Full(encoded.num_columns()).Minus(lhs).Minus(rhs);
+  std::vector<uint32_t> y_keys, z_keys;
+  encoded.RowKeys(rhs, &y_keys);
+  uint64_t z_stride = static_cast<uint64_t>(encoded.RowKeys(z, &z_keys));
+  long long join_size = 0;
+  long long actual = 0;
+  std::unordered_set<uint32_t> ys, zs;
+  std::unordered_set<uint64_t> combos;
+  for (const auto& group : encoded.GroupBy(lhs)) {
+    ys.clear();
+    zs.clear();
+    combos.clear();
+    for (int row : group) {
+      ys.insert(y_keys[row]);
+      zs.insert(z_keys[row]);
+      combos.insert(static_cast<uint64_t>(y_keys[row]) * z_stride +
+                    z_keys[row]);
+    }
+    join_size += static_cast<long long>(ys.size()) * zs.size();
     actual += static_cast<long long>(combos.size());
   }
   if (join_size == 0) return 0.0;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "deps/dependency.h"
+#include "relation/encoded_relation.h"
 
 namespace famtree {
 
@@ -24,6 +25,13 @@ class Mvd : public Dependency {
   /// introduce: 0 iff the MVD holds exactly (the AMVD accuracy measure).
   static double SpuriousTupleRatio(const Relation& relation, AttrSet lhs,
                                    AttrSet rhs);
+
+  /// Encoded fast path: distinct Y / Z / (Y, Z) projections are counted
+  /// over dense row keys instead of quadratic AgreeOn scans. All
+  /// accumulators are integers, so the ratio is bit-identical to the Value
+  /// overload.
+  static double SpuriousTupleRatio(const EncodedRelation& encoded,
+                                   AttrSet lhs, AttrSet rhs);
 
   DependencyClass cls() const override { return DependencyClass::kMvd; }
   std::string ToString(const Schema* schema = nullptr) const override;

@@ -1,6 +1,8 @@
 #include "deps/pfd.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <unordered_map>
 
 #include "common/strings.h"
 
@@ -41,6 +43,35 @@ double Pfd::Probability(const Relation& relation, AttrSet lhs, AttrSet rhs) {
            group.size();
   }
   return sum / groups.size();
+}
+
+double Pfd::Probability(const EncodedRelation& encoded, AttrSet lhs,
+                        AttrSet rhs) {
+  std::vector<uint32_t> lhs_keys;
+  int num_groups = encoded.RowKeys(lhs, &lhs_keys);
+  if (num_groups == 0) return 1.0;
+  std::vector<uint32_t> rhs_keys;
+  uint64_t rhs_stride =
+      static_cast<uint64_t>(encoded.RowKeys(rhs, &rhs_keys));
+  // One scan: per-group sizes and the per-(group, RHS-value) counts whose
+  // running maximum is the group's plurality count.
+  std::vector<int> group_size(num_groups, 0);
+  std::vector<int> plurality(num_groups, 0);
+  std::unordered_map<uint64_t, int> counts;
+  counts.reserve(encoded.num_rows() * 2);
+  for (int row = 0; row < encoded.num_rows(); ++row) {
+    uint32_t g = lhs_keys[row];
+    ++group_size[g];
+    int c = ++counts[static_cast<uint64_t>(g) * rhs_stride + rhs_keys[row]];
+    plurality[g] = std::max(plurality[g], c);
+  }
+  // Group ids are assigned in first-occurrence order, so this sum matches
+  // the Value path's GroupBy iteration term for term.
+  double sum = 0.0;
+  for (int g = 0; g < num_groups; ++g) {
+    sum += static_cast<double>(plurality[g]) / group_size[g];
+  }
+  return sum / num_groups;
 }
 
 std::string Pfd::ToString(const Schema* schema) const {

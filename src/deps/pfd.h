@@ -4,6 +4,7 @@
 #include <string>
 
 #include "deps/dependency.h"
+#include "relation/encoded_relation.h"
 
 namespace famtree {
 
@@ -22,6 +23,14 @@ class Pfd : public Dependency {
 
   /// P(X -> Y, r): average per-value plurality fraction.
   static double Probability(const Relation& relation, AttrSet lhs,
+                            AttrSet rhs);
+
+  /// Encoded fast path: plurality counting over dense row keys instead of
+  /// pairwise AgreeOn scans. Groups are visited in the same
+  /// first-occurrence order as Relation::GroupBy, so the floating-point
+  /// summation order — and therefore the result — is bit-identical to the
+  /// Value-based overload.
+  static double Probability(const EncodedRelation& encoded, AttrSet lhs,
                             AttrSet rhs);
 
   DependencyClass cls() const override { return DependencyClass::kPfd; }

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "deps/fd.h"
+#include "discovery/discovery_util.h"
 
 namespace famtree {
 
@@ -19,60 +23,218 @@ PatternTuple ConstPatternFromRow(const Relation& relation, int row,
   return PatternTuple(std::move(items));
 }
 
+/// Row agreement on a projection: integer code comparison on the encoded
+/// path (code equality ⇔ Value equality), AgreeOn on the oracle path.
+bool RowsAgree(const Relation& relation, const EncodedRelation* encoded,
+               int r1, int r2, AttrSet attrs) {
+  if (encoded != nullptr) {
+    for (int a : attrs.ToVector()) {
+      if (encoded->code(r1, a) != encoded->code(r2, a)) return false;
+    }
+    return true;
+  }
+  return relation.AgreeOn(r1, r2, attrs);
+}
+
+bool CellsEqual(const Relation& relation, const EncodedRelation* encoded,
+                int r1, int r2, int attr) {
+  if (encoded != nullptr) {
+    return encoded->code(r1, attr) == encoded->code(r2, attr);
+  }
+  return relation.Get(r1, attr) == relation.Get(r2, attr);
+}
+
+/// All general-CFD rows mined for one embedded FD X -> A. The subsumption
+/// filter of the serial walk only ever matches CFDs with the same LHS and
+/// RHS, so each embedded FD's tableau is fully independent of the others —
+/// which is what makes the per-candidate parallel fan-out below exact.
+std::vector<DiscoveredCfd> MineGeneralCandidate(
+    const Relation& relation, const EncodedRelation* encoded, AttrSet lhs,
+    int a, const CfdDiscoveryOptions& options) {
+  int nc = relation.num_columns();
+  std::vector<DiscoveredCfd> mined;
+  // Skip embedded FDs that hold globally — the plain FD subsumes every
+  // conditional refinement. Exact FD check: distinct(X) == distinct(XA).
+  std::vector<uint32_t> lhs_keys;
+  bool global;
+  if (encoded != nullptr) {
+    int kx = encoded->RowKeys(lhs, &lhs_keys);
+    std::vector<uint32_t> xa_keys;
+    int kxa = encoded->RowKeys(lhs.With(a), &xa_keys);
+    global = kx == kxa;
+  } else {
+    global = Fd(lhs, AttrSet::Single(a)).Holds(relation);
+  }
+  if (global) return mined;
+  // Condition head rows and attribute sets of the already-mined rows, for
+  // the pattern-minimality (subsumption) filter.
+  struct MinedInfo {
+    int head_row;
+    AttrSet cond;
+  };
+  std::vector<MinedInfo> infos;
+  int max_cond = std::min(options.max_condition_attrs, lhs.size());
+  for (int cond_size = 1; cond_size <= max_cond; ++cond_size) {
+    for (AttrSet cond : AllSubsetsOfSize(nc, cond_size)) {
+      if (!lhs.ContainsAll(cond)) continue;
+      auto groups =
+          encoded != nullptr ? encoded->GroupBy(cond) : relation.GroupBy(cond);
+      for (const auto& group : groups) {
+        if (static_cast<int>(group.size()) < options.min_support) {
+          continue;
+        }
+        // Does the FD hold within the condition group?
+        bool local_holds;
+        if (encoded != nullptr) {
+          // Functional check over the group's rows: each LHS key maps to
+          // one A code.
+          local_holds = true;
+          const std::vector<uint32_t>& a_codes = encoded->codes(a);
+          std::unordered_map<uint32_t, uint32_t> image;
+          image.reserve(group.size() * 2);
+          for (int row : group) {
+            auto [it, inserted] = image.try_emplace(lhs_keys[row],
+                                                    a_codes[row]);
+            if (!inserted && it->second != a_codes[row]) {
+              local_holds = false;
+              break;
+            }
+          }
+        } else {
+          Relation subset = relation.Select(group);
+          Fd local(lhs, AttrSet::Single(a));
+          local_holds = local.Holds(subset);
+        }
+        if (!local_holds) continue;
+        // Pattern minimality: skip when an already-mined CFD on this
+        // embedded FD has a condition subset matching this group (the
+        // broader condition subsumes this one).
+        bool subsumed = false;
+        for (const MinedInfo& prev : infos) {
+          if (cond.ContainsAll(prev.cond) && prev.cond != cond &&
+              RowsAgree(relation, encoded, prev.head_row, group[0],
+                        prev.cond)) {
+            subsumed = true;
+            break;
+          }
+        }
+        if (subsumed) continue;
+        std::vector<PatternItem> items;
+        for (int b : lhs.ToVector()) {
+          items.push_back(cond.Contains(b)
+                              ? PatternItem::Const(
+                                    b, relation.Get(group[0], b))
+                              : PatternItem::Wildcard(b));
+        }
+        items.push_back(PatternItem::Wildcard(a));
+        Cfd cfd(lhs, AttrSet::Single(a), PatternTuple(std::move(items)));
+        mined.push_back(DiscoveredCfd{std::move(cfd),
+                                      static_cast<int>(group.size())});
+        infos.push_back(MinedInfo{group[0], cond});
+      }
+    }
+  }
+  return mined;
+}
+
 }  // namespace
 
 Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
     const Relation& relation, const CfdDiscoveryOptions& options) {
   int nc = relation.num_columns();
   if (nc > 63) return Status::Invalid("CFD discovery supports up to 63 attributes");
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, options.use_encoding, options.cache,
+                      &local_encoding));
   std::vector<DiscoveredCfd> out;
-  // Track (rhs attr, rhs value hash, lhs attrs, head row) of accepted
-  // CFDs for the minimality filter.
+  // Track (rhs attr, lhs attrs, head row) of accepted CFDs for the
+  // minimality filter.
   struct Accepted {
     int rhs;
     AttrSet lhs;
     int head_row;
   };
   std::vector<Accepted> accepted;
-
+  // One emission candidate: a support-qualified, RHS-uniform group. The
+  // expensive grouping and uniformity scans fan out per LHS; the
+  // minimality filter depends on the accepted list, so it replays serially
+  // in the walk's (lhs, group, rhs) order — bit-identical at any thread
+  // count.
+  struct Emission {
+    int head_row;
+    int size;
+    int rhs;
+  };
   for (int size = 1; size <= options.max_lhs_size; ++size) {
-    for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
-      auto groups = relation.GroupBy(lhs);
-      for (const auto& group : groups) {
-        if (static_cast<int>(group.size()) < options.min_support) continue;
-        for (int a = 0; a < nc; ++a) {
-          if (lhs.Contains(a)) continue;
-          // All group members must agree on a.
-          bool uniform = true;
-          for (size_t i = 1; i < group.size(); ++i) {
-            if (!(relation.Get(group[0], a) == relation.Get(group[i], a))) {
-              uniform = false;
-              break;
+    std::vector<AttrSet> level = AllSubsetsOfSize(nc, size);
+    std::vector<std::vector<Emission>> emissions(level.size());
+    FAMTREE_RETURN_NOT_OK(ParallelFor(
+        pool, static_cast<int64_t>(level.size()), [&](int64_t li) {
+          AttrSet lhs = level[li];
+          auto groups = encoded != nullptr ? encoded->GroupBy(lhs)
+                                           : relation.GroupBy(lhs);
+          for (const auto& group : groups) {
+            if (static_cast<int>(group.size()) < options.min_support) {
+              continue;
+            }
+            for (int a = 0; a < nc; ++a) {
+              if (lhs.Contains(a)) continue;
+              // All group members must agree on a.
+              bool uniform = true;
+              if (encoded != nullptr) {
+                const std::vector<uint32_t>& codes = encoded->codes(a);
+                for (size_t i = 1; i < group.size(); ++i) {
+                  if (codes[group[i]] != codes[group[0]]) {
+                    uniform = false;
+                    break;
+                  }
+                }
+              } else {
+                for (size_t i = 1; i < group.size(); ++i) {
+                  if (!(relation.Get(group[0], a) ==
+                        relation.Get(group[i], a))) {
+                    uniform = false;
+                    break;
+                  }
+                }
+              }
+              if (uniform) {
+                emissions[li].push_back(Emission{
+                    group[0], static_cast<int>(group.size()), a});
+              }
             }
           }
-          if (!uniform) continue;
-          // Minimality: some accepted CFD with lhs' subset of lhs whose
-          // pattern values agree with this group pins the same (a, value)?
-          bool minimal = true;
-          for (const Accepted& acc : accepted) {
-            if (acc.rhs != a || !lhs.ContainsAll(acc.lhs)) continue;
-            if (relation.AgreeOn(acc.head_row, group[0], acc.lhs) &&
-                relation.Get(acc.head_row, a) == relation.Get(group[0], a)) {
-              minimal = false;
-              break;
-            }
+          return Status::OK();
+        }));
+    for (size_t li = 0; li < level.size(); ++li) {
+      AttrSet lhs = level[li];
+      for (const Emission& e : emissions[li]) {
+        // Minimality: some accepted CFD with lhs' subset of lhs whose
+        // pattern values agree with this group pins the same (a, value)?
+        bool minimal = true;
+        for (const Accepted& acc : accepted) {
+          if (acc.rhs != e.rhs || !lhs.ContainsAll(acc.lhs)) continue;
+          if (RowsAgree(relation, encoded, acc.head_row, e.head_row,
+                        acc.lhs) &&
+              CellsEqual(relation, encoded, acc.head_row, e.head_row,
+                         e.rhs)) {
+            minimal = false;
+            break;
           }
-          if (!minimal) continue;
-          PatternTuple pattern = ConstPatternFromRow(relation, group[0], lhs);
-          std::vector<PatternItem> items = pattern.items();
-          items.push_back(PatternItem::Const(a, relation.Get(group[0], a)));
-          Cfd cfd(lhs, AttrSet::Single(a), PatternTuple(std::move(items)));
-          out.push_back(
-              DiscoveredCfd{std::move(cfd), static_cast<int>(group.size())});
-          accepted.push_back(Accepted{a, lhs, group[0]});
-          if (static_cast<int>(out.size()) >= options.max_results) {
-            return out;
-          }
+        }
+        if (!minimal) continue;
+        PatternTuple pattern = ConstPatternFromRow(relation, e.head_row, lhs);
+        std::vector<PatternItem> items = pattern.items();
+        items.push_back(
+            PatternItem::Const(e.rhs, relation.Get(e.head_row, e.rhs)));
+        Cfd cfd(lhs, AttrSet::Single(e.rhs), PatternTuple(std::move(items)));
+        out.push_back(DiscoveredCfd{std::move(cfd), e.size});
+        accepted.push_back(Accepted{e.rhs, lhs, e.head_row});
+        if (static_cast<int>(out.size()) >= options.max_results) {
+          return out;
         }
       }
     }
@@ -84,69 +246,41 @@ Result<std::vector<DiscoveredCfd>> DiscoverGeneralCfds(
     const Relation& relation, const CfdDiscoveryOptions& options) {
   int nc = relation.num_columns();
   if (nc > 63) return Status::Invalid("CFD discovery supports up to 63 attributes");
-  std::vector<DiscoveredCfd> out;
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, options.use_encoding, options.cache,
+                      &local_encoding));
+  // Embedded FD candidates in the serial walk's order; each one's tableau
+  // is independent (see MineGeneralCandidate), so the fan-out is per
+  // candidate with a serial concatenation.
+  struct Candidate {
+    AttrSet lhs;
+    int rhs;
+  };
+  std::vector<Candidate> candidates;
   for (int size = 2; size <= options.max_lhs_size; ++size) {
     for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
       for (int a = 0; a < nc; ++a) {
         if (lhs.Contains(a)) continue;
-        // Skip embedded FDs that hold globally — the plain FD subsumes
-        // every conditional refinement.
-        Fd fd(lhs, AttrSet::Single(a));
-        if (fd.Holds(relation)) continue;
-        // Try condition attribute sets C inside lhs (size bounded by
-        // max_condition_attrs): bind C to each of its value combinations;
-        // remaining lhs attributes stay variable.
-        int max_cond = std::min(options.max_condition_attrs, lhs.size());
-        for (int cond_size = 1; cond_size <= max_cond; ++cond_size) {
-          for (AttrSet cond : AllSubsetsOfSize(nc, cond_size)) {
-            if (!lhs.ContainsAll(cond)) continue;
-            auto groups = relation.GroupBy(cond);
-            for (const auto& group : groups) {
-              if (static_cast<int>(group.size()) < options.min_support) {
-                continue;
-              }
-              // Does the FD hold within the condition group?
-              Relation subset = relation.Select(group);
-              Fd local(lhs, AttrSet::Single(a));
-              if (!local.Holds(subset)) continue;
-              // Pattern minimality: skip when an already-accepted CFD on
-              // the same embedded FD has a condition subset matching this
-              // group (the broader condition subsumes this one).
-              bool subsumed = false;
-              for (const DiscoveredCfd& prev : out) {
-                if (prev.cfd.lhs() != lhs || !prev.cfd.rhs().Contains(a)) {
-                  continue;
-                }
-                AttrSet prev_cond;
-                for (const auto& it : prev.cfd.pattern().items()) {
-                  if (!it.is_wildcard) prev_cond.Add(it.attr);
-                }
-                if (cond.ContainsAll(prev_cond) && prev_cond != cond &&
-                    prev.cfd.pattern().Matches(relation, group[0],
-                                               prev_cond)) {
-                  subsumed = true;
-                  break;
-                }
-              }
-              if (subsumed) continue;
-              std::vector<PatternItem> items;
-              for (int b : lhs.ToVector()) {
-                items.push_back(cond.Contains(b)
-                                    ? PatternItem::Const(
-                                          b, relation.Get(group[0], b))
-                                    : PatternItem::Wildcard(b));
-              }
-              items.push_back(PatternItem::Wildcard(a));
-              Cfd cfd(lhs, AttrSet::Single(a),
-                      PatternTuple(std::move(items)));
-              out.push_back(DiscoveredCfd{std::move(cfd),
-                                          static_cast<int>(group.size())});
-              if (static_cast<int>(out.size()) >= options.max_results) {
-                return out;
-              }
-            }
-          }
-        }
+        candidates.push_back(Candidate{lhs, a});
+      }
+    }
+  }
+  std::vector<std::vector<DiscoveredCfd>> mined(candidates.size());
+  FAMTREE_RETURN_NOT_OK(ParallelFor(
+      pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+        mined[i] = MineGeneralCandidate(relation, encoded, candidates[i].lhs,
+                                        candidates[i].rhs, options);
+        return Status::OK();
+      }));
+  std::vector<DiscoveredCfd> out;
+  for (std::vector<DiscoveredCfd>& part : mined) {
+    for (DiscoveredCfd& cfd : part) {
+      out.push_back(std::move(cfd));
+      if (static_cast<int>(out.size()) >= options.max_results) {
+        return out;
       }
     }
   }
@@ -166,19 +300,55 @@ Result<std::vector<DiscoveredCfd>> BuildGreedyTableau(
   if (options.target_coverage < 0 || options.target_coverage > 1) {
     return Status::Invalid("target_coverage must be in [0, 1]");
   }
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, options.use_encoding, options.cache,
+                      &local_encoding));
   // Candidate patterns: the distinct values of condition_attr, scored by
-  // group size, violation-free groups only.
+  // group size, violation-free groups only. The per-group embedded-FD
+  // checks are independent, so they fan out; the max_patterns cutoff
+  // replays group order.
+  std::vector<uint32_t> lhs_keys;
+  if (encoded != nullptr) encoded->RowKeys(lhs, &lhs_keys);
+  auto groups = encoded != nullptr
+                    ? encoded->GroupBy(AttrSet::Single(condition_attr))
+                    : relation.GroupBy(AttrSet::Single(condition_attr));
+  std::vector<char> qualifies(groups.size(), 0);
+  FAMTREE_RETURN_NOT_OK(ParallelFor(
+      pool, static_cast<int64_t>(groups.size()), [&](int64_t g) {
+        const std::vector<int>& group = groups[g];
+        if (encoded != nullptr) {
+          bool holds = true;
+          const std::vector<uint32_t>& rhs_codes = encoded->codes(rhs);
+          std::unordered_map<uint32_t, uint32_t> image;
+          image.reserve(group.size() * 2);
+          for (int row : group) {
+            auto [it, inserted] =
+                image.try_emplace(lhs_keys[row], rhs_codes[row]);
+            if (!inserted && it->second != rhs_codes[row]) {
+              holds = false;
+              break;
+            }
+          }
+          qualifies[g] = holds ? 1 : 0;
+        } else {
+          Relation subset = relation.Select(group);
+          Fd local(lhs, AttrSet::Single(rhs));
+          qualifies[g] = local.Holds(subset) ? 1 : 0;
+        }
+        return Status::OK();
+      }));
   struct Candidate {
     int head_row;
     std::vector<int> rows;
   };
   std::vector<Candidate> candidates;
-  for (const auto& group : relation.GroupBy(AttrSet::Single(condition_attr))) {
+  for (size_t g = 0; g < groups.size(); ++g) {
     if (static_cast<int>(candidates.size()) >= options.max_patterns) break;
-    Relation subset = relation.Select(group);
-    Fd local(lhs, AttrSet::Single(rhs));
-    if (!local.Holds(subset)) continue;
-    candidates.push_back(Candidate{group[0], group});
+    if (!qualifies[g]) continue;
+    candidates.push_back(Candidate{groups[g][0], groups[g]});
   }
   std::vector<DiscoveredCfd> tableau;
   std::vector<bool> covered(relation.num_rows(), false);

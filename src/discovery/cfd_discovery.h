@@ -9,6 +9,9 @@
 
 namespace famtree {
 
+class PliCache;
+class ThreadPool;
+
 struct CfdDiscoveryOptions {
   /// Minimum number of tuples a pattern must cover.
   int min_support = 3;
@@ -18,6 +21,18 @@ struct CfdDiscoveryOptions {
   /// CTANE-lite, 2 = pairs of constants).
   int max_condition_attrs = 1;
   int max_results = 100000;
+  /// Run on the dictionary-encoded columnar backend (the default):
+  /// grouping, uniformity and embedded-FD checks become integer code
+  /// scans. `false` keeps the Value-based oracle walk; the discovered list
+  /// is bit-identical either way.
+  bool use_encoding = true;
+  /// Optional engine hooks: when `pool` is set the per-LHS grouping scans
+  /// (constant mining) / per-embedded-FD tableaus (general mining) are
+  /// computed in parallel, with the minimality and subsumption filters
+  /// replayed serially in the walk's order — bit-identical output at any
+  /// thread count. `cache` lends its encoding.
+  ThreadPool* pool = nullptr;
+  PliCache* cache = nullptr;
 };
 
 /// A discovered CFD plus its measured support.
@@ -47,6 +62,12 @@ struct TableauOptions {
   double target_coverage = 0.8;
   /// Patterns considered per condition attribute.
   int max_patterns = 64;
+  /// Fast-path knobs, same convention as CfdDiscoveryOptions: the
+  /// per-group violation checks run encoded and/or in parallel, the
+  /// greedy cover itself stays serial (each pick depends on the last).
+  bool use_encoding = true;
+  ThreadPool* pool = nullptr;
+  PliCache* cache = nullptr;
 };
 
 /// Greedy near-optimal tableau construction for a given embedded FD

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "discovery/discovery_util.h"
+#include "metric/code_distance.h"
 #include "metric/metric.h"
 
 namespace famtree {
@@ -14,27 +19,29 @@ MetricPtr MetricForColumn(const Relation& relation, int attr) {
   return DefaultMetricFor(relation.schema().column(attr).type);
 }
 
-/// All pairwise distances on one attribute (n <= a few thousand).
+/// All pairwise distances on one attribute (n <= a few thousand). When a
+/// distance table is given the metric runs once per distinct code pair;
+/// the returned doubles are bit-identical to the Value-path ones.
 std::vector<double> PairwiseDistances(const Relation& relation, int attr,
-                                      const Metric& metric) {
+                                      const Metric& metric,
+                                      const CodeDistanceTable* table) {
   std::vector<double> out;
   int n = relation.num_rows();
   out.reserve(static_cast<size_t>(n) * (n - 1) / 2);
   for (int i = 0; i + 1 < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      double d = metric.Distance(relation.Get(i, attr), relation.Get(j, attr));
+      double d = table != nullptr
+                     ? table->RowDistance(i, j)
+                     : metric.Distance(relation.Get(i, attr),
+                                       relation.Get(j, attr));
       if (std::isfinite(d)) out.push_back(d);
     }
   }
   return out;
 }
 
-}  // namespace
-
-std::vector<double> DetermineThresholds(const Relation& relation, int attr,
-                                        const std::vector<double>& quantiles) {
-  MetricPtr metric = MetricForColumn(relation, attr);
-  std::vector<double> dists = PairwiseDistances(relation, attr, *metric);
+std::vector<double> ThresholdsFromDistances(std::vector<double> dists,
+                                            const std::vector<double>& quantiles) {
   std::sort(dists.begin(), dists.end());
   std::vector<double> out;
   for (double q : quantiles) {
@@ -46,6 +53,15 @@ std::vector<double> DetermineThresholds(const Relation& relation, int attr,
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+}  // namespace
+
+std::vector<double> DetermineThresholds(const Relation& relation, int attr,
+                                        const std::vector<double>& quantiles) {
+  MetricPtr metric = MetricForColumn(relation, attr);
+  return ThresholdsFromDistances(
+      PairwiseDistances(relation, attr, *metric, nullptr), quantiles);
 }
 
 Result<std::vector<DiscoveredDd>> DiscoverDds(
@@ -68,22 +84,40 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
   if (options.max_lhs_attrs < 1 || options.max_lhs_attrs > 2) {
     return Status::Invalid("max_lhs_attrs must be 1 or 2");
   }
+  ThreadPool* pool = options.pool;
+  // A sampled run re-materializes the input, so the cache's encoding (keyed
+  // to the original relation) cannot be borrowed.
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, options.use_encoding,
+                      source == &input ? options.cache : nullptr,
+                      &local_encoding));
   std::vector<MetricPtr> metrics(nc);
-  std::vector<std::vector<double>> thresholds(nc);
-  for (int a = 0; a < nc; ++a) {
-    metrics[a] = MetricForColumn(relation, a);
-    thresholds[a] =
-        DetermineThresholds(relation, a, options.threshold_quantiles);
-  }
-  // Global per-attribute max pairwise distance (vacuity bound).
-  std::vector<double> global_max(nc, 0.0);
-  for (int a = 0; a < nc; ++a) {
-    for (double d : PairwiseDistances(relation, a, *metrics[a])) {
-      global_max[a] = std::max(global_max[a], d);
+  for (int a = 0; a < nc; ++a) metrics[a] = MetricForColumn(relation, a);
+  // Code-pair distance tables, one per attribute. Built before any outer
+  // ParallelFor (each fill parallelizes internally on the same pool).
+  std::vector<std::unique_ptr<CodeDistanceTable>> tables(nc);
+  if (encoded != nullptr) {
+    for (int a = 0; a < nc; ++a) {
+      tables[a] =
+          std::make_unique<CodeDistanceTable>(*encoded, a, metrics[a], pool);
     }
   }
+  // Per-attribute threshold candidates and global max pairwise distance
+  // (the vacuity bound), one independent O(n^2) scan per attribute.
+  std::vector<std::vector<double>> thresholds(nc);
+  std::vector<double> global_max(nc, 0.0);
+  FAMTREE_RETURN_NOT_OK(ParallelFor(pool, nc, [&](int64_t a) {
+    std::vector<double> dists =
+        PairwiseDistances(relation, static_cast<int>(a), *metrics[a],
+                          tables[a].get());
+    for (double d : dists) global_max[a] = std::max(global_max[a], d);
+    thresholds[a] =
+        ThresholdsFromDistances(std::move(dists), options.threshold_quantiles);
+    return Status::OK();
+  }));
 
-  std::vector<DiscoveredDd> out;
   // Candidate LHS: one or two attributes, each with one threshold.
   std::vector<std::vector<DifferentialFunction>> lhs_candidates;
   for (int a = 0; a < nc; ++a) {
@@ -103,32 +137,66 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
     }
   }
 
-  for (const auto& lhs : lhs_candidates) {
-    // Pairs satisfying the LHS.
-    std::vector<std::pair<int, int>> pairs;
-    for (int i = 0; i + 1 < n; ++i) {
-      for (int j = i + 1; j < n; ++j) {
-        if (AllSatisfied(lhs, relation, i, j)) pairs.push_back({i, j});
-      }
-    }
-    if (static_cast<int>(pairs.size()) < options.min_support) continue;
+  // Each candidate's pair scan is independent: one pass over all row pairs
+  // accumulates the LHS support and, for every RHS attribute, the running
+  // max distance (max and the all-finite flag are order-insensitive). The
+  // support / vacuity / subsumption / max_results filters replay serially
+  // below in candidate order, so the output is bit-identical at any thread
+  // count.
+  struct CandidateStats {
+    int64_t support = 0;
+    std::vector<double> bound;
+    std::vector<char> finite;
+  };
+  std::vector<CandidateStats> stats(lhs_candidates.size());
+  FAMTREE_RETURN_NOT_OK(ParallelFor(
+      pool, static_cast<int64_t>(lhs_candidates.size()), [&](int64_t c) {
+        const auto& lhs = lhs_candidates[c];
+        CandidateStats& st = stats[c];
+        st.bound.assign(nc, 0.0);
+        st.finite.assign(nc, 1);
+        for (int i = 0; i + 1 < n; ++i) {
+          for (int j = i + 1; j < n; ++j) {
+            bool ok = true;
+            for (const auto& fn : lhs) {
+              double d = encoded != nullptr
+                             ? tables[fn.attr]->RowDistance(i, j)
+                             : fn.DistanceBetween(relation, i, j);
+              if (!fn.range.Contains(d)) {
+                ok = false;
+                break;
+              }
+            }
+            if (!ok) continue;
+            ++st.support;
+            for (int b = 0; b < nc; ++b) {
+              if (!st.finite[b]) continue;
+              double d = encoded != nullptr
+                             ? tables[b]->RowDistance(i, j)
+                             : metrics[b]->Distance(relation.Get(i, b),
+                                                    relation.Get(j, b));
+              if (!std::isfinite(d)) {
+                st.finite[b] = 0;
+              } else {
+                st.bound[b] = std::max(st.bound[b], d);
+              }
+            }
+          }
+        }
+        return Status::OK();
+      }));
+
+  std::vector<DiscoveredDd> out;
+  for (size_t c = 0; c < lhs_candidates.size(); ++c) {
+    const auto& lhs = lhs_candidates[c];
+    const CandidateStats& st = stats[c];
+    if (st.support < options.min_support) continue;
     AttrSet lhs_attrs;
     for (const auto& fn : lhs) lhs_attrs.Add(fn.attr);
     for (int b = 0; b < nc; ++b) {
       if (lhs_attrs.Contains(b)) continue;
-      // Tightest RHS bound over LHS-compatible pairs.
-      double bound = 0.0;
-      bool finite = true;
-      for (const auto& [i, j] : pairs) {
-        double d =
-            metrics[b]->Distance(relation.Get(i, b), relation.Get(j, b));
-        if (!std::isfinite(d)) {
-          finite = false;
-          break;
-        }
-        bound = std::max(bound, d);
-      }
-      if (!finite) continue;
+      if (!st.finite[b]) continue;
+      double bound = st.bound[b];
       if (bound >= global_max[b]) continue;  // vacuous rule
       Dd dd(lhs, {DifferentialFunction(b, metrics[b],
                                        DistRange::AtMost(bound))});
@@ -155,8 +223,7 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
         }
       }
       if (subsumed) continue;
-      out.push_back(
-          DiscoveredDd{std::move(dd), static_cast<int64_t>(pairs.size())});
+      out.push_back(DiscoveredDd{std::move(dd), st.support});
       if (static_cast<int>(out.size()) >= options.max_results) return out;
     }
   }

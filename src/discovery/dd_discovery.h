@@ -9,6 +9,9 @@
 
 namespace famtree {
 
+class PliCache;
+class ThreadPool;
+
 struct DdDiscoveryOptions {
   /// Candidate distance thresholds per attribute are taken at these
   /// quantiles of the observed pairwise distance distribution — the
@@ -23,6 +26,20 @@ struct DdDiscoveryOptions {
   int sample_rows = 0;
   uint64_t seed = 42;
   int max_results = 10000;
+  /// Run on the dictionary-encoded columnar backend (the default): every
+  /// metric distance becomes a lookup in a per-attribute code-pair table
+  /// (CodeDistanceTable), so repeated Levenshtein / numeric evaluations
+  /// collapse to one per distinct value pair. `false` keeps the Value-based
+  /// oracle; the discovered list is bit-identical either way.
+  bool use_encoding = true;
+  /// Optional engine hooks: when `pool` is set the distance tables, the
+  /// per-attribute threshold scans and the per-LHS-candidate pair scans run
+  /// in parallel; the min-support / vacuity / subsumption / max_results
+  /// filters replay the serial walk's candidate order, so the output is
+  /// bit-identical at any thread count. `cache` lends its encoding (ignored
+  /// when sampling re-materializes the input).
+  ThreadPool* pool = nullptr;
+  PliCache* cache = nullptr;
 };
 
 struct DiscoveredDd {

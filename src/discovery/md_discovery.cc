@@ -1,10 +1,46 @@
 #include "discovery/md_discovery.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
 
+#include "common/thread_pool.h"
+#include "discovery/discovery_util.h"
+#include "metric/code_distance.h"
 #include "metric/metric.h"
 
 namespace famtree {
+
+namespace {
+
+/// ComputeStats over code-pair distance tables + dense RHS row keys: the
+/// LHS distances are the exact doubles the metrics return and key equality
+/// is value-tuple equality, so the counts match the Value path exactly.
+Md::Stats EncodedStats(
+    const std::vector<SimilarityPredicate>& lhs, int n,
+    const std::vector<std::unique_ptr<CodeDistanceTable>>& tables,
+    const std::vector<uint32_t>& rhs_keys) {
+  Md::Stats stats;
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      ++stats.total_pairs;
+      bool similar = true;
+      for (const auto& p : lhs) {
+        if (tables[p.attr]->RowDistance(i, j) > p.threshold) {
+          similar = false;
+          break;
+        }
+      }
+      if (!similar) continue;
+      ++stats.similar_pairs;
+      if (rhs_keys[i] == rhs_keys[j]) ++stats.identified_pairs;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
 
 Result<std::vector<DiscoveredMd>> DiscoverMds(
     const Relation& relation, AttrSet rhs,
@@ -13,17 +49,27 @@ Result<std::vector<DiscoveredMd>> DiscoverMds(
   if (!AttrSet::Full(nc).ContainsAll(rhs) || rhs.empty()) {
     return Status::Invalid("MD discovery needs a valid RHS attribute set");
   }
-  Relation sample =
-      options.sample_rows > 0 && options.sample_rows < relation.num_rows()
-          ? [&] {
-              std::vector<int> rows(options.sample_rows);
-              for (int i = 0; i < options.sample_rows; ++i) rows[i] = i;
-              return relation.Select(rows);
-            }()
-          : relation;
+  bool sampling =
+      options.sample_rows > 0 && options.sample_rows < relation.num_rows();
+  Relation sampled;
+  if (sampling) {
+    std::vector<int> rows(options.sample_rows);
+    for (int i = 0; i < options.sample_rows; ++i) rows[i] = i;
+    sampled = relation.Select(rows);
+  }
+  const Relation& sample = sampling ? sampled : relation;
+  ThreadPool* pool = options.pool;
+  // A sampled run re-materializes the input, so the cache's encoding (keyed
+  // to the original relation) cannot be borrowed.
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(sample, options.use_encoding,
+                      sampling ? nullptr : options.cache, &local_encoding));
 
   // Candidate predicates per non-RHS attribute.
   std::vector<SimilarityPredicate> candidates;
+  std::vector<MetricPtr> metrics(nc);
   for (int a = 0; a < nc; ++a) {
     if (rhs.Contains(a)) continue;
     ValueType t = relation.schema().column(a).type;
@@ -31,10 +77,22 @@ Result<std::vector<DiscoveredMd>> DiscoverMds(
         (t == ValueType::kInt || t == ValueType::kDouble)
             ? options.numeric_thresholds
             : options.string_thresholds;
-    MetricPtr metric = DefaultMetricFor(t);
+    metrics[a] = DefaultMetricFor(t);
     for (double th : ths) {
-      candidates.push_back(SimilarityPredicate{a, metric, th});
+      candidates.push_back(SimilarityPredicate{a, metrics[a], th});
     }
+  }
+  // Code-pair distance tables for the LHS attributes and dense row keys for
+  // the RHS identification check, built before the outer ParallelFor.
+  std::vector<std::unique_ptr<CodeDistanceTable>> tables(nc);
+  std::vector<uint32_t> rhs_keys;
+  if (encoded != nullptr) {
+    for (int a = 0; a < nc; ++a) {
+      if (rhs.Contains(a)) continue;
+      tables[a] =
+          std::make_unique<CodeDistanceTable>(*encoded, a, metrics[a], pool);
+    }
+    encoded->RowKeys(rhs, &rhs_keys);
   }
 
   // LHS candidate sets: one or two predicates on distinct attributes.
@@ -49,12 +107,26 @@ Result<std::vector<DiscoveredMd>> DiscoverMds(
     }
   }
 
+  // Per-candidate pair scans are independent; the support / confidence /
+  // RCK-minimality filters replay the candidate order below, so the output
+  // is bit-identical at any thread count.
+  std::vector<Md::Stats> stats(lhs_sets.size());
+  int n = sample.num_rows();
+  FAMTREE_RETURN_NOT_OK(ParallelFor(
+      pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
+        if (encoded != nullptr) {
+          stats[c] = EncodedStats(lhs_sets[c], n, tables, rhs_keys);
+        } else {
+          stats[c] = Md(lhs_sets[c], rhs).ComputeStats(sample);
+        }
+        return Status::OK();
+      }));
+
   std::vector<DiscoveredMd> out;
-  for (auto& lhs : lhs_sets) {
-    Md md(lhs, rhs);
-    Md::Stats stats = md.ComputeStats(sample);
-    if (stats.support() < options.min_support) continue;
-    if (stats.confidence() < options.min_confidence) continue;
+  for (size_t c = 0; c < lhs_sets.size(); ++c) {
+    auto& lhs = lhs_sets[c];
+    if (stats[c].support() < options.min_support) continue;
+    if (stats[c].confidence() < options.min_confidence) continue;
     // RCK-style minimality: skip when a reported MD's predicates are a
     // subset with looser-or-equal thresholds (the reported one already
     // matches at least the pairs this one matches).
@@ -80,8 +152,8 @@ Result<std::vector<DiscoveredMd>> DiscoverMds(
       }
     }
     if (redundant) continue;
-    out.push_back(
-        DiscoveredMd{std::move(md), stats.support(), stats.confidence()});
+    out.push_back(DiscoveredMd{Md(std::move(lhs), rhs), stats[c].support(),
+                               stats[c].confidence()});
     if (static_cast<int>(out.size()) >= options.max_results) return out;
   }
   return out;

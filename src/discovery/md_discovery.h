@@ -9,6 +9,9 @@
 
 namespace famtree {
 
+class PliCache;
+class ThreadPool;
+
 struct MdDiscoveryOptions {
   /// Minimum support: fraction of tuple pairs the LHS similarity covers.
   double min_support = 0.001;
@@ -24,6 +27,19 @@ struct MdDiscoveryOptions {
   /// order — the approximation algorithm of [85], [87].
   int sample_rows = 0;  // 0 = all rows
   int max_results = 10000;
+  /// Run on the dictionary-encoded columnar backend (the default): LHS
+  /// similarity distances become lookups in per-attribute code-pair tables
+  /// and the RHS identification check compares dense row keys instead of
+  /// Value tuples. `false` keeps the Value-based oracle; the discovered
+  /// list is bit-identical either way.
+  bool use_encoding = true;
+  /// Optional engine hooks: when `pool` is set the per-candidate pair
+  /// scans run in parallel and the support / confidence / RCK-minimality
+  /// filters replay the serial candidate order (bit-identical at any
+  /// thread count); `cache` lends its encoding (ignored when sampling
+  /// re-materializes the input).
+  ThreadPool* pool = nullptr;
+  PliCache* cache = nullptr;
 };
 
 struct DiscoveredMd {

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "common/thread_pool.h"
+#include "discovery/discovery_util.h"
+#include "metric/code_distance.h"
 #include "metric/metric.h"
 
 namespace famtree {
@@ -10,13 +14,15 @@ namespace famtree {
 namespace {
 
 double GlobalDiameter(const Relation& relation, int attr,
-                      const Metric& metric) {
+                      const Metric& metric, const CodeDistanceTable* table) {
   double diameter = 0.0;
   int n = relation.num_rows();
   for (int i = 0; i + 1 < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
-      double d = metric.Distance(relation.Get(i, attr),
-                                 relation.Get(j, attr));
+      double d = table != nullptr
+                     ? table->RowDistance(i, j)
+                     : metric.Distance(relation.Get(i, attr),
+                                       relation.Get(j, attr));
       if (std::isfinite(d)) diameter = std::max(diameter, d);
     }
   }
@@ -32,29 +38,68 @@ Result<std::vector<DiscoveredMfd>> DiscoverMfds(
   if (options.max_delta_ratio <= 0 || options.max_delta_ratio > 1) {
     return Status::Invalid("max_delta_ratio must be in (0, 1]");
   }
-  std::vector<DiscoveredMfd> out;
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, options.use_encoding, options.cache,
+                      &local_encoding));
   std::vector<MetricPtr> metrics(nc);
-  std::vector<double> global(nc);
   for (int a = 0; a < nc; ++a) {
     metrics[a] = DefaultMetricFor(relation.schema().column(a).type);
-    global[a] = GlobalDiameter(relation, a, *metrics[a]);
   }
+  // Code-pair distance tables, one per attribute, built before any outer
+  // ParallelFor (each fill parallelizes internally on the same pool).
+  std::vector<std::unique_ptr<CodeDistanceTable>> tables(nc);
+  if (encoded != nullptr) {
+    for (int a = 0; a < nc; ++a) {
+      tables[a] =
+          std::make_unique<CodeDistanceTable>(*encoded, a, metrics[a], pool);
+    }
+  }
+  std::vector<double> global(nc);
+  FAMTREE_RETURN_NOT_OK(ParallelFor(pool, nc, [&](int64_t a) {
+    global[a] = GlobalDiameter(relation, static_cast<int>(a), *metrics[a],
+                               tables[a].get());
+    return Status::OK();
+  }));
+  // Per-candidate diameters fill index-addressed slots in the serial walk's
+  // (LHS, attr) order; the vacuity and max_results filters replay that
+  // order below, so the output is bit-identical at any thread count.
+  struct Candidate {
+    AttrSet lhs;
+    int attr = 0;
+    double diameter = 0.0;
+  };
+  std::vector<Candidate> candidates;
   for (int size = 1; size <= options.max_lhs_size; ++size) {
     for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
       for (int a = 0; a < nc; ++a) {
         if (lhs.Contains(a)) continue;
-        double diameter =
-            Mfd::MaxGroupDiameter(relation, lhs, a, *metrics[a]);
-        if (!std::isfinite(diameter)) continue;
-        if (global[a] > 0 &&
-            diameter > options.max_delta_ratio * global[a]) {
-          continue;  // vacuous: the "metric FD" barely constrains
-        }
-        Mfd mfd(lhs, {MetricConstraint{a, metrics[a], diameter}});
-        out.push_back(DiscoveredMfd{std::move(mfd), diameter});
-        if (static_cast<int>(out.size()) >= options.max_results) return out;
+        candidates.push_back(Candidate{lhs, a, 0.0});
       }
     }
+  }
+  FAMTREE_RETURN_NOT_OK(ParallelFor(
+      pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+        Candidate& c = candidates[i];
+        c.diameter =
+            encoded != nullptr
+                ? Mfd::MaxGroupDiameter(*encoded, c.lhs, *tables[c.attr])
+                : Mfd::MaxGroupDiameter(relation, c.lhs, c.attr,
+                                        *metrics[c.attr]);
+        return Status::OK();
+      }));
+  std::vector<DiscoveredMfd> out;
+  for (const Candidate& c : candidates) {
+    if (!std::isfinite(c.diameter)) continue;
+    if (global[c.attr] > 0 &&
+        c.diameter > options.max_delta_ratio * global[c.attr]) {
+      continue;  // vacuous: the "metric FD" barely constrains
+    }
+    Mfd mfd(c.lhs, {MetricConstraint{c.attr, metrics[c.attr], c.diameter}});
+    out.push_back(DiscoveredMfd{std::move(mfd), c.diameter});
+    if (static_cast<int>(out.size()) >= options.max_results) return out;
   }
   return out;
 }

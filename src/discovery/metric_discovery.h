@@ -11,6 +11,9 @@
 
 namespace famtree {
 
+class PliCache;
+class ThreadPool;
+
 // ---------------------------------------------------------------- MFDs
 
 struct MfdDiscoveryOptions {
@@ -21,6 +24,17 @@ struct MfdDiscoveryOptions {
   /// LHS size cap.
   int max_lhs_size = 1;
   int max_results = 10000;
+  /// Run on the dictionary-encoded columnar backend (the default): groups
+  /// come from integer GroupBy and every metric distance is memoized per
+  /// code pair. `false` keeps the Value-based oracle; the discovered list
+  /// is bit-identical either way.
+  bool use_encoding = true;
+  /// Optional engine hooks: when `pool` is set the global diameters and the
+  /// per-(LHS, attr) group diameters are measured in parallel and merged in
+  /// the serial walk's candidate order (bit-identical at any thread count);
+  /// `cache` lends its encoding. FFD and PAC instantiation stay serial.
+  ThreadPool* pool = nullptr;
+  PliCache* cache = nullptr;
 };
 
 struct DiscoveredMfd {

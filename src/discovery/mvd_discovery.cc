@@ -1,9 +1,12 @@
 #include "discovery/mvd_discovery.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "deps/fhd.h"
 #include "deps/mvd.h"
+#include "discovery/discovery_util.h"
 
 namespace famtree {
 
@@ -17,8 +20,23 @@ Result<std::vector<DiscoveredMvd>> DiscoverMvds(
   if (options.max_spurious_ratio < 0 || options.max_spurious_ratio > 1) {
     return Status::Invalid("max_spurious_ratio must be in [0, 1]");
   }
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, options.use_encoding, options.cache,
+                      &local_encoding));
   std::vector<DiscoveredMvd> out;
   AttrSet full = AttrSet::Full(nc);
+  // Candidates enumerated in the serial walk's order; ratios fill
+  // index-addressed slots and the threshold / max_results filters replay
+  // that order, so the output is bit-identical at any thread count.
+  struct Candidate {
+    AttrSet lhs;
+    AttrSet rhs;
+    double ratio = 0.0;
+  };
+  std::vector<Candidate> candidates;
   for (int size = 0; size <= options.max_lhs_size; ++size) {
     for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
       AttrSet rest = full.Minus(lhs);
@@ -36,13 +54,23 @@ Result<std::vector<DiscoveredMvd>> DiscoverMvds(
           if ((m >> i) & 1) rhs.Add(ov[i]);
         }
         if (full.Minus(lhs).Minus(rhs).empty()) continue;  // Z empty
-        double ratio = Mvd::SpuriousTupleRatio(relation, lhs, rhs);
-        if (ratio <= options.max_spurious_ratio) {
-          out.push_back(DiscoveredMvd{lhs, rhs, ratio});
-          if (static_cast<int>(out.size()) >= options.max_results) {
-            return out;
-          }
-        }
+        candidates.push_back(Candidate{lhs, rhs, 0.0});
+      }
+    }
+  }
+  FAMTREE_RETURN_NOT_OK(ParallelFor(
+      pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+        Candidate& c = candidates[i];
+        c.ratio = encoded != nullptr
+                      ? Mvd::SpuriousTupleRatio(*encoded, c.lhs, c.rhs)
+                      : Mvd::SpuriousTupleRatio(relation, c.lhs, c.rhs);
+        return Status::OK();
+      }));
+  for (const Candidate& c : candidates) {
+    if (c.ratio <= options.max_spurious_ratio) {
+      out.push_back(DiscoveredMvd{c.lhs, c.rhs, c.ratio});
+      if (static_cast<int>(out.size()) >= options.max_results) {
+        return out;
       }
     }
   }

@@ -1,8 +1,44 @@
 #include "discovery/ned_discovery.h"
 
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "discovery/discovery_util.h"
+#include "metric/code_distance.h"
 #include "metric/metric.h"
 
 namespace famtree {
+
+namespace {
+
+/// ComputePairStats over code-pair distance tables: the distances are the
+/// exact doubles the metrics return, so the counts match the Value path
+/// bit for bit (and integer counts are order-insensitive anyway).
+Ned::PairStats EncodedPairStats(
+    const std::vector<Ned::Predicate>& lhs,
+    const std::vector<Ned::Predicate>& rhs, int n,
+    const std::vector<std::unique_ptr<CodeDistanceTable>>& tables) {
+  Ned::PairStats stats;
+  auto agrees = [&](const std::vector<Ned::Predicate>& preds, int i, int j) {
+    for (const auto& p : preds) {
+      if (tables[p.attr]->RowDistance(i, j) > p.threshold) return false;
+    }
+    return true;
+  };
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      ++stats.total_pairs;
+      if (!agrees(lhs, i, j)) continue;
+      ++stats.lhs_pairs;
+      if (agrees(rhs, i, j)) ++stats.satisfying_pairs;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
 
 Result<std::vector<DiscoveredNed>> DiscoverNeds(
     const Relation& relation, const Ned::Predicate& target,
@@ -11,12 +47,30 @@ Result<std::vector<DiscoveredNed>> DiscoverNeds(
   if (target.attr < 0 || target.attr >= nc || target.metric == nullptr) {
     return Status::Invalid("invalid target predicate");
   }
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, options.use_encoding, options.cache,
+                      &local_encoding));
   std::vector<Ned::Predicate> candidates;
+  std::vector<MetricPtr> metrics(nc);
   for (int a = 0; a < nc; ++a) {
     if (a == target.attr) continue;
-    MetricPtr metric = DefaultMetricFor(relation.schema().column(a).type);
+    metrics[a] = DefaultMetricFor(relation.schema().column(a).type);
     for (double th : options.thresholds) {
-      candidates.push_back(Ned::Predicate{a, metric, th});
+      candidates.push_back(Ned::Predicate{a, metrics[a], th});
+    }
+  }
+  // The target attribute uses the caller's metric, not the column default.
+  metrics[target.attr] = target.metric;
+  // Code-pair distance tables, one per attribute, built before the outer
+  // ParallelFor (each fill parallelizes internally on the same pool).
+  std::vector<std::unique_ptr<CodeDistanceTable>> tables(nc);
+  if (encoded != nullptr) {
+    for (int a = 0; a < nc; ++a) {
+      tables[a] =
+          std::make_unique<CodeDistanceTable>(*encoded, a, metrics[a], pool);
     }
   }
   std::vector<std::vector<Ned::Predicate>> lhs_sets;
@@ -29,14 +83,26 @@ Result<std::vector<DiscoveredNed>> DiscoverNeds(
       }
     }
   }
+  // Per-candidate pair scans are independent; the support / confidence
+  // filters replay the candidate order below, so the output is
+  // bit-identical at any thread count.
+  std::vector<Ned::PairStats> stats(lhs_sets.size());
+  int n = relation.num_rows();
+  FAMTREE_RETURN_NOT_OK(ParallelFor(
+      pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
+        if (encoded != nullptr) {
+          stats[c] = EncodedPairStats(lhs_sets[c], {target}, n, tables);
+        } else {
+          stats[c] = Ned(lhs_sets[c], {target}).ComputePairStats(relation);
+        }
+        return Status::OK();
+      }));
   std::vector<DiscoveredNed> out;
-  for (auto& lhs : lhs_sets) {
-    Ned ned(lhs, {target});
-    Ned::PairStats stats = ned.ComputePairStats(relation);
-    if (stats.lhs_pairs < options.min_support) continue;
-    if (stats.confidence() < options.min_confidence) continue;
-    out.push_back(DiscoveredNed{std::move(ned), stats.lhs_pairs,
-                                stats.confidence()});
+  for (size_t c = 0; c < lhs_sets.size(); ++c) {
+    if (stats[c].lhs_pairs < options.min_support) continue;
+    if (stats[c].confidence() < options.min_confidence) continue;
+    out.push_back(DiscoveredNed{Ned(std::move(lhs_sets[c]), {target}),
+                                stats[c].lhs_pairs, stats[c].confidence()});
   }
   return out;
 }

@@ -9,6 +9,9 @@
 
 namespace famtree {
 
+class PliCache;
+class ThreadPool;
+
 struct NedDiscoveryOptions {
   /// Candidate thresholds per LHS attribute.
   std::vector<double> thresholds = {0, 1, 2, 5};
@@ -18,6 +21,18 @@ struct NedDiscoveryOptions {
   double min_confidence = 0.95;
   /// LHS predicate count cap.
   int max_lhs_attrs = 2;
+  /// Run on the dictionary-encoded columnar backend (the default): metric
+  /// distances become lookups in per-attribute code-pair tables, evaluated
+  /// once per distinct value pair instead of once per row pair per
+  /// candidate. `false` keeps the Value-based oracle; the discovered list
+  /// is bit-identical either way.
+  bool use_encoding = true;
+  /// Optional engine hooks: when `pool` is set the per-candidate pair
+  /// scans run in parallel and the support / confidence filters replay the
+  /// serial candidate order (bit-identical at any thread count); `cache`
+  /// lends its encoding.
+  ThreadPool* pool = nullptr;
+  PliCache* cache = nullptr;
 };
 
 struct DiscoveredNed {

@@ -1,6 +1,10 @@
 #include "discovery/od_discovery.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "discovery/discovery_util.h"
 
 namespace famtree {
 
@@ -52,32 +56,120 @@ bool UnaryOdHolds(const Relation& relation, int a, int b, bool increasing) {
   return true;
 }
 
+struct PairScan {
+  bool leq = true;
+  bool geq = true;
+};
+
+/// Checks A^<= -> B^<= and A^<= -> B^>= in one scan over the rows sorted
+/// by A: equal Values share one code, so tie-group uniformity is a code
+/// comparison and cross-group monotonicity is a rank comparison. Matches
+/// UnaryOdHolds(increasing) / UnaryOdHolds(decreasing) exactly.
+PairScan CheckPairEncoded(const EncodedRelation& enc,
+                          const std::vector<int>& order, int a, int b,
+                          const std::vector<uint32_t>& rank_b) {
+  const std::vector<uint32_t>& ca = enc.codes(a);
+  const std::vector<uint32_t>& cb = enc.codes(b);
+  PairScan r;
+  size_t n = order.size();
+  size_t i = 0;
+  bool has_prev = false;
+  uint32_t prev_rank = 0;
+  while (i < n && (r.leq || r.geq)) {
+    size_t j = i;
+    uint32_t group_a = ca[order[i]];
+    uint32_t group_b = cb[order[i]];
+    for (; j < n && ca[order[j]] == group_a; ++j) {
+      if (cb[order[j]] != group_b) return PairScan{false, false};
+    }
+    uint32_t rb = rank_b[group_b];
+    if (has_prev) {
+      if (rb < prev_rank) r.leq = false;
+      if (rb > prev_rank) r.geq = false;
+    }
+    prev_rank = rb;
+    has_prev = true;
+    i = j;
+  }
+  return r;
+}
+
 }  // namespace
 
 Result<std::vector<DiscoveredOd>> DiscoverUnaryOds(
     const Relation& relation, const OdDiscoveryOptions& options) {
   std::vector<DiscoveredOd> out;
   int nc = relation.num_columns();
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, options.use_encoding, options.cache,
+                      &local_encoding));
   auto eligible = [&](int c) {
     if (!options.numeric_only) return true;
     ValueType t = relation.schema().column(c).type;
     return t == ValueType::kInt || t == ValueType::kDouble;
   };
-  for (int a = 0; a < nc; ++a) {
-    if (!eligible(a)) continue;
-    for (int b = 0; b < nc; ++b) {
-      if (a == b || !eligible(b)) continue;
-      if (UnaryOdHolds(relation, a, b, /*increasing=*/true)) {
-        out.push_back(DiscoveredOd{
-            Od({MarkedAttr{a, OrderMark::kLeq}},
-               {MarkedAttr{b, OrderMark::kLeq}})});
-      } else if (UnaryOdHolds(relation, a, b, /*increasing=*/false)) {
-        out.push_back(DiscoveredOd{
-            Od({MarkedAttr{a, OrderMark::kLeq}},
-               {MarkedAttr{b, OrderMark::kGeq}})});
-      }
-      if (static_cast<int>(out.size()) >= options.max_results) return out;
+  std::vector<int> cols;
+  for (int c = 0; c < nc; ++c) {
+    if (eligible(c)) cols.push_back(c);
+  }
+  // Encoded precomputation, once per column instead of one sort per
+  // ordered pair and direction: the rank table and the sorted row order.
+  std::vector<std::vector<uint32_t>> ranks(nc);
+  std::vector<std::vector<int>> orders(nc);
+  if (encoded != nullptr) {
+    FAMTREE_RETURN_NOT_OK(ParallelFor(
+        pool, static_cast<int64_t>(cols.size()), [&](int64_t i) {
+          int c = cols[i];
+          ranks[c] = CodeRanks(*encoded, c);
+          orders[c] = SortedRowOrder(*encoded, c, ranks[c]);
+          return Status::OK();
+        }));
+  }
+  // Candidate pairs in the serial walk's order; each slot is written by
+  // exactly one ParallelFor iteration and the merge replays pair order, so
+  // the output is bit-identical at any thread count.
+  struct Candidate {
+    int a;
+    int b;
+    uint8_t result = 0;  // 0 = none, 1 = B^<=, 2 = B^>=
+  };
+  std::vector<Candidate> candidates;
+  for (int a : cols) {
+    for (int b : cols) {
+      if (a != b) candidates.push_back(Candidate{a, b, 0});
     }
+  }
+  FAMTREE_RETURN_NOT_OK(ParallelFor(
+      pool, static_cast<int64_t>(candidates.size()), [&](int64_t t) {
+        Candidate& cd = candidates[t];
+        if (encoded != nullptr) {
+          PairScan r =
+              CheckPairEncoded(*encoded, orders[cd.a], cd.a, cd.b,
+                               ranks[cd.b]);
+          cd.result = r.leq ? 1 : (r.geq ? 2 : 0);
+        } else {
+          cd.result =
+              UnaryOdHolds(relation, cd.a, cd.b, /*increasing=*/true)
+                  ? 1
+                  : (UnaryOdHolds(relation, cd.a, cd.b,
+                                  /*increasing=*/false)
+                         ? 2
+                         : 0);
+        }
+        return Status::OK();
+      }));
+  for (const Candidate& cd : candidates) {
+    if (cd.result == 1) {
+      out.push_back(DiscoveredOd{Od({MarkedAttr{cd.a, OrderMark::kLeq}},
+                                    {MarkedAttr{cd.b, OrderMark::kLeq}})});
+    } else if (cd.result == 2) {
+      out.push_back(DiscoveredOd{Od({MarkedAttr{cd.a, OrderMark::kLeq}},
+                                    {MarkedAttr{cd.b, OrderMark::kGeq}})});
+    }
+    if (static_cast<int>(out.size()) >= options.max_results) return out;
   }
   return out;
 }

@@ -1,10 +1,43 @@
 #include "discovery/pfd_discovery.h"
 
-#include <map>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "deps/pfd.h"
+#include "discovery/discovery_util.h"
 
 namespace famtree {
+
+namespace {
+
+/// One lattice candidate X -> A with its probability slot (written by
+/// exactly one ParallelFor iteration).
+struct PfdCandidate {
+  AttrSet lhs;
+  int rhs = 0;
+  double probability = 0.0;
+};
+
+/// Enumerates one level's candidates in the serial walk's order.
+std::vector<PfdCandidate> LevelCandidates(int nc, int size) {
+  std::vector<PfdCandidate> candidates;
+  for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
+    for (int a = 0; a < nc; ++a) {
+      if (lhs.Contains(a)) continue;
+      candidates.push_back(PfdCandidate{lhs, a, 0.0});
+    }
+  }
+  return candidates;
+}
+
+bool IsMinimal(const std::vector<DiscoveredPfd>& out, AttrSet lhs, int rhs) {
+  for (const DiscoveredPfd& p : out) {
+    if (p.rhs == rhs && lhs.ContainsAll(p.lhs)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Result<std::vector<DiscoveredPfd>> DiscoverPfds(
     const Relation& relation, const PfdDiscoveryOptions& options) {
@@ -13,22 +46,51 @@ Result<std::vector<DiscoveredPfd>> DiscoverPfds(
   if (options.min_probability < 0 || options.min_probability > 1) {
     return Status::Invalid("min_probability must be in [0, 1]");
   }
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, options.use_encoding, options.cache,
+                      &local_encoding));
+  auto probability = [&](AttrSet lhs, int a) {
+    return encoded != nullptr
+               ? Pfd::Probability(*encoded, lhs, AttrSet::Single(a))
+               : Pfd::Probability(relation, lhs, AttrSet::Single(a));
+  };
   std::vector<DiscoveredPfd> out;
   for (int size = 1; size <= options.max_lhs_size; ++size) {
-    for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
-      for (int a = 0; a < nc; ++a) {
-        if (lhs.Contains(a)) continue;
-        bool minimal = true;
-        for (const DiscoveredPfd& p : out) {
-          if (p.rhs == a && lhs.ContainsAll(p.lhs)) {
-            minimal = false;
-            break;
+    if (pool == nullptr) {
+      // Serial walk: the minimality filter prunes a candidate before its
+      // probability is ever computed.
+      for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
+        for (int a = 0; a < nc; ++a) {
+          if (lhs.Contains(a)) continue;
+          if (!IsMinimal(out, lhs, a)) continue;
+          double prob = probability(lhs, a);
+          if (prob >= options.min_probability) {
+            out.push_back(DiscoveredPfd{lhs, a, prob});
+            if (static_cast<int>(out.size()) >= options.max_results) {
+              return out;
+            }
           }
         }
-        if (!minimal) continue;
-        double prob = Pfd::Probability(relation, lhs, AttrSet::Single(a));
-        if (prob >= options.min_probability) {
-          out.push_back(DiscoveredPfd{lhs, a, prob});
+      }
+    } else {
+      // Parallel walk: compute every candidate probability of the level up
+      // front (some are wasted on non-minimal candidates), then replay the
+      // serial walk's filters in candidate order — bit-identical output at
+      // any thread count.
+      std::vector<PfdCandidate> candidates = LevelCandidates(nc, size);
+      FAMTREE_RETURN_NOT_OK(ParallelFor(
+          pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+            candidates[i].probability =
+                probability(candidates[i].lhs, candidates[i].rhs);
+            return Status::OK();
+          }));
+      for (const PfdCandidate& c : candidates) {
+        if (!IsMinimal(out, c.lhs, c.rhs)) continue;
+        if (c.probability >= options.min_probability) {
+          out.push_back(DiscoveredPfd{c.lhs, c.rhs, c.probability});
           if (static_cast<int>(out.size()) >= options.max_results) {
             return out;
           }
@@ -49,31 +111,63 @@ Result<std::vector<DiscoveredPfd>> DiscoverPfdsMultiSource(
       return Status::Invalid("sources must share a schema");
     }
   }
-  // Probability of each candidate per source, merged by tuple count.
-  std::vector<DiscoveredPfd> out;
+  ThreadPool* pool = options.pool;
+  // The PliCache is keyed to a single relation, so the multi-source merge
+  // only uses per-source local encodings.
+  std::vector<std::unique_ptr<EncodedRelation>> encodings;
+  if (options.use_encoding) {
+    encodings.resize(sources.size());
+    FAMTREE_RETURN_NOT_OK(ParallelFor(
+        pool, static_cast<int64_t>(sources.size()), [&](int64_t i) {
+          encodings[i] = std::make_unique<EncodedRelation>(sources[i]);
+          return Status::OK();
+        }));
+  }
   long long total_rows = 0;
   for (const Relation& s : sources) total_rows += s.num_rows();
+  std::vector<DiscoveredPfd> out;
   if (total_rows == 0) return out;
+  // Tuple-count weighted average across sources, accumulated in source
+  // order on both paths.
+  auto merged_probability = [&](AttrSet lhs, int a) {
+    double merged = 0.0;
+    for (size_t s = 0; s < sources.size(); ++s) {
+      if (sources[s].num_rows() == 0) continue;
+      double prob =
+          options.use_encoding
+              ? Pfd::Probability(*encodings[s], lhs, AttrSet::Single(a))
+              : Pfd::Probability(sources[s], lhs, AttrSet::Single(a));
+      merged += prob * sources[s].num_rows() / total_rows;
+    }
+    return merged;
+  };
   for (int size = 1; size <= options.max_lhs_size; ++size) {
-    for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
-      for (int a = 0; a < nc; ++a) {
-        if (lhs.Contains(a)) continue;
-        bool minimal = true;
-        for (const DiscoveredPfd& p : out) {
-          if (p.rhs == a && lhs.ContainsAll(p.lhs)) {
-            minimal = false;
-            break;
+    if (pool == nullptr) {
+      for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
+        for (int a = 0; a < nc; ++a) {
+          if (lhs.Contains(a)) continue;
+          if (!IsMinimal(out, lhs, a)) continue;
+          double merged = merged_probability(lhs, a);
+          if (merged >= options.min_probability) {
+            out.push_back(DiscoveredPfd{lhs, a, merged});
+            if (static_cast<int>(out.size()) >= options.max_results) {
+              return out;
+            }
           }
         }
-        if (!minimal) continue;
-        double merged = 0.0;
-        for (const Relation& s : sources) {
-          if (s.num_rows() == 0) continue;
-          merged += Pfd::Probability(s, lhs, AttrSet::Single(a)) *
-                    s.num_rows() / total_rows;
-        }
-        if (merged >= options.min_probability) {
-          out.push_back(DiscoveredPfd{lhs, a, merged});
+      }
+    } else {
+      std::vector<PfdCandidate> candidates = LevelCandidates(nc, size);
+      FAMTREE_RETURN_NOT_OK(ParallelFor(
+          pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+            candidates[i].probability =
+                merged_probability(candidates[i].lhs, candidates[i].rhs);
+            return Status::OK();
+          }));
+      for (const PfdCandidate& c : candidates) {
+        if (!IsMinimal(out, c.lhs, c.rhs)) continue;
+        if (c.probability >= options.min_probability) {
+          out.push_back(DiscoveredPfd{c.lhs, c.rhs, c.probability});
           if (static_cast<int>(out.size()) >= options.max_results) {
             return out;
           }

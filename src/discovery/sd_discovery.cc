@@ -2,8 +2,56 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "discovery/discovery_util.h"
 
 namespace famtree {
+
+namespace {
+
+/// Per-row numerics of one column, decoded once per dictionary code (pure,
+/// so the parallel fill order cannot affect the result).
+Result<std::vector<double>> RowNumerics(const EncodedRelation& enc, int col,
+                                        ThreadPool* pool) {
+  std::vector<double> per_code(enc.dict_size(col));
+  FAMTREE_RETURN_NOT_OK(
+      ParallelFor(pool, static_cast<int64_t>(per_code.size()), [&](int64_t c) {
+        per_code[c] = enc.Decode(col, static_cast<uint32_t>(c)).AsNumeric();
+        return Status::OK();
+      }));
+  const std::vector<uint32_t>& codes = enc.codes(col);
+  std::vector<double> out(codes.size());
+  for (size_t row = 0; row < codes.size(); ++row) {
+    out[row] = per_code[codes[row]];
+  }
+  return out;
+}
+
+/// Sd::Confidence with the sort and the numerics precomputed — the same
+/// O(n^2) DP in the same order, so the result is bit-identical.
+double ConfidenceFromSorted(const std::vector<int>& order,
+                            const std::vector<double>& target_num,
+                            const Interval& gap) {
+  int n = static_cast<int>(order.size());
+  if (n <= 1) return 1.0;
+  std::vector<int> best(n, 1);
+  int longest = 1;
+  for (int i = 1; i < n; ++i) {
+    double yi = target_num[order[i]];
+    for (int j = 0; j < i; ++j) {
+      if (gap.Contains(yi - target_num[order[j]])) {
+        best[i] = std::max(best[i], best[j] + 1);
+      }
+    }
+    longest = std::max(longest, best[i]);
+  }
+  return static_cast<double>(longest) / n;
+}
+
+}  // namespace
 
 Result<DiscoveredSd> DiscoverSd(const Relation& relation, int order_attr,
                                 int target_attr,
@@ -16,11 +64,28 @@ Result<DiscoveredSd> DiscoverSd(const Relation& relation, int order_attr,
   if (relation.num_rows() < 2) {
     return Status::Invalid("need at least two rows");
   }
-  std::vector<int> order = Sd::SortedOrder(relation, order_attr);
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, options.use_encoding, options.cache,
+                      &local_encoding));
+  int n = relation.num_rows();
+  std::vector<int> order;
+  std::vector<double> target_num(n);
+  if (encoded != nullptr) {
+    order = SortedRowOrder(*encoded, order_attr,
+                           CodeRanks(*encoded, order_attr));
+    FAMTREE_ASSIGN_OR_RETURN(
+        target_num, RowNumerics(*encoded, target_attr, options.pool));
+  } else {
+    order = Sd::SortedOrder(relation, order_attr);
+    for (int i = 0; i < n; ++i) {
+      target_num[i] = relation.Get(i, target_attr).AsNumeric();
+    }
+  }
   std::vector<double> gaps;
   for (size_t i = 0; i + 1 < order.size(); ++i) {
-    double d = relation.Get(order[i + 1], target_attr).AsNumeric() -
-               relation.Get(order[i], target_attr).AsNumeric();
+    double d = target_num[order[i + 1]] - target_num[order[i]];
     if (std::isfinite(d)) gaps.push_back(d);
   }
   if (gaps.empty()) return Status::NotFound("no numeric gaps to fit");
@@ -34,7 +99,7 @@ Result<DiscoveredSd> DiscoverSd(const Relation& relation, int order_attr,
   Interval g = Interval::Between(at(options.lo_quantile),
                                  at(options.hi_quantile));
   Sd sd(order_attr, target_attr, g);
-  double conf = Sd::Confidence(relation, order_attr, target_attr, g);
+  double conf = ConfidenceFromSorted(order, target_num, g);
   if (conf < options.min_confidence) {
     return Status::NotFound("no SD meets the confidence bound");
   }
@@ -52,12 +117,32 @@ Result<DiscoveredCsd> DiscoverCsdTableau(const Relation& relation,
   int n = relation.num_rows();
   if (n < 2) return Status::Invalid("need at least two rows");
 
-  std::vector<int> order = Sd::SortedOrder(relation, order_attr);
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, options.use_encoding, options.cache,
+                      &local_encoding));
+  std::vector<int> order;
+  std::vector<double> order_num(n), target_num(n);
+  if (encoded != nullptr) {
+    order = SortedRowOrder(*encoded, order_attr,
+                           CodeRanks(*encoded, order_attr));
+    FAMTREE_ASSIGN_OR_RETURN(
+        order_num, RowNumerics(*encoded, order_attr, options.pool));
+    FAMTREE_ASSIGN_OR_RETURN(
+        target_num, RowNumerics(*encoded, target_attr, options.pool));
+  } else {
+    order = Sd::SortedOrder(relation, order_attr);
+    for (int i = 0; i < n; ++i) {
+      order_num[i] = relation.Get(i, order_attr).AsNumeric();
+      target_num[i] = relation.Get(i, target_attr).AsNumeric();
+    }
+  }
   // Distinct order-attribute groups along the sorted sequence.
   std::vector<int> group_start;  // position of each group's first row
   std::vector<double> group_value;
   for (int i = 0; i < n; ++i) {
-    double x = relation.Get(order[i], order_attr).AsNumeric();
+    double x = order_num[order[i]];
     if (!std::isfinite(x)) {
       return Status::Invalid("CSD discovery needs a numeric order attribute");
     }
@@ -75,8 +160,7 @@ Result<DiscoveredCsd> DiscoverCsdTableau(const Relation& relation,
   // between sorted positions i and i+1 lies in the required interval.
   std::vector<int> sat_prefix(n, 0);
   for (int i = 0; i + 1 < n; ++i) {
-    double d = relation.Get(order[i + 1], target_attr).AsNumeric() -
-               relation.Get(order[i], target_attr).AsNumeric();
+    double d = target_num[order[i + 1]] - target_num[order[i]];
     int ok = (std::isfinite(d) && options.gap.Contains(d)) ? 1 : 0;
     sat_prefix[i + 1] = sat_prefix[i] + ok;
   }

@@ -9,6 +9,9 @@
 
 namespace famtree {
 
+class PliCache;
+class ThreadPool;
+
 struct SdDiscoveryOptions {
   /// Quantiles of the observed consecutive-gap distribution that bound the
   /// discovered interval (robust against a few outliers).
@@ -16,6 +19,17 @@ struct SdDiscoveryOptions {
   double hi_quantile = 0.95;
   /// Minimum confidence for the SD to be reported.
   double min_confidence = 0.9;
+  /// Run on the dictionary-encoded columnar backend (the default): the
+  /// order-attribute sort becomes a stable counting sort over code ranks
+  /// and the target numerics are decoded once per dictionary code.
+  /// `false` keeps the Value-based oracle; the result is bit-identical
+  /// either way.
+  bool use_encoding = true;
+  /// Optional engine hooks: `pool` parallelizes the per-code numeric
+  /// decode; the confidence DP itself is loop-carried and stays serial.
+  /// `cache` lends its encoding.
+  ThreadPool* pool = nullptr;
+  PliCache* cache = nullptr;
 };
 
 struct DiscoveredSd {
@@ -38,6 +52,12 @@ struct CsdDiscoveryOptions {
   double min_confidence = 0.95;
   /// Minimum rows a candidate interval must span.
   int min_interval_rows = 3;
+  /// Fast-path knobs, same convention as SdDiscoveryOptions: the sort and
+  /// the numeric decode run encoded; the tableau DP (quadratic, exact)
+  /// stays serial.
+  bool use_encoding = true;
+  ThreadPool* pool = nullptr;
+  PliCache* cache = nullptr;
 };
 
 struct DiscoveredCsd {

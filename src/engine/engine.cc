@@ -46,6 +46,172 @@ Result<std::vector<DiscoveredSfd>> DiscoveryEngine::Cords(
   return DiscoverSfdsCords(relation, options);
 }
 
+Result<std::vector<DiscoveredCfd>> DiscoveryEngine::ConstantCfds(
+    const Relation& relation, CfdDiscoveryOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return DiscoverConstantCfds(relation, options);
+}
+
+Result<std::vector<DiscoveredCfd>> DiscoveryEngine::GeneralCfds(
+    const Relation& relation, CfdDiscoveryOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return DiscoverGeneralCfds(relation, options);
+}
+
+Result<std::vector<DiscoveredCfd>> DiscoveryEngine::GreedyTableau(
+    const Relation& relation, AttrSet lhs, int rhs, int condition_attr,
+    TableauOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return BuildGreedyTableau(relation, lhs, rhs, condition_attr, options);
+}
+
+Result<std::vector<DiscoveredOd>> DiscoveryEngine::UnaryOds(
+    const Relation& relation, OdDiscoveryOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return DiscoverUnaryOds(relation, options);
+}
+
+Result<std::vector<DiscoveredMvd>> DiscoveryEngine::Mvds(
+    const Relation& relation, MvdDiscoveryOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return DiscoverMvds(relation, options);
+}
+
+Result<std::vector<DiscoveredFhd>> DiscoveryEngine::Fhds(
+    const Relation& relation, MvdDiscoveryOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return DiscoverFhds(relation, options);
+}
+
+Result<std::vector<DiscoveredPfd>> DiscoveryEngine::Pfds(
+    const Relation& relation, PfdDiscoveryOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return DiscoverPfds(relation, options);
+}
+
+Result<std::vector<DiscoveredDd>> DiscoveryEngine::Dds(
+    const Relation& relation, DdDiscoveryOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return DiscoverDds(relation, options);
+}
+
+Result<std::vector<DiscoveredNed>> DiscoveryEngine::Neds(
+    const Relation& relation, const Ned::Predicate& target,
+    NedDiscoveryOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return DiscoverNeds(relation, target, options);
+}
+
+Result<std::vector<DiscoveredMd>> DiscoveryEngine::Mds(
+    const Relation& relation, AttrSet rhs, MdDiscoveryOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return DiscoverMds(relation, rhs, options);
+}
+
+Result<std::vector<DiscoveredMfd>> DiscoveryEngine::Mfds(
+    const Relation& relation, MfdDiscoveryOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return DiscoverMfds(relation, options);
+}
+
+Result<DiscoveredSd> DiscoveryEngine::Sd(const Relation& relation,
+                                         int order_attr, int target_attr,
+                                         SdDiscoveryOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return DiscoverSd(relation, order_attr, target_attr, options);
+}
+
+Result<DiscoveredCsd> DiscoveryEngine::CsdTableau(const Relation& relation,
+                                                  int order_attr,
+                                                  int target_attr,
+                                                  CsdDiscoveryOptions options) {
+  options.pool = &pool_;
+  options.cache = &CacheFor(relation);
+  return DiscoverCsdTableau(relation, order_attr, target_attr, options);
+}
+
+namespace {
+
+QualityOptions WireQuality(ThreadPool* pool, PliCache* cache) {
+  QualityOptions options;
+  options.pool = pool;
+  options.cache = cache;
+  return options;
+}
+
+}  // namespace
+
+Result<RepairResult> DiscoveryEngine::RepairFds(const Relation& relation,
+                                                const std::vector<Fd>& fds,
+                                                int max_passes) {
+  return RepairWithFds(relation, fds, max_passes,
+                       WireQuality(&pool_, &CacheFor(relation)));
+}
+
+Result<RepairResult> DiscoveryEngine::RepairCfds(const Relation& relation,
+                                                 const std::vector<Cfd>& cfds,
+                                                 int max_passes) {
+  return RepairWithCfds(relation, cfds, max_passes,
+                        WireQuality(&pool_, &CacheFor(relation)));
+}
+
+Result<RepairResult> DiscoveryEngine::RepairHolistic(
+    const Relation& relation, const std::vector<Dc>& dcs, int max_changes) {
+  return RepairWithDcsHolistic(relation, dcs, max_changes,
+                               WireQuality(&pool_, &CacheFor(relation)));
+}
+
+Result<MatchResult> DiscoveryEngine::Match(const Relation& relation,
+                                           std::vector<Md> rules) {
+  MdMatcher matcher(std::move(rules));
+  return matcher.Match(relation, WireQuality(&pool_, &CacheFor(relation)));
+}
+
+Result<ImputeResult> DiscoveryEngine::Impute(const Relation& relation,
+                                             const Ned& rule) {
+  return ImputeWithNed(relation, rule,
+                       WireQuality(&pool_, &CacheFor(relation)));
+}
+
+Result<Relation> DiscoveryEngine::CertainAnswers(const Relation& relation,
+                                                 const Fd& fd,
+                                                 const SelectionQuery& query) {
+  return famtree::CertainAnswers(relation, fd, query,
+                                 WireQuality(&pool_, &CacheFor(relation)));
+}
+
+Result<Relation> DiscoveryEngine::PossibleAnswers(
+    const Relation& relation, const Fd& fd, const SelectionQuery& query) {
+  return famtree::PossibleAnswers(relation, fd, query,
+                                  WireQuality(&pool_, &CacheFor(relation)));
+}
+
+Result<std::vector<Violation>> DiscoveryEngine::DetectSpeed(
+    const Relation& relation, int time_attr, int value_attr,
+    const SpeedConstraint& constraint) {
+  return DetectSpeedViolations(relation, time_attr, value_attr, constraint,
+                               WireQuality(&pool_, &CacheFor(relation)));
+}
+
+Result<RepairResult> DiscoveryEngine::RepairSpeed(
+    const Relation& relation, int time_attr, int value_attr,
+    const SpeedConstraint& constraint) {
+  return RepairWithSpeedConstraint(relation, time_attr, value_attr, constraint,
+                                   WireQuality(&pool_, &CacheFor(relation)));
+}
+
 Result<DetectionSummary> DiscoveryEngine::Detect(
     const Relation& relation, std::vector<DependencyPtr> rules,
     int max_violations_per_rule) {

@@ -8,12 +8,27 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "discovery/cfd_discovery.h"
 #include "discovery/cords.h"
+#include "discovery/dd_discovery.h"
 #include "discovery/fastdc.h"
 #include "discovery/fastfd.h"
+#include "discovery/md_discovery.h"
+#include "discovery/metric_discovery.h"
+#include "discovery/mvd_discovery.h"
+#include "discovery/ned_discovery.h"
+#include "discovery/od_discovery.h"
+#include "discovery/pfd_discovery.h"
+#include "discovery/sd_discovery.h"
 #include "discovery/tane.h"
 #include "engine/pli_cache.h"
+#include "quality/cqa.h"
+#include "quality/dedup.h"
 #include "quality/detector.h"
+#include "quality/holistic.h"
+#include "quality/impute.h"
+#include "quality/repair.h"
+#include "quality/speed_clean.h"
 
 namespace famtree {
 
@@ -67,6 +82,107 @@ class DiscoveryEngine {
   /// CORDS with a parallel column-pair sweep.
   Result<std::vector<DiscoveredSfd>> Cords(const Relation& relation,
                                            CordsOptions options = {});
+
+  // Every driver below wires the same fast path: the engine pool, the
+  // shared PLI store, and the encoded columnar substrate. Each remains
+  // bit-identical to its serial free function (the oracle).
+
+  /// CFDMiner-style constant CFD mining.
+  Result<std::vector<DiscoveredCfd>> ConstantCfds(
+      const Relation& relation, CfdDiscoveryOptions options = {});
+
+  /// CTANE-style general CFD discovery.
+  Result<std::vector<DiscoveredCfd>> GeneralCfds(
+      const Relation& relation, CfdDiscoveryOptions options = {});
+
+  /// Greedy CFD tableau construction for one embedded FD.
+  Result<std::vector<DiscoveredCfd>> GreedyTableau(
+      const Relation& relation, AttrSet lhs, int rhs, int condition_attr,
+      TableauOptions options = {});
+
+  /// Unary OD discovery over rank-encoded columns.
+  Result<std::vector<DiscoveredOd>> UnaryOds(const Relation& relation,
+                                             OdDiscoveryOptions options = {});
+
+  /// Levelwise MVD / AMVD discovery.
+  Result<std::vector<DiscoveredMvd>> Mvds(const Relation& relation,
+                                          MvdDiscoveryOptions options = {});
+
+  /// FHD assembly on top of the discovered MVDs.
+  Result<std::vector<DiscoveredFhd>> Fhds(const Relation& relation,
+                                          MvdDiscoveryOptions options = {});
+
+  /// Levelwise probabilistic FD discovery.
+  Result<std::vector<DiscoveredPfd>> Pfds(const Relation& relation,
+                                          PfdDiscoveryOptions options = {});
+
+  /// DD discovery with parallel candidate evaluation over code-distance
+  /// tables.
+  Result<std::vector<DiscoveredDd>> Dds(const Relation& relation,
+                                        DdDiscoveryOptions options = {});
+
+  /// NED discovery for a target RHS predicate.
+  Result<std::vector<DiscoveredNed>> Neds(const Relation& relation,
+                                          const Ned::Predicate& target,
+                                          NedDiscoveryOptions options = {});
+
+  /// MD discovery for a RHS attribute set.
+  Result<std::vector<DiscoveredMd>> Mds(const Relation& relation, AttrSet rhs,
+                                        MdDiscoveryOptions options = {});
+
+  /// MFD discovery with parallel per-candidate diameter measurement.
+  Result<std::vector<DiscoveredMfd>> Mfds(const Relation& relation,
+                                          MfdDiscoveryOptions options = {});
+
+  /// SD fitting for one (order, target) attribute pair.
+  Result<DiscoveredSd> Sd(const Relation& relation, int order_attr,
+                          int target_attr, SdDiscoveryOptions options = {});
+
+  /// CSD tableau discovery for one (order, target) attribute pair.
+  Result<DiscoveredCsd> CsdTableau(const Relation& relation, int order_attr,
+                                   int target_attr,
+                                   CsdDiscoveryOptions options = {});
+
+  // ------------------------------------------------ quality applications
+
+  /// Equivalence-class FD repair.
+  Result<RepairResult> RepairFds(const Relation& relation,
+                                 const std::vector<Fd>& fds,
+                                 int max_passes = 4);
+
+  /// CFD repair (constant forcing + conditioned plurality).
+  Result<RepairResult> RepairCfds(const Relation& relation,
+                                  const std::vector<Cfd>& cfds,
+                                  int max_passes = 4);
+
+  /// Holistic DC repair with concurrent per-DC violation collection.
+  Result<RepairResult> RepairHolistic(const Relation& relation,
+                                      const std::vector<Dc>& dcs,
+                                      int max_changes = 1000);
+
+  /// MD-based record matching.
+  Result<MatchResult> Match(const Relation& relation, std::vector<Md> rules);
+
+  /// NED-based imputation of missing target values.
+  Result<ImputeResult> Impute(const Relation& relation, const Ned& rule);
+
+  /// Consistent query answering under an FD: certain answers.
+  Result<Relation> CertainAnswers(const Relation& relation, const Fd& fd,
+                                  const SelectionQuery& query);
+
+  /// Consistent query answering under an FD: possible answers.
+  Result<Relation> PossibleAnswers(const Relation& relation, const Fd& fd,
+                                   const SelectionQuery& query);
+
+  /// Speed-constraint violation detection on a timestamped series.
+  Result<std::vector<Violation>> DetectSpeed(const Relation& relation,
+                                             int time_attr, int value_attr,
+                                             const SpeedConstraint& constraint);
+
+  /// SCREEN-style speed-constraint repair.
+  Result<RepairResult> RepairSpeed(const Relation& relation, int time_attr,
+                                   int value_attr,
+                                   const SpeedConstraint& constraint);
 
   /// Violation detection with concurrent rule validation; FD rules are
   /// confirmed from the shared PLI store when they hold.

@@ -1,0 +1,31 @@
+#include "metric/code_distance.h"
+
+namespace famtree {
+
+CodeDistanceTable::CodeDistanceTable(const EncodedRelation& encoded, int attr,
+                                     MetricPtr metric, ThreadPool* pool,
+                                     int64_t max_entries)
+    : encoded_(&encoded), attr_(attr), metric_(std::move(metric)) {
+  int64_t k = encoded.dict_size(attr);
+  int64_t entries = k * (k + 1) / 2;
+  if (k == 0 || entries > max_entries) return;
+  table_.resize(static_cast<size_t>(entries));
+  // Each iteration fills one row of the triangle; entries are pure
+  // functions of their code pair, so parallel fill is deterministic.
+  Status st = ParallelFor(pool, k, [&](int64_t b) {
+    const Value& vb = encoded_->Decode(attr_, static_cast<uint32_t>(b));
+    size_t base = TriIndex(0, static_cast<uint32_t>(b));
+    for (int64_t a = 0; a <= b; ++a) {
+      table_[base + a] =
+          metric_->Distance(encoded_->Decode(attr_, static_cast<uint32_t>(a)),
+                            vb);
+    }
+    return Status::OK();
+  });
+  // ParallelFor only propagates statuses from the body, which is
+  // infallible here.
+  (void)st;
+  memoized_ = true;
+}
+
+}  // namespace famtree

@@ -1,7 +1,13 @@
 #include "quality/cqa.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "discovery/discovery_util.h"
 
 namespace famtree {
 
@@ -101,6 +107,120 @@ Result<Relation> CertainAnswers(const Relation& relation, const Fd& fd,
       }
     }
   }
+  return out;
+}
+
+Result<Relation> CertainAnswers(const Relation& relation, const Fd& fd,
+                                const SelectionQuery& query,
+                                const QualityOptions& options) {
+  if (!options.use_encoding && options.pool == nullptr) {
+    return CertainAnswers(relation, fd, query);
+  }
+  FAMTREE_RETURN_NOT_OK(CheckQuery(relation, query));
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, options.use_encoding, options.cache,
+                      &local_encoding));
+  std::vector<std::vector<int>> groups =
+      encoded != nullptr ? encoded->GroupBy(fd.lhs())
+                         : relation.GroupBy(fd.lhs());
+  // Dense keys: projection equality and RHS agreement become integer
+  // compares (key equality <=> value-tuple equality).
+  std::vector<uint32_t> rhs_keys, proj_keys;
+  if (encoded != nullptr) {
+    encoded->RowKeys(fd.rhs(), &rhs_keys);
+    encoded->RowKeys(query.projection, &proj_keys);
+  }
+  // Per-group certain rows (in group-row order) are independent; the
+  // dedup + append below replays group order serially.
+  std::vector<std::vector<int>> certain(groups.size());
+  FAMTREE_RETURN_NOT_OK(ParallelFor(
+      options.pool, static_cast<int64_t>(groups.size()), [&](int64_t g) {
+        const std::vector<int>& group = groups[g];
+        std::vector<std::vector<int>> sub;
+        if (encoded != nullptr) {
+          for (int row : group) {
+            bool placed = false;
+            for (auto& s : sub) {
+              if (rhs_keys[s[0]] == rhs_keys[row]) {
+                s.push_back(row);
+                placed = true;
+                break;
+              }
+            }
+            if (!placed) sub.push_back({row});
+          }
+        } else {
+          sub = Subgroups(relation, group, fd.rhs());
+        }
+        if (sub.size() == 1) {
+          for (int row : group) {
+            if (Selected(relation, row, query)) certain[g].push_back(row);
+          }
+          return Status::OK();
+        }
+        for (int row : group) {
+          if (!Selected(relation, row, query)) continue;
+          std::vector<Value> proj;
+          if (encoded == nullptr) {
+            proj = relation.Project(row, query.projection);
+          }
+          bool in_all = true;
+          for (const auto& s : sub) {
+            bool found = false;
+            for (int other : s) {
+              if (!Selected(relation, other, query)) continue;
+              bool same_proj =
+                  encoded != nullptr
+                      ? proj_keys[other] == proj_keys[row]
+                      : relation.Project(other, query.projection) == proj;
+              if (same_proj) {
+                found = true;
+                break;
+              }
+            }
+            if (!found) {
+              in_all = false;
+              break;
+            }
+          }
+          if (in_all) certain[g].push_back(row);
+        }
+        return Status::OK();
+      }));
+  Relation out{Schema(relation.ProjectColumns(query.projection).schema())};
+  std::set<std::vector<std::string>> seen;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (int row : certain[g]) {
+      AppendProjection(relation, row, query.projection, &seen, &out);
+    }
+  }
+  return out;
+}
+
+Result<Relation> PossibleAnswers(const Relation& relation, const Fd& fd,
+                                 const SelectionQuery& query,
+                                 const QualityOptions& options) {
+  if (options.pool == nullptr) {
+    return PossibleAnswers(relation, fd, query);
+  }
+  FAMTREE_RETURN_NOT_OK(CheckQuery(relation, query));
+  int n = relation.num_rows();
+  std::vector<char> selected(n, 0);
+  FAMTREE_RETURN_NOT_OK(ParallelFor(options.pool, n, [&](int64_t row) {
+    selected[row] =
+        Selected(relation, static_cast<int>(row), query) ? 1 : 0;
+    return Status::OK();
+  }));
+  Relation out{Schema(relation.ProjectColumns(query.projection).schema())};
+  std::set<std::vector<std::string>> seen;
+  for (int row = 0; row < n; ++row) {
+    if (selected[row]) {
+      AppendProjection(relation, row, query.projection, &seen, &out);
+    }
+  }
+  (void)fd;  // every tuple survives in some subset repair
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include "common/status.h"
 #include "deps/fd.h"
 #include "deps/pattern.h"
+#include "quality/quality_options.h"
 #include "relation/relation.h"
 
 namespace famtree {
@@ -28,6 +29,19 @@ Result<Relation> CertainAnswers(const Relation& relation, const Fd& fd,
 
 Result<Relation> PossibleAnswers(const Relation& relation, const Fd& fd,
                                  const SelectionQuery& query);
+
+/// Fast-path overloads: LHS groups, RHS subgroup splits and projection
+/// comparisons run over dense row keys from the encoded backend, and the
+/// per-group certain-answer checks fan out on the pool; the answers append
+/// serially in group/row order, so the answer relation is identical to the
+/// oracle at any thread count. `cache` lends its encoding.
+Result<Relation> CertainAnswers(const Relation& relation, const Fd& fd,
+                                const SelectionQuery& query,
+                                const QualityOptions& options);
+
+Result<Relation> PossibleAnswers(const Relation& relation, const Fd& fd,
+                                 const SelectionQuery& query,
+                                 const QualityOptions& options);
 
 }  // namespace famtree
 

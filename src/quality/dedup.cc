@@ -1,7 +1,14 @@
 #include "quality/dedup.h"
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <numeric>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "discovery/discovery_util.h"
+#include "metric/code_distance.h"
 
 namespace famtree {
 
@@ -44,6 +51,79 @@ Result<MatchResult> MdMatcher::Match(const Relation& relation) const {
     }
   }
   // Dense cluster ids.
+  std::map<int, int> root_to_id;
+  result.cluster_ids.resize(n);
+  for (int i = 0; i < n; ++i) {
+    int root = uf.Find(i);
+    auto [it, inserted] =
+        root_to_id.emplace(root, static_cast<int>(root_to_id.size()));
+    result.cluster_ids[i] = it->second;
+  }
+  result.num_clusters = static_cast<int>(root_to_id.size());
+  return result;
+}
+
+Result<MatchResult> MdMatcher::Match(const Relation& relation,
+                                     const QualityOptions& options) const {
+  if (!options.use_encoding && options.pool == nullptr) {
+    return Match(relation);
+  }
+  int n = relation.num_rows();
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, options.use_encoding, options.cache,
+                      &local_encoding));
+  // One distance table per (rule, predicate) — predicates carry their own
+  // metrics, so tables cannot be shared across rules by attribute alone.
+  std::vector<std::vector<std::unique_ptr<CodeDistanceTable>>> tables(
+      rules_.size());
+  if (encoded != nullptr) {
+    for (size_t r = 0; r < rules_.size(); ++r) {
+      for (const auto& p : rules_[r].lhs()) {
+        tables[r].push_back(std::make_unique<CodeDistanceTable>(
+            *encoded, p.attr, p.metric, options.pool));
+      }
+    }
+  }
+  // Per-anchor-row scans are independent: row i collects its per-rule
+  // match count and the partners to union. The union-find merges replay
+  // serially below; the cluster partition is the same for any merge order
+  // and ids densify in row order, so the result matches the oracle.
+  std::vector<int64_t> counts(n, 0);
+  std::vector<std::vector<int>> partners(n);
+  FAMTREE_RETURN_NOT_OK(ParallelFor(options.pool, n, [&](int64_t i) {
+    for (int j = static_cast<int>(i) + 1; j < n; ++j) {
+      bool any = false;
+      for (size_t r = 0; r < rules_.size(); ++r) {
+        bool similar = true;
+        if (encoded != nullptr) {
+          const auto& lhs = rules_[r].lhs();
+          for (size_t k = 0; k < lhs.size(); ++k) {
+            if (tables[r][k]->RowDistance(static_cast<int>(i), j) >
+                lhs[k].threshold) {
+              similar = false;
+              break;
+            }
+          }
+        } else {
+          similar = rules_[r].LhsSimilar(relation, static_cast<int>(i), j);
+        }
+        if (similar) {
+          ++counts[i];
+          any = true;
+        }
+      }
+      if (any) partners[i].push_back(j);
+    }
+    return Status::OK();
+  }));
+  UnionFind uf(n);
+  MatchResult result;
+  for (int i = 0; i < n; ++i) {
+    result.matched_pairs += counts[i];
+    for (int j : partners[i]) uf.Union(i, j);
+  }
   std::map<int, int> root_to_id;
   result.cluster_ids.resize(n);
   for (int i = 0; i < n; ++i) {

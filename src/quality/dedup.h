@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "deps/md.h"
+#include "quality/quality_options.h"
 #include "relation/relation.h"
 
 namespace famtree {
@@ -26,6 +27,14 @@ class MdMatcher {
   explicit MdMatcher(std::vector<Md> rules) : rules_(std::move(rules)) {}
 
   Result<MatchResult> Match(const Relation& relation) const;
+
+  /// Fast-path overload: the O(rows^2 x rules) similarity scan runs over
+  /// per-predicate code-pair distance tables and fans out per anchor row;
+  /// the union-find merges replay serially. The cluster partition is
+  /// order-independent and ids are densified in row order, so the result
+  /// is identical to the oracle at any thread count.
+  Result<MatchResult> Match(const Relation& relation,
+                            const QualityOptions& options) const;
 
   /// Applies the matching: for each cluster, RHS attributes of every MD
   /// are normalized to the cluster plurality value (the "identify" step).

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "common/thread_pool.h"
+
 namespace famtree {
 
 namespace {
@@ -33,11 +35,11 @@ std::vector<std::pair<int, int>> CellsOf(const Dc& dc,
   return cells;
 }
 
-}  // namespace
-
-Result<RepairResult> RepairWithDcsHolistic(const Relation& relation,
-                                           const std::vector<Dc>& dcs,
-                                           int max_changes) {
+/// Shared body: `pool == nullptr` is the serial oracle; with a pool the
+/// per-DC violation collection fans out and is merged in DC order.
+Result<RepairResult> RepairHolisticImpl(const Relation& relation,
+                                        const std::vector<Dc>& dcs,
+                                        int max_changes, ThreadPool* pool) {
   RepairResult result;
   result.repaired = relation;
   Relation& r = result.repaired;
@@ -45,14 +47,22 @@ Result<RepairResult> RepairWithDcsHolistic(const Relation& relation,
   const int kPerDcCap = 512;
 
   while (changes < max_changes) {
-    // 1. Collect violations across all DCs.
+    // 1. Collect violations across all DCs (read-only per DC, so the
+    // Validates run concurrently; concatenation preserves DC order).
+    std::vector<std::vector<CollectedViolation>> per_dc(dcs.size());
+    FAMTREE_RETURN_NOT_OK(ParallelFor(
+        pool, static_cast<int64_t>(dcs.size()), [&](int64_t d) {
+          FAMTREE_ASSIGN_OR_RETURN(ValidationReport report,
+                                   dcs[d].Validate(r, kPerDcCap));
+          for (const Violation& v : report.violations) {
+            per_dc[d].push_back(
+                CollectedViolation{static_cast<int>(d), v.rows});
+          }
+          return Status::OK();
+        }));
     std::vector<CollectedViolation> violations;
-    for (size_t d = 0; d < dcs.size(); ++d) {
-      FAMTREE_ASSIGN_OR_RETURN(ValidationReport report,
-                               dcs[d].Validate(r, kPerDcCap));
-      for (const Violation& v : report.violations) {
-        violations.push_back(CollectedViolation{static_cast<int>(d), v.rows});
-      }
+    for (const auto& list : per_dc) {
+      violations.insert(violations.end(), list.begin(), list.end());
     }
     if (violations.empty()) break;
 
@@ -173,6 +183,21 @@ Result<RepairResult> RepairWithDcsHolistic(const Relation& relation,
     if (report.ok() && !report->holds) ++result.remaining_violations;
   }
   return result;
+}
+
+}  // namespace
+
+Result<RepairResult> RepairWithDcsHolistic(const Relation& relation,
+                                           const std::vector<Dc>& dcs,
+                                           int max_changes) {
+  return RepairHolisticImpl(relation, dcs, max_changes, nullptr);
+}
+
+Result<RepairResult> RepairWithDcsHolistic(const Relation& relation,
+                                           const std::vector<Dc>& dcs,
+                                           int max_changes,
+                                           const QualityOptions& options) {
+  return RepairHolisticImpl(relation, dcs, max_changes, options.pool);
 }
 
 }  // namespace famtree

@@ -22,6 +22,16 @@ Result<RepairResult> RepairWithDcsHolistic(const Relation& relation,
                                            const std::vector<Dc>& dcs,
                                            int max_changes = 1000);
 
+/// Fast-path overload: the violation collection (one read-only Validate
+/// per DC, the dominant cost per round) fans out on the pool with the
+/// per-DC lists concatenated in DC order; the conflict-hypergraph ranking
+/// and the greedy cell repairs stay serial (each pick depends on the
+/// last). Identical to the oracle at any thread count.
+Result<RepairResult> RepairWithDcsHolistic(const Relation& relation,
+                                           const std::vector<Dc>& dcs,
+                                           int max_changes,
+                                           const QualityOptions& options);
+
 }  // namespace famtree
 
 #endif  // FAMTREE_QUALITY_HOLISTIC_H_

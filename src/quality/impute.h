@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "deps/ned.h"
+#include "quality/quality_options.h"
 #include "relation/relation.h"
 
 namespace famtree {
@@ -25,6 +26,13 @@ struct ImputeResult {
 /// the declared rule, not a tuned k. Prediction is the neighbor plurality
 /// (categorical) or mean (numeric).
 Result<ImputeResult> ImputeWithNed(const Relation& relation, const Ned& rule);
+
+/// Fast-path overload: each null cell's neighbor scan reads only the
+/// original relation, so the per-cell predictions fan out on the pool with
+/// distances looked up in per-predicate code tables; the fills apply
+/// serially in row order. Identical to the oracle at any thread count.
+Result<ImputeResult> ImputeWithNed(const Relation& relation, const Ned& rule,
+                                   const QualityOptions& options);
 
 }  // namespace famtree
 

@@ -1,0 +1,25 @@
+#ifndef FAMTREE_QUALITY_QUALITY_OPTIONS_H_
+#define FAMTREE_QUALITY_QUALITY_OPTIONS_H_
+
+namespace famtree {
+
+class PliCache;
+class ThreadPool;
+
+/// Fast-path knobs shared by the quality applications, following the same
+/// convention as the discovery miners: `use_encoding == false` with a null
+/// `pool` is the Value-based oracle; the default runs on the
+/// dictionary-encoded columnar backend, fanning the read-only scans onto
+/// the engine thread pool with all order-sensitive merges replayed
+/// serially — results are identical at any thread count. `cache` lends its
+/// encoding when the application reads the relation it serves (appliers
+/// that mutate a working copy re-encode that copy instead).
+struct QualityOptions {
+  bool use_encoding = true;
+  ThreadPool* pool = nullptr;
+  PliCache* cache = nullptr;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_QUALITY_QUALITY_OPTIONS_H_

@@ -1,7 +1,15 @@
 #include "quality/repair.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
+#include "engine/pli_cache.h"
+#include "relation/encoded_relation.h"
 
 namespace famtree {
 
@@ -55,6 +63,73 @@ int FdRepairPass(Relation* relation, const Fd& fd,
   return made;
 }
 
+/// PluralityValue over integer codes: counts per code, then picks the
+/// first row (in group order) whose code reaches the strict maximum —
+/// exactly the serial algorithm's first-occurrence tie-break. The target
+/// is read back from that row, so even the representation matches.
+Value PluralityValueEncoded(const Relation& relation,
+                            const EncodedRelation& enc,
+                            const std::vector<int>& rows, int col) {
+  std::unordered_map<uint32_t, int> counts;
+  for (int r : rows) ++counts[enc.code(r, col)];
+  int best = 0;
+  int best_row = rows[0];
+  std::unordered_set<uint32_t> seen;
+  for (int r : rows) {
+    uint32_t c = enc.code(r, col);
+    if (!seen.insert(c).second) continue;
+    int cnt = counts[c];
+    if (cnt > best) {
+      best = cnt;
+      best_row = r;
+    }
+  }
+  return relation.Get(best_row, col);
+}
+
+/// One FD-repair pass with the plurality targets precomputed in parallel.
+/// All (group, column) targets depend only on the pass-start state (groups
+/// are disjoint row sets and a column's plurality is untouched by writes
+/// to other columns), so they can fan out; the writes replay the oracle's
+/// group/column/row order.
+Result<int> FdRepairPassFast(Relation* relation, const Fd& fd,
+                             const EncodedRelation* enc, ThreadPool* pool,
+                             std::vector<CellChange>* changes) {
+  std::vector<std::vector<int>> groups =
+      enc != nullptr ? enc->GroupBy(fd.lhs()) : relation->GroupBy(fd.lhs());
+  std::vector<int> rhs_cols = fd.rhs().ToVector();
+  std::vector<std::vector<Value>> targets(groups.size());
+  FAMTREE_RETURN_NOT_OK(ParallelFor(
+      pool, static_cast<int64_t>(groups.size()), [&](int64_t g) {
+        if (groups[g].size() < 2) return Status::OK();
+        targets[g].resize(rhs_cols.size());
+        for (size_t k = 0; k < rhs_cols.size(); ++k) {
+          targets[g][k] =
+              enc != nullptr
+                  ? PluralityValueEncoded(*relation, *enc, groups[g],
+                                          rhs_cols[k])
+                  : PluralityValue(*relation, groups[g], rhs_cols[k]);
+        }
+        return Status::OK();
+      }));
+  int made = 0;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].size() < 2) continue;
+    for (size_t k = 0; k < rhs_cols.size(); ++k) {
+      int col = rhs_cols[k];
+      const Value& target = targets[g][k];
+      for (int r : groups[g]) {
+        if (!(relation->Get(r, col) == target)) {
+          changes->push_back(CellChange{r, col, relation->Get(r, col), target});
+          relation->Set(r, col, target);
+          ++made;
+        }
+      }
+    }
+  }
+  return made;
+}
+
 }  // namespace
 
 Result<RepairResult> RepairWithFds(const Relation& relation,
@@ -66,6 +141,49 @@ Result<RepairResult> RepairWithFds(const Relation& relation,
     int made = 0;
     for (const Fd& fd : fds) {
       made += FdRepairPass(&result.repaired, fd, &result.changes);
+    }
+    if (made == 0) break;
+  }
+  for (const Fd& fd : fds) {
+    if (!fd.Holds(result.repaired)) ++result.remaining_violations;
+  }
+  return result;
+}
+
+Result<RepairResult> RepairWithFds(const Relation& relation,
+                                   const std::vector<Fd>& fds, int max_passes,
+                                   const QualityOptions& options) {
+  if (!options.use_encoding && options.pool == nullptr) {
+    return RepairWithFds(relation, fds, max_passes);
+  }
+  RepairResult result;
+  result.repaired = relation;
+  // The cache's encoding is valid until the first cell change (the working
+  // copy starts content-identical to the cached relation); afterwards the
+  // copy is re-encoded lazily, only when a pass actually changed cells.
+  std::unique_ptr<EncodedRelation> local;
+  const EncodedRelation* enc = nullptr;
+  bool dirty = true;
+  bool first_encode = true;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    int made = 0;
+    for (const Fd& fd : fds) {
+      if (options.use_encoding && dirty) {
+        if (first_encode && options.cache != nullptr &&
+            &options.cache->relation() == &relation) {
+          enc = &options.cache->encoded();
+        } else {
+          local = std::make_unique<EncodedRelation>(result.repaired);
+          enc = local.get();
+        }
+        first_encode = false;
+        dirty = false;
+      }
+      FAMTREE_ASSIGN_OR_RETURN(
+          int m, FdRepairPassFast(&result.repaired, fd, enc, options.pool,
+                                  &result.changes));
+      if (m > 0) dirty = true;
+      made += m;
     }
     if (made == 0) break;
   }
@@ -89,6 +207,77 @@ Result<RepairResult> RepairWithCfds(const Relation& relation,
         if (cfd.pattern().Matches(result.repaired, r, cfd.lhs())) {
           matching.push_back(r);
         }
+      }
+      // Constant RHS: force the constant.
+      for (int col : cfd.rhs().ToVector()) {
+        const PatternItem* it = cfd.pattern().Find(col);
+        if (it != nullptr && !it->is_wildcard) {
+          for (int r : matching) {
+            if (!(result.repaired.Get(r, col) == it->constant)) {
+              result.changes.push_back(CellChange{
+                  r, col, result.repaired.Get(r, col), it->constant});
+              result.repaired.Set(r, col, it->constant);
+              ++made;
+            }
+          }
+        }
+      }
+      // Variable RHS: plurality within each LHS group of matching tuples.
+      Relation subset = result.repaired.Select(matching);
+      for (const auto& local_group : subset.GroupBy(cfd.lhs())) {
+        if (local_group.size() < 2) continue;
+        std::vector<int> group;
+        for (int local : local_group) group.push_back(matching[local]);
+        for (int col : cfd.rhs().ToVector()) {
+          const PatternItem* it = cfd.pattern().Find(col);
+          if (it != nullptr && !it->is_wildcard) continue;  // done above
+          Value target = PluralityValue(result.repaired, group, col);
+          for (int r : group) {
+            if (!(result.repaired.Get(r, col) == target)) {
+              result.changes.push_back(
+                  CellChange{r, col, result.repaired.Get(r, col), target});
+              result.repaired.Set(r, col, target);
+              ++made;
+            }
+          }
+        }
+      }
+    }
+    if (made == 0) break;
+  }
+  for (const Cfd& cfd : cfds) {
+    if (!cfd.Holds(result.repaired)) ++result.remaining_violations;
+  }
+  return result;
+}
+
+Result<RepairResult> RepairWithCfds(const Relation& relation,
+                                    const std::vector<Cfd>& cfds,
+                                    int max_passes,
+                                    const QualityOptions& options) {
+  if (options.pool == nullptr) {
+    return RepairWithCfds(relation, cfds, max_passes);
+  }
+  RepairResult result;
+  result.repaired = relation;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    int made = 0;
+    for (const Cfd& cfd : cfds) {
+      // The LHS-pattern matching scan is read-only on the current state;
+      // each row's flag is independent, so it fans out. The serial
+      // collection below preserves row order.
+      int n = result.repaired.num_rows();
+      std::vector<char> matches(n, 0);
+      FAMTREE_RETURN_NOT_OK(ParallelFor(options.pool, n, [&](int64_t r) {
+        matches[r] = cfd.pattern().Matches(result.repaired,
+                                           static_cast<int>(r), cfd.lhs())
+                         ? 1
+                         : 0;
+        return Status::OK();
+      }));
+      std::vector<int> matching;
+      for (int r = 0; r < n; ++r) {
+        if (matches[r]) matching.push_back(r);
       }
       // Constant RHS: force the constant.
       for (int col : cfd.rhs().ToVector()) {

@@ -7,6 +7,7 @@
 #include "deps/cfd.h"
 #include "deps/dc.h"
 #include "deps/fd.h"
+#include "quality/quality_options.h"
 #include "relation/relation.h"
 
 namespace famtree {
@@ -36,11 +37,32 @@ Result<RepairResult> RepairWithFds(const Relation& relation,
                                    const std::vector<Fd>& fds,
                                    int max_passes = 4);
 
+/// Fast-path overload: per pass the LHS groups come from the encoded
+/// GroupBy and the per-(group, column) plurality targets are counted over
+/// integer codes in parallel; the cell changes are applied serially in the
+/// oracle's group/column/row order, so the repair (changes and repaired
+/// relation) is identical at any thread count. The working copy is
+/// re-encoded only after a pass that changed cells; `options.cache` lends
+/// the initial encoding.
+Result<RepairResult> RepairWithFds(const Relation& relation,
+                                   const std::vector<Fd>& fds, int max_passes,
+                                   const QualityOptions& options);
+
 /// CFD repair: like FD repair inside each condition group; constant RHS
 /// patterns force the constant.
 Result<RepairResult> RepairWithCfds(const Relation& relation,
                                     const std::vector<Cfd>& cfds,
                                     int max_passes = 4);
+
+/// Fast-path overload: the per-rule LHS-pattern matching scan (the
+/// dominant cost, O(rows x rules) per pass) fans out on the pool; the
+/// constant forcing and plurality reassignment replay serially in the
+/// oracle's order. Patterns may compare with any operator, so matching
+/// stays on Values.
+Result<RepairResult> RepairWithCfds(const Relation& relation,
+                                    const std::vector<Cfd>& cfds,
+                                    int max_passes,
+                                    const QualityOptions& options);
 
 /// Holistic-style DC repair (Chu et al. [20], simplified): repeatedly
 /// finds a violated DC, picks one predicate of the violating pair and

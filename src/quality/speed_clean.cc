@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/strings.h"
 #include "deps/sd.h"
+#include "discovery/discovery_util.h"
 
 namespace famtree {
 
@@ -21,6 +23,15 @@ Status CheckArgs(const Relation& relation, int time_attr, int value_attr,
     return Status::Invalid("empty speed band");
   }
   return Status::OK();
+}
+
+/// Numeric view of a column, decoded once per dictionary code. Codes hold
+/// the exact column Values, so num[code(row)] == Get(row).AsNumeric().
+std::vector<double> CodeNumerics(const EncodedRelation& enc, int col) {
+  int k = enc.dict_size(col);
+  std::vector<double> num(k);
+  for (int c = 0; c < k; ++c) num[c] = enc.Decode(col, c).AsNumeric();
+  return num;
 }
 
 }  // namespace
@@ -74,6 +85,106 @@ Result<RepairResult> RepairWithSpeedConstraint(
     int row = order[i];
     double t = result.repaired.Get(row, time_attr).AsNumeric();
     double v = result.repaired.Get(row, value_attr).AsNumeric();
+    double dt = t - prev_t;
+    if (!std::isfinite(dt) || dt <= 0 || !std::isfinite(v)) {
+      prev_t = std::isfinite(t) ? t : prev_t;
+      prev_v = std::isfinite(v) ? v : prev_v;
+      continue;
+    }
+    double lo = prev_v + constraint.min_speed * dt;
+    double hi = prev_v + constraint.max_speed * dt;
+    double clamped = std::clamp(v, lo, hi);
+    if (clamped != v) {
+      result.changes.push_back(CellChange{
+          row, value_attr, result.repaired.Get(row, value_attr),
+          Value(clamped)});
+      result.repaired.Set(row, value_attr, Value(clamped));
+    }
+    prev_t = t;
+    prev_v = clamped;
+  }
+  auto remaining = DetectSpeedViolations(result.repaired, time_attr,
+                                         value_attr, constraint);
+  result.remaining_violations =
+      remaining.ok() ? static_cast<int>(remaining->size()) : -1;
+  return result;
+}
+
+Result<std::vector<Violation>> DetectSpeedViolations(
+    const Relation& relation, int time_attr, int value_attr,
+    const SpeedConstraint& constraint, const QualityOptions& options) {
+  if (!options.use_encoding) {
+    return DetectSpeedViolations(relation, time_attr, value_attr, constraint);
+  }
+  FAMTREE_RETURN_NOT_OK(
+      CheckArgs(relation, time_attr, value_attr, constraint));
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, /*use_encoding=*/true, options.cache,
+                      &local_encoding));
+  std::vector<int> order =
+      SortedRowOrder(*encoded, time_attr, CodeRanks(*encoded, time_attr));
+  std::vector<double> time_num = CodeNumerics(*encoded, time_attr);
+  std::vector<double> value_num = CodeNumerics(*encoded, value_attr);
+  const std::vector<uint32_t>& tcodes = encoded->codes(time_attr);
+  const std::vector<uint32_t>& vcodes = encoded->codes(value_attr);
+  std::vector<Violation> out;
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    double t1 = time_num[tcodes[order[i]]];
+    double t2 = time_num[tcodes[order[i + 1]]];
+    double v1 = value_num[vcodes[order[i]]];
+    double v2 = value_num[vcodes[order[i + 1]]];
+    double dt = t2 - t1;
+    if (!std::isfinite(dt) || dt <= 0) continue;  // ties or bad stamps
+    double speed = (v2 - v1) / dt;
+    double eps = 1e-9 * std::max({1.0, std::fabs(constraint.min_speed),
+                                  std::fabs(constraint.max_speed),
+                                  std::fabs(v1), std::fabs(v2)});
+    if (!std::isfinite(speed) || speed < constraint.min_speed - eps ||
+        speed > constraint.max_speed + eps) {
+      out.push_back(Violation{
+          {order[i], order[i + 1]},
+          "rate of change " + FormatDouble(speed) + " outside [" +
+              FormatDouble(constraint.min_speed) + ", " +
+              FormatDouble(constraint.max_speed) + "]"});
+    }
+  }
+  return out;
+}
+
+Result<RepairResult> RepairWithSpeedConstraint(
+    const Relation& relation, int time_attr, int value_attr,
+    const SpeedConstraint& constraint, const QualityOptions& options) {
+  if (!options.use_encoding) {
+    return RepairWithSpeedConstraint(relation, time_attr, value_attr,
+                                     constraint);
+  }
+  FAMTREE_RETURN_NOT_OK(
+      CheckArgs(relation, time_attr, value_attr, constraint));
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, /*use_encoding=*/true, options.cache,
+                      &local_encoding));
+  std::vector<int> order =
+      SortedRowOrder(*encoded, time_attr, CodeRanks(*encoded, time_attr));
+  // The scan visits each row exactly once and only ever writes the row it
+  // is visiting, so the pre-decoded numerics (which reflect the *input*)
+  // stay valid for every read.
+  std::vector<double> time_num = CodeNumerics(*encoded, time_attr);
+  std::vector<double> value_num = CodeNumerics(*encoded, value_attr);
+  const std::vector<uint32_t>& tcodes = encoded->codes(time_attr);
+  const std::vector<uint32_t>& vcodes = encoded->codes(value_attr);
+  RepairResult result;
+  result.repaired = relation;
+  if (order.empty()) return result;
+  double prev_t = time_num[tcodes[order[0]]];
+  double prev_v = value_num[vcodes[order[0]]];
+  for (size_t i = 1; i < order.size(); ++i) {
+    int row = order[i];
+    double t = time_num[tcodes[row]];
+    double v = value_num[vcodes[row]];
     double dt = t - prev_t;
     if (!std::isfinite(dt) || dt <= 0 || !std::isfinite(v)) {
       prev_t = std::isfinite(t) ? t : prev_t;

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "deps/dependency.h"
+#include "quality/quality_options.h"
 #include "quality/repair.h"
 #include "relation/relation.h"
 
@@ -27,6 +28,14 @@ Result<std::vector<Violation>> DetectSpeedViolations(
     const Relation& relation, int time_attr, int value_attr,
     const SpeedConstraint& constraint);
 
+/// Fast-path overload: the time sort becomes a stable counting sort over
+/// code ranks and the numerics decode once per dictionary code (in
+/// parallel on the pool); the scan itself is a linear pass. Identical to
+/// the oracle.
+Result<std::vector<Violation>> DetectSpeedViolations(
+    const Relation& relation, int time_attr, int value_attr,
+    const SpeedConstraint& constraint, const QualityOptions& options);
+
 /// Streaming repair in the spirit of SCREEN's local mode: scan in time
 /// order and clamp each value into the feasible window implied by the
 /// previous (already repaired) observation:
@@ -35,6 +44,13 @@ Result<std::vector<Violation>> DetectSpeedViolations(
 Result<RepairResult> RepairWithSpeedConstraint(
     const Relation& relation, int time_attr, int value_attr,
     const SpeedConstraint& constraint);
+
+/// Fast-path overload: same clamping scan (inherently sequential — each
+/// window depends on the previous repaired value) on top of the encoded
+/// sort and per-code numerics. Identical to the oracle.
+Result<RepairResult> RepairWithSpeedConstraint(
+    const Relation& relation, int time_attr, int value_attr,
+    const SpeedConstraint& constraint, const QualityOptions& options);
 
 }  // namespace famtree
 

@@ -9,13 +9,23 @@ namespace famtree {
 
 namespace {
 
+/// One raw field plus whether any part of it was quoted in the source; the
+/// reader needs that distinction because quoting suppresses null detection
+/// and type inference.
+struct RawField {
+  std::string text;
+  bool quoted = false;
+};
+
 /// Splits one CSV record honoring quotes. `pos` advances past the record's
-/// trailing newline. Returns false at end of input.
-bool NextRecord(const std::string& text, size_t* pos, char sep,
-                std::vector<std::string>* fields) {
-  if (*pos >= text.size()) return false;
+/// trailing newline. Sets *got_record to false at end of input. An opening
+/// quote with no closing quote before end of input is a parse error.
+Status NextRecord(const std::string& text, size_t* pos, char sep,
+                  std::vector<RawField>* fields, bool* got_record) {
+  *got_record = false;
+  if (*pos >= text.size()) return Status::OK();
   fields->clear();
-  std::string field;
+  RawField field;
   bool in_quotes = false;
   size_t i = *pos;
   for (; i < text.size(); ++i) {
@@ -23,47 +33,70 @@ bool NextRecord(const std::string& text, size_t* pos, char sep,
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
-          field += '"';
+          field.text += '"';
           ++i;
         } else {
           in_quotes = false;
         }
       } else {
-        field += c;
+        field.text += c;
       }
     } else if (c == '"') {
       in_quotes = true;
+      field.quoted = true;
     } else if (c == sep) {
       fields->push_back(std::move(field));
-      field.clear();
+      field = RawField();
     } else if (c == '\n' || c == '\r') {
       if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
       ++i;
       break;
     } else {
-      field += c;
+      field.text += c;
     }
+  }
+  if (in_quotes) {
+    return Status::Invalid("unterminated quoted field at end of CSV input");
   }
   fields->push_back(std::move(field));
   *pos = i;
-  return true;
+  *got_record = true;
+  return Status::OK();
 }
 
-Value ParseField(const std::string& field, const CsvOptions& options) {
-  if (field.empty() || field == options.null_literal) return Value::Null();
+/// Null detection and type inference apply only to unquoted fields: "" is
+/// the empty string, and "NULL" / "123" are literal text. This is the
+/// contract EscapeField relies on for lossless round-trips.
+Value ParseField(const RawField& field, const CsvOptions& options) {
+  if (field.quoted) return Value(field.text);
+  if (field.text.empty() || field.text == options.null_literal) {
+    return Value::Null();
+  }
   if (options.infer_types) {
     long long iv;
-    if (ParseInt64(field, &iv)) return Value(static_cast<int64_t>(iv));
+    if (ParseInt64(field.text, &iv)) return Value(static_cast<int64_t>(iv));
     double dv;
-    if (ParseDouble(field, &dv)) return Value(dv);
+    if (ParseDouble(field.text, &dv)) return Value(dv);
   }
-  return Value(field);
+  return Value(field.text);
 }
 
-std::string EscapeField(const std::string& field, char sep) {
-  bool needs_quotes = field.find(sep) != std::string::npos ||
+/// Quotes any text a reader could misinterpret: separators, quotes, either
+/// newline byte (a bare \r also terminates a record on read), the empty
+/// field and the null literal (which would read back as null), and — for
+/// string-typed cells — text that type inference would turn into a number.
+std::string EscapeField(const std::string& field, const CsvOptions& options,
+                        bool from_string_value) {
+  bool needs_quotes = field.empty() || field == options.null_literal ||
+                      field.find(options.separator) != std::string::npos ||
                       field.find('"') != std::string::npos ||
-                      field.find('\n') != std::string::npos;
+                      field.find('\n') != std::string::npos ||
+                      field.find('\r') != std::string::npos;
+  if (!needs_quotes && from_string_value && options.infer_types) {
+    long long iv;
+    double dv;
+    needs_quotes = ParseInt64(field, &iv) || ParseDouble(field, &dv);
+  }
   if (!needs_quotes) return field;
   std::string out = "\"";
   for (char c : field) {
@@ -79,17 +112,25 @@ std::string EscapeField(const std::string& field, char sep) {
 Result<Relation> ReadCsvString(const std::string& text,
                                const CsvOptions& options) {
   size_t pos = 0;
-  std::vector<std::string> fields;
+  std::vector<RawField> fields;
+  bool got_record = false;
   std::vector<std::string> names;
   if (options.has_header) {
-    if (!NextRecord(text, &pos, options.separator, &fields)) {
-      return Status::Invalid("empty CSV input");
-    }
-    for (auto& f : fields) names.push_back(std::string(Trim(f)));
+    FAMTREE_RETURN_NOT_OK(
+        NextRecord(text, &pos, options.separator, &fields, &got_record));
+    if (!got_record) return Status::Invalid("empty CSV input");
+    for (auto& f : fields) names.push_back(std::string(Trim(f.text)));
   }
   std::vector<std::vector<Value>> rows;
-  while (NextRecord(text, &pos, options.separator, &fields)) {
-    if (fields.size() == 1 && Trim(fields[0]).empty()) continue;  // blank line
+  for (;;) {
+    FAMTREE_RETURN_NOT_OK(
+        NextRecord(text, &pos, options.separator, &fields, &got_record));
+    if (!got_record) break;
+    // A record that is a single unquoted empty field is a blank line; a
+    // quoted "" is a real one-cell record holding the empty string.
+    if (fields.size() == 1 && !fields[0].quoted && Trim(fields[0].text).empty()) {
+      continue;
+    }
     std::vector<Value> row;
     row.reserve(fields.size());
     for (const auto& f : fields) row.push_back(ParseField(f, options));
@@ -126,7 +167,10 @@ std::string WriteCsvString(const Relation& relation,
   std::string out;
   for (int c = 0; c < relation.num_columns(); ++c) {
     if (c) out += options.separator;
-    out += EscapeField(relation.schema().name(c), options.separator);
+    // Header cells are never null-detected or type-inferred on read, so
+    // they only need structural quoting.
+    out += EscapeField(relation.schema().name(c), options,
+                       /*from_string_value=*/false);
   }
   out += '\n';
   for (int r = 0; r < relation.num_rows(); ++r) {
@@ -136,7 +180,7 @@ std::string WriteCsvString(const Relation& relation,
       if (v.is_null()) {
         out += options.null_literal;
       } else {
-        out += EscapeField(v.ToString(), options.separator);
+        out += EscapeField(v.ToString(), options, v.is_string());
       }
     }
     out += '\n';

@@ -110,5 +110,84 @@ TEST(CsvTest, BlankLinesSkipped) {
   EXPECT_EQ(r->num_rows(), 2);
 }
 
+// A bare \r inside a field used to be written unquoted; reading the output
+// back then split the record at the \r and changed the relation.
+TEST(CsvTest, BareCarriageReturnFieldRoundTrips) {
+  RelationBuilder b({"a", "b"});
+  b.AddRow({Value("pre\rpost"), Value(1)});
+  Relation rel = std::move(b.Build()).value();
+  std::string text = WriteCsvString(rel);
+  auto r2 = ReadCsvString(text);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ASSERT_EQ(r2->num_rows(), 1);
+  EXPECT_EQ(r2->Get(0, 0), Value("pre\rpost"));
+  EXPECT_EQ(r2->Get(0, 1), Value(1));
+}
+
+TEST(CsvTest, CrLfFieldRoundTrips) {
+  RelationBuilder b({"a", "b"});
+  b.AddRow({Value("line1\r\nline2"), Value("x")});
+  Relation rel = std::move(b.Build()).value();
+  auto r2 = ReadCsvString(WriteCsvString(rel));
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->num_rows(), 1);
+  EXPECT_EQ(r2->Get(0, 0), Value("line1\r\nline2"));
+}
+
+// Quoting marks a field as literal text: "" is the empty string (an
+// unquoted empty field stays null) and "NULL" is the three-letter string
+// (an unquoted NULL stays null).
+TEST(CsvTest, QuotedEmptyIsEmptyStringNotNull) {
+  auto r = ReadCsvString("a,b\n\"\",\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get(0, 0), Value(""));
+  EXPECT_TRUE(r->Get(0, 1).is_null());
+}
+
+TEST(CsvTest, QuotedNullLiteralIsStringNotNull) {
+  auto r = ReadCsvString("a,b\n\"NULL\",NULL\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get(0, 0), Value("NULL"));
+  EXPECT_TRUE(r->Get(0, 1).is_null());
+}
+
+TEST(CsvTest, QuotedFieldSkipsTypeInference) {
+  auto r = ReadCsvString("a,b\n\"123\",123\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get(0, 0), Value("123"));
+  EXPECT_EQ(r->Get(0, 1), Value(123));
+}
+
+TEST(CsvTest, EmptyAndNullLiteralStringsRoundTrip) {
+  RelationBuilder b({"a", "b", "c"});
+  b.AddRow({Value(""), Value("NULL"), Value::Null()});
+  b.AddRow({Value("123"), Value("1.5"), Value("-0")});
+  Relation rel = std::move(b.Build()).value();
+  auto r2 = ReadCsvString(WriteCsvString(rel));
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->num_rows(), 2);
+  EXPECT_EQ(r2->Get(0, 0), Value(""));
+  EXPECT_EQ(r2->Get(0, 1), Value("NULL"));
+  EXPECT_TRUE(r2->Get(0, 2).is_null());
+  EXPECT_EQ(r2->Get(1, 0), Value("123"));
+  EXPECT_EQ(r2->Get(1, 1), Value("1.5"));
+  EXPECT_EQ(r2->Get(1, 2), Value("-0"));
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  auto r = ReadCsvString("a,b\n\"unclosed,2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Also when the quote opens in the header line.
+  EXPECT_FALSE(ReadCsvString("a,\"b\n").ok());
+}
+
+TEST(CsvTest, QuotedBlankLineIsARecord) {
+  auto r = ReadCsvString("a\nx\n\"\"\ny\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 3);
+  EXPECT_EQ(r->Get(1, 0), Value(""));
+}
+
 }  // namespace
 }  // namespace famtree

@@ -29,11 +29,25 @@ Value RandomValue(Rng& rng) {
     case 0: return Value(rng.Uniform(-1000000, 1000000));
     case 1: return Value(rng.NextDouble() * 1e6 - 5e5);
     case 2: {
-      // Adversarial strings: separators, quotes, numeric look-alikes.
-      static const char* kNasty[] = {"a,b",  "he said \"hi\"", "123",
-                                     "1.5",  "NULL",           "",
-                                     "line", "  padded  ",     "-0"};
-      return Value(kNasty[rng.Uniform(0, 8)]);
+      // Adversarial strings: separators, quotes, numeric look-alikes, and
+      // all three newline conventions (\n, \r\n, bare \r).
+      static const char* kNasty[] = {"a,b",
+                                     "he said \"hi\"",
+                                     "123",
+                                     "1.5",
+                                     "NULL",
+                                     "",
+                                     "line",
+                                     "  padded  ",
+                                     "-0",
+                                     "unix\nbreak",
+                                     "dos\r\nbreak",
+                                     "mac\rbreak",
+                                     "\"",
+                                     "\"quoted\"",
+                                     ",leading",
+                                     "trailing,"};
+      return Value(kNasty[rng.Uniform(0, 15)]);
     }
     case 3: return Value::Null();
     default: return Value(static_cast<int64_t>(0));
@@ -67,21 +81,13 @@ TEST_P(FuzzTest, CsvRoundTripPreservesCells) {
     for (int c = 0; c < cols; ++c) {
       const Value& a = original.Get(r, c);
       const Value& p = parsed->Get(r, c);
-      // Lossy corners by design: empty and "NULL" strings read back as
-      // null; numeric-looking strings re-type; doubles go through %.6g.
-      if (a.is_string() &&
-          (a.as_string().empty() || a.as_string() == "NULL")) {
-        EXPECT_TRUE(p.is_null());
-      } else if (a.is_string() && (a.as_string() == "123" ||
-                                   a.as_string() == "1.5" ||
-                                   a.as_string() == "-0" )) {
-        EXPECT_TRUE(p.is_numeric());
-      } else if (a.type() == ValueType::kDouble) {
+      // Strings now round-trip losslessly — the writer quotes empty
+      // fields, the null literal, numeric look-alikes, and all newline
+      // bytes, and the reader treats quoted text as literal. The one
+      // lossy corner left is doubles through %.6g.
+      if (a.type() == ValueType::kDouble) {
         EXPECT_NEAR(p.AsNumeric(), a.as_double(),
                     1e-4 * std::max(1.0, std::fabs(a.as_double())));
-      } else if (a.is_string() && a.as_string() == "  padded  ") {
-        // Whitespace survives (only header cells are trimmed).
-        EXPECT_EQ(p, a);
       } else {
         EXPECT_EQ(p, a) << "row " << r << " col " << c;
       }

@@ -1,0 +1,669 @@
+// Differential tests for the algorithms ported onto the unified fast path
+// (encoded substrate + shared PLI cache + engine thread pool): for thread
+// counts {1, 2, 8}, every ported miner and quality application must produce
+// output bit-identical to its Value-based serial oracle
+// (use_encoding = false, no pool), with and without a PliCache.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+#include "gen/generators.h"
+#include "metric/metric.h"
+#include "relation/csv.h"
+
+namespace famtree {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+
+/// Configurations every ported algorithm is checked under, against the
+/// oracle: encoded without a pool, pool without encoding, and the full
+/// fast path (encoded + pool + cache).
+template <typename Options>
+std::vector<std::pair<std::string, Options>> FastConfigs(Options base,
+                                                         ThreadPool* pool,
+                                                         PliCache* cache) {
+  std::vector<std::pair<std::string, Options>> configs;
+  Options encoded = base;
+  encoded.use_encoding = true;
+  configs.push_back({"encoded", encoded});
+  Options pooled = base;
+  pooled.use_encoding = false;
+  pooled.pool = pool;
+  configs.push_back({"pool", pooled});
+  Options full = base;
+  full.use_encoding = true;
+  full.pool = pool;
+  full.cache = cache;
+  configs.push_back({"encoded+pool+cache", full});
+  return configs;
+}
+
+Relation SensorSeries(uint64_t seed, int rows) {
+  Rng rng(seed);
+  RelationBuilder b({"t", "v", "grp"});
+  double v = 100.0;
+  for (int i = 0; i < rows; ++i) {
+    v += rng.Uniform(0, 6) - 3.0;
+    if (i % 17 == 0) v += 40.0;  // occasional spikes
+    // Duplicate timestamps now and then to exercise sort ties.
+    b.AddRow({Value(i - (i % 11 == 0 ? 1 : 0)), Value(v),
+              Value(static_cast<int64_t>(rng.Uniform(0, 2)))});
+  }
+  return std::move(b.Build()).value();
+}
+
+Relation ConflictRelation(uint64_t seed, int rows) {
+  Rng rng(seed);
+  RelationBuilder b({"name", "addr", "region"});
+  for (int i = 0; i < rows; ++i) {
+    b.AddRow({Value("h" + std::to_string(rng.Uniform(0, 7))),
+              Value("a" + std::to_string(rng.Uniform(0, 5))),
+              Value(rng.Bernoulli(0.5) ? "Boston" : "Chicago")});
+  }
+  return std::move(b.Build()).value();
+}
+
+void ExpectSameRepair(const RepairResult& oracle, const RepairResult& fast,
+                      const std::string& what) {
+  EXPECT_EQ(WriteCsvString(oracle.repaired), WriteCsvString(fast.repaired))
+      << what;
+  ASSERT_EQ(oracle.changes.size(), fast.changes.size()) << what;
+  for (size_t i = 0; i < oracle.changes.size(); ++i) {
+    EXPECT_EQ(oracle.changes[i].row, fast.changes[i].row) << what << " " << i;
+    EXPECT_EQ(oracle.changes[i].col, fast.changes[i].col) << what << " " << i;
+    EXPECT_EQ(oracle.changes[i].old_value, fast.changes[i].old_value)
+        << what << " " << i;
+    EXPECT_EQ(oracle.changes[i].new_value, fast.changes[i].new_value)
+        << what << " " << i;
+  }
+  EXPECT_EQ(oracle.remaining_violations, fast.remaining_violations) << what;
+}
+
+class PortedDeterminismTest : public testing::TestWithParam<int> {};
+
+// ------------------------------------------------------------- miners
+
+TEST_P(PortedDeterminismTest, ConstantCfdsMatchOracle) {
+  ThreadPool pool(GetParam());
+  HotelConfig config;
+  config.num_hotels = 40;
+  config.error_rate = 0.05;
+  GeneratedData data = GenerateHotels(config);
+  PliCache cache(data.relation);
+  CfdDiscoveryOptions base;
+  base.min_support = 2;
+  base.max_lhs_size = 2;
+  CfdDiscoveryOptions oracle_options = base;
+  oracle_options.use_encoding = false;
+  auto oracle = DiscoverConstantCfds(data.relation, oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+    auto fast = DiscoverConstantCfds(data.relation, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ASSERT_EQ(oracle->size(), fast->size()) << name;
+    for (size_t i = 0; i < oracle->size(); ++i) {
+      EXPECT_EQ((*oracle)[i].cfd.ToString(), (*fast)[i].cfd.ToString())
+          << name;
+      EXPECT_EQ((*oracle)[i].support, (*fast)[i].support) << name;
+    }
+  }
+}
+
+TEST_P(PortedDeterminismTest, GeneralCfdsMatchOracle) {
+  ThreadPool pool(GetParam());
+  HotelConfig config;
+  config.num_hotels = 40;
+  config.error_rate = 0.08;
+  GeneratedData data = GenerateHotels(config);
+  PliCache cache(data.relation);
+  CfdDiscoveryOptions base;
+  base.min_support = 2;
+  base.max_lhs_size = 2;
+  CfdDiscoveryOptions oracle_options = base;
+  oracle_options.use_encoding = false;
+  auto oracle = DiscoverGeneralCfds(data.relation, oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+    auto fast = DiscoverGeneralCfds(data.relation, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ASSERT_EQ(oracle->size(), fast->size()) << name;
+    for (size_t i = 0; i < oracle->size(); ++i) {
+      EXPECT_EQ((*oracle)[i].cfd.ToString(), (*fast)[i].cfd.ToString())
+          << name;
+      EXPECT_EQ((*oracle)[i].support, (*fast)[i].support) << name;
+    }
+  }
+}
+
+TEST_P(PortedDeterminismTest, GreedyTableauMatchesOracle) {
+  ThreadPool pool(GetParam());
+  Rng rng(1);
+  RelationBuilder b({"country", "zipcode", "street"});
+  for (int r = 0; r < 150; ++r) {
+    bool uk = rng.Bernoulli(0.5);
+    int zip = static_cast<int>(rng.Uniform(0, 30));
+    std::string street = uk ? "s" + std::to_string(zip)
+                            : "s" + std::to_string(rng.Uniform(0, 40));
+    b.AddRow({Value(uk ? "UK" : "US"), Value(zip), Value(street)});
+  }
+  Relation r = std::move(b.Build()).value();
+  PliCache cache(r);
+  TableauOptions base;
+  TableauOptions oracle_options = base;
+  oracle_options.use_encoding = false;
+  auto oracle = BuildGreedyTableau(r, AttrSet::Of({0, 1}), 2, 0,
+                                   oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+    auto fast = BuildGreedyTableau(r, AttrSet::Of({0, 1}), 2, 0, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ASSERT_EQ(oracle->size(), fast->size()) << name;
+    for (size_t i = 0; i < oracle->size(); ++i) {
+      EXPECT_EQ((*oracle)[i].cfd.ToString(), (*fast)[i].cfd.ToString())
+          << name;
+      EXPECT_EQ((*oracle)[i].support, (*fast)[i].support) << name;
+    }
+  }
+}
+
+TEST_P(PortedDeterminismTest, UnaryOdsMatchOracle) {
+  ThreadPool pool(GetParam());
+  HotelConfig config;
+  config.num_hotels = 60;
+  GeneratedData data = GenerateHotels(config);
+  PliCache cache(data.relation);
+  OdDiscoveryOptions base;
+  OdDiscoveryOptions oracle_options = base;
+  oracle_options.use_encoding = false;
+  auto oracle = DiscoverUnaryOds(data.relation, oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+    auto fast = DiscoverUnaryOds(data.relation, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ASSERT_EQ(oracle->size(), fast->size()) << name;
+    for (size_t i = 0; i < oracle->size(); ++i) {
+      EXPECT_EQ((*oracle)[i].od.ToString(), (*fast)[i].od.ToString()) << name;
+    }
+  }
+}
+
+TEST_P(PortedDeterminismTest, MvdsAndFhdsMatchOracle) {
+  ThreadPool pool(GetParam());
+  HotelConfig config;
+  config.num_hotels = 25;
+  config.rows_per_hotel = 3;
+  GeneratedData data = GenerateHotels(config);
+  PliCache cache(data.relation);
+  MvdDiscoveryOptions base;
+  base.max_spurious_ratio = 0.1;
+  MvdDiscoveryOptions oracle_options = base;
+  oracle_options.use_encoding = false;
+  auto oracle = DiscoverMvds(data.relation, oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  auto oracle_fhds = DiscoverFhds(data.relation, oracle_options);
+  ASSERT_TRUE(oracle_fhds.ok());
+  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+    auto fast = DiscoverMvds(data.relation, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ASSERT_EQ(oracle->size(), fast->size()) << name;
+    for (size_t i = 0; i < oracle->size(); ++i) {
+      EXPECT_EQ((*oracle)[i].lhs.mask(), (*fast)[i].lhs.mask()) << name;
+      EXPECT_EQ((*oracle)[i].rhs.mask(), (*fast)[i].rhs.mask()) << name;
+      EXPECT_EQ((*oracle)[i].spurious_ratio, (*fast)[i].spurious_ratio)
+          << name;
+    }
+    auto fast_fhds = DiscoverFhds(data.relation, options);
+    ASSERT_TRUE(fast_fhds.ok()) << name;
+    ASSERT_EQ(oracle_fhds->size(), fast_fhds->size()) << name;
+    for (size_t i = 0; i < oracle_fhds->size(); ++i) {
+      EXPECT_EQ((*oracle_fhds)[i].lhs.mask(), (*fast_fhds)[i].lhs.mask())
+          << name;
+      ASSERT_EQ((*oracle_fhds)[i].blocks.size(),
+                (*fast_fhds)[i].blocks.size())
+          << name;
+      for (size_t k = 0; k < (*oracle_fhds)[i].blocks.size(); ++k) {
+        EXPECT_EQ((*oracle_fhds)[i].blocks[k].mask(),
+                  (*fast_fhds)[i].blocks[k].mask())
+            << name;
+      }
+    }
+  }
+}
+
+TEST_P(PortedDeterminismTest, PfdsMatchOracle) {
+  ThreadPool pool(GetParam());
+  HotelConfig config;
+  config.num_hotels = 50;
+  config.error_rate = 0.05;
+  GeneratedData data = GenerateHotels(config);
+  PliCache cache(data.relation);
+  PfdDiscoveryOptions base;
+  base.min_probability = 0.8;
+  base.max_lhs_size = 2;
+  PfdDiscoveryOptions oracle_options = base;
+  oracle_options.use_encoding = false;
+  auto oracle = DiscoverPfds(data.relation, oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+    auto fast = DiscoverPfds(data.relation, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ASSERT_EQ(oracle->size(), fast->size()) << name;
+    for (size_t i = 0; i < oracle->size(); ++i) {
+      EXPECT_EQ((*oracle)[i].lhs.mask(), (*fast)[i].lhs.mask()) << name;
+      EXPECT_EQ((*oracle)[i].rhs, (*fast)[i].rhs) << name;
+      EXPECT_EQ((*oracle)[i].probability, (*fast)[i].probability) << name;
+    }
+  }
+}
+
+TEST_P(PortedDeterminismTest, DdsMatchOracle) {
+  ThreadPool pool(GetParam());
+  HeterogeneousConfig config;
+  config.num_entities = 25;
+  config.max_duplicates = 3;
+  config.seed = 9;
+  GeneratedData data = GenerateHeterogeneous(config);
+  PliCache cache(data.relation);
+  DdDiscoveryOptions base;
+  base.min_support = 2;
+  base.max_lhs_attrs = 1;
+  DdDiscoveryOptions oracle_options = base;
+  oracle_options.use_encoding = false;
+  auto oracle = DiscoverDds(data.relation, oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+    auto fast = DiscoverDds(data.relation, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ASSERT_EQ(oracle->size(), fast->size()) << name;
+    for (size_t i = 0; i < oracle->size(); ++i) {
+      EXPECT_EQ((*oracle)[i].dd.ToString(), (*fast)[i].dd.ToString()) << name;
+      EXPECT_EQ((*oracle)[i].support, (*fast)[i].support) << name;
+    }
+  }
+}
+
+TEST_P(PortedDeterminismTest, SampledDdsMatchOracle) {
+  // Sampling re-materializes the input, so the fast path must build a
+  // local encoding rather than borrow the cache's.
+  ThreadPool pool(GetParam());
+  HeterogeneousConfig config;
+  config.num_entities = 60;
+  config.seed = 4;
+  GeneratedData data = GenerateHeterogeneous(config);
+  PliCache cache(data.relation);
+  DdDiscoveryOptions base;
+  base.min_support = 2;
+  base.max_lhs_attrs = 1;
+  base.sample_rows = 40;
+  DdDiscoveryOptions oracle_options = base;
+  oracle_options.use_encoding = false;
+  auto oracle = DiscoverDds(data.relation, oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+    auto fast = DiscoverDds(data.relation, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ASSERT_EQ(oracle->size(), fast->size()) << name;
+    for (size_t i = 0; i < oracle->size(); ++i) {
+      EXPECT_EQ((*oracle)[i].dd.ToString(), (*fast)[i].dd.ToString()) << name;
+      EXPECT_EQ((*oracle)[i].support, (*fast)[i].support) << name;
+    }
+  }
+}
+
+TEST_P(PortedDeterminismTest, NedsMatchOracle) {
+  ThreadPool pool(GetParam());
+  HeterogeneousConfig config;
+  config.num_entities = 25;
+  config.seed = 21;
+  GeneratedData data = GenerateHeterogeneous(config);
+  PliCache cache(data.relation);
+  Ned::Predicate target{4, GetAbsDiffMetric(), 0.0};
+  NedDiscoveryOptions base;
+  base.thresholds = {0, 2};
+  base.min_support = 2;
+  base.min_confidence = 0.9;
+  NedDiscoveryOptions oracle_options = base;
+  oracle_options.use_encoding = false;
+  auto oracle = DiscoverNeds(data.relation, target, oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+    auto fast = DiscoverNeds(data.relation, target, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ASSERT_EQ(oracle->size(), fast->size()) << name;
+    for (size_t i = 0; i < oracle->size(); ++i) {
+      EXPECT_EQ((*oracle)[i].ned.ToString(), (*fast)[i].ned.ToString())
+          << name;
+      EXPECT_EQ((*oracle)[i].support, (*fast)[i].support) << name;
+      EXPECT_EQ((*oracle)[i].confidence, (*fast)[i].confidence) << name;
+    }
+  }
+}
+
+TEST_P(PortedDeterminismTest, MdsMatchOracle) {
+  ThreadPool pool(GetParam());
+  HeterogeneousConfig config;
+  config.num_entities = 25;
+  config.max_duplicates = 3;
+  config.seed = 13;
+  GeneratedData data = GenerateHeterogeneous(config);
+  PliCache cache(data.relation);
+  MdDiscoveryOptions base;
+  base.min_support = 0.0005;
+  base.min_confidence = 0.9;
+  base.max_lhs_attrs = 2;
+  MdDiscoveryOptions oracle_options = base;
+  oracle_options.use_encoding = false;
+  auto oracle = DiscoverMds(data.relation, AttrSet::Single(4),
+                            oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+    auto fast = DiscoverMds(data.relation, AttrSet::Single(4), options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ASSERT_EQ(oracle->size(), fast->size()) << name;
+    for (size_t i = 0; i < oracle->size(); ++i) {
+      EXPECT_EQ((*oracle)[i].md.ToString(), (*fast)[i].md.ToString()) << name;
+      EXPECT_EQ((*oracle)[i].support, (*fast)[i].support) << name;
+      EXPECT_EQ((*oracle)[i].confidence, (*fast)[i].confidence) << name;
+    }
+  }
+}
+
+TEST_P(PortedDeterminismTest, MfdsMatchOracle) {
+  ThreadPool pool(GetParam());
+  HeterogeneousConfig config;
+  config.num_entities = 25;
+  config.seed = 31;
+  GeneratedData data = GenerateHeterogeneous(config);
+  PliCache cache(data.relation);
+  MfdDiscoveryOptions base;
+  base.max_delta_ratio = 0.5;
+  MfdDiscoveryOptions oracle_options = base;
+  oracle_options.use_encoding = false;
+  auto oracle = DiscoverMfds(data.relation, oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+    auto fast = DiscoverMfds(data.relation, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ASSERT_EQ(oracle->size(), fast->size()) << name;
+    for (size_t i = 0; i < oracle->size(); ++i) {
+      EXPECT_EQ((*oracle)[i].mfd.ToString(), (*fast)[i].mfd.ToString())
+          << name;
+      EXPECT_EQ((*oracle)[i].delta, (*fast)[i].delta) << name;
+    }
+  }
+}
+
+TEST_P(PortedDeterminismTest, SdAndCsdTableauMatchOracle) {
+  ThreadPool pool(GetParam());
+  Relation r = SensorSeries(8, 120);
+  PliCache cache(r);
+  SdDiscoveryOptions base;
+  base.min_confidence = 0.0;  // always report, so both paths must agree
+  SdDiscoveryOptions oracle_options = base;
+  oracle_options.use_encoding = false;
+  auto oracle = DiscoverSd(r, 0, 1, oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+    auto fast = DiscoverSd(r, 0, 1, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    EXPECT_EQ(oracle->sd.ToString(), fast->sd.ToString()) << name;
+    EXPECT_EQ(oracle->confidence, fast->confidence) << name;
+  }
+
+  CsdDiscoveryOptions csd_base;
+  csd_base.gap = Interval::Between(-10.0, 10.0);
+  csd_base.min_confidence = 0.8;
+  CsdDiscoveryOptions csd_oracle_options = csd_base;
+  csd_oracle_options.use_encoding = false;
+  auto csd_oracle = DiscoverCsdTableau(r, 0, 1, csd_oracle_options);
+  ASSERT_TRUE(csd_oracle.ok());
+  for (const auto& [name, options] : FastConfigs(csd_base, &pool, &cache)) {
+    auto fast = DiscoverCsdTableau(r, 0, 1, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    EXPECT_EQ(csd_oracle->csd.ToString(), fast->csd.ToString()) << name;
+    EXPECT_EQ(csd_oracle->covered_rows, fast->covered_rows) << name;
+  }
+}
+
+// -------------------------------------------------- quality applications
+
+TEST_P(PortedDeterminismTest, FdRepairMatchesOracle) {
+  ThreadPool pool(GetParam());
+  HotelConfig config;
+  config.num_hotels = 60;
+  config.rows_per_hotel = 4;
+  config.variation_rate = 0.0;
+  config.error_rate = 0.08;
+  GeneratedData data = GenerateHotels(config);
+  PliCache cache(data.relation);
+  std::vector<Fd> fds = {Fd(AttrSet::Single(1), AttrSet::Single(2)),
+                         Fd(AttrSet::Single(0), AttrSet::Single(4))};
+  auto oracle = RepairWithFds(data.relation, fds);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] :
+       FastConfigs(QualityOptions{}, &pool, &cache)) {
+    auto fast = RepairWithFds(data.relation, fds, 4, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ExpectSameRepair(*oracle, *fast, "fd repair " + name);
+  }
+}
+
+TEST_P(PortedDeterminismTest, CfdRepairMatchesOracle) {
+  ThreadPool pool(GetParam());
+  HotelConfig config;
+  config.num_hotels = 50;
+  config.variation_rate = 0.0;
+  config.error_rate = 0.1;
+  GeneratedData data = GenerateHotels(config);
+  PliCache cache(data.relation);
+  std::vector<Cfd> cfds = {
+      Cfd(AttrSet::Single(1), AttrSet::Single(2),
+          PatternTuple({PatternItem::Wildcard(1), PatternItem::Wildcard(2)})),
+      Cfd(AttrSet::Single(3), AttrSet::Single(4),
+          PatternTuple({PatternItem::Const(3, Value(2)),
+                        PatternItem::Wildcard(4)}))};
+  auto oracle = RepairWithCfds(data.relation, cfds);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] :
+       FastConfigs(QualityOptions{}, &pool, &cache)) {
+    auto fast = RepairWithCfds(data.relation, cfds, 4, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ExpectSameRepair(*oracle, *fast, "cfd repair " + name);
+  }
+}
+
+TEST_P(PortedDeterminismTest, HolisticRepairMatchesOracle) {
+  ThreadPool pool(GetParam());
+  Rng rng(6);
+  RelationBuilder b({"addr", "region", "price"});
+  for (int i = 0; i < 40; ++i) {
+    int grp = static_cast<int>(rng.Uniform(0, 6));
+    b.AddRow({Value("a" + std::to_string(grp)),
+              Value(rng.Bernoulli(0.15) ? "Odd" : "r" + std::to_string(grp)),
+              Value(100 + grp)});
+  }
+  Relation r = std::move(b.Build()).value();
+  PliCache cache(r);
+  Dc dc({DcPredicate{DcOperand::TupleA(0), CmpOp::kEq, DcOperand::TupleB(0)},
+         DcPredicate{DcOperand::TupleA(1), CmpOp::kNeq,
+                     DcOperand::TupleB(1)}});
+  auto oracle = RepairWithDcsHolistic(r, {dc});
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] :
+       FastConfigs(QualityOptions{}, &pool, &cache)) {
+    auto fast = RepairWithDcsHolistic(r, {dc}, 1000, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ExpectSameRepair(*oracle, *fast, "holistic " + name);
+  }
+}
+
+TEST_P(PortedDeterminismTest, DedupMatchMatchesOracle) {
+  ThreadPool pool(GetParam());
+  HeterogeneousConfig config;
+  config.num_entities = 30;
+  config.max_duplicates = 3;
+  config.variation_rate = 0.4;
+  config.seed = 3;
+  GeneratedData data = GenerateHeterogeneous(config);
+  PliCache cache(data.relation);
+  MdMatcher matcher({Md({SimilarityPredicate{1, GetEditDistanceMetric(), 6},
+                         SimilarityPredicate{2, GetEditDistanceMetric(), 4}},
+                        AttrSet::Single(4)),
+                     Md({SimilarityPredicate{3, GetEditDistanceMetric(), 4},
+                         SimilarityPredicate{4, GetAbsDiffMetric(), 0}},
+                        AttrSet::Single(5))});
+  auto oracle = matcher.Match(data.relation);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] :
+       FastConfigs(QualityOptions{}, &pool, &cache)) {
+    auto fast = matcher.Match(data.relation, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    EXPECT_EQ(oracle->cluster_ids, fast->cluster_ids) << name;
+    EXPECT_EQ(oracle->num_clusters, fast->num_clusters) << name;
+    EXPECT_EQ(oracle->matched_pairs, fast->matched_pairs) << name;
+  }
+}
+
+TEST_P(PortedDeterminismTest, ImputeMatchesOracle) {
+  ThreadPool pool(GetParam());
+  Rng rng(11);
+  RelationBuilder b({"street", "price"});
+  for (int i = 0; i < 60; ++i) {
+    int grp = static_cast<int>(rng.Uniform(0, 8));
+    Value price = rng.Bernoulli(0.2)
+                      ? Value::Null()
+                      : Value(100.0 * grp + rng.Uniform(0, 9));
+    b.AddRow({Value("street " + std::to_string(grp)), price});
+  }
+  Relation r = std::move(b.Build()).value();
+  PliCache cache(r);
+  Ned rule({Ned::Predicate{0, GetEditDistanceMetric(), 1.0}},
+           {Ned::Predicate{1, GetAbsDiffMetric(), 50.0}});
+  auto oracle = ImputeWithNed(r, rule);
+  ASSERT_TRUE(oracle.ok());
+  for (const auto& [name, options] :
+       FastConfigs(QualityOptions{}, &pool, &cache)) {
+    auto fast = ImputeWithNed(r, rule, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    EXPECT_EQ(WriteCsvString(oracle->imputed), WriteCsvString(fast->imputed))
+        << name;
+    EXPECT_EQ(oracle->filled, fast->filled) << name;
+    EXPECT_EQ(oracle->unfilled, fast->unfilled) << name;
+  }
+}
+
+TEST_P(PortedDeterminismTest, CqaMatchesOracle) {
+  ThreadPool pool(GetParam());
+  Relation r = ConflictRelation(7, 50);
+  PliCache cache(r);
+  Fd fd(AttrSet::Single(1), AttrSet::Single(2));
+  SelectionQuery q;
+  q.attr = 2;
+  q.op = CmpOp::kEq;
+  q.constant = Value("Boston");
+  q.projection = AttrSet::Of({0, 2});
+  auto certain_oracle = CertainAnswers(r, fd, q);
+  ASSERT_TRUE(certain_oracle.ok());
+  auto possible_oracle = PossibleAnswers(r, fd, q);
+  ASSERT_TRUE(possible_oracle.ok());
+  for (const auto& [name, options] :
+       FastConfigs(QualityOptions{}, &pool, &cache)) {
+    auto certain = CertainAnswers(r, fd, q, options);
+    ASSERT_TRUE(certain.ok()) << name;
+    EXPECT_EQ(WriteCsvString(*certain_oracle), WriteCsvString(*certain))
+        << name;
+    auto possible = PossibleAnswers(r, fd, q, options);
+    ASSERT_TRUE(possible.ok()) << name;
+    EXPECT_EQ(WriteCsvString(*possible_oracle), WriteCsvString(*possible))
+        << name;
+  }
+}
+
+TEST_P(PortedDeterminismTest, SpeedCleanMatchesOracle) {
+  ThreadPool pool(GetParam());
+  Relation r = SensorSeries(5, 150);
+  PliCache cache(r);
+  SpeedConstraint sc{-5.0, 5.0};
+  auto detect_oracle = DetectSpeedViolations(r, 0, 1, sc);
+  ASSERT_TRUE(detect_oracle.ok());
+  EXPECT_FALSE(detect_oracle->empty());  // the spikes must register
+  auto repair_oracle = RepairWithSpeedConstraint(r, 0, 1, sc);
+  ASSERT_TRUE(repair_oracle.ok());
+  for (const auto& [name, options] :
+       FastConfigs(QualityOptions{}, &pool, &cache)) {
+    auto detect = DetectSpeedViolations(r, 0, 1, sc, options);
+    ASSERT_TRUE(detect.ok()) << name;
+    EXPECT_EQ(*detect_oracle, *detect) << name;
+    auto repair = RepairWithSpeedConstraint(r, 0, 1, sc, options);
+    ASSERT_TRUE(repair.ok()) << name;
+    ExpectSameRepair(*repair_oracle, *repair, "speed " + name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PortedDeterminismTest,
+                         testing::ValuesIn(kThreadCounts));
+
+// The engine façade must route every ported algorithm through the pool +
+// cache fast path and stay identical to the oracles.
+TEST(PortedEngineFacadeTest, FacadeMatchesOracles) {
+  EngineOptions engine_options;
+  engine_options.num_threads = 4;
+  DiscoveryEngine engine(engine_options);
+
+  HotelConfig config;
+  config.num_hotels = 40;
+  config.error_rate = 0.05;
+  GeneratedData data = GenerateHotels(config);
+  const Relation& r = data.relation;
+
+  CfdDiscoveryOptions cfd_oracle;
+  cfd_oracle.use_encoding = false;
+  auto cfds_serial = DiscoverConstantCfds(r, cfd_oracle);
+  auto cfds = engine.ConstantCfds(r);
+  ASSERT_TRUE(cfds_serial.ok());
+  ASSERT_TRUE(cfds.ok());
+  ASSERT_EQ(cfds_serial->size(), cfds->size());
+
+  OdDiscoveryOptions od_oracle;
+  od_oracle.use_encoding = false;
+  auto ods_serial = DiscoverUnaryOds(r, od_oracle);
+  auto ods = engine.UnaryOds(r);
+  ASSERT_TRUE(ods_serial.ok());
+  ASSERT_TRUE(ods.ok());
+  ASSERT_EQ(ods_serial->size(), ods->size());
+  for (size_t i = 0; i < ods_serial->size(); ++i) {
+    EXPECT_EQ((*ods_serial)[i].od.ToString(), (*ods)[i].od.ToString());
+  }
+
+  std::vector<Fd> fds = {Fd(AttrSet::Single(1), AttrSet::Single(2))};
+  auto repair_serial = RepairWithFds(r, fds);
+  auto repair = engine.RepairFds(r, fds);
+  ASSERT_TRUE(repair_serial.ok());
+  ASSERT_TRUE(repair.ok());
+  EXPECT_EQ(WriteCsvString(repair_serial->repaired),
+            WriteCsvString(repair->repaired));
+  EXPECT_EQ(repair_serial->changes.size(), repair->changes.size());
+
+  DdDiscoveryOptions dd_oracle;
+  dd_oracle.use_encoding = false;
+  dd_oracle.max_lhs_attrs = 1;
+  auto dds_serial = DiscoverDds(r, dd_oracle);
+  DdDiscoveryOptions dd_base;
+  dd_base.max_lhs_attrs = 1;
+  auto dds = engine.Dds(r, dd_base);
+  ASSERT_TRUE(dds_serial.ok());
+  ASSERT_TRUE(dds.ok());
+  ASSERT_EQ(dds_serial->size(), dds->size());
+  for (size_t i = 0; i < dds_serial->size(); ++i) {
+    EXPECT_EQ((*dds_serial)[i].dd.ToString(), (*dds)[i].dd.ToString());
+  }
+}
+
+}  // namespace
+}  // namespace famtree
