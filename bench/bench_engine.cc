@@ -25,6 +25,7 @@
 #include "discovery/od_discovery.h"
 #include "discovery/pfd_discovery.h"
 #include "discovery/tane.h"
+#include "engine/evidence_cache.h"
 #include "engine/pli_cache.h"
 #include "gen/generators.h"
 #include "metric/metric.h"
@@ -74,8 +75,74 @@ void PrintRow(const Row& row) {
       row.identical ? "identical" : "MISMATCH");
 }
 
-void WriteJson(const std::vector<Row>& rows, int num_rows, int num_columns,
-               const PliCache::Stats& cache_stats) {
+/// One row of the evidence-kernel ablation: the encoded fast path with the
+/// shared pairwise kernel off (the PR 3 baseline) vs on (cold build) vs
+/// served from the shared evidence store (hit). All three runs are serial;
+/// the speedup is algorithmic.
+struct PairwiseRow {
+  std::string name;
+  double no_kernel_ms = 0;  // encoded, use_evidence = false
+  double kernel_ms = 0;     // evidence kernel, no store (cold build)
+  double cached_ms = 0;     // evidence kernel, shared-store hit
+  bool identical = true;
+  double kernel_speedup() const {
+    return kernel_ms > 0 ? no_kernel_ms / kernel_ms : 0.0;
+  }
+};
+
+void PrintPairwiseRow(const PairwiseRow& row) {
+  std::printf("| %-22s | %10.1f | %9.1f | %8.2fx | %8.1f | %-9s |\n",
+              row.name.c_str(), row.no_kernel_ms, row.kernel_ms,
+              row.kernel_speedup(), row.cached_ms,
+              row.identical ? "identical" : "MISMATCH");
+}
+
+/// Runs one pairwise consumer through the kernel ablation grid. `options`
+/// carries the workload knobs; encoding is forced on and the pool off so
+/// the kernel is the only variable. The store run executes twice — the
+/// first populates `evidence`, the second times the hit.
+template <typename Options, typename Runner, typename Same>
+bool BenchPairwise(const std::string& name, Options options, Runner run,
+                   Same same, EvidenceCache* evidence,
+                   std::vector<PairwiseRow>* rows, bool* all_identical) {
+  PairwiseRow row{name};
+  Options base = options;
+  base.use_encoding = true;
+  base.pool = nullptr;
+  base.evidence = nullptr;
+  Options off = base;
+  off.use_evidence = false;
+  auto start = std::chrono::steady_clock::now();
+  auto baseline = run(off);
+  row.no_kernel_ms = MillisSince(start);
+  if (!baseline.ok()) return false;
+  Options on = base;
+  on.use_evidence = true;
+  start = std::chrono::steady_clock::now();
+  auto kernel = run(on);
+  row.kernel_ms = MillisSince(start);
+  if (!kernel.ok()) return false;
+  row.identical = same(*baseline, *kernel);
+  Options stored = on;
+  stored.evidence = evidence;
+  auto warm = run(stored);
+  if (!warm.ok()) return false;
+  start = std::chrono::steady_clock::now();
+  auto hit = run(stored);
+  row.cached_ms = MillisSince(start);
+  if (!hit.ok()) return false;
+  row.identical =
+      row.identical && same(*baseline, *warm) && same(*baseline, *hit);
+  *all_identical = *all_identical && row.identical;
+  PrintPairwiseRow(row);
+  rows->push_back(row);
+  return true;
+}
+
+void WriteJson(const std::vector<Row>& rows,
+               const std::vector<PairwiseRow>& pairwise, int num_rows,
+               int num_columns, const PliCache::Stats& cache_stats,
+               const EvidenceCache::Stats& evidence_stats) {
   std::FILE* f = std::fopen("BENCH_engine.json", "w");
   if (f == nullptr) return;
   std::fprintf(f, "{\n  \"workload\": {\"rows\": %d, \"columns\": %d},\n",
@@ -94,6 +161,27 @@ void WriteJson(const std::vector<Row>& rows, int num_rows, int num_columns,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"pairwise\": [\n");
+  for (size_t i = 0; i < pairwise.size(); ++i) {
+    const PairwiseRow& r = pairwise[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"encoded_no_kernel_ms\": %.3f, "
+                 "\"kernel_ms\": %.3f, \"kernel_speedup\": %.3f, "
+                 "\"cache_hit_ms\": %.3f, \"identical\": %s}%s\n",
+                 r.name.c_str(), r.no_kernel_ms, r.kernel_ms,
+                 r.kernel_speedup(), r.cached_ms,
+                 r.identical ? "true" : "false",
+                 i + 1 < pairwise.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"evidence_cache\": {\"hits\": %lld, \"misses\": %lld, "
+               "\"evictions\": %lld, \"builds\": %lld, \"bytes\": %zu},\n",
+               static_cast<long long>(evidence_stats.hits),
+               static_cast<long long>(evidence_stats.misses),
+               static_cast<long long>(evidence_stats.evictions),
+               static_cast<long long>(evidence_stats.builds),
+               evidence_stats.bytes);
   std::fprintf(f,
                "  \"pli_cache_8_thread_tane\": {\"hits\": %lld, "
                "\"misses\": %lld, \"evictions\": %lld, \"builds\": %lld, "
@@ -353,6 +441,11 @@ int Run() {
     slice400.push_back(i);
   }
   Relation slice = hotels.Select(slice400);
+  std::vector<int> slice2000;
+  for (int i = 0; i < 2000 && i < hotels.num_rows(); ++i) {
+    slice2000.push_back(i);
+  }
+  Relation slice2k = hotels.Select(slice2000);
   std::vector<int> slice4k;
   for (int i = 0; i < 4000 && i < hotels.num_rows(); ++i) {
     slice4k.push_back(i);
@@ -450,8 +543,8 @@ int Run() {
   DdDiscoveryOptions dd_options;
   dd_options.max_lhs_attrs = 1;
   if (!BenchPorted(
-          "dds 400-row slice", slice, dd_options,
-          [&](const DdDiscoveryOptions& o) { return DiscoverDds(slice, o); },
+          "dds 2k slice", slice2k, dd_options,
+          [&](const DdDiscoveryOptions& o) { return DiscoverDds(slice2k, o); },
           [](const std::vector<DiscoveredDd>& a,
              const std::vector<DiscoveredDd>& b) {
             if (a.size() != b.size()) return false;
@@ -470,9 +563,9 @@ int Run() {
   MdDiscoveryOptions md_options;
   md_options.max_lhs_attrs = 1;
   if (!BenchPorted(
-          "mds 400-row slice", slice, md_options,
+          "mds 2k slice", slice2k, md_options,
           [&](const MdDiscoveryOptions& o) {
-            return DiscoverMds(slice, AttrSet::Single(2), o);
+            return DiscoverMds(slice2k, AttrSet::Single(2), o);
           },
           [](const std::vector<DiscoveredMd>& a,
              const std::vector<DiscoveredMd>& b) {
@@ -493,10 +586,10 @@ int Run() {
   NedDiscoveryOptions ned_options;
   ned_options.min_confidence = 0.9;
   if (!BenchPorted(
-          "neds 400-row slice", slice, ned_options,
+          "neds 2k slice", slice2k, ned_options,
           [&](const NedDiscoveryOptions& o) {
             return DiscoverNeds(
-                slice, Ned::Predicate{2, GetEditDistanceMetric(), 0.0}, o);
+                slice2k, Ned::Predicate{2, GetEditDistanceMetric(), 0.0}, o);
           },
           [](const std::vector<DiscoveredNed>& a,
              const std::vector<DiscoveredNed>& b) {
@@ -517,8 +610,10 @@ int Run() {
   MfdDiscoveryOptions mfd_options;
   mfd_options.max_delta_ratio = 0.5;
   if (!BenchPorted(
-          "mfds 400-row slice", slice, mfd_options,
-          [&](const MfdDiscoveryOptions& o) { return DiscoverMfds(slice, o); },
+          "mfds 2k slice", slice2k, mfd_options,
+          [&](const MfdDiscoveryOptions& o) {
+            return DiscoverMfds(slice2k, o);
+          },
           [](const std::vector<DiscoveredMfd>& a,
              const std::vector<DiscoveredMfd>& b) {
             if (a.size() != b.size()) return false;
@@ -566,6 +661,167 @@ int Run() {
     return 2;
   }
 
+  // --------------------------------------------- evidence-kernel ablation
+  // The pairwise consumers rerun serially with the shared comparison
+  // kernel off (the pre-kernel encoded fast path) vs on vs served from the
+  // engine-wide evidence store. Identity against the kernel-off run is the
+  // hard check; the kernel column is the speedup this PR claims.
+  std::printf("\nevidence kernel ablation (serial encoded path)\n\n");
+  std::printf(
+      "| %-22s | no-kern ms | kernel ms | kern spd | hit ms   | result    "
+      "|\n",
+      "pairwise consumer");
+  std::printf(
+      "|------------------------|------------|-----------|----------|-------"
+      "---|-----------|\n");
+
+  EvidenceCache evidence;
+  std::vector<PairwiseRow> pairwise;
+  std::vector<int> slice300;
+  for (int i = 0; i < 300 && i < hotels.num_rows(); ++i) {
+    slice300.push_back(i);
+  }
+  Relation dc_slice = hotels.Select(slice300);
+  FastDcOptions dc_options;
+  dc_options.max_predicates = 3;
+  auto same_dcs = [](const std::vector<DiscoveredDc>& a,
+                     const std::vector<DiscoveredDc>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].dc.ToString() != b[i].dc.ToString() ||
+          a[i].violation_fraction != b[i].violation_fraction) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!BenchPairwise(
+          "fastdc 300-row slice", dc_options,
+          [&](const FastDcOptions& o) { return DiscoverDcs(dc_slice, o); },
+          same_dcs, &evidence, &pairwise, &all_identical)) {
+    return 2;
+  }
+  if (!BenchPairwise(
+          "constant cfds 4k slice", cfd_options,
+          [&](const CfdDiscoveryOptions& o) {
+            return DiscoverConstantCfds(medium, o);
+          },
+          same_cfds, &evidence, &pairwise, &all_identical)) {
+    return 2;
+  }
+  if (!BenchPairwise(
+          "dds 2k slice", dd_options,
+          [&](const DdDiscoveryOptions& o) { return DiscoverDds(slice2k, o); },
+          [](const std::vector<DiscoveredDd>& a,
+             const std::vector<DiscoveredDd>& b) {
+            if (a.size() != b.size()) return false;
+            for (size_t i = 0; i < a.size(); ++i) {
+              if (a[i].dd.ToString() != b[i].dd.ToString() ||
+                  a[i].support != b[i].support) {
+                return false;
+              }
+            }
+            return true;
+          },
+          &evidence, &pairwise, &all_identical)) {
+    return 2;
+  }
+  if (!BenchPairwise(
+          "mds 2k slice", md_options,
+          [&](const MdDiscoveryOptions& o) {
+            return DiscoverMds(slice2k, AttrSet::Single(2), o);
+          },
+          [](const std::vector<DiscoveredMd>& a,
+             const std::vector<DiscoveredMd>& b) {
+            if (a.size() != b.size()) return false;
+            for (size_t i = 0; i < a.size(); ++i) {
+              if (a[i].md.ToString() != b[i].md.ToString() ||
+                  a[i].support != b[i].support ||
+                  a[i].confidence != b[i].confidence) {
+                return false;
+              }
+            }
+            return true;
+          },
+          &evidence, &pairwise, &all_identical)) {
+    return 2;
+  }
+  if (!BenchPairwise(
+          "neds 2k slice", ned_options,
+          [&](const NedDiscoveryOptions& o) {
+            return DiscoverNeds(
+                slice2k, Ned::Predicate{2, GetEditDistanceMetric(), 0.0}, o);
+          },
+          [](const std::vector<DiscoveredNed>& a,
+             const std::vector<DiscoveredNed>& b) {
+            if (a.size() != b.size()) return false;
+            for (size_t i = 0; i < a.size(); ++i) {
+              if (a[i].ned.ToString() != b[i].ned.ToString() ||
+                  a[i].support != b[i].support ||
+                  a[i].confidence != b[i].confidence) {
+                return false;
+              }
+            }
+            return true;
+          },
+          &evidence, &pairwise, &all_identical)) {
+    return 2;
+  }
+  if (!BenchPairwise(
+          "mfds 2k slice", mfd_options,
+          [&](const MfdDiscoveryOptions& o) {
+            return DiscoverMfds(slice2k, o);
+          },
+          [](const std::vector<DiscoveredMfd>& a,
+             const std::vector<DiscoveredMfd>& b) {
+            if (a.size() != b.size()) return false;
+            for (size_t i = 0; i < a.size(); ++i) {
+              if (a[i].mfd.ToString() != b[i].mfd.ToString() ||
+                  a[i].delta != b[i].delta) {
+                return false;
+              }
+            }
+            return true;
+          },
+          &evidence, &pairwise, &all_identical)) {
+    return 2;
+  }
+  if (!BenchPairwise(
+          "dedup 400-row slice", QualityOptions{},
+          [&](const QualityOptions& o) { return matcher.Match(slice, o); },
+          [](const MatchResult& a, const MatchResult& b) {
+            return a.cluster_ids == b.cluster_ids &&
+                   a.num_clusters == b.num_clusters &&
+                   a.matched_pairs == b.matched_pairs;
+          },
+          &evidence, &pairwise, &all_identical)) {
+    return 2;
+  }
+  EvidenceCache::Stats evidence_stats = evidence.stats();
+
+  int pairwise_fast = 0;
+  for (size_t i = 1; i < pairwise.size(); ++i) {
+    if (pairwise[i].kernel_speedup() >= 1.5) ++pairwise_fast;
+  }
+  std::printf(
+      "\nfastdc kernel speedup: %.2fx (target >=2x); other pairwise rows "
+      ">=1.5x: %d of %zu (target >=3)\n",
+      pairwise.empty() ? 0.0 : pairwise[0].kernel_speedup(), pairwise_fast,
+      pairwise.size() - 1);
+  if (!pairwise.empty() && pairwise[0].kernel_speedup() < 2.0) {
+    std::printf("WARN: fastdc kernel speedup below the 2x target\n");
+  }
+  if (pairwise_fast < 3) {
+    std::printf("WARN: fewer than 3 pairwise rows hit the 1.5x target\n");
+  }
+  std::printf(
+      "evidence store: hits=%lld misses=%lld evictions=%lld builds=%lld "
+      "bytes=%zu\n",
+      static_cast<long long>(evidence_stats.hits),
+      static_cast<long long>(evidence_stats.misses),
+      static_cast<long long>(evidence_stats.evictions),
+      static_cast<long long>(evidence_stats.builds), evidence_stats.bytes);
+
   int ported_fast = 0;
   for (size_t i = first_ported; i < rows.size(); ++i) {
     if (rows[i].encoded_speedup() >= 2.0) ++ported_fast;
@@ -591,7 +847,8 @@ int Run() {
       "thread columns run the encoded backend\n");
   std::printf("speedups are hardware dependent; byte-identity is the hard "
               "check\n");
-  WriteJson(rows, hotels.num_rows(), hotels.num_columns(), tane_cache_stats);
+  WriteJson(rows, pairwise, hotels.num_rows(), hotels.num_columns(),
+            tane_cache_stats, evidence_stats);
   std::printf("wrote BENCH_engine.json\n");
   if (!all_identical) {
     std::printf("FAIL: a run deviated from the serial Value-based result\n");

@@ -1,13 +1,19 @@
 #include "discovery/cfd_discovery.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "deps/fd.h"
 #include "discovery/discovery_util.h"
+#include "engine/evidence.h"
+#include "engine/evidence_cache.h"
 
 namespace famtree {
 
@@ -150,14 +156,71 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
       ResolveEncoding(relation, options.use_encoding, options.cache,
                       &local_encoding));
   std::vector<DiscoveredCfd> out;
+  // Pairwise equality evidence: one PLI-pruned kernel build over every
+  // attribute gives, per deduplicated comparison word, the set of
+  // attributes a row pair agrees on plus the pair count. A
+  // support-qualified group of size s >= min_support contributes
+  // C(s, 2) >= C(min_support, 2) pairs agreeing on its LHS — and, when
+  // RHS-uniform, on LHS + RHS — so any attribute set whose agreeing-pair
+  // total falls short can be skipped without changing the output.
+  bool have_evidence = false;
+  std::vector<uint64_t> word_masks;
+  std::vector<int64_t> word_counts;
+  int64_t need_pairs = static_cast<int64_t>(options.min_support) *
+                       (options.min_support - 1) / 2;
+  if (encoded != nullptr && options.use_evidence && need_pairs > 0) {
+    std::vector<EvidenceColumn> config;
+    for (int a = 0; a < nc; ++a) {
+      EvidenceColumn col;
+      col.attr = a;
+      col.cmp = EvidenceColumn::Cmp::kEquality;
+      config.push_back(std::move(col));
+    }
+    EvidenceOptions eopts;
+    eopts.pool = pool;
+    eopts.pli = options.cache;
+    eopts.prune_all_unequal = true;
+    FAMTREE_ASSIGN_OR_RETURN(
+        std::shared_ptr<const EvidenceSet> set,
+        GetOrBuildEvidence(options.evidence, *encoded, config, eopts));
+    for (const EvidenceSet::Word& w : set->words()) {
+      uint64_t mask = 0;
+      for (int a = 0; a < nc; ++a) {
+        if (set->AgreesOn(w.bits, a)) mask |= uint64_t{1} << a;
+      }
+      // All-unequal words can never pass a subset test; drop them here.
+      if (mask == 0) continue;
+      word_masks.push_back(mask);
+      word_counts.push_back(w.count);
+    }
+    have_evidence = true;
+  }
   // Track (rhs attr, lhs attrs, head row) of accepted CFDs for the
-  // minimality filter.
+  // minimality filter (oracle path).
   struct Accepted {
     int rhs;
     AttrSet lhs;
     int head_row;
   };
   std::vector<Accepted> accepted;
+  // Minimality index (encoded path): accepted CFDs keyed by (RHS attr,
+  // LHS attr mask), each holding the accepted head rows' code tuples
+  // projected on LHS + RHS. An emission is non-minimal exactly when some
+  // key with a subset LHS and the same RHS holds the emission head row's
+  // projection — a few tuple lookups instead of a scan over every
+  // accepted CFD.
+  struct IndexEntry {
+    std::vector<int> attrs;  // LHS attrs, ascending; RHS appended to tuples
+    std::set<std::vector<uint32_t>> tuples;
+  };
+  std::map<std::pair<int, uint64_t>, IndexEntry> index;
+  auto project = [&](const IndexEntry& entry, int rhs, int row) {
+    std::vector<uint32_t> tuple;
+    tuple.reserve(entry.attrs.size() + 1);
+    for (int b : entry.attrs) tuple.push_back(encoded->code(row, b));
+    tuple.push_back(encoded->code(row, rhs));
+    return tuple;
+  };
   // One emission candidate: a support-qualified, RHS-uniform group. The
   // expensive grouping and uniformity scans fan out per LHS; the
   // minimality filter depends on the accepted list, so it replays serially
@@ -174,6 +237,25 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
     FAMTREE_RETURN_NOT_OK(ParallelFor(
         pool, static_cast<int64_t>(level.size()), [&](int64_t li) {
           AttrSet lhs = level[li];
+          // Evidence pruning: fold the agreeing-pair totals for the LHS
+          // and for every LHS + attribute extension in one pass over the
+          // deduplicated words; sets short of C(min_support, 2) pairs
+          // cannot host a qualifying group.
+          std::vector<int64_t> agree_with(nc, 0);
+          if (have_evidence) {
+            uint64_t lhs_mask = lhs.mask();
+            int64_t agree_lhs = 0;
+            for (size_t wi = 0; wi < word_masks.size(); ++wi) {
+              if ((word_masks[wi] & lhs_mask) != lhs_mask) continue;
+              agree_lhs += word_counts[wi];
+              uint64_t rest = word_masks[wi] & ~lhs_mask;
+              while (rest != 0) {
+                agree_with[std::countr_zero(rest)] += word_counts[wi];
+                rest &= rest - 1;
+              }
+            }
+            if (agree_lhs < need_pairs) return Status::OK();
+          }
           auto groups = encoded != nullptr ? encoded->GroupBy(lhs)
                                            : relation.GroupBy(lhs);
           for (const auto& group : groups) {
@@ -182,6 +264,7 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
             }
             for (int a = 0; a < nc; ++a) {
               if (lhs.Contains(a)) continue;
+              if (have_evidence && agree_with[a] < need_pairs) continue;
               // All group members must agree on a.
               bool uniform = true;
               if (encoded != nullptr) {
@@ -215,14 +298,27 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
         // Minimality: some accepted CFD with lhs' subset of lhs whose
         // pattern values agree with this group pins the same (a, value)?
         bool minimal = true;
-        for (const Accepted& acc : accepted) {
-          if (acc.rhs != e.rhs || !lhs.ContainsAll(acc.lhs)) continue;
-          if (RowsAgree(relation, encoded, acc.head_row, e.head_row,
-                        acc.lhs) &&
-              CellsEqual(relation, encoded, acc.head_row, e.head_row,
-                         e.rhs)) {
-            minimal = false;
-            break;
+        if (encoded != nullptr) {
+          for (const auto& [key, entry] : index) {
+            if (key.first != e.rhs ||
+                (key.second & lhs.mask()) != key.second) {
+              continue;
+            }
+            if (entry.tuples.count(project(entry, e.rhs, e.head_row)) > 0) {
+              minimal = false;
+              break;
+            }
+          }
+        } else {
+          for (const Accepted& acc : accepted) {
+            if (acc.rhs != e.rhs || !lhs.ContainsAll(acc.lhs)) continue;
+            if (RowsAgree(relation, encoded, acc.head_row, e.head_row,
+                          acc.lhs) &&
+                CellsEqual(relation, encoded, acc.head_row, e.head_row,
+                           e.rhs)) {
+              minimal = false;
+              break;
+            }
           }
         }
         if (!minimal) continue;
@@ -232,7 +328,13 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
             PatternItem::Const(e.rhs, relation.Get(e.head_row, e.rhs)));
         Cfd cfd(lhs, AttrSet::Single(e.rhs), PatternTuple(std::move(items)));
         out.push_back(DiscoveredCfd{std::move(cfd), e.size});
-        accepted.push_back(Accepted{e.rhs, lhs, e.head_row});
+        if (encoded != nullptr) {
+          IndexEntry& entry = index[{e.rhs, lhs.mask()}];
+          if (entry.attrs.empty()) entry.attrs = lhs.ToVector();
+          entry.tuples.insert(project(entry, e.rhs, e.head_row));
+        } else {
+          accepted.push_back(Accepted{e.rhs, lhs, e.head_row});
+        }
         if (static_cast<int>(out.size()) >= options.max_results) {
           return out;
         }

@@ -9,6 +9,7 @@
 
 namespace famtree {
 
+class EvidenceCache;
 class PliCache;
 class ThreadPool;
 
@@ -33,6 +34,22 @@ struct CfdDiscoveryOptions {
   /// thread count. `cache` lends its encoding.
   ThreadPool* pool = nullptr;
   PliCache* cache = nullptr;
+  /// Prune constant mining with the shared pairwise evidence multiset
+  /// (engine/evidence.h): one PLI-pruned equality-evidence build counts,
+  /// per attribute set, how many row pairs agree on it — an LHS (or an
+  /// LHS + RHS attribute) whose agreeing-pair count cannot reach
+  /// C(min_support, 2) can never produce a support-qualified pattern, so
+  /// its grouping / uniformity scans are skipped. Pure pruning: the
+  /// discovered list is bit-identical with the flag off. Opt-in (unlike
+  /// the pairwise miners, whose work is inherently quadratic): the
+  /// evidence build scans O(n^2) candidate pairs while the levelwise
+  /// lattice is linear per attribute set, so the pruning pays off only
+  /// when high min_support kills most of a large lattice — on big
+  /// relations with small schemas the build costs more than it saves.
+  /// Requires use_encoding.
+  bool use_evidence = false;
+  /// Optional shared store for the kernel-built evidence multiset.
+  EvidenceCache* evidence = nullptr;
 };
 
 /// A discovered CFD plus its measured support.

@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
+#include "engine/evidence.h"
+#include "engine/evidence_cache.h"
 #include "metric/code_distance.h"
 #include "metric/metric.h"
 
@@ -53,6 +55,69 @@ std::vector<double> ThresholdsFromDistances(std::vector<double> dists,
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+/// The pairwise distance distribution of one attribute as a code-pair
+/// histogram: every unordered row pair falls into one code pair, so the
+/// sorted (distance, multiplicity) list is the sorted row-pair distance
+/// multiset — quantile picks and the finite max read off it bit-identically
+/// in O(k^2) instead of O(n^2) metric evaluations.
+void HistogramThresholds(const EncodedRelation& encoded, int a,
+                         const CodeDistanceTable& table,
+                         const std::vector<double>& quantiles,
+                         std::vector<double>* thresholds_out,
+                         double* global_max_out) {
+  const std::vector<uint32_t>& codes = encoded.codes(a);
+  int k = encoded.dict_size(a);
+  std::vector<int64_t> count(k, 0);
+  for (uint32_t c : codes) ++count[c];
+  std::vector<std::pair<double, int64_t>> hist;
+  hist.reserve(static_cast<size_t>(k) * (k + 1) / 2);
+  int64_t total = 0;
+  for (int c1 = 0; c1 < k; ++c1) {
+    int64_t diag = count[c1] * (count[c1] - 1) / 2;
+    if (diag > 0) {
+      double d = table.Distance(c1, c1);
+      if (std::isfinite(d)) {
+        hist.push_back({d, diag});
+        total += diag;
+      }
+    }
+    for (int c2 = c1 + 1; c2 < k; ++c2) {
+      int64_t mult = count[c1] * count[c2];
+      double d = table.Distance(c1, c2);
+      if (std::isfinite(d)) {
+        hist.push_back({d, mult});
+        total += mult;
+      }
+    }
+  }
+  std::sort(hist.begin(), hist.end(),
+            [](const std::pair<double, int64_t>& x,
+               const std::pair<double, int64_t>& y) {
+              return x.first < y.first;
+            });
+  *global_max_out = 0.0;
+  if (!hist.empty()) {
+    *global_max_out = std::max(0.0, hist.back().first);
+  }
+  std::vector<double> picked;
+  for (double q : quantiles) {
+    if (total == 0) break;
+    int64_t idx = std::min(
+        total - 1, static_cast<int64_t>(q * static_cast<double>(total)));
+    int64_t cum = 0;
+    for (const auto& [d, mult] : hist) {
+      cum += mult;
+      if (idx < cum) {
+        picked.push_back(d);
+        break;
+      }
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+  *thresholds_out = std::move(picked);
 }
 
 }  // namespace
@@ -105,10 +170,18 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
     }
   }
   // Per-attribute threshold candidates and global max pairwise distance
-  // (the vacuity bound), one independent O(n^2) scan per attribute.
+  // (the vacuity bound): code-pair histograms on the encoded path, one
+  // O(n^2) scan per attribute on the oracle path — same sorted multiset,
+  // same picks.
   std::vector<std::vector<double>> thresholds(nc);
   std::vector<double> global_max(nc, 0.0);
   FAMTREE_RETURN_NOT_OK(ParallelFor(pool, nc, [&](int64_t a) {
+    if (encoded != nullptr) {
+      HistogramThresholds(*encoded, static_cast<int>(a), *tables[a],
+                          options.threshold_quantiles, &thresholds[a],
+                          &global_max[a]);
+      return Status::OK();
+    }
     std::vector<double> dists =
         PairwiseDistances(relation, static_cast<int>(a), *metrics[a],
                           tables[a].get());
@@ -149,6 +222,69 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
     std::vector<char> finite;
   };
   std::vector<CandidateStats> stats(lhs_candidates.size());
+  // Evidence path: one kernel build packs every attribute's bucket index
+  // (against its candidate threshold list) into a word per pair and tracks
+  // per-word distance maxima; each candidate then folds over the
+  // deduplicated words instead of all row pairs. d <= thresholds[a][ti]
+  // exactly when the bucket index is <= ti, and max/or folds over word
+  // groups equal the pairwise folds, so the stats are bit-identical.
+  bool used_evidence = false;
+  if (encoded != nullptr && options.use_evidence) {
+    std::vector<EvidenceColumn> config(nc);
+    for (int a = 0; a < nc; ++a) {
+      config[a].attr = a;
+      config[a].cmp = EvidenceColumn::Cmp::kNone;
+      config[a].metric = metrics[a];
+      config[a].thresholds = thresholds[a];
+      config[a].track_max = true;
+      config[a].table = tables[a].get();
+    }
+    if (EvidenceWordBits(config) <= 64) {
+      EvidenceOptions eopts;
+      eopts.pool = pool;
+      FAMTREE_ASSIGN_OR_RETURN(
+          std::shared_ptr<const EvidenceSet> set,
+          GetOrBuildEvidence(options.evidence, *encoded, config, eopts));
+      // Each LHS function's threshold as its index in the attribute's
+      // sorted list (the exact doubles the config was built from).
+      std::vector<std::vector<std::pair<int, int>>> lhs_buckets(
+          lhs_candidates.size());
+      for (size_t c = 0; c < lhs_candidates.size(); ++c) {
+        for (const auto& fn : lhs_candidates[c]) {
+          const std::vector<double>& th = thresholds[fn.attr];
+          int ti = static_cast<int>(
+              std::find(th.begin(), th.end(), fn.range.max) - th.begin());
+          lhs_buckets[c].push_back({fn.attr, ti});
+        }
+      }
+      const std::vector<EvidenceSet::Word>& words = set->words();
+      FAMTREE_RETURN_NOT_OK(ParallelFor(
+          pool, static_cast<int64_t>(lhs_candidates.size()), [&](int64_t c) {
+            CandidateStats& st = stats[c];
+            st.bound.assign(nc, 0.0);
+            st.finite.assign(nc, 1);
+            for (size_t wi = 0; wi < words.size(); ++wi) {
+              bool ok = true;
+              for (const auto& [a, ti] : lhs_buckets[c]) {
+                if (set->BucketOf(words[wi].bits, a) > ti) {
+                  ok = false;
+                  break;
+                }
+              }
+              if (!ok) continue;
+              st.support += words[wi].count;
+              for (int b = 0; b < nc; ++b) {
+                const EvidenceSet::Aggregate& agg = set->agg(wi, b);
+                if (agg.saw_nonfinite) st.finite[b] = 0;
+                st.bound[b] = std::max(st.bound[b], agg.max_finite);
+              }
+            }
+            return Status::OK();
+          }));
+      used_evidence = true;
+    }
+  }
+  if (!used_evidence) {
   FAMTREE_RETURN_NOT_OK(ParallelFor(
       pool, static_cast<int64_t>(lhs_candidates.size()), [&](int64_t c) {
         const auto& lhs = lhs_candidates[c];
@@ -185,6 +321,7 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
         }
         return Status::OK();
       }));
+  }
 
   std::vector<DiscoveredDd> out;
   for (size_t c = 0; c < lhs_candidates.size(); ++c) {

@@ -9,6 +9,7 @@
 
 namespace famtree {
 
+class EvidenceCache;
 class PliCache;
 class ThreadPool;
 
@@ -40,6 +41,17 @@ struct DdDiscoveryOptions {
   /// when sampling re-materializes the input).
   ThreadPool* pool = nullptr;
   PliCache* cache = nullptr;
+  /// Mine from the shared pairwise evidence multiset (engine/evidence.h)
+  /// instead of re-scanning all row pairs per LHS candidate: one kernel
+  /// build packs every attribute's threshold bucket into a word per pair
+  /// and folds per-word distance maxima, so each candidate is a fold over
+  /// the deduplicated words. Candidate thresholds and the vacuity bounds
+  /// come from code-pair distance histograms (multiplicity-weighted, so
+  /// the quantiles are bit-identical to the row-pair scan's). Requires
+  /// use_encoding; falls back when the packed word exceeds 64 bits.
+  bool use_evidence = true;
+  /// Optional shared store for the kernel-built evidence multiset.
+  EvidenceCache* evidence = nullptr;
 };
 
 struct DiscoveredDd {

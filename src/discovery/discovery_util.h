@@ -2,6 +2,7 @@
 #define FAMTREE_DISCOVERY_DISCOVERY_UTIL_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -47,6 +48,22 @@ inline std::vector<uint32_t> CodeRanks(const EncodedRelation& enc, int col) {
   std::vector<uint32_t> rank(k);
   for (int i = 0; i < k; ++i) rank[by_value[i]] = static_cast<uint32_t>(i);
   return rank;
+}
+
+/// True when any dictionary entry of `attr` is a non-finite double. The
+/// similarity miners' `d > threshold` tests treat a NaN distance as
+/// similar while a threshold-bucket index treats it as beyond every
+/// threshold, so the evidence-kernel paths step aside for the (pathological)
+/// inputs that can produce one: NaN cells (absdiff of NaN operands) and
+/// +/-inf cells (|inf - inf| on a same-code diagonal).
+inline bool DictHasNonFiniteDouble(const EncodedRelation& enc, int attr) {
+  for (int code = 0; code < enc.dict_size(attr); ++code) {
+    const Value& v = enc.Decode(attr, code);
+    if (v.type() == ValueType::kDouble && !std::isfinite(v.as_double())) {
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Counting sort of the rows by a column's rank — stable, so it matches

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <bitset>
+#include <cmath>
 #include <map>
 #include <memory>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "engine/evidence.h"
+#include "engine/evidence_cache.h"
 #include "relation/encoded_relation.h"
 
 namespace famtree {
@@ -166,6 +169,73 @@ class CoverSearch {
   std::vector<std::pair<Bits, int64_t>> results_;
 };
 
+/// The back half of FASTDC, shared by both evidence producers: minimal
+/// cover search over the evidence multiset, then DC assembly.
+std::vector<DiscoveredDc> MineCover(const std::vector<DcPredicate>& preds,
+                                    const std::vector<Evidence>& evidence,
+                                    int64_t total_pairs,
+                                    const FastDcOptions& options) {
+  int64_t budget =
+      static_cast<int64_t>(options.max_violation_fraction * total_pairs);
+  CoverSearch search(preds, evidence, options.max_predicates, budget,
+                     options.max_results);
+  search.Run();
+  std::vector<DiscoveredDc> out;
+  for (const auto& [bits, violations] : search.results()) {
+    std::vector<DcPredicate> chosen;
+    for (size_t p = 0; p < preds.size(); ++p) {
+      if (bits[p]) chosen.push_back(preds[p]);
+    }
+    double fraction = total_pairs == 0
+                          ? 0.0
+                          : static_cast<double>(violations) / total_pairs;
+    out.push_back(DiscoveredDc{Dc(std::move(chosen)), fraction});
+  }
+  return out;
+}
+
+bool IsNumericColumn(const Relation& relation, int a) {
+  ValueType t = relation.schema().column(a).type;
+  return t == ValueType::kInt || t == ValueType::kDouble;
+}
+
+/// NaN order-ties with every numeric under Value's comparison, which the
+/// kernel's rank trit cannot represent (distinct codes always read < or >),
+/// so a NaN anywhere in an order column's dictionary disables the kernel
+/// path.
+bool DictHasNan(const EncodedRelation& encoded, int a) {
+  for (int code = 0; code < encoded.dict_size(a); ++code) {
+    const Value& v = encoded.Decode(a, code);
+    if (v.type() == ValueType::kDouble && std::isnan(v.as_double())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Decodes one packed comparison word into the satisfied-predicate bitset.
+/// Each same-column predicate reads its column's facet: equality bit for
+/// categorical columns, order trit (0 equal / 1 less / 2 greater) for
+/// numeric ones.
+Bits WordToBits(const EvidenceSet& set, uint64_t word,
+                const std::vector<DcPredicate>& preds) {
+  Bits bits;
+  for (size_t p = 0; p < preds.size(); ++p) {
+    int t = set.CmpOf(word, preds[p].lhs.attr);
+    bool sat = false;
+    switch (preds[p].op) {
+      case CmpOp::kEq: sat = t == 0; break;
+      case CmpOp::kNeq: sat = t != 0; break;
+      case CmpOp::kLt: sat = t == 1; break;
+      case CmpOp::kLe: sat = t != 2; break;
+      case CmpOp::kGt: sat = t == 2; break;
+      case CmpOp::kGe: sat = t != 1; break;
+    }
+    if (sat) bits[p] = true;
+  }
+  return bits;
+}
+
 }  // namespace
 
 std::vector<DcPredicate> BuildPredicateSpace(const Relation& relation,
@@ -215,6 +285,73 @@ Result<std::vector<DiscoveredDc>> DiscoverDcs(const Relation& relation,
     return Status::Invalid("max_violation_fraction must be in [0, 1]");
   }
   int n = relation.num_rows();
+  // Kernel path: one packed word per unordered pair from the shared
+  // comparison engine, decoded into predicate bitsets once per distinct
+  // word. The ordered-pair evidence FASTDC mines over is the unordered
+  // multiset plus its mirror (order trits swapped), so the cover search
+  // sees exactly the multiset the per-predicate path would produce.
+  if (options.use_encoding && options.use_evidence && !options.cross_column) {
+    EncodedRelation enc(relation);
+    std::vector<EvidenceColumn> config;
+    bool supported = true;
+    for (int a = 0; a < relation.num_columns(); ++a) {
+      EvidenceColumn c;
+      c.attr = a;
+      if (IsNumericColumn(relation, a)) {
+        c.cmp = EvidenceColumn::Cmp::kOrder;
+        if (DictHasNan(enc, a)) {
+          supported = false;
+          break;
+        }
+      } else {
+        c.cmp = EvidenceColumn::Cmp::kEquality;
+      }
+      config.push_back(c);
+    }
+    if (supported && EvidenceWordBits(config) <= 64) {
+      EvidenceOptions eopts;
+      eopts.pool = options.pool;
+      std::shared_ptr<const EvidenceSet> set;
+      bool exact = n <= options.max_rows_exact;
+      if (exact) {
+        FAMTREE_ASSIGN_OR_RETURN(
+            set, GetOrBuildEvidence(options.evidence, enc, config, eopts));
+      } else {
+        // The sampled pair stream stays on one serial Rng, so the sample —
+        // and everything mined from it — is identical to the fallback
+        // path's at any thread count.
+        Rng rng(options.seed);
+        int64_t samples = static_cast<int64_t>(options.max_rows_exact) *
+                          options.max_rows_exact;
+        std::vector<std::pair<int, int>> sampled;
+        sampled.reserve(samples);
+        for (int64_t s = 0; s < samples; ++s) {
+          int i = static_cast<int>(rng.Uniform(0, n - 1));
+          int j = static_cast<int>(rng.Uniform(0, n - 1));
+          if (i != j) sampled.push_back({i, j});
+        }
+        FAMTREE_ASSIGN_OR_RETURN(
+            set, BuildEvidenceForPairs(enc, config, sampled, eopts));
+      }
+      std::vector<Evidence> evidence;
+      evidence.reserve(set->words().size() * (exact ? 2 : 1));
+      for (const EvidenceSet::Word& w : set->words()) {
+        evidence.push_back(Evidence{WordToBits(*set, w.bits, preds), w.count});
+        if (exact) {
+          // The opposite orientation of every unordered pair; symmetric
+          // words simply contribute their count twice, which sums to the
+          // ordered-pair total.
+          evidence.push_back(
+              Evidence{WordToBits(*set, set->MirrorOf(w.bits), preds),
+                       w.count});
+        }
+      }
+      int64_t total_pairs =
+          exact ? static_cast<int64_t>(n) * std::max(0, n - 1)
+                : set->total_pairs();
+      return MineCover(preds, evidence, total_pairs, options);
+    }
+  }
   // Evidence sets, deduplicated with multiplicities. The ordered pairs are
   // listed up front (sampling draws stay on one serial Rng stream), then
   // evaluated in contiguous chunks — in parallel when a pool is given.
@@ -343,24 +480,7 @@ Result<std::vector<DiscoveredDc>> DiscoverDcs(const Relation& relation,
     evidence.push_back(Evidence{bits, count});
   }
 
-  int64_t budget = static_cast<int64_t>(options.max_violation_fraction *
-                                        total_pairs);
-  CoverSearch search(preds, evidence, options.max_predicates, budget,
-                     options.max_results);
-  search.Run();
-
-  std::vector<DiscoveredDc> out;
-  for (const auto& [bits, violations] : search.results()) {
-    std::vector<DcPredicate> chosen;
-    for (size_t p = 0; p < preds.size(); ++p) {
-      if (bits[p]) chosen.push_back(preds[p]);
-    }
-    double fraction = total_pairs == 0
-                          ? 0.0
-                          : static_cast<double>(violations) / total_pairs;
-    out.push_back(DiscoveredDc{Dc(std::move(chosen)), fraction});
-  }
-  return out;
+  return MineCover(preds, evidence, total_pairs, options);
 }
 
 Result<std::vector<DiscoveredDc>> DiscoverConstantDcs(

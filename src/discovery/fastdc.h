@@ -9,6 +9,7 @@
 
 namespace famtree {
 
+class EvidenceCache;
 class ThreadPool;
 
 struct FastDcOptions {
@@ -41,6 +42,21 @@ struct FastDcOptions {
   /// commutative addition, so the result is bit-identical to the serial
   /// build for any thread count (tests/engine_determinism_test.cc).
   ThreadPool* pool = nullptr;
+  /// Build the evidence set through the shared pairwise kernel
+  /// (engine/evidence.h): one packed comparison word per unordered pair —
+  /// an equality bit per categorical column, an order trit per numeric
+  /// column — deduplicated into a multiset, and each of the six predicate
+  /// outcomes decoded from the word once per distinct word instead of once
+  /// per pair. Ordered-pair evidence is the unordered multiset plus its
+  /// mirror. Falls back to the per-predicate path (identical output) when
+  /// cross-column predicates are requested, the word exceeds 64 bits, or a
+  /// numeric dictionary holds NaN (whose Value order ties are not
+  /// representable as a rank trit). Requires use_encoding.
+  bool use_evidence = true;
+  /// Optional shared store for kernel-built evidence multisets, keyed by
+  /// relation content + column config; only the exact (all-pairs) build is
+  /// cacheable.
+  EvidenceCache* evidence = nullptr;
 };
 
 struct DiscoveredDc {

@@ -7,6 +7,8 @@
 
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
+#include "engine/evidence.h"
+#include "engine/evidence_cache.h"
 #include "metric/code_distance.h"
 #include "metric/metric.h"
 
@@ -112,15 +114,111 @@ Result<std::vector<DiscoveredMd>> DiscoverMds(
   // is bit-identical at any thread count.
   std::vector<Md::Stats> stats(lhs_sets.size());
   int n = sample.num_rows();
-  FAMTREE_RETURN_NOT_OK(ParallelFor(
-      pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
-        if (encoded != nullptr) {
-          stats[c] = EncodedStats(lhs_sets[c], n, tables, rhs_keys);
-        } else {
-          stats[c] = Md(lhs_sets[c], rhs).ComputeStats(sample);
+  // Evidence path: one kernel build packs, per pair, each LHS attribute's
+  // threshold-bucket index and each RHS attribute's equality bit; a
+  // candidate's counts are then folds over the deduplicated words.
+  // d <= threshold exactly when the bucket index is at or below the
+  // threshold's index, and the RHS row keys agree exactly when every RHS
+  // attribute's codes do, so the stats match the pair scans bit for bit.
+  bool used_evidence = false;
+  if (encoded != nullptr && options.use_evidence) {
+    std::vector<EvidenceColumn> config;
+    std::vector<int> cfg_of(nc, -1);
+    std::vector<std::vector<double>> attr_th(nc);
+    bool supported = true;
+    for (int a = 0; a < nc && supported; ++a) {
+      if (rhs.Contains(a)) continue;
+      if (DictHasNonFiniteDouble(*encoded, a)) {
+        supported = false;
+        break;
+      }
+      ValueType t = relation.schema().column(a).type;
+      attr_th[a] = (t == ValueType::kInt || t == ValueType::kDouble)
+                       ? options.numeric_thresholds
+                       : options.string_thresholds;
+      std::sort(attr_th[a].begin(), attr_th[a].end());
+      attr_th[a].erase(std::unique(attr_th[a].begin(), attr_th[a].end()),
+                       attr_th[a].end());
+      EvidenceColumn col;
+      col.attr = a;
+      col.cmp = EvidenceColumn::Cmp::kNone;
+      col.metric = metrics[a];
+      col.thresholds = attr_th[a];
+      col.table = tables[a].get();
+      cfg_of[a] = static_cast<int>(config.size());
+      config.push_back(std::move(col));
+    }
+    std::vector<int> rhs_cols;
+    for (int a = 0; a < nc; ++a) {
+      if (!rhs.Contains(a)) continue;
+      EvidenceColumn col;
+      col.attr = a;
+      col.cmp = EvidenceColumn::Cmp::kEquality;
+      rhs_cols.push_back(static_cast<int>(config.size()));
+      config.push_back(std::move(col));
+    }
+    if (supported && EvidenceWordBits(config) <= 64) {
+      EvidenceOptions eopts;
+      eopts.pool = pool;
+      FAMTREE_ASSIGN_OR_RETURN(
+          std::shared_ptr<const EvidenceSet> set,
+          GetOrBuildEvidence(options.evidence, *encoded, config, eopts));
+      const std::vector<EvidenceSet::Word>& words = set->words();
+      // Per-word RHS identification, shared by every candidate.
+      std::vector<char> identified(words.size());
+      for (size_t wi = 0; wi < words.size(); ++wi) {
+        bool id = true;
+        for (int col : rhs_cols) {
+          if (!set->AgreesOn(words[wi].bits, col)) {
+            id = false;
+            break;
+          }
         }
-        return Status::OK();
-      }));
+        identified[wi] = id ? 1 : 0;
+      }
+      // Each candidate predicate's threshold as its bucket index.
+      std::vector<std::vector<std::pair<int, int>>> lhs_buckets(
+          lhs_sets.size());
+      for (size_t c = 0; c < lhs_sets.size(); ++c) {
+        for (const auto& p : lhs_sets[c]) {
+          const std::vector<double>& th = attr_th[p.attr];
+          int ti = static_cast<int>(
+              std::find(th.begin(), th.end(), p.threshold) - th.begin());
+          lhs_buckets[c].push_back({cfg_of[p.attr], ti});
+        }
+      }
+      FAMTREE_RETURN_NOT_OK(ParallelFor(
+          pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
+            Md::Stats& st = stats[c];
+            st.total_pairs = set->total_pairs();
+            for (size_t wi = 0; wi < words.size(); ++wi) {
+              bool similar = true;
+              for (const auto& [col, ti] : lhs_buckets[c]) {
+                if (set->BucketOf(words[wi].bits, col) > ti) {
+                  similar = false;
+                  break;
+                }
+              }
+              if (!similar) continue;
+              st.similar_pairs += words[wi].count;
+              if (identified[wi]) st.identified_pairs += words[wi].count;
+            }
+            return Status::OK();
+          }));
+      used_evidence = true;
+    }
+  }
+  if (!used_evidence) {
+    FAMTREE_RETURN_NOT_OK(ParallelFor(
+        pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
+          if (encoded != nullptr) {
+            stats[c] = EncodedStats(lhs_sets[c], n, tables, rhs_keys);
+          } else {
+            stats[c] = Md(lhs_sets[c], rhs).ComputeStats(sample);
+          }
+          return Status::OK();
+        }));
+  }
 
   std::vector<DiscoveredMd> out;
   for (size_t c = 0; c < lhs_sets.size(); ++c) {

@@ -9,6 +9,7 @@
 
 namespace famtree {
 
+class EvidenceCache;
 class PliCache;
 class ThreadPool;
 
@@ -40,6 +41,17 @@ struct MdDiscoveryOptions {
   /// re-materializes the input).
   ThreadPool* pool = nullptr;
   PliCache* cache = nullptr;
+  /// Evaluate every candidate against the shared pairwise evidence
+  /// multiset (engine/evidence.h): one kernel build packs each LHS
+  /// attribute's threshold-bucket index and each RHS attribute's equality
+  /// bit into a word per pair, and each candidate's support / confidence
+  /// counts become folds over the deduplicated words instead of O(n^2)
+  /// row-pair scans. Requires use_encoding; falls back (identical output)
+  /// when the word exceeds 64 bits or a dictionary holds a non-finite
+  /// double (whose NaN distances the bucket index cannot mirror).
+  bool use_evidence = true;
+  /// Optional shared store for the kernel-built evidence multiset.
+  EvidenceCache* evidence = nullptr;
 };
 
 struct DiscoveredMd {

@@ -6,6 +6,8 @@
 
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
+#include "engine/evidence.h"
+#include "engine/evidence_cache.h"
 #include "metric/code_distance.h"
 #include "metric/metric.h"
 
@@ -23,6 +25,32 @@ double GlobalDiameter(const Relation& relation, int attr,
                      ? table->RowDistance(i, j)
                      : metric.Distance(relation.Get(i, attr),
                                        relation.Get(j, attr));
+      if (std::isfinite(d)) diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+/// The max finite pairwise distance from the code-count histogram: every
+/// cross-code pair with both codes present occurs among the row pairs, and
+/// a diagonal pair needs its code on at least two rows — so the fold over
+/// occurring code pairs equals the O(n^2) row-pair fold.
+double GlobalDiameterFromCodes(const EncodedRelation& encoded, int attr,
+                               const CodeDistanceTable& table) {
+  const std::vector<uint32_t>& codes = encoded.codes(attr);
+  int k = encoded.dict_size(attr);
+  std::vector<int64_t> count(k, 0);
+  for (uint32_t c : codes) ++count[c];
+  double diameter = 0.0;
+  for (int c1 = 0; c1 < k; ++c1) {
+    if (count[c1] == 0) continue;
+    if (count[c1] >= 2) {
+      double d = table.Distance(c1, c1);
+      if (std::isfinite(d)) diameter = std::max(diameter, d);
+    }
+    for (int c2 = c1 + 1; c2 < k; ++c2) {
+      if (count[c2] == 0) continue;
+      double d = table.Distance(c1, c2);
       if (std::isfinite(d)) diameter = std::max(diameter, d);
     }
   }
@@ -59,8 +87,11 @@ Result<std::vector<DiscoveredMfd>> DiscoverMfds(
   }
   std::vector<double> global(nc);
   FAMTREE_RETURN_NOT_OK(ParallelFor(pool, nc, [&](int64_t a) {
-    global[a] = GlobalDiameter(relation, static_cast<int>(a), *metrics[a],
-                               tables[a].get());
+    global[a] = encoded != nullptr
+                    ? GlobalDiameterFromCodes(*encoded, static_cast<int>(a),
+                                              *tables[a])
+                    : GlobalDiameter(relation, static_cast<int>(a),
+                                     *metrics[a], tables[a].get());
     return Status::OK();
   }));
   // Per-candidate diameters fill index-addressed slots in the serial walk's
@@ -80,16 +111,69 @@ Result<std::vector<DiscoveredMfd>> DiscoverMfds(
       }
     }
   }
-  FAMTREE_RETURN_NOT_OK(ParallelFor(
-      pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
-        Candidate& c = candidates[i];
-        c.diameter =
-            encoded != nullptr
-                ? Mfd::MaxGroupDiameter(*encoded, c.lhs, *tables[c.attr])
-                : Mfd::MaxGroupDiameter(relation, c.lhs, c.attr,
-                                        *metrics[c.attr]);
-        return Status::OK();
-      }));
+  // Evidence path: one PLI-pruned kernel build (equality bit + tracked
+  // distance max per attribute); a candidate's diameter is then the max of
+  // its attribute's per-word maxima over the words whose LHS bits all
+  // agree. Those words cover exactly the within-group pairs, and a max of
+  // group maxes is the group-pair max, so the diameters are bit-identical
+  // to the per-candidate GroupBy scans. The synthesized all-unequal word
+  // disagrees with every (non-empty) LHS, so its zeroed aggregates are
+  // never read.
+  bool used_evidence = false;
+  if (encoded != nullptr && options.use_evidence) {
+    std::vector<EvidenceColumn> config(nc);
+    for (int a = 0; a < nc; ++a) {
+      config[a].attr = a;
+      config[a].cmp = EvidenceColumn::Cmp::kEquality;
+      config[a].metric = metrics[a];
+      config[a].track_max = true;
+      config[a].table = tables[a].get();
+    }
+    if (EvidenceWordBits(config) <= 64) {
+      EvidenceOptions eopts;
+      eopts.pool = pool;
+      eopts.pli = options.cache;
+      eopts.prune_all_unequal = true;
+      FAMTREE_ASSIGN_OR_RETURN(
+          std::shared_ptr<const EvidenceSet> set,
+          GetOrBuildEvidence(options.evidence, *encoded, config, eopts));
+      const std::vector<EvidenceSet::Word>& words = set->words();
+      // Per-word attribute-agreement masks, shared by every candidate:
+      // the word's pairs lie in one LHS group exactly when the mask covers
+      // the LHS.
+      std::vector<uint64_t> agree(words.size(), 0);
+      for (size_t wi = 0; wi < words.size(); ++wi) {
+        for (int a = 0; a < nc; ++a) {
+          if (set->AgreesOn(words[wi].bits, a)) agree[wi] |= uint64_t{1} << a;
+        }
+      }
+      FAMTREE_RETURN_NOT_OK(ParallelFor(
+          pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+            Candidate& c = candidates[i];
+            double diameter = 0.0;
+            uint64_t lhs_mask = c.lhs.mask();
+            for (size_t wi = 0; wi < words.size(); ++wi) {
+              if ((agree[wi] & lhs_mask) != lhs_mask) continue;
+              diameter = std::max(diameter, set->agg(wi, c.attr).max_all);
+            }
+            c.diameter = diameter;
+            return Status::OK();
+          }));
+      used_evidence = true;
+    }
+  }
+  if (!used_evidence) {
+    FAMTREE_RETURN_NOT_OK(ParallelFor(
+        pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+          Candidate& c = candidates[i];
+          c.diameter =
+              encoded != nullptr
+                  ? Mfd::MaxGroupDiameter(*encoded, c.lhs, *tables[c.attr])
+                  : Mfd::MaxGroupDiameter(relation, c.lhs, c.attr,
+                                          *metrics[c.attr]);
+          return Status::OK();
+        }));
+  }
   std::vector<DiscoveredMfd> out;
   for (const Candidate& c : candidates) {
     if (!std::isfinite(c.diameter)) continue;

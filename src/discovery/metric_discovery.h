@@ -11,6 +11,7 @@
 
 namespace famtree {
 
+class EvidenceCache;
 class PliCache;
 class ThreadPool;
 
@@ -35,6 +36,16 @@ struct MfdDiscoveryOptions {
   /// `cache` lends its encoding. FFD and PAC instantiation stay serial.
   ThreadPool* pool = nullptr;
   PliCache* cache = nullptr;
+  /// Measure every candidate from the shared pairwise evidence multiset
+  /// (engine/evidence.h): one PLI-pruned kernel build packs an equality
+  /// bit per attribute and folds each attribute's per-word distance
+  /// maxima, so a candidate's group diameter is a max over the words whose
+  /// LHS bits agree — no per-candidate GroupBy or pair scan. Global
+  /// diameters come from code-pair histograms. Requires use_encoding;
+  /// falls back (identical output) when the word exceeds 64 bits.
+  bool use_evidence = true;
+  /// Optional shared store for the kernel-built evidence multiset.
+  EvidenceCache* evidence = nullptr;
 };
 
 struct DiscoveredMfd {

@@ -4,8 +4,13 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+#include <string>
+
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
+#include "engine/evidence.h"
+#include "engine/evidence_cache.h"
 #include "metric/code_distance.h"
 #include "metric/metric.h"
 
@@ -88,15 +93,99 @@ Result<std::vector<DiscoveredNed>> DiscoverNeds(
   // bit-identical at any thread count.
   std::vector<Ned::PairStats> stats(lhs_sets.size());
   int n = relation.num_rows();
-  FAMTREE_RETURN_NOT_OK(ParallelFor(
-      pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
-        if (encoded != nullptr) {
-          stats[c] = EncodedPairStats(lhs_sets[c], {target}, n, tables);
-        } else {
-          stats[c] = Ned(lhs_sets[c], {target}).ComputePairStats(relation);
+  // Evidence path: one kernel build packs every attribute's
+  // threshold-bucket index — the target's single threshold included — into
+  // a word per pair; each candidate's counts are folds over the
+  // deduplicated words. d <= threshold exactly when the bucket index is at
+  // or below the threshold's index, so the stats match the pair scans bit
+  // for bit. The target metric is caller-supplied, so the path is gated to
+  // the built-in metrics whose NaN behavior the non-finite-dictionary
+  // guard covers.
+  bool used_evidence = false;
+  if (encoded != nullptr && options.use_evidence) {
+    const std::string& tname = target.metric->name();
+    bool supported =
+        tname == "edit" || tname == "absdiff" || tname == "discrete";
+    std::vector<double> lhs_th = options.thresholds;
+    std::sort(lhs_th.begin(), lhs_th.end());
+    lhs_th.erase(std::unique(lhs_th.begin(), lhs_th.end()), lhs_th.end());
+    std::vector<EvidenceColumn> config;
+    std::vector<int> cfg_of(nc, -1);
+    for (int a = 0; a < nc && supported; ++a) {
+      if (a != target.attr && DictHasNonFiniteDouble(*encoded, a)) {
+        supported = false;
+        break;
+      }
+      EvidenceColumn col;
+      col.attr = a;
+      col.cmp = EvidenceColumn::Cmp::kNone;
+      col.metric = metrics[a];
+      col.thresholds =
+          a == target.attr ? std::vector<double>{target.threshold} : lhs_th;
+      col.table = tables[a].get();
+      cfg_of[a] = static_cast<int>(config.size());
+      config.push_back(std::move(col));
+    }
+    if (supported && target.attr < nc &&
+        DictHasNonFiniteDouble(*encoded, target.attr)) {
+      supported = false;
+    }
+    if (supported && EvidenceWordBits(config) <= 64) {
+      EvidenceOptions eopts;
+      eopts.pool = pool;
+      FAMTREE_ASSIGN_OR_RETURN(
+          std::shared_ptr<const EvidenceSet> set,
+          GetOrBuildEvidence(options.evidence, *encoded, config, eopts));
+      const std::vector<EvidenceSet::Word>& words = set->words();
+      // Per-word target satisfaction (bucket 0 of the single-threshold
+      // facet), shared by every candidate.
+      std::vector<char> target_ok(words.size());
+      for (size_t wi = 0; wi < words.size(); ++wi) {
+        target_ok[wi] =
+            set->BucketOf(words[wi].bits, cfg_of[target.attr]) == 0 ? 1 : 0;
+      }
+      std::vector<std::vector<std::pair<int, int>>> lhs_buckets(
+          lhs_sets.size());
+      for (size_t c = 0; c < lhs_sets.size(); ++c) {
+        for (const auto& p : lhs_sets[c]) {
+          int ti = static_cast<int>(
+              std::find(lhs_th.begin(), lhs_th.end(), p.threshold) -
+              lhs_th.begin());
+          lhs_buckets[c].push_back({cfg_of[p.attr], ti});
         }
-        return Status::OK();
-      }));
+      }
+      FAMTREE_RETURN_NOT_OK(ParallelFor(
+          pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
+            Ned::PairStats& st = stats[c];
+            st.total_pairs = set->total_pairs();
+            for (size_t wi = 0; wi < words.size(); ++wi) {
+              bool agrees = true;
+              for (const auto& [col, ti] : lhs_buckets[c]) {
+                if (set->BucketOf(words[wi].bits, col) > ti) {
+                  agrees = false;
+                  break;
+                }
+              }
+              if (!agrees) continue;
+              st.lhs_pairs += words[wi].count;
+              if (target_ok[wi]) st.satisfying_pairs += words[wi].count;
+            }
+            return Status::OK();
+          }));
+      used_evidence = true;
+    }
+  }
+  if (!used_evidence) {
+    FAMTREE_RETURN_NOT_OK(ParallelFor(
+        pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
+          if (encoded != nullptr) {
+            stats[c] = EncodedPairStats(lhs_sets[c], {target}, n, tables);
+          } else {
+            stats[c] = Ned(lhs_sets[c], {target}).ComputePairStats(relation);
+          }
+          return Status::OK();
+        }));
+  }
   std::vector<DiscoveredNed> out;
   for (size_t c = 0; c < lhs_sets.size(); ++c) {
     if (stats[c].lhs_pairs < options.min_support) continue;

@@ -9,6 +9,7 @@
 
 namespace famtree {
 
+class EvidenceCache;
 class PliCache;
 class ThreadPool;
 
@@ -33,6 +34,18 @@ struct NedDiscoveryOptions {
   /// lends its encoding.
   ThreadPool* pool = nullptr;
   PliCache* cache = nullptr;
+  /// Evaluate every candidate against the shared pairwise evidence
+  /// multiset (engine/evidence.h): one kernel build packs each attribute's
+  /// threshold-bucket index (the target's single threshold included) into
+  /// a word per pair, and each candidate's support / confidence counts
+  /// become folds over the deduplicated words instead of O(n^2) row-pair
+  /// scans. Requires use_encoding; falls back (identical output) when the
+  /// word exceeds 64 bits, a dictionary holds a non-finite double, or the
+  /// target metric is not one of the built-ins (whose NaN behavior the
+  /// bucket index mirrors under that guard).
+  bool use_evidence = true;
+  /// Optional shared store for the kernel-built evidence multiset.
+  EvidenceCache* evidence = nullptr;
 };
 
 struct DiscoveredNed {

@@ -101,19 +101,35 @@ Result<std::vector<DiscoveredOd>> DiscoverUnaryOds(
   std::vector<DiscoveredOd> out;
   int nc = relation.num_columns();
   ThreadPool* pool = options.pool;
-  std::unique_ptr<EncodedRelation> local_encoding;
-  FAMTREE_ASSIGN_OR_RETURN(
-      const EncodedRelation* encoded,
-      ResolveEncoding(relation, options.use_encoding, options.cache,
-                      &local_encoding));
   auto eligible = [&](int c) {
     if (!options.numeric_only) return true;
     ValueType t = relation.schema().column(c).type;
     return t == ValueType::kInt || t == ValueType::kDouble;
   };
   std::vector<int> cols;
+  AttrSet col_set;
   for (int c = 0; c < nc; ++c) {
-    if (eligible(c)) cols.push_back(c);
+    if (eligible(c)) {
+      cols.push_back(c);
+      col_set = col_set.With(c);
+    }
+  }
+  // Like ResolveEncoding, but a locally built encoding covers only the
+  // eligible columns — the miner never reads the others, and skipping
+  // their dictionary builds is what keeps the encoded serial path ahead of
+  // the oracle on wide mixed-type relations.
+  if (options.cache != nullptr && &options.cache->relation() != &relation) {
+    return Status::Invalid("PliCache serves a different relation");
+  }
+  std::unique_ptr<EncodedRelation> local_encoding;
+  const EncodedRelation* encoded = nullptr;
+  if (options.use_encoding) {
+    if (options.cache != nullptr) {
+      encoded = &options.cache->encoded();
+    } else {
+      local_encoding = std::make_unique<EncodedRelation>(relation, col_set);
+      encoded = local_encoding.get();
+    }
   }
   // Encoded precomputation, once per column instead of one sort per
   // ordered pair and direction: the rank table and the sorted row order.

@@ -3,7 +3,9 @@
 namespace famtree {
 
 DiscoveryEngine::DiscoveryEngine(EngineOptions options)
-    : options_(options), pool_(options.num_threads) {}
+    : options_(options),
+      pool_(options.num_threads),
+      evidence_(EvidenceCache::Options{options.evidence_max_bytes}) {}
 
 PliCache& DiscoveryEngine::CacheFor(const Relation& relation) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -37,6 +39,7 @@ Result<std::vector<DiscoveredFd>> DiscoveryEngine::FastFd(
 Result<std::vector<DiscoveredDc>> DiscoveryEngine::FastDc(
     const Relation& relation, FastDcOptions options) {
   options.pool = &pool_;
+  options.evidence = &evidence_;
   return DiscoverDcs(relation, options);
 }
 
@@ -50,6 +53,7 @@ Result<std::vector<DiscoveredCfd>> DiscoveryEngine::ConstantCfds(
     const Relation& relation, CfdDiscoveryOptions options) {
   options.pool = &pool_;
   options.cache = &CacheFor(relation);
+  options.evidence = &evidence_;
   return DiscoverConstantCfds(relation, options);
 }
 
@@ -100,6 +104,7 @@ Result<std::vector<DiscoveredDd>> DiscoveryEngine::Dds(
     const Relation& relation, DdDiscoveryOptions options) {
   options.pool = &pool_;
   options.cache = &CacheFor(relation);
+  options.evidence = &evidence_;
   return DiscoverDds(relation, options);
 }
 
@@ -108,6 +113,7 @@ Result<std::vector<DiscoveredNed>> DiscoveryEngine::Neds(
     NedDiscoveryOptions options) {
   options.pool = &pool_;
   options.cache = &CacheFor(relation);
+  options.evidence = &evidence_;
   return DiscoverNeds(relation, target, options);
 }
 
@@ -115,6 +121,7 @@ Result<std::vector<DiscoveredMd>> DiscoveryEngine::Mds(
     const Relation& relation, AttrSet rhs, MdDiscoveryOptions options) {
   options.pool = &pool_;
   options.cache = &CacheFor(relation);
+  options.evidence = &evidence_;
   return DiscoverMds(relation, rhs, options);
 }
 
@@ -122,6 +129,7 @@ Result<std::vector<DiscoveredMfd>> DiscoveryEngine::Mfds(
     const Relation& relation, MfdDiscoveryOptions options) {
   options.pool = &pool_;
   options.cache = &CacheFor(relation);
+  options.evidence = &evidence_;
   return DiscoverMfds(relation, options);
 }
 
@@ -144,10 +152,12 @@ Result<DiscoveredCsd> DiscoveryEngine::CsdTableau(const Relation& relation,
 
 namespace {
 
-QualityOptions WireQuality(ThreadPool* pool, PliCache* cache) {
+QualityOptions WireQuality(ThreadPool* pool, PliCache* cache,
+                           EvidenceCache* evidence) {
   QualityOptions options;
   options.pool = pool;
   options.cache = cache;
+  options.evidence = evidence;
   return options;
 }
 
@@ -157,59 +167,65 @@ Result<RepairResult> DiscoveryEngine::RepairFds(const Relation& relation,
                                                 const std::vector<Fd>& fds,
                                                 int max_passes) {
   return RepairWithFds(relation, fds, max_passes,
-                       WireQuality(&pool_, &CacheFor(relation)));
+                       WireQuality(&pool_, &CacheFor(relation), &evidence_));
 }
 
 Result<RepairResult> DiscoveryEngine::RepairCfds(const Relation& relation,
                                                  const std::vector<Cfd>& cfds,
                                                  int max_passes) {
   return RepairWithCfds(relation, cfds, max_passes,
-                        WireQuality(&pool_, &CacheFor(relation)));
+                        WireQuality(&pool_, &CacheFor(relation), &evidence_));
 }
 
 Result<RepairResult> DiscoveryEngine::RepairHolistic(
     const Relation& relation, const std::vector<Dc>& dcs, int max_changes) {
-  return RepairWithDcsHolistic(relation, dcs, max_changes,
-                               WireQuality(&pool_, &CacheFor(relation)));
+  return RepairWithDcsHolistic(
+      relation, dcs, max_changes,
+      WireQuality(&pool_, &CacheFor(relation), &evidence_));
 }
 
 Result<MatchResult> DiscoveryEngine::Match(const Relation& relation,
                                            std::vector<Md> rules) {
   MdMatcher matcher(std::move(rules));
-  return matcher.Match(relation, WireQuality(&pool_, &CacheFor(relation)));
+  return matcher.Match(
+      relation, WireQuality(&pool_, &CacheFor(relation), &evidence_));
 }
 
 Result<ImputeResult> DiscoveryEngine::Impute(const Relation& relation,
                                              const Ned& rule) {
   return ImputeWithNed(relation, rule,
-                       WireQuality(&pool_, &CacheFor(relation)));
+                       WireQuality(&pool_, &CacheFor(relation), &evidence_));
 }
 
 Result<Relation> DiscoveryEngine::CertainAnswers(const Relation& relation,
                                                  const Fd& fd,
                                                  const SelectionQuery& query) {
-  return famtree::CertainAnswers(relation, fd, query,
-                                 WireQuality(&pool_, &CacheFor(relation)));
+  return famtree::CertainAnswers(
+      relation, fd, query,
+      WireQuality(&pool_, &CacheFor(relation), &evidence_));
 }
 
 Result<Relation> DiscoveryEngine::PossibleAnswers(
     const Relation& relation, const Fd& fd, const SelectionQuery& query) {
-  return famtree::PossibleAnswers(relation, fd, query,
-                                  WireQuality(&pool_, &CacheFor(relation)));
+  return famtree::PossibleAnswers(
+      relation, fd, query,
+      WireQuality(&pool_, &CacheFor(relation), &evidence_));
 }
 
 Result<std::vector<Violation>> DiscoveryEngine::DetectSpeed(
     const Relation& relation, int time_attr, int value_attr,
     const SpeedConstraint& constraint) {
-  return DetectSpeedViolations(relation, time_attr, value_attr, constraint,
-                               WireQuality(&pool_, &CacheFor(relation)));
+  return DetectSpeedViolations(
+      relation, time_attr, value_attr, constraint,
+      WireQuality(&pool_, &CacheFor(relation), &evidence_));
 }
 
 Result<RepairResult> DiscoveryEngine::RepairSpeed(
     const Relation& relation, int time_attr, int value_attr,
     const SpeedConstraint& constraint) {
-  return RepairWithSpeedConstraint(relation, time_attr, value_attr, constraint,
-                                   WireQuality(&pool_, &CacheFor(relation)));
+  return RepairWithSpeedConstraint(
+      relation, time_attr, value_attr, constraint,
+      WireQuality(&pool_, &CacheFor(relation), &evidence_));
 }
 
 Result<DetectionSummary> DiscoveryEngine::Detect(

@@ -21,6 +21,7 @@
 #include "discovery/pfd_discovery.h"
 #include "discovery/sd_discovery.h"
 #include "discovery/tane.h"
+#include "engine/evidence_cache.h"
 #include "engine/pli_cache.h"
 #include "quality/cqa.h"
 #include "quality/dedup.h"
@@ -37,6 +38,10 @@ struct EngineOptions {
   int num_threads = 0;
   /// Per-relation PLI cache budget (see PliCache::Options::max_bytes).
   size_t cache_max_bytes = 64ull << 20;
+  /// Budget of the engine-wide evidence store (see
+  /// EvidenceCache::Options::max_bytes). The store is content-addressed
+  /// (encoding fingerprints), so one store serves every relation.
+  size_t evidence_max_bytes = 32ull << 20;
 };
 
 /// The parallel lattice engine: one thread pool plus one shared PLI store
@@ -62,6 +67,9 @@ class DiscoveryEngine {
 
   /// The shared PLI store for `relation`, created on first use.
   PliCache& CacheFor(const Relation& relation);
+
+  /// The engine-wide evidence store serving every pairwise miner.
+  EvidenceCache& evidence_cache() { return evidence_; }
 
   /// Drops the store of a relation that is going away.
   void ForgetRelation(const Relation& relation);
@@ -193,9 +201,13 @@ class DiscoveryEngine {
   /// Cache counters aggregated over every relation the engine has served.
   PliCache::Stats CacheStats() const;
 
+  /// Counters of the shared evidence store.
+  EvidenceCache::Stats EvidenceStats() const { return evidence_.stats(); }
+
  private:
   EngineOptions options_;
   ThreadPool pool_;
+  EvidenceCache evidence_;
   mutable std::mutex mu_;  // guards caches_
   std::map<const Relation*, std::unique_ptr<PliCache>> caches_;
 };

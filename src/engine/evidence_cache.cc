@@ -1,0 +1,113 @@
+#include "engine/evidence_cache.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace famtree {
+
+uint64_t EncodingFingerprint(const EncodedRelation& encoded) {
+  size_t h = HashCombine(0x66616d74, static_cast<size_t>(encoded.num_rows()));
+  h = HashCombine(h, static_cast<size_t>(encoded.num_columns()));
+  for (int c = 0; c < encoded.num_columns(); ++c) {
+    h = HashCombine(h, static_cast<size_t>(encoded.dict_size(c)));
+    // The code arrays determine every equality relationship; dictionaries
+    // are representatives of the same classes, so codes alone suffice.
+    for (uint32_t code : encoded.codes(c)) {
+      h = HashCombine(h, static_cast<size_t>(code));
+    }
+  }
+  return static_cast<uint64_t>(h);
+}
+
+std::string EvidenceCache::KeyFor(const EncodedRelation& encoded,
+                                  const std::vector<EvidenceColumn>& columns) {
+  std::string key;
+  key.reserve(32 + columns.size() * 32);
+  char buf[32];
+  uint64_t fp = EncodingFingerprint(encoded);
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  key += buf;
+  for (const EvidenceColumn& c : columns) {
+    std::snprintf(buf, sizeof(buf), "|%d:%d:%d:", c.attr,
+                  static_cast<int>(c.cmp), c.track_max ? 1 : 0);
+    key += buf;
+    if (c.metric != nullptr) key += c.metric->name();
+    for (double t : c.thresholds) {
+      // Thresholds compare by exact double, so the key uses the bit
+      // pattern, not a rounded decimal print.
+      uint64_t bits;
+      std::memcpy(&bits, &t, sizeof(bits));
+      std::snprintf(buf, sizeof(buf), ",%016llx",
+                    static_cast<unsigned long long>(bits));
+      key += buf;
+    }
+  }
+  return key;
+}
+
+std::shared_ptr<const EvidenceSet> EvidenceCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.set;
+}
+
+std::shared_ptr<const EvidenceSet> EvidenceCache::Insert(
+    const std::string& key, std::shared_ptr<const EvidenceSet> set) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.builds;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // A racing build got here first; its (bit-identical) set wins.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.set;
+  }
+  Entry entry;
+  entry.set = std::move(set);
+  entry.bytes = entry.set->footprint_bytes();
+  lru_.push_front(key);
+  entry.lru_pos = lru_.begin();
+  stats_.bytes += entry.bytes;
+  auto result = entries_.emplace(key, std::move(entry)).first->second.set;
+  while (stats_.bytes > options_.max_bytes && lru_.size() > 1) {
+    const std::string& victim = lru_.back();
+    auto vit = entries_.find(victim);
+    stats_.bytes -= vit->second.bytes;
+    ++stats_.evictions;
+    entries_.erase(vit);
+    lru_.pop_back();
+  }
+  return result;
+}
+
+EvidenceCache::Stats EvidenceCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Result<std::shared_ptr<const EvidenceSet>> GetOrBuildEvidence(
+    EvidenceCache* cache, const EncodedRelation& encoded,
+    const std::vector<EvidenceColumn>& columns,
+    const EvidenceOptions& options) {
+  std::string key;
+  if (cache != nullptr) {
+    key = EvidenceCache::KeyFor(encoded, columns);
+    if (auto hit = cache->Lookup(key)) return hit;
+  }
+  FAMTREE_ASSIGN_OR_RETURN(std::shared_ptr<const EvidenceSet> set,
+                           BuildEvidence(encoded, columns, options));
+  if (cache != nullptr) return cache->Insert(key, std::move(set));
+  return set;
+}
+
+}  // namespace famtree

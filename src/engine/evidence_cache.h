@@ -1,0 +1,93 @@
+#ifndef FAMTREE_ENGINE_EVIDENCE_CACHE_H_
+#define FAMTREE_ENGINE_EVIDENCE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/evidence.h"
+#include "relation/encoded_relation.h"
+
+namespace famtree {
+
+/// Content fingerprint of an encoding: hashes the shape, the per-column
+/// dictionary sizes and every code array. Two encodings with the same
+/// fingerprint hold the same code matrix, so any evidence set built from
+/// one is valid for the other — which keys the cache by data, not by
+/// address, and keeps entries correct across re-encodings and distinct
+/// relations with identical content.
+uint64_t EncodingFingerprint(const EncodedRelation& encoded);
+
+/// A shared, thread-safe, size-bounded LRU store of evidence multisets,
+/// keyed by (relation fingerprint, column set, distance config) — the
+/// sibling of PliCache one level up: PliCache memoizes partitions, this
+/// memoizes the pairwise comparison structure every evidence consumer
+/// (FASTDC, DD/MD/NED/MFD, constant-CFD pruning) starts from.
+///
+/// Entries are shared_ptr<const EvidenceSet>, so an evicted set stays alive
+/// for callers still holding it. A miss is computed outside the lock; two
+/// racing threads build the same (bit-identical) set and the first insert
+/// wins.
+class EvidenceCache {
+ public:
+  struct Options {
+    size_t max_bytes = 32ull << 20;
+  };
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t builds = 0;
+    size_t bytes = 0;
+  };
+
+  EvidenceCache() : EvidenceCache(Options()) {}
+  explicit EvidenceCache(Options options) : options_(options) {}
+
+  /// Canonical cache key of a build request: the encoding fingerprint plus
+  /// an exact serialization of the column config (attributes, comparison
+  /// modes, metric names, threshold bit patterns, track flags). The
+  /// enumeration strategy (dense / pruned / thread count) is deliberately
+  /// not part of the key — every strategy produces the identical multiset.
+  static std::string KeyFor(const EncodedRelation& encoded,
+                            const std::vector<EvidenceColumn>& columns);
+
+  std::shared_ptr<const EvidenceSet> Lookup(const std::string& key);
+
+  /// Inserts under the lock, evicting LRU entries over budget. Returns the
+  /// winning entry (an earlier racing insert keeps priority).
+  std::shared_ptr<const EvidenceSet> Insert(
+      const std::string& key, std::shared_ptr<const EvidenceSet> set);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const EvidenceSet> set;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // most recently used first
+  Stats stats_;
+};
+
+/// The consumer-facing entry point: serves the evidence set from `cache`
+/// when one is attached (building and inserting on a miss), or builds
+/// directly when `cache` is null. Only all-pairs builds are cacheable;
+/// explicit pair lists (FASTDC sampling) bypass the cache.
+Result<std::shared_ptr<const EvidenceSet>> GetOrBuildEvidence(
+    EvidenceCache* cache, const EncodedRelation& encoded,
+    const std::vector<EvidenceColumn>& columns,
+    const EvidenceOptions& options);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_ENGINE_EVIDENCE_CACHE_H_

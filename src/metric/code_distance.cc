@@ -1,6 +1,36 @@
 #include "metric/code_distance.h"
 
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+
 namespace famtree {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Per-code forms for the edit-distance fast path: null flag + string form.
+struct EditForms {
+  std::vector<uint8_t> is_null;
+  std::vector<std::string> text;
+};
+
+EditForms BuildEditForms(const EncodedRelation& encoded, int attr) {
+  int k = encoded.dict_size(attr);
+  EditForms forms;
+  forms.is_null.resize(k);
+  forms.text.resize(k);
+  for (int c = 0; c < k; ++c) {
+    const Value& v = encoded.Decode(attr, static_cast<uint32_t>(c));
+    forms.is_null[c] = v.is_null() ? 1 : 0;
+    if (!v.is_null()) forms.text[c] = v.ToString();
+  }
+  return forms;
+}
+
+}  // namespace
 
 CodeDistanceTable::CodeDistanceTable(const EncodedRelation& encoded, int attr,
                                      MetricPtr metric, ThreadPool* pool,
@@ -10,6 +40,29 @@ CodeDistanceTable::CodeDistanceTable(const EncodedRelation& encoded, int attr,
   int64_t entries = k * (k + 1) / 2;
   if (k == 0 || entries > max_entries) return;
   table_.resize(static_cast<size_t>(entries));
+  // Edit distance dominates the string workloads; memoizing the string
+  // forms once avoids a ToString allocation pair per entry. The DP itself
+  // is the same as EditDistanceMetric::Distance, so entries stay
+  // bit-identical to the generic fill below.
+  if (metric_->name() == "edit") {
+    EditForms forms = BuildEditForms(encoded, attr);
+    Status st = ParallelFor(pool, k, [&](int64_t b) {
+      size_t base = TriIndex(0, static_cast<uint32_t>(b));
+      for (int64_t a = 0; a <= b; ++a) {
+        double d;
+        if (forms.is_null[a] || forms.is_null[b]) {
+          d = (forms.is_null[a] && forms.is_null[b]) ? 0.0 : kInf;
+        } else {
+          d = LevenshteinDistance(forms.text[a], forms.text[b]);
+        }
+        table_[base + a] = d;
+      }
+      return Status::OK();
+    });
+    (void)st;
+    memoized_ = true;
+    return;
+  }
   // Each iteration fills one row of the triangle; entries are pure
   // functions of their code pair, so parallel fill is deterministic.
   Status st = ParallelFor(pool, k, [&](int64_t b) {
@@ -24,6 +77,75 @@ CodeDistanceTable::CodeDistanceTable(const EncodedRelation& encoded, int attr,
   });
   // ParallelFor only propagates statuses from the body, which is
   // infallible here.
+  (void)st;
+  memoized_ = true;
+}
+
+CodeBucketTable::CodeBucketTable(const EncodedRelation& encoded, int attr,
+                                 MetricPtr metric,
+                                 std::vector<double> thresholds,
+                                 ThreadPool* pool, int64_t max_entries)
+    : encoded_(&encoded),
+      attr_(attr),
+      metric_(std::move(metric)),
+      thresholds_(std::move(thresholds)) {
+  int64_t k = encoded.dict_size(attr);
+  int64_t entries = k * (k + 1) / 2;
+  if (k == 0 || entries > max_entries ||
+      thresholds_.size() > 254) {
+    return;
+  }
+  table_.resize(static_cast<size_t>(entries));
+  // Edit-distance fast path: distances are non-negative integers, so a
+  // banded DP bounded by the largest finite threshold decides every bucket
+  // exactly. A bounded result beyond the band means the (always finite)
+  // distance exceeds every finite threshold, which lands in the first
+  // +inf threshold's bucket if there is one.
+  bool edit = metric_->name() == "edit";
+  int limit = -1;
+  for (double t : thresholds_) {
+    if (std::isfinite(t) && t >= 0) {
+      limit = std::max(limit, static_cast<int>(std::floor(t)));
+    }
+  }
+  uint8_t overflow = static_cast<uint8_t>(thresholds_.size());
+  for (size_t j = 0; j < thresholds_.size(); ++j) {
+    if (thresholds_[j] == kInf) {
+      overflow = static_cast<uint8_t>(j);
+      break;
+    }
+  }
+  if (edit && limit <= 64) {
+    EditForms forms = BuildEditForms(encoded, attr);
+    Status st = ParallelFor(pool, k, [&](int64_t b) {
+      size_t base = TriIndex(0, static_cast<uint32_t>(b));
+      for (int64_t a = 0; a <= b; ++a) {
+        uint8_t bucket;
+        if (forms.is_null[a] || forms.is_null[b]) {
+          bucket = BucketOf((forms.is_null[a] && forms.is_null[b]) ? 0.0
+                                                                   : kInf);
+        } else {
+          int d = LevenshteinDistanceBounded(forms.text[a], forms.text[b],
+                                             limit);
+          bucket = d <= limit ? BucketOf(d) : overflow;
+        }
+        table_[base + a] = bucket;
+      }
+      return Status::OK();
+    });
+    (void)st;
+    memoized_ = true;
+    return;
+  }
+  Status st = ParallelFor(pool, k, [&](int64_t b) {
+    const Value& vb = encoded_->Decode(attr_, static_cast<uint32_t>(b));
+    size_t base = TriIndex(0, static_cast<uint32_t>(b));
+    for (int64_t a = 0; a <= b; ++a) {
+      table_[base + a] = BucketOf(metric_->Distance(
+          encoded_->Decode(attr_, static_cast<uint32_t>(a)), vb));
+    }
+    return Status::OK();
+  });
   (void)st;
   memoized_ = true;
 }

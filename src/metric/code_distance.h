@@ -71,6 +71,69 @@ class CodeDistanceTable {
   std::vector<double> table_;
 };
 
+/// Memoized threshold-bucket indices over one column's dictionary codes.
+///
+/// Consumers that only test `distance <= threshold` (MD/NED similarity
+/// predicates, dedup rules, the evidence kernel's distance-bucket facets)
+/// never need the distance itself — only which band of a sorted threshold
+/// list it falls in. Storing one byte per code pair instead of a double
+/// quarters the footprint, and for edit distance the fill runs the banded
+/// Levenshtein bounded by the largest threshold, which is several times
+/// cheaper than the full DP on long strings.
+///
+/// Bucket(a, b) returns the smallest index j with distance <= thresholds[j],
+/// or thresholds.size() when the distance (finite or not) exceeds every
+/// threshold. The comparisons use the exact doubles the metric would
+/// return, so buckets are bit-identical to the Value-path oracle's
+/// threshold tests.
+class CodeBucketTable {
+ public:
+  /// `thresholds` must be sorted ascending; at most 254 thresholds.
+  /// The encoding (and the metric) must outlive the table.
+  CodeBucketTable(const EncodedRelation& encoded, int attr, MetricPtr metric,
+                  std::vector<double> thresholds, ThreadPool* pool = nullptr,
+                  int64_t max_entries = CodeDistanceTable::kDefaultMaxEntries);
+
+  uint8_t Bucket(uint32_t a, uint32_t b) const {
+    if (memoized_) {
+      if (a > b) std::swap(a, b);
+      return table_[TriIndex(a, b)];
+    }
+    return BucketOf(metric_->Distance(encoded_->Decode(attr_, a),
+                                      encoded_->Decode(attr_, b)));
+  }
+
+  uint8_t RowBucket(int row_a, int row_b) const {
+    return Bucket(encoded_->code(row_a, attr_), encoded_->code(row_b, attr_));
+  }
+
+  /// Band of one raw distance under this table's thresholds.
+  uint8_t BucketOf(double d) const {
+    uint8_t j = 0;
+    for (double t : thresholds_) {
+      if (d <= t) return j;
+      ++j;
+    }
+    return j;
+  }
+
+  int num_thresholds() const { return static_cast<int>(thresholds_.size()); }
+  bool memoized() const { return memoized_; }
+  size_t footprint_bytes() const { return table_.capacity(); }
+
+ private:
+  static size_t TriIndex(uint32_t a, uint32_t b) {
+    return static_cast<size_t>(b) * (b + 1) / 2 + a;
+  }
+
+  const EncodedRelation* encoded_;
+  int attr_;
+  MetricPtr metric_;
+  std::vector<double> thresholds_;
+  bool memoized_ = false;
+  std::vector<uint8_t> table_;
+};
+
 }  // namespace famtree
 
 #endif  // FAMTREE_METRIC_CODE_DISTANCE_H_

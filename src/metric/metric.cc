@@ -39,6 +39,37 @@ int LevenshteinDistance(const std::string& a, const std::string& b) {
   return prev[m];
 }
 
+int LevenshteinDistanceBounded(const std::string& a, const std::string& b,
+                               int limit) {
+  const int n = static_cast<int>(a.size()), m = static_cast<int>(b.size());
+  if (limit < 0) return 1;  // anything positive is "> limit"
+  if ((n > m ? n - m : m - n) > limit) return limit + 1;
+  if (n == 0) return m;
+  if (m == 0) return n;
+  // One DP row, restricted to the diagonal band [j-limit, j+limit]; cells
+  // outside the band can never reach a distance <= limit.
+  const int kBig = limit + 1;
+  std::vector<int> prev(m + 1, kBig), cur(m + 1, kBig);
+  for (int j = 0; j <= std::min(m, limit); ++j) prev[j] = j;
+  for (int i = 1; i <= n; ++i) {
+    int lo = std::max(1, i - limit), hi = std::min(m, i + limit);
+    cur[lo - 1] = (i - (lo - 1) <= limit && lo == 1) ? i : kBig;
+    int best = cur[lo - 1];
+    for (int j = lo; j <= hi; ++j) {
+      int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      int d = prev[j - 1] + cost;
+      if (prev[j] + 1 < d) d = prev[j] + 1;
+      if (cur[j - 1] + 1 < d) d = cur[j - 1] + 1;
+      cur[j] = d > kBig ? kBig : d;
+      if (cur[j] < best) best = cur[j];
+    }
+    if (best > limit) return limit + 1;  // band exhausted: early abandon
+    if (hi < m) cur[hi + 1] = kBig;
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
 double EditDistanceMetric::Distance(const Value& a, const Value& b) const {
   double nd;
   if (NullRule(a, b, &nd)) return nd;

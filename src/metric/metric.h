@@ -72,6 +72,13 @@ class JaccardQGramMetric : public Metric {
 /// Raw Levenshtein distance between two strings.
 int LevenshteinDistance(const std::string& a, const std::string& b);
 
+/// Banded Levenshtein (Ukkonen): returns the exact distance when it is
+/// <= limit, and any value > limit otherwise. With a small limit this is
+/// O(max(n,m) * limit) instead of O(n*m) — the bucket tables use it when a
+/// consumer only needs to know which threshold band a distance falls in.
+int LevenshteinDistanceBounded(const std::string& a, const std::string& b,
+                               int limit);
+
 /// Shared default instances (metrics are stateless).
 MetricPtr GetEditDistanceMetric();
 MetricPtr GetAbsDiffMetric();

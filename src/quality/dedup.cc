@@ -4,10 +4,12 @@
 #include <map>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
+#include "engine/evidence.h"
 #include "metric/code_distance.h"
 
 namespace famtree {
@@ -74,11 +76,53 @@ Result<MatchResult> MdMatcher::Match(const Relation& relation,
       const EncodedRelation* encoded,
       ResolveEncoding(relation, options.use_encoding, options.cache,
                       &local_encoding));
+  // Kernel path: every (rule, predicate) compiles to one single-threshold
+  // bucket facet of a PairComparator word — for edit distance that is a
+  // byte-wide banded-Levenshtein bucket table instead of a full distance
+  // table — and a rule matches a pair exactly when its predicates' bits
+  // are all zero (bucket 0 = within threshold), one bitmask test per rule.
+  // Rules can carry arbitrary caller metrics, so the path is gated to the
+  // built-ins whose NaN behavior the non-finite-dictionary guard covers
+  // (`d > threshold` keeps a NaN-distance pair; a bucket index drops it).
+  std::unique_ptr<PairComparator> comparator;
+  std::vector<uint64_t> rule_masks(rules_.size(), 0);
+  if (encoded != nullptr && options.use_evidence) {
+    std::vector<EvidenceColumn> config;
+    bool supported = true;
+    for (size_t r = 0; r < rules_.size() && supported; ++r) {
+      for (const auto& p : rules_[r].lhs()) {
+        const std::string& name = p.metric->name();
+        if ((name != "edit" && name != "absdiff" && name != "discrete") ||
+            DictHasNonFiniteDouble(*encoded, p.attr)) {
+          supported = false;
+          break;
+        }
+        EvidenceColumn col;
+        col.attr = p.attr;
+        col.cmp = EvidenceColumn::Cmp::kNone;
+        col.metric = p.metric;
+        col.thresholds = {p.threshold};
+        config.push_back(std::move(col));
+      }
+    }
+    if (supported && !config.empty() && EvidenceWordBits(config) <= 64) {
+      FAMTREE_ASSIGN_OR_RETURN(
+          comparator,
+          PairComparator::Make(*encoded, std::move(config), options.pool));
+      size_t col = 0;
+      for (size_t r = 0; r < rules_.size(); ++r) {
+        for (size_t k = 0; k < rules_[r].lhs().size(); ++k, ++col) {
+          rule_masks[r] |= uint64_t{1}
+                           << comparator->layout()[col].bucket_shift;
+        }
+      }
+    }
+  }
   // One distance table per (rule, predicate) — predicates carry their own
   // metrics, so tables cannot be shared across rules by attribute alone.
   std::vector<std::vector<std::unique_ptr<CodeDistanceTable>>> tables(
       rules_.size());
-  if (encoded != nullptr) {
+  if (encoded != nullptr && comparator == nullptr) {
     for (size_t r = 0; r < rules_.size(); ++r) {
       for (const auto& p : rules_[r].lhs()) {
         tables[r].push_back(std::make_unique<CodeDistanceTable>(
@@ -95,23 +139,33 @@ Result<MatchResult> MdMatcher::Match(const Relation& relation,
   FAMTREE_RETURN_NOT_OK(ParallelFor(options.pool, n, [&](int64_t i) {
     for (int j = static_cast<int>(i) + 1; j < n; ++j) {
       bool any = false;
-      for (size_t r = 0; r < rules_.size(); ++r) {
-        bool similar = true;
-        if (encoded != nullptr) {
-          const auto& lhs = rules_[r].lhs();
-          for (size_t k = 0; k < lhs.size(); ++k) {
-            if (tables[r][k]->RowDistance(static_cast<int>(i), j) >
-                lhs[k].threshold) {
-              similar = false;
-              break;
-            }
+      if (comparator != nullptr) {
+        uint64_t w = comparator->Word(static_cast<int>(i), j);
+        for (size_t r = 0; r < rules_.size(); ++r) {
+          if ((w & rule_masks[r]) == 0) {
+            ++counts[i];
+            any = true;
           }
-        } else {
-          similar = rules_[r].LhsSimilar(relation, static_cast<int>(i), j);
         }
-        if (similar) {
-          ++counts[i];
-          any = true;
+      } else {
+        for (size_t r = 0; r < rules_.size(); ++r) {
+          bool similar = true;
+          if (encoded != nullptr) {
+            const auto& lhs = rules_[r].lhs();
+            for (size_t k = 0; k < lhs.size(); ++k) {
+              if (tables[r][k]->RowDistance(static_cast<int>(i), j) >
+                  lhs[k].threshold) {
+                similar = false;
+                break;
+              }
+            }
+          } else {
+            similar = rules_[r].LhsSimilar(relation, static_cast<int>(i), j);
+          }
+          if (similar) {
+            ++counts[i];
+            any = true;
+          }
         }
       }
       if (any) partners[i].push_back(j);

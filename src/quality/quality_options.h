@@ -3,6 +3,7 @@
 
 namespace famtree {
 
+class EvidenceCache;
 class PliCache;
 class ThreadPool;
 
@@ -18,6 +19,15 @@ struct QualityOptions {
   bool use_encoding = true;
   ThreadPool* pool = nullptr;
   PliCache* cache = nullptr;
+  /// Route pairwise scans through the shared comparison kernel
+  /// (engine/evidence.h): similarity predicates compile to per-pair
+  /// threshold-bucket bits (byte-wide banded-edit bucket tables instead of
+  /// full distance tables), decoded by bitmask per rule. Applications fall
+  /// back to their per-predicate scans (identical output) for configs the
+  /// kernel cannot mirror exactly. Requires use_encoding.
+  bool use_evidence = true;
+  /// Optional shared store for kernel-built evidence multisets.
+  EvidenceCache* evidence = nullptr;
 };
 
 }  // namespace famtree

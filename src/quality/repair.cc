@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "engine/pli_cache.h"
@@ -63,52 +61,79 @@ int FdRepairPass(Relation* relation, const Fd& fd,
   return made;
 }
 
-/// PluralityValue over integer codes: counts per code, then picks the
-/// first row (in group order) whose code reaches the strict maximum —
-/// exactly the serial algorithm's first-occurrence tie-break. The target
-/// is read back from that row, so even the representation matches.
-Value PluralityValueEncoded(const Relation& relation,
-                            const EncodedRelation& enc,
-                            const std::vector<int>& rows, int col) {
-  std::unordered_map<uint32_t, int> counts;
-  for (int r : rows) ++counts[enc.code(r, col)];
-  int best = 0;
-  int best_row = rows[0];
-  std::unordered_set<uint32_t> seen;
+/// Plurality over integer codes: counts per code, then picks the first
+/// row (in group order) whose code reaches the strict maximum — exactly
+/// the serial algorithm's first-occurrence tie-break. Returns that row, so
+/// the caller reads both the target Value and its code from it (even the
+/// representation matches the oracle). LHS groups are typically tiny, so
+/// a flat first-occurrence-ordered count vector (the oracle's own shape,
+/// minus the Value comparisons) beats hash containers.
+int PluralityRowEncoded(const EncodedRelation& enc,
+                        const std::vector<int>& rows, int col) {
+  std::vector<std::pair<uint32_t, int>> counts;
+  counts.reserve(rows.size());
   for (int r : rows) {
     uint32_t c = enc.code(r, col);
-    if (!seen.insert(c).second) continue;
-    int cnt = counts[c];
-    if (cnt > best) {
-      best = cnt;
-      best_row = r;
+    bool found = false;
+    for (auto& [code, count] : counts) {
+      if (code == c) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counts.push_back({c, 1});
+  }
+  int best = 0;
+  uint32_t best_code = counts[0].first;
+  for (const auto& [code, count] : counts) {
+    if (count > best) {
+      best = count;
+      best_code = code;
     }
   }
-  return relation.Get(best_row, col);
+  for (int r : rows) {
+    if (enc.code(r, col) == best_code) return r;
+  }
+  return rows[0];
 }
 
 /// One FD-repair pass with the plurality targets precomputed in parallel.
 /// All (group, column) targets depend only on the pass-start state (groups
 /// are disjoint row sets and a column's plurality is untouched by writes
 /// to other columns), so they can fan out; the writes replay the oracle's
-/// group/column/row order.
+/// group/column/row order. On the encoded path the writes also rebind the
+/// changed cells' codes — targets are values that already occur in the
+/// column, so the encoding stays valid for the next pass with no
+/// re-encode.
 Result<int> FdRepairPassFast(Relation* relation, const Fd& fd,
-                             const EncodedRelation* enc, ThreadPool* pool,
+                             EncodedRelation* enc, ThreadPool* pool,
                              std::vector<CellChange>* changes) {
   std::vector<std::vector<int>> groups =
       enc != nullptr ? enc->GroupBy(fd.lhs()) : relation->GroupBy(fd.lhs());
   std::vector<int> rhs_cols = fd.rhs().ToVector();
-  std::vector<std::vector<Value>> targets(groups.size());
+  // On the encoded path a target is remembered as its plurality row (the
+  // Value is read back lazily at write time): groups are disjoint and a
+  // group's writes never touch its own plurality row for that column, so
+  // the row still holds the target when the replay reaches it. This keeps
+  // the fan-out free of per-group Value copies.
+  std::vector<std::vector<Value>> targets(enc == nullptr ? groups.size() : 0);
+  std::vector<std::vector<int>> target_rows(enc != nullptr ? groups.size()
+                                                           : 0);
   FAMTREE_RETURN_NOT_OK(ParallelFor(
       pool, static_cast<int64_t>(groups.size()), [&](int64_t g) {
         if (groups[g].size() < 2) return Status::OK();
-        targets[g].resize(rhs_cols.size());
-        for (size_t k = 0; k < rhs_cols.size(); ++k) {
-          targets[g][k] =
-              enc != nullptr
-                  ? PluralityValueEncoded(*relation, *enc, groups[g],
-                                          rhs_cols[k])
-                  : PluralityValue(*relation, groups[g], rhs_cols[k]);
+        if (enc != nullptr) {
+          target_rows[g].resize(rhs_cols.size());
+          for (size_t k = 0; k < rhs_cols.size(); ++k) {
+            target_rows[g][k] =
+                PluralityRowEncoded(*enc, groups[g], rhs_cols[k]);
+          }
+        } else {
+          targets[g].resize(rhs_cols.size());
+          for (size_t k = 0; k < rhs_cols.size(); ++k) {
+            targets[g][k] = PluralityValue(*relation, groups[g], rhs_cols[k]);
+          }
         }
         return Status::OK();
       }));
@@ -117,10 +142,24 @@ Result<int> FdRepairPassFast(Relation* relation, const Fd& fd,
     if (groups[g].size() < 2) continue;
     for (size_t k = 0; k < rhs_cols.size(); ++k) {
       int col = rhs_cols[k];
-      const Value& target = targets[g][k];
-      for (int r : groups[g]) {
-        if (!(relation->Get(r, col) == target)) {
-          changes->push_back(CellChange{r, col, relation->Get(r, col), target});
+      if (enc != nullptr) {
+        uint32_t target_code = enc->code(target_rows[g][k], col);
+        Value target = relation->Get(target_rows[g][k], col);
+        for (int r : groups[g]) {
+          // Code inequality ⇔ Value inequality on the encoded path.
+          if (enc->code(r, col) == target_code) continue;
+          changes->push_back(
+              CellChange{r, col, relation->Get(r, col), target});
+          relation->Set(r, col, target);
+          enc->SetCode(r, col, target_code);
+          ++made;
+        }
+      } else {
+        const Value& target = targets[g][k];
+        for (int r : groups[g]) {
+          if (relation->Get(r, col) == target) continue;
+          changes->push_back(
+              CellChange{r, col, relation->Get(r, col), target});
           relation->Set(r, col, target);
           ++made;
         }
@@ -158,31 +197,35 @@ Result<RepairResult> RepairWithFds(const Relation& relation,
   }
   RepairResult result;
   result.repaired = relation;
-  // The cache's encoding is valid until the first cell change (the working
-  // copy starts content-identical to the cached relation); afterwards the
-  // copy is re-encoded lazily, only when a pass actually changed cells.
+  // One encoding for the whole repair: every FD-repair write copies a
+  // value that already occurs in the same column, so each pass rebinds the
+  // changed cells' codes in place (SetCode) instead of re-encoding the
+  // working copy after every pass that changed cells. The cache's encoding
+  // is copied (flat integer arrays), never mutated. A locally built
+  // encoding covers only the columns some FD reads or writes — the passes
+  // never touch the others.
   std::unique_ptr<EncodedRelation> local;
-  const EncodedRelation* enc = nullptr;
-  bool dirty = true;
-  bool first_encode = true;
+  EncodedRelation* enc = nullptr;
+  if (options.use_encoding) {
+    if (options.cache != nullptr &&
+        &options.cache->relation() == &relation) {
+      local = std::make_unique<EncodedRelation>(options.cache->encoded());
+    } else {
+      AttrSet needed;
+      for (const Fd& fd : fds) {
+        for (int a : fd.lhs().ToVector()) needed = needed.With(a);
+        for (int a : fd.rhs().ToVector()) needed = needed.With(a);
+      }
+      local = std::make_unique<EncodedRelation>(result.repaired, needed);
+    }
+    enc = local.get();
+  }
   for (int pass = 0; pass < max_passes; ++pass) {
     int made = 0;
     for (const Fd& fd : fds) {
-      if (options.use_encoding && dirty) {
-        if (first_encode && options.cache != nullptr &&
-            &options.cache->relation() == &relation) {
-          enc = &options.cache->encoded();
-        } else {
-          local = std::make_unique<EncodedRelation>(result.repaired);
-          enc = local.get();
-        }
-        first_encode = false;
-        dirty = false;
-      }
       FAMTREE_ASSIGN_OR_RETURN(
           int m, FdRepairPassFast(&result.repaired, fd, enc, options.pool,
                                   &result.changes));
-      if (m > 0) dirty = true;
       made += m;
     }
     if (made == 0) break;

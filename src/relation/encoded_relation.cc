@@ -5,6 +5,9 @@
 namespace famtree {
 
 EncodedRelation::EncodedRelation(const Relation& relation)
+    : EncodedRelation(relation, AttrSet::Full(relation.num_columns())) {}
+
+EncodedRelation::EncodedRelation(const Relation& relation, AttrSet attrs)
     : num_rows_(relation.num_rows()) {
   int nc = relation.num_columns();
   columns_.resize(nc);
@@ -14,6 +17,7 @@ EncodedRelation::EncodedRelation(const Relation& relation)
   // code, while cross-representation equal numerics (1 vs 1.0) always do.
   std::unordered_map<size_t, std::vector<uint32_t>> buckets;
   for (int c = 0; c < nc; ++c) {
+    if (!attrs.Contains(c)) continue;
     const std::vector<Value>& cells = relation.column(c);
     std::vector<uint32_t>& codes = columns_[c];
     std::vector<Value>& dict = dicts_[c];
@@ -53,9 +57,25 @@ int EncodedRelation::RowKeys(AttrSet attrs, std::vector<uint32_t>* keys) const {
   // first-occurrence order), then fold in one column at a time: each pass
   // re-densifies (prev_key, code) pairs, assigning new ids in row-scan
   // order, which preserves first-occurrence order end to end.
-  keys->assign(columns_[av[0]].begin(), columns_[av[0]].end());
-  int num_keys = dict_size(av[0]);
   std::unordered_map<uint64_t, uint32_t> remap;
+  int num_keys;
+  if (!IsMutated(av[0])) {
+    keys->assign(columns_[av[0]].begin(), columns_[av[0]].end());
+    num_keys = dict_size(av[0]);
+  } else {
+    // SetCode broke the dense first-occurrence order, so the first column
+    // gets the same densifying fold as every later one.
+    const std::vector<uint32_t>& codes = columns_[av[0]];
+    keys->resize(num_rows_);
+    remap.reserve(dicts_[av[0]].size() * 2);
+    uint32_t next = 0;
+    for (int row = 0; row < num_rows_; ++row) {
+      auto [it, inserted] = remap.try_emplace(codes[row], next);
+      if (inserted) ++next;
+      (*keys)[row] = it->second;
+    }
+    num_keys = static_cast<int>(next);
+  }
   for (size_t k = 1; k < av.size(); ++k) {
     const std::vector<uint32_t>& codes = columns_[av[k]];
     uint64_t stride = static_cast<uint64_t>(dict_size(av[k]));
@@ -89,7 +109,9 @@ std::vector<std::vector<int>> EncodedRelation::GroupBy(AttrSet attrs) const {
 }
 
 int EncodedRelation::CountDistinct(AttrSet attrs) const {
-  if (attrs.size() == 1) return dict_size(attrs.ToVector()[0]);
+  if (attrs.size() == 1 && !IsMutated(attrs.ToVector()[0])) {
+    return dict_size(attrs.ToVector()[0]);
+  }
   std::vector<uint32_t> keys;
   return RowKeys(attrs, &keys);
 }

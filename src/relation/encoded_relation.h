@@ -32,6 +32,14 @@ class EncodedRelation {
   /// need to outlive the encoding.
   explicit EncodedRelation(const Relation& relation);
 
+  /// Encodes only the columns in `attrs`; the rest get empty code arrays
+  /// and dictionaries and must not be touched. For miners that restrict
+  /// themselves to a column subset up front (e.g. numeric-only OD
+  /// discovery), a local subset encoding skips the dictionary hashing of
+  /// every ignored column — the dominant cost for wide mixed-type
+  /// relations.
+  EncodedRelation(const Relation& relation, AttrSet attrs);
+
   int num_rows() const { return num_rows_; }
   int num_columns() const { return static_cast<int>(columns_.size()); }
 
@@ -65,10 +73,27 @@ class EncodedRelation {
   /// Relation::CountDistinct on the source relation.
   int CountDistinct(AttrSet attrs) const;
 
+  /// Rebinds cell (row, col) to another code that already exists in the
+  /// column's dictionary. Repair-style writes copy values that already
+  /// occur in the column, so their codes are maintainable in place — no
+  /// re-encode of the working copy. After the first rebind the column's
+  /// codes are no longer dense in first-occurrence order, so RowKeys /
+  /// CountDistinct re-densify that column instead of trusting the
+  /// invariant (tracked per column: untouched columns keep the fast
+  /// path); the equality contract (same code iff equal Value) is
+  /// untouched.
+  void SetCode(int row, int col, uint32_t code) {
+    columns_[col][row] = code;
+    mutated_ |= uint64_t{1} << col;
+  }
+
  private:
+  bool IsMutated(int col) const { return (mutated_ >> col) & 1; }
+
   int num_rows_ = 0;
   std::vector<std::vector<uint32_t>> columns_;
   std::vector<std::vector<Value>> dicts_;
+  uint64_t mutated_ = 0;  // bit per column; AttrSet caps columns at 63
 };
 
 }  // namespace famtree

@@ -1,0 +1,451 @@
+// Property tests for the shared pairwise evidence kernel: on random
+// mixed-type relations (nulls, cross-representation numerics, strings, up
+// to the 63-attribute boundary), the tiled, pruned, parallel and pair-list
+// builds must all produce the evidence multiset a naive Value-based double
+// loop produces — same words, same counts, same per-word distance
+// aggregates, bit for bit. Plus EvidenceCache hit/eviction behavior.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "engine/evidence.h"
+#include "engine/evidence_cache.h"
+#include "engine/pli_cache.h"
+#include "metric/metric.h"
+#include "relation/encoded_relation.h"
+#include "relation/relation.h"
+
+namespace famtree {
+namespace {
+
+Value RandomCell(Rng* rng, int domain) {
+  int64_t v = rng->Uniform(0, domain - 1);
+  switch (rng->Uniform(0, 7)) {
+    case 0: return Value();                              // null
+    case 1: return Value(static_cast<double>(v));        // k.0 == k
+    case 2: return Value(static_cast<double>(v) + 0.5);  // true double
+    case 3: return Value("s" + std::to_string(v));       // string
+    default: return Value(v);                            // int
+  }
+}
+
+Relation MakeMixedRandomRelation(uint64_t seed, int rows, int cols,
+                                 int domain) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  for (int c = 0; c < cols; ++c) names.push_back("c" + std::to_string(c));
+  RelationBuilder b(names);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    for (int c = 0; c < cols; ++c) row.push_back(RandomCell(&rng, domain));
+    b.AddRow(std::move(row));
+  }
+  return std::move(b.Build()).value();
+}
+
+MetricPtr RandomMetric(Rng* rng) {
+  switch (rng->Uniform(0, 2)) {
+    case 0: return GetEditDistanceMetric();
+    case 1: return GetAbsDiffMetric();
+    default: return GetDiscreteMetric();
+  }
+}
+
+std::vector<EvidenceColumn> RandomConfig(Rng* rng, int cols) {
+  std::vector<EvidenceColumn> config;
+  for (int c = 0; c < cols; ++c) {
+    if (rng->Uniform(0, 3) == 0) continue;  // leave some columns out
+    EvidenceColumn col;
+    col.attr = c;
+    switch (rng->Uniform(0, 2)) {
+      case 0: col.cmp = EvidenceColumn::Cmp::kNone; break;
+      case 1: col.cmp = EvidenceColumn::Cmp::kEquality; break;
+      default: col.cmp = EvidenceColumn::Cmp::kOrder; break;
+    }
+    if (rng->Uniform(0, 1) == 0) {
+      col.metric = RandomMetric(rng);
+      int nth = static_cast<int>(rng->Uniform(0, 3));
+      for (int t = 0; t < nth; ++t) {
+        col.thresholds.push_back(static_cast<double>(t) +
+                                 (rng->Uniform(0, 1) ? 0.5 : 0.0));
+      }
+      col.track_max = rng->Uniform(0, 1) == 0;
+      if (!col.track_max && col.thresholds.empty()) col.metric = nullptr;
+    }
+    // A column with no facet at all contributes nothing; keep it anyway
+    // sometimes to exercise the degenerate case.
+    config.push_back(std::move(col));
+  }
+  if (config.empty()) {
+    EvidenceColumn col;
+    col.attr = 0;
+    config.push_back(col);
+  }
+  return config;
+}
+
+/// The independently computed word layout (the documented packing rule:
+/// config order, comparison bits then bucket bits).
+struct OracleLayout {
+  int cmp_shift = 0;
+  int bucket_shift = 0;
+  int bucket_bits = 0;
+};
+
+std::vector<OracleLayout> LayoutOf(const std::vector<EvidenceColumn>& config) {
+  std::vector<OracleLayout> lay(config.size());
+  int shift = 0;
+  for (size_t c = 0; c < config.size(); ++c) {
+    lay[c].cmp_shift = shift;
+    if (config[c].cmp == EvidenceColumn::Cmp::kEquality) shift += 1;
+    if (config[c].cmp == EvidenceColumn::Cmp::kOrder) shift += 2;
+    if (config[c].metric != nullptr && !config[c].thresholds.empty()) {
+      lay[c].bucket_shift = shift;
+      int states = static_cast<int>(config[c].thresholds.size()) + 1;
+      while ((1 << lay[c].bucket_bits) < states) ++lay[c].bucket_bits;
+      shift += lay[c].bucket_bits;
+    }
+  }
+  return lay;
+}
+
+struct OracleAgg {
+  double max_all = 0.0;
+  double max_finite = 0.0;
+  bool saw_nonfinite = false;
+};
+
+struct OracleEntry {
+  int64_t count = 0;
+  std::vector<OracleAgg> aggs;
+};
+
+/// Naive double-loop oracle straight off the Value interface.
+uint64_t OracleWord(const Relation& r,
+                    const std::vector<EvidenceColumn>& config,
+                    const std::vector<OracleLayout>& lay, int i, int j,
+                    std::vector<double>* dists) {
+  uint64_t w = 0;
+  dists->clear();
+  for (size_t c = 0; c < config.size(); ++c) {
+    const Value& a = r.Get(i, config[c].attr);
+    const Value& b = r.Get(j, config[c].attr);
+    if (config[c].cmp == EvidenceColumn::Cmp::kEquality) {
+      w |= static_cast<uint64_t>(!(a == b)) << lay[c].cmp_shift;
+    } else if (config[c].cmp == EvidenceColumn::Cmp::kOrder) {
+      if (!(a == b)) {
+        w |= static_cast<uint64_t>(a < b ? 1 : 2) << lay[c].cmp_shift;
+      }
+    }
+    if (config[c].metric != nullptr) {
+      double d = config[c].metric->Distance(a, b);
+      if (!config[c].thresholds.empty()) {
+        uint64_t bucket = config[c].thresholds.size();
+        for (size_t t = 0; t < config[c].thresholds.size(); ++t) {
+          if (d <= config[c].thresholds[t]) {
+            bucket = t;
+            break;
+          }
+        }
+        w |= bucket << lay[c].bucket_shift;
+      }
+      if (config[c].track_max) dists->push_back(d);
+    }
+  }
+  return w;
+}
+
+std::map<uint64_t, OracleEntry> OracleEvidence(
+    const Relation& r, const std::vector<EvidenceColumn>& config) {
+  std::vector<OracleLayout> lay = LayoutOf(config);
+  std::map<uint64_t, OracleEntry> out;
+  int tracked = 0;
+  for (const EvidenceColumn& c : config) {
+    if (c.track_max) ++tracked;
+  }
+  std::vector<double> dists;
+  for (int i = 0; i + 1 < r.num_rows(); ++i) {
+    for (int j = i + 1; j < r.num_rows(); ++j) {
+      uint64_t w = OracleWord(r, config, lay, i, j, &dists);
+      OracleEntry& e = out[w];
+      if (e.aggs.empty()) e.aggs.resize(tracked);
+      ++e.count;
+      for (int t = 0; t < tracked; ++t) {
+        double d = dists[t];
+        e.aggs[t].max_all = std::max(e.aggs[t].max_all, d);
+        if (std::isfinite(d)) {
+          e.aggs[t].max_finite = std::max(e.aggs[t].max_finite, d);
+        } else {
+          e.aggs[t].saw_nonfinite = true;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void ExpectMatchesOracle(const EvidenceSet& set,
+                         const std::map<uint64_t, OracleEntry>& oracle,
+                         const std::string& label) {
+  ASSERT_EQ(set.words().size(), oracle.size()) << label;
+  size_t idx = 0;
+  for (const auto& [w, entry] : oracle) {
+    const EvidenceSet::Word& word = set.words()[idx];
+    EXPECT_EQ(word.bits, w) << label << " word " << idx;
+    EXPECT_EQ(word.count, entry.count) << label << " word " << idx;
+    for (int t = 0; t < set.num_tracked(); ++t) {
+      const EvidenceSet::Aggregate& a = set.agg(idx, t);
+      EXPECT_EQ(a.max_all, entry.aggs[t].max_all)
+          << label << " word " << idx << " slot " << t;
+      EXPECT_EQ(a.max_finite, entry.aggs[t].max_finite)
+          << label << " word " << idx << " slot " << t;
+      EXPECT_EQ(a.saw_nonfinite, entry.aggs[t].saw_nonfinite)
+          << label << " word " << idx << " slot " << t;
+    }
+    ++idx;
+  }
+}
+
+TEST(EvidencePropertyTest, TiledAndParallelBuildsMatchNaiveOracle) {
+  ThreadPool pool2(2), pool8(8);
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    int rows = 8 + static_cast<int>(seed % 7) * 9;
+    int cols = 2 + static_cast<int>(seed % 5);
+    int domain = 2 + static_cast<int>(seed % 6);
+    Relation r = MakeMixedRandomRelation(seed, rows, cols, domain);
+    EncodedRelation enc(r);
+    Rng rng(seed ^ 0xfeedfaceULL);
+    std::vector<EvidenceColumn> config = RandomConfig(&rng, cols);
+    std::map<uint64_t, OracleEntry> oracle = OracleEvidence(r, config);
+
+    EvidenceOptions serial;
+    serial.tile_rows = 1 + static_cast<int>(seed % 16);  // odd tile shapes
+    auto s = BuildEvidence(enc, config, serial);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    ExpectMatchesOracle(**s, oracle, "serial seed " + std::to_string(seed));
+    EXPECT_EQ((*s)->total_pairs(),
+              static_cast<int64_t>(rows) * (rows - 1) / 2);
+
+    for (ThreadPool* pool : {&pool2, &pool8}) {
+      EvidenceOptions popt;
+      popt.pool = pool;
+      auto p = BuildEvidence(enc, config, popt);
+      ASSERT_TRUE(p.ok()) << p.status().ToString();
+      ExpectMatchesOracle(**p, oracle,
+                          "pooled seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(EvidencePropertyTest, PrunedBuildMatchesDenseAndOracle) {
+  ThreadPool pool8(8);
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    int rows = 10 + static_cast<int>(seed % 6) * 13;
+    int cols = 2 + static_cast<int>(seed % 4);
+    int domain = 2 + static_cast<int>(seed % 7);
+    Relation r = MakeMixedRandomRelation(seed * 31 + 7, rows, cols, domain);
+    EncodedRelation enc(r);
+    Rng rng(seed ^ 0x0ddba11ULL);
+    // Pruning-eligible configs: equality facets, optional tracked metric.
+    std::vector<EvidenceColumn> config;
+    for (int c = 0; c < cols; ++c) {
+      EvidenceColumn col;
+      col.attr = c;
+      col.cmp = EvidenceColumn::Cmp::kEquality;
+      if (rng.Uniform(0, 2) == 0) {
+        col.metric = RandomMetric(&rng);
+        col.track_max = true;
+      }
+      config.push_back(std::move(col));
+    }
+    std::map<uint64_t, OracleEntry> oracle = OracleEvidence(r, config);
+    // The synthesized all-unequal word carries zero aggregates by contract;
+    // blank the oracle's aggregates for that word before comparing.
+    uint64_t all_unequal = (uint64_t{1} << cols) - 1;
+    auto it = oracle.find(all_unequal);
+    if (it != oracle.end()) {
+      for (OracleAgg& a : it->second.aggs) a = OracleAgg{};
+    }
+
+    PliCache pli(r);
+    for (bool use_pli : {false, true}) {
+      for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), &pool8}) {
+        EvidenceOptions opt;
+        opt.prune_all_unequal = true;
+        opt.pool = pool;
+        opt.pli = use_pli ? &pli : nullptr;
+        auto p = BuildEvidence(enc, config, opt);
+        ASSERT_TRUE(p.ok()) << p.status().ToString();
+        ExpectMatchesOracle(
+            **p, oracle,
+            "pruned seed " + std::to_string(seed) +
+                (use_pli ? " pli" : " local") + (pool ? " pooled" : ""));
+      }
+    }
+  }
+}
+
+TEST(EvidencePropertyTest, PairListMatchesUnorderedPlusMirror) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    int rows = 6 + static_cast<int>(seed % 5) * 7;
+    int cols = 2 + static_cast<int>(seed % 4);
+    Relation r = MakeMixedRandomRelation(seed * 17 + 3, rows, cols, 4);
+    EncodedRelation enc(r);
+    std::vector<EvidenceColumn> config;
+    for (int c = 0; c < cols; ++c) {
+      EvidenceColumn col;
+      col.attr = c;
+      col.cmp = c % 2 == 0 ? EvidenceColumn::Cmp::kOrder
+                           : EvidenceColumn::Cmp::kEquality;
+      config.push_back(col);
+    }
+    // All ordered pairs i != j ...
+    std::vector<std::pair<int, int>> pairs;
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < rows; ++j) {
+        if (i != j) pairs.push_back({i, j});
+      }
+    }
+    auto listed = BuildEvidenceForPairs(enc, config, pairs, {});
+    ASSERT_TRUE(listed.ok());
+    // ... must equal the unordered multiset plus its mirror.
+    auto unordered = BuildEvidence(enc, config, {});
+    ASSERT_TRUE(unordered.ok());
+    std::map<uint64_t, int64_t> expected;
+    for (const EvidenceSet::Word& w : (*unordered)->words()) {
+      expected[w.bits] += w.count;
+      expected[(*unordered)->MirrorOf(w.bits)] += w.count;
+    }
+    ASSERT_EQ((*listed)->words().size(), expected.size()) << "seed " << seed;
+    size_t idx = 0;
+    for (const auto& [bits, count] : expected) {
+      EXPECT_EQ((*listed)->words()[idx].bits, bits) << "seed " << seed;
+      EXPECT_EQ((*listed)->words()[idx].count, count) << "seed " << seed;
+      ++idx;
+    }
+    EXPECT_EQ((*listed)->total_pairs(),
+              static_cast<int64_t>(pairs.size()));
+  }
+}
+
+TEST(EvidencePropertyTest, WideRelationUsesSparsePathCorrectly) {
+  // 63 equality facets push the word to 63 bits — far past the dense
+  // accumulator — and still must match the oracle.
+  const int kCols = 63, kRows = 24;
+  Rng rng(4242);
+  std::vector<std::string> names;
+  for (int c = 0; c < kCols; ++c) names.push_back("c" + std::to_string(c));
+  RelationBuilder b(names);
+  for (int r = 0; r < kRows; ++r) {
+    std::vector<Value> row;
+    for (int c = 0; c < kCols; ++c) {
+      row.push_back(Value(rng.Uniform(0, 2)));
+    }
+    b.AddRow(std::move(row));
+  }
+  Relation r = std::move(b.Build()).value();
+  EncodedRelation enc(r);
+  std::vector<EvidenceColumn> config;
+  for (int c = 0; c < kCols; ++c) {
+    EvidenceColumn col;
+    col.attr = c;
+    config.push_back(col);
+  }
+  EXPECT_EQ(EvidenceWordBits(config), 63);
+  std::map<uint64_t, OracleEntry> oracle = OracleEvidence(r, config);
+  ThreadPool pool8(8);
+  EvidenceOptions opt;
+  opt.pool = &pool8;
+  auto s = BuildEvidence(enc, config, opt);
+  ASSERT_TRUE(s.ok());
+  ExpectMatchesOracle(**s, oracle, "wide");
+  // One more facet would overflow the word; the kernel must refuse.
+  config.push_back(config.back());
+  config.back().cmp = EvidenceColumn::Cmp::kOrder;
+  EXPECT_FALSE(BuildEvidence(enc, config, {}).ok());
+}
+
+TEST(EvidenceCacheTest, HitsMissesAndSharedEntries) {
+  Relation r = MakeMixedRandomRelation(99, 40, 3, 4);
+  EncodedRelation enc(r);
+  std::vector<EvidenceColumn> config;
+  for (int c = 0; c < 3; ++c) {
+    EvidenceColumn col;
+    col.attr = c;
+    config.push_back(col);
+  }
+  EvidenceCache cache;
+  auto first = GetOrBuildEvidence(&cache, enc, config, {});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 0);
+  auto second = GetOrBuildEvidence(&cache, enc, config, {});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(first.value().get(), second.value().get());  // same object
+  // A different config is a different entry.
+  config.pop_back();
+  auto third = GetOrBuildEvidence(&cache, enc, config, {});
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_NE(first.value().get(), third.value().get());
+}
+
+TEST(EvidenceCacheTest, KeySensitivity) {
+  Relation r1 = MakeMixedRandomRelation(7, 20, 2, 3);
+  Relation r2 = r1;
+  r2.Set(3, 1, Value("changed"));
+  EncodedRelation e1(r1), e2(r2);
+  std::vector<EvidenceColumn> config(1);
+  config[0].attr = 0;
+  EXPECT_NE(EvidenceCache::KeyFor(e1, config),
+            EvidenceCache::KeyFor(e2, config));
+  EXPECT_EQ(EvidenceCache::KeyFor(e1, config),
+            EvidenceCache::KeyFor(EncodedRelation(r1), config));
+  // Distance config is part of the key down to threshold bit patterns.
+  std::vector<EvidenceColumn> with_metric = config;
+  with_metric[0].metric = GetEditDistanceMetric();
+  with_metric[0].thresholds = {1.0};
+  EXPECT_NE(EvidenceCache::KeyFor(e1, config),
+            EvidenceCache::KeyFor(e1, with_metric));
+  std::vector<EvidenceColumn> other_threshold = with_metric;
+  other_threshold[0].thresholds = {2.0};
+  EXPECT_NE(EvidenceCache::KeyFor(e1, with_metric),
+            EvidenceCache::KeyFor(e1, other_threshold));
+}
+
+TEST(EvidenceCacheTest, EvictsLeastRecentlyUsedOverBudget) {
+  Relation r = MakeMixedRandomRelation(11, 30, 4, 5);
+  EncodedRelation enc(r);
+  EvidenceCache::Options tiny;
+  tiny.max_bytes = 1;  // any second entry forces an eviction
+  EvidenceCache cache(tiny);
+  for (int c = 0; c < 3; ++c) {
+    std::vector<EvidenceColumn> config(1);
+    config[0].attr = c;
+    ASSERT_TRUE(GetOrBuildEvidence(&cache, enc, config, {}).ok());
+  }
+  EvidenceCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_GE(stats.evictions, 2);
+  // The most recent entry survives; older ones rebuild as misses.
+  std::vector<EvidenceColumn> config(1);
+  config[0].attr = 2;
+  ASSERT_TRUE(GetOrBuildEvidence(&cache, enc, config, {}).ok());
+  EXPECT_EQ(cache.stats().hits, 1);
+  config[0].attr = 0;
+  ASSERT_TRUE(GetOrBuildEvidence(&cache, enc, config, {}).ok());
+  EXPECT_EQ(cache.stats().misses, 4);
+}
+
+}  // namespace
+}  // namespace famtree

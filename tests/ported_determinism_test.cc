@@ -44,6 +44,34 @@ std::vector<std::pair<std::string, Options>> FastConfigs(Options base,
   return configs;
 }
 
+/// Extra configurations for the miners rewired through the shared pairwise
+/// evidence kernel (FastConfigs' encoded entries already run the kernel —
+/// use_evidence defaults on): the pre-kernel encoded walks with the kernel
+/// switched off, and the full fast path with a shared EvidenceCache
+/// attached, run twice so the second pass is served from the cache.
+template <typename Options>
+std::vector<std::pair<std::string, Options>> EvidenceConfigs(
+    Options base, ThreadPool* pool, PliCache* cache,
+    EvidenceCache* evidence) {
+  std::vector<std::pair<std::string, Options>> configs;
+  Options no_kernel = base;
+  no_kernel.use_encoding = true;
+  no_kernel.use_evidence = false;
+  configs.push_back({"encoded-no-kernel", no_kernel});
+  no_kernel.pool = pool;
+  no_kernel.cache = cache;
+  configs.push_back({"encoded+pool-no-kernel", no_kernel});
+  Options cached = base;
+  cached.use_encoding = true;
+  cached.use_evidence = true;  // explicit: constant CFDs default it off
+  cached.pool = pool;
+  cached.cache = cache;
+  cached.evidence = evidence;
+  configs.push_back({"evidence-cache-build", cached});
+  configs.push_back({"evidence-cache-hit", cached});
+  return configs;
+}
+
 Relation SensorSeries(uint64_t seed, int rows) {
   Rng rng(seed);
   RelationBuilder b({"t", "v", "grp"});
@@ -103,7 +131,12 @@ TEST_P(PortedDeterminismTest, ConstantCfdsMatchOracle) {
   oracle_options.use_encoding = false;
   auto oracle = DiscoverConstantCfds(data.relation, oracle_options);
   ASSERT_TRUE(oracle.ok());
-  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+  EvidenceCache evidence;
+  auto configs = FastConfigs(base, &pool, &cache);
+  for (auto& c : EvidenceConfigs(base, &pool, &cache, &evidence)) {
+    configs.push_back(std::move(c));
+  }
+  for (const auto& [name, options] : configs) {
     auto fast = DiscoverConstantCfds(data.relation, options);
     ASSERT_TRUE(fast.ok()) << name;
     ASSERT_EQ(oracle->size(), fast->size()) << name;
@@ -277,7 +310,12 @@ TEST_P(PortedDeterminismTest, DdsMatchOracle) {
   oracle_options.use_encoding = false;
   auto oracle = DiscoverDds(data.relation, oracle_options);
   ASSERT_TRUE(oracle.ok());
-  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+  EvidenceCache evidence;
+  auto configs = FastConfigs(base, &pool, &cache);
+  for (auto& c : EvidenceConfigs(base, &pool, &cache, &evidence)) {
+    configs.push_back(std::move(c));
+  }
+  for (const auto& [name, options] : configs) {
     auto fast = DiscoverDds(data.relation, options);
     ASSERT_TRUE(fast.ok()) << name;
     ASSERT_EQ(oracle->size(), fast->size()) << name;
@@ -305,7 +343,12 @@ TEST_P(PortedDeterminismTest, SampledDdsMatchOracle) {
   oracle_options.use_encoding = false;
   auto oracle = DiscoverDds(data.relation, oracle_options);
   ASSERT_TRUE(oracle.ok());
-  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+  EvidenceCache evidence;
+  auto configs = FastConfigs(base, &pool, &cache);
+  for (auto& c : EvidenceConfigs(base, &pool, &cache, &evidence)) {
+    configs.push_back(std::move(c));
+  }
+  for (const auto& [name, options] : configs) {
     auto fast = DiscoverDds(data.relation, options);
     ASSERT_TRUE(fast.ok()) << name;
     ASSERT_EQ(oracle->size(), fast->size()) << name;
@@ -332,7 +375,12 @@ TEST_P(PortedDeterminismTest, NedsMatchOracle) {
   oracle_options.use_encoding = false;
   auto oracle = DiscoverNeds(data.relation, target, oracle_options);
   ASSERT_TRUE(oracle.ok());
-  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+  EvidenceCache evidence;
+  auto configs = FastConfigs(base, &pool, &cache);
+  for (auto& c : EvidenceConfigs(base, &pool, &cache, &evidence)) {
+    configs.push_back(std::move(c));
+  }
+  for (const auto& [name, options] : configs) {
     auto fast = DiscoverNeds(data.relation, target, options);
     ASSERT_TRUE(fast.ok()) << name;
     ASSERT_EQ(oracle->size(), fast->size()) << name;
@@ -362,7 +410,12 @@ TEST_P(PortedDeterminismTest, MdsMatchOracle) {
   auto oracle = DiscoverMds(data.relation, AttrSet::Single(4),
                             oracle_options);
   ASSERT_TRUE(oracle.ok());
-  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+  EvidenceCache evidence;
+  auto configs = FastConfigs(base, &pool, &cache);
+  for (auto& c : EvidenceConfigs(base, &pool, &cache, &evidence)) {
+    configs.push_back(std::move(c));
+  }
+  for (const auto& [name, options] : configs) {
     auto fast = DiscoverMds(data.relation, AttrSet::Single(4), options);
     ASSERT_TRUE(fast.ok()) << name;
     ASSERT_EQ(oracle->size(), fast->size()) << name;
@@ -387,7 +440,12 @@ TEST_P(PortedDeterminismTest, MfdsMatchOracle) {
   oracle_options.use_encoding = false;
   auto oracle = DiscoverMfds(data.relation, oracle_options);
   ASSERT_TRUE(oracle.ok());
-  for (const auto& [name, options] : FastConfigs(base, &pool, &cache)) {
+  EvidenceCache evidence;
+  auto configs = FastConfigs(base, &pool, &cache);
+  for (auto& c : EvidenceConfigs(base, &pool, &cache, &evidence)) {
+    configs.push_back(std::move(c));
+  }
+  for (const auto& [name, options] : configs) {
     auto fast = DiscoverMfds(data.relation, options);
     ASSERT_TRUE(fast.ok()) << name;
     ASSERT_EQ(oracle->size(), fast->size()) << name;
@@ -395,6 +453,57 @@ TEST_P(PortedDeterminismTest, MfdsMatchOracle) {
       EXPECT_EQ((*oracle)[i].mfd.ToString(), (*fast)[i].mfd.ToString())
           << name;
       EXPECT_EQ((*oracle)[i].delta, (*fast)[i].delta) << name;
+    }
+  }
+}
+
+TEST_P(PortedDeterminismTest, FastDcEvidenceMatchesOracle) {
+  ThreadPool pool(GetParam());
+  HeterogeneousConfig config;
+  config.num_entities = 20;
+  config.seed = 17;
+  GeneratedData data = GenerateHeterogeneous(config);
+  FastDcOptions base;
+  base.max_predicates = 3;
+  FastDcOptions oracle_options = base;
+  oracle_options.use_encoding = false;
+  auto oracle = DiscoverDcs(data.relation, oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  EvidenceCache evidence;
+  std::vector<std::pair<std::string, FastDcOptions>> configs;
+  FastDcOptions no_kernel = base;
+  no_kernel.use_evidence = false;
+  configs.push_back({"encoded-no-kernel", no_kernel});
+  FastDcOptions kernel = base;
+  configs.push_back({"kernel", kernel});
+  kernel.pool = &pool;
+  configs.push_back({"kernel+pool", kernel});
+  kernel.evidence = &evidence;
+  configs.push_back({"kernel+cache-build", kernel});
+  configs.push_back({"kernel+cache-hit", kernel});
+  // Sampled builds replay the serial pair stream through the kernel; the
+  // explicit pair list bypasses the cache but must match the oracle too.
+  FastDcOptions sampled = base;
+  sampled.max_rows_exact = 30;
+  sampled.pool = &pool;
+  sampled.evidence = &evidence;
+  FastDcOptions sampled_oracle = sampled;
+  sampled_oracle.use_encoding = false;
+  sampled_oracle.pool = nullptr;
+  sampled_oracle.evidence = nullptr;
+  auto oracle_sampled = DiscoverDcs(data.relation, sampled_oracle);
+  ASSERT_TRUE(oracle_sampled.ok());
+  configs.push_back({"kernel+sampled", sampled});
+  for (const auto& [name, options] : configs) {
+    const auto& want =
+        options.max_rows_exact == 30 ? *oracle_sampled : *oracle;
+    auto fast = DiscoverDcs(data.relation, options);
+    ASSERT_TRUE(fast.ok()) << name;
+    ASSERT_EQ(want.size(), fast->size()) << name;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].dc.ToString(), (*fast)[i].dc.ToString()) << name;
+      EXPECT_EQ(want[i].violation_fraction, (*fast)[i].violation_fraction)
+          << name;
     }
   }
 }
@@ -520,8 +629,13 @@ TEST_P(PortedDeterminismTest, DedupMatchMatchesOracle) {
                         AttrSet::Single(5))});
   auto oracle = matcher.Match(data.relation);
   ASSERT_TRUE(oracle.ok());
-  for (const auto& [name, options] :
-       FastConfigs(QualityOptions{}, &pool, &cache)) {
+  EvidenceCache evidence;
+  auto configs = FastConfigs(QualityOptions{}, &pool, &cache);
+  for (auto& c :
+       EvidenceConfigs(QualityOptions{}, &pool, &cache, &evidence)) {
+    configs.push_back(std::move(c));
+  }
+  for (const auto& [name, options] : configs) {
     auto fast = matcher.Match(data.relation, options);
     ASSERT_TRUE(fast.ok()) << name;
     EXPECT_EQ(oracle->cluster_ids, fast->cluster_ids) << name;
