@@ -6,12 +6,15 @@
 // hardware-dependent, byte-identity is not. Writes BENCH_engine.json with
 // every timing so EXPERIMENTS.md tables regenerate from one artifact.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "discovery/cfd_discovery.h"
 #include "discovery/cords.h"
@@ -139,8 +142,85 @@ bool BenchPairwise(const std::string& name, Options options, Runner run,
   return true;
 }
 
+/// One row of the anytime sweep: the same 8-thread run re-executed under
+/// deadlines of 25/50/100% of its own full-run time, recording the
+/// fraction of the full result list each budget delivers, plus the
+/// latency from flipping a cancel token to the driver returning.
+struct DeadlineRow {
+  std::string name;
+  double full_ms = 0;
+  int64_t full_count = 0;
+  double completeness_25 = 0;
+  double completeness_50 = 0;
+  double completeness_100 = 0;
+  double cancel_latency_ms = 0;
+};
+
+void PrintDeadlineRow(const DeadlineRow& row) {
+  std::printf("| %-22s | %8.1f | %6lld | %6.2f | %6.2f | %6.2f | %9.2f |\n",
+              row.name.c_str(), row.full_ms,
+              static_cast<long long>(row.full_count), row.completeness_25,
+              row.completeness_50, row.completeness_100,
+              row.cancel_latency_ms);
+}
+
+/// Runs `run` (which must honor options-borne RunContext limits and return
+/// its result count) through the deadline sweep and the cancellation-
+/// latency probe, always on an 8-thread pool.
+bool BenchDeadline(const std::string& name,
+                   const std::function<Result<int64_t>(ThreadPool*,
+                                                       RunContext*)>& run,
+                   std::vector<DeadlineRow>* rows) {
+  DeadlineRow row{name};
+  ThreadPool pool(8);
+  auto start = std::chrono::steady_clock::now();
+  auto full = run(&pool, nullptr);
+  row.full_ms = MillisSince(start);
+  if (!full.ok()) return false;
+  row.full_count = *full;
+  for (double frac : {0.25, 0.5, 1.0}) {
+    RunContext ctx;
+    ctx.set_timeout(std::chrono::nanoseconds(
+        static_cast<int64_t>(frac * row.full_ms * 1e6)));
+    auto partial = run(&pool, &ctx);
+    if (!partial.ok()) return false;
+    double completeness =
+        row.full_count > 0
+            ? static_cast<double>(*partial) / row.full_count
+            : 1.0;
+    (frac == 0.25   ? row.completeness_25
+     : frac == 0.5  ? row.completeness_50
+                    : row.completeness_100) = completeness;
+  }
+  {
+    // Cancel from another thread ~30% into the run; the latency is the
+    // gap between the token flipping and the driver returning.
+    CancelToken token;
+    RunContext ctx;
+    ctx.set_cancel_token(&token);
+    std::chrono::steady_clock::time_point cancel_at;
+    std::thread canceller([&] {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          std::max(0.5, row.full_ms * 0.3)));
+      cancel_at = std::chrono::steady_clock::now();
+      token.Cancel();
+    });
+    auto result = run(&pool, &ctx);
+    auto returned = std::chrono::steady_clock::now();
+    canceller.join();
+    if (!result.ok()) return false;
+    row.cancel_latency_ms = std::max(
+        0.0, std::chrono::duration<double, std::milli>(returned - cancel_at)
+                 .count());
+  }
+  PrintDeadlineRow(row);
+  rows->push_back(row);
+  return true;
+}
+
 void WriteJson(const std::vector<Row>& rows,
-               const std::vector<PairwiseRow>& pairwise, int num_rows,
+               const std::vector<PairwiseRow>& pairwise,
+               const std::vector<DeadlineRow>& deadlines, int num_rows,
                int num_columns, const PliCache::Stats& cache_stats,
                const EvidenceCache::Stats& evidence_stats) {
   std::FILE* f = std::fopen("BENCH_engine.json", "w");
@@ -172,6 +252,20 @@ void WriteJson(const std::vector<Row>& rows,
                  r.kernel_speedup(), r.cached_ms,
                  r.identical ? "true" : "false",
                  i + 1 < pairwise.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"deadline_sweep\": [\n");
+  for (size_t i = 0; i < deadlines.size(); ++i) {
+    const DeadlineRow& r = deadlines[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"full_ms\": %.3f, "
+                 "\"full_results\": %lld, \"completeness\": {\"25\": %.4f, "
+                 "\"50\": %.4f, \"100\": %.4f}, "
+                 "\"cancel_latency_ms\": %.3f}%s\n",
+                 r.name.c_str(), r.full_ms,
+                 static_cast<long long>(r.full_count), r.completeness_25,
+                 r.completeness_50, r.completeness_100, r.cancel_latency_ms,
+                 i + 1 < deadlines.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
@@ -822,6 +916,164 @@ int Run() {
       static_cast<long long>(evidence_stats.evictions),
       static_cast<long long>(evidence_stats.builds), evidence_stats.bytes);
 
+  // ------------------------------------------------- anytime deadline sweep
+  // Each algorithm reruns at 8 threads under deadlines of 25/50/100% of
+  // its own full-run time; the completeness columns are the fraction of
+  // the full result list delivered within the budget, and the last column
+  // is the latency from a mid-flight cancel to the driver returning.
+  std::printf("\nanytime deadline sweep (8 threads)\n\n");
+  std::printf(
+      "| %-22s | full ms  | n full | c@25%% | c@50%% | c@100%% | cancel ms "
+      "|\n",
+      "algorithm");
+  std::printf(
+      "|------------------------|----------|--------|--------|--------|----"
+      "----|-----------|\n");
+  std::vector<DeadlineRow> deadlines;
+  {
+    TaneOptions options;
+    options.max_error = 0.05;
+    options.max_lhs_size = 3;
+    bool ok = BenchDeadline(
+        "tane g3<=0.05",
+        [&](ThreadPool* pool, RunContext* ctx) -> Result<int64_t> {
+          TaneOptions o = options;
+          o.pool = pool;
+          o.context = ctx;
+          FAMTREE_ASSIGN_OR_RETURN(auto fds, DiscoverFdsTane(hotels, o));
+          return static_cast<int64_t>(fds.size());
+        },
+        &deadlines);
+    if (!ok) return 2;
+  }
+  {
+    std::vector<int> slice_rows;
+    for (int i = 0; i < 500 && i < hotels.num_rows(); ++i) {
+      slice_rows.push_back(i);
+    }
+    Relation ff_slice = hotels.Select(slice_rows);
+    bool ok = BenchDeadline(
+        "fastfd 500-row slice",
+        [&](ThreadPool* pool, RunContext* ctx) -> Result<int64_t> {
+          FastFdOptions o;
+          o.pool = pool;
+          o.context = ctx;
+          FAMTREE_ASSIGN_OR_RETURN(auto fds, DiscoverFdsFastFd(ff_slice, o));
+          return static_cast<int64_t>(fds.size());
+        },
+        &deadlines);
+    if (!ok) return 2;
+  }
+  if (!BenchDeadline(
+          "cords full sweep",
+          [&](ThreadPool* pool, RunContext* ctx) -> Result<int64_t> {
+            CordsOptions o;
+            o.pool = pool;
+            o.context = ctx;
+            FAMTREE_ASSIGN_OR_RETURN(auto sfds, DiscoverSfdsCords(hotels, o));
+            return static_cast<int64_t>(sfds.size());
+          },
+          &deadlines)) {
+    return 2;
+  }
+  if (!BenchDeadline(
+          "constant cfds 4k slice",
+          [&](ThreadPool* pool, RunContext* ctx) -> Result<int64_t> {
+            CfdDiscoveryOptions o = cfd_options;
+            o.pool = pool;
+            o.context = ctx;
+            FAMTREE_ASSIGN_OR_RETURN(auto cfds,
+                                     DiscoverConstantCfds(medium, o));
+            return static_cast<int64_t>(cfds.size());
+          },
+          &deadlines)) {
+    return 2;
+  }
+  if (!BenchDeadline(
+          "general cfds",
+          [&](ThreadPool* pool, RunContext* ctx) -> Result<int64_t> {
+            CfdDiscoveryOptions o = cfd_options;
+            o.pool = pool;
+            o.context = ctx;
+            FAMTREE_ASSIGN_OR_RETURN(auto cfds,
+                                     DiscoverGeneralCfds(hotels, o));
+            return static_cast<int64_t>(cfds.size());
+          },
+          &deadlines)) {
+    return 2;
+  }
+  if (!BenchDeadline(
+          "pfds lhs<=2",
+          [&](ThreadPool* pool, RunContext* ctx) -> Result<int64_t> {
+            PfdDiscoveryOptions o = pfd_options;
+            o.pool = pool;
+            o.context = ctx;
+            FAMTREE_ASSIGN_OR_RETURN(auto pfds, DiscoverPfds(hotels, o));
+            return static_cast<int64_t>(pfds.size());
+          },
+          &deadlines)) {
+    return 2;
+  }
+  if (!BenchDeadline(
+          "mvds 4k slice",
+          [&](ThreadPool* pool, RunContext* ctx) -> Result<int64_t> {
+            MvdDiscoveryOptions o = mvd_options;
+            o.pool = pool;
+            o.context = ctx;
+            FAMTREE_ASSIGN_OR_RETURN(auto mvds, DiscoverMvds(medium, o));
+            return static_cast<int64_t>(mvds.size());
+          },
+          &deadlines)) {
+    return 2;
+  }
+  if (!BenchDeadline(
+          "unary ods",
+          [&](ThreadPool* pool, RunContext* ctx) -> Result<int64_t> {
+            OdDiscoveryOptions o;
+            o.pool = pool;
+            o.context = ctx;
+            FAMTREE_ASSIGN_OR_RETURN(auto ods, DiscoverUnaryOds(hotels, o));
+            return static_cast<int64_t>(ods.size());
+          },
+          &deadlines)) {
+    return 2;
+  }
+  if (!BenchDeadline(
+          "dds 2k slice",
+          [&](ThreadPool* pool, RunContext* ctx) -> Result<int64_t> {
+            DdDiscoveryOptions o = dd_options;
+            o.pool = pool;
+            o.context = ctx;
+            FAMTREE_ASSIGN_OR_RETURN(auto dds, DiscoverDds(slice2k, o));
+            return static_cast<int64_t>(dds.size());
+          },
+          &deadlines)) {
+    return 2;
+  }
+  if (!BenchDeadline(
+          "mds 2k slice",
+          [&](ThreadPool* pool, RunContext* ctx) -> Result<int64_t> {
+            MdDiscoveryOptions o = md_options;
+            o.min_confidence = 0.5;  // the 0.9 grid row finds no MDs here
+            o.pool = pool;
+            o.context = ctx;
+            FAMTREE_ASSIGN_OR_RETURN(
+                auto mds, DiscoverMds(slice2k, AttrSet::Single(2), o));
+            return static_cast<int64_t>(mds.size());
+          },
+          &deadlines)) {
+    return 2;
+  }
+  double worst_cancel = 0;
+  for (const DeadlineRow& r : deadlines) {
+    worst_cancel = std::max(worst_cancel, r.cancel_latency_ms);
+  }
+  std::printf("\nworst cancellation latency: %.2f ms (target <=250 ms)\n",
+              worst_cancel);
+  if (worst_cancel > 250.0) {
+    std::printf("WARN: cancellation latency above the 250 ms budget\n");
+  }
+
   int ported_fast = 0;
   for (size_t i = first_ported; i < rows.size(); ++i) {
     if (rows[i].encoded_speedup() >= 2.0) ++ported_fast;
@@ -847,8 +1099,8 @@ int Run() {
       "thread columns run the encoded backend\n");
   std::printf("speedups are hardware dependent; byte-identity is the hard "
               "check\n");
-  WriteJson(rows, pairwise, hotels.num_rows(), hotels.num_columns(),
-            tane_cache_stats, evidence_stats);
+  WriteJson(rows, pairwise, deadlines, hotels.num_rows(),
+            hotels.num_columns(), tane_cache_stats, evidence_stats);
   std::printf("wrote BENCH_engine.json\n");
   if (!all_identical) {
     std::printf("FAIL: a run deviated from the serial Value-based result\n");

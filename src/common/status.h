@@ -19,6 +19,12 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIoError,
+  // Run-control codes (common/run_context.h). Drivers treat these three as
+  // "stop signals": the run halts at the next check-point with a partial,
+  // deterministic prefix of its results instead of a hard failure.
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name such as "InvalidArgument".
@@ -52,6 +58,15 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/run_context.h"
+
 namespace famtree {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -103,24 +105,35 @@ Status ThreadPool::ParallelFor(int64_t n,
   struct Shared {
     std::atomic<int64_t> next{0};
     std::atomic<int64_t> first_error_index{-1};
+    /// Set on the first run-control failure (kCancelled, kDeadlineExceeded,
+    /// kResourceExhausted): every worker drops out at its next claim, even
+    /// at indices below the failure. Callers discard the whole batch on a
+    /// stop, so losing the lowest-index guarantee there costs nothing,
+    /// while the prompt halt is what bounds cancellation latency.
+    std::atomic<bool> hard_stop{false};
     std::mutex mu;
     Status status;
   };
   auto shared = std::make_shared<Shared>();
   auto run = [shared, n, &fn] {
     for (;;) {
+      if (shared->hard_stop.load(std::memory_order_acquire)) return;
       int64_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       int64_t err = shared->first_error_index.load(std::memory_order_acquire);
       if (err >= 0 && err < i) return;  // already failed earlier in the range
       Status st = fn(i);
       if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(shared->mu);
-        int64_t cur = shared->first_error_index.load();
-        if (cur < 0 || i < cur) {
-          shared->first_error_index.store(i, std::memory_order_release);
-          shared->status = std::move(st);
+        bool stop = RunContext::IsStop(st);
+        {
+          std::lock_guard<std::mutex> lock(shared->mu);
+          int64_t cur = shared->first_error_index.load();
+          if (cur < 0 || i < cur) {
+            shared->first_error_index.store(i, std::memory_order_release);
+            shared->status = std::move(st);
+          }
         }
+        if (stop) shared->hard_stop.store(true, std::memory_order_release);
       }
     }
   };

@@ -47,7 +47,9 @@ class ThreadPool {
   /// lowest failing index, or OK. Remaining iterations are skipped after
   /// the first failure is observed, but the reported Status is
   /// deterministic: it is always the failure with the smallest index among
-  /// those that ran.
+  /// those that ran. Run-control failures (RunContext::IsStop) short-circuit
+  /// harder: every worker drops out at its next claim regardless of index,
+  /// so a cancelled run drains within one in-flight iteration per worker.
   Status ParallelFor(int64_t n, const std::function<Status(int64_t)>& fn);
 
  private:

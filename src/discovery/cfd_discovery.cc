@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "deps/fd.h"
 #include "discovery/discovery_util.h"
@@ -155,6 +156,10 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
       const EncodedRelation* encoded,
       ResolveEncoding(relation, options.use_encoding, options.cache,
                       &local_encoding));
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "constant_cfds");
+  const int64_t total_levels = options.max_lhs_size;
+  int64_t levels_done = 0;
   std::vector<DiscoveredCfd> out;
   // Pairwise equality evidence: one PLI-pruned kernel build over every
   // attribute gives, per deduplicated comparison word, the set of
@@ -180,9 +185,17 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
     eopts.pool = pool;
     eopts.pli = options.cache;
     eopts.prune_all_unequal = true;
-    FAMTREE_ASSIGN_OR_RETURN(
-        std::shared_ptr<const EvidenceSet> set,
-        GetOrBuildEvidence(options.evidence, *encoded, config, eopts));
+    eopts.context = ctx;
+    Result<std::shared_ptr<const EvidenceSet>> set_result =
+        GetOrBuildEvidence(options.evidence, *encoded, config, eopts);
+    if (!set_result.ok() && RunContext::IsStop(set_result.status())) {
+      // Cut before any level completed: the partial result is the empty
+      // prefix.
+      RunContext::MarkExhausted(ctx, set_result.status(), 0, total_levels);
+      return out;
+    }
+    FAMTREE_ASSIGN_OR_RETURN(std::shared_ptr<const EvidenceSet> set,
+                             std::move(set_result));
     for (const EvidenceSet::Word& w : set->words()) {
       uint64_t mask = 0;
       for (int a = 0; a < nc; ++a) {
@@ -232,10 +245,16 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
     int rhs;
   };
   for (int size = 1; size <= options.max_lhs_size; ++size) {
+    Status gate = RunContext::Checkpoint(ctx);
+    if (RunContext::IsStop(gate)) {
+      RunContext::MarkExhausted(ctx, gate, levels_done, total_levels);
+      return out;
+    }
     std::vector<AttrSet> level = AllSubsetsOfSize(nc, size);
     std::vector<std::vector<Emission>> emissions(level.size());
-    FAMTREE_RETURN_NOT_OK(ParallelFor(
+    Status level_status = ParallelFor(
         pool, static_cast<int64_t>(level.size()), [&](int64_t li) {
+          FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
           AttrSet lhs = level[li];
           // Evidence pruning: fold the agreeing-pair totals for the LHS
           // and for every LHS + attribute extension in one pass over the
@@ -291,7 +310,14 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
             }
           }
           return Status::OK();
-        }));
+        });
+    if (RunContext::IsStop(level_status)) {
+      // The interrupted level is discarded whole: `out` still holds only
+      // CFDs from completed levels, a prefix of the serial emission order.
+      RunContext::MarkExhausted(ctx, level_status, levels_done, total_levels);
+      return out;
+    }
+    FAMTREE_RETURN_NOT_OK(level_status);
     for (size_t li = 0; li < level.size(); ++li) {
       AttrSet lhs = level[li];
       for (const Emission& e : emissions[li]) {
@@ -336,11 +362,14 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
           accepted.push_back(Accepted{e.rhs, lhs, e.head_row});
         }
         if (static_cast<int>(out.size()) >= options.max_results) {
+          RunContext::MarkComplete(ctx, levels_done);
           return out;
         }
       }
     }
+    ++levels_done;
   }
+  RunContext::MarkComplete(ctx, levels_done);
   return out;
 }
 
@@ -370,21 +399,35 @@ Result<std::vector<DiscoveredCfd>> DiscoverGeneralCfds(
       }
     }
   }
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "general_cfds");
   std::vector<std::vector<DiscoveredCfd>> mined(candidates.size());
-  FAMTREE_RETURN_NOT_OK(ParallelFor(
-      pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
-        mined[i] = MineGeneralCandidate(relation, encoded, candidates[i].lhs,
-                                        candidates[i].rhs, options);
-        return Status::OK();
-      }));
+  FAMTREE_ASSIGN_OR_RETURN(
+      int64_t done,
+      AnytimeParallelFor(
+          ctx, pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+            mined[i] = MineGeneralCandidate(relation, encoded,
+                                            candidates[i].lhs,
+                                            candidates[i].rhs, options);
+            return Status::OK();
+          }));
   std::vector<DiscoveredCfd> out;
-  for (std::vector<DiscoveredCfd>& part : mined) {
-    for (DiscoveredCfd& cfd : part) {
+  // Replaying only the completed candidate prefix keeps a cut run's output
+  // identical at any thread count.
+  for (int64_t c = 0; c < done; ++c) {
+    for (DiscoveredCfd& cfd : mined[c]) {
       out.push_back(std::move(cfd));
       if (static_cast<int>(out.size()) >= options.max_results) {
+        RunContext::MarkComplete(ctx, c + 1);
         return out;
       }
     }
+  }
+  if (done < static_cast<int64_t>(candidates.size())) {
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx), done,
+                              candidates.size());
+  } else {
+    RunContext::MarkComplete(ctx, done);
   }
   return out;
 }
@@ -412,14 +455,17 @@ Result<std::vector<DiscoveredCfd>> BuildGreedyTableau(
   // group size, violation-free groups only. The per-group embedded-FD
   // checks are independent, so they fan out; the max_patterns cutoff
   // replays group order.
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "greedy_tableau");
   std::vector<uint32_t> lhs_keys;
   if (encoded != nullptr) encoded->RowKeys(lhs, &lhs_keys);
   auto groups = encoded != nullptr
                     ? encoded->GroupBy(AttrSet::Single(condition_attr))
                     : relation.GroupBy(AttrSet::Single(condition_attr));
   std::vector<char> qualifies(groups.size(), 0);
-  FAMTREE_RETURN_NOT_OK(ParallelFor(
+  Status qualify_status = ParallelFor(
       pool, static_cast<int64_t>(groups.size()), [&](int64_t g) {
+        FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
         const std::vector<int>& group = groups[g];
         if (encoded != nullptr) {
           bool holds = true;
@@ -441,7 +487,13 @@ Result<std::vector<DiscoveredCfd>> BuildGreedyTableau(
           qualifies[g] = local.Holds(subset) ? 1 : 0;
         }
         return Status::OK();
-      }));
+      });
+  if (RunContext::IsStop(qualify_status)) {
+    // Cut before any pattern was selected: the partial tableau is empty.
+    RunContext::MarkExhausted(ctx, qualify_status, 0, groups.size());
+    return std::vector<DiscoveredCfd>{};
+  }
+  FAMTREE_RETURN_NOT_OK(qualify_status);
   struct Candidate {
     int head_row;
     std::vector<int> rows;
@@ -459,6 +511,13 @@ Result<std::vector<DiscoveredCfd>> BuildGreedyTableau(
                                 relation.num_rows());
   std::vector<bool> used(candidates.size(), false);
   while (covered_count < target) {
+    // The greedy selection is serial and deterministic, so a cut mid-loop
+    // leaves a prefix of the full run's tableau.
+    Status gate = RunContext::Checkpoint(ctx);
+    if (RunContext::IsStop(gate)) {
+      RunContext::MarkExhausted(ctx, gate, tableau.size(), candidates.size());
+      return tableau;
+    }
     // Greedy: candidate with the largest marginal cover.
     int best = -1, best_gain = 0;
     for (size_t i = 0; i < candidates.size(); ++i) {
@@ -493,6 +552,7 @@ Result<std::vector<DiscoveredCfd>> BuildGreedyTableau(
     tableau.push_back(DiscoveredCfd{
         std::move(cfd), static_cast<int>(candidates[best].rows.size())});
   }
+  RunContext::MarkComplete(ctx, tableau.size());
   return tableau;
 }
 

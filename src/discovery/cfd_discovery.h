@@ -11,6 +11,7 @@ namespace famtree {
 
 class EvidenceCache;
 class PliCache;
+class RunContext;
 class ThreadPool;
 
 struct CfdDiscoveryOptions {
@@ -34,6 +35,11 @@ struct CfdDiscoveryOptions {
   /// thread count. `cache` lends its encoding.
   ThreadPool* pool = nullptr;
   PliCache* cache = nullptr;
+  /// Optional run limits (common/run_context.h): the driver check-points
+  /// between deterministic units of work and, when a limit fires, returns
+  /// the prefix of its results completed so far with RunReport.exhausted
+  /// set. Null means unlimited.
+  RunContext* context = nullptr;
   /// Prune constant mining with the shared pairwise evidence multiset
   /// (engine/evidence.h): one PLI-pruned equality-evidence build counts,
   /// per attribute set, how many row pairs agree on it — an LHS (or an
@@ -85,6 +91,11 @@ struct TableauOptions {
   bool use_encoding = true;
   ThreadPool* pool = nullptr;
   PliCache* cache = nullptr;
+  /// Optional run limits (common/run_context.h): the driver check-points
+  /// between deterministic units of work and, when a limit fires, returns
+  /// the prefix of its results completed so far with RunReport.exhausted
+  /// set. Null means unlimited.
+  RunContext* context = nullptr;
 };
 
 /// Greedy near-optimal tableau construction for a given embedded FD

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "deps/sfd.h"
 #include "relation/encoded_relation.h"
@@ -63,10 +64,14 @@ Result<std::vector<DiscoveredSfd>> DiscoverSfdsCords(
       if (a != b) column_pairs.push_back({a, b});
     }
   }
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "cords");
   std::vector<DiscoveredSfd> out(column_pairs.size());
-  FAMTREE_RETURN_NOT_OK(ParallelFor(
-      options.pool, static_cast<int64_t>(column_pairs.size()),
-      [&](int64_t idx) {
+  FAMTREE_ASSIGN_OR_RETURN(
+      int64_t done,
+      AnytimeParallelFor(
+          ctx, options.pool, static_cast<int64_t>(column_pairs.size()),
+          [&](int64_t idx) {
       auto [a, b] = column_pairs[idx];
       DiscoveredSfd finding;
       finding.lhs = a;
@@ -155,7 +160,17 @@ Result<std::vector<DiscoveredSfd>> DiscoverSfdsCords(
       finding.is_correlated = finding.cramers_v >= options.min_cramers_v;
       out[idx] = finding;
       return Status::OK();
-      }));
+          }));
+  // On a cutoff, keep the completed pair prefix — pairs are indexed in the
+  // deterministic (a, b) enumeration order, so the prefix is the same at
+  // any thread count.
+  if (done < static_cast<int64_t>(column_pairs.size())) {
+    out.resize(done);
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx), done,
+                              static_cast<int64_t>(column_pairs.size()));
+  } else {
+    RunContext::MarkComplete(ctx, static_cast<int64_t>(column_pairs.size()));
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 
 namespace famtree {
 
+class RunContext;
 class ThreadPool;
 
 struct CordsOptions {
@@ -33,6 +34,11 @@ struct CordsOptions {
   /// the result vector is bit-identical to the serial sweep for any thread
   /// count (the sample itself is always drawn once, serially).
   ThreadPool* pool = nullptr;
+  /// Optional run limits (common/run_context.h): the driver check-points
+  /// between deterministic units of work and, when a limit fires, returns
+  /// the prefix of its results completed so far with RunReport.exhausted
+  /// set. Null means unlimited.
+  RunContext* context = nullptr;
 };
 
 /// One CORDS finding for an ordered column pair (lhs -> rhs).

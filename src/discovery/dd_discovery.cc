@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
 #include "engine/evidence.h"
@@ -158,6 +159,15 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
       ResolveEncoding(relation, options.use_encoding,
                       source == &input ? options.cache : nullptr,
                       &local_encoding));
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "dds");
+  // A stop during the shared precomputation (distance tables, thresholds,
+  // evidence) cuts before any candidate was evaluated: the partial result
+  // is the empty prefix.
+  auto exhausted_early = [&](const Status& stop, int64_t total) {
+    RunContext::MarkExhausted(ctx, stop, 0, total);
+    return std::vector<DiscoveredDd>{};
+  };
   std::vector<MetricPtr> metrics(nc);
   for (int a = 0; a < nc; ++a) metrics[a] = MetricForColumn(relation, a);
   // Code-pair distance tables, one per attribute. Built before any outer
@@ -165,6 +175,8 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
   std::vector<std::unique_ptr<CodeDistanceTable>> tables(nc);
   if (encoded != nullptr) {
     for (int a = 0; a < nc; ++a) {
+      Status st = RunContext::Poll(ctx);
+      if (RunContext::IsStop(st)) return exhausted_early(st, 0);
       tables[a] =
           std::make_unique<CodeDistanceTable>(*encoded, a, metrics[a], pool);
     }
@@ -175,7 +187,8 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
   // same picks.
   std::vector<std::vector<double>> thresholds(nc);
   std::vector<double> global_max(nc, 0.0);
-  FAMTREE_RETURN_NOT_OK(ParallelFor(pool, nc, [&](int64_t a) {
+  Status threshold_status = ParallelFor(pool, nc, [&](int64_t a) {
+    FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
     if (encoded != nullptr) {
       HistogramThresholds(*encoded, static_cast<int>(a), *tables[a],
                           options.threshold_quantiles, &thresholds[a],
@@ -189,7 +202,11 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
     thresholds[a] =
         ThresholdsFromDistances(std::move(dists), options.threshold_quantiles);
     return Status::OK();
-  }));
+  });
+  if (RunContext::IsStop(threshold_status)) {
+    return exhausted_early(threshold_status, 0);
+  }
+  FAMTREE_RETURN_NOT_OK(threshold_status);
 
   // Candidate LHS: one or two attributes, each with one threshold.
   std::vector<std::vector<DifferentialFunction>> lhs_candidates;
@@ -229,6 +246,7 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
   // exactly when the bucket index is <= ti, and max/or folds over word
   // groups equal the pairwise folds, so the stats are bit-identical.
   bool used_evidence = false;
+  int64_t candidates_done = 0;
   if (encoded != nullptr && options.use_evidence) {
     std::vector<EvidenceColumn> config(nc);
     for (int a = 0; a < nc; ++a) {
@@ -242,9 +260,16 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
     if (EvidenceWordBits(config) <= 64) {
       EvidenceOptions eopts;
       eopts.pool = pool;
-      FAMTREE_ASSIGN_OR_RETURN(
-          std::shared_ptr<const EvidenceSet> set,
-          GetOrBuildEvidence(options.evidence, *encoded, config, eopts));
+      eopts.context = ctx;
+      Result<std::shared_ptr<const EvidenceSet>> set_result =
+          GetOrBuildEvidence(options.evidence, *encoded, config, eopts);
+      if (!set_result.ok() && RunContext::IsStop(set_result.status())) {
+        return exhausted_early(
+            set_result.status(),
+            static_cast<int64_t>(lhs_candidates.size()));
+      }
+      FAMTREE_ASSIGN_OR_RETURN(std::shared_ptr<const EvidenceSet> set,
+                               std::move(set_result));
       // Each LHS function's threshold as its index in the attribute's
       // sorted list (the exact doubles the config was built from).
       std::vector<std::vector<std::pair<int, int>>> lhs_buckets(
@@ -258,8 +283,11 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
         }
       }
       const std::vector<EvidenceSet::Word>& words = set->words();
-      FAMTREE_RETURN_NOT_OK(ParallelFor(
-          pool, static_cast<int64_t>(lhs_candidates.size()), [&](int64_t c) {
+      FAMTREE_ASSIGN_OR_RETURN(
+          candidates_done,
+          AnytimeParallelFor(
+              ctx, pool, static_cast<int64_t>(lhs_candidates.size()),
+              [&](int64_t c) {
             CandidateStats& st = stats[c];
             st.bound.assign(nc, 0.0);
             st.finite.assign(nc, 1);
@@ -280,13 +308,16 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
               }
             }
             return Status::OK();
-          }));
+              }));
       used_evidence = true;
     }
   }
   if (!used_evidence) {
-  FAMTREE_RETURN_NOT_OK(ParallelFor(
-      pool, static_cast<int64_t>(lhs_candidates.size()), [&](int64_t c) {
+  FAMTREE_ASSIGN_OR_RETURN(
+      candidates_done,
+      AnytimeParallelFor(
+          ctx, pool, static_cast<int64_t>(lhs_candidates.size()),
+          [&](int64_t c) {
         const auto& lhs = lhs_candidates[c];
         CandidateStats& st = stats[c];
         st.bound.assign(nc, 0.0);
@@ -320,11 +351,14 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
           }
         }
         return Status::OK();
-      }));
+          }));
   }
 
   std::vector<DiscoveredDd> out;
-  for (size_t c = 0; c < lhs_candidates.size(); ++c) {
+  // The support / vacuity / subsumption filters replay the completed
+  // candidate prefix only — subsumption checks earlier candidates alone, so
+  // the prefix output matches the full run's first candidates_done entries.
+  for (size_t c = 0; c < static_cast<size_t>(candidates_done); ++c) {
     const auto& lhs = lhs_candidates[c];
     const CandidateStats& st = stats[c];
     if (st.support < options.min_support) continue;
@@ -361,8 +395,18 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
       }
       if (subsumed) continue;
       out.push_back(DiscoveredDd{std::move(dd), st.support});
-      if (static_cast<int>(out.size()) >= options.max_results) return out;
+      if (static_cast<int>(out.size()) >= options.max_results) {
+        RunContext::MarkComplete(ctx, static_cast<int64_t>(c) + 1);
+        return out;
+      }
     }
+  }
+  if (candidates_done < static_cast<int64_t>(lhs_candidates.size())) {
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx),
+                              candidates_done,
+                              static_cast<int64_t>(lhs_candidates.size()));
+  } else {
+    RunContext::MarkComplete(ctx, candidates_done);
   }
   return out;
 }

@@ -11,6 +11,7 @@ namespace famtree {
 
 class EvidenceCache;
 class PliCache;
+class RunContext;
 class ThreadPool;
 
 struct DdDiscoveryOptions {
@@ -41,6 +42,11 @@ struct DdDiscoveryOptions {
   /// when sampling re-materializes the input).
   ThreadPool* pool = nullptr;
   PliCache* cache = nullptr;
+  /// Optional run limits (common/run_context.h): the driver check-points
+  /// between deterministic units of work and, when a limit fires, returns
+  /// the prefix of its results completed so far with RunReport.exhausted
+  /// set. Null means unlimited.
+  RunContext* context = nullptr;
   /// Mine from the shared pairwise evidence multiset (engine/evidence.h)
   /// instead of re-scanning all row pairs per LHS candidate: one kernel
   /// build packs every attribute's threshold bucket into a word per pair

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "engine/evidence.h"
 #include "engine/evidence_cache.h"
@@ -96,18 +97,25 @@ class CoverSearch {
  public:
   CoverSearch(const std::vector<DcPredicate>& preds,
               const std::vector<Evidence>& evidence, int max_size,
-              int64_t budget, int max_results)
+              int64_t budget, int max_results, RunContext* ctx)
       : preds_(preds),
         evidence_(evidence),
         max_size_(max_size),
         budget_(budget),
-        max_results_(max_results) {}
+        max_results_(max_results),
+        ctx_(ctx) {}
 
   void Run() { Dfs(Bits(), -1); }
 
   const std::vector<std::pair<Bits, int64_t>>& results() const {
     return results_;
   }
+
+  /// True when the DFS was cut by a run limit; `results()` then holds the
+  /// DFS-order prefix mined before the cut (the search is serial, so the
+  /// prefix is deterministic).
+  bool stopped() const { return stopped_; }
+  int64_t nodes_visited() const { return nodes_; }
 
  private:
   int64_t ViolationCount(const Bits& chosen) const {
@@ -143,6 +151,19 @@ class CoverSearch {
   }
 
   void Dfs(Bits chosen, int last) {
+    if (stopped_) return;
+    // Check-point on a node-count stride: the DFS is serial, so the stride
+    // puts an injected cutoff at the same node at any thread count.
+    ++nodes_;
+    if ((nodes_ & 63) == 0 &&
+        RunContext::IsStop(RunContext::Checkpoint(ctx_))) {
+      stopped_ = true;
+      return;
+    }
+    if (RunContext::IsStop(RunContext::Poll(ctx_))) {
+      stopped_ = true;
+      return;
+    }
     if (static_cast<int>(results_.size()) >= max_results_) return;
     if (chosen.any()) {
       int64_t violations = ViolationCount(chosen);
@@ -155,6 +176,7 @@ class CoverSearch {
     }
     if (static_cast<int>(chosen.count()) >= max_size_) return;
     for (int p = last + 1; p < static_cast<int>(preds_.size()); ++p) {
+      if (stopped_) return;
       Bits next = chosen;
       next[p] = true;
       Dfs(next, p);
@@ -166,6 +188,9 @@ class CoverSearch {
   int max_size_;
   int64_t budget_;
   int max_results_;
+  RunContext* ctx_;
+  bool stopped_ = false;
+  int64_t nodes_ = 0;
   std::vector<std::pair<Bits, int64_t>> results_;
 };
 
@@ -175,10 +200,11 @@ std::vector<DiscoveredDc> MineCover(const std::vector<DcPredicate>& preds,
                                     const std::vector<Evidence>& evidence,
                                     int64_t total_pairs,
                                     const FastDcOptions& options) {
+  RunContext* ctx = options.context;
   int64_t budget =
       static_cast<int64_t>(options.max_violation_fraction * total_pairs);
   CoverSearch search(preds, evidence, options.max_predicates, budget,
-                     options.max_results);
+                     options.max_results, ctx);
   search.Run();
   std::vector<DiscoveredDc> out;
   for (const auto& [bits, violations] : search.results()) {
@@ -190,6 +216,15 @@ std::vector<DiscoveredDc> MineCover(const std::vector<DcPredicate>& preds,
                           ? 0.0
                           : static_cast<double>(violations) / total_pairs;
     out.push_back(DiscoveredDc{Dc(std::move(chosen)), fraction});
+  }
+  if (search.stopped()) {
+    // DCs are emitted in DFS order, so the cut run's list is a prefix of
+    // the full run's. Units are DFS nodes (the total is not known up
+    // front).
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx),
+                              search.nodes_visited(), 0);
+  } else {
+    RunContext::MarkComplete(ctx, search.nodes_visited());
   }
   return out;
 }
@@ -285,6 +320,14 @@ Result<std::vector<DiscoveredDc>> DiscoverDcs(const Relation& relation,
     return Status::Invalid("max_violation_fraction must be in [0, 1]");
   }
   int n = relation.num_rows();
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "fastdc");
+  // A stop during evidence construction cuts before the cover search
+  // visited any DFS node: the partial result is the empty prefix.
+  auto exhausted_early = [&](const Status& stop) {
+    RunContext::MarkExhausted(ctx, stop, 0, 0);
+    return std::vector<DiscoveredDc>{};
+  };
   // Kernel path: one packed word per unordered pair from the shared
   // comparison engine, decoded into predicate bitsets once per distinct
   // word. The ordered-pair evidence FASTDC mines over is the unordered
@@ -311,11 +354,16 @@ Result<std::vector<DiscoveredDc>> DiscoverDcs(const Relation& relation,
     if (supported && EvidenceWordBits(config) <= 64) {
       EvidenceOptions eopts;
       eopts.pool = options.pool;
+      eopts.context = ctx;
       std::shared_ptr<const EvidenceSet> set;
       bool exact = n <= options.max_rows_exact;
       if (exact) {
-        FAMTREE_ASSIGN_OR_RETURN(
-            set, GetOrBuildEvidence(options.evidence, enc, config, eopts));
+        Result<std::shared_ptr<const EvidenceSet>> set_result =
+            GetOrBuildEvidence(options.evidence, enc, config, eopts);
+        if (!set_result.ok() && RunContext::IsStop(set_result.status())) {
+          return exhausted_early(set_result.status());
+        }
+        FAMTREE_ASSIGN_OR_RETURN(set, std::move(set_result));
       } else {
         // The sampled pair stream stays on one serial Rng, so the sample —
         // and everything mined from it — is identical to the fallback
@@ -330,8 +378,12 @@ Result<std::vector<DiscoveredDc>> DiscoverDcs(const Relation& relation,
           int j = static_cast<int>(rng.Uniform(0, n - 1));
           if (i != j) sampled.push_back({i, j});
         }
-        FAMTREE_ASSIGN_OR_RETURN(
-            set, BuildEvidenceForPairs(enc, config, sampled, eopts));
+        Result<std::shared_ptr<const EvidenceSet>> set_result =
+            BuildEvidenceForPairs(enc, config, sampled, eopts);
+        if (!set_result.ok() && RunContext::IsStop(set_result.status())) {
+          return exhausted_early(set_result.status());
+        }
+        FAMTREE_ASSIGN_OR_RETURN(set, std::move(set_result));
       }
       std::vector<Evidence> evidence;
       evidence.reserve(set->words().size() * (exact ? 2 : 1));
@@ -455,7 +507,8 @@ Result<std::vector<DiscoveredDc>> DiscoverDcs(const Relation& relation,
   num_chunks = std::min<int64_t>(num_chunks,
                                  std::max<int64_t>(1, pairs.size()));
   std::vector<EvidenceMap> chunk_maps(num_chunks, EvidenceMap(bits_less));
-  FAMTREE_RETURN_NOT_OK(ParallelFor(options.pool, num_chunks, [&](int64_t c) {
+  Status chunk_status = ParallelFor(options.pool, num_chunks, [&](int64_t c) {
+    FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
     size_t begin = pairs.size() * c / num_chunks;
     size_t end = pairs.size() * (c + 1) / num_chunks;
     EvidenceMap& local = chunk_maps[c];
@@ -468,7 +521,9 @@ Result<std::vector<DiscoveredDc>> DiscoverDcs(const Relation& relation,
       ++local[bits];
     }
     return Status::OK();
-  }));
+  });
+  if (RunContext::IsStop(chunk_status)) return exhausted_early(chunk_status);
+  FAMTREE_RETURN_NOT_OK(chunk_status);
   int64_t total_pairs = static_cast<int64_t>(pairs.size());
   EvidenceMap emap(bits_less);
   for (EvidenceMap& local : chunk_maps) {

@@ -10,6 +10,7 @@
 namespace famtree {
 
 class EvidenceCache;
+class RunContext;
 class ThreadPool;
 
 struct FastDcOptions {
@@ -42,6 +43,11 @@ struct FastDcOptions {
   /// commutative addition, so the result is bit-identical to the serial
   /// build for any thread count (tests/engine_determinism_test.cc).
   ThreadPool* pool = nullptr;
+  /// Optional run limits (common/run_context.h): the driver check-points
+  /// between deterministic units of work and, when a limit fires, returns
+  /// the prefix of its results completed so far with RunReport.exhausted
+  /// set. Null means unlimited.
+  RunContext* context = nullptr;
   /// Build the evidence set through the shared pairwise kernel
   /// (engine/evidence.h): one packed comparison word per unordered pair —
   /// an equality bit per categorical column, an order trit per numeric

@@ -4,6 +4,7 @@
 #include <memory>
 #include <set>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "relation/encoded_relation.h"
 
@@ -86,8 +87,11 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
                        ? 1
                        : std::max(1, options.pool->num_threads() * 4);
   num_chunks = std::min(num_chunks, std::max(1, n));
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "fastfd");
   std::vector<std::set<uint64_t>> chunk_masks(num_chunks);
-  FAMTREE_RETURN_NOT_OK(ParallelFor(options.pool, num_chunks, [&](int64_t c) {
+  Status diff_status = ParallelFor(options.pool, num_chunks, [&](int64_t c) {
+    FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
     int begin = static_cast<int>(static_cast<int64_t>(n) * c / num_chunks);
     int end = static_cast<int>(static_cast<int64_t>(n) * (c + 1) / num_chunks);
     std::set<uint64_t>& local = chunk_masks[c];
@@ -107,7 +111,14 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
       }
     }
     return Status::OK();
-  }));
+  });
+  if (RunContext::IsStop(diff_status)) {
+    // Cut during difference-set construction: no RHS was searched, so the
+    // partial result is the empty prefix.
+    RunContext::MarkExhausted(ctx, diff_status, 0, nc);
+    return std::vector<DiscoveredFd>{};
+  }
+  FAMTREE_RETURN_NOT_OK(diff_status);
   std::set<uint64_t> diff_masks;
   for (const std::set<uint64_t>& local : chunk_masks) {
     diff_masks.insert(local.begin(), local.end());
@@ -119,7 +130,9 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
   // per-attribute slots, then concatenate in attribute order (the serial
   // emission order) with the same result cap.
   std::vector<std::vector<DiscoveredFd>> per_rhs(nc);
-  FAMTREE_RETURN_NOT_OK(ParallelFor(options.pool, nc, [&](int64_t ai) {
+  FAMTREE_ASSIGN_OR_RETURN(
+      int64_t rhs_done,
+      AnytimeParallelFor(ctx, options.pool, nc, [&](int64_t ai) {
     int a = static_cast<int>(ai);
     // Difference sets relevant for RHS a: those containing a, minus a.
     std::vector<AttrSet> diffs;
@@ -168,18 +181,26 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
       per_rhs[a].push_back(DiscoveredFd{x, a, 0.0});
     }
     return Status::OK();
-  }));
+      }));
   std::vector<DiscoveredFd> out;
-  for (int a = 0; a < nc; ++a) {
+  // The concatenation replays the completed RHS prefix only, so a cut run
+  // emits the same FDs at any thread count.
+  for (int a = 0; a < static_cast<int>(rhs_done); ++a) {
     for (const DiscoveredFd& fd : per_rhs[a]) {
       out.push_back(fd);
       // The cap applies to cover-derived FDs; constant columns (empty LHS)
       // bypass it, mirroring the serial emission exactly.
       if (!fd.lhs.empty() &&
           static_cast<int>(out.size()) >= options.max_results) {
+        RunContext::MarkComplete(ctx, a + 1);
         return out;
       }
     }
+  }
+  if (rhs_done < nc) {
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx), rhs_done, nc);
+  } else {
+    RunContext::MarkComplete(ctx, rhs_done);
   }
   return out;
 }

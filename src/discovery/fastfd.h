@@ -9,6 +9,8 @@
 
 namespace famtree {
 
+class RunContext;
+
 struct FastFdOptions {
   /// Bound on emitted dependencies.
   int max_results = 100000;
@@ -24,6 +26,11 @@ struct FastFdOptions {
   /// merge in attribute order, bit-identical to the serial search for any
   /// thread count (tests/engine_determinism_test.cc).
   ThreadPool* pool = nullptr;
+  /// Optional run limits (common/run_context.h): the driver check-points
+  /// between deterministic units of work and, when a limit fires, returns
+  /// the prefix of its results completed so far with RunReport.exhausted
+  /// set. Null means unlimited.
+  RunContext* context = nullptr;
 };
 
 /// FastFDs [112]: computes the difference sets of all tuple pairs (the

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
 #include "engine/evidence.h"
@@ -86,11 +87,21 @@ Result<std::vector<DiscoveredMd>> DiscoverMds(
   }
   // Code-pair distance tables for the LHS attributes and dense row keys for
   // the RHS identification check, built before the outer ParallelFor.
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "mds");
+  // A stop during the shared precomputation cuts before any candidate was
+  // evaluated: the partial result is the empty prefix.
+  auto exhausted_early = [&](const Status& stop, int64_t total) {
+    RunContext::MarkExhausted(ctx, stop, 0, total);
+    return std::vector<DiscoveredMd>{};
+  };
   std::vector<std::unique_ptr<CodeDistanceTable>> tables(nc);
   std::vector<uint32_t> rhs_keys;
   if (encoded != nullptr) {
     for (int a = 0; a < nc; ++a) {
       if (rhs.Contains(a)) continue;
+      Status st = RunContext::Poll(ctx);
+      if (RunContext::IsStop(st)) return exhausted_early(st, 0);
       tables[a] =
           std::make_unique<CodeDistanceTable>(*encoded, a, metrics[a], pool);
     }
@@ -114,6 +125,7 @@ Result<std::vector<DiscoveredMd>> DiscoverMds(
   // is bit-identical at any thread count.
   std::vector<Md::Stats> stats(lhs_sets.size());
   int n = sample.num_rows();
+  int64_t candidates_done = 0;
   // Evidence path: one kernel build packs, per pair, each LHS attribute's
   // threshold-bucket index and each RHS attribute's equality bit; a
   // candidate's counts are then folds over the deduplicated words.
@@ -160,9 +172,15 @@ Result<std::vector<DiscoveredMd>> DiscoverMds(
     if (supported && EvidenceWordBits(config) <= 64) {
       EvidenceOptions eopts;
       eopts.pool = pool;
-      FAMTREE_ASSIGN_OR_RETURN(
-          std::shared_ptr<const EvidenceSet> set,
-          GetOrBuildEvidence(options.evidence, *encoded, config, eopts));
+      eopts.context = ctx;
+      Result<std::shared_ptr<const EvidenceSet>> set_result =
+          GetOrBuildEvidence(options.evidence, *encoded, config, eopts);
+      if (!set_result.ok() && RunContext::IsStop(set_result.status())) {
+        return exhausted_early(set_result.status(),
+                               static_cast<int64_t>(lhs_sets.size()));
+      }
+      FAMTREE_ASSIGN_OR_RETURN(std::shared_ptr<const EvidenceSet> set,
+                               std::move(set_result));
       const std::vector<EvidenceSet::Word>& words = set->words();
       // Per-word RHS identification, shared by every candidate.
       std::vector<char> identified(words.size());
@@ -187,41 +205,49 @@ Result<std::vector<DiscoveredMd>> DiscoverMds(
           lhs_buckets[c].push_back({cfg_of[p.attr], ti});
         }
       }
-      FAMTREE_RETURN_NOT_OK(ParallelFor(
-          pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
-            Md::Stats& st = stats[c];
-            st.total_pairs = set->total_pairs();
-            for (size_t wi = 0; wi < words.size(); ++wi) {
-              bool similar = true;
-              for (const auto& [col, ti] : lhs_buckets[c]) {
-                if (set->BucketOf(words[wi].bits, col) > ti) {
-                  similar = false;
-                  break;
+      FAMTREE_ASSIGN_OR_RETURN(
+          candidates_done,
+          AnytimeParallelFor(
+              ctx, pool, static_cast<int64_t>(lhs_sets.size()),
+              [&](int64_t c) {
+                Md::Stats& st = stats[c];
+                st.total_pairs = set->total_pairs();
+                for (size_t wi = 0; wi < words.size(); ++wi) {
+                  bool similar = true;
+                  for (const auto& [col, ti] : lhs_buckets[c]) {
+                    if (set->BucketOf(words[wi].bits, col) > ti) {
+                      similar = false;
+                      break;
+                    }
+                  }
+                  if (!similar) continue;
+                  st.similar_pairs += words[wi].count;
+                  if (identified[wi]) st.identified_pairs += words[wi].count;
                 }
-              }
-              if (!similar) continue;
-              st.similar_pairs += words[wi].count;
-              if (identified[wi]) st.identified_pairs += words[wi].count;
-            }
-            return Status::OK();
-          }));
+                return Status::OK();
+              }));
       used_evidence = true;
     }
   }
   if (!used_evidence) {
-    FAMTREE_RETURN_NOT_OK(ParallelFor(
-        pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
-          if (encoded != nullptr) {
-            stats[c] = EncodedStats(lhs_sets[c], n, tables, rhs_keys);
-          } else {
-            stats[c] = Md(lhs_sets[c], rhs).ComputeStats(sample);
-          }
-          return Status::OK();
-        }));
+    FAMTREE_ASSIGN_OR_RETURN(
+        candidates_done,
+        AnytimeParallelFor(
+            ctx, pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
+              if (encoded != nullptr) {
+                stats[c] = EncodedStats(lhs_sets[c], n, tables, rhs_keys);
+              } else {
+                stats[c] = Md(lhs_sets[c], rhs).ComputeStats(sample);
+              }
+              return Status::OK();
+            }));
   }
 
   std::vector<DiscoveredMd> out;
-  for (size_t c = 0; c < lhs_sets.size(); ++c) {
+  // The support / confidence / minimality filters replay the completed
+  // candidate prefix only; minimality checks earlier candidates alone, so
+  // the prefix output matches the full run's first candidates_done entries.
+  for (size_t c = 0; c < static_cast<size_t>(candidates_done); ++c) {
     auto& lhs = lhs_sets[c];
     if (stats[c].support() < options.min_support) continue;
     if (stats[c].confidence() < options.min_confidence) continue;
@@ -252,7 +278,17 @@ Result<std::vector<DiscoveredMd>> DiscoverMds(
     if (redundant) continue;
     out.push_back(DiscoveredMd{Md(std::move(lhs), rhs), stats[c].support(),
                                stats[c].confidence()});
-    if (static_cast<int>(out.size()) >= options.max_results) return out;
+    if (static_cast<int>(out.size()) >= options.max_results) {
+      RunContext::MarkComplete(ctx, static_cast<int64_t>(c) + 1);
+      return out;
+    }
+  }
+  if (candidates_done < static_cast<int64_t>(lhs_sets.size())) {
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx),
+                              candidates_done,
+                              static_cast<int64_t>(lhs_sets.size()));
+  } else {
+    RunContext::MarkComplete(ctx, candidates_done);
   }
   return out;
 }

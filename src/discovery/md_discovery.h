@@ -11,6 +11,7 @@ namespace famtree {
 
 class EvidenceCache;
 class PliCache;
+class RunContext;
 class ThreadPool;
 
 struct MdDiscoveryOptions {
@@ -41,6 +42,11 @@ struct MdDiscoveryOptions {
   /// re-materializes the input).
   ThreadPool* pool = nullptr;
   PliCache* cache = nullptr;
+  /// Optional run limits (common/run_context.h): the driver check-points
+  /// between deterministic units of work and, when a limit fires, returns
+  /// the prefix of its results completed so far with RunReport.exhausted
+  /// set. Null means unlimited.
+  RunContext* context = nullptr;
   /// Evaluate every candidate against the shared pairwise evidence
   /// multiset (engine/evidence.h): one kernel build packs each LHS
   /// attribute's threshold-bucket index and each RHS attribute's equality

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
 #include "engine/evidence.h"
@@ -78,22 +79,37 @@ Result<std::vector<DiscoveredMfd>> DiscoverMfds(
   }
   // Code-pair distance tables, one per attribute, built before any outer
   // ParallelFor (each fill parallelizes internally on the same pool).
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "mfds");
+  // A stop during the shared precomputation cuts before any candidate was
+  // evaluated: the partial result is the empty prefix.
+  auto exhausted_early = [&](const Status& stop, int64_t total) {
+    RunContext::MarkExhausted(ctx, stop, 0, total);
+    return std::vector<DiscoveredMfd>{};
+  };
   std::vector<std::unique_ptr<CodeDistanceTable>> tables(nc);
   if (encoded != nullptr) {
     for (int a = 0; a < nc; ++a) {
+      Status st = RunContext::Poll(ctx);
+      if (RunContext::IsStop(st)) return exhausted_early(st, 0);
       tables[a] =
           std::make_unique<CodeDistanceTable>(*encoded, a, metrics[a], pool);
     }
   }
   std::vector<double> global(nc);
-  FAMTREE_RETURN_NOT_OK(ParallelFor(pool, nc, [&](int64_t a) {
+  Status global_status = ParallelFor(pool, nc, [&](int64_t a) {
+    FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
     global[a] = encoded != nullptr
                     ? GlobalDiameterFromCodes(*encoded, static_cast<int>(a),
                                               *tables[a])
                     : GlobalDiameter(relation, static_cast<int>(a),
                                      *metrics[a], tables[a].get());
     return Status::OK();
-  }));
+  });
+  if (RunContext::IsStop(global_status)) {
+    return exhausted_early(global_status, 0);
+  }
+  FAMTREE_RETURN_NOT_OK(global_status);
   // Per-candidate diameters fill index-addressed slots in the serial walk's
   // (LHS, attr) order; the vacuity and max_results filters replay that
   // order below, so the output is bit-identical at any thread count.
@@ -120,6 +136,7 @@ Result<std::vector<DiscoveredMfd>> DiscoverMfds(
   // disagrees with every (non-empty) LHS, so its zeroed aggregates are
   // never read.
   bool used_evidence = false;
+  int64_t candidates_done = 0;
   if (encoded != nullptr && options.use_evidence) {
     std::vector<EvidenceColumn> config(nc);
     for (int a = 0; a < nc; ++a) {
@@ -134,9 +151,15 @@ Result<std::vector<DiscoveredMfd>> DiscoverMfds(
       eopts.pool = pool;
       eopts.pli = options.cache;
       eopts.prune_all_unequal = true;
-      FAMTREE_ASSIGN_OR_RETURN(
-          std::shared_ptr<const EvidenceSet> set,
-          GetOrBuildEvidence(options.evidence, *encoded, config, eopts));
+      eopts.context = ctx;
+      Result<std::shared_ptr<const EvidenceSet>> set_result =
+          GetOrBuildEvidence(options.evidence, *encoded, config, eopts);
+      if (!set_result.ok() && RunContext::IsStop(set_result.status())) {
+        return exhausted_early(set_result.status(),
+                               static_cast<int64_t>(candidates.size()));
+      }
+      FAMTREE_ASSIGN_OR_RETURN(std::shared_ptr<const EvidenceSet> set,
+                               std::move(set_result));
       const std::vector<EvidenceSet::Word>& words = set->words();
       // Per-word attribute-agreement masks, shared by every candidate:
       // the word's pairs lie in one LHS group exactly when the mask covers
@@ -147,35 +170,44 @@ Result<std::vector<DiscoveredMfd>> DiscoverMfds(
           if (set->AgreesOn(words[wi].bits, a)) agree[wi] |= uint64_t{1} << a;
         }
       }
-      FAMTREE_RETURN_NOT_OK(ParallelFor(
-          pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
-            Candidate& c = candidates[i];
-            double diameter = 0.0;
-            uint64_t lhs_mask = c.lhs.mask();
-            for (size_t wi = 0; wi < words.size(); ++wi) {
-              if ((agree[wi] & lhs_mask) != lhs_mask) continue;
-              diameter = std::max(diameter, set->agg(wi, c.attr).max_all);
-            }
-            c.diameter = diameter;
-            return Status::OK();
-          }));
+      FAMTREE_ASSIGN_OR_RETURN(
+          candidates_done,
+          AnytimeParallelFor(
+              ctx, pool, static_cast<int64_t>(candidates.size()),
+              [&](int64_t i) {
+                Candidate& c = candidates[i];
+                double diameter = 0.0;
+                uint64_t lhs_mask = c.lhs.mask();
+                for (size_t wi = 0; wi < words.size(); ++wi) {
+                  if ((agree[wi] & lhs_mask) != lhs_mask) continue;
+                  diameter = std::max(diameter, set->agg(wi, c.attr).max_all);
+                }
+                c.diameter = diameter;
+                return Status::OK();
+              }));
       used_evidence = true;
     }
   }
   if (!used_evidence) {
-    FAMTREE_RETURN_NOT_OK(ParallelFor(
-        pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
-          Candidate& c = candidates[i];
-          c.diameter =
-              encoded != nullptr
-                  ? Mfd::MaxGroupDiameter(*encoded, c.lhs, *tables[c.attr])
-                  : Mfd::MaxGroupDiameter(relation, c.lhs, c.attr,
-                                          *metrics[c.attr]);
-          return Status::OK();
-        }));
+    FAMTREE_ASSIGN_OR_RETURN(
+        candidates_done,
+        AnytimeParallelFor(
+            ctx, pool, static_cast<int64_t>(candidates.size()),
+            [&](int64_t i) {
+              Candidate& c = candidates[i];
+              c.diameter =
+                  encoded != nullptr
+                      ? Mfd::MaxGroupDiameter(*encoded, c.lhs, *tables[c.attr])
+                      : Mfd::MaxGroupDiameter(relation, c.lhs, c.attr,
+                                              *metrics[c.attr]);
+              return Status::OK();
+            }));
   }
   std::vector<DiscoveredMfd> out;
-  for (const Candidate& c : candidates) {
+  // The vacuity / max_results filters replay the completed candidate prefix
+  // only, so a cut run emits the same MFDs at any thread count.
+  for (int64_t i = 0; i < candidates_done; ++i) {
+    const Candidate& c = candidates[i];
     if (!std::isfinite(c.diameter)) continue;
     if (global[c.attr] > 0 &&
         c.diameter > options.max_delta_ratio * global[c.attr]) {
@@ -183,7 +215,17 @@ Result<std::vector<DiscoveredMfd>> DiscoverMfds(
     }
     Mfd mfd(c.lhs, {MetricConstraint{c.attr, metrics[c.attr], c.diameter}});
     out.push_back(DiscoveredMfd{std::move(mfd), c.diameter});
-    if (static_cast<int>(out.size()) >= options.max_results) return out;
+    if (static_cast<int>(out.size()) >= options.max_results) {
+      RunContext::MarkComplete(ctx, i + 1);
+      return out;
+    }
+  }
+  if (candidates_done < static_cast<int64_t>(candidates.size())) {
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx),
+                              candidates_done,
+                              static_cast<int64_t>(candidates.size()));
+  } else {
+    RunContext::MarkComplete(ctx, candidates_done);
   }
   return out;
 }

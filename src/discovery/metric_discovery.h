@@ -13,6 +13,7 @@ namespace famtree {
 
 class EvidenceCache;
 class PliCache;
+class RunContext;
 class ThreadPool;
 
 // ---------------------------------------------------------------- MFDs
@@ -36,6 +37,11 @@ struct MfdDiscoveryOptions {
   /// `cache` lends its encoding. FFD and PAC instantiation stay serial.
   ThreadPool* pool = nullptr;
   PliCache* cache = nullptr;
+  /// Optional run limits (common/run_context.h): the driver check-points
+  /// between deterministic units of work and, when a limit fires, returns
+  /// the prefix of its results completed so far with RunReport.exhausted
+  /// set. Null means unlimited.
+  RunContext* context = nullptr;
   /// Measure every candidate from the shared pairwise evidence multiset
   /// (engine/evidence.h): one PLI-pruned kernel build packs an equality
   /// bit per attribute and folds each attribute's per-word distance

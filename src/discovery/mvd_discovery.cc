@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "deps/fhd.h"
 #include "deps/mvd.h"
@@ -58,21 +59,35 @@ Result<std::vector<DiscoveredMvd>> DiscoverMvds(
       }
     }
   }
-  FAMTREE_RETURN_NOT_OK(ParallelFor(
-      pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
-        Candidate& c = candidates[i];
-        c.ratio = encoded != nullptr
-                      ? Mvd::SpuriousTupleRatio(*encoded, c.lhs, c.rhs)
-                      : Mvd::SpuriousTupleRatio(relation, c.lhs, c.rhs);
-        return Status::OK();
-      }));
-  for (const Candidate& c : candidates) {
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "mvds");
+  FAMTREE_ASSIGN_OR_RETURN(
+      int64_t done,
+      AnytimeParallelFor(
+          ctx, pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+            Candidate& c = candidates[i];
+            c.ratio = encoded != nullptr
+                          ? Mvd::SpuriousTupleRatio(*encoded, c.lhs, c.rhs)
+                          : Mvd::SpuriousTupleRatio(relation, c.lhs, c.rhs);
+            return Status::OK();
+          }));
+  // The threshold filter replays the completed candidate prefix only, so a
+  // cut run emits the same MVDs at any thread count.
+  for (int64_t i = 0; i < done; ++i) {
+    const Candidate& c = candidates[i];
     if (c.ratio <= options.max_spurious_ratio) {
       out.push_back(DiscoveredMvd{c.lhs, c.rhs, c.ratio});
       if (static_cast<int>(out.size()) >= options.max_results) {
+        RunContext::MarkComplete(ctx, i + 1);
         return out;
       }
     }
+  }
+  if (done < static_cast<int64_t>(candidates.size())) {
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx), done,
+                              static_cast<int64_t>(candidates.size()));
+  } else {
+    RunContext::MarkComplete(ctx, done);
   }
   return out;
 }
@@ -85,11 +100,24 @@ Result<std::vector<DiscoveredFhd>> DiscoverFhds(
   int nc = relation.num_columns();
   AttrSet full = AttrSet::Full(nc);
   std::vector<DiscoveredFhd> out;
+  // FHDs assembled from a *partial* MVD set would not be a prefix of the
+  // full run's FHDs (missing MVDs change the block partitions), so a run
+  // cut during mining returns no FHDs; the per-seed check-points below
+  // observe the latched stop immediately.
+  RunContext* ctx = options.context;
+  int64_t seeds_done = 0;
   // Group the MVDs by LHS; within each group, greedily grow a block
   // partition: start from one MVD's RHS, then split the remainder with
   // further MVD RHSs while the full-product check keeps passing.
   std::vector<AttrSet> lhs_seen;
   for (const DiscoveredMvd& seed : mvds) {
+    Status gate = RunContext::Checkpoint(ctx);
+    if (RunContext::IsStop(gate)) {
+      RunContext::MarkExhausted(ctx, gate, seeds_done,
+                                static_cast<int64_t>(mvds.size()));
+      return out;
+    }
+    ++seeds_done;
     bool seen = false;
     for (AttrSet l : lhs_seen) {
       if (l == seed.lhs) {
@@ -135,6 +163,7 @@ Result<std::vector<DiscoveredFhd>> DiscoverFhds(
       out.push_back(DiscoveredFhd{seed.lhs, std::move(blocks)});
     }
   }
+  RunContext::MarkComplete(ctx, seeds_done);
   return out;
 }
 }  // namespace famtree

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <string>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
 #include "engine/evidence.h"
@@ -71,9 +72,19 @@ Result<std::vector<DiscoveredNed>> DiscoverNeds(
   metrics[target.attr] = target.metric;
   // Code-pair distance tables, one per attribute, built before the outer
   // ParallelFor (each fill parallelizes internally on the same pool).
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "neds");
+  // A stop during the shared precomputation cuts before any candidate was
+  // evaluated: the partial result is the empty prefix.
+  auto exhausted_early = [&](const Status& stop, int64_t total) {
+    RunContext::MarkExhausted(ctx, stop, 0, total);
+    return std::vector<DiscoveredNed>{};
+  };
   std::vector<std::unique_ptr<CodeDistanceTable>> tables(nc);
   if (encoded != nullptr) {
     for (int a = 0; a < nc; ++a) {
+      Status st = RunContext::Poll(ctx);
+      if (RunContext::IsStop(st)) return exhausted_early(st, 0);
       tables[a] =
           std::make_unique<CodeDistanceTable>(*encoded, a, metrics[a], pool);
     }
@@ -93,6 +104,7 @@ Result<std::vector<DiscoveredNed>> DiscoverNeds(
   // bit-identical at any thread count.
   std::vector<Ned::PairStats> stats(lhs_sets.size());
   int n = relation.num_rows();
+  int64_t candidates_done = 0;
   // Evidence path: one kernel build packs every attribute's
   // threshold-bucket index — the target's single threshold included — into
   // a word per pair; each candidate's counts are folds over the
@@ -133,9 +145,15 @@ Result<std::vector<DiscoveredNed>> DiscoverNeds(
     if (supported && EvidenceWordBits(config) <= 64) {
       EvidenceOptions eopts;
       eopts.pool = pool;
-      FAMTREE_ASSIGN_OR_RETURN(
-          std::shared_ptr<const EvidenceSet> set,
-          GetOrBuildEvidence(options.evidence, *encoded, config, eopts));
+      eopts.context = ctx;
+      Result<std::shared_ptr<const EvidenceSet>> set_result =
+          GetOrBuildEvidence(options.evidence, *encoded, config, eopts);
+      if (!set_result.ok() && RunContext::IsStop(set_result.status())) {
+        return exhausted_early(set_result.status(),
+                               static_cast<int64_t>(lhs_sets.size()));
+      }
+      FAMTREE_ASSIGN_OR_RETURN(std::shared_ptr<const EvidenceSet> set,
+                               std::move(set_result));
       const std::vector<EvidenceSet::Word>& words = set->words();
       // Per-word target satisfaction (bucket 0 of the single-threshold
       // facet), shared by every candidate.
@@ -154,8 +172,11 @@ Result<std::vector<DiscoveredNed>> DiscoverNeds(
           lhs_buckets[c].push_back({cfg_of[p.attr], ti});
         }
       }
-      FAMTREE_RETURN_NOT_OK(ParallelFor(
-          pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
+      FAMTREE_ASSIGN_OR_RETURN(
+          candidates_done,
+          AnytimeParallelFor(
+              ctx, pool, static_cast<int64_t>(lhs_sets.size()),
+              [&](int64_t c) {
             Ned::PairStats& st = stats[c];
             st.total_pairs = set->total_pairs();
             for (size_t wi = 0; wi < words.size(); ++wi) {
@@ -171,27 +192,39 @@ Result<std::vector<DiscoveredNed>> DiscoverNeds(
               if (target_ok[wi]) st.satisfying_pairs += words[wi].count;
             }
             return Status::OK();
-          }));
+              }));
       used_evidence = true;
     }
   }
   if (!used_evidence) {
-    FAMTREE_RETURN_NOT_OK(ParallelFor(
-        pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
-          if (encoded != nullptr) {
-            stats[c] = EncodedPairStats(lhs_sets[c], {target}, n, tables);
-          } else {
-            stats[c] = Ned(lhs_sets[c], {target}).ComputePairStats(relation);
-          }
-          return Status::OK();
-        }));
+    FAMTREE_ASSIGN_OR_RETURN(
+        candidates_done,
+        AnytimeParallelFor(
+            ctx, pool, static_cast<int64_t>(lhs_sets.size()), [&](int64_t c) {
+              if (encoded != nullptr) {
+                stats[c] = EncodedPairStats(lhs_sets[c], {target}, n, tables);
+              } else {
+                stats[c] =
+                    Ned(lhs_sets[c], {target}).ComputePairStats(relation);
+              }
+              return Status::OK();
+            }));
   }
   std::vector<DiscoveredNed> out;
-  for (size_t c = 0; c < lhs_sets.size(); ++c) {
+  // The support / confidence filters replay the completed candidate prefix
+  // only, so a cut run emits the same NEDs at any thread count.
+  for (size_t c = 0; c < static_cast<size_t>(candidates_done); ++c) {
     if (stats[c].lhs_pairs < options.min_support) continue;
     if (stats[c].confidence() < options.min_confidence) continue;
     out.push_back(DiscoveredNed{Ned(std::move(lhs_sets[c]), {target}),
                                 stats[c].lhs_pairs, stats[c].confidence()});
+  }
+  if (candidates_done < static_cast<int64_t>(lhs_sets.size())) {
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx),
+                              candidates_done,
+                              static_cast<int64_t>(lhs_sets.size()));
+  } else {
+    RunContext::MarkComplete(ctx, candidates_done);
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
 
@@ -101,6 +102,8 @@ Result<std::vector<DiscoveredOd>> DiscoverUnaryOds(
   std::vector<DiscoveredOd> out;
   int nc = relation.num_columns();
   ThreadPool* pool = options.pool;
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "unary_ods");
   auto eligible = [&](int c) {
     if (!options.numeric_only) return true;
     ValueType t = relation.schema().column(c).type;
@@ -136,13 +139,23 @@ Result<std::vector<DiscoveredOd>> DiscoverUnaryOds(
   std::vector<std::vector<uint32_t>> ranks(nc);
   std::vector<std::vector<int>> orders(nc);
   if (encoded != nullptr) {
-    FAMTREE_RETURN_NOT_OK(ParallelFor(
+    Status precompute = ParallelFor(
         pool, static_cast<int64_t>(cols.size()), [&](int64_t i) {
+          FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
           int c = cols[i];
           ranks[c] = CodeRanks(*encoded, c);
           orders[c] = SortedRowOrder(*encoded, c, ranks[c]);
           return Status::OK();
-        }));
+        });
+    if (RunContext::IsStop(precompute)) {
+      // Cut before any candidate was evaluated: the partial result is the
+      // empty prefix.
+      int64_t total = static_cast<int64_t>(cols.size()) *
+                      (static_cast<int64_t>(cols.size()) - 1);
+      RunContext::MarkExhausted(ctx, precompute, 0, total);
+      return out;
+    }
+    FAMTREE_RETURN_NOT_OK(precompute);
   }
   // Candidate pairs in the serial walk's order; each slot is written by
   // exactly one ParallelFor iteration and the merge replays pair order, so
@@ -158,8 +171,10 @@ Result<std::vector<DiscoveredOd>> DiscoverUnaryOds(
       if (a != b) candidates.push_back(Candidate{a, b, 0});
     }
   }
-  FAMTREE_RETURN_NOT_OK(ParallelFor(
-      pool, static_cast<int64_t>(candidates.size()), [&](int64_t t) {
+  FAMTREE_ASSIGN_OR_RETURN(
+      int64_t done,
+      AnytimeParallelFor(
+          ctx, pool, static_cast<int64_t>(candidates.size()), [&](int64_t t) {
         Candidate& cd = candidates[t];
         if (encoded != nullptr) {
           PairScan r =
@@ -176,8 +191,11 @@ Result<std::vector<DiscoveredOd>> DiscoverUnaryOds(
                          : 0);
         }
         return Status::OK();
-      }));
-  for (const Candidate& cd : candidates) {
+          }));
+  // The serial merge replays the completed candidate prefix only, so a cut
+  // run emits the same ODs at any thread count.
+  for (int64_t t = 0; t < done; ++t) {
+    const Candidate& cd = candidates[t];
     if (cd.result == 1) {
       out.push_back(DiscoveredOd{Od({MarkedAttr{cd.a, OrderMark::kLeq}},
                                     {MarkedAttr{cd.b, OrderMark::kLeq}})});
@@ -185,7 +203,16 @@ Result<std::vector<DiscoveredOd>> DiscoverUnaryOds(
       out.push_back(DiscoveredOd{Od({MarkedAttr{cd.a, OrderMark::kLeq}},
                                     {MarkedAttr{cd.b, OrderMark::kGeq}})});
     }
-    if (static_cast<int>(out.size()) >= options.max_results) return out;
+    if (static_cast<int>(out.size()) >= options.max_results) {
+      RunContext::MarkComplete(ctx, t + 1);
+      return out;
+    }
+  }
+  if (done < static_cast<int64_t>(candidates.size())) {
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx), done,
+                              static_cast<int64_t>(candidates.size()));
+  } else {
+    RunContext::MarkComplete(ctx, done);
   }
   return out;
 }

@@ -10,6 +10,7 @@
 namespace famtree {
 
 class PliCache;
+class RunContext;
 class ThreadPool;
 
 struct OdDiscoveryOptions {
@@ -29,6 +30,11 @@ struct OdDiscoveryOptions {
   /// sort rather than build partitions).
   ThreadPool* pool = nullptr;
   PliCache* cache = nullptr;
+  /// Optional run limits (common/run_context.h): the driver check-points
+  /// between deterministic units of work and, when a limit fires, returns
+  /// the prefix of its results completed so far with RunReport.exhausted
+  /// set. Null means unlimited.
+  RunContext* context = nullptr;
 };
 
 struct DiscoveredOd {

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "deps/pfd.h"
 #include "discovery/discovery_util.h"
@@ -58,18 +59,38 @@ Result<std::vector<DiscoveredPfd>> DiscoverPfds(
                : Pfd::Probability(relation, lhs, AttrSet::Single(a));
   };
   std::vector<DiscoveredPfd> out;
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "pfds");
+  const int64_t total_levels = options.max_lhs_size;
+  int64_t levels_done = 0;
   for (int size = 1; size <= options.max_lhs_size; ++size) {
+    Status gate = RunContext::Checkpoint(ctx);
+    if (RunContext::IsStop(gate)) {
+      RunContext::MarkExhausted(ctx, gate, levels_done, total_levels);
+      return out;
+    }
+    // An interrupted level is discarded whole (truncated back to
+    // level_start) so a cut run always returns the PFDs of its completed
+    // levels — the same prefix at any thread count.
+    size_t level_start = out.size();
     if (pool == nullptr) {
       // Serial walk: the minimality filter prunes a candidate before its
       // probability is ever computed.
       for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
         for (int a = 0; a < nc; ++a) {
           if (lhs.Contains(a)) continue;
+          Status st = RunContext::Poll(ctx);
+          if (RunContext::IsStop(st)) {
+            out.resize(level_start);
+            RunContext::MarkExhausted(ctx, st, levels_done, total_levels);
+            return out;
+          }
           if (!IsMinimal(out, lhs, a)) continue;
           double prob = probability(lhs, a);
           if (prob >= options.min_probability) {
             out.push_back(DiscoveredPfd{lhs, a, prob});
             if (static_cast<int>(out.size()) >= options.max_results) {
+              RunContext::MarkComplete(ctx, levels_done);
               return out;
             }
           }
@@ -81,23 +102,33 @@ Result<std::vector<DiscoveredPfd>> DiscoverPfds(
       // serial walk's filters in candidate order — bit-identical output at
       // any thread count.
       std::vector<PfdCandidate> candidates = LevelCandidates(nc, size);
-      FAMTREE_RETURN_NOT_OK(ParallelFor(
+      Status level_status = ParallelFor(
           pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+            FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
             candidates[i].probability =
                 probability(candidates[i].lhs, candidates[i].rhs);
             return Status::OK();
-          }));
+          });
+      if (RunContext::IsStop(level_status)) {
+        RunContext::MarkExhausted(ctx, level_status, levels_done,
+                                  total_levels);
+        return out;
+      }
+      FAMTREE_RETURN_NOT_OK(level_status);
       for (const PfdCandidate& c : candidates) {
         if (!IsMinimal(out, c.lhs, c.rhs)) continue;
         if (c.probability >= options.min_probability) {
           out.push_back(DiscoveredPfd{c.lhs, c.rhs, c.probability});
           if (static_cast<int>(out.size()) >= options.max_results) {
+            RunContext::MarkComplete(ctx, levels_done);
             return out;
           }
         }
       }
     }
+    ++levels_done;
   }
+  RunContext::MarkComplete(ctx, levels_done);
   return out;
 }
 
@@ -112,16 +143,25 @@ Result<std::vector<DiscoveredPfd>> DiscoverPfdsMultiSource(
     }
   }
   ThreadPool* pool = options.pool;
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "pfds_multi_source");
+  const int64_t total_levels = options.max_lhs_size;
   // The PliCache is keyed to a single relation, so the multi-source merge
   // only uses per-source local encodings.
   std::vector<std::unique_ptr<EncodedRelation>> encodings;
   if (options.use_encoding) {
     encodings.resize(sources.size());
-    FAMTREE_RETURN_NOT_OK(ParallelFor(
+    Status encode_status = ParallelFor(
         pool, static_cast<int64_t>(sources.size()), [&](int64_t i) {
+          FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
           encodings[i] = std::make_unique<EncodedRelation>(sources[i]);
           return Status::OK();
-        }));
+        });
+    if (RunContext::IsStop(encode_status)) {
+      RunContext::MarkExhausted(ctx, encode_status, 0, total_levels);
+      return std::vector<DiscoveredPfd>{};
+    }
+    FAMTREE_RETURN_NOT_OK(encode_status);
   }
   long long total_rows = 0;
   for (const Relation& s : sources) total_rows += s.num_rows();
@@ -141,16 +181,30 @@ Result<std::vector<DiscoveredPfd>> DiscoverPfdsMultiSource(
     }
     return merged;
   };
+  int64_t levels_done = 0;
   for (int size = 1; size <= options.max_lhs_size; ++size) {
+    Status gate = RunContext::Checkpoint(ctx);
+    if (RunContext::IsStop(gate)) {
+      RunContext::MarkExhausted(ctx, gate, levels_done, total_levels);
+      return out;
+    }
+    size_t level_start = out.size();
     if (pool == nullptr) {
       for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {
         for (int a = 0; a < nc; ++a) {
           if (lhs.Contains(a)) continue;
+          Status st = RunContext::Poll(ctx);
+          if (RunContext::IsStop(st)) {
+            out.resize(level_start);
+            RunContext::MarkExhausted(ctx, st, levels_done, total_levels);
+            return out;
+          }
           if (!IsMinimal(out, lhs, a)) continue;
           double merged = merged_probability(lhs, a);
           if (merged >= options.min_probability) {
             out.push_back(DiscoveredPfd{lhs, a, merged});
             if (static_cast<int>(out.size()) >= options.max_results) {
+              RunContext::MarkComplete(ctx, levels_done);
               return out;
             }
           }
@@ -158,23 +212,33 @@ Result<std::vector<DiscoveredPfd>> DiscoverPfdsMultiSource(
       }
     } else {
       std::vector<PfdCandidate> candidates = LevelCandidates(nc, size);
-      FAMTREE_RETURN_NOT_OK(ParallelFor(
+      Status level_status = ParallelFor(
           pool, static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+            FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
             candidates[i].probability =
                 merged_probability(candidates[i].lhs, candidates[i].rhs);
             return Status::OK();
-          }));
+          });
+      if (RunContext::IsStop(level_status)) {
+        RunContext::MarkExhausted(ctx, level_status, levels_done,
+                                  total_levels);
+        return out;
+      }
+      FAMTREE_RETURN_NOT_OK(level_status);
       for (const PfdCandidate& c : candidates) {
         if (!IsMinimal(out, c.lhs, c.rhs)) continue;
         if (c.probability >= options.min_probability) {
           out.push_back(DiscoveredPfd{c.lhs, c.rhs, c.probability});
           if (static_cast<int>(out.size()) >= options.max_results) {
+            RunContext::MarkComplete(ctx, levels_done);
             return out;
           }
         }
       }
     }
+    ++levels_done;
   }
+  RunContext::MarkComplete(ctx, levels_done);
   return out;
 }
 

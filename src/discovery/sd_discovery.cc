@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
 
@@ -69,6 +70,15 @@ Result<DiscoveredSd> DiscoverSd(const Relation& relation, int order_attr,
       const EncodedRelation* encoded,
       ResolveEncoding(relation, options.use_encoding, options.cache,
                       &local_encoding));
+  // A single-result driver has no partial prefix to return: a fired limit
+  // surfaces as the stop status itself, with the report marked exhausted.
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "sd");
+  Status gate = RunContext::Checkpoint(ctx);
+  if (RunContext::IsStop(gate)) {
+    RunContext::MarkExhausted(ctx, gate, 0, 2);
+    return gate;
+  }
   int n = relation.num_rows();
   std::vector<int> order;
   std::vector<double> target_num(n);
@@ -98,8 +108,14 @@ Result<DiscoveredSd> DiscoverSd(const Relation& relation, int order_attr,
   };
   Interval g = Interval::Between(at(options.lo_quantile),
                                  at(options.hi_quantile));
+  gate = RunContext::Checkpoint(ctx);
+  if (RunContext::IsStop(gate)) {
+    RunContext::MarkExhausted(ctx, gate, 1, 2);
+    return gate;
+  }
   Sd sd(order_attr, target_attr, g);
   double conf = ConfidenceFromSorted(order, target_num, g);
+  RunContext::MarkComplete(ctx, 2);
   if (conf < options.min_confidence) {
     return Status::NotFound("no SD meets the confidence bound");
   }
@@ -122,6 +138,14 @@ Result<DiscoveredCsd> DiscoverCsdTableau(const Relation& relation,
       const EncodedRelation* encoded,
       ResolveEncoding(relation, options.use_encoding, options.cache,
                       &local_encoding));
+  // Single tableau result; limits stop the run, they cannot shrink it.
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "csd_tableau");
+  Status gate = RunContext::Checkpoint(ctx);
+  if (RunContext::IsStop(gate)) {
+    RunContext::MarkExhausted(ctx, gate, 0, 0);
+    return gate;
+  }
   std::vector<int> order;
   std::vector<double> order_num(n), target_num(n);
   if (encoded != nullptr) {
@@ -184,6 +208,11 @@ Result<DiscoveredCsd> DiscoverCsdTableau(const Relation& relation,
   std::vector<std::pair<int, int>> choice(k + 1, {-1, -1});  // interval a..b
   std::vector<int> back(k + 1, 0);
   for (int g = 1; g <= k; ++g) {
+    Status poll = RunContext::Poll(ctx);
+    if (RunContext::IsStop(poll)) {
+      RunContext::MarkExhausted(ctx, poll, g - 1, k);
+      return poll;
+    }
     best[g] = best[g - 1];
     back[g] = g - 1;
     choice[g] = {-1, -1};
@@ -213,6 +242,7 @@ Result<DiscoveredCsd> DiscoverCsdTableau(const Relation& relation,
     }
   }
   std::reverse(tableau.begin(), tableau.end());
+  RunContext::MarkComplete(ctx, k);
   if (tableau.empty()) {
     return Status::NotFound("no qualifying condition interval");
   }

@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "engine/pli_cache.h"
 #include "relation/partition.h"
@@ -13,6 +14,14 @@
 namespace famtree {
 
 namespace {
+
+/// Translates a cache miss that is really a latched run limit: a PliCache
+/// fed a RunContext returns nullptr when the budget (or an injected fault)
+/// stopped the build.
+Status PliStopStatus(RunContext* ctx) {
+  Status stop = RunContext::StopStatus(ctx);
+  return stop.ok() ? Status::Internal("PLI unavailable") : stop;
+}
 
 /// Partitions are handled by shared pointer so the serial path, the shared
 /// cache and the prev-level map can alias one partition without deep copies.
@@ -61,9 +70,13 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
   }
   ThreadPool* pool = options.pool;
   PliCache* cache = options.cache;
+  RunContext* ctx = options.context;
   if (cache != nullptr && &cache->relation() != &relation) {
     return Status::Invalid("PliCache serves a different relation");
   }
+  RunContext::BeginRun(ctx, "tane");
+  const int64_t total_levels = options.max_lhs_size + 1;
+  int64_t levels_done = 0;
   std::vector<DiscoveredFd> out;
   const bool exact = options.max_error == 0.0;
   const AttrSet full = AttrSet::Full(nc);
@@ -85,10 +98,12 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
   // Level 1: one partition per attribute, built (or cache-served) in
   // parallel and assembled into the level map in attribute order.
   std::vector<Pli> singles(nc);
-  FAMTREE_RETURN_NOT_OK(ParallelFor(pool, nc, [&](int64_t a) {
+  Status singles_status = ParallelFor(pool, nc, [&](int64_t a) {
+    FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
     int attr = static_cast<int>(a);
     if (cache != nullptr) {
-      singles[a] = cache->Get(AttrSet::Single(attr));
+      singles[a] = cache->Get(AttrSet::Single(attr), ctx);
+      if (singles[a] == nullptr) return PliStopStatus(ctx);
     } else if (encoded != nullptr) {
       singles[a] = std::make_shared<StrippedPartition>(
           StrippedPartition::ForAttribute(*encoded, attr));
@@ -97,7 +112,12 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
           StrippedPartition::ForAttribute(relation, attr));
     }
     return Status::OK();
-  }));
+  });
+  if (RunContext::IsStop(singles_status)) {
+    RunContext::MarkExhausted(ctx, singles_status, 0, total_levels);
+    return out;
+  }
+  FAMTREE_RETURN_NOT_OK(singles_status);
   Level level;
   for (int a = 0; a < nc; ++a) {
     level.emplace(AttrSet::Single(a).mask(),
@@ -130,6 +150,14 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
   // there have LHS size depth - 1, so the walk runs to max_lhs_size + 1.
   for (int depth = 1; depth <= options.max_lhs_size + 1 && !level.empty();
        ++depth) {
+    // One deterministic check-point per lattice level: a limit firing here
+    // (or mid-level, below) returns the FDs of the completed levels.
+    Status gate = RunContext::Checkpoint(ctx);
+    if (RunContext::IsStop(gate)) {
+      RunContext::MarkExhausted(ctx, gate, levels_done, total_levels);
+      return out;
+    }
+    FAMTREE_RETURN_NOT_OK(gate);
     // COMPUTE_DEPENDENCIES. The validity tests of a level are mutually
     // independent: each reads only immutable partitions (its node's and the
     // previous level's), so they are flattened into one work list. Their
@@ -154,8 +182,9 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
         ++node_index;
       }
     }
-    FAMTREE_RETURN_NOT_OK(
+    Status tests_status =
         ParallelFor(pool, static_cast<int64_t>(tests.size()), [&](int64_t t) {
+          FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
           CandidateTest& test = tests[t];
           auto prev = prev_plis.find(test.lhs.mask());
           if (prev == prev_plis.end()) return Status::OK();  // lhs pruned
@@ -175,13 +204,21 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
                                             AttrSet::Single(test.rhs));
           }
           return Status::OK();
-        }));
+        });
+    if (RunContext::IsStop(tests_status)) {
+      // The interrupted level's tests are discarded whole: `out` holds
+      // exactly the completed levels' FDs at any thread count.
+      RunContext::MarkExhausted(ctx, tests_status, levels_done, total_levels);
+      return out;
+    }
+    FAMTREE_RETURN_NOT_OK(tests_status);
     for (const CandidateTest& test : tests) {
       if (!test.tested || test.error > options.max_error) continue;
       Node& node = *nodes[test.node_index];
       AttrSet x = test.lhs.With(test.rhs);
       out.push_back(DiscoveredFd{test.lhs, test.rhs, test.error});
       if (static_cast<int>(out.size()) >= options.max_results) {
+        RunContext::MarkComplete(ctx, levels_done);
         return out;
       }
       node.cplus.Remove(test.rhs);
@@ -215,6 +252,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
       }
       it = erase ? level.erase(it) : ++it;
     }
+    ++levels_done;
     if (depth == options.max_lhs_size + 1) break;
     // Retain this level's partitions for the next level's validity tests.
     prev_plis.clear();
@@ -249,22 +287,31 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
                                       cplus, nullptr});
       }
     }
-    FAMTREE_RETURN_NOT_OK(ParallelFor(
+    Status products_status = ParallelFor(
         pool, static_cast<int64_t>(pending.size()), [&](int64_t i) {
+          FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
           PendingNode& p = pending[i];
           p.pli = cache != nullptr
-                      ? cache->Get(p.attrs)
+                      ? cache->Get(p.attrs, ctx)
                       : std::make_shared<StrippedPartition>(
                             p.parent1->Product(*p.parent2,
                                                relation.num_rows()));
+          if (p.pli == nullptr) return PliStopStatus(ctx);
           return Status::OK();
-        }));
+        });
+    if (RunContext::IsStop(products_status)) {
+      RunContext::MarkExhausted(ctx, products_status, levels_done,
+                                total_levels);
+      return out;
+    }
+    FAMTREE_RETURN_NOT_OK(products_status);
     Level next;
     for (PendingNode& p : pending) {
       next.emplace(p.attrs.mask(), Node{std::move(p.pli), p.cplus});
     }
     level = std::move(next);
   }
+  RunContext::MarkComplete(ctx, levels_done);
   return out;
 }
 

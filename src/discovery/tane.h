@@ -10,6 +10,7 @@
 namespace famtree {
 
 class PliCache;
+class RunContext;
 class ThreadPool;
 
 /// One discovered (approximate) functional dependency X -> A.
@@ -46,6 +47,11 @@ struct TaneOptions {
   /// every combination (asserted by tests/engine_determinism_test.cc).
   ThreadPool* pool = nullptr;
   PliCache* cache = nullptr;
+  /// Optional run limits; the driver check-points once per lattice level.
+  /// When a limit fires it returns the FDs of the completed levels — a
+  /// deterministic prefix of the full output at any thread count — and
+  /// records the cutoff in the context's RunReport.
+  RunContext* context = nullptr;
 };
 
 /// TANE [53], [54]: levelwise lattice search over attribute sets using

@@ -1,5 +1,7 @@
 #include "engine/engine.h"
 
+#include "relation/relation.h"
+
 namespace famtree {
 
 DiscoveryEngine::DiscoveryEngine(EngineOptions options)
@@ -7,15 +9,23 @@ DiscoveryEngine::DiscoveryEngine(EngineOptions options)
       pool_(options.num_threads),
       evidence_(EvidenceCache::Options{options.evidence_max_bytes}) {}
 
-PliCache& DiscoveryEngine::CacheFor(const Relation& relation) {
+Result<PliCache*> DiscoveryEngine::CacheFor(const Relation& relation) {
+  // Fingerprint outside the lock: hashing every cell is O(data), which the
+  // driver about to run dwarfs, and it must not serialize other lookups.
+  uint64_t fp = RelationFingerprint(relation);
   std::lock_guard<std::mutex> lock(mu_);
   std::unique_ptr<PliCache>& slot = caches_[&relation];
   if (slot == nullptr) {
     PliCache::Options cache_options;
     cache_options.max_bytes = options_.cache_max_bytes;
     slot = std::make_unique<PliCache>(relation, cache_options);
+  } else if (slot->fingerprint() != fp) {
+    return Status::Invalid(
+        "relation at a remembered address has different content (freed and "
+        "reallocated without ForgetRelation?); refusing to serve the stale "
+        "PLI store");
   }
-  return *slot;
+  return slot.get();
 }
 
 void DiscoveryEngine::ForgetRelation(const Relation& relation) {
@@ -26,13 +36,15 @@ void DiscoveryEngine::ForgetRelation(const Relation& relation) {
 Result<std::vector<DiscoveredFd>> DiscoveryEngine::Tane(
     const Relation& relation, TaneOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverFdsTane(relation, options);
 }
 
 Result<std::vector<DiscoveredFd>> DiscoveryEngine::FastFd(
     const Relation& relation, FastFdOptions options) {
   options.pool = &pool_;
+  if (options.context == nullptr) options.context = default_context();
   return DiscoverFdsFastFd(relation, options);
 }
 
@@ -40,27 +52,31 @@ Result<std::vector<DiscoveredDc>> DiscoveryEngine::FastDc(
     const Relation& relation, FastDcOptions options) {
   options.pool = &pool_;
   options.evidence = &evidence_;
+  if (options.context == nullptr) options.context = default_context();
   return DiscoverDcs(relation, options);
 }
 
 Result<std::vector<DiscoveredSfd>> DiscoveryEngine::Cords(
     const Relation& relation, CordsOptions options) {
   options.pool = &pool_;
+  if (options.context == nullptr) options.context = default_context();
   return DiscoverSfdsCords(relation, options);
 }
 
 Result<std::vector<DiscoveredCfd>> DiscoveryEngine::ConstantCfds(
     const Relation& relation, CfdDiscoveryOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
   options.evidence = &evidence_;
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverConstantCfds(relation, options);
 }
 
 Result<std::vector<DiscoveredCfd>> DiscoveryEngine::GeneralCfds(
     const Relation& relation, CfdDiscoveryOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverGeneralCfds(relation, options);
 }
 
@@ -68,43 +84,49 @@ Result<std::vector<DiscoveredCfd>> DiscoveryEngine::GreedyTableau(
     const Relation& relation, AttrSet lhs, int rhs, int condition_attr,
     TableauOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return BuildGreedyTableau(relation, lhs, rhs, condition_attr, options);
 }
 
 Result<std::vector<DiscoveredOd>> DiscoveryEngine::UnaryOds(
     const Relation& relation, OdDiscoveryOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverUnaryOds(relation, options);
 }
 
 Result<std::vector<DiscoveredMvd>> DiscoveryEngine::Mvds(
     const Relation& relation, MvdDiscoveryOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverMvds(relation, options);
 }
 
 Result<std::vector<DiscoveredFhd>> DiscoveryEngine::Fhds(
     const Relation& relation, MvdDiscoveryOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverFhds(relation, options);
 }
 
 Result<std::vector<DiscoveredPfd>> DiscoveryEngine::Pfds(
     const Relation& relation, PfdDiscoveryOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverPfds(relation, options);
 }
 
 Result<std::vector<DiscoveredDd>> DiscoveryEngine::Dds(
     const Relation& relation, DdDiscoveryOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
   options.evidence = &evidence_;
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverDds(relation, options);
 }
 
@@ -112,24 +134,27 @@ Result<std::vector<DiscoveredNed>> DiscoveryEngine::Neds(
     const Relation& relation, const Ned::Predicate& target,
     NedDiscoveryOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
   options.evidence = &evidence_;
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverNeds(relation, target, options);
 }
 
 Result<std::vector<DiscoveredMd>> DiscoveryEngine::Mds(
     const Relation& relation, AttrSet rhs, MdDiscoveryOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
   options.evidence = &evidence_;
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverMds(relation, rhs, options);
 }
 
 Result<std::vector<DiscoveredMfd>> DiscoveryEngine::Mfds(
     const Relation& relation, MfdDiscoveryOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
   options.evidence = &evidence_;
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverMfds(relation, options);
 }
 
@@ -137,7 +162,8 @@ Result<DiscoveredSd> DiscoveryEngine::Sd(const Relation& relation,
                                          int order_attr, int target_attr,
                                          SdDiscoveryOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverSd(relation, order_attr, target_attr, options);
 }
 
@@ -146,18 +172,20 @@ Result<DiscoveredCsd> DiscoveryEngine::CsdTableau(const Relation& relation,
                                                   int target_attr,
                                                   CsdDiscoveryOptions options) {
   options.pool = &pool_;
-  options.cache = &CacheFor(relation);
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverCsdTableau(relation, order_attr, target_attr, options);
 }
 
 namespace {
 
 QualityOptions WireQuality(ThreadPool* pool, PliCache* cache,
-                           EvidenceCache* evidence) {
+                           EvidenceCache* evidence, RunContext* context) {
   QualityOptions options;
   options.pool = pool;
   options.cache = cache;
   options.evidence = evidence;
+  options.context = context;
   return options;
 }
 
@@ -166,74 +194,87 @@ QualityOptions WireQuality(ThreadPool* pool, PliCache* cache,
 Result<RepairResult> DiscoveryEngine::RepairFds(const Relation& relation,
                                                 const std::vector<Fd>& fds,
                                                 int max_passes) {
-  return RepairWithFds(relation, fds, max_passes,
-                       WireQuality(&pool_, &CacheFor(relation), &evidence_));
+  FAMTREE_ASSIGN_OR_RETURN(PliCache * cache, CacheFor(relation));
+  return RepairWithFds(
+      relation, fds, max_passes,
+      WireQuality(&pool_, cache, &evidence_, default_context()));
 }
 
 Result<RepairResult> DiscoveryEngine::RepairCfds(const Relation& relation,
                                                  const std::vector<Cfd>& cfds,
                                                  int max_passes) {
-  return RepairWithCfds(relation, cfds, max_passes,
-                        WireQuality(&pool_, &CacheFor(relation), &evidence_));
+  FAMTREE_ASSIGN_OR_RETURN(PliCache * cache, CacheFor(relation));
+  return RepairWithCfds(
+      relation, cfds, max_passes,
+      WireQuality(&pool_, cache, &evidence_, default_context()));
 }
 
 Result<RepairResult> DiscoveryEngine::RepairHolistic(
     const Relation& relation, const std::vector<Dc>& dcs, int max_changes) {
+  FAMTREE_ASSIGN_OR_RETURN(PliCache * cache, CacheFor(relation));
   return RepairWithDcsHolistic(
       relation, dcs, max_changes,
-      WireQuality(&pool_, &CacheFor(relation), &evidence_));
+      WireQuality(&pool_, cache, &evidence_, default_context()));
 }
 
 Result<MatchResult> DiscoveryEngine::Match(const Relation& relation,
                                            std::vector<Md> rules) {
+  FAMTREE_ASSIGN_OR_RETURN(PliCache * cache, CacheFor(relation));
   MdMatcher matcher(std::move(rules));
   return matcher.Match(
-      relation, WireQuality(&pool_, &CacheFor(relation), &evidence_));
+      relation, WireQuality(&pool_, cache, &evidence_, default_context()));
 }
 
 Result<ImputeResult> DiscoveryEngine::Impute(const Relation& relation,
                                              const Ned& rule) {
-  return ImputeWithNed(relation, rule,
-                       WireQuality(&pool_, &CacheFor(relation), &evidence_));
+  FAMTREE_ASSIGN_OR_RETURN(PliCache * cache, CacheFor(relation));
+  return ImputeWithNed(
+      relation, rule,
+      WireQuality(&pool_, cache, &evidence_, default_context()));
 }
 
 Result<Relation> DiscoveryEngine::CertainAnswers(const Relation& relation,
                                                  const Fd& fd,
                                                  const SelectionQuery& query) {
+  FAMTREE_ASSIGN_OR_RETURN(PliCache * cache, CacheFor(relation));
   return famtree::CertainAnswers(
       relation, fd, query,
-      WireQuality(&pool_, &CacheFor(relation), &evidence_));
+      WireQuality(&pool_, cache, &evidence_, default_context()));
 }
 
 Result<Relation> DiscoveryEngine::PossibleAnswers(
     const Relation& relation, const Fd& fd, const SelectionQuery& query) {
+  FAMTREE_ASSIGN_OR_RETURN(PliCache * cache, CacheFor(relation));
   return famtree::PossibleAnswers(
       relation, fd, query,
-      WireQuality(&pool_, &CacheFor(relation), &evidence_));
+      WireQuality(&pool_, cache, &evidence_, default_context()));
 }
 
 Result<std::vector<Violation>> DiscoveryEngine::DetectSpeed(
     const Relation& relation, int time_attr, int value_attr,
     const SpeedConstraint& constraint) {
+  FAMTREE_ASSIGN_OR_RETURN(PliCache * cache, CacheFor(relation));
   return DetectSpeedViolations(
       relation, time_attr, value_attr, constraint,
-      WireQuality(&pool_, &CacheFor(relation), &evidence_));
+      WireQuality(&pool_, cache, &evidence_, default_context()));
 }
 
 Result<RepairResult> DiscoveryEngine::RepairSpeed(
     const Relation& relation, int time_attr, int value_attr,
     const SpeedConstraint& constraint) {
+  FAMTREE_ASSIGN_OR_RETURN(PliCache * cache, CacheFor(relation));
   return RepairWithSpeedConstraint(
       relation, time_attr, value_attr, constraint,
-      WireQuality(&pool_, &CacheFor(relation), &evidence_));
+      WireQuality(&pool_, cache, &evidence_, default_context()));
 }
 
 Result<DetectionSummary> DiscoveryEngine::Detect(
     const Relation& relation, std::vector<DependencyPtr> rules,
     int max_violations_per_rule) {
+  FAMTREE_ASSIGN_OR_RETURN(PliCache * cache, CacheFor(relation));
   ViolationDetector detector(std::move(rules));
-  return detector.Detect(relation, max_violations_per_rule, &pool_,
-                         &CacheFor(relation));
+  return detector.Detect(relation, max_violations_per_rule, &pool_, cache,
+                         default_context());
 }
 
 PliCache::Stats DiscoveryEngine::CacheStats() const {

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "discovery/cfd_discovery.h"
@@ -42,6 +43,10 @@ struct EngineOptions {
   /// EvidenceCache::Options::max_bytes). The store is content-addressed
   /// (encoding fingerprints), so one store serves every relation.
   size_t evidence_max_bytes = 32ull << 20;
+  /// Default run limits (deadline / cancellation / memory budget / fault
+  /// injection) applied to every driver call that does not carry its own
+  /// context in its per-call options. Borrowed; null means unlimited.
+  RunContext* context = nullptr;
 };
 
 /// The parallel lattice engine: one thread pool plus one shared PLI store
@@ -57,16 +62,29 @@ struct EngineOptions {
 ///   auto dcs = engine.FastDc(relation);         // same pool
 ///   auto stats = engine.CacheStats();           // hits/misses/evictions
 ///
-/// Relations are identified by address: the caller keeps a relation alive
-/// and at a stable address for as long as the engine serves it.
+/// Relations are identified by address plus a content fingerprint: the
+/// caller keeps a relation alive and at a stable address for as long as the
+/// engine serves it, and a different relation showing up at a remembered
+/// address (freed and reallocated without ForgetRelation) is rejected with
+/// kInvalidArgument instead of silently reading the stale PLI store.
+///
+/// Every driver and quality application accepts a RunContext — per call via
+/// its options struct, or engine-wide via EngineOptions::context. A run
+/// whose deadline, cancellation, or memory budget fires degrades
+/// gracefully: the driver returns the deterministic prefix of its results
+/// computed so far and records the cutoff in the context's RunReport
+/// (exhausted flag, completed/total units). With no limits set, behavior
+/// and output are bit-identical to a context-free call.
 class DiscoveryEngine {
  public:
   explicit DiscoveryEngine(EngineOptions options = {});
 
   ThreadPool& pool() { return pool_; }
 
-  /// The shared PLI store for `relation`, created on first use.
-  PliCache& CacheFor(const Relation& relation);
+  /// The shared PLI store for `relation`, created on first use. Returns
+  /// kInvalidArgument when `relation`'s content fingerprint contradicts the
+  /// store remembered for its address (stale-address hazard).
+  Result<PliCache*> CacheFor(const Relation& relation);
 
   /// The engine-wide evidence store serving every pairwise miner.
   EvidenceCache& evidence_cache() { return evidence_; }
@@ -210,6 +228,9 @@ class DiscoveryEngine {
   EvidenceCache evidence_;
   mutable std::mutex mu_;  // guards caches_
   std::map<const Relation*, std::unique_ptr<PliCache>> caches_;
+
+  /// The engine-wide default when per-call options carry no context.
+  RunContext* default_context() const { return options_.context; }
 };
 
 }  // namespace famtree

@@ -350,7 +350,7 @@ class EvidenceBuilder {
     bool pruned = false;
     if (pairs != nullptr) {
       FAMTREE_RETURN_NOT_OK(
-          PairListWalk(*pc, *pairs, chunks, options.pool, &accs));
+          PairListWalk(*pc, *pairs, chunks, options, &accs));
     } else if (options.prune_all_unequal && PruneEligible(columns)) {
       pruned = true;
       FAMTREE_RETURN_NOT_OK(
@@ -363,6 +363,7 @@ class EvidenceBuilder {
              std::pair<int64_t, std::vector<EvidenceSet::Aggregate>>>
         merged;
     for (const Accumulator& acc : accs) acc.MergeInto(&merged);
+    FAMTREE_RETURN_NOT_OK(RunContext::Poll(options.context));
 
     auto set = std::make_shared<EvidenceSet>();
     set->layout_ = pc->layout();
@@ -389,6 +390,10 @@ class EvidenceBuilder {
       set->words_.push_back(EvidenceSet::Word{w, entry.first});
       for (int t = 0; t < tracked; ++t) set->aggs_.push_back(entry.second[t]);
     }
+    // Charged only once fully built: a failed charge discards the set whole,
+    // so no cache downstream ever sees a partial multiset.
+    FAMTREE_RETURN_NOT_OK(RunContext::ChargeAlloc(
+        options.context, set->footprint_bytes(), "evidence_set"));
     return std::shared_ptr<const EvidenceSet>(std::move(set));
   }
 
@@ -410,8 +415,11 @@ class EvidenceBuilder {
       Accumulator& acc = (*accs)[chunk];
       std::vector<double> td(std::max(1, pc.num_tracked()));
       for (int ti = static_cast<int>(chunk); ti < num_tiles; ti += chunks) {
+        FAMTREE_RETURN_NOT_OK(
+            RunContext::FaultPoint(options.context, "evidence_tile"));
         int i0 = ti * tile, i1 = std::min(n, i0 + tile);
         for (int tj = ti; tj < num_tiles; ++tj) {
+          FAMTREE_RETURN_NOT_OK(RunContext::Poll(options.context));
           int j0 = tj * tile, j1 = std::min(n, j0 + tile);
           for (int i = i0; i < i1; ++i) {
             for (int j = std::max(j0, i + 1); j < j1; ++j) {
@@ -426,15 +434,18 @@ class EvidenceBuilder {
 
   static Status PairListWalk(const PairComparator& pc,
                              const std::vector<std::pair<int, int>>& pairs,
-                             int chunks, ThreadPool* pool,
+                             int chunks, const EvidenceOptions& options,
                              std::vector<Accumulator>* accs) {
     int64_t total = static_cast<int64_t>(pairs.size());
     int64_t block = (total + chunks - 1) / chunks;
-    return ParallelFor(pool, chunks, [&](int64_t chunk) {
+    return ParallelFor(options.pool, chunks, [&](int64_t chunk) {
       Accumulator& acc = (*accs)[chunk];
       std::vector<double> td(std::max(1, pc.num_tracked()));
       int64_t begin = chunk * block, end = std::min(total, begin + block);
       for (int64_t p = begin; p < end; ++p) {
+        if ((p & 1023) == 0) {
+          FAMTREE_RETURN_NOT_OK(RunContext::Poll(options.context));
+        }
         acc.Add(pc.Word(pairs[p].first, pairs[p].second, td.data()),
                 td.data());
       }
@@ -468,7 +479,8 @@ class EvidenceBuilder {
     for (int c = 0; c < nc; ++c) {
       codes[c] = encoded.codes(columns[c].attr).data();
       if (options.pli != nullptr) {
-        plis[c] = options.pli->Get(AttrSet::Single(columns[c].attr));
+        plis[c] =
+            options.pli->Get(AttrSet::Single(columns[c].attr), options.context);
       }
       if (plis[c] != nullptr) {
         views[c] = View{plis[c]->row_indices().data(),
@@ -492,6 +504,9 @@ class EvidenceBuilder {
       Accumulator& acc = (*accs)[chunk];
       std::vector<double> td(std::max(1, pc.num_tracked()));
       for (int64_t it = chunk; it < num_items; it += chunks) {
+        FAMTREE_RETURN_NOT_OK(RunContext::Poll(options.context));
+        FAMTREE_RETURN_NOT_OK(
+            RunContext::FaultPoint(options.context, "evidence_tile"));
         auto [c, cls] = items[it];
         const View& v = views[c];
         const int* rows = v.rows + v.offsets[cls];

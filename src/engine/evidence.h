@@ -55,6 +55,11 @@ int EvidenceWordBits(const std::vector<EvidenceColumn>& columns);
 
 struct EvidenceOptions {
   ThreadPool* pool = nullptr;
+  /// Optional run limits: the walks poll per tile / work item, the final
+  /// multiset charges its footprint at the "evidence_set" site, and each
+  /// tile strip probes the "evidence_tile" fault site. A stopped build
+  /// returns the latched stop Status — never a partial multiset.
+  RunContext* context = nullptr;
   /// Cluster source for the pruned enumeration; single-attribute leaves are
   /// pinned in the PLI store, so borrowing them is free. When null the
   /// kernel counting-sorts clusters from the code arrays.

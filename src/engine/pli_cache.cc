@@ -3,7 +3,10 @@
 namespace famtree {
 
 PliCache::PliCache(const Relation& relation, Options options)
-    : relation_(relation), encoded_(relation), options_(options) {}
+    : relation_(relation),
+      encoded_(relation),
+      fingerprint_(RelationFingerprint(relation)),
+      options_(options) {}
 
 size_t PliCache::FootprintOf(const StrippedPartition& pli) {
   // Flat CSR arrays (row indices + class offsets) plus the object itself.
@@ -12,7 +15,8 @@ size_t PliCache::FootprintOf(const StrippedPartition& pli) {
          (static_cast<size_t>(pli.num_classes()) + 1) * sizeof(int);
 }
 
-std::shared_ptr<const StrippedPartition> PliCache::Get(AttrSet attrs) {
+std::shared_ptr<const StrippedPartition> PliCache::Get(AttrSet attrs,
+                                                       RunContext* ctx) {
   if (attrs.empty() ||
       !AttrSet::Full(relation_.num_columns()).ContainsAll(attrs)) {
     return nullptr;
@@ -31,11 +35,18 @@ std::shared_ptr<const StrippedPartition> PliCache::Get(AttrSet attrs) {
   }
   // Compute outside the lock so other lookups (and the recursive halves)
   // proceed concurrently.
-  std::shared_ptr<const StrippedPartition> pli = Compute(attrs);
+  std::shared_ptr<const StrippedPartition> pli = Compute(attrs, ctx);
+  if (pli == nullptr) return nullptr;  // recursive build hit a limit
+  // Charge before publishing: on a failed charge the entry is never
+  // inserted, so an aborted run leaves no partially accounted state behind.
+  if (!RunContext::ChargeAlloc(ctx, FootprintOf(*pli), "pli_build").ok()) {
+    return nullptr;
+  }
   return Insert(attrs, std::move(pli));
 }
 
-std::shared_ptr<const StrippedPartition> PliCache::Compute(AttrSet attrs) {
+std::shared_ptr<const StrippedPartition> PliCache::Compute(AttrSet attrs,
+                                                           RunContext* ctx) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.builds;
@@ -50,9 +61,12 @@ std::shared_ptr<const StrippedPartition> PliCache::Compute(AttrSet attrs) {
   // Deterministic split: lowest attribute off, product with the rest. The
   // rest is usually the already-cached prefix of a lattice walk.
   int lowest = attrs.ToVector()[0];
-  std::shared_ptr<const StrippedPartition> rest = Get(attrs.Without(lowest));
+  std::shared_ptr<const StrippedPartition> rest =
+      Get(attrs.Without(lowest), ctx);
+  if (rest == nullptr) return nullptr;
   std::shared_ptr<const StrippedPartition> single =
-      Get(AttrSet::Single(lowest));
+      Get(AttrSet::Single(lowest), ctx);
+  if (single == nullptr) return nullptr;
   return std::make_shared<StrippedPartition>(
       rest->Product(*single, relation_.num_rows()));
 }

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/attr_set.h"
+#include "common/run_context.h"
 #include "relation/encoded_relation.h"
 #include "relation/partition.h"
 #include "relation/relation.h"
@@ -62,7 +63,15 @@ class PliCache {
   /// Returns the stripped partition for `attrs`, computing and memoizing it
   /// on a miss. `attrs` must be non-empty and within the relation's schema;
   /// out-of-schema attribute sets return nullptr.
-  std::shared_ptr<const StrippedPartition> Get(AttrSet attrs);
+  ///
+  /// With a RunContext, every partition build charges its footprint at the
+  /// "pli_build" site before the entry is published. On a failed charge
+  /// (budget exhausted or injected fault) the run latches
+  /// kResourceExhausted, nothing is inserted — the cache holds only fully
+  /// built partitions — and nullptr is returned; callers distinguish that
+  /// from an out-of-schema miss via RunContext::StopStatus.
+  std::shared_ptr<const StrippedPartition> Get(AttrSet attrs,
+                                               RunContext* ctx = nullptr);
 
   Stats stats() const;
 
@@ -73,6 +82,11 @@ class PliCache {
   /// it, and the discovery drivers borrow it for their own encoded hot
   /// paths (e.g. TANE's g3 validity tests).
   const EncodedRelation& encoded() const { return encoded_; }
+
+  /// Content fingerprint of the relation at construction time
+  /// (RelationFingerprint); DiscoveryEngine::CacheFor re-verifies it to
+  /// catch a relation freed and reallocated at the same address.
+  uint64_t fingerprint() const { return fingerprint_; }
 
  private:
   struct Entry {
@@ -87,8 +101,10 @@ class PliCache {
   static size_t FootprintOf(const StrippedPartition& pli);
 
   /// Computes the partition for `attrs` without touching the map (may
-  /// recursively Get the two halves of the split).
-  std::shared_ptr<const StrippedPartition> Compute(AttrSet attrs);
+  /// recursively Get the two halves of the split). Returns nullptr when a
+  /// recursive build failed its budget charge.
+  std::shared_ptr<const StrippedPartition> Compute(AttrSet attrs,
+                                                   RunContext* ctx);
 
   /// Inserts under the lock, evicting LRU unpinned entries over budget.
   /// Returns the winning entry (an earlier racing insert keeps priority).
@@ -97,6 +113,7 @@ class PliCache {
 
   const Relation& relation_;
   const EncodedRelation encoded_;
+  const uint64_t fingerprint_;
   const Options options_;
 
   mutable std::mutex mu_;

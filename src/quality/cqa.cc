@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
 
@@ -113,10 +114,13 @@ Result<Relation> CertainAnswers(const Relation& relation, const Fd& fd,
 Result<Relation> CertainAnswers(const Relation& relation, const Fd& fd,
                                 const SelectionQuery& query,
                                 const QualityOptions& options) {
-  if (!options.use_encoding && options.pool == nullptr) {
+  if (!options.use_encoding && options.pool == nullptr &&
+      options.context == nullptr) {
     return CertainAnswers(relation, fd, query);
   }
   FAMTREE_RETURN_NOT_OK(CheckQuery(relation, query));
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "certain_answers");
   std::unique_ptr<EncodedRelation> local_encoding;
   FAMTREE_ASSIGN_OR_RETURN(
       const EncodedRelation* encoded,
@@ -135,8 +139,11 @@ Result<Relation> CertainAnswers(const Relation& relation, const Fd& fd,
   // Per-group certain rows (in group-row order) are independent; the
   // dedup + append below replays group order serially.
   std::vector<std::vector<int>> certain(groups.size());
-  FAMTREE_RETURN_NOT_OK(ParallelFor(
-      options.pool, static_cast<int64_t>(groups.size()), [&](int64_t g) {
+  FAMTREE_ASSIGN_OR_RETURN(
+      int64_t groups_done,
+      AnytimeParallelFor(
+          ctx, options.pool, static_cast<int64_t>(groups.size()),
+          [&](int64_t g) {
         const std::vector<int>& group = groups[g];
         std::vector<std::vector<int>> sub;
         if (encoded != nullptr) {
@@ -188,13 +195,21 @@ Result<Relation> CertainAnswers(const Relation& relation, const Fd& fd,
           if (in_all) certain[g].push_back(row);
         }
         return Status::OK();
-      }));
+          }));
   Relation out{Schema(relation.ProjectColumns(query.projection).schema())};
   std::set<std::vector<std::string>> seen;
-  for (size_t g = 0; g < groups.size(); ++g) {
+  // Replaying the completed group prefix keeps a cut run's answer set a
+  // deterministic subset of the full answers at any thread count.
+  for (size_t g = 0; g < static_cast<size_t>(groups_done); ++g) {
     for (int row : certain[g]) {
       AppendProjection(relation, row, query.projection, &seen, &out);
     }
+  }
+  if (groups_done < static_cast<int64_t>(groups.size())) {
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx), groups_done,
+                              groups.size());
+  } else {
+    RunContext::MarkComplete(ctx, groups_done);
   }
   return out;
 }
@@ -202,23 +217,32 @@ Result<Relation> CertainAnswers(const Relation& relation, const Fd& fd,
 Result<Relation> PossibleAnswers(const Relation& relation, const Fd& fd,
                                  const SelectionQuery& query,
                                  const QualityOptions& options) {
-  if (options.pool == nullptr) {
+  if (options.pool == nullptr && options.context == nullptr) {
     return PossibleAnswers(relation, fd, query);
   }
   FAMTREE_RETURN_NOT_OK(CheckQuery(relation, query));
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "possible_answers");
   int n = relation.num_rows();
   std::vector<char> selected(n, 0);
-  FAMTREE_RETURN_NOT_OK(ParallelFor(options.pool, n, [&](int64_t row) {
-    selected[row] =
-        Selected(relation, static_cast<int>(row), query) ? 1 : 0;
-    return Status::OK();
-  }));
+  FAMTREE_ASSIGN_OR_RETURN(
+      int64_t rows_done,
+      AnytimeParallelFor(ctx, options.pool, n, [&](int64_t row) {
+        selected[row] =
+            Selected(relation, static_cast<int>(row), query) ? 1 : 0;
+        return Status::OK();
+      }));
   Relation out{Schema(relation.ProjectColumns(query.projection).schema())};
   std::set<std::vector<std::string>> seen;
-  for (int row = 0; row < n; ++row) {
+  for (int row = 0; row < static_cast<int>(rows_done); ++row) {
     if (selected[row]) {
       AppendProjection(relation, row, query.projection, &seen, &out);
     }
+  }
+  if (rows_done < n) {
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx), rows_done, n);
+  } else {
+    RunContext::MarkComplete(ctx, rows_done);
   }
   (void)fd;  // every tuple survives in some subset repair
   return out;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
 #include "engine/evidence.h"
@@ -67,10 +68,13 @@ Result<MatchResult> MdMatcher::Match(const Relation& relation) const {
 
 Result<MatchResult> MdMatcher::Match(const Relation& relation,
                                      const QualityOptions& options) const {
-  if (!options.use_encoding && options.pool == nullptr) {
+  if (!options.use_encoding && options.pool == nullptr &&
+      options.context == nullptr) {
     return Match(relation);
   }
   int n = relation.num_rows();
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "md_match");
   std::unique_ptr<EncodedRelation> local_encoding;
   FAMTREE_ASSIGN_OR_RETURN(
       const EncodedRelation* encoded,
@@ -136,7 +140,9 @@ Result<MatchResult> MdMatcher::Match(const Relation& relation,
   // and ids densify in row order, so the result matches the oracle.
   std::vector<int64_t> counts(n, 0);
   std::vector<std::vector<int>> partners(n);
-  FAMTREE_RETURN_NOT_OK(ParallelFor(options.pool, n, [&](int64_t i) {
+  FAMTREE_ASSIGN_OR_RETURN(
+      int64_t anchors_done,
+      AnytimeParallelFor(ctx, options.pool, n, [&](int64_t i) {
     for (int j = static_cast<int>(i) + 1; j < n; ++j) {
       bool any = false;
       if (comparator != nullptr) {
@@ -171,10 +177,12 @@ Result<MatchResult> MdMatcher::Match(const Relation& relation,
       if (any) partners[i].push_back(j);
     }
     return Status::OK();
-  }));
+      }));
   UnionFind uf(n);
   MatchResult result;
-  for (int i = 0; i < n; ++i) {
+  // The merge replays only completed anchor rows, so a cut run clusters
+  // exactly as the full run does after the same prefix of anchors.
+  for (int i = 0; i < static_cast<int>(anchors_done); ++i) {
     result.matched_pairs += counts[i];
     for (int j : partners[i]) uf.Union(i, j);
   }
@@ -187,6 +195,12 @@ Result<MatchResult> MdMatcher::Match(const Relation& relation,
     result.cluster_ids[i] = it->second;
   }
   result.num_clusters = static_cast<int>(root_to_id.size());
+  if (anchors_done < n) {
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx), anchors_done,
+                              n);
+  } else {
+    RunContext::MarkComplete(ctx, anchors_done);
+  }
   return result;
 }
 

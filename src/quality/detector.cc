@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "deps/fd.h"
 #include "engine/pli_cache.h"
@@ -18,14 +19,15 @@ namespace {
 /// when the FD holds; violated FDs return false so the caller collects
 /// witnesses through the regular path.
 bool TryConfirmFdFromCache(const Relation& relation, const Dependency& rule,
-                           PliCache* cache, ValidationReport* report) {
+                           PliCache* cache, RunContext* context,
+                           ValidationReport* report) {
   if (cache == nullptr || &cache->relation() != &relation) return false;
   const auto* fd = dynamic_cast<const Fd*>(&rule);
   if (fd == nullptr || fd->lhs().empty()) return false;
   AttrSet all = fd->lhs().Union(fd->rhs());
   if (!AttrSet::Full(relation.num_columns()).ContainsAll(all)) return false;
-  std::shared_ptr<const StrippedPartition> x = cache->Get(fd->lhs());
-  std::shared_ptr<const StrippedPartition> xy = cache->Get(all);
+  std::shared_ptr<const StrippedPartition> x = cache->Get(fd->lhs(), context);
+  std::shared_ptr<const StrippedPartition> xy = cache->Get(all, context);
   if (x == nullptr || xy == nullptr) return false;
   if (!StrippedPartition::FdHolds(*x, *xy)) return false;
   report->holds = true;
@@ -39,20 +41,27 @@ bool TryConfirmFdFromCache(const Relation& relation, const Dependency& rule,
 
 Result<DetectionSummary> ViolationDetector::Detect(
     const Relation& relation, int max_violations_per_rule, ThreadPool* pool,
-    PliCache* cache) const {
+    PliCache* cache, RunContext* context) const {
+  RunContext::BeginRun(context, "detect");
   int num_rules = static_cast<int>(rules_.size());
   std::vector<ValidationReport> reports(num_rules);
-  FAMTREE_RETURN_NOT_OK(ParallelFor(pool, num_rules, [&](int64_t i) {
-    if (TryConfirmFdFromCache(relation, *rules_[i], cache, &reports[i])) {
-      return Status::OK();
-    }
-    FAMTREE_ASSIGN_OR_RETURN(
-        reports[i], rules_[i]->Validate(relation, max_violations_per_rule));
-    return Status::OK();
-  }));
+  FAMTREE_ASSIGN_OR_RETURN(
+      int64_t done,
+      AnytimeParallelFor(context, pool, num_rules, [&](int64_t i) {
+        if (TryConfirmFdFromCache(relation, *rules_[i], cache, context,
+                                  &reports[i])) {
+          return Status::OK();
+        }
+        FAMTREE_ASSIGN_OR_RETURN(
+            reports[i], rules_[i]->Validate(relation, max_violations_per_rule));
+        return Status::OK();
+      }));
+  // The summary covers the completed rule prefix only; an interrupted
+  // batch's reports are discarded whole so the prefix is the same at any
+  // thread count.
   DetectionSummary summary;
   std::set<int> flagged;
-  for (int i = 0; i < num_rules; ++i) {
+  for (int i = 0; i < done; ++i) {
     for (const Violation& v : reports[i].violations) {
       for (int row : v.rows) flagged.insert(row);
     }
@@ -60,6 +69,12 @@ Result<DetectionSummary> ViolationDetector::Detect(
         DetectionResult{rules_[i], std::move(reports[i])});
   }
   summary.flagged_rows.assign(flagged.begin(), flagged.end());
+  if (done < num_rules) {
+    RunContext::MarkExhausted(context, RunContext::StopStatus(context), done,
+                              num_rules);
+  } else {
+    RunContext::MarkComplete(context, num_rules);
+  }
   return summary;
 }
 

@@ -11,6 +11,7 @@
 namespace famtree {
 
 class PliCache;
+class RunContext;
 class ThreadPool;
 
 /// Violations of one dependency on one relation.
@@ -43,10 +44,16 @@ class ViolationDetector {
   /// is confirmed from two cached partitions without re-grouping the
   /// relation; violated FDs fall back to the full witness-collecting
   /// validation, keeping reports bit-identical to the serial path.
+  ///
+  /// With a `context`, the run check-points between rule batches: when a
+  /// deadline, cancellation, or budget fires, the summary covers the
+  /// deterministic prefix of rules completed so far and the context's
+  /// RunReport records the cutoff (exhausted flag, rules done / total).
   Result<DetectionSummary> Detect(const Relation& relation,
                                   int max_violations_per_rule = 1000,
                                   ThreadPool* pool = nullptr,
-                                  PliCache* cache = nullptr) const;
+                                  PliCache* cache = nullptr,
+                                  RunContext* context = nullptr) const;
 
  private:
   std::vector<DependencyPtr> rules_;

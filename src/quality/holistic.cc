@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 
 namespace famtree {
@@ -39,7 +40,9 @@ std::vector<std::pair<int, int>> CellsOf(const Dc& dc,
 /// per-DC violation collection fans out and is merged in DC order.
 Result<RepairResult> RepairHolisticImpl(const Relation& relation,
                                         const std::vector<Dc>& dcs,
-                                        int max_changes, ThreadPool* pool) {
+                                        int max_changes, ThreadPool* pool,
+                                        RunContext* ctx) {
+  RunContext::BeginRun(ctx, "repair_holistic");
   RepairResult result;
   result.repaired = relation;
   Relation& r = result.repaired;
@@ -47,6 +50,17 @@ Result<RepairResult> RepairHolisticImpl(const Relation& relation,
   const int kPerDcCap = 512;
 
   while (changes < max_changes) {
+    // One applied cell change per iteration: a serial, deterministic unit,
+    // so a limit firing here leaves a prefix of the full run's repair.
+    Status gate = RunContext::Checkpoint(ctx);
+    if (RunContext::IsStop(gate)) {
+      RunContext::MarkExhausted(ctx, gate, changes, max_changes);
+      for (const Dc& dc : dcs) {
+        auto report = dc.Validate(r, 0);
+        if (report.ok() && !report->holds) ++result.remaining_violations;
+      }
+      return result;
+    }
     // 1. Collect violations across all DCs (read-only per DC, so the
     // Validates run concurrently; concatenation preserves DC order).
     std::vector<std::vector<CollectedViolation>> per_dc(dcs.size());
@@ -177,6 +191,7 @@ Result<RepairResult> RepairHolisticImpl(const Relation& relation,
     }
     if (!applied) break;
   }
+  RunContext::MarkComplete(ctx, changes);
 
   for (const Dc& dc : dcs) {
     auto report = dc.Validate(r, 0);
@@ -190,14 +205,15 @@ Result<RepairResult> RepairHolisticImpl(const Relation& relation,
 Result<RepairResult> RepairWithDcsHolistic(const Relation& relation,
                                            const std::vector<Dc>& dcs,
                                            int max_changes) {
-  return RepairHolisticImpl(relation, dcs, max_changes, nullptr);
+  return RepairHolisticImpl(relation, dcs, max_changes, nullptr, nullptr);
 }
 
 Result<RepairResult> RepairWithDcsHolistic(const Relation& relation,
                                            const std::vector<Dc>& dcs,
                                            int max_changes,
                                            const QualityOptions& options) {
-  return RepairHolisticImpl(relation, dcs, max_changes, options.pool);
+  return RepairHolisticImpl(relation, dcs, max_changes, options.pool,
+                            options.context);
 }
 
 }  // namespace famtree

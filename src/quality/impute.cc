@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "discovery/discovery_util.h"
 #include "metric/code_distance.h"
@@ -83,12 +84,15 @@ Result<ImputeResult> ImputeWithNed(const Relation& relation,
 
 Result<ImputeResult> ImputeWithNed(const Relation& relation, const Ned& rule,
                                    const QualityOptions& options) {
-  if (!options.use_encoding && options.pool == nullptr) {
+  if (!options.use_encoding && options.pool == nullptr &&
+      options.context == nullptr) {
     return ImputeWithNed(relation, rule);
   }
   if (rule.rhs().size() != 1) {
     return Status::Invalid("imputation takes a single-target NED");
   }
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "impute_ned");
   int target = rule.rhs()[0].attr;
   int n = relation.num_rows();
   std::unique_ptr<EncodedRelation> local_encoding;
@@ -115,7 +119,9 @@ Result<ImputeResult> ImputeWithNed(const Relation& relation, const Ned& rule,
     Value value;
   };
   std::vector<Prediction> predictions(n);
-  FAMTREE_RETURN_NOT_OK(ParallelFor(options.pool, n, [&](int64_t i) {
+  FAMTREE_ASSIGN_OR_RETURN(
+      int64_t rows_done,
+      AnytimeParallelFor(ctx, options.pool, n, [&](int64_t i) {
     if (!target_null[i]) return Status::OK();
     std::vector<int> neighbors;
     for (int j = 0; j < n; ++j) {
@@ -177,10 +183,12 @@ Result<ImputeResult> ImputeWithNed(const Relation& relation, const Ned& rule,
       }
     }
     return Status::OK();
-  }));
+      }));
   ImputeResult result;
   result.imputed = relation;
-  for (int i = 0; i < n; ++i) {
+  // Only completed rows are filled or counted: a cut run's fills are the
+  // full run's fills restricted to the completed row prefix.
+  for (int i = 0; i < static_cast<int>(rows_done); ++i) {
     if (!target_null[i]) continue;
     if (!predictions[i].has_neighbors) {
       ++result.unfilled;
@@ -188,6 +196,11 @@ Result<ImputeResult> ImputeWithNed(const Relation& relation, const Ned& rule,
     }
     result.imputed.Set(i, target, predictions[i].value);
     ++result.filled;
+  }
+  if (rows_done < n) {
+    RunContext::MarkExhausted(ctx, RunContext::StopStatus(ctx), rows_done, n);
+  } else {
+    RunContext::MarkComplete(ctx, rows_done);
   }
   return result;
 }

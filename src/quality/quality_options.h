@@ -5,6 +5,7 @@ namespace famtree {
 
 class EvidenceCache;
 class PliCache;
+class RunContext;
 class ThreadPool;
 
 /// Fast-path knobs shared by the quality applications, following the same
@@ -28,6 +29,10 @@ struct QualityOptions {
   bool use_evidence = true;
   /// Optional shared store for kernel-built evidence multisets.
   EvidenceCache* evidence = nullptr;
+  /// Optional run limits (common/run_context.h): applications check-point
+  /// at pass/rule boundaries and degrade to a partial result (with
+  /// RunReport.exhausted set) when a limit fires.
+  RunContext* context = nullptr;
 };
 
 }  // namespace famtree

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "engine/pli_cache.h"
 #include "relation/encoded_relation.h"
@@ -192,9 +193,12 @@ Result<RepairResult> RepairWithFds(const Relation& relation,
 Result<RepairResult> RepairWithFds(const Relation& relation,
                                    const std::vector<Fd>& fds, int max_passes,
                                    const QualityOptions& options) {
-  if (!options.use_encoding && options.pool == nullptr) {
+  if (!options.use_encoding && options.pool == nullptr &&
+      options.context == nullptr) {
     return RepairWithFds(relation, fds, max_passes);
   }
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "repair_fds");
   RepairResult result;
   result.repaired = relation;
   // One encoding for the whole repair: every FD-repair write copies a
@@ -220,16 +224,31 @@ Result<RepairResult> RepairWithFds(const Relation& relation,
     }
     enc = local.get();
   }
+  // Each (pass, fd) step is a deterministic serial-replay unit; a limit
+  // firing between steps leaves the working copy exactly as the full run
+  // had it after the same prefix of steps — the partial repair.
+  const int64_t total_steps = static_cast<int64_t>(max_passes) * fds.size();
+  int64_t steps_done = 0;
   for (int pass = 0; pass < max_passes; ++pass) {
     int made = 0;
     for (const Fd& fd : fds) {
+      Status gate = RunContext::Checkpoint(ctx);
+      if (RunContext::IsStop(gate)) {
+        RunContext::MarkExhausted(ctx, gate, steps_done, total_steps);
+        for (const Fd& f : fds) {
+          if (!f.Holds(result.repaired)) ++result.remaining_violations;
+        }
+        return result;
+      }
       FAMTREE_ASSIGN_OR_RETURN(
           int m, FdRepairPassFast(&result.repaired, fd, enc, options.pool,
                                   &result.changes));
       made += m;
+      ++steps_done;
     }
     if (made == 0) break;
   }
+  RunContext::MarkComplete(ctx, steps_done);
   for (const Fd& fd : fds) {
     if (!fd.Holds(result.repaired)) ++result.remaining_violations;
   }
@@ -298,14 +317,27 @@ Result<RepairResult> RepairWithCfds(const Relation& relation,
                                     const std::vector<Cfd>& cfds,
                                     int max_passes,
                                     const QualityOptions& options) {
-  if (options.pool == nullptr) {
+  if (options.pool == nullptr && options.context == nullptr) {
     return RepairWithCfds(relation, cfds, max_passes);
   }
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "repair_cfds");
   RepairResult result;
   result.repaired = relation;
+  // Same anytime contract as the FD repair: units are (pass, cfd) steps.
+  const int64_t total_steps = static_cast<int64_t>(max_passes) * cfds.size();
+  int64_t steps_done = 0;
   for (int pass = 0; pass < max_passes; ++pass) {
     int made = 0;
     for (const Cfd& cfd : cfds) {
+      Status gate = RunContext::Checkpoint(ctx);
+      if (RunContext::IsStop(gate)) {
+        RunContext::MarkExhausted(ctx, gate, steps_done, total_steps);
+        for (const Cfd& c : cfds) {
+          if (!c.Holds(result.repaired)) ++result.remaining_violations;
+        }
+        return result;
+      }
       // The LHS-pattern matching scan is read-only on the current state;
       // each row's flag is independent, so it fans out. The serial
       // collection below preserves row order.
@@ -356,9 +388,11 @@ Result<RepairResult> RepairWithCfds(const Relation& relation,
           }
         }
       }
+      ++steps_done;
     }
     if (made == 0) break;
   }
+  RunContext::MarkComplete(ctx, steps_done);
   for (const Cfd& cfd : cfds) {
     if (!cfd.Holds(result.repaired)) ++result.remaining_violations;
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "common/run_context.h"
 #include "common/strings.h"
 #include "deps/sd.h"
 #include "discovery/discovery_util.h"
@@ -129,8 +130,19 @@ Result<std::vector<Violation>> DetectSpeedViolations(
   std::vector<double> value_num = CodeNumerics(*encoded, value_attr);
   const std::vector<uint32_t>& tcodes = encoded->codes(time_attr);
   const std::vector<uint32_t>& vcodes = encoded->codes(value_attr);
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "speed_detect");
+  const int64_t total_gaps =
+      order.empty() ? 0 : static_cast<int64_t>(order.size()) - 1;
   std::vector<Violation> out;
   for (size_t i = 0; i + 1 < order.size(); ++i) {
+    // Serial scan over time-sorted gaps: a stop here leaves the violation
+    // prefix the full run would have emitted by gap i.
+    Status poll = RunContext::Poll(ctx);
+    if (RunContext::IsStop(poll)) {
+      RunContext::MarkExhausted(ctx, poll, i, total_gaps);
+      return out;
+    }
     double t1 = time_num[tcodes[order[i]]];
     double t2 = time_num[tcodes[order[i + 1]]];
     double v1 = value_num[vcodes[order[i]]];
@@ -150,6 +162,7 @@ Result<std::vector<Violation>> DetectSpeedViolations(
               FormatDouble(constraint.max_speed) + "]"});
     }
   }
+  RunContext::MarkComplete(ctx, total_gaps);
   return out;
 }
 
@@ -176,12 +189,27 @@ Result<RepairResult> RepairWithSpeedConstraint(
   std::vector<double> value_num = CodeNumerics(*encoded, value_attr);
   const std::vector<uint32_t>& tcodes = encoded->codes(time_attr);
   const std::vector<uint32_t>& vcodes = encoded->codes(value_attr);
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "speed_repair");
   RepairResult result;
   result.repaired = relation;
-  if (order.empty()) return result;
+  if (order.empty()) {
+    RunContext::MarkComplete(ctx, 0);
+    return result;
+  }
+  const int64_t total_steps = static_cast<int64_t>(order.size()) - 1;
+  bool stopped = false;
   double prev_t = time_num[tcodes[order[0]]];
   double prev_v = value_num[vcodes[order[0]]];
   for (size_t i = 1; i < order.size(); ++i) {
+    // The clamp scan is serial in time order, so a stop leaves the exact
+    // repair prefix of the full run.
+    Status poll = RunContext::Poll(ctx);
+    if (RunContext::IsStop(poll)) {
+      RunContext::MarkExhausted(ctx, poll, i - 1, total_steps);
+      stopped = true;
+      break;
+    }
     int row = order[i];
     double t = time_num[tcodes[row]];
     double v = value_num[vcodes[row]];
@@ -203,6 +231,7 @@ Result<RepairResult> RepairWithSpeedConstraint(
     prev_t = t;
     prev_v = clamped;
   }
+  if (!stopped) RunContext::MarkComplete(ctx, total_steps);
   auto remaining = DetectSpeedViolations(result.repaired, time_attr,
                                          value_attr, constraint);
   result.remaining_violations =

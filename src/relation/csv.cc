@@ -122,7 +122,14 @@ Result<Relation> ReadCsvString(const std::string& text,
     for (auto& f : fields) names.push_back(std::string(Trim(f.text)));
   }
   std::vector<std::vector<Value>> rows;
+  size_t charged_to = pos;
   for (;;) {
+    if ((rows.size() & 255) == 0) {
+      FAMTREE_RETURN_NOT_OK(RunContext::Poll(options.context));
+      FAMTREE_RETURN_NOT_OK(RunContext::ChargeAlloc(
+          options.context, pos - charged_to, "csv_rows"));
+      charged_to = pos;
+    }
     FAMTREE_RETURN_NOT_OK(
         NextRecord(text, &pos, options.separator, &fields, &got_record));
     if (!got_record) break;
@@ -136,6 +143,8 @@ Result<Relation> ReadCsvString(const std::string& text,
     for (const auto& f : fields) row.push_back(ParseField(f, options));
     rows.push_back(std::move(row));
   }
+  FAMTREE_RETURN_NOT_OK(
+      RunContext::ChargeAlloc(options.context, pos - charged_to, "csv_rows"));
   if (names.empty()) {
     size_t width = rows.empty() ? 0 : rows[0].size();
     for (size_t i = 0; i < width; ++i) names.push_back("c" + std::to_string(i));

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/run_context.h"
 #include "common/status.h"
 #include "relation/relation.h"
 
@@ -18,6 +19,10 @@ struct CsvOptions {
   bool infer_types = true;
   /// Fields equal to this literal become null (in addition to empty fields).
   std::string null_literal = "NULL";
+  /// Optional run limits: the reader polls and charges the consumed input
+  /// bytes at the "csv_rows" site once per 256 records. A stopped read
+  /// returns the stop Status — there are no partial relations.
+  RunContext* context = nullptr;
 };
 
 /// Parses CSV text into a Relation.

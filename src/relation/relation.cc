@@ -187,6 +187,21 @@ std::string Relation::ToPrettyString(int max_rows) const {
   return out;
 }
 
+uint64_t RelationFingerprint(const Relation& relation) {
+  size_t h = HashCombine(0x72656c66, static_cast<size_t>(relation.num_rows()));
+  h = HashCombine(h, static_cast<size_t>(relation.num_columns()));
+  for (int c = 0; c < relation.num_columns(); ++c) {
+    for (char ch : relation.schema().name(c)) {
+      h = HashCombine(h, static_cast<size_t>(ch));
+    }
+    h = HashCombine(h, static_cast<size_t>(relation.schema().column(c).type));
+    for (int r = 0; r < relation.num_rows(); ++r) {
+      h = HashCombine(h, relation.Get(r, c).Hash());
+    }
+  }
+  return static_cast<uint64_t>(h);
+}
+
 RelationBuilder& RelationBuilder::AddRow(std::vector<Value> row) {
   if (first_error_.ok()) {
     Status st = relation_.AppendRow(std::move(row));

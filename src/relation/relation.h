@@ -68,6 +68,12 @@ class Relation {
   int num_rows_ = 0;
 };
 
+/// Content fingerprint over the schema (names and types) and every cell.
+/// Two relations with the same fingerprint are, for caching purposes, the
+/// same data; DiscoveryEngine uses it to detect a relation freed and
+/// reallocated at the address of one it still serves.
+uint64_t RelationFingerprint(const Relation& relation);
+
 /// Builder with a fluent row API:
 ///   RelationBuilder b({"name", "price"});
 ///   b.AddRow({Value("Hyatt"), Value(230)});
