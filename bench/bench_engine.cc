@@ -8,12 +8,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/run_context.h"
 #include "common/thread_pool.h"
 #include "discovery/cfd_discovery.h"
@@ -21,6 +24,8 @@
 #include "discovery/dd_discovery.h"
 #include "discovery/fastdc.h"
 #include "discovery/fastfd.h"
+#include "discovery/hybrid/hybrid_fd.h"
+#include "discovery/hybrid/hybrid_md.h"
 #include "discovery/md_discovery.h"
 #include "discovery/metric_discovery.h"
 #include "discovery/mvd_discovery.h"
@@ -164,6 +169,105 @@ void PrintDeadlineRow(const DeadlineRow& row) {
               row.cancel_latency_ms);
 }
 
+/// One row of the hybrid-vs-lattice scaling grid: the hybrid sampling +
+/// induction FD engine (src/discovery/hybrid/) against the TANE lattice
+/// oracle on the same planted-FD relation, both serial on the encoded
+/// path. Identity of the minimal cover is the hard check; the speedup
+/// column is what the frontier validation saves against a full lattice
+/// sweep.
+struct HybridFdRow {
+  std::string name;
+  int rows = 0;
+  double lattice_ms = 0;  // serial TANE, exact FDs
+  double hybrid_ms = 0;   // serial DiscoverFdsHybrid
+  HybridFdStats stats;
+  bool identical = true;
+  double speedup() const {
+    return hybrid_ms > 0 ? lattice_ms / hybrid_ms : 0.0;
+  }
+};
+
+/// One row of the MD consumer grid: DiscoverMdsHybrid (the second cover-
+/// tree consumer) against DiscoverMds at full confidence. Sizes past the
+/// O(n^2) evidence wall run both sides on the same row sample.
+struct HybridMdRow {
+  std::string name;
+  int rows = 0;
+  int sample_rows = 0;  // 0 = full evidence
+  double oracle_ms = 0;
+  double hybrid_ms = 0;
+  HybridMdStats stats;
+  bool identical = true;
+  double speedup() const {
+    return hybrid_ms > 0 ? oracle_ms / hybrid_ms : 0.0;
+  }
+};
+
+void PrintHybridRow(const std::string& name, int rows, double oracle_ms,
+                    double hybrid_ms, double speedup, const char* counters,
+                    bool identical) {
+  std::printf("| %-7s | %7d | %9.1f | %9.1f | %7.2fx | %-26s | %-9s |\n",
+              name.c_str(), rows, oracle_ms, hybrid_ms, speedup, counters,
+              identical ? "identical" : "MISMATCH");
+}
+
+/// FD covers compare as sets: TANE emits in lattice-walk order, the hybrid
+/// in canonical (|lhs|, lhs.mask, rhs) order, and both orders are
+/// deterministic — so sort both sides by the canonical key and require
+/// exact equality, errors included.
+bool SameFdCover(std::vector<DiscoveredFd> a, std::vector<DiscoveredFd> b) {
+  auto key = [](const DiscoveredFd& fd) {
+    return std::make_tuple(fd.lhs.size(), fd.lhs.mask(), fd.rhs, fd.error);
+  };
+  auto less = [&key](const DiscoveredFd& x, const DiscoveredFd& y) {
+    return key(x) < key(y);
+  };
+  std::sort(a.begin(), a.end(), less);
+  std::sort(b.begin(), b.end(), less);
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (key(a[i]) != key(b[i])) return false;
+  }
+  return true;
+}
+
+/// MD lists compare in order — the hybrid mirrors the oracle's candidate
+/// enumeration, so output order, supports, and confidences must all match.
+bool SameMdList(const std::vector<DiscoveredMd>& a,
+                const std::vector<DiscoveredMd>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].md.ToString() != b[i].md.ToString() ||
+        a[i].support != b[i].support || a[i].confidence != b[i].confidence) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Planted-FD integer relation at a parameterized row count — the shape of
+/// tests/hybrid_scale_test.cc widened to 8 attributes so the lattice has
+/// real work at max_lhs_size 3: c1 -> c2, {c1, c3} -> c0, and
+/// {c4, c5} -> c6 hold by construction, c7 is noise, and no column is a
+/// key at scale (domains are small), so TANE gets little pruning help.
+Relation MakePlantedRelation(int rows) {
+  Rng rng(20260809);
+  RelationBuilder b({"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"});
+  for (int r = 0; r < rows; ++r) {
+    int64_t c1 = rng.Uniform(0, 999);
+    int64_t c3 = rng.Uniform(0, 7);
+    int64_t c4 = rng.Uniform(0, 49);
+    int64_t c5 = rng.Uniform(0, 19);
+    int64_t c7 = rng.Uniform(0, 99);
+    int64_t c2 = (c1 * 7 + 3) % 911;
+    int64_t c0 = c1 * 100 + c3 * 13;
+    int64_t c6 = (c4 * 3 + c5 * 11) % 23;
+    b.AddRow({Value(c0), Value(c1), Value(c2), Value(c3), Value(c4),
+              Value(c5), Value(c6), Value(c7)});
+  }
+  return std::move(b.Build()).value();
+}
+
 /// Runs `run` (which must honor options-borne RunContext limits and return
 /// its result count) through the deadline sweep and the cancellation-
 /// latency probe, always on an 8-thread pool.
@@ -220,7 +324,9 @@ bool BenchDeadline(const std::string& name,
 
 void WriteJson(const std::vector<Row>& rows,
                const std::vector<PairwiseRow>& pairwise,
-               const std::vector<DeadlineRow>& deadlines, int num_rows,
+               const std::vector<DeadlineRow>& deadlines,
+               const std::vector<HybridFdRow>& hybrid_fd,
+               const std::vector<HybridMdRow>& hybrid_md, int num_rows,
                int num_columns, const PliCache::Stats& cache_stats,
                const EvidenceCache::Stats& evidence_stats) {
   std::FILE* f = std::fopen("BENCH_engine.json", "w");
@@ -266,6 +372,51 @@ void WriteJson(const std::vector<Row>& rows,
                  static_cast<long long>(r.full_count), r.completeness_25,
                  r.completeness_50, r.completeness_100, r.cancel_latency_ms,
                  i + 1 < deadlines.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"hybrid_fd\": [\n");
+  for (size_t i = 0; i < hybrid_fd.size(); ++i) {
+    const HybridFdRow& r = hybrid_fd[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"rows\": %d, \"lattice_ms\": %.3f, "
+                 "\"hybrid_ms\": %.3f, \"speedup\": %.3f, "
+                 "\"sampling_passes\": %lld, \"sampled_pairs\": %lld, "
+                 "\"sampled_agree_sets\": %lld, \"feedback_agree_sets\": "
+                 "%lld, \"frontier_checks\": %lld, \"frontier_violations\": "
+                 "%lld, \"identical\": %s}%s\n",
+                 r.name.c_str(), r.rows, r.lattice_ms, r.hybrid_ms,
+                 r.speedup(), static_cast<long long>(r.stats.sampling_passes),
+                 static_cast<long long>(r.stats.sampled_pairs),
+                 static_cast<long long>(r.stats.sampled_agree_sets),
+                 static_cast<long long>(r.stats.feedback_agree_sets),
+                 static_cast<long long>(r.stats.frontier_checks),
+                 static_cast<long long>(r.stats.frontier_violations),
+                 r.identical ? "true" : "false",
+                 i + 1 < hybrid_fd.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"hybrid_md\": [\n");
+  for (size_t i = 0; i < hybrid_md.size(); ++i) {
+    const HybridMdRow& r = hybrid_md[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"rows\": %d, \"sample_rows\": %d, "
+                 "\"oracle_ms\": %.3f, \"hybrid_ms\": %.3f, "
+                 "\"speedup\": %.3f, \"predicate_bits\": %lld, "
+                 "\"evidence_words\": %lld, \"violating_words\": %lld, "
+                 "\"negative_cover\": %lld, \"positive_cover\": %lld, "
+                 "\"candidates\": %lld, \"valid_candidates\": %lld, "
+                 "\"identical\": %s}%s\n",
+                 r.name.c_str(), r.rows, r.sample_rows, r.oracle_ms,
+                 r.hybrid_ms, r.speedup(),
+                 static_cast<long long>(r.stats.predicate_bits),
+                 static_cast<long long>(r.stats.evidence_words),
+                 static_cast<long long>(r.stats.violating_words),
+                 static_cast<long long>(r.stats.negative_cover_size),
+                 static_cast<long long>(r.stats.positive_cover_size),
+                 static_cast<long long>(r.stats.candidates),
+                 static_cast<long long>(r.stats.valid_candidates),
+                 r.identical ? "true" : "false",
+                 i + 1 < hybrid_md.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
@@ -1074,6 +1225,104 @@ int Run() {
     std::printf("WARN: cancellation latency above the 250 ms budget\n");
   }
 
+  // ------------------------------------- hybrid-vs-lattice scaling grid
+  // The hybrid sampling + induction engine against its lattice oracle on
+  // planted-FD integer relations from 1k to 1M rows, plus the MD cover-
+  // tree consumer against DiscoverMds at full confidence. Both sides run
+  // serial on the encoded path; a bit-identical minimal cover is the hard
+  // check, the speedup column is the claim. MD evidence is O(rows^2), so
+  // sizes past 4k run both sides on the same 4k-row sample.
+  std::printf("\nhybrid sampling+induction vs lattice oracle (serial)\n\n");
+  std::printf(
+      "| %-7s | rows    | oracle ms | hybrid ms | speedup | %-26s | "
+      "result    |\n",
+      "driver", "counters");
+  std::printf(
+      "|---------|---------|-----------|-----------|---------|--------------"
+      "--------------|-----------|\n");
+  std::vector<HybridFdRow> hybrid_fd_rows;
+  std::vector<HybridMdRow> hybrid_md_rows;
+  for (int planted_rows : {1'000, 10'000, 100'000, 1'000'000}) {
+    std::string size_tag = planted_rows >= 1'000'000
+                               ? "1M"
+                               : std::to_string(planted_rows / 1000) + "k";
+    Relation planted = MakePlantedRelation(planted_rows);
+    {
+      HybridFdRow row;
+      row.name = "fd " + size_tag;
+      row.rows = planted_rows;
+      TaneOptions lattice_options;
+      lattice_options.max_lhs_size = 3;
+      auto start = std::chrono::steady_clock::now();
+      auto lattice = DiscoverFdsTane(planted, lattice_options);
+      row.lattice_ms = MillisSince(start);
+      if (!lattice.ok()) return 2;
+      HybridFdOptions hybrid_options;
+      hybrid_options.max_lhs_size = 3;
+      hybrid_options.stats = &row.stats;
+      start = std::chrono::steady_clock::now();
+      auto hybrid = DiscoverFdsHybrid(planted, hybrid_options);
+      row.hybrid_ms = MillisSince(start);
+      if (!hybrid.ok()) return 2;
+      row.identical = !hybrid->empty() && SameFdCover(*lattice, *hybrid);
+      all_identical = all_identical && row.identical;
+      char counters[64];
+      std::snprintf(counters, sizeof(counters), "pairs=%lld frontier=%lld",
+                    static_cast<long long>(row.stats.sampled_pairs),
+                    static_cast<long long>(row.stats.frontier_checks));
+      PrintHybridRow(row.name, row.rows, row.lattice_ms, row.hybrid_ms,
+                     row.speedup(), counters, row.identical);
+      hybrid_fd_rows.push_back(row);
+    }
+    {
+      HybridMdRow row;
+      row.name = "md " + size_tag;
+      row.rows = planted_rows;
+      row.sample_rows = planted_rows > 4000 ? 4000 : 0;
+      MdDiscoveryOptions md_grid_options;
+      md_grid_options.min_support = 0.0;
+      md_grid_options.min_confidence = 1.0;  // the cover-tree regime
+      md_grid_options.sample_rows = row.sample_rows;
+      AttrSet md_rhs = AttrSet::Single(0);
+      auto start = std::chrono::steady_clock::now();
+      auto oracle = DiscoverMds(planted, md_rhs, md_grid_options);
+      row.oracle_ms = MillisSince(start);
+      if (!oracle.ok()) return 2;
+      start = std::chrono::steady_clock::now();
+      auto hybrid =
+          DiscoverMdsHybrid(planted, md_rhs, md_grid_options, &row.stats);
+      row.hybrid_ms = MillisSince(start);
+      if (!hybrid.ok()) return 2;
+      row.identical = row.stats.used_cover_tree && SameMdList(*oracle, *hybrid);
+      all_identical = all_identical && row.identical;
+      char counters[64];
+      std::snprintf(counters, sizeof(counters), "words=%lld cover=%lld",
+                    static_cast<long long>(row.stats.evidence_words),
+                    static_cast<long long>(row.stats.positive_cover_size));
+      PrintHybridRow(row.name, row.rows, row.oracle_ms, row.hybrid_ms,
+                     row.speedup(), counters, row.identical);
+      hybrid_md_rows.push_back(row);
+    }
+  }
+  if (!hybrid_fd_rows.empty()) {
+    const HybridFdRow& top = hybrid_fd_rows.back();
+    double efficiency =
+        top.stats.sampled_pairs > 0
+            ? static_cast<double>(top.stats.sampled_agree_sets) /
+                  top.stats.sampled_pairs
+            : 0.0;
+    std::printf(
+        "\nhybrid fd at 1M rows: %.2fx vs the lattice; sampling efficiency "
+        "%.2e agree sets/pair, %lld frontier checks (%lld violations fed "
+        "back)\n",
+        top.speedup(), efficiency,
+        static_cast<long long>(top.stats.frontier_checks),
+        static_cast<long long>(top.stats.frontier_violations));
+    if (top.speedup() < 1.0) {
+      std::printf("WARN: hybrid fd slower than the lattice at 1M rows\n");
+    }
+  }
+
   int ported_fast = 0;
   for (size_t i = first_ported; i < rows.size(); ++i) {
     if (rows[i].encoded_speedup() >= 2.0) ++ported_fast;
@@ -1099,8 +1348,9 @@ int Run() {
       "thread columns run the encoded backend\n");
   std::printf("speedups are hardware dependent; byte-identity is the hard "
               "check\n");
-  WriteJson(rows, pairwise, deadlines, hotels.num_rows(),
-            hotels.num_columns(), tane_cache_stats, evidence_stats);
+  WriteJson(rows, pairwise, deadlines, hybrid_fd_rows, hybrid_md_rows,
+            hotels.num_rows(), hotels.num_columns(), tane_cache_stats,
+            evidence_stats);
   std::printf("wrote BENCH_engine.json\n");
   if (!all_identical) {
     std::printf("FAIL: a run deviated from the serial Value-based result\n");

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Three-configuration test gate, run before merging:
+#
+#   1. Release     — the full tier-1 suite (the seed gate).
+#   2. ASan + UBSan — the relation substrate and the parallel engine
+#                     (`-L relation`, `-L engine`), catching index
+#                     arithmetic and lifetime bugs in the encoded
+#                     columnar layer and the discovery drivers.
+#   3. TSan        — the parallel engine differential/property tests
+#                     (`-L engine`), catching data races across the
+#                     thread-count {1, 2, 8} matrix.
+#
+# The sanitizer configs intentionally skip the large-instance tier-1-only
+# binaries (e.g. tests/hybrid_scale_test.cc): sanitizers multiply runtime
+# and memory, and the same logic is covered at small scale by the
+# `engine`-labeled differential suites.
+#
+# Usage: scripts/check.sh [build-dir-prefix]
+#   Build trees are created as <prefix>, <prefix>-asan, <prefix>-tsan
+#   (default prefix: build).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build}"
+JOBS="$(nproc)"
+
+run() {
+  echo "== $*" >&2
+  "$@"
+}
+
+echo "=== [1/3] Release: ctest -L tier1 ==="
+run cmake -B "$PREFIX" >/dev/null
+run cmake --build "$PREFIX" -j "$JOBS"
+run ctest --test-dir "$PREFIX" -L tier1 -j "$JOBS" --output-on-failure
+
+echo "=== [2/3] ASan+UBSan: ctest -L relation, -L engine ==="
+run cmake -B "$PREFIX-asan" -DFAMTREE_ASAN=ON >/dev/null
+run cmake --build "$PREFIX-asan" -j "$JOBS"
+run ctest --test-dir "$PREFIX-asan" -L relation -j "$JOBS" --output-on-failure
+run ctest --test-dir "$PREFIX-asan" -L engine -j "$JOBS" --output-on-failure
+
+echo "=== [3/3] TSan: ctest -L engine ==="
+run cmake -B "$PREFIX-tsan" -DFAMTREE_TSAN=ON >/dev/null
+run cmake --build "$PREFIX-tsan" -j "$JOBS"
+run ctest --test-dir "$PREFIX-tsan" -L engine -j "$JOBS" --output-on-failure
+
+echo "=== all three configurations passed ==="

@@ -1,0 +1,88 @@
+#ifndef FAMTREE_DISCOVERY_HYBRID_COVER_H_
+#define FAMTREE_DISCOVERY_HYBRID_COVER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/attr_set.h"
+#include "discovery/hybrid/fd_tree.h"
+
+namespace famtree {
+
+/// The negative cover of the hybrid engine: the maximal violating bit sets
+/// observed so far (FDep's "negative cover", one rhs slot per consequent).
+/// For FDs a violating set is the agree set of a tuple pair; for MDs it is
+/// the satisfied-predicate set of a non-identified evidence word. Only
+/// maximal sets matter — a subset of an already-processed violating set
+/// yields no new positive-cover work (every generalization it would remove
+/// was removed, and every specialization it would add was either added or
+/// subsumed when the superset was processed) — so AddMaximal doubles as the
+/// dedup gate in front of the Inductor.
+class NegativeCover {
+ public:
+  explicit NegativeCover(int num_bits) : tree_(num_bits) {}
+
+  /// Records `violating` under `rhs`; returns false (and changes nothing)
+  /// when a stored superset-or-equal already subsumes it.
+  bool AddMaximal(AttrSet violating, int rhs) {
+    if (tree_.ContainsSpecialization(violating, rhs)) return false;
+    tree_.RemoveGeneralizations(violating, rhs, nullptr);
+    tree_.Add(violating, rhs);
+    return true;
+  }
+
+  const FdTree& tree() const { return tree_; }
+  int64_t size() const { return tree_.CountEntries(); }
+  size_t footprint_bytes() const { return tree_.footprint_bytes(); }
+
+ private:
+  FdTree tree_;
+};
+
+/// Specializes a positive cover tree against violating sets (the FDep /
+/// HyFD induction step), generically over what a "bit" means. The consumer
+/// supplies, per violating set, the atomic extensions a removed lhs may
+/// grow by — single attributes outside the agree set for FDs, per-attribute
+/// upward-closed threshold closures for MDs — plus a size predicate, so the
+/// same induction serves both dependency classes.
+///
+/// Invariant maintained (given extensions not contained in `violating`, so
+/// every specialization strictly grows its removed lhs): after
+/// every call, no stored lhs under `rhs` is a subset of any processed
+/// violating set, and per rhs no stored lhs is a subset of another (the
+/// strict cover invariant AddMinimal enforces).
+class Inductor {
+ public:
+  /// Borrows the positive cover; the caller seeds it (typically with the
+  /// empty lhs for every rhs slot in use).
+  explicit Inductor(FdTree* positive) : positive_(positive) {}
+
+  /// Removes every stored generalization of `violating` under `rhs` and
+  /// re-inserts minimal specializations: each removed lhs extended by each
+  /// extension, filtered through `keep` (the size cap). Returns the number
+  /// of lhs sets removed.
+  int SpecializeAgainst(AttrSet violating, int rhs,
+                        const std::vector<AttrSet>& extensions,
+                        const std::function<bool(AttrSet)>& keep) {
+    removed_.clear();
+    positive_->RemoveGeneralizations(violating, rhs, &removed_);
+    for (AttrSet lhs : removed_) {
+      for (AttrSet ext : extensions) {
+        AttrSet specialized = lhs.Union(ext);
+        if (!keep(specialized)) continue;
+        positive_->AddMinimal(specialized, rhs);
+      }
+    }
+    return static_cast<int>(removed_.size());
+  }
+
+  FdTree* positive_cover() { return positive_; }
+
+ private:
+  FdTree* positive_;
+  std::vector<AttrSet> removed_;  // scratch, reused across calls
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DISCOVERY_HYBRID_COVER_H_

@@ -1,0 +1,253 @@
+#include "discovery/hybrid/fd_tree.h"
+
+#include <algorithm>
+
+namespace famtree {
+
+namespace {
+
+int LowestIndex(uint64_t mask) { return __builtin_ctzll(mask); }
+
+}  // namespace
+
+FdTree::FdTree(int num_bits)
+    : num_bits_(num_bits), root_(std::make_unique<Node>()) {}
+
+FdTree::Node* FdTree::ChildOf(Node* node, int bit, bool create) {
+  if (node->children.empty()) {
+    if (!create) return nullptr;
+    node->children.resize(num_bits_);
+  }
+  std::unique_ptr<Node>& slot = node->children[bit];
+  if (slot == nullptr && create) {
+    slot = std::make_unique<Node>();
+    ++num_nodes_;
+  }
+  return slot.get();
+}
+
+void FdTree::Add(AttrSet lhs, int rhs) {
+  const uint64_t rhs_bit = uint64_t{1} << rhs;
+  Node* node = root_.get();
+  node->subtree_rhs |= rhs_bit;
+  uint64_t remaining = lhs.mask();
+  while (remaining != 0) {
+    int bit = LowestIndex(remaining);
+    remaining &= remaining - 1;
+    node = ChildOf(node, bit, /*create=*/true);
+    node->subtree_rhs |= rhs_bit;
+  }
+  if ((node->entry_rhs & rhs_bit) == 0) {
+    node->entry_rhs |= rhs_bit;
+    ++num_entries_;
+  }
+}
+
+bool FdTree::AddMinimal(AttrSet lhs, int rhs) {
+  if (ContainsGeneralization(lhs, rhs)) return false;
+  RemoveSpecializations(lhs, rhs);
+  Add(lhs, rhs);
+  return true;
+}
+
+bool FdTree::Remove(AttrSet lhs, int rhs) {
+  const uint64_t rhs_bit = uint64_t{1} << rhs;
+  // Walk the exact path, keeping it so subtree_rhs can be rebuilt upward.
+  std::vector<Node*> path;
+  path.push_back(root_.get());
+  uint64_t remaining = lhs.mask();
+  Node* node = root_.get();
+  while (remaining != 0) {
+    int bit = LowestIndex(remaining);
+    remaining &= remaining - 1;
+    node = ChildOf(node, bit, /*create=*/false);
+    if (node == nullptr) return false;
+    path.push_back(node);
+  }
+  if ((node->entry_rhs & rhs_bit) == 0) return false;
+  node->entry_rhs &= ~rhs_bit;
+  --num_entries_;
+  // Rebuild subtree_rhs bottom-up along the path (children elsewhere are
+  // untouched, so only the visited chain can change).
+  for (size_t i = path.size(); i-- > 0;) {
+    Node* n = path[i];
+    uint64_t bits = n->entry_rhs;
+    for (const std::unique_ptr<Node>& c : n->children) {
+      if (c != nullptr) bits |= c->subtree_rhs;
+    }
+    n->subtree_rhs = bits;
+  }
+  return true;
+}
+
+bool FdTree::ContainsGeneralization(AttrSet lhs, int rhs) const {
+  return ContainsGeneralizationAt(root_.get(), lhs.mask(), uint64_t{1} << rhs);
+}
+
+bool FdTree::ContainsGeneralizationAt(const Node* node, uint64_t lhs_mask,
+                                      uint64_t rhs_bit) const {
+  if ((node->entry_rhs & rhs_bit) != 0) return true;
+  if (node->children.empty()) return false;
+  uint64_t m = lhs_mask;
+  while (m != 0) {
+    int bit = LowestIndex(m);
+    m &= m - 1;
+    const Node* child = node->children[bit].get();
+    if (child == nullptr || (child->subtree_rhs & rhs_bit) == 0) continue;
+    // Children only hold bits greater than `bit`, so passing the full mask
+    // down is safe — lower bits can never match again.
+    if (ContainsGeneralizationAt(child, lhs_mask, rhs_bit)) return true;
+  }
+  return false;
+}
+
+bool FdTree::ContainsSpecialization(AttrSet lhs, int rhs) const {
+  return ContainsSpecializationAt(root_.get(), lhs.mask(),
+                                  uint64_t{1} << rhs);
+}
+
+bool FdTree::ContainsSpecializationAt(const Node* node, uint64_t remaining,
+                                      uint64_t rhs_bit) const {
+  if ((node->subtree_rhs & rhs_bit) == 0) return false;
+  if (remaining == 0) return true;  // anything below is a superset
+  if (node->children.empty()) return false;
+  const int need = LowestIndex(remaining);
+  // Paths grow in ascending bit order: a child above `need` can never pick
+  // the needed bit up later.
+  for (int bit = 0; bit <= need; ++bit) {
+    const Node* child = node->children[bit].get();
+    if (child == nullptr) continue;
+    uint64_t rest = bit == need ? (remaining & (remaining - 1)) : remaining;
+    if (ContainsSpecializationAt(child, rest, rhs_bit)) return true;
+  }
+  return false;
+}
+
+void FdTree::RemoveGeneralizations(AttrSet lhs, int rhs,
+                                   std::vector<AttrSet>* removed) {
+  RemoveGeneralizationsAt(root_.get(), AttrSet(), lhs.mask(),
+                          uint64_t{1} << rhs, removed);
+}
+
+uint64_t FdTree::RemoveGeneralizationsAt(Node* node, AttrSet path,
+                                         uint64_t lhs_mask, uint64_t rhs_bit,
+                                         std::vector<AttrSet>* removed) {
+  if ((node->entry_rhs & rhs_bit) != 0) {
+    node->entry_rhs &= ~rhs_bit;
+    --num_entries_;
+    if (removed != nullptr) removed->push_back(path);
+  }
+  uint64_t bits = node->entry_rhs;
+  if (!node->children.empty()) {
+    uint64_t m = lhs_mask;
+    while (m != 0) {
+      int bit = LowestIndex(m);
+      m &= m - 1;
+      Node* child = node->children[bit].get();
+      if (child == nullptr) continue;
+      if ((child->subtree_rhs & rhs_bit) != 0) {
+        child->subtree_rhs = RemoveGeneralizationsAt(
+            child, path.With(bit), lhs_mask, rhs_bit, removed);
+        if (child->subtree_rhs == 0) {
+          node->children[bit].reset();
+          --num_nodes_;
+          continue;
+        }
+      }
+      bits |= child->subtree_rhs;
+    }
+    // Children outside lhs were not visited; fold their bits back in.
+    for (const std::unique_ptr<Node>& c : node->children) {
+      if (c != nullptr) bits |= c->subtree_rhs;
+    }
+  }
+  node->subtree_rhs = bits;
+  return bits;
+}
+
+void FdTree::RemoveSpecializations(AttrSet lhs, int rhs) {
+  root_->subtree_rhs = RemoveSpecializationsAt(root_.get(), lhs.mask(),
+                                               uint64_t{1} << rhs);
+}
+
+uint64_t FdTree::RemoveSpecializationsAt(Node* node, uint64_t remaining,
+                                         uint64_t rhs_bit) {
+  if ((node->subtree_rhs & rhs_bit) == 0) return node->subtree_rhs;
+  if (remaining == 0) return ClearRhsInSubtree(node, rhs_bit);
+  if (node->children.empty()) return node->subtree_rhs;
+  const int need = LowestIndex(remaining);
+  for (int bit = 0; bit <= need; ++bit) {
+    Node* child = node->children[bit].get();
+    if (child == nullptr) continue;
+    uint64_t rest = bit == need ? (remaining & (remaining - 1)) : remaining;
+    child->subtree_rhs = RemoveSpecializationsAt(child, rest, rhs_bit);
+    if (child->subtree_rhs == 0) {
+      node->children[bit].reset();
+      --num_nodes_;
+    }
+  }
+  uint64_t bits = node->entry_rhs;
+  for (const std::unique_ptr<Node>& c : node->children) {
+    if (c != nullptr) bits |= c->subtree_rhs;
+  }
+  node->subtree_rhs = bits;
+  return bits;
+}
+
+uint64_t FdTree::ClearRhsInSubtree(Node* node, uint64_t rhs_bit) {
+  if ((node->entry_rhs & rhs_bit) != 0) {
+    node->entry_rhs &= ~rhs_bit;
+    --num_entries_;
+  }
+  uint64_t bits = node->entry_rhs;
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    Node* child = node->children[i].get();
+    if (child == nullptr) continue;
+    if ((child->subtree_rhs & rhs_bit) != 0) {
+      child->subtree_rhs = ClearRhsInSubtree(child, rhs_bit);
+      if (child->subtree_rhs == 0) {
+        node->children[i].reset();
+        --num_nodes_;
+        continue;
+      }
+    }
+    bits |= child->subtree_rhs;
+  }
+  node->subtree_rhs = bits;
+  return bits;
+}
+
+void FdTree::CollectLevel(int level, std::vector<Entry>* out) const {
+  size_t start = out->size();
+  CollectAt(root_.get(), AttrSet(), level, out);
+  std::sort(out->begin() + start, out->end(),
+            [](const Entry& a, const Entry& b) {
+              return a.lhs.mask() < b.lhs.mask();
+            });
+}
+
+void FdTree::CollectAll(std::vector<Entry>* out) const {
+  CollectLevel(-1, out);
+}
+
+void FdTree::CollectAt(const Node* node, AttrSet path, int level,
+                       std::vector<Entry>* out) const {
+  if (node->entry_rhs != 0 && (level < 0 || path.size() == level)) {
+    out->push_back(Entry{path, node->entry_rhs});
+  }
+  if (level >= 0 && path.size() >= level) return;  // paths only grow
+  for (size_t bit = 0; bit < node->children.size(); ++bit) {
+    const Node* child = node->children[bit].get();
+    if (child == nullptr) continue;
+    CollectAt(child, path.With(static_cast<int>(bit)), level, out);
+  }
+}
+
+int64_t FdTree::CountEntries() const { return num_entries_; }
+
+size_t FdTree::footprint_bytes() const {
+  return static_cast<size_t>(num_nodes_) *
+         (sizeof(Node) + sizeof(std::unique_ptr<Node>) * num_bits_);
+}
+
+}  // namespace famtree

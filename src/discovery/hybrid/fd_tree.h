@@ -1,0 +1,122 @@
+#ifndef FAMTREE_DISCOVERY_HYBRID_FD_TREE_H_
+#define FAMTREE_DISCOVERY_HYBRID_FD_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/attr_set.h"
+
+namespace famtree {
+
+/// Cover tree of the hybrid sampling + induction engine (the FDTreeElement
+/// of FDep / HyFD): a prefix trie over bit indices in ascending order, where
+/// every stored entry is a (lhs, rhs) pair — `lhs` a 63-bit AttrSet of
+/// generic bits and `rhs` one of up to 63 consequent slots, kept as a
+/// bitmask per node so one tree holds the covers of every RHS at once.
+///
+/// The bits are *generic* on purpose: the FD consumer stores attribute
+/// indices directly, while the MD consumer stores similarity-predicate bits
+/// (one per (attribute, threshold) pair, upward-closed per attribute), so
+/// the same subset/superset machinery answers generalization questions for
+/// both dependency classes.
+///
+/// The induction loop (hybrid/inductor.h) maintains the *strict cover
+/// invariant*: for any rhs, no stored lhs is a subset of another stored
+/// lhs. AddMinimal is the invariant-preserving insert; the raw Add exists
+/// for tests that want to stage arbitrary content.
+///
+/// Determinism: the trie structure is a pure function of the (multi)set of
+/// entries, and every Collect* walk visits children in ascending bit order,
+/// so collection order never depends on insertion order beyond the entry
+/// set itself. Not thread-safe — the drivers mutate it only from the driver
+/// thread.
+class FdTree {
+ public:
+  /// An entry with every rhs slot it is stored under.
+  struct Entry {
+    AttrSet lhs;
+    uint64_t rhs_bits = 0;
+  };
+
+  /// `num_bits` generic bit slots (<= 63) for lhs sets; rhs slots are
+  /// always addressed 0..62.
+  explicit FdTree(int num_bits);
+
+  int num_bits() const { return num_bits_; }
+
+  /// Unconditional insert of lhs -> rhs (no invariant maintenance).
+  void Add(AttrSet lhs, int rhs);
+
+  /// Invariant-preserving insert: no-op (returns false) when a
+  /// generalization lhs' ⊆ lhs with `rhs` is already stored; otherwise
+  /// removes every stored specialization lhs'' ⊋ lhs of `rhs` and inserts.
+  bool AddMinimal(AttrSet lhs, int rhs);
+
+  /// Removes exactly (lhs, rhs) if present; returns whether it was.
+  bool Remove(AttrSet lhs, int rhs);
+
+  /// True when some stored lhs' ⊆ lhs carries `rhs` (subset-or-equal).
+  bool ContainsGeneralization(AttrSet lhs, int rhs) const;
+
+  /// True when some stored lhs' ⊇ lhs carries `rhs` (superset-or-equal).
+  bool ContainsSpecialization(AttrSet lhs, int rhs) const;
+
+  /// Removes every stored lhs' ⊆ lhs carrying `rhs`, appending the removed
+  /// sets to `removed` (ascending-bit-path trie order) when non-null.
+  void RemoveGeneralizations(AttrSet lhs, int rhs,
+                             std::vector<AttrSet>* removed);
+
+  /// Removes every stored lhs' ⊇ lhs carrying `rhs`.
+  void RemoveSpecializations(AttrSet lhs, int rhs);
+
+  /// All entries with |lhs| == `level`, sorted by (lhs.mask, then rhs bits
+  /// ascending within the entry's rhs_bits mask).
+  void CollectLevel(int level, std::vector<Entry>* out) const;
+
+  /// Every stored entry, sorted by lhs.mask.
+  void CollectAll(std::vector<Entry>* out) const;
+
+  /// Number of stored (lhs, rhs) pairs.
+  int64_t CountEntries() const;
+
+  /// Approximate heap footprint, for memory-budget charges.
+  size_t footprint_bytes() const;
+
+ private:
+  struct Node {
+    /// One child per bit index greater than this node's path bits; lazily
+    /// allocated, so leaf-heavy covers stay compact.
+    std::vector<std::unique_ptr<Node>> children;
+    /// RHS slots for which the path bit set is a stored lhs.
+    uint64_t entry_rhs = 0;
+    /// Union of entry_rhs over this node and its subtree (search pruning).
+    uint64_t subtree_rhs = 0;
+  };
+
+  Node* ChildOf(Node* node, int bit, bool create);
+
+  bool ContainsGeneralizationAt(const Node* node, uint64_t lhs_mask,
+                                uint64_t rhs_bit) const;
+  bool ContainsSpecializationAt(const Node* node, uint64_t remaining,
+                                uint64_t rhs_bit) const;
+  /// Returns the recomputed subtree_rhs of `node`.
+  uint64_t RemoveGeneralizationsAt(Node* node, AttrSet path, uint64_t lhs_mask,
+                                   uint64_t rhs_bit,
+                                   std::vector<AttrSet>* removed);
+  uint64_t RemoveSpecializationsAt(Node* node, uint64_t remaining,
+                                   uint64_t rhs_bit);
+  uint64_t ClearRhsInSubtree(Node* node, uint64_t rhs_bit);
+  void CollectAt(const Node* node, AttrSet path, int level,
+                 std::vector<Entry>* out) const;
+
+  int num_bits_;
+  std::unique_ptr<Node> root_;
+  int64_t num_entries_ = 0;
+  int64_t num_nodes_ = 1;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DISCOVERY_HYBRID_FD_TREE_H_

@@ -1,0 +1,148 @@
+#include "discovery/hybrid/hybrid_fd.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/run_context.h"
+#include "discovery/discovery_util.h"
+#include "discovery/hybrid/cover.h"
+#include "discovery/hybrid/fd_tree.h"
+#include "discovery/hybrid/sampler.h"
+#include "discovery/hybrid/validator.h"
+#include "engine/pli_cache.h"
+
+namespace famtree {
+
+namespace {
+
+/// Feeds one violating agree set through the negative cover and, when it is
+/// new and maximal there, specializes the positive cover for every rhs the
+/// set violates (attributes outside the agree set).
+void InductAgreeSet(AttrSet agree, int nc, int max_lhs_size,
+                    NegativeCover* negative, Inductor* inductor,
+                    std::vector<AttrSet>* ext_scratch) {
+  auto keep = [max_lhs_size](AttrSet s) { return s.size() <= max_lhs_size; };
+  uint64_t outside = AttrSet::Full(nc).Minus(agree).mask();
+  for (uint64_t rm = outside; rm != 0; rm &= rm - 1) {
+    int rhs = __builtin_ctzll(rm);
+    if (!negative->AddMaximal(agree, rhs)) continue;
+    ext_scratch->clear();
+    for (uint64_t bm = outside; bm != 0; bm &= bm - 1) {
+      int b = __builtin_ctzll(bm);
+      if (b != rhs) ext_scratch->push_back(AttrSet::Single(b));
+    }
+    inductor->SpecializeAgainst(agree, rhs, *ext_scratch, keep);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredFd>> DiscoverFdsHybrid(
+    const Relation& relation, const HybridFdOptions& options) {
+  int nc = relation.num_columns();
+  RunContext* ctx = options.context;
+  RunContext::BeginRun(ctx, "hybrid_fd");
+  // Units: the sampling stage plus one per frontier level; a stop returns
+  // the FDs of the fully validated levels.
+  int max_lhs_size = options.max_lhs_size < 0 ? 0 : options.max_lhs_size;
+  int64_t total_units = 1 + (max_lhs_size + 1);
+  std::vector<DiscoveredFd> out;
+  if (nc == 0) {
+    RunContext::MarkComplete(ctx, total_units);
+    return out;
+  }
+  std::unique_ptr<EncodedRelation> local_encoding;
+  FAMTREE_ASSIGN_OR_RETURN(
+      const EncodedRelation* encoded,
+      ResolveEncoding(relation, /*use_encoding=*/true, options.cache,
+                      &local_encoding));
+
+  auto exhausted = [&](const Status& stop, int64_t completed) {
+    RunContext::MarkExhausted(ctx, stop, completed, total_units);
+    return out;
+  };
+
+  // --- Stage 1: sampling into the negative cover. -----------------------
+  Result<std::unique_ptr<HybridSampler>> sampler_result =
+      HybridSampler::Make(*encoded, options.cache, options.pool, ctx);
+  if (!sampler_result.ok() && RunContext::IsStop(sampler_result.status())) {
+    return exhausted(sampler_result.status(), 0);
+  }
+  FAMTREE_ASSIGN_OR_RETURN(std::unique_ptr<HybridSampler> sampler,
+                           std::move(sampler_result));
+  std::vector<AttrSet> agree_sets;
+  HybridSampler::Stats sampling_stats;
+  Status sampled = sampler->SampleRounds(options.min_efficiency, &agree_sets,
+                                         &sampling_stats);
+  if (RunContext::IsStop(sampled)) return exhausted(sampled, 0);
+  FAMTREE_RETURN_NOT_OK(sampled);
+  if (options.stats != nullptr) {
+    options.stats->sampling_passes = sampling_stats.passes;
+    options.stats->sampled_pairs = sampling_stats.sampled_pairs;
+    options.stats->sampled_agree_sets = sampling_stats.new_agree_sets;
+  }
+
+  // --- Stage 2: induct the positive cover. ------------------------------
+  FdTree positive(nc);
+  for (int a = 0; a < nc; ++a) positive.Add(AttrSet(), a);
+  NegativeCover negative(nc);
+  Inductor inductor(&positive);
+  std::vector<AttrSet> ext_scratch;
+  for (AttrSet agree : agree_sets) {
+    InductAgreeSet(agree, nc, max_lhs_size, &negative, &inductor,
+                   &ext_scratch);
+  }
+
+  // --- Stage 3: validate the frontier level by level, feeding violations
+  // back until the last level's frontier is clean. -----------------------
+  FrontierValidator validator(*encoded, options.cache, options.pool, ctx);
+  std::vector<FdTree::Entry> entries;
+  std::vector<FrontierValidator::EntryResult> results;
+  FrontierValidator::LevelStats level_stats;
+  int64_t completed_units = 1;  // the sampling stage
+  for (int level = 0; level <= max_lhs_size; ++level) {
+    Status barrier = RunContext::Checkpoint(ctx);
+    if (RunContext::IsStop(barrier)) return exhausted(barrier, completed_units);
+    FAMTREE_RETURN_NOT_OK(barrier);
+    Status validated =
+        validator.ValidateLevel(positive, level, &entries, &results,
+                                &level_stats);
+    if (RunContext::IsStop(validated)) {
+      return exhausted(validated, completed_units);
+    }
+    FAMTREE_RETURN_NOT_OK(validated);
+    // Serial replay in (lhs.mask, rhs) order: valid entries are emitted
+    // (and thereby frozen — a valid lhs can never be the subset of a later
+    // violating agree set, so induction never removes it); invalid ones
+    // feed their violating pair's agree set back through the inductor,
+    // which removes them and plants specializations on deeper levels.
+    for (size_t e = 0; e < entries.size(); ++e) {
+      uint64_t valid_bits = results[e].valid_rhs;
+      while (valid_bits != 0) {
+        int a = __builtin_ctzll(valid_bits);
+        valid_bits &= valid_bits - 1;
+        out.push_back(DiscoveredFd{entries[e].lhs, a, 0.0});
+        if (static_cast<int>(out.size()) >= options.max_results) {
+          RunContext::MarkComplete(ctx, completed_units);
+          return out;
+        }
+      }
+      for (const FrontierValidator::Violation& v : results[e].violations) {
+        AttrSet agree = sampler->AgreeSetOf(v.row_i, v.row_j);
+        if (!sampler->MarkSeen(agree)) continue;  // proven no-op
+        if (options.stats != nullptr) ++options.stats->feedback_agree_sets;
+        InductAgreeSet(agree, nc, max_lhs_size, &negative, &inductor,
+                       &ext_scratch);
+      }
+    }
+    ++completed_units;
+  }
+  if (options.stats != nullptr) {
+    options.stats->frontier_checks = level_stats.checks;
+    options.stats->frontier_violations = level_stats.violations;
+  }
+  RunContext::MarkComplete(ctx, total_units);
+  return out;
+}
+
+}  // namespace famtree

@@ -1,0 +1,75 @@
+#ifndef FAMTREE_DISCOVERY_HYBRID_VALIDATOR_H_
+#define FAMTREE_DISCOVERY_HYBRID_VALIDATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "discovery/hybrid/fd_tree.h"
+#include "engine/pli_cache.h"
+#include "relation/encoded_relation.h"
+#include "relation/partition.h"
+
+namespace famtree {
+
+/// Frontier validator of the hybrid FD engine: checks exactly the
+/// positive-cover entries of one lattice level against PLIs — the HyFD
+/// move that replaces level-wide candidate enumeration with the (usually
+/// tiny) cover frontier. An entry X -> A is valid iff every stripped class
+/// of PLI(X) is constant on A's codes; an invalid entry reports its first
+/// violating pair (first non-constant class in partition order, the class
+/// head against the first row disagreeing with it), which the driver feeds
+/// back to the sampler/inductor as a new violating agree set.
+///
+/// Determinism: entries are validated in parallel into index-addressed
+/// slots and the caller replays them in the collected (lhs.mask, rhs)
+/// order; PLI class content is deterministic (PliCache's recipe), so the
+/// violating pair of an invalid entry never depends on the thread count.
+class FrontierValidator {
+ public:
+  struct Violation {
+    int rhs = 0;
+    int row_i = 0;
+    int row_j = 0;
+  };
+
+  /// Per-entry outcome, rhs slots split into the valid mask and the
+  /// violations (ascending rhs within the entry).
+  struct EntryResult {
+    uint64_t valid_rhs = 0;
+    std::vector<Violation> violations;
+  };
+
+  struct LevelStats {
+    int64_t checks = 0;      // (lhs, rhs) frontier validations
+    int64_t violations = 0;  // invalid ones among them
+  };
+
+  /// Borrows everything; `cache` may be null (PLIs are then built locally
+  /// per entry).
+  FrontierValidator(const EncodedRelation& encoded, PliCache* cache,
+                    ThreadPool* pool, RunContext* ctx)
+      : encoded_(encoded), cache_(cache), pool_(pool), ctx_(ctx) {}
+
+  /// Collects the level-`level` frontier of `tree` into `entries` (sorted
+  /// by lhs.mask) and validates every entry, charging the level's scratch
+  /// at the "hybrid_validate" site. On a stop the level's results are
+  /// abandoned (the driver keeps only fully validated levels).
+  Status ValidateLevel(const FdTree& tree, int level,
+                       std::vector<FdTree::Entry>* entries,
+                       std::vector<EntryResult>* results, LevelStats* stats);
+
+ private:
+  Status ValidateEntry(const FdTree::Entry& entry, EntryResult* result) const;
+
+  const EncodedRelation& encoded_;
+  PliCache* cache_;
+  ThreadPool* pool_;
+  RunContext* ctx_;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_DISCOVERY_HYBRID_VALIDATOR_H_

@@ -1,5 +1,7 @@
 #include "engine/engine.h"
 
+#include <algorithm>
+
 #include "relation/relation.h"
 
 namespace famtree {
@@ -46,6 +48,48 @@ Result<std::vector<DiscoveredFd>> DiscoveryEngine::FastFd(
   options.pool = &pool_;
   if (options.context == nullptr) options.context = default_context();
   return DiscoverFdsFastFd(relation, options);
+}
+
+Result<std::vector<DiscoveredFd>> DiscoveryEngine::HybridFds(
+    const Relation& relation, HybridFdOptions options) {
+  options.pool = &pool_;
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
+  return DiscoverFdsHybrid(relation, options);
+}
+
+Result<std::vector<DiscoveredMd>> DiscoveryEngine::HybridMds(
+    const Relation& relation, AttrSet rhs, MdDiscoveryOptions options) {
+  options.pool = &pool_;
+  options.evidence = &evidence_;
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
+  return DiscoverMdsHybrid(relation, rhs, options);
+}
+
+Result<std::vector<DiscoveredFd>> DiscoveryEngine::Fds(
+    const Relation& relation, int max_lhs_size) {
+  std::vector<DiscoveredFd> out;
+  if (options_.use_hybrid) {
+    HybridFdOptions hybrid;
+    hybrid.max_lhs_size = max_lhs_size;
+    FAMTREE_ASSIGN_OR_RETURN(out, HybridFds(relation, hybrid));
+  } else {
+    TaneOptions tane;
+    tane.max_lhs_size = max_lhs_size;
+    FAMTREE_ASSIGN_OR_RETURN(out, Tane(relation, tane));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DiscoveredFd& a, const DiscoveredFd& b) {
+              if (a.lhs.size() != b.lhs.size()) {
+                return a.lhs.size() < b.lhs.size();
+              }
+              if (a.lhs.mask() != b.lhs.mask()) {
+                return a.lhs.mask() < b.lhs.mask();
+              }
+              return a.rhs < b.rhs;
+            });
+  return out;
 }
 
 Result<std::vector<DiscoveredDc>> DiscoveryEngine::FastDc(

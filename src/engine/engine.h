@@ -14,6 +14,8 @@
 #include "discovery/dd_discovery.h"
 #include "discovery/fastdc.h"
 #include "discovery/fastfd.h"
+#include "discovery/hybrid/hybrid_fd.h"
+#include "discovery/hybrid/hybrid_md.h"
 #include "discovery/md_discovery.h"
 #include "discovery/metric_discovery.h"
 #include "discovery/mvd_discovery.h"
@@ -47,6 +49,11 @@ struct EngineOptions {
   /// injection) applied to every driver call that does not carry its own
   /// context in its per-call options. Borrowed; null means unlimited.
   RunContext* context = nullptr;
+  /// Routes DiscoveryEngine::Fds through the hybrid sampling + induction
+  /// engine (HybridFds) instead of the TANE lattice. Both produce the
+  /// identical minimal cover (the differential suite asserts it); hybrid
+  /// wins when few FDs hold at scale, the lattice when levels are dense.
+  bool use_hybrid = false;
 };
 
 /// The parallel lattice engine: one thread pool plus one shared PLI store
@@ -100,6 +107,26 @@ class DiscoveryEngine {
   /// per-RHS cover searches.
   Result<std::vector<DiscoveredFd>> FastFd(const Relation& relation,
                                            FastFdOptions options = {});
+
+  /// Hybrid sampling + induction FD discovery (HyFD-style cover tree with
+  /// frontier validation), served from the shared PLI store. Emits the
+  /// same minimal exact cover as Tane at max_error 0.
+  Result<std::vector<DiscoveredFd>> HybridFds(const Relation& relation,
+                                              HybridFdOptions options = {});
+
+  /// MD discovery through the shared hybrid cover tree; bit-identical to
+  /// Mds, and delegates to it wholesale whenever the cover tree cannot
+  /// answer the configuration exactly (min_confidence != 1, kernel
+  /// ineligible).
+  Result<std::vector<DiscoveredMd>> HybridMds(const Relation& relation,
+                                              AttrSet rhs,
+                                              MdDiscoveryOptions options = {});
+
+  /// Minimal exact-FD cover up to `max_lhs_size`, canonically sorted by
+  /// (|lhs|, lhs mask, rhs): routed through HybridFds or Tane per
+  /// EngineOptions::use_hybrid — the two are interchangeable.
+  Result<std::vector<DiscoveredFd>> Fds(const Relation& relation,
+                                        int max_lhs_size = 5);
 
   /// FASTDC with parallel evidence-set construction.
   Result<std::vector<DiscoveredDc>> FastDc(const Relation& relation,

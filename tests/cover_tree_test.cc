@@ -1,0 +1,371 @@
+// Unit and fuzz tests for the hybrid engine's cover-tree primitives
+// (src/discovery/hybrid/) in isolation: the subset/superset semantics of
+// FdTree, the strict cover invariant AddMinimal maintains, the no-supersets
+// property after NegativeCover + Inductor induction, and a fuzz loop
+// asserting the tree round-trips any FD set against a brute-force set
+// model. Everything here is driven through small bit universes so the
+// brute-force oracle stays exhaustive.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/attr_set.h"
+#include "common/rng.h"
+#include "discovery/hybrid/cover.h"
+#include "discovery/hybrid/fd_tree.h"
+
+namespace famtree {
+namespace {
+
+using FlatEntry = std::pair<uint64_t, int>;  // (lhs mask, rhs)
+
+std::set<FlatEntry> Flatten(const FdTree& tree) {
+  std::vector<FdTree::Entry> all;
+  tree.CollectAll(&all);
+  std::set<FlatEntry> out;
+  for (const FdTree::Entry& e : all) {
+    uint64_t r = e.rhs_bits;
+    while (r) {
+      int b = __builtin_ctzll(r);
+      r &= r - 1;
+      out.insert({e.lhs.mask(), b});
+    }
+  }
+  return out;
+}
+
+/// Brute-force reference for every FdTree operation, on a plain entry set.
+struct Model {
+  std::set<FlatEntry> entries;
+
+  bool ContainsGeneralization(uint64_t lhs, int rhs) const {
+    for (const auto& [m, r] : entries) {
+      if (r == rhs && (m & lhs) == m) return true;
+    }
+    return false;
+  }
+  bool ContainsSpecialization(uint64_t lhs, int rhs) const {
+    for (const auto& [m, r] : entries) {
+      if (r == rhs && (m & lhs) == lhs) return true;
+    }
+    return false;
+  }
+  std::set<uint64_t> RemoveGeneralizations(uint64_t lhs, int rhs) {
+    std::set<uint64_t> removed;
+    for (auto it = entries.begin(); it != entries.end();) {
+      if (it->second == rhs && (it->first & lhs) == it->first) {
+        removed.insert(it->first);
+        it = entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+  void RemoveSpecializations(uint64_t lhs, int rhs) {
+    for (auto it = entries.begin(); it != entries.end();) {
+      if (it->second == rhs && (it->first & lhs) == lhs) {
+        it = entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  bool AddMinimal(uint64_t lhs, int rhs) {
+    if (ContainsGeneralization(lhs, rhs)) return false;
+    RemoveSpecializations(lhs, rhs);
+    entries.insert({lhs, rhs});
+    return true;
+  }
+};
+
+uint64_t RandomMask(Rng* rng, int num_bits) {
+  return static_cast<uint64_t>(rng->Uniform(0, (1LL << num_bits) - 1));
+}
+
+TEST(FdTreeTest, ExplicitSubsetSupersetSemantics) {
+  FdTree tree(5);
+  tree.Add(AttrSet::Of({0, 2}), 1);
+
+  // Generalization = some stored lhs' subset-or-equal of the query.
+  EXPECT_TRUE(tree.ContainsGeneralization(AttrSet::Of({0, 2}), 1));
+  EXPECT_TRUE(tree.ContainsGeneralization(AttrSet::Of({0, 1, 2}), 1));
+  EXPECT_FALSE(tree.ContainsGeneralization(AttrSet::Of({0}), 1));
+  EXPECT_FALSE(tree.ContainsGeneralization(AttrSet::Of({0, 1, 3}), 1));
+  // RHS slots are independent.
+  EXPECT_FALSE(tree.ContainsGeneralization(AttrSet::Of({0, 1, 2}), 2));
+
+  // Specialization = some stored lhs' superset-or-equal of the query.
+  EXPECT_TRUE(tree.ContainsSpecialization(AttrSet::Of({0, 2}), 1));
+  EXPECT_TRUE(tree.ContainsSpecialization(AttrSet::Of({0}), 1));
+  EXPECT_TRUE(tree.ContainsSpecialization(AttrSet(), 1));
+  EXPECT_FALSE(tree.ContainsSpecialization(AttrSet::Of({0, 1}), 1));
+  EXPECT_FALSE(tree.ContainsSpecialization(AttrSet::Of({0}), 2));
+
+  // The empty lhs generalizes everything once stored.
+  tree.Add(AttrSet(), 3);
+  EXPECT_TRUE(tree.ContainsGeneralization(AttrSet::Of({4}), 3));
+  EXPECT_TRUE(tree.ContainsGeneralization(AttrSet(), 3));
+  EXPECT_EQ(tree.CountEntries(), 2);
+
+  EXPECT_TRUE(tree.Remove(AttrSet::Of({0, 2}), 1));
+  EXPECT_FALSE(tree.Remove(AttrSet::Of({0, 2}), 1));  // already gone
+  EXPECT_FALSE(tree.ContainsGeneralization(AttrSet::Of({0, 1, 2}), 1));
+  EXPECT_EQ(tree.CountEntries(), 1);
+}
+
+TEST(FdTreeTest, AddMinimalMaintainsStrictCoverInvariant) {
+  const int kBits = 8;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed * 1000003 + 17);
+    FdTree tree(kBits);
+    Model model;
+    for (int op = 0; op < 300; ++op) {
+      uint64_t lhs = RandomMask(&rng, kBits);
+      int rhs = static_cast<int>(rng.Uniform(0, 3));
+      EXPECT_EQ(tree.AddMinimal(AttrSet(lhs), rhs),
+                model.AddMinimal(lhs, rhs))
+          << "seed " << seed << " op " << op;
+    }
+    std::set<FlatEntry> flat = Flatten(tree);
+    EXPECT_EQ(flat, model.entries) << "seed " << seed;
+    EXPECT_EQ(tree.CountEntries(), static_cast<int64_t>(flat.size()));
+    // Strict cover: per rhs, no stored lhs is a subset of another.
+    for (const auto& [a, ra] : flat) {
+      for (const auto& [b, rb] : flat) {
+        if (ra != rb || a == b) continue;
+        EXPECT_NE((a & b), a) << "subset pair under rhs " << ra << ": "
+                              << a << " within " << b << ", seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(FdTreeTest, FuzzMutationsMatchBruteForceModel) {
+  const int kBits = 10;
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    FdTree tree(kBits);
+    Model model;
+    for (int op = 0; op < 1500; ++op) {
+      uint64_t lhs = RandomMask(&rng, kBits);
+      int rhs = static_cast<int>(rng.Uniform(0, kBits - 1));
+      switch (rng.Uniform(0, 6)) {
+        case 0:
+          if (!model.entries.count({lhs, rhs})) {
+            tree.Add(AttrSet(lhs), rhs);
+            model.entries.insert({lhs, rhs});
+          }
+          break;
+        case 1:
+          EXPECT_EQ(tree.AddMinimal(AttrSet(lhs), rhs),
+                    model.AddMinimal(lhs, rhs));
+          break;
+        case 2:
+          EXPECT_EQ(tree.Remove(AttrSet(lhs), rhs),
+                    model.entries.erase({lhs, rhs}) > 0);
+          break;
+        case 3: {
+          std::vector<AttrSet> removed;
+          tree.RemoveGeneralizations(AttrSet(lhs), rhs, &removed);
+          std::set<uint64_t> got;
+          for (AttrSet s : removed) got.insert(s.mask());
+          EXPECT_EQ(got.size(), removed.size()) << "duplicate removals";
+          EXPECT_EQ(got, model.RemoveGeneralizations(lhs, rhs));
+          break;
+        }
+        case 4:
+          tree.RemoveSpecializations(AttrSet(lhs), rhs);
+          model.RemoveSpecializations(lhs, rhs);
+          break;
+        default:
+          EXPECT_EQ(tree.ContainsGeneralization(AttrSet(lhs), rhs),
+                    model.ContainsGeneralization(lhs, rhs));
+          EXPECT_EQ(tree.ContainsSpecialization(AttrSet(lhs), rhs),
+                    model.ContainsSpecialization(lhs, rhs));
+          break;
+      }
+      if (op % 64 == 0) {
+        ASSERT_EQ(Flatten(tree), model.entries)
+            << "seed " << seed << " op " << op;
+        ASSERT_EQ(tree.CountEntries(),
+                  static_cast<int64_t>(model.entries.size()));
+      }
+    }
+    EXPECT_EQ(Flatten(tree), model.entries) << "seed " << seed;
+  }
+}
+
+TEST(FdTreeTest, RoundTripsAnyFdSet) {
+  const int kBits = 12;
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed * 7919 + 3);
+    int count = 1 + static_cast<int>(rng.Uniform(0, 80));
+    std::set<FlatEntry> expected;
+    FdTree tree(kBits);
+    for (int i = 0; i < count; ++i) {
+      uint64_t lhs = RandomMask(&rng, kBits);
+      int rhs = static_cast<int>(rng.Uniform(0, kBits - 1));
+      if (!expected.insert({lhs, rhs}).second) continue;
+      tree.Add(AttrSet(lhs), rhs);
+    }
+    EXPECT_EQ(Flatten(tree), expected) << "seed " << seed;
+    EXPECT_EQ(tree.CountEntries(), static_cast<int64_t>(expected.size()));
+    EXPECT_GT(tree.footprint_bytes(), 0u);
+
+    // CollectLevel partitions CollectAll by |lhs|, each level sorted by
+    // lhs mask, and a whole-universe walk loses nothing.
+    std::set<FlatEntry> via_levels;
+    for (int level = 0; level <= kBits; ++level) {
+      std::vector<FdTree::Entry> entries;
+      tree.CollectLevel(level, &entries);
+      for (size_t i = 0; i < entries.size(); ++i) {
+        EXPECT_EQ(entries[i].lhs.size(), level);
+        if (i > 0) EXPECT_LT(entries[i - 1].lhs.mask(), entries[i].lhs.mask());
+        uint64_t r = entries[i].rhs_bits;
+        while (r) {
+          int b = __builtin_ctzll(r);
+          r &= r - 1;
+          via_levels.insert({entries[i].lhs.mask(), b});
+        }
+      }
+    }
+    EXPECT_EQ(via_levels, expected) << "seed " << seed;
+
+    // Removing every entry (in a shuffled order) drains the tree fully.
+    std::vector<FlatEntry> order(expected.begin(), expected.end());
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (const auto& [m, r] : order) {
+      EXPECT_TRUE(tree.Remove(AttrSet(m), r));
+    }
+    EXPECT_EQ(tree.CountEntries(), 0);
+    for (int trial = 0; trial < 20; ++trial) {
+      uint64_t probe = RandomMask(&rng, kBits);
+      int rhs = static_cast<int>(rng.Uniform(0, kBits - 1));
+      EXPECT_FALSE(tree.ContainsGeneralization(AttrSet(probe), rhs));
+      EXPECT_FALSE(tree.ContainsSpecialization(AttrSet(probe), rhs));
+    }
+  }
+}
+
+/// Drives NegativeCover + Inductor exactly the way the hybrid FD driver
+/// does — per violating set V, for every rhs outside V, extensions are the
+/// single bits outside V (minus the rhs) — and checks the resulting
+/// positive cover against a brute-force minimal-cover computation.
+void RunInduction(const std::vector<uint64_t>& violating, int num_bits,
+                  int max_lhs_size, FdTree* positive, NegativeCover* negative) {
+  Inductor inductor(positive);
+  for (int a = 0; a < num_bits; ++a) positive->Add(AttrSet(), a);
+  auto keep = [max_lhs_size](AttrSet s) { return s.size() <= max_lhs_size; };
+  for (uint64_t v : violating) {
+    AttrSet agree(v);
+    AttrSet outside = AttrSet::Full(num_bits).Minus(agree);
+    for (int rhs : outside.ToVector()) {
+      if (!negative->AddMaximal(agree, rhs)) continue;
+      std::vector<AttrSet> extensions;
+      for (int b : outside.Without(rhs).ToVector()) {
+        extensions.push_back(AttrSet::Single(b));
+      }
+      inductor.SpecializeAgainst(agree, rhs, extensions, keep);
+    }
+  }
+}
+
+TEST(CoverInductionTest, NoSupersetsAndMatchesBruteForceMinimalCover) {
+  const int kBits = 7;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    for (int max_lhs_size : {kBits, 3}) {
+      Rng rng(seed * 31337 + max_lhs_size);
+      int num_violating = 1 + static_cast<int>(rng.Uniform(0, 14));
+      std::vector<uint64_t> violating;
+      for (int i = 0; i < num_violating; ++i) {
+        violating.push_back(RandomMask(&rng, kBits));
+      }
+
+      FdTree positive(kBits);
+      NegativeCover negative(kBits);
+      RunInduction(violating, kBits, max_lhs_size, &positive, &negative);
+      std::set<FlatEntry> flat = Flatten(positive);
+
+      // (a) No stored lhs is a subset of any violating set it has a rhs
+      // outside of, and (b) the strict cover invariant holds.
+      for (const auto& [m, rhs] : flat) {
+        for (uint64_t v : violating) {
+          if ((v >> rhs) & 1ULL) continue;
+          EXPECT_NE((m & v), m) << "lhs " << m << " within violating " << v
+                                << " rhs " << rhs << " seed " << seed;
+        }
+        for (const auto& [m2, rhs2] : flat) {
+          if (rhs != rhs2 || m == m2) continue;
+          EXPECT_NE((m & m2), m) << "strict cover broken, seed " << seed;
+        }
+      }
+
+      // (c) Exactly the minimal valid sets, per rhs, size-capped.
+      std::set<FlatEntry> expected;
+      for (int rhs = 0; rhs < kBits; ++rhs) {
+        std::vector<uint64_t> valid;
+        for (uint64_t s = 0; s < (1ULL << kBits); ++s) {
+          if ((s >> rhs) & 1ULL) continue;
+          if (__builtin_popcountll(s) > max_lhs_size) continue;
+          bool covered = false;
+          for (uint64_t v : violating) {
+            if (((v >> rhs) & 1ULL) == 0 && (s & v) == s) covered = true;
+          }
+          if (!covered) valid.push_back(s);
+        }
+        for (uint64_t s : valid) {
+          bool minimal = true;
+          for (uint64_t t : valid) {
+            if (t != s && (t & s) == t) minimal = false;
+          }
+          if (minimal) expected.insert({s, rhs});
+        }
+      }
+      EXPECT_EQ(flat, expected)
+          << "seed " << seed << " cap " << max_lhs_size;
+
+      // (d) The negative cover holds exactly the maximal violating sets
+      // per rhs slot.
+      std::set<FlatEntry> neg = Flatten(negative.tree());
+      std::set<FlatEntry> neg_expected;
+      for (uint64_t v : violating) {
+        for (int rhs = 0; rhs < kBits; ++rhs) {
+          if ((v >> rhs) & 1ULL) continue;
+          bool maximal = true;
+          for (uint64_t w : violating) {
+            if (w != v && ((w >> rhs) & 1ULL) == 0 && (v & w) == v) {
+              maximal = false;
+            }
+          }
+          if (maximal) neg_expected.insert({v, rhs});
+        }
+      }
+      EXPECT_EQ(neg, neg_expected) << "seed " << seed;
+
+      // (e) Order independence: a shuffled replay lands on the identical
+      // tree, down to collection order.
+      std::vector<uint64_t> shuffled = violating;
+      std::shuffle(shuffled.begin(), shuffled.end(), rng.engine());
+      FdTree positive2(kBits);
+      NegativeCover negative2(kBits);
+      RunInduction(shuffled, kBits, max_lhs_size, &positive2, &negative2);
+      std::vector<FdTree::Entry> a, b;
+      positive.CollectAll(&a);
+      positive2.CollectAll(&b);
+      ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].lhs, b[i].lhs);
+        EXPECT_EQ(a[i].rhs_bits, b[i].rhs_bits);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace famtree

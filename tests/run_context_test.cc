@@ -26,6 +26,8 @@
 #include "discovery/dd_discovery.h"
 #include "discovery/fastdc.h"
 #include "discovery/fastfd.h"
+#include "discovery/hybrid/hybrid_fd.h"
+#include "discovery/hybrid/hybrid_md.h"
 #include "discovery/md_discovery.h"
 #include "discovery/metric_discovery.h"
 #include "discovery/mvd_discovery.h"
@@ -592,6 +594,53 @@ TEST(CutoffDifferentialTest, FastDc) {
        }});
 }
 
+TEST(CutoffDifferentialTest, HybridFd) {
+  // The hybrid driver check-points per sampling pass and per frontier
+  // level; a cutoff returns the FDs of the fully validated levels — a
+  // prefix of the canonical output — at any thread count.
+  Relation r = MakeRandomRelation(19, 60, 5, 3);
+  ExpectDeterministicCutoffs(
+      {"hybrid_fd", [r](ThreadPool* pool, RunContext* ctx)
+                        -> Result<std::vector<std::string>> {
+         HybridFdOptions options;
+         options.pool = pool;
+         options.context = ctx;
+         FAMTREE_ASSIGN_OR_RETURN(std::vector<DiscoveredFd> fds,
+                                  DiscoverFdsHybrid(r, options));
+         std::vector<std::string> keys;
+         for (const auto& fd : fds) keys.push_back(FdKey(fd));
+         return keys;
+       }});
+}
+
+TEST(CutoffDifferentialTest, HybridMd) {
+  // min_confidence 1.0 keeps the run on the cover-tree path (anything else
+  // delegates to DiscoverMds, which has its own cutoff case above).
+  HeterogeneousConfig config;
+  config.num_entities = 20;
+  config.seed = 7;
+  GeneratedData data = GenerateHeterogeneous(config);
+  Relation r = data.relation;
+  ExpectDeterministicCutoffs(
+      {"hybrid_md", [r](ThreadPool* pool, RunContext* ctx)
+                        -> Result<std::vector<std::string>> {
+         MdDiscoveryOptions options;
+         options.max_lhs_attrs = 1;
+         options.min_confidence = 1.0;
+         options.pool = pool;
+         options.context = ctx;
+         FAMTREE_ASSIGN_OR_RETURN(
+             std::vector<DiscoveredMd> mds,
+             DiscoverMdsHybrid(r, AttrSet::Single(4), options));
+         std::vector<std::string> keys;
+         for (const auto& m : mds) {
+           keys.push_back(m.md.ToString() + "@" + FormatDouble(m.support) +
+                          "/" + FormatDouble(m.confidence));
+         }
+         return keys;
+       }});
+}
+
 // ------------------------------------------------ OOM / allocation sites
 
 TEST(OomFaultTest, CsvReaderFailsCleanlyAtCsvRowsSite) {
@@ -730,6 +779,95 @@ TEST(OomFaultTest, EvidenceCacheNotMutatedByFailedBuild) {
   auto ok = GetOrBuildEvidence(&cache, encoded, config, EvidenceOptions{});
   ASSERT_TRUE(ok.ok());
   EXPECT_GT(cache.stats().bytes, 0u);
+}
+
+TEST(OomFaultTest, HybridFdSampleSiteYieldsEmptyDeterministicPrefix) {
+  Relation r = MakeRandomRelation(25, 60, 4, 3);
+  FaultInjector::Options fopts;
+  fopts.fail_at_alloc = 1;
+  fopts.alloc_site = "hybrid_sample";
+  FaultInjector faults(fopts);
+  RunContext ctx;
+  ctx.set_fault_injector(&faults);
+  HybridFdOptions options;
+  options.context = &ctx;
+  auto partial = DiscoverFdsHybrid(r, options);
+  ASSERT_TRUE(partial.ok()) << partial.status().message();
+  EXPECT_TRUE(partial->empty()) << "sampling died before any level closed";
+  RunReport report = ctx.report();
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_EQ(report.stop_code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(report.completed_units, 0);
+  // A rearmed run discovers the full cover, equal to the lattice oracle.
+  RunContext clean;
+  HybridFdOptions unlimited;
+  unlimited.context = &clean;
+  auto full = DiscoverFdsHybrid(r, unlimited);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(clean.report().exhausted);
+  auto tane = DiscoverFdsTane(r, TaneOptions{});
+  ASSERT_TRUE(tane.ok());
+  EXPECT_EQ(full->size(), tane->size());
+}
+
+TEST(OomFaultTest, HybridFdValidateSiteStopsAtTheSamplingBoundary) {
+  Relation r = MakeRandomRelation(26, 60, 4, 3);
+  FaultInjector::Options fopts;
+  fopts.fail_at_alloc = 1;
+  fopts.alloc_site = "hybrid_validate";
+  FaultInjector faults(fopts);
+  RunContext ctx;
+  ctx.set_fault_injector(&faults);
+  HybridFdOptions options;
+  options.context = &ctx;
+  auto partial = DiscoverFdsHybrid(r, options);
+  ASSERT_TRUE(partial.ok()) << partial.status().message();
+  EXPECT_TRUE(partial->empty()) << "level 0 never validated";
+  RunReport report = ctx.report();
+  EXPECT_TRUE(report.exhausted);
+  EXPECT_EQ(report.stop_code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(report.completed_units, 1);  // the sampling stage closed
+  EXPECT_LT(report.completed_units, report.total_units);
+}
+
+TEST(OomFaultTest, HybridMdChargeSitesFailCleanlyAndRerunMatchesOracle) {
+  HeterogeneousConfig config;
+  config.num_entities = 20;
+  config.seed = 9;
+  GeneratedData data = GenerateHeterogeneous(config);
+  Relation r = data.relation;
+  MdDiscoveryOptions options;
+  options.max_lhs_attrs = 1;
+  options.min_confidence = 1.0;
+  auto oracle = DiscoverMds(r, AttrSet::Single(4), options);
+  ASSERT_TRUE(oracle.ok());
+  for (const std::string& site : {"hybrid_sample", "hybrid_validate"}) {
+    SCOPED_TRACE(site);
+    FaultInjector::Options fopts;
+    fopts.fail_at_alloc = 1;
+    fopts.alloc_site = site;
+    FaultInjector faults(fopts);
+    RunContext ctx;
+    ctx.set_fault_injector(&faults);
+    MdDiscoveryOptions limited = options;
+    limited.context = &ctx;
+    HybridMdStats stats;
+    auto partial = DiscoverMdsHybrid(r, AttrSet::Single(4), limited, &stats);
+    ASSERT_TRUE(partial.ok()) << partial.status().message();
+    EXPECT_TRUE(partial->empty());
+    RunReport report = ctx.report();
+    EXPECT_TRUE(report.exhausted);
+    EXPECT_EQ(report.stop_code, StatusCode::kResourceExhausted);
+    // A rearmed run is bit-identical to the oracle.
+    auto full = DiscoverMdsHybrid(r, AttrSet::Single(4), options);
+    ASSERT_TRUE(full.ok());
+    ASSERT_EQ(full->size(), oracle->size());
+    for (size_t i = 0; i < full->size(); ++i) {
+      EXPECT_EQ((*full)[i].md.ToString(), (*oracle)[i].md.ToString());
+      EXPECT_EQ((*full)[i].support, (*oracle)[i].support);
+      EXPECT_EQ((*full)[i].confidence, (*oracle)[i].confidence);
+    }
+  }
 }
 
 // -------------------------------------------- dangling-relation regression
