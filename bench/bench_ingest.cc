@@ -1,0 +1,202 @@
+// Out-of-core ingestion acceptance bench: a synthetic CSV of 10M rows x 3
+// columns (r mod p for pairwise-coprime p, so every column pair is a key)
+// must complete exact FD discovery — TANE and the hybrid engine — under a
+// fixed 256 MiB MemoryBudget by spilling, with no kResourceExhausted, and
+// both engines must agree. Prints rows/sec, spill volume, budget accrual
+// and peak RSS, and writes BENCH_ingest.json. Exits nonzero on any failure
+// or disagreement. FAMTREE_INGEST_ROWS overrides the row count (useful for
+// smoke runs).
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/run_context.h"
+#include "engine/engine.h"
+#include "relation/ooc/sharded_relation.h"
+#include "relation/ooc/spill.h"
+
+namespace famtree {
+namespace {
+
+constexpr int64_t kDefaultRows = 10'000'000;
+constexpr size_t kBudgetBytes = 256ull << 20;
+// Pairwise-coprime and p_i * p_j > 10M: every pair of columns is a key, so
+// the exact cover at 10M rows is exactly {ci, cj} -> ck for the 3 pairs.
+constexpr int kMod[3] = {3163, 3167, 3169};
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double PeakRssMb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB on Linux
+}
+
+using Canon = std::vector<std::tuple<int, uint64_t, int, double>>;
+
+Canon Canonical(const std::vector<DiscoveredFd>& fds) {
+  Canon out;
+  out.reserve(fds.size());
+  for (const DiscoveredFd& fd : fds) {
+    out.emplace_back(fd.lhs.size(), fd.lhs.mask(), fd.rhs, fd.error);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status WriteDataset(const std::string& path, int64_t rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot create " + path);
+  std::fputs("a,b,c\n", f);
+  for (int64_t r = 0; r < rows; ++r) {
+    std::fprintf(f, "%d,%d,%d\n", static_cast<int>(r % kMod[0]),
+                 static_cast<int>(r % kMod[1]), static_cast<int>(r % kMod[2]));
+  }
+  bool ok = std::fclose(f) == 0;
+  return ok ? Status::OK() : Status::IoError("write failed on " + path);
+}
+
+int Run() {
+  int64_t rows = kDefaultRows;
+  if (const char* env = std::getenv("FAMTREE_INGEST_ROWS")) {
+    rows = std::max<int64_t>(1, std::atoll(env));
+  }
+  std::string path = DefaultSpillDir() + "/famtree_bench_ingest.csv";
+  std::printf("generating %lld rows at %s ...\n",
+              static_cast<long long>(rows), path.c_str());
+  Status gen = WriteDataset(path, rows);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", gen.message().c_str());
+    return 1;
+  }
+
+  MemoryBudget budget(kBudgetBytes);
+  RunContext ctx;
+  ctx.set_memory_budget(&budget);
+
+  auto t0 = std::chrono::steady_clock::now();
+  IngestOptions options;
+  options.context = &ctx;
+  auto ingested = ShardedEncodedRelation::IngestCsvFile(path, options);
+  double ingest_s = SecondsSince(t0);
+  std::remove(path.c_str());
+  if (!ingested.ok()) {
+    std::fprintf(stderr, "FAIL ingest: %s\n",
+                 ingested.status().message().c_str());
+    return 1;
+  }
+  ShardedEncodedRelation& rel = **ingested;
+  IngestStats istats = rel.stats();
+  double rows_per_sec = ingest_s > 0 ? rows / ingest_s : 0;
+  std::printf(
+      "ingest: %.2fs (%.0f rows/s), %d shards (%d spilled at ingest), "
+      "%.1f MB read, budget used %.1f / %.1f MB\n",
+      ingest_s, rows_per_sec, istats.shards, istats.shards_spilled,
+      istats.bytes_read / 1048576.0, budget.used() / 1048576.0,
+      budget.limit() / 1048576.0);
+  size_t used_after_ingest = budget.used();
+
+  DiscoveryEngine engine;
+  auto t1 = std::chrono::steady_clock::now();
+  TaneOptions tane;
+  tane.context = &ctx;
+  auto tane_fds = engine.TaneOutOfCore(rel, tane);
+  double tane_s = SecondsSince(t1);
+  if (!tane_fds.ok()) {
+    std::fprintf(stderr, "FAIL tane: %s\n",
+                 tane_fds.status().message().c_str());
+    return 1;
+  }
+  if (ctx.report().exhausted) {
+    std::fprintf(stderr, "FAIL: TANE exhausted the budget (%s)\n",
+                 ctx.report().stop_detail.c_str());
+    return 1;
+  }
+  size_t used_after_tane = budget.used();
+  std::printf("tane:   %.2fs, %zu FDs, budget used %.1f MB\n", tane_s,
+              tane_fds->size(), used_after_tane / 1048576.0);
+
+  auto t2 = std::chrono::steady_clock::now();
+  HybridFdOptions hybrid;
+  hybrid.context = &ctx;
+  auto hybrid_fds = engine.HybridFdsOutOfCore(rel, hybrid);
+  double hybrid_s = SecondsSince(t2);
+  if (!hybrid_fds.ok()) {
+    std::fprintf(stderr, "FAIL hybrid: %s\n",
+                 hybrid_fds.status().message().c_str());
+    return 1;
+  }
+  if (ctx.report().exhausted) {
+    std::fprintf(stderr, "FAIL: hybrid exhausted the budget (%s)\n",
+                 ctx.report().stop_detail.c_str());
+    return 1;
+  }
+  size_t used_after_hybrid = budget.used();
+  std::printf("hybrid: %.2fs, %zu FDs, budget used %.1f MB\n", hybrid_s,
+              hybrid_fds->size(), used_after_hybrid / 1048576.0);
+
+  if (Canonical(*tane_fds) != Canonical(*hybrid_fds) || tane_fds->empty()) {
+    std::fprintf(stderr,
+                 "FAIL: TANE (%zu FDs) and hybrid (%zu FDs) disagree\n",
+                 tane_fds->size(), hybrid_fds->size());
+    return 1;
+  }
+
+  IngestStats final_stats = rel.stats();
+  PliCache::Stats cache_stats = engine.CacheStats();
+  double rss_mb = PeakRssMb();
+  std::printf(
+      "spill:  %.1f MB shards (%d of %d), %.1f MB PLI runs; peak RSS %.1f "
+      "MB\n",
+      final_stats.spill_bytes / 1048576.0, final_stats.shards_spilled,
+      final_stats.shards, cache_stats.ooc_spill_bytes / 1048576.0, rss_mb);
+
+  std::FILE* f = std::fopen("BENCH_ingest.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write BENCH_ingest.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"rows\": %lld,\n", static_cast<long long>(rows));
+  std::fprintf(f, "  \"csv_bytes\": %lld,\n",
+               static_cast<long long>(istats.bytes_read));
+  std::fprintf(f, "  \"budget_bytes\": %zu,\n", kBudgetBytes);
+  std::fprintf(f, "  \"ingest_seconds\": %.3f,\n", ingest_s);
+  std::fprintf(f, "  \"rows_per_sec\": %.0f,\n", rows_per_sec);
+  std::fprintf(f, "  \"shards\": %d,\n", final_stats.shards);
+  std::fprintf(f, "  \"shards_spilled\": %d,\n", final_stats.shards_spilled);
+  std::fprintf(f, "  \"shard_spill_bytes\": %lld,\n",
+               static_cast<long long>(final_stats.spill_bytes));
+  std::fprintf(f, "  \"pli_run_spill_bytes\": %lld,\n",
+               static_cast<long long>(cache_stats.ooc_spill_bytes));
+  std::fprintf(f, "  \"tane_seconds\": %.3f,\n", tane_s);
+  std::fprintf(f, "  \"hybrid_seconds\": %.3f,\n", hybrid_s);
+  std::fprintf(f, "  \"fds\": %zu,\n", tane_fds->size());
+  std::fprintf(f, "  \"budget_used_after_ingest\": %zu,\n", used_after_ingest);
+  std::fprintf(f, "  \"budget_used_after_tane\": %zu,\n", used_after_tane);
+  std::fprintf(f, "  \"budget_used_after_hybrid\": %zu,\n",
+               used_after_hybrid);
+  std::fprintf(f, "  \"peak_rss_mb\": %.1f,\n", rss_mb);
+  std::fprintf(f, "  \"engines_identical\": true\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_ingest.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace famtree
+
+int main() { return famtree::Run(); }

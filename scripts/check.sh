@@ -10,6 +10,10 @@
 #                     (`-L engine`), catching data races across the
 #                     thread-count {1, 2, 8} matrix.
 #
+# The out-of-core ingestion suite (`-L ingest`) runs in all three
+# configurations: the spill/pread layer does manual buffer arithmetic
+# (ASan) and shard residency moves concurrently with reads (TSan).
+#
 # The sanitizer configs intentionally skip the large-instance tier-1-only
 # binaries (e.g. tests/hybrid_scale_test.cc): sanitizers multiply runtime
 # and memory, and the same logic is covered at small scale by the
@@ -35,15 +39,17 @@ run cmake -B "$PREFIX" >/dev/null
 run cmake --build "$PREFIX" -j "$JOBS"
 run ctest --test-dir "$PREFIX" -L tier1 -j "$JOBS" --output-on-failure
 
-echo "=== [2/3] ASan+UBSan: ctest -L relation, -L engine ==="
+echo "=== [2/3] ASan+UBSan: ctest -L relation, -L engine, -L ingest ==="
 run cmake -B "$PREFIX-asan" -DFAMTREE_ASAN=ON >/dev/null
 run cmake --build "$PREFIX-asan" -j "$JOBS"
 run ctest --test-dir "$PREFIX-asan" -L relation -j "$JOBS" --output-on-failure
 run ctest --test-dir "$PREFIX-asan" -L engine -j "$JOBS" --output-on-failure
+run ctest --test-dir "$PREFIX-asan" -L ingest -j "$JOBS" --output-on-failure
 
-echo "=== [3/3] TSan: ctest -L engine ==="
+echo "=== [3/3] TSan: ctest -L engine, -L ingest ==="
 run cmake -B "$PREFIX-tsan" -DFAMTREE_TSAN=ON >/dev/null
 run cmake --build "$PREFIX-tsan" -j "$JOBS"
 run ctest --test-dir "$PREFIX-tsan" -L engine -j "$JOBS" --output-on-failure
+run ctest --test-dir "$PREFIX-tsan" -L ingest -j "$JOBS" --output-on-failure
 
 echo "=== all three configurations passed ==="

@@ -102,6 +102,12 @@ Status RunContext::StopStatus(RunContext* ctx) {
   return ctx->LatchedStatus();
 }
 
+Status RunContext::Fail(RunContext* ctx, const Status& st) {
+  if (ctx == nullptr || st.ok()) return st;
+  ctx->LatchStop(st.code(), st.message());
+  return st;
+}
+
 Status RunContext::LatchStop(StatusCode code, const std::string& detail) {
   int expected = 0;
   if (stop_code_.compare_exchange_strong(expected, static_cast<int>(code),

@@ -57,6 +57,14 @@ class MemoryBudget {
   size_t used() const { return used_.load(std::memory_order_relaxed); }
   size_t limit() const { return limit_; }
 
+  /// Bytes still chargeable before the limit. Advisory under concurrency;
+  /// the out-of-core layer reads it to decide how much to spill before a
+  /// charge, then still goes through TryCharge for the real answer.
+  size_t remaining() const {
+    size_t u = used();
+    return u >= limit_ ? 0 : limit_ - u;
+  }
+
  private:
   const size_t limit_;
   std::atomic<size_t> used_{0};
@@ -238,6 +246,13 @@ class RunContext {
   /// caller that only sees a sentinel (e.g. PliCache::Get's nullptr)
   /// recover the reason.
   static Status StopStatus(RunContext* ctx);
+
+  /// Latches an arbitrary hard failure (e.g. a spill-file write error) so
+  /// every subsequent probe returns it and in-flight parallel work drains.
+  /// Unlike the three run-control codes this does not read as a stop, so
+  /// drivers surface it as an error instead of a partial result. Returns
+  /// `st` unchanged (also with a null ctx or an OK status).
+  static Status Fail(RunContext* ctx, const Status& st);
 
   /// Records that a limit cut the run short after `completed` of `total`
   /// units; the results returned alongside are the prefix those units

@@ -24,7 +24,7 @@ namespace famtree {
 inline Result<const EncodedRelation*> ResolveEncoding(
     const Relation& relation, bool use_encoding, PliCache* cache,
     std::unique_ptr<EncodedRelation>* local) {
-  if (cache != nullptr && &cache->relation() != &relation) {
+  if (cache != nullptr && cache->relation_or_null() != &relation) {
     return Status::Invalid("PliCache serves a different relation");
   }
   if (!use_encoding) return static_cast<const EncodedRelation*>(nullptr);

@@ -35,11 +35,13 @@ void InductAgreeSet(AttrSet agree, int nc, int max_lhs_size,
   }
 }
 
-}  // namespace
-
-Result<std::vector<DiscoveredFd>> DiscoverFdsHybrid(
-    const Relation& relation, const HybridFdOptions& options) {
-  int nc = relation.num_columns();
+/// The shared run behind both public entries. `relation` is nullptr for
+/// the cache-only (out-of-core) entry, in which case `options.cache` is
+/// guaranteed non-null and the encoding comes out of the cache.
+Result<std::vector<DiscoveredFd>> DiscoverFdsHybridImpl(
+    const Relation* relation, const HybridFdOptions& options) {
+  int nc = relation != nullptr ? relation->num_columns()
+                               : options.cache->num_columns();
   RunContext* ctx = options.context;
   RunContext::BeginRun(ctx, "hybrid_fd");
   // Units: the sampling stage plus one per frontier level; a stop returns
@@ -51,16 +53,27 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsHybrid(
     RunContext::MarkComplete(ctx, total_units);
     return out;
   }
-  std::unique_ptr<EncodedRelation> local_encoding;
-  FAMTREE_ASSIGN_OR_RETURN(
-      const EncodedRelation* encoded,
-      ResolveEncoding(relation, /*use_encoding=*/true, options.cache,
-                      &local_encoding));
 
   auto exhausted = [&](const Status& stop, int64_t completed) {
     RunContext::MarkExhausted(ctx, stop, completed, total_units);
     return out;
   };
+
+  std::unique_ptr<EncodedRelation> local_encoding;
+  const EncodedRelation* encoded = nullptr;
+  if (relation != nullptr) {
+    FAMTREE_ASSIGN_OR_RETURN(
+        encoded, ResolveEncoding(*relation, /*use_encoding=*/true,
+                                 options.cache, &local_encoding));
+  } else {
+    // Out-of-core: the sampler needs flat code arrays, so materialize them
+    // from the shards (charged with shard-spill fallback). A budget stop
+    // here is an ordinary anytime exit with zero completed units.
+    Status st = options.cache->EnsureEncoded(ctx);
+    if (RunContext::IsStop(st)) return exhausted(st, 0);
+    FAMTREE_RETURN_NOT_OK(st);
+    encoded = options.cache->encoded_or_null();
+  }
 
   // --- Stage 1: sampling into the negative cover. -----------------------
   Result<std::unique_ptr<HybridSampler>> sampler_result =
@@ -143,6 +156,23 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsHybrid(
   }
   RunContext::MarkComplete(ctx, total_units);
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredFd>> DiscoverFdsHybrid(
+    const Relation& relation, const HybridFdOptions& options) {
+  return DiscoverFdsHybridImpl(&relation, options);
+}
+
+Result<std::vector<DiscoveredFd>> DiscoverFdsHybrid(
+    PliCache* cache, const HybridFdOptions& options) {
+  if (cache == nullptr) {
+    return Status::Invalid("cache-only hybrid FD discovery requires a PliCache");
+  }
+  HybridFdOptions opts = options;
+  opts.cache = cache;
+  return DiscoverFdsHybridImpl(cache->relation_or_null(), opts);
 }
 
 }  // namespace famtree

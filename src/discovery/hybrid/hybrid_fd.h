@@ -62,6 +62,17 @@ struct HybridFdOptions {
 Result<std::vector<DiscoveredFd>> DiscoverFdsHybrid(
     const Relation& relation, const HybridFdOptions& options = {});
 
+/// Cache-only entry: runs the hybrid against whatever backend `cache`
+/// serves, including the out-of-core ShardedEncodedRelation backend with
+/// no materialized Relation. The sampler's cluster windows read flat code
+/// arrays, so the encoding is materialized first when absent
+/// (PliCache::EnsureEncoded — charged at "ingest_codes" with shard-spill
+/// fallback); the frontier's PLIs still stream out of the spill-merged
+/// runs. `options.cache` is overwritten with `cache`; in-memory caches
+/// produce output bit-identical to the Relation entry.
+Result<std::vector<DiscoveredFd>> DiscoverFdsHybrid(
+    PliCache* cache, const HybridFdOptions& options = {});
+
 }  // namespace famtree
 
 #endif  // FAMTREE_DISCOVERY_HYBRID_HYBRID_FD_H_

@@ -121,7 +121,7 @@ Result<std::vector<DiscoveredOd>> DiscoverUnaryOds(
   // eligible columns — the miner never reads the others, and skipping
   // their dictionary builds is what keeps the encoded serial path ahead of
   // the oracle on wide mixed-type relations.
-  if (options.cache != nullptr && &options.cache->relation() != &relation) {
+  if (options.cache != nullptr && options.cache->relation_or_null() != &relation) {
     return Status::Invalid("PliCache serves a different relation");
   }
   std::unique_ptr<EncodedRelation> local_encoding;

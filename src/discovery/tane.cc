@@ -59,19 +59,25 @@ struct PendingNode {
   Pli pli;  // output slot
 };
 
-}  // namespace
-
-Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
-                                                  const TaneOptions& options) {
-  int nc = relation.num_columns();
+/// The shared walk behind both public entries. `relation` is nullptr for
+/// the cache-only (out-of-core) entry, in which case `options.cache` is
+/// guaranteed non-null and every partition and row/column count comes from
+/// the cache.
+Result<std::vector<DiscoveredFd>> DiscoverFdsTaneImpl(
+    const Relation* relation, const TaneOptions& options) {
+  PliCache* cache = options.cache;
+  int nc = relation != nullptr ? relation->num_columns()
+                               : cache->num_columns();
+  int num_rows = relation != nullptr ? relation->num_rows()
+                                     : cache->num_rows();
   if (nc > 63) return Status::Invalid("TANE supports up to 63 attributes");
   if (options.max_error < 0 || options.max_error > 1) {
     return Status::Invalid("max_error must be in [0, 1]");
   }
   ThreadPool* pool = options.pool;
-  PliCache* cache = options.cache;
   RunContext* ctx = options.context;
-  if (cache != nullptr && &cache->relation() != &relation) {
+  if (cache != nullptr && relation != nullptr &&
+      cache->relation_or_null() != relation) {
     return Status::Invalid("PliCache serves a different relation");
   }
   RunContext::BeginRun(ctx, "tane");
@@ -88,11 +94,20 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
   const EncodedRelation* encoded = nullptr;
   if (options.use_encoding) {
     if (cache != nullptr) {
-      encoded = &cache->encoded();
+      // Null for an out-of-core cache that has not materialized its flat
+      // encoding: exact discovery never needs it (the g3-free validity
+      // tests below compare partition costs), and the cache-only entry
+      // materializes it up front for approximate discovery.
+      encoded = cache->encoded_or_null();
     } else {
-      local_encoding = std::make_unique<EncodedRelation>(relation);
+      local_encoding = std::make_unique<EncodedRelation>(*relation);
       encoded = local_encoding.get();
     }
+  }
+  if (!exact && encoded == nullptr && relation == nullptr) {
+    return Status::Invalid(
+        "approximate TANE on an out-of-core cache requires the encoded "
+        "columns; call PliCache::EnsureEncoded first");
   }
 
   // Level 1: one partition per attribute, built (or cache-served) in
@@ -109,7 +124,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
           StrippedPartition::ForAttribute(*encoded, attr));
     } else {
       singles[a] = std::make_shared<StrippedPartition>(
-          StrippedPartition::ForAttribute(relation, attr));
+          StrippedPartition::ForAttribute(*relation, attr));
     }
     return Status::OK();
   });
@@ -132,10 +147,8 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
     // {} -> A holds iff column A is constant; its g3 error is one minus
     // the plurality fraction of the column.
     int largest = std::max(1, node.pli->MaxClassSize());
-    double err = relation.num_rows() == 0
-                     ? 0.0
-                     : 1.0 - static_cast<double>(largest) /
-                                 relation.num_rows();
+    double err = num_rows == 0 ? 0.0
+                               : 1.0 - static_cast<double>(largest) / num_rows;
     if (err <= options.max_error) {
       out.push_back(DiscoveredFd{AttrSet(), a, err});
       node.cplus.Remove(a);
@@ -200,7 +213,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
                 encoded != nullptr
                     ? prev->second->FdError(*encoded,
                                             AttrSet::Single(test.rhs))
-                    : prev->second->FdError(relation,
+                    : prev->second->FdError(*relation,
                                             AttrSet::Single(test.rhs));
           }
           return Status::OK();
@@ -294,8 +307,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
           p.pli = cache != nullptr
                       ? cache->Get(p.attrs, ctx)
                       : std::make_shared<StrippedPartition>(
-                            p.parent1->Product(*p.parent2,
-                                               relation.num_rows()));
+                            p.parent1->Product(*p.parent2, num_rows));
           if (p.pli == nullptr) return PliStopStatus(ctx);
           return Status::OK();
         });
@@ -313,6 +325,29 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
   }
   RunContext::MarkComplete(ctx, levels_done);
   return out;
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
+                                                  const TaneOptions& options) {
+  return DiscoverFdsTaneImpl(&relation, options);
+}
+
+Result<std::vector<DiscoveredFd>> DiscoverFdsTane(PliCache* cache,
+                                                  const TaneOptions& options) {
+  if (cache == nullptr) {
+    return Status::Invalid("cache-only TANE requires a PliCache");
+  }
+  TaneOptions opts = options;
+  opts.cache = cache;
+  // Approximate discovery's g3 tests read flat code arrays; materialize
+  // them once up front (charged with shard-spill fallback) so the lattice
+  // walk itself never blocks on encoding. Exact discovery stays PLI-only.
+  if (opts.max_error > 0.0 && opts.use_encoding && !cache->has_encoded()) {
+    FAMTREE_RETURN_NOT_OK(cache->EnsureEncoded(opts.context));
+  }
+  return DiscoverFdsTaneImpl(cache->relation_or_null(), opts);
 }
 
 Result<std::vector<DiscoveredFd>> DiscoverFdsNaive(const Relation& relation,

@@ -60,6 +60,18 @@ struct TaneOptions {
 Result<std::vector<DiscoveredFd>> DiscoverFdsTane(const Relation& relation,
                                                   const TaneOptions& options);
 
+/// Cache-only entry: runs TANE against whatever backend `cache` serves,
+/// including the out-of-core ShardedEncodedRelation backend that has no
+/// materialized Relation at all. Exact discovery (max_error == 0) is
+/// PLI-only — partitions stream out of spill-merged runs and no flat code
+/// arrays are ever materialized. Approximate discovery needs the encoded
+/// columns for its g3 tests, so it materializes them first
+/// (PliCache::EnsureEncoded, charged against the run's budget with
+/// shard-spill fallback). `options.cache` is overwritten with `cache`;
+/// in-memory caches produce output bit-identical to the Relation entry.
+Result<std::vector<DiscoveredFd>> DiscoverFdsTane(PliCache* cache,
+                                                  const TaneOptions& options);
+
 /// Naive pairwise baseline used by the PLI ablation bench: checks every
 /// candidate LHS by grouping rows per candidate instead of partition
 /// products. Semantics match DiscoverFdsTane on exact FDs.

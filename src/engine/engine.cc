@@ -35,6 +35,28 @@ void DiscoveryEngine::ForgetRelation(const Relation& relation) {
   caches_.erase(&relation);
 }
 
+Result<PliCache*> DiscoveryEngine::OocCacheFor(
+    const ShardedEncodedRelation& sharded) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<PliCache>& slot = ooc_caches_[&sharded];
+  if (slot == nullptr) {
+    PliCache::Options cache_options;
+    cache_options.max_bytes = options_.cache_max_bytes;
+    slot = std::make_unique<PliCache>(sharded, cache_options);
+  } else if (slot->fingerprint() != sharded.fingerprint()) {
+    return Status::Invalid(
+        "sharded relation at a remembered address has different content "
+        "(freed and reallocated without ForgetSharded?); refusing to serve "
+        "the stale PLI store");
+  }
+  return slot.get();
+}
+
+void DiscoveryEngine::ForgetSharded(const ShardedEncodedRelation& sharded) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ooc_caches_.erase(&sharded);
+}
+
 Result<std::vector<DiscoveredFd>> DiscoveryEngine::Tane(
     const Relation& relation, TaneOptions options) {
   options.pool = &pool_;
@@ -56,6 +78,22 @@ Result<std::vector<DiscoveredFd>> DiscoveryEngine::HybridFds(
   if (options.context == nullptr) options.context = default_context();
   FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
   return DiscoverFdsHybrid(relation, options);
+}
+
+Result<std::vector<DiscoveredFd>> DiscoveryEngine::TaneOutOfCore(
+    const ShardedEncodedRelation& sharded, TaneOptions options) {
+  options.pool = &pool_;
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(PliCache * cache, OocCacheFor(sharded));
+  return DiscoverFdsTane(cache, options);
+}
+
+Result<std::vector<DiscoveredFd>> DiscoveryEngine::HybridFdsOutOfCore(
+    const ShardedEncodedRelation& sharded, HybridFdOptions options) {
+  options.pool = &pool_;
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(PliCache * cache, OocCacheFor(sharded));
+  return DiscoverFdsHybrid(cache, options);
 }
 
 Result<std::vector<DiscoveredMd>> DiscoveryEngine::HybridMds(
@@ -324,14 +362,17 @@ Result<DetectionSummary> DiscoveryEngine::Detect(
 PliCache::Stats DiscoveryEngine::CacheStats() const {
   std::lock_guard<std::mutex> lock(mu_);
   PliCache::Stats total;
-  for (const auto& [relation, cache] : caches_) {
-    PliCache::Stats s = cache->stats();
+  auto fold = [&total](const PliCache& cache) {
+    PliCache::Stats s = cache.stats();
     total.hits += s.hits;
     total.misses += s.misses;
     total.evictions += s.evictions;
     total.builds += s.builds;
     total.bytes += s.bytes;
-  }
+    total.ooc_spill_bytes += s.ooc_spill_bytes;
+  };
+  for (const auto& [relation, cache] : caches_) fold(*cache);
+  for (const auto& [sharded, cache] : ooc_caches_) fold(*cache);
   return total;
 }
 

@@ -93,11 +93,20 @@ class DiscoveryEngine {
   /// store remembered for its address (stale-address hazard).
   Result<PliCache*> CacheFor(const Relation& relation);
 
+  /// The shared PLI store for an out-of-core ingested relation, created on
+  /// first use. Same stale-address protection as CacheFor, keyed on the
+  /// sharded relation's ingest-time fingerprint (cheap: it was computed
+  /// while the rows streamed through).
+  Result<PliCache*> OocCacheFor(const ShardedEncodedRelation& sharded);
+
   /// The engine-wide evidence store serving every pairwise miner.
   EvidenceCache& evidence_cache() { return evidence_; }
 
   /// Drops the store of a relation that is going away.
   void ForgetRelation(const Relation& relation);
+
+  /// Drops the store of an out-of-core relation that is going away.
+  void ForgetSharded(const ShardedEncodedRelation& sharded);
 
   /// TANE with parallel lattice levels, served from the shared PLI store.
   Result<std::vector<DiscoveredFd>> Tane(const Relation& relation,
@@ -113,6 +122,26 @@ class DiscoveryEngine {
   /// same minimal exact cover as Tane at max_error 0.
   Result<std::vector<DiscoveredFd>> HybridFds(const Relation& relation,
                                               HybridFdOptions options = {});
+
+  /// TANE over an out-of-core ingested relation: the lattice walk never
+  /// materializes the full table — level-1 partitions stream out of
+  /// per-shard spill-merged runs, products run on the flat CSR arrays, and
+  /// (for exact discovery) no flat code arrays exist at any point. With the
+  /// ingest's MemoryBudget on the RunContext, budget pressure spills
+  /// resident shards instead of failing, so discovery completes on files
+  /// larger than the budget. On an input that fits in memory the
+  /// discovered cover is bit-identical to Tane on the materialized
+  /// relation (tests/ooc_determinism_test.cc).
+  Result<std::vector<DiscoveredFd>> TaneOutOfCore(
+      const ShardedEncodedRelation& sharded, TaneOptions options = {});
+
+  /// Hybrid sampling + induction FD discovery over an out-of-core ingested
+  /// relation. The sampler reads flat code arrays, so those are
+  /// materialized once (charged against the budget with shard-spill
+  /// fallback); the frontier's PLIs still stream out of spill-merged runs.
+  /// Same minimal cover as TaneOutOfCore.
+  Result<std::vector<DiscoveredFd>> HybridFdsOutOfCore(
+      const ShardedEncodedRelation& sharded, HybridFdOptions options = {});
 
   /// MD discovery through the shared hybrid cover tree; bit-identical to
   /// Mds, and delegates to it wholesale whenever the cover tree cannot
@@ -253,8 +282,10 @@ class DiscoveryEngine {
   EngineOptions options_;
   ThreadPool pool_;
   EvidenceCache evidence_;
-  mutable std::mutex mu_;  // guards caches_
+  mutable std::mutex mu_;  // guards caches_ and ooc_caches_
   std::map<const Relation*, std::unique_ptr<PliCache>> caches_;
+  std::map<const ShardedEncodedRelation*, std::unique_ptr<PliCache>>
+      ooc_caches_;
 
   /// The engine-wide default when per-call options carry no context.
   RunContext* default_context() const { return options_.context; }

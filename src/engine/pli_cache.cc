@@ -1,11 +1,22 @@
 #include "engine/pli_cache.h"
 
+#include "relation/ooc/ooc_pli.h"
+
 namespace famtree {
 
 PliCache::PliCache(const Relation& relation, Options options)
-    : relation_(relation),
-      encoded_(relation),
+    : relation_(&relation),
+      num_rows_(relation.num_rows()),
+      num_columns_(relation.num_columns()),
       fingerprint_(RelationFingerprint(relation)),
+      options_(options),
+      encoded_(std::make_shared<const EncodedRelation>(relation)) {}
+
+PliCache::PliCache(const ShardedEncodedRelation& sharded, Options options)
+    : sharded_(&sharded),
+      num_rows_(sharded.num_rows()),
+      num_columns_(sharded.num_columns()),
+      fingerprint_(sharded.fingerprint()),
       options_(options) {}
 
 size_t PliCache::FootprintOf(const StrippedPartition& pli) {
@@ -15,10 +26,28 @@ size_t PliCache::FootprintOf(const StrippedPartition& pli) {
          (static_cast<size_t>(pli.num_classes()) + 1) * sizeof(int);
 }
 
+const EncodedRelation* PliCache::encoded_or_null() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return encoded_.get();
+}
+
+Status PliCache::EnsureEncoded(RunContext* ctx) {
+  if (sharded_ == nullptr) return Status::OK();  // built in the constructor
+  std::lock_guard<std::mutex> serialize(encode_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (encoded_ != nullptr) return Status::OK();
+  }
+  FAMTREE_ASSIGN_OR_RETURN(std::shared_ptr<const EncodedRelation> enc,
+                           sharded_->MaterializeEncoded(ctx));
+  std::lock_guard<std::mutex> lock(mu_);
+  encoded_ = std::move(enc);
+  return Status::OK();
+}
+
 std::shared_ptr<const StrippedPartition> PliCache::Get(AttrSet attrs,
                                                        RunContext* ctx) {
-  if (attrs.empty() ||
-      !AttrSet::Full(relation_.num_columns()).ContainsAll(attrs)) {
+  if (attrs.empty() || !AttrSet::Full(num_columns_).ContainsAll(attrs)) {
     return nullptr;
   }
   {
@@ -39,7 +68,13 @@ std::shared_ptr<const StrippedPartition> PliCache::Get(AttrSet attrs,
   if (pli == nullptr) return nullptr;  // recursive build hit a limit
   // Charge before publishing: on a failed charge the entry is never
   // inserted, so an aborted run leaves no partially accounted state behind.
-  if (!RunContext::ChargeAlloc(ctx, FootprintOf(*pli), "pli_build").ok()) {
+  // The out-of-core backend spills resident shards to make room first.
+  size_t footprint = FootprintOf(*pli);
+  Status charged =
+      sharded_ != nullptr
+          ? sharded_->ChargeWithSpill(ctx, footprint, "pli_build")
+          : RunContext::ChargeAlloc(ctx, footprint, "pli_build");
+  if (!charged.ok()) {
     return nullptr;
   }
   return Insert(attrs, std::move(pli));
@@ -52,11 +87,24 @@ std::shared_ptr<const StrippedPartition> PliCache::Compute(AttrSet attrs,
     ++stats_.builds;
   }
   if (attrs.size() == 1) {
+    if (sharded_ != nullptr) {
+      // Out-of-core leaf: per-shard sorted runs, spilled under pressure,
+      // k-way merged — bit-identical to the counting sort below.
+      int64_t spilled = 0;
+      Result<StrippedPartition> pli =
+          BuildAttributePliOoc(*sharded_, attrs.ToVector()[0], ctx, &spilled);
+      if (spilled > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.ooc_spill_bytes += spilled;
+      }
+      if (!pli.ok()) return nullptr;  // reason latched on the context
+      return std::make_shared<StrippedPartition>(std::move(pli).value());
+    }
     // Leaves come out of the encoded backend: a counting sort over the
     // column's dictionary codes, class-for-class identical to the
     // Value-based grouping.
     return std::make_shared<StrippedPartition>(
-        StrippedPartition::ForAttribute(encoded_, attrs.ToVector()[0]));
+        StrippedPartition::ForAttribute(*encoded_, attrs.ToVector()[0]));
   }
   // Deterministic split: lowest attribute off, product with the rest. The
   // rest is usually the already-cached prefix of a lattice walk.
@@ -68,7 +116,7 @@ std::shared_ptr<const StrippedPartition> PliCache::Compute(AttrSet attrs,
       Get(AttrSet::Single(lowest), ctx);
   if (single == nullptr) return nullptr;
   return std::make_shared<StrippedPartition>(
-      rest->Product(*single, relation_.num_rows()));
+      rest->Product(*single, num_rows_));
 }
 
 std::shared_ptr<const StrippedPartition> PliCache::Insert(

@@ -10,6 +10,7 @@
 #include "common/attr_set.h"
 #include "common/run_context.h"
 #include "relation/encoded_relation.h"
+#include "relation/ooc/sharded_relation.h"
 #include "relation/partition.h"
 #include "relation/relation.h"
 
@@ -28,6 +29,14 @@ namespace famtree {
 /// lowest attribute and taking the TANE partition product of the two cached
 /// halves — a deterministic recipe, so a partition's class content never
 /// depends on which algorithm (or thread) asked first.
+///
+/// Two backends serve the single-attribute leaves:
+///  - In-memory (the Relation constructors): a counting sort over the
+///    column's dictionary codes in the eagerly built EncodedRelation.
+///  - Out-of-core (the ShardedEncodedRelation constructor): per-shard
+///    sorted (code, row) runs, spilled under budget pressure and k-way
+///    merged (relation/ooc/ooc_pli.h) — bit-identical output, and the
+///    "pli_build" charge spills resident shards instead of failing.
 ///
 /// Thread safety: Get may be called concurrently. Partitions are returned
 /// as shared_ptr<const ...> so an evicted entry stays alive for callers
@@ -53,6 +62,8 @@ class PliCache {
     int64_t builds = 0;  // partitions actually computed (>= misses can
                          // differ when racing threads duplicate work)
     size_t bytes = 0;
+    /// PLI-run bytes spilled by the out-of-core backend.
+    int64_t ooc_spill_bytes = 0;
   };
 
   /// The cache keeps a reference to `relation`; the caller must keep the
@@ -60,28 +71,56 @@ class PliCache {
   explicit PliCache(const Relation& relation) : PliCache(relation, Options()) {}
   PliCache(const Relation& relation, Options options);
 
+  /// Out-of-core backend: serves the same Get contract from a
+  /// ShardedEncodedRelation without any materialized Relation. The
+  /// sampling-based drivers that need flat code arrays call EnsureEncoded
+  /// first; the PLI-only drivers never materialize anything. The caller
+  /// keeps `sharded` alive for the cache's lifetime.
+  explicit PliCache(const ShardedEncodedRelation& sharded)
+      : PliCache(sharded, Options()) {}
+  PliCache(const ShardedEncodedRelation& sharded, Options options);
+
   /// Returns the stripped partition for `attrs`, computing and memoizing it
   /// on a miss. `attrs` must be non-empty and within the relation's schema;
   /// out-of-schema attribute sets return nullptr.
   ///
   /// With a RunContext, every partition build charges its footprint at the
-  /// "pli_build" site before the entry is published. On a failed charge
-  /// (budget exhausted or injected fault) the run latches
-  /// kResourceExhausted, nothing is inserted — the cache holds only fully
-  /// built partitions — and nullptr is returned; callers distinguish that
-  /// from an out-of-schema miss via RunContext::StopStatus.
+  /// "pli_build" site before the entry is published (with shard-spill
+  /// fallback in out-of-core mode). On a failed charge (budget exhausted or
+  /// injected fault) the run latches kResourceExhausted, nothing is
+  /// inserted — the cache holds only fully built partitions — and nullptr
+  /// is returned; callers distinguish that from an out-of-schema miss via
+  /// RunContext::StopStatus.
   std::shared_ptr<const StrippedPartition> Get(AttrSet attrs,
                                                RunContext* ctx = nullptr);
 
   Stats stats() const;
 
-  const Relation& relation() const { return relation_; }
+  int num_rows() const { return num_rows_; }
+  int num_columns() const { return num_columns_; }
 
-  /// The dictionary-encoded columnar view of the relation, built once in
-  /// the constructor. Single-attribute partitions are counting-sorted from
-  /// it, and the discovery drivers borrow it for their own encoded hot
-  /// paths (e.g. TANE's g3 validity tests).
-  const EncodedRelation& encoded() const { return encoded_; }
+  /// The source relation. Only valid for in-memory caches; out-of-core
+  /// caches have no materialized Relation — use relation_or_null() when
+  /// the backend is not statically known.
+  const Relation& relation() const { return *relation_; }
+  const Relation* relation_or_null() const { return relation_; }
+
+  /// The sharded backend, or nullptr for an in-memory cache.
+  const ShardedEncodedRelation* sharded_or_null() const { return sharded_; }
+
+  /// The dictionary-encoded columnar view of the relation. In-memory caches
+  /// build it eagerly in the constructor; the discovery drivers borrow it
+  /// for their own encoded hot paths (e.g. TANE's g3 validity tests).
+  /// Only valid when has_encoded() — always true in-memory, true
+  /// out-of-core only after a successful EnsureEncoded.
+  const EncodedRelation& encoded() const { return *encoded_; }
+  const EncodedRelation* encoded_or_null() const;
+  bool has_encoded() const { return encoded_or_null() != nullptr; }
+
+  /// Materializes the flat encoding for an out-of-core cache (charging
+  /// "ingest_codes" with shard-spill fallback); a no-op when it already
+  /// exists. Thread-safe; the pointer is stable once set.
+  Status EnsureEncoded(RunContext* ctx);
 
   /// Content fingerprint of the relation at construction time
   /// (RelationFingerprint); DiscoveryEngine::CacheFor re-verifies it to
@@ -111,12 +150,20 @@ class PliCache {
   std::shared_ptr<const StrippedPartition> Insert(
       AttrSet attrs, std::shared_ptr<const StrippedPartition> pli);
 
-  const Relation& relation_;
-  const EncodedRelation encoded_;
+  const Relation* relation_ = nullptr;
+  const ShardedEncodedRelation* sharded_ = nullptr;
+  const int num_rows_;
+  const int num_columns_;
   const uint64_t fingerprint_;
   const Options options_;
 
+  /// Serializes out-of-core materialization in EnsureEncoded.
+  std::mutex encode_mu_;
+
   mutable std::mutex mu_;
+  /// Set in the constructor (in-memory) or by EnsureEncoded (out-of-core;
+  /// guarded by mu_ until set, stable afterwards).
+  std::shared_ptr<const EncodedRelation> encoded_;
   std::unordered_map<uint64_t, Entry> entries_;
   /// Unpinned keys, most recently used first.
   std::list<uint64_t> lru_;

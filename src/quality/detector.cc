@@ -21,7 +21,7 @@ namespace {
 bool TryConfirmFdFromCache(const Relation& relation, const Dependency& rule,
                            PliCache* cache, RunContext* context,
                            ValidationReport* report) {
-  if (cache == nullptr || &cache->relation() != &relation) return false;
+  if (cache == nullptr || cache->relation_or_null() != &relation) return false;
   const auto* fd = dynamic_cast<const Fd*>(&rule);
   if (fd == nullptr || fd->lhs().empty()) return false;
   AttrSet all = fd->lhs().Union(fd->rhs());

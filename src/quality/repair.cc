@@ -212,7 +212,7 @@ Result<RepairResult> RepairWithFds(const Relation& relation,
   EncodedRelation* enc = nullptr;
   if (options.use_encoding) {
     if (options.cache != nullptr &&
-        &options.cache->relation() == &relation) {
+        options.cache->relation_or_null() == &relation) {
       local = std::make_unique<EncodedRelation>(options.cache->encoded());
     } else {
       AttrSet needed;

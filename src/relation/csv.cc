@@ -1,7 +1,7 @@
 #include "relation/csv.h"
 
+#include <algorithm>
 #include <fstream>
-#include <sstream>
 
 #include "common/strings.h"
 
@@ -9,65 +9,156 @@ namespace famtree {
 
 namespace {
 
-/// One raw field plus whether any part of it was quoted in the source; the
-/// reader needs that distinction because quoting suppresses null detection
-/// and type inference.
-struct RawField {
-  std::string text;
-  bool quoted = false;
-};
+/// Tracks the bytes charged at "csv_rows" for one read so a failed parse
+/// releases them: the charge pays for the relation under construction, and a
+/// failed read constructs nothing.
+class ScopedCsvCharge {
+ public:
+  explicit ScopedCsvCharge(RunContext* ctx) : ctx_(ctx) {}
+  ScopedCsvCharge(const ScopedCsvCharge&) = delete;
+  ScopedCsvCharge& operator=(const ScopedCsvCharge&) = delete;
 
-/// Splits one CSV record honoring quotes. `pos` advances past the record's
-/// trailing newline. Sets *got_record to false at end of input. An opening
-/// quote with no closing quote before end of input is a parse error.
-Status NextRecord(const std::string& text, size_t* pos, char sep,
-                  std::vector<RawField>* fields, bool* got_record) {
-  *got_record = false;
-  if (*pos >= text.size()) return Status::OK();
-  fields->clear();
-  RawField field;
-  bool in_quotes = false;
-  size_t i = *pos;
-  for (; i < text.size(); ++i) {
-    char c = text[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          field.text += '"';
-          ++i;
-        } else {
-          in_quotes = false;
-        }
-      } else {
-        field.text += c;
-      }
-    } else if (c == '"') {
-      in_quotes = true;
-      field.quoted = true;
-    } else if (c == sep) {
-      fields->push_back(std::move(field));
-      field = RawField();
-    } else if (c == '\n' || c == '\r') {
-      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
-      ++i;
-      break;
-    } else {
-      field.text += c;
+  Status Charge(size_t bytes) {
+    Status st = RunContext::ChargeAlloc(ctx_, bytes, "csv_rows");
+    if (st.ok()) charged_ += bytes;
+    return st;
+  }
+
+  void Commit() { committed_ = true; }
+
+  ~ScopedCsvCharge() {
+    if (!committed_ && ctx_ != nullptr && ctx_->memory_budget() != nullptr) {
+      ctx_->memory_budget()->Release(charged_);
     }
   }
-  if (in_quotes) {
-    return Status::Invalid("unterminated quoted field at end of CSV input");
+
+ private:
+  RunContext* ctx_;
+  size_t charged_ = 0;
+  bool committed_ = false;
+};
+
+/// Pulls chunks from `next` (empty view = end of input), charging each chunk
+/// before it is parsed, and assembles the decoded rows into a Relation.
+Result<Relation> ReadCsvChunks(
+    const std::function<Result<std::string_view>()>& next,
+    const CsvOptions& options) {
+  ScopedCsvCharge charge(options.context);
+  std::vector<std::vector<Value>> rows;
+  CsvRowDecoder decoder(options, [&rows](std::vector<Value>&& row) {
+    rows.push_back(std::move(row));
+    return Status::OK();
+  });
+  CsvStreamParser parser(options.separator);
+  auto emit = [&decoder](std::vector<CsvField>* fields) {
+    return decoder.OnRecord(fields);
+  };
+  for (;;) {
+    FAMTREE_ASSIGN_OR_RETURN(std::string_view chunk, next());
+    if (chunk.empty()) break;
+    FAMTREE_RETURN_NOT_OK(charge.Charge(chunk.size()));
+    FAMTREE_RETURN_NOT_OK(parser.Feed(chunk, emit));
   }
-  fields->push_back(std::move(field));
-  *pos = i;
-  *got_record = true;
+  FAMTREE_RETURN_NOT_OK(parser.Finish(emit));
+  FAMTREE_RETURN_NOT_OK(decoder.Finish());
+  RelationBuilder builder(decoder.names());
+  for (auto& row : rows) builder.AddRow(std::move(row));
+  charge.Commit();
+  return builder.Build();
+}
+
+}  // namespace
+
+CsvStreamParser::CsvStreamParser(char separator) : separator_(separator) {
+  specials_[0] = separator_;
+  specials_[1] = '"';
+  specials_[2] = '\r';
+  specials_[3] = '\n';
+}
+
+Status CsvStreamParser::Emit(const RecordFn& emit) {
+  fields_.push_back(std::move(field_));
+  field_ = CsvField();
+  record_open_ = false;
+  Status st = emit(&fields_);
+  fields_.clear();
+  return st;
+}
+
+Status CsvStreamParser::Feed(std::string_view chunk, const RecordFn& emit) {
+  while (!chunk.empty()) {
+    if (skip_lf_) {
+      skip_lf_ = false;
+      if (chunk.front() == '\n') {
+        chunk.remove_prefix(1);
+        continue;
+      }
+    }
+    if (quote_pending_) {
+      quote_pending_ = false;
+      if (chunk.front() == '"') {
+        field_.text += '"';
+        record_open_ = true;
+        chunk.remove_prefix(1);
+        continue;
+      }
+      in_quotes_ = false;  // the pending quote closed the region
+    }
+    if (in_quotes_) {
+      size_t stop = chunk.find('"');
+      size_t take = stop == std::string_view::npos ? chunk.size() : stop;
+      if (take > 0) {
+        field_.text.append(chunk.substr(0, take));
+        record_open_ = true;
+      }
+      if (stop == std::string_view::npos) break;  // chunk consumed
+      // A quote inside quotes is ambiguous until the next byte, which may
+      // live in the next chunk.
+      quote_pending_ = true;
+      record_open_ = true;
+      chunk.remove_prefix(take + 1);
+      continue;
+    }
+    size_t stop = chunk.find_first_of(specials_, 0, 4);
+    size_t take = stop == std::string_view::npos ? chunk.size() : stop;
+    if (take > 0) {
+      field_.text.append(chunk.substr(0, take));
+      record_open_ = true;
+    }
+    if (stop == std::string_view::npos) break;  // chunk consumed
+    char c = chunk[take];
+    chunk.remove_prefix(take + 1);
+    if (c == separator_) {
+      fields_.push_back(std::move(field_));
+      field_ = CsvField();
+      record_open_ = true;
+    } else if (c == '"') {
+      in_quotes_ = true;
+      field_.quoted = true;
+      record_open_ = true;
+    } else {
+      if (c == '\r') skip_lf_ = true;
+      FAMTREE_RETURN_NOT_OK(Emit(emit));
+    }
+  }
   return Status::OK();
 }
 
-/// Null detection and type inference apply only to unquoted fields: "" is
-/// the empty string, and "NULL" / "123" are literal text. This is the
-/// contract EscapeField relies on for lossless round-trips.
-Value ParseField(const RawField& field, const CsvOptions& options) {
+Status CsvStreamParser::Finish(const RecordFn& emit) {
+  if (quote_pending_) {
+    // A quote at end of input closes its region.
+    quote_pending_ = false;
+    in_quotes_ = false;
+  }
+  if (in_quotes_) {
+    return Status::Invalid("unterminated quoted field at end of CSV input");
+  }
+  skip_lf_ = false;
+  if (record_open_) return Emit(emit);
+  return Status::OK();
+}
+
+Value ParseCsvField(const CsvField& field, const CsvOptions& options) {
   if (field.quoted) return Value(field.text);
   if (field.text.empty() || field.text == options.null_literal) {
     return Value::Null();
@@ -81,12 +172,8 @@ Value ParseField(const RawField& field, const CsvOptions& options) {
   return Value(field.text);
 }
 
-/// Quotes any text a reader could misinterpret: separators, quotes, either
-/// newline byte (a bare \r also terminates a record on read), the empty
-/// field and the null literal (which would read back as null), and — for
-/// string-typed cells — text that type inference would turn into a number.
-std::string EscapeField(const std::string& field, const CsvOptions& options,
-                        bool from_string_value) {
+std::string EscapeCsvField(const std::string& field, const CsvOptions& options,
+                           bool from_string_value) {
   bool needs_quotes = field.empty() || field == options.null_literal ||
                       field.find(options.separator) != std::string::npos ||
                       field.find('"') != std::string::npos ||
@@ -100,75 +187,86 @@ std::string EscapeField(const std::string& field, const CsvOptions& options,
   if (!needs_quotes) return field;
   std::string out = "\"";
   for (char c : field) {
-    if (c == '"') out += "\"\"";
-    else out += c;
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
   }
   out += '"';
   return out;
 }
 
-}  // namespace
+CsvRowDecoder::CsvRowDecoder(const CsvOptions& options, RowFn on_row)
+    : options_(options), on_row_(std::move(on_row)) {}
+
+Status CsvRowDecoder::OnRecord(std::vector<CsvField>* fields) {
+  if (options_.has_header && !saw_header_) {
+    saw_header_ = true;
+    for (auto& f : *fields) names_.push_back(std::string(Trim(f.text)));
+    return Status::OK();
+  }
+  // A record that is a single unquoted empty field is a blank line; a quoted
+  // "" is a real one-cell record holding the empty string.
+  if (fields->size() == 1 && !(*fields)[0].quoted &&
+      Trim((*fields)[0].text).empty()) {
+    return Status::OK();
+  }
+  if ((rows_ & 255) == 0) {
+    FAMTREE_RETURN_NOT_OK(RunContext::Poll(options_.context));
+  }
+  if (names_.empty()) {
+    // No header: the first data row fixes the width.
+    for (size_t i = 0; i < fields->size(); ++i) {
+      names_.push_back("c" + std::to_string(i));
+    }
+  }
+  if (fields->size() != names_.size()) {
+    return Status::Invalid("row " + std::to_string(rows_ + 1) + " has " +
+                           std::to_string(fields->size()) +
+                           " fields, expected " +
+                           std::to_string(names_.size()));
+  }
+  std::vector<Value> row;
+  row.reserve(fields->size());
+  for (const auto& f : *fields) row.push_back(ParseCsvField(f, options_));
+  ++rows_;
+  return on_row_(std::move(row));
+}
+
+Status CsvRowDecoder::Finish() {
+  if (options_.has_header && !saw_header_) {
+    return Status::Invalid("empty CSV input");
+  }
+  return Status::OK();
+}
 
 Result<Relation> ReadCsvString(const std::string& text,
                                const CsvOptions& options) {
   size_t pos = 0;
-  std::vector<RawField> fields;
-  bool got_record = false;
-  std::vector<std::string> names;
-  if (options.has_header) {
-    FAMTREE_RETURN_NOT_OK(
-        NextRecord(text, &pos, options.separator, &fields, &got_record));
-    if (!got_record) return Status::Invalid("empty CSV input");
-    for (auto& f : fields) names.push_back(std::string(Trim(f.text)));
-  }
-  std::vector<std::vector<Value>> rows;
-  size_t charged_to = pos;
-  for (;;) {
-    if ((rows.size() & 255) == 0) {
-      FAMTREE_RETURN_NOT_OK(RunContext::Poll(options.context));
-      FAMTREE_RETURN_NOT_OK(RunContext::ChargeAlloc(
-          options.context, pos - charged_to, "csv_rows"));
-      charged_to = pos;
-    }
-    FAMTREE_RETURN_NOT_OK(
-        NextRecord(text, &pos, options.separator, &fields, &got_record));
-    if (!got_record) break;
-    // A record that is a single unquoted empty field is a blank line; a
-    // quoted "" is a real one-cell record holding the empty string.
-    if (fields.size() == 1 && !fields[0].quoted && Trim(fields[0].text).empty()) {
-      continue;
-    }
-    std::vector<Value> row;
-    row.reserve(fields.size());
-    for (const auto& f : fields) row.push_back(ParseField(f, options));
-    rows.push_back(std::move(row));
-  }
-  FAMTREE_RETURN_NOT_OK(
-      RunContext::ChargeAlloc(options.context, pos - charged_to, "csv_rows"));
-  if (names.empty()) {
-    size_t width = rows.empty() ? 0 : rows[0].size();
-    for (size_t i = 0; i < width; ++i) names.push_back("c" + std::to_string(i));
-  }
-  RelationBuilder builder(names);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    if (rows[i].size() != names.size()) {
-      return Status::Invalid("row " + std::to_string(i + 1) + " has " +
-                             std::to_string(rows[i].size()) +
-                             " fields, expected " +
-                             std::to_string(names.size()));
-    }
-    builder.AddRow(std::move(rows[i]));
-  }
-  return builder.Build();
+  return ReadCsvChunks(
+      [&text, &pos]() -> Result<std::string_view> {
+        size_t take = std::min(text.size() - pos, kCsvIoChunkBytes);
+        std::string_view chunk(text.data() + pos, take);
+        pos += take;
+        return chunk;
+      },
+      options);
 }
 
 Result<Relation> ReadCsvFile(const std::string& path,
                              const CsvOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open '" + path + "'");
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ReadCsvString(ss.str(), options);
+  std::vector<char> buf(kCsvIoChunkBytes);
+  return ReadCsvChunks(
+      [&in, &buf]() -> Result<std::string_view> {
+        in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+        if (in.bad()) return Status::IoError("read failed");
+        return std::string_view(buf.data(),
+                                static_cast<size_t>(in.gcount()));
+      },
+      options);
 }
 
 std::string WriteCsvString(const Relation& relation,
@@ -178,8 +276,8 @@ std::string WriteCsvString(const Relation& relation,
     if (c) out += options.separator;
     // Header cells are never null-detected or type-inferred on read, so
     // they only need structural quoting.
-    out += EscapeField(relation.schema().name(c), options,
-                       /*from_string_value=*/false);
+    out += EscapeCsvField(relation.schema().name(c), options,
+                          /*from_string_value=*/false);
   }
   out += '\n';
   for (int r = 0; r < relation.num_rows(); ++r) {
@@ -189,7 +287,7 @@ std::string WriteCsvString(const Relation& relation,
       if (v.is_null()) {
         out += options.null_literal;
       } else {
-        out += EscapeField(v.ToString(), options, v.is_string());
+        out += EscapeCsvField(v.ToString(), options, v.is_string());
       }
     }
     out += '\n';

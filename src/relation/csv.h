@@ -1,7 +1,10 @@
 #ifndef FAMTREE_RELATION_CSV_H_
 #define FAMTREE_RELATION_CSV_H_
 
+#include <functional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/run_context.h"
 #include "common/status.h"
@@ -19,17 +22,111 @@ struct CsvOptions {
   bool infer_types = true;
   /// Fields equal to this literal become null (in addition to empty fields).
   std::string null_literal = "NULL";
-  /// Optional run limits: the reader polls and charges the consumed input
-  /// bytes at the "csv_rows" site once per 256 records. A stopped read
-  /// returns the stop Status — there are no partial relations.
+  /// Optional run limits: the readers poll as rows stream in and charge each
+  /// consumed input chunk at the "csv_rows" site *before* parsing it, so a
+  /// file larger than the budget fails at the first over-budget chunk
+  /// instead of after materializing everything. A failed read releases its
+  /// charges — there are no partial relations.
   RunContext* context = nullptr;
+};
+
+/// Bytes fed to the stream parser per charge/poll stride by the whole-file
+/// readers and the default out-of-core ingest morsel size.
+inline constexpr size_t kCsvIoChunkBytes = 256 * 1024;
+
+/// One raw field plus whether any part of it was quoted in the source; the
+/// readers need that distinction because quoting suppresses null detection
+/// and type inference.
+struct CsvField {
+  std::string text;
+  bool quoted = false;
+};
+
+/// Incremental CSV record scanner: accepts the input as arbitrary chunks and
+/// invokes `emit` once per record, so a quoted field, a doubled quote, or a
+/// CRLF pair may span any chunk boundary. Feed() consumes a chunk; Finish()
+/// flushes a final record with no trailing newline and rejects an
+/// unterminated quoted field. The fields vector passed to `emit` is reused
+/// between records; the callback may move the texts out.
+class CsvStreamParser {
+ public:
+  using RecordFn = std::function<Status(std::vector<CsvField>*)>;
+
+  explicit CsvStreamParser(char separator);
+
+  Status Feed(std::string_view chunk, const RecordFn& emit);
+  Status Finish(const RecordFn& emit);
+
+ private:
+  Status Emit(const RecordFn& emit);
+
+  char separator_;
+  char specials_[4];  // separator, quote, CR, LF — the bulk-scan stop set
+  std::vector<CsvField> fields_;
+  CsvField field_;
+  bool in_quotes_ = false;
+  /// Saw a quote inside a quoted region at a chunk boundary: a following
+  /// quote is an escaped literal, anything else closes the region.
+  bool quote_pending_ = false;
+  /// Saw a bare CR record terminator at a chunk boundary: a following LF
+  /// belongs to it.
+  bool skip_lf_ = false;
+  /// Any byte consumed since the last record: gates the Finish() flush so
+  /// input without a trailing newline yields its last record but a trailing
+  /// newline does not yield a phantom empty one.
+  bool record_open_ = false;
+};
+
+/// Null detection and type inference for one raw field. Both apply only to
+/// unquoted fields: a quoted "" is the empty string and quoted "NULL" /
+/// "123" stay literal text — the contract EscapeCsvField relies on for
+/// lossless round-trips.
+Value ParseCsvField(const CsvField& field, const CsvOptions& options);
+
+/// Quotes any text a reader could misinterpret: separators, quotes, either
+/// newline byte (a bare \r also terminates a record on read), the empty
+/// field and the null literal (which would read back as null), and — for
+/// string-typed cells — text that type inference would turn into a number.
+std::string EscapeCsvField(const std::string& field, const CsvOptions& options,
+                           bool from_string_value);
+
+/// Streams parsed records into typed rows with the exact dialect the
+/// whole-file reader applies: captures the header (or synthesizes c0..cN
+/// names from the first data row), skips blank lines, applies ParseCsvField,
+/// enforces a uniform field count, and polls the context once per 256 data
+/// rows. Shared by ReadCsvString/ReadCsvFile and the out-of-core ingester so
+/// every ingest path accepts the identical format.
+class CsvRowDecoder {
+ public:
+  using RowFn = std::function<Status(std::vector<Value>&&)>;
+
+  CsvRowDecoder(const CsvOptions& options, RowFn on_row);
+
+  /// The CsvStreamParser record callback.
+  Status OnRecord(std::vector<CsvField>* fields);
+
+  /// Rejects input that never produced the expected header.
+  Status Finish();
+
+  /// Column names seen so far (header, synthesized, or empty when no data
+  /// row has fixed the width yet).
+  const std::vector<std::string>& names() const { return names_; }
+  int64_t rows() const { return rows_; }
+
+ private:
+  CsvOptions options_;
+  RowFn on_row_;
+  std::vector<std::string> names_;
+  bool saw_header_ = false;
+  int64_t rows_ = 0;
 };
 
 /// Parses CSV text into a Relation.
 Result<Relation> ReadCsvString(const std::string& text,
                                const CsvOptions& options = {});
 
-/// Reads and parses a CSV file.
+/// Reads and parses a CSV file, streaming fixed-size chunks through the
+/// incremental parser (the file is never slurped whole).
 Result<Relation> ReadCsvFile(const std::string& path,
                              const CsvOptions& options = {});
 

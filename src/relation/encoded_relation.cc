@@ -7,6 +7,13 @@ namespace famtree {
 EncodedRelation::EncodedRelation(const Relation& relation)
     : EncodedRelation(relation, AttrSet::Full(relation.num_columns())) {}
 
+EncodedRelation::EncodedRelation(int num_rows,
+                                 std::vector<std::vector<uint32_t>> columns,
+                                 std::vector<std::vector<Value>> dicts)
+    : num_rows_(num_rows),
+      columns_(std::move(columns)),
+      dicts_(std::move(dicts)) {}
+
 EncodedRelation::EncodedRelation(const Relation& relation, AttrSet attrs)
     : num_rows_(relation.num_rows()) {
   int nc = relation.num_columns();

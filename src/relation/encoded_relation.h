@@ -40,6 +40,14 @@ class EncodedRelation {
   /// relations.
   EncodedRelation(const Relation& relation, AttrSet attrs);
 
+  /// Assembles an encoding from already-built parts (the out-of-core
+  /// ingester's shard merge). The caller guarantees the encoding contract:
+  /// per column, codes dense and in first-occurrence row order, same code
+  /// iff the Values compare equal, dictionaries holding the first
+  /// occurrence's representative.
+  EncodedRelation(int num_rows, std::vector<std::vector<uint32_t>> columns,
+                  std::vector<std::vector<Value>> dicts);
+
   int num_rows() const { return num_rows_; }
   int num_columns() const { return static_cast<int>(columns_.size()); }
 

@@ -1,0 +1,182 @@
+#include "relation/ooc/ooc_pli.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "relation/ooc/spill.h"
+
+namespace famtree {
+
+namespace {
+
+/// Entries a spilled run's buffered reader refills at a time (64 KiB).
+constexpr size_t kRunReadEntries = 8 * 1024;
+
+/// One sorted (code, row) run, packed as (code << 32) | row so the merge
+/// orders by code first and by global row within a code.
+struct Run {
+  std::vector<uint64_t> resident;  // empty when spilled
+  uint64_t offset = 0;             // spill-file offset when spilled
+  size_t count = 0;
+  size_t charged = 0;  // budget bytes held for residency
+};
+
+/// Sequential reader over a run, buffered for the spilled case.
+class RunReader {
+ public:
+  RunReader(const Run& run, const SpillFile& file) : run_(run), file_(file) {
+    if (run_.resident.empty() && run_.count > 0) {
+      buffer_.reserve(std::min(run_.count, kRunReadEntries));
+    }
+  }
+
+  bool Done() const { return next_ == run_.count; }
+
+  Result<uint64_t> Next() {
+    size_t i = next_++;
+    if (!run_.resident.empty()) return run_.resident[i];
+    size_t rel = i - buffer_base_;
+    if (i < buffer_base_ || rel >= buffer_.size()) {
+      buffer_base_ = i;
+      size_t n = std::min(run_.count - i, kRunReadEntries);
+      buffer_.resize(n);
+      FAMTREE_RETURN_NOT_OK(file_.ReadAt(run_.offset + i * sizeof(uint64_t),
+                                         buffer_.data(),
+                                         n * sizeof(uint64_t)));
+      rel = 0;
+    }
+    return buffer_[rel];
+  }
+
+ private:
+  const Run& run_;
+  const SpillFile& file_;
+  size_t next_ = 0;
+  size_t buffer_base_ = 0;
+  std::vector<uint64_t> buffer_;
+};
+
+}  // namespace
+
+Result<StrippedPartition> BuildAttributePliOoc(
+    const ShardedEncodedRelation& sharded, int attr, RunContext* ctx,
+    int64_t* spill_bytes) {
+  MemoryBudget* budget = ctx != nullptr ? ctx->memory_budget() : nullptr;
+  std::vector<Run> runs(sharded.num_shards());
+  SpillFile run_file;  // created on first spill; unlinked, so self-cleaning
+  size_t charged_total = 0;
+  auto release_runs = [&]() {
+    if (budget != nullptr && charged_total > 0) budget->Release(charged_total);
+  };
+
+  // Phase 1: one sorted run per shard, spilled under pressure.
+  std::vector<uint32_t> codes;
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    Status st = sharded.LoadShardColumn(s, attr, &codes);
+    if (!st.ok()) {
+      release_runs();
+      return RunContext::Fail(ctx, st);
+    }
+    Run& run = runs[s];
+    run.count = codes.size();
+    uint64_t base = static_cast<uint64_t>(sharded.shard_row_begin(s));
+    std::vector<uint64_t> packed(codes.size());
+    for (size_t i = 0; i < codes.size(); ++i) {
+      packed[i] = (static_cast<uint64_t>(codes[i]) << 32) | (base + i);
+    }
+    std::sort(packed.begin(), packed.end());
+    size_t bytes = packed.size() * sizeof(uint64_t);
+    bool keep = !sharded.force_spill() &&
+                (budget == nullptr || budget->TryCharge(bytes));
+    if (keep) {
+      run.charged = budget != nullptr ? bytes : 0;
+      charged_total += run.charged;
+      run.resident = std::move(packed);
+      continue;
+    }
+    // Spill the run: the budget (or the force_spill knob) says this slice
+    // of the sort must not stay resident.
+    Status fault = RunContext::FaultPoint(ctx, "ooc_spill");
+    if (!fault.ok()) {
+      release_runs();
+      return fault;
+    }
+    if (!run_file.is_open()) {
+      Result<SpillFile> created = SpillFile::Create(sharded.spill_dir());
+      if (!created.ok()) {
+        release_runs();
+        return RunContext::Fail(ctx, created.status());
+      }
+      run_file = std::move(created).value();
+    }
+    Result<uint64_t> off = run_file.Append(packed.data(), bytes);
+    if (!off.ok()) {
+      release_runs();
+      return RunContext::Fail(ctx, off.status());
+    }
+    run.offset = *off;
+    if (spill_bytes != nullptr) *spill_bytes += static_cast<int64_t>(bytes);
+  }
+
+  // Phase 2: k-way merge in global (code, row) order, stripping singleton
+  // classes, into the same CSR arrays FromRowKeys would emit.
+  std::vector<RunReader> readers;
+  readers.reserve(runs.size());
+  for (const Run& run : runs) readers.emplace_back(run, run_file);
+  using HeapItem = std::pair<uint64_t, int>;  // (packed, run index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      heap;
+  for (size_t r = 0; r < readers.size(); ++r) {
+    if (readers[r].Done()) continue;
+    Result<uint64_t> head = readers[r].Next();
+    if (!head.ok()) {
+      release_runs();
+      return RunContext::Fail(ctx, head.status());
+    }
+    heap.emplace(*head, static_cast<int>(r));
+  }
+  std::vector<int> row_indices;
+  std::vector<int> class_offsets;
+  class_offsets.push_back(0);
+  uint32_t cur_code = 0;
+  bool have_class = false;
+  size_t class_start = 0;
+  auto close_class = [&]() {
+    if (!have_class) return;
+    if (row_indices.size() - class_start >= 2) {
+      class_offsets.push_back(static_cast<int>(row_indices.size()));
+    } else {
+      row_indices.resize(class_start);  // singletons are stripped
+    }
+  };
+  while (!heap.empty()) {
+    auto [packed, r] = heap.top();
+    heap.pop();
+    uint32_t code = static_cast<uint32_t>(packed >> 32);
+    int row = static_cast<int>(packed & 0xffffffffu);
+    if (!have_class || code != cur_code) {
+      close_class();
+      cur_code = code;
+      have_class = true;
+      class_start = row_indices.size();
+    }
+    row_indices.push_back(row);
+    if (!readers[r].Done()) {
+      Result<uint64_t> next = readers[r].Next();
+      if (!next.ok()) {
+        release_runs();
+        return RunContext::Fail(ctx, next.status());
+      }
+      heap.emplace(*next, r);
+    }
+  }
+  close_class();
+  release_runs();
+  row_indices.shrink_to_fit();
+  return StrippedPartition::FromCsr(std::move(row_indices),
+                                    std::move(class_offsets));
+}
+
+}  // namespace famtree

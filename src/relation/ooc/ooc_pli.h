@@ -1,0 +1,33 @@
+#ifndef FAMTREE_RELATION_OOC_OOC_PLI_H_
+#define FAMTREE_RELATION_OOC_OOC_PLI_H_
+
+#include <cstdint>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "relation/partition.h"
+#include "relation/ooc/sharded_relation.h"
+
+namespace famtree {
+
+/// Builds the stripped partition of one attribute out of core: each shard
+/// becomes a (code, row)-sorted run that stays resident while the budget
+/// has headroom and spills to an unlinked temp file otherwise (always, when
+/// the relation was ingested with force_spill), and the runs are k-way
+/// merged into the flat-CSR StrippedPartition layout. The output is
+/// bit-identical — row for row, offset for offset — to
+/// StrippedPartition::ForAttribute on the materialized encoding, whatever
+/// the budget, chunking, or spill pattern was.
+///
+/// Run residency is charged to the context's budget with plain TryCharge
+/// (spill-instead-of-fail, never latching) and released after the merge;
+/// the final partition's footprint is charged by PliCache at "pli_build"
+/// as usual. Spill writes pass the "ooc_spill" fault point. `spill_bytes`
+/// (nullable) accumulates the run bytes written.
+Result<StrippedPartition> BuildAttributePliOoc(
+    const ShardedEncodedRelation& sharded, int attr, RunContext* ctx,
+    int64_t* spill_bytes = nullptr);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_RELATION_OOC_OOC_PLI_H_

@@ -1,0 +1,97 @@
+#include "relation/ooc/spill.h"
+
+#include <errno.h>
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+namespace famtree {
+
+std::string DefaultSpillDir() {
+  const char* tmpdir = getenv("TMPDIR");
+  if (tmpdir != nullptr && tmpdir[0] != '\0') return tmpdir;
+#ifdef FAMTREE_SPILL_DIR
+  return FAMTREE_SPILL_DIR;
+#else
+  return "/tmp";
+#endif
+}
+
+Result<SpillFile> SpillFile::Create(const std::string& dir) {
+  std::string base = dir.empty() ? DefaultSpillDir() : dir;
+  std::string tmpl = base + "/famtree-spill-XXXXXX";
+  std::vector<char> path(tmpl.begin(), tmpl.end());
+  path.push_back('\0');
+  int fd = mkstemp(path.data());
+  if (fd < 0) {
+    return Status::IoError("cannot create spill file in '" + base +
+                           "': " + strerror(errno));
+  }
+  // Unlink right away: the file lives as long as the descriptor.
+  unlink(path.data());
+  SpillFile out;
+  out.fd_ = fd;
+  return out;
+}
+
+SpillFile::SpillFile(SpillFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), size_(std::exchange(other.size_, 0)) {}
+
+SpillFile& SpillFile::operator=(SpillFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+SpillFile::~SpillFile() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Result<uint64_t> SpillFile::Append(const void* data, size_t bytes) {
+  if (fd_ < 0) return Status::IoError("spill file not open");
+  uint64_t offset = size_;
+  const char* p = static_cast<const char*>(data);
+  size_t left = bytes;
+  uint64_t at = offset;
+  while (left > 0) {
+    ssize_t n = pwrite(fd_, p, left, static_cast<off_t>(at));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("spill write failed: ") +
+                             strerror(errno));
+    }
+    p += n;
+    at += static_cast<uint64_t>(n);
+    left -= static_cast<size_t>(n);
+  }
+  size_ += bytes;
+  return offset;
+}
+
+Status SpillFile::ReadAt(uint64_t offset, void* data, size_t bytes) const {
+  if (fd_ < 0) return Status::IoError("spill file not open");
+  char* p = static_cast<char*>(data);
+  size_t left = bytes;
+  uint64_t at = offset;
+  while (left > 0) {
+    ssize_t n = pread(fd_, p, left, static_cast<off_t>(at));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("spill read failed: ") +
+                             strerror(errno));
+    }
+    if (n == 0) return Status::IoError("spill read past end of file");
+    p += n;
+    at += static_cast<uint64_t>(n);
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace famtree

@@ -1,0 +1,51 @@
+#ifndef FAMTREE_RELATION_OOC_SPILL_H_
+#define FAMTREE_RELATION_OOC_SPILL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace famtree {
+
+/// Directory spill files are created in, resolved in precedence order: the
+/// caller's explicit override (IngestOptions::spill_dir), the TMPDIR
+/// environment variable, the FAMTREE_SPILL_DIR compile-time default (the
+/// CMake cache option of the same name), then "/tmp".
+std::string DefaultSpillDir();
+
+/// An anonymous temporary file for encoded-shard and PLI-run spills:
+/// created with mkstemp and unlinked immediately, so the kernel reclaims
+/// the bytes when the descriptor closes no matter how the process exits —
+/// a failed run never leaves spill files behind. Appends go to the end;
+/// reads are positional (pread), so concurrent readers share no cursor.
+class SpillFile {
+ public:
+  /// Creates an unlinked temp file in `dir` (empty = DefaultSpillDir()).
+  static Result<SpillFile> Create(const std::string& dir);
+
+  SpillFile() = default;
+  SpillFile(SpillFile&& other) noexcept;
+  SpillFile& operator=(SpillFile&& other) noexcept;
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+  ~SpillFile();
+
+  bool is_open() const { return fd_ >= 0; }
+  /// Bytes appended so far.
+  uint64_t size() const { return size_; }
+
+  /// Appends `bytes` bytes; returns the offset they start at.
+  Result<uint64_t> Append(const void* data, size_t bytes);
+
+  /// Reads exactly `bytes` bytes starting at `offset`.
+  Status ReadAt(uint64_t offset, void* data, size_t bytes) const;
+
+ private:
+  int fd_ = -1;
+  uint64_t size_ = 0;
+};
+
+}  // namespace famtree
+
+#endif  // FAMTREE_RELATION_OOC_SPILL_H_

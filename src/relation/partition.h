@@ -42,6 +42,17 @@ class StrippedPartition {
   static StrippedPartition ForAttributeSet(const EncodedRelation& encoded,
                                            AttrSet attrs);
 
+  /// Assembles a partition from already-stripped CSR arrays (the
+  /// out-of-core run merge). The caller guarantees the invariants: classes
+  /// in first-occurrence order, rows ascending within a class, every class
+  /// size >= 2, and `class_offsets` of size num_classes + 1 (or empty when
+  /// there are no classes).
+  static StrippedPartition FromCsr(std::vector<int> row_indices,
+                                   std::vector<int> class_offsets) {
+    return StrippedPartition(std::move(row_indices),
+                             std::move(class_offsets));
+  }
+
   /// Partition product: rows equivalent under (X ∪ Y) given the partitions
   /// for X and Y. Linear in the represented rows (TANE's core operation).
   /// Uses a per-thread scratch probe table, so concurrent Products never

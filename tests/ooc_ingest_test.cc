@@ -1,0 +1,332 @@
+// Out-of-core ingestion: morsel-driven CSV parsing with incremental
+// dictionary encoding, spill-to-disk shards, streaming write-back, and the
+// per-chunk "csv_rows" budget discipline. The differential anchor
+// throughout is the in-memory whole-file reader: same fingerprint, same
+// cells, same bytes back out.
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/run_context.h"
+#include "relation/csv.h"
+#include "relation/encoded_relation.h"
+#include "relation/ooc/ooc_pli.h"
+#include "relation/ooc/sharded_relation.h"
+#include "relation/ooc/spill.h"
+#include "relation/relation.h"
+
+namespace famtree {
+namespace {
+
+// A dialect workout: quoted separators, doubled quotes, CRLF row breaks, an
+// embedded newline, a null literal, and mixed int/double/string columns.
+constexpr const char kTrickyCsv[] =
+    "name,score,note\r\n"
+    "\"Ann, A.\",1,\"says \"\"hi\"\"\"\r\n"
+    "Bob,2.5,\"line\nbreak\"\n"
+    "NULL,3,plain\n";
+
+Relation MustRead(const std::string& text) {
+  Result<Relation> r = ReadCsvString(text);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r).value();
+}
+
+std::shared_ptr<ShardedEncodedRelation> MustIngest(const std::string& text,
+                                                   IngestOptions options = {}) {
+  auto r = ShardedEncodedRelation::IngestCsvString(text, std::move(options));
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return std::move(r).value();
+}
+
+void ExpectSameRelation(const Relation& expected,
+                        const ShardedEncodedRelation& sharded) {
+  ASSERT_EQ(expected.num_rows(), sharded.num_rows());
+  ASSERT_EQ(expected.num_columns(), sharded.num_columns());
+  for (int c = 0; c < expected.num_columns(); ++c) {
+    EXPECT_EQ(expected.schema().name(c), sharded.schema().name(c));
+    EXPECT_EQ(expected.schema().column(c).type, sharded.schema().column(c).type);
+  }
+  EXPECT_EQ(RelationFingerprint(expected), sharded.fingerprint());
+  // Codes must be EncodedRelation's codes exactly: first-occurrence order,
+  // cross-representation equality folded.
+  EncodedRelation enc(expected);
+  Result<std::shared_ptr<const EncodedRelation>> mat =
+      sharded.MaterializeEncoded(nullptr);
+  ASSERT_TRUE(mat.ok()) << mat.status().message();
+  for (int c = 0; c < expected.num_columns(); ++c) {
+    EXPECT_EQ(enc.codes(c), (*mat)->codes(c)) << "column " << c;
+    ASSERT_EQ(enc.dict_size(c), sharded.dict_size(c)) << "column " << c;
+    for (int code = 0; code < enc.dict_size(c); ++code) {
+      EXPECT_TRUE(enc.Decode(c, code) == sharded.Decode(c, code));
+    }
+  }
+}
+
+TEST(OocIngestTest, MatchesWholeFileReader) {
+  Relation expected = MustRead(kTrickyCsv);
+  auto sharded = MustIngest(kTrickyCsv);
+  ExpectSameRelation(expected, *sharded);
+  IngestStats stats = sharded->stats();
+  EXPECT_EQ(stats.rows, 3);
+  EXPECT_EQ(stats.bytes_read, static_cast<int64_t>(sizeof(kTrickyCsv) - 1));
+  EXPECT_EQ(stats.shards_spilled, 0);
+}
+
+// The tentpole dialect invariant: a quoted field (with its doubled quotes
+// and CRLF) split at EVERY byte boundary must decode identically. Chunk
+// size 1 puts a boundary between every pair of bytes.
+TEST(OocIngestTest, QuotedFieldSpanningEveryChunkBoundary) {
+  Relation expected = MustRead(kTrickyCsv);
+  uint64_t fp = RelationFingerprint(expected);
+  size_t len = sizeof(kTrickyCsv) - 1;
+  for (size_t chunk = 1; chunk <= len; ++chunk) {
+    IngestOptions options;
+    options.io_chunk_bytes = chunk;
+    auto sharded = MustIngest(kTrickyCsv, options);
+    EXPECT_EQ(fp, sharded->fingerprint()) << "chunk size " << chunk;
+    EXPECT_EQ(expected.num_rows(), sharded->num_rows());
+  }
+}
+
+TEST(OocIngestTest, ShardBoundariesDoNotChangeContent) {
+  std::string csv = "a,b\n";
+  for (int r = 0; r < 100; ++r) {
+    csv += std::to_string(r % 7) + "," + std::to_string(r % 3) + "\n";
+  }
+  Relation expected = MustRead(csv);
+  for (int shard_rows : {1, 3, 7, 64, 1000}) {
+    IngestOptions options;
+    options.shard_rows = shard_rows;
+    auto sharded = MustIngest(csv, options);
+    ExpectSameRelation(expected, *sharded);
+    EXPECT_EQ(sharded->num_shards(), (100 + shard_rows - 1) / shard_rows);
+  }
+}
+
+TEST(OocIngestTest, HeaderOnlyAndEmptyInputs) {
+  auto header_only = MustIngest("x,y\n");
+  EXPECT_EQ(header_only->num_rows(), 0);
+  EXPECT_EQ(header_only->num_columns(), 2);
+  EXPECT_EQ(header_only->schema().name(0), "x");
+  EXPECT_EQ(RelationFingerprint(MustRead("x,y\n")),
+            header_only->fingerprint());
+  auto empty = ShardedEncodedRelation::IngestCsvString("");
+  EXPECT_FALSE(empty.ok());  // same contract as ReadCsvString
+}
+
+TEST(OocIngestTest, ArityErrorMatchesWholeFileReader) {
+  const std::string bad = "a,b\n1,2\n3\n";
+  Result<Relation> expected = ReadCsvString(bad);
+  auto sharded = ShardedEncodedRelation::IngestCsvString(bad);
+  ASSERT_FALSE(expected.ok());
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_EQ(expected.status().message(), sharded.status().message());
+}
+
+// Satellite: every chunk is charged at "csv_rows" before parsing and
+// released after, so (a) a mid-ingest parse failure leaves the budget
+// clean, and (b) only encoded shards + dictionaries accrue.
+TEST(OocIngestTest, ChunkChargeReleasedOnParseFailure) {
+  MemoryBudget budget(1 << 20);
+  RunContext ctx;
+  ctx.set_memory_budget(&budget);
+  IngestOptions options;
+  options.context = &ctx;
+  auto r = ShardedEncodedRelation::IngestCsvString("a,b\n1,2\n\"oops\n",
+                                                   options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(budget.used(), 0u) << "transient chunk charge not released";
+}
+
+TEST(OocIngestTest, InjectedCsvRowsFaultFailsCleanly) {
+  FaultInjector faults(
+      {.fail_at_alloc = 1, .alloc_site = "csv_rows"});
+  MemoryBudget budget(1 << 20);
+  RunContext ctx;
+  ctx.set_memory_budget(&budget);
+  ctx.set_fault_injector(&faults);
+  auto r = ShardedEncodedRelation::IngestCsvString("a\n1\n2\n", {.context = &ctx});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+// The headline: a file whose encoded footprint exceeds the budget streams
+// through by spilling shards, with no kResourceExhausted.
+TEST(OocIngestTest, FileLargerThanBudgetSpillsAndCompletes) {
+  std::string csv = "a,b,c\n";
+  constexpr int kRows = 20000;
+  for (int r = 0; r < kRows; ++r) {
+    csv += std::to_string(r % 89) + "," + std::to_string(r % 97) + "," +
+           std::to_string(r % 101) + "\n";
+  }
+  // Encoded codes alone: 20000 * 3 * 4 = 240 KB; budget 64 KB.
+  MemoryBudget budget(64 << 10);
+  RunContext ctx;
+  ctx.set_memory_budget(&budget);
+  IngestOptions options;
+  options.context = &ctx;
+  options.shard_rows = 1024;
+  options.io_chunk_bytes = 8 << 10;  // each morsel must fit in the budget
+  auto sharded = MustIngest(csv, options);
+  IngestStats stats = sharded->stats();
+  EXPECT_EQ(stats.rows, kRows);
+  EXPECT_GT(stats.shards_spilled, 0);
+  EXPECT_GT(stats.spill_bytes, 0);
+  EXPECT_LE(budget.used(), budget.limit());
+  // And it is still the same relation.
+  EXPECT_EQ(RelationFingerprint(MustRead(csv)), sharded->fingerprint());
+}
+
+TEST(OocIngestTest, ForceSpillSpillsEveryShardAndPreservesContent) {
+  std::string csv = "a,b\n";
+  for (int r = 0; r < 500; ++r) {
+    csv += std::to_string(r % 11) + ",v" + std::to_string(r % 5) + "\n";
+  }
+  IngestOptions options;
+  options.shard_rows = 64;
+  options.force_spill = true;
+  auto sharded = MustIngest(csv, options);
+  EXPECT_EQ(sharded->stats().shards_spilled, sharded->num_shards());
+  ExpectSameRelation(MustRead(csv), *sharded);
+  // Shard loads read back from the spill file.
+  std::vector<uint32_t> codes;
+  ASSERT_TRUE(sharded->LoadShardColumn(0, 0, &codes).ok());
+  EXPECT_EQ(static_cast<int>(codes.size()), sharded->shard_num_rows(0));
+}
+
+TEST(OocIngestTest, SpillToMissingDirectoryIsCleanIoError) {
+  IngestOptions options;
+  options.force_spill = true;
+  options.spill_dir = "/nonexistent-famtree-spill-dir";
+  RunContext ctx;
+  options.context = &ctx;
+  auto r = ShardedEncodedRelation::IngestCsvString("a\n1\n2\n", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  // A hard IO failure latches on the context (so parallel work drains) but
+  // does NOT read as an anytime stop.
+  EXPECT_FALSE(RunContext::StopStatus(&ctx).ok());
+  EXPECT_FALSE(RunContext::IsStop(r.status()));
+}
+
+TEST(OocIngestTest, DefaultSpillDirHonorsTmpdir) {
+  const char* old = std::getenv("TMPDIR");
+  std::string saved = old != nullptr ? old : "";
+  ASSERT_EQ(setenv("TMPDIR", "/dev/shm", 1), 0);
+  EXPECT_EQ(DefaultSpillDir(), "/dev/shm");
+  if (old != nullptr) {
+    setenv("TMPDIR", saved.c_str(), 1);
+  } else {
+    unsetenv("TMPDIR");
+  }
+}
+
+// Satellite: the streaming writer round-trips byte-identically with the
+// whole-relation writer, shard by shard, spilled or resident.
+TEST(OocIngestTest, WriterMatchesWholeRelationWriter) {
+  Relation expected = MustRead(kTrickyCsv);
+  for (bool force_spill : {false, true}) {
+    IngestOptions options;
+    options.shard_rows = 1;
+    options.force_spill = force_spill;
+    auto sharded = MustIngest(kTrickyCsv, options);
+    Result<std::string> out = sharded->ToCsvString();
+    ASSERT_TRUE(out.ok()) << out.status().message();
+    EXPECT_EQ(WriteCsvString(expected), *out) << "force_spill " << force_spill;
+  }
+}
+
+// Fuzz round-trip: random relations with hostile strings (separators,
+// quotes, CR/LF), ints, non-integral doubles and nulls, written, ingested
+// at a random chunk size, and written again. Non-integral doubles keep the
+// cells representation-unique, so write -> ingest -> write must be a
+// fixed point after the first write.
+TEST(OocIngestTest, FuzzRoundTrip) {
+  std::mt19937 rng(20230717);
+  const std::vector<std::string> fragments = {
+      "plain", "comma,inside", "quote\"inside", "\"lead", "trail\"",
+      "new\nline", "cr\rchar", "crlf\r\npair", " spaced ", "", "NULL-ish",
+      "ünïcode"};
+  for (int iter = 0; iter < 40; ++iter) {
+    int nc = 1 + static_cast<int>(rng() % 4);
+    int rows = static_cast<int>(rng() % 60);
+    std::vector<Column> cols(nc);
+    for (int c = 0; c < nc; ++c) cols[c].name = "c" + std::to_string(c);
+    Relation rel{Schema(std::move(cols))};
+    for (int r = 0; r < rows; ++r) {
+      std::vector<Value> row;
+      for (int c = 0; c < nc; ++c) {
+        switch (rng() % 4) {
+          case 0:
+            row.push_back(Value(static_cast<int64_t>(rng() % 100)));
+            break;
+          case 1:
+            row.push_back(Value(static_cast<double>(rng() % 100) + 0.5));
+            break;
+          case 2:
+            row.push_back(Value(fragments[rng() % fragments.size()]));
+            break;
+          default:
+            row.push_back(Value::Null());
+        }
+      }
+      ASSERT_TRUE(rel.AppendRow(std::move(row)).ok());
+    }
+    rel.InferTypes();
+    std::string first = WriteCsvString(rel);
+    IngestOptions options;
+    options.io_chunk_bytes = 1 + rng() % 64;
+    options.shard_rows = 1 + static_cast<int>(rng() % 16);
+    options.force_spill = (rng() % 2) == 0;
+    auto sharded = MustIngest(first, options);
+    Result<std::string> second = sharded->ToCsvString();
+    ASSERT_TRUE(second.ok()) << second.status().message();
+    EXPECT_EQ(first, *second) << "iter " << iter;
+    EXPECT_EQ(RelationFingerprint(MustRead(first)), sharded->fingerprint());
+  }
+}
+
+// The out-of-core PLI builder against the in-memory counting sort: CSR
+// arrays bit-identical, including the key-attribute shape ([0] offsets,
+// empty rows) and the empty relation.
+TEST(OocIngestTest, OocPliBitIdentical) {
+  std::string csv = "a,b,key\n";
+  for (int r = 0; r < 300; ++r) {
+    csv += std::to_string(r % 10) + "," + std::to_string(r % 4) + "," +
+           std::to_string(r) + "\n";
+  }
+  Relation rel = MustRead(csv);
+  EncodedRelation enc(rel);
+  for (bool force_spill : {false, true}) {
+    IngestOptions options;
+    options.shard_rows = 37;  // shards straddle class boundaries
+    options.force_spill = force_spill;
+    auto sharded = MustIngest(csv, options);
+    for (int attr = 0; attr < rel.num_columns(); ++attr) {
+      StrippedPartition expected = StrippedPartition::ForAttribute(enc, attr);
+      int64_t spill_bytes = 0;
+      Result<StrippedPartition> got =
+          BuildAttributePliOoc(*sharded, attr, nullptr, &spill_bytes);
+      ASSERT_TRUE(got.ok()) << got.status().message();
+      EXPECT_EQ(expected.row_indices(), got->row_indices()) << "attr " << attr;
+      EXPECT_EQ(expected.class_offsets(), got->class_offsets())
+          << "attr " << attr;
+      if (force_spill) EXPECT_GT(spill_bytes, 0);
+    }
+  }
+  // Key attribute comes out in FromRowKeys's canonical empty shape.
+  auto sharded = MustIngest(csv);
+  Result<StrippedPartition> key = BuildAttributePliOoc(*sharded, 2, nullptr);
+  ASSERT_TRUE(key.ok());
+  EXPECT_TRUE(key->IsKey());
+  EXPECT_EQ(key->num_classes(), 0);
+}
+
+}  // namespace
+}  // namespace famtree
