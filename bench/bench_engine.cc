@@ -216,17 +216,20 @@ void PrintHybridRow(const std::string& name, int rows, double oracle_ms,
 /// deterministic — so sort both sides by the canonical key and require
 /// exact equality, errors included.
 bool SameFdCover(std::vector<DiscoveredFd> a, std::vector<DiscoveredFd> b) {
-  auto key = [](const DiscoveredFd& fd) {
-    return std::make_tuple(fd.lhs.size(), fd.lhs.mask(), fd.rhs, fd.error);
-  };
-  auto less = [&key](const DiscoveredFd& x, const DiscoveredFd& y) {
-    return key(x) < key(y);
+  auto less = [](const DiscoveredFd& x, const DiscoveredFd& y) {
+    if (x.lhs.size() != y.lhs.size()) return x.lhs.size() < y.lhs.size();
+    if (x.lhs != y.lhs) return x.lhs < y.lhs;
+    if (x.rhs != y.rhs) return x.rhs < y.rhs;
+    return x.error < y.error;
   };
   std::sort(a.begin(), a.end(), less);
   std::sort(b.begin(), b.end(), less);
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (key(a[i]) != key(b[i])) return false;
+    if (a[i].lhs != b[i].lhs || a[i].rhs != b[i].rhs ||
+        a[i].error != b[i].error) {
+      return false;
+    }
   }
   return true;
 }
@@ -264,6 +267,31 @@ Relation MakePlantedRelation(int rows) {
     int64_t c6 = (c4 * 3 + c5 * 11) % 23;
     b.AddRow({Value(c0), Value(c1), Value(c2), Value(c3), Value(c4),
               Value(c5), Value(c6), Value(c7)});
+  }
+  return std::move(b.Build()).value();
+}
+
+/// 100-column planted relation for the wide-schema row: impossible before
+/// AttrSet widened past 63 attributes. c0 -> c70 is the planted FD (its
+/// attribute pair straddles the 64-bit word seam); the 98 noise columns
+/// are high-domain so sampled tuple pairs rarely agree anywhere — the
+/// hybrid's negative cover stays small, as on real wide tables. (Low-
+/// domain noise across ~100 columns makes nearly every pair produce a
+/// fresh distinct agree set, which blows the cover up combinatorially.)
+Relation MakeWideRelation(int rows) {
+  Rng rng(20260810);
+  std::vector<std::string> names;
+  names.reserve(100);
+  for (int c = 0; c < 100; ++c) names.push_back("c" + std::to_string(c));
+  RelationBuilder b(names);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    row.reserve(100);
+    for (int c = 0; c < 100; ++c) row.push_back(Value(rng.Uniform(0, 99'999)));
+    int64_t c0 = rng.Uniform(0, 999);
+    row[0] = Value(c0);
+    row[70] = Value((c0 * 7 + 3) % 911);
+    b.AddRow(std::move(row));
   }
   return std::move(b.Build()).value();
 }
@@ -1321,6 +1349,41 @@ int Run() {
     if (top.speedup() < 1.0) {
       std::printf("WARN: hybrid fd slower than the lattice at 1M rows\n");
     }
+  }
+
+  {
+    // Wide-schema row: 100 columns (rejected outright before AttrSet grew
+    // past 63 attributes), unary lattice level only — the point is the
+    // multi-word AttrSet path end to end, not lattice depth.
+    HybridFdRow row;
+    row.name = "fd w100";
+    row.rows = 20'000;
+    Relation wide = MakeWideRelation(row.rows);
+    TaneOptions lattice_options;
+    lattice_options.max_lhs_size = 1;
+    auto start = std::chrono::steady_clock::now();
+    auto lattice = DiscoverFdsTane(wide, lattice_options);
+    row.lattice_ms = MillisSince(start);
+    if (!lattice.ok()) return 2;
+    HybridFdOptions hybrid_options;
+    hybrid_options.max_lhs_size = 1;
+    hybrid_options.stats = &row.stats;
+    start = std::chrono::steady_clock::now();
+    auto hybrid = DiscoverFdsHybrid(wide, hybrid_options);
+    row.hybrid_ms = MillisSince(start);
+    if (!hybrid.ok()) return 2;
+    bool planted_found = false;
+    for (const DiscoveredFd& fd : *hybrid) {
+      if (fd.lhs == AttrSet::Single(0) && fd.rhs == 70) planted_found = true;
+    }
+    row.identical = planted_found && SameFdCover(*lattice, *hybrid);
+    all_identical = all_identical && row.identical;
+    char counters[64];
+    std::snprintf(counters, sizeof(counters), "cols=100 pairs=%lld",
+                  static_cast<long long>(row.stats.sampled_pairs));
+    PrintHybridRow(row.name, row.rows, row.lattice_ms, row.hybrid_ms,
+                   row.speedup(), counters, row.identical);
+    hybrid_fd_rows.push_back(row);
   }
 
   int ported_fast = 0;

@@ -44,13 +44,30 @@ double PeakRssMb() {
   return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB on Linux
 }
 
-using Canon = std::vector<std::tuple<int, uint64_t, int, double>>;
+struct CanonFd {
+  int lhs_size;
+  AttrSet lhs;
+  int rhs;
+  double error;
+  bool operator==(const CanonFd& o) const {
+    return lhs_size == o.lhs_size && lhs == o.lhs && rhs == o.rhs &&
+           error == o.error;
+  }
+  bool operator<(const CanonFd& o) const {
+    if (lhs_size != o.lhs_size) return lhs_size < o.lhs_size;
+    if (lhs != o.lhs) return lhs < o.lhs;
+    if (rhs != o.rhs) return rhs < o.rhs;
+    return error < o.error;
+  }
+};
+
+using Canon = std::vector<CanonFd>;
 
 Canon Canonical(const std::vector<DiscoveredFd>& fds) {
   Canon out;
   out.reserve(fds.size());
   for (const DiscoveredFd& fd : fds) {
-    out.emplace_back(fd.lhs.size(), fd.lhs.mask(), fd.rhs, fd.error);
+    out.push_back(CanonFd{fd.lhs.size(), fd.lhs, fd.rhs, fd.error});
   }
   std::sort(out.begin(), out.end());
   return out;

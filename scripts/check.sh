@@ -34,6 +34,24 @@ run() {
   "$@"
 }
 
+echo "=== [0/3] lint: no raw single-word attribute masks ==="
+# Attribute-index bit arithmetic lives in the multi-word AttrSet; a raw
+# `1ULL << n` over an attribute count reintroduces the pre-widening UB the
+# moment n reaches 64. The allowlist is the AttrSet implementation itself
+# plus the evidence kernel, whose shifts pack facet bits into a 64-bit
+# word (a per-pair budget checked via EvidenceWordBits, not an attribute
+# index). Comment-only lines are ignored.
+LINT_ALLOW='^src/(common/attr_set\.(h|cc)|engine/evidence\.(h|cc)):'
+LINT_HITS="$(grep -rnE '1ULL? <<|1ull <<|uint64_t[{(]1[})] <<' src \
+  | grep -vE "$LINT_ALLOW" \
+  | grep -vE ':[0-9]+:[[:space:]]*(//|\*)' || true)"
+if [ -n "$LINT_HITS" ]; then
+  echo "lint: raw 64-bit mask shift on a potential attribute index;" >&2
+  echo "use AttrSet (common/attr_set.h) or extend the allowlist:" >&2
+  echo "$LINT_HITS" >&2
+  exit 1
+fi
+
 echo "=== [1/3] Release: ctest -L tier1 ==="
 run cmake -B "$PREFIX" >/dev/null
 run cmake --build "$PREFIX" -j "$JOBS"

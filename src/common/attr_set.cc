@@ -1,35 +1,98 @@
 #include "common/attr_set.h"
 
+#include <string>
+
 namespace famtree {
+
+Status CheckAttrCapacity(int num_attrs, const char* what) {
+  if (num_attrs <= kMaxAttrs) return Status::OK();
+  return Status::Invalid(std::string(what) + ": relation has " +
+                         std::to_string(num_attrs) +
+                         " attributes but the AttrSet capacity is " +
+                         std::to_string(kMaxAttrs) + " (kMaxAttrs)");
+}
+
+namespace {
+
+/// Gosper's hack over a single word: k-subsets of an n-bit universe in
+/// increasing mask order. Only entered for 1 <= k < n <= 64; the k == n
+/// case is handled by the caller, so `t` saturating to all-ones is the
+/// only wrap to guard (and guarding it keeps every shift width < 64).
+void SubsetsOfSizeNarrow(int n, int k, std::vector<AttrSet>* out) {
+  uint64_t v = (uint64_t{1} << k) - 1;  // k < 64
+  while (true) {
+    out->push_back(AttrSet(v));
+    uint64_t t = v | (v - 1);
+    if (t == ~uint64_t{0}) break;  // v holds the top bits: last combination
+    uint64_t next = (t + 1) | (((~t & -(~t)) - 1) >> (__builtin_ctzll(v) + 1));
+    if (n < 64 && next >= (uint64_t{1} << n)) break;
+    v = next;
+  }
+}
+
+/// Colexicographic successor of the ascending index combination `c` over
+/// {0..n-1}: increments the lowest index that can move up, resetting the
+/// ones below it. Colex order on index sets is exactly increasing
+/// multi-word mask order, so the wide path enumerates in the same order
+/// Gosper's hack does for narrow universes.
+bool NextCombinationColex(std::vector<int>* c, int n) {
+  const int k = static_cast<int>(c->size());
+  for (int i = 0; i < k; ++i) {
+    int cap = (i + 1 < k) ? (*c)[i + 1] : n;
+    if ((*c)[i] + 1 < cap) {
+      ++(*c)[i];
+      for (int j = 0; j < i; ++j) (*c)[j] = j;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 std::vector<AttrSet> AllSubsetsOfSize(int n, int k) {
   std::vector<AttrSet> out;
+  assert(n <= AttrSet::kCapacity);
+  if (n > AttrSet::kCapacity) n = AttrSet::kCapacity;
   if (k < 0 || k > n) return out;
   if (k == 0) {
     out.push_back(AttrSet());
     return out;
   }
-  // Gosper's hack: iterate k-subsets of an n-bit universe in increasing
-  // mask order.
-  uint64_t v = (1ULL << k) - 1;
-  uint64_t limit = (n >= 64) ? ~0ULL : (1ULL << n);
-  while (n >= 64 || v < limit) {
-    out.push_back(AttrSet(v));
-    uint64_t t = v | (v - 1);
-    uint64_t next = (t + 1) | (((~t & -(~t)) - 1) >> (__builtin_ctzll(v) + 1));
-    if (next <= v) break;  // overflow wrapped
-    v = next;
-    if (n < 64 && v >= limit) break;
+  if (k == n) {
+    out.push_back(AttrSet::Full(n));
+    return out;
   }
+  if (n <= 64) {
+    SubsetsOfSizeNarrow(n, k, &out);
+    return out;
+  }
+  std::vector<int> c(k);
+  for (int i = 0; i < k; ++i) c[i] = i;
+  do {
+    out.push_back(AttrSet::Of(c));
+  } while (NextCombinationColex(&c, n));
   return out;
 }
 
+namespace {
+
+/// The multi-word analog of `(sub - 1) & m`: the next-smaller subset of
+/// `m` below `sub` in numeric mask order. `sub` must be non-empty.
+AttrSet SubsetPredecessor(AttrSet sub, const AttrSet& m) {
+  // sub - 1: clear the lowest set bit and saturate everything below it.
+  int low = sub.PopLowestBit();
+  return sub.Union(AttrSet::Range(0, low)).Intersect(m);
+}
+
+}  // namespace
+
 std::vector<AttrSet> ProperNonEmptySubsets(AttrSet s) {
   std::vector<AttrSet> out;
-  uint64_t m = s.mask();
-  // Standard subset-of-mask enumeration.
-  for (uint64_t sub = (m - 1) & m; sub != 0; sub = (sub - 1) & m) {
-    out.push_back(AttrSet(sub));
+  if (s.empty()) return out;
+  for (AttrSet sub = SubsetPredecessor(s, s); !sub.empty();
+       sub = SubsetPredecessor(sub, s)) {
+    out.push_back(sub);
   }
   return out;
 }

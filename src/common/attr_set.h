@@ -1,79 +1,327 @@
 #ifndef FAMTREE_COMMON_ATTR_SET_H_
 #define FAMTREE_COMMON_ATTR_SET_H_
 
+#include <cassert>
 #include <cstdint>
+#include <initializer_list>
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace famtree {
 
-/// A set of attribute indices represented as a 64-bit mask. Relations in this
-/// library are limited to 64 attributes, which comfortably covers the data
-/// profiling workloads the paper considers (lattice searches are exponential
-/// in the attribute count anyway).
-class AttrSet {
+/// A fixed-capacity set of non-negative indices stored as a multi-word bit
+/// mask. `BasicAttrSet<kNumBits>` holds indices 0..kNumBits-1 in
+/// kNumBits/64 words; the library-wide alias AttrSet below fixes the one
+/// capacity every relation, driver and cover structure shares (kMaxAttrs).
+///
+/// Word 0 carries bits 0..63, so a set confined to the first 64 indices
+/// behaves exactly like the historical single-uint64 mask: the comparison
+/// order, the subset-enumeration order and mask() are all unchanged, which
+/// is what keeps the engine's bit-identical determinism suites green across
+/// the widening. Sets wider than one word pay a short fixed-length word
+/// loop per operation; the hot single-word operations (Contains, With,
+/// lowest-bit iteration) stay branch-free on the word that matters.
+///
+/// Every index-taking operation debug-asserts its bound: passing an index
+/// at or above capacity() was silent UB with the old `1ULL << a` mask
+/// arithmetic and now aborts in debug/sanitizer builds. In release builds
+/// the word index is masked, so an out-of-range index can never corrupt
+/// neighboring memory.
+template <int kNumBits>
+class BasicAttrSet {
+  static_assert(kNumBits > 0 && kNumBits % 64 == 0,
+                "capacity must be a positive multiple of 64");
+
  public:
-  AttrSet() : mask_(0) {}
-  explicit AttrSet(uint64_t mask) : mask_(mask) {}
+  static constexpr int kCapacity = kNumBits;
+  static constexpr int kWords = kNumBits / 64;
+
+  constexpr BasicAttrSet() : w_{} {}
+  /// Bits 0..63 from a single-word mask (the historical representation);
+  /// higher words start empty.
+  explicit constexpr BasicAttrSet(uint64_t mask) : w_{} { w_[0] = mask; }
+
   /// Builds a set from explicit indices, e.g. AttrSet::Of({0, 2}).
-  static AttrSet Of(std::initializer_list<int> attrs) {
-    AttrSet s;
+  static BasicAttrSet Of(std::initializer_list<int> attrs) {
+    BasicAttrSet s;
     for (int a : attrs) s.Add(a);
     return s;
   }
-  static AttrSet Of(const std::vector<int>& attrs) {
-    AttrSet s;
+  static BasicAttrSet Of(const std::vector<int>& attrs) {
+    BasicAttrSet s;
     for (int a : attrs) s.Add(a);
     return s;
   }
-  /// The full set {0, ..., n-1}.
-  static AttrSet Full(int n) {
-    return n >= 64 ? AttrSet(~0ULL) : AttrSet((1ULL << n) - 1);
-  }
-  static AttrSet Single(int a) { return AttrSet(1ULL << a); }
 
-  void Add(int a) { mask_ |= (1ULL << a); }
-  void Remove(int a) { mask_ &= ~(1ULL << a); }
-  bool Contains(int a) const { return (mask_ >> a) & 1ULL; }
-  bool ContainsAll(AttrSet other) const {
-    return (mask_ & other.mask_) == other.mask_;
+  /// The full set {0, ..., n-1}. Width-safe: n is clamped to the capacity
+  /// (and debug-asserted in range).
+  static BasicAttrSet Full(int n) {
+    assert(n >= 0 && n <= kCapacity);
+    if (n < 0) n = 0;
+    if (n > kCapacity) n = kCapacity;
+    BasicAttrSet s;
+    int whole = n / 64;
+    for (int i = 0; i < whole; ++i) s.w_[i] = ~uint64_t{0};
+    if (int rem = n % 64; rem != 0) s.w_[whole] = (uint64_t{1} << rem) - 1;
+    return s;
   }
-  bool Intersects(AttrSet other) const { return (mask_ & other.mask_) != 0; }
-  bool empty() const { return mask_ == 0; }
-  int size() const { return __builtin_popcountll(mask_); }
-  uint64_t mask() const { return mask_; }
 
-  AttrSet Union(AttrSet o) const { return AttrSet(mask_ | o.mask_); }
-  AttrSet Intersect(AttrSet o) const { return AttrSet(mask_ & o.mask_); }
-  AttrSet Minus(AttrSet o) const { return AttrSet(mask_ & ~o.mask_); }
-  AttrSet With(int a) const { return AttrSet(mask_ | (1ULL << a)); }
-  AttrSet Without(int a) const { return AttrSet(mask_ & ~(1ULL << a)); }
+  static BasicAttrSet Single(int a) {
+    BasicAttrSet s;
+    s.Add(a);
+    return s;
+  }
+
+  /// The half-open index range [lo, hi) as a set; both ends clamped to the
+  /// capacity (and debug-asserted in range). Empty when lo >= hi.
+  static BasicAttrSet Range(int lo, int hi) {
+    assert(lo >= 0 && hi <= kCapacity);
+    if (lo < 0) lo = 0;
+    if (hi > kCapacity) hi = kCapacity;
+    if (lo >= hi) return BasicAttrSet();
+    return Full(hi).Minus(Full(lo));
+  }
+
+  void Add(int a) {
+    assert(InRange(a));
+    w_[WordOf(a)] |= BitOf(a);
+  }
+  void Remove(int a) {
+    assert(InRange(a));
+    w_[WordOf(a)] &= ~BitOf(a);
+  }
+  bool Contains(int a) const {
+    assert(InRange(a));
+    return (w_[WordOf(a)] & BitOf(a)) != 0;
+  }
+  bool ContainsAll(const BasicAttrSet& other) const {
+    for (int i = 0; i < kWords; ++i) {
+      if ((w_[i] & other.w_[i]) != other.w_[i]) return false;
+    }
+    return true;
+  }
+  bool Intersects(const BasicAttrSet& other) const {
+    for (int i = 0; i < kWords; ++i) {
+      if ((w_[i] & other.w_[i]) != 0) return true;
+    }
+    return false;
+  }
+  bool empty() const {
+    for (int i = 0; i < kWords; ++i) {
+      if (w_[i] != 0) return false;
+    }
+    return true;
+  }
+  int size() const {
+    int n = 0;
+    for (int i = 0; i < kWords; ++i) n += __builtin_popcountll(w_[i]);
+    return n;
+  }
+
+  /// The historical single-word view. Only meaningful while the set is
+  /// confined to indices 0..63; debug-asserts exactly that, so narrow-era
+  /// callers (tests, logs) keep working and wide sets fail loudly instead
+  /// of truncating.
+  uint64_t mask() const {
+    for (int i = 1; i < kWords; ++i) assert(w_[i] == 0);
+    return w_[0];
+  }
+  /// Raw 64-bit word `i` (bits 64*i .. 64*i+63).
+  uint64_t word(int i) const {
+    assert(i >= 0 && i < kWords);
+    return w_[i & (kWords - 1)];
+  }
+
+  BasicAttrSet Union(const BasicAttrSet& o) const {
+    BasicAttrSet r;
+    for (int i = 0; i < kWords; ++i) r.w_[i] = w_[i] | o.w_[i];
+    return r;
+  }
+  BasicAttrSet Intersect(const BasicAttrSet& o) const {
+    BasicAttrSet r;
+    for (int i = 0; i < kWords; ++i) r.w_[i] = w_[i] & o.w_[i];
+    return r;
+  }
+  BasicAttrSet Minus(const BasicAttrSet& o) const {
+    BasicAttrSet r;
+    for (int i = 0; i < kWords; ++i) r.w_[i] = w_[i] & ~o.w_[i];
+    return r;
+  }
+  BasicAttrSet With(int a) const {
+    BasicAttrSet r = *this;
+    r.Add(a);
+    return r;
+  }
+  BasicAttrSet Without(int a) const {
+    BasicAttrSet r = *this;
+    r.Remove(a);
+    return r;
+  }
+
+  /// Lowest member index, or -1 when empty.
+  int LowestBit() const {
+    for (int i = 0; i < kWords; ++i) {
+      if (w_[i] != 0) return i * 64 + __builtin_ctzll(w_[i]);
+    }
+    return -1;
+  }
+  /// Removes and returns the lowest member; -1 when empty. The workhorse of
+  /// the trie walks: `while ((bit = s.PopLowestBit()) >= 0) ...`.
+  int PopLowestBit() {
+    for (int i = 0; i < kWords; ++i) {
+      if (w_[i] != 0) {
+        int bit = __builtin_ctzll(w_[i]);
+        w_[i] &= w_[i] - 1;
+        return i * 64 + bit;
+      }
+    }
+    return -1;
+  }
 
   /// Member indices in increasing order.
   std::vector<int> ToVector() const {
     std::vector<int> out;
-    uint64_t m = mask_;
-    while (m) {
-      int a = __builtin_ctzll(m);
-      out.push_back(a);
-      m &= m - 1;
+    out.reserve(size());
+    for (int i = 0; i < kWords; ++i) {
+      uint64_t m = w_[i];
+      while (m) {
+        out.push_back(i * 64 + __builtin_ctzll(m));
+        m &= m - 1;
+      }
     }
     return out;
   }
 
-  friend bool operator==(AttrSet a, AttrSet b) { return a.mask_ == b.mask_; }
-  friend bool operator!=(AttrSet a, AttrSet b) { return a.mask_ != b.mask_; }
-  friend bool operator<(AttrSet a, AttrSet b) { return a.mask_ < b.mask_; }
+  /// Forward iteration over member indices in increasing order, enabling
+  /// `for (int a : set)` without materializing a vector.
+  class const_iterator {
+   public:
+    using value_type = int;
+    int operator*() const { return bit_; }
+    const_iterator& operator++() {
+      bit_ = set_->NextBit(bit_ + 1);
+      return *this;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.bit_ == b.bit_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return a.bit_ != b.bit_;
+    }
+
+   private:
+    friend class BasicAttrSet;
+    const_iterator(const BasicAttrSet* set, int bit) : set_(set), bit_(bit) {}
+    const BasicAttrSet* set_;
+    int bit_;
+  };
+  const_iterator begin() const { return const_iterator(this, NextBit(0)); }
+  const_iterator end() const { return const_iterator(this, kCapacity); }
+
+  /// Stable mixing hash over all words, for the unordered lattice / cache /
+  /// dedup containers previously keyed by the raw mask.
+  size_t Hash() const {
+    uint64_t h = uint64_t{0xcbf29ce484222325};
+    for (int i = 0; i < kWords; ++i) {
+      h ^= w_[i] + uint64_t{0x9e3779b97f4a7c15} + (h << 6) + (h >> 2);
+      h *= uint64_t{0x100000001b3};
+    }
+    return static_cast<size_t>(h);
+  }
+
+  /// "{0, 2, 5}", for test failure messages and logs.
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (int a : *this) {
+      if (!first) out += ", ";
+      out += std::to_string(a);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+  friend bool operator==(const BasicAttrSet& a, const BasicAttrSet& b) {
+    for (int i = 0; i < kWords; ++i) {
+      if (a.w_[i] != b.w_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const BasicAttrSet& a, const BasicAttrSet& b) {
+    return !(a == b);
+  }
+  friend std::ostream& operator<<(std::ostream& os, const BasicAttrSet& s) {
+    return os << s.ToString();
+  }
+  /// Numeric order of the full multi-word mask (highest word first), which
+  /// coincides with the historical uint64 mask order for narrow sets — the
+  /// order every deterministic collect/replay in the engine sorts by.
+  friend bool operator<(const BasicAttrSet& a, const BasicAttrSet& b) {
+    for (int i = kWords - 1; i >= 0; --i) {
+      if (a.w_[i] != b.w_[i]) return a.w_[i] < b.w_[i];
+    }
+    return false;
+  }
 
  private:
-  uint64_t mask_;
+  static constexpr bool InRange(int a) { return a >= 0 && a < kCapacity; }
+  static constexpr int WordOf(int a) {
+    return (a >> 6) & (kWords - 1);  // masked: never out of bounds
+  }
+  static constexpr uint64_t BitOf(int a) { return uint64_t{1} << (a & 63); }
+
+  /// Lowest member index >= from, or kCapacity when none.
+  int NextBit(int from) const {
+    if (from >= kCapacity) return kCapacity;
+    int wi = from >> 6;
+    uint64_t m = w_[wi] & (~uint64_t{0} << (from & 63));
+    while (true) {
+      if (m != 0) return wi * 64 + __builtin_ctzll(m);
+      if (++wi == kWords) return kCapacity;
+      m = w_[wi];
+    }
+  }
+
+  uint64_t w_[kWords];
 };
 
-/// Enumerates all non-empty subsets of {0,..,n-1} of exactly `k` elements in
-/// lexicographic mask order. Used by levelwise lattice searches.
+/// The single real capacity constant: the maximum number of attributes a
+/// relation (and any attribute/predicate bit set) may have. Every driver
+/// guard quotes this via CheckAttrCapacity — no per-file magic numbers.
+inline constexpr int kMaxAttrs = 256;
+
+/// The library-wide attribute set. 256 bits = 4 words covers the paper's
+/// dataspace-assembly setting (100+ synonym attributes) and the set-based
+/// wide-OD workloads with room to spare; widen the alias to widen the
+/// whole engine.
+using AttrSet = BasicAttrSet<kMaxAttrs>;
+
+/// Hash functor for unordered containers keyed by attribute sets.
+struct AttrSetHash {
+  template <int kNumBits>
+  size_t operator()(const BasicAttrSet<kNumBits>& s) const {
+    return s.Hash();
+  }
+};
+
+/// The shared driver capacity guard: OK when a relation with `num_attrs`
+/// columns fits the AttrSet capacity, Status::Invalid quoting kMaxAttrs
+/// (and `what`, e.g. "TANE") otherwise. Replaces the per-driver
+/// `nc > 63` checks that each quoted their own magic limit.
+Status CheckAttrCapacity(int num_attrs, const char* what);
+
+/// Enumerates all subsets of {0,..,n-1} with exactly `k` elements in
+/// increasing mask order (colexicographic on the index sets). Used by
+/// levelwise lattice searches. Width-safe for any n up to kMaxAttrs.
 std::vector<AttrSet> AllSubsetsOfSize(int n, int k);
 
-/// All non-empty proper subsets of `s` (2^|s| - 2 of them).
+/// All non-empty proper subsets of `s` (2^|s| - 2 of them), in decreasing
+/// mask order. The caller is responsible for keeping |s| small enough that
+/// the enumeration is tractable.
 std::vector<AttrSet> ProperNonEmptySubsets(AttrSet s);
 
 }  // namespace famtree

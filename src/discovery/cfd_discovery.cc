@@ -149,7 +149,7 @@ std::vector<DiscoveredCfd> MineGeneralCandidate(
 Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
     const Relation& relation, const CfdDiscoveryOptions& options) {
   int nc = relation.num_columns();
-  if (nc > 63) return Status::Invalid("CFD discovery supports up to 63 attributes");
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "CFD discovery"));
   ThreadPool* pool = options.pool;
   std::unique_ptr<EncodedRelation> local_encoding;
   FAMTREE_ASSIGN_OR_RETURN(
@@ -169,18 +169,23 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
   // RHS-uniform, on LHS + RHS — so any attribute set whose agreeing-pair
   // total falls short can be skipped without changing the output.
   bool have_evidence = false;
-  std::vector<uint64_t> word_masks;
+  std::vector<AttrSet> word_masks;
   std::vector<int64_t> word_counts;
   int64_t need_pairs = static_cast<int64_t>(options.min_support) *
                        (options.min_support - 1) / 2;
+  std::vector<EvidenceColumn> config;
   if (encoded != nullptr && options.use_evidence && need_pairs > 0) {
-    std::vector<EvidenceColumn> config;
     for (int a = 0; a < nc; ++a) {
       EvidenceColumn col;
       col.attr = a;
       col.cmp = EvidenceColumn::Cmp::kEquality;
       config.push_back(std::move(col));
     }
+  }
+  // The packed comparison word carries one equality facet per column, so
+  // the evidence fast path only exists for narrow schemas; wide schemas
+  // fall through to the unpruned group scans below.
+  if (!config.empty() && EvidenceWordBits(config) <= 64) {
     EvidenceOptions eopts;
     eopts.pool = pool;
     eopts.pli = options.cache;
@@ -197,12 +202,12 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
     FAMTREE_ASSIGN_OR_RETURN(std::shared_ptr<const EvidenceSet> set,
                              std::move(set_result));
     for (const EvidenceSet::Word& w : set->words()) {
-      uint64_t mask = 0;
+      AttrSet mask;
       for (int a = 0; a < nc; ++a) {
-        if (set->AgreesOn(w.bits, a)) mask |= uint64_t{1} << a;
+        if (set->AgreesOn(w.bits, a)) mask.Add(a);
       }
       // All-unequal words can never pass a subset test; drop them here.
-      if (mask == 0) continue;
+      if (mask.empty()) continue;
       word_masks.push_back(mask);
       word_counts.push_back(w.count);
     }
@@ -226,7 +231,7 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
     std::vector<int> attrs;  // LHS attrs, ascending; RHS appended to tuples
     std::set<std::vector<uint32_t>> tuples;
   };
-  std::map<std::pair<int, uint64_t>, IndexEntry> index;
+  std::map<std::pair<int, AttrSet>, IndexEntry> index;
   auto project = [&](const IndexEntry& entry, int rhs, int row) {
     std::vector<uint32_t> tuple;
     tuple.reserve(entry.attrs.size() + 1);
@@ -262,15 +267,12 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
           // cannot host a qualifying group.
           std::vector<int64_t> agree_with(nc, 0);
           if (have_evidence) {
-            uint64_t lhs_mask = lhs.mask();
             int64_t agree_lhs = 0;
             for (size_t wi = 0; wi < word_masks.size(); ++wi) {
-              if ((word_masks[wi] & lhs_mask) != lhs_mask) continue;
+              if (!word_masks[wi].ContainsAll(lhs)) continue;
               agree_lhs += word_counts[wi];
-              uint64_t rest = word_masks[wi] & ~lhs_mask;
-              while (rest != 0) {
-                agree_with[std::countr_zero(rest)] += word_counts[wi];
-                rest &= rest - 1;
+              for (int a : word_masks[wi].Minus(lhs)) {
+                agree_with[a] += word_counts[wi];
               }
             }
             if (agree_lhs < need_pairs) return Status::OK();
@@ -326,8 +328,7 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
         bool minimal = true;
         if (encoded != nullptr) {
           for (const auto& [key, entry] : index) {
-            if (key.first != e.rhs ||
-                (key.second & lhs.mask()) != key.second) {
+            if (key.first != e.rhs || !lhs.ContainsAll(key.second)) {
               continue;
             }
             if (entry.tuples.count(project(entry, e.rhs, e.head_row)) > 0) {
@@ -355,7 +356,7 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
         Cfd cfd(lhs, AttrSet::Single(e.rhs), PatternTuple(std::move(items)));
         out.push_back(DiscoveredCfd{std::move(cfd), e.size});
         if (encoded != nullptr) {
-          IndexEntry& entry = index[{e.rhs, lhs.mask()}];
+          IndexEntry& entry = index[{e.rhs, lhs}];
           if (entry.attrs.empty()) entry.attrs = lhs.ToVector();
           entry.tuples.insert(project(entry, e.rhs, e.head_row));
         } else {
@@ -376,7 +377,7 @@ Result<std::vector<DiscoveredCfd>> DiscoverConstantCfds(
 Result<std::vector<DiscoveredCfd>> DiscoverGeneralCfds(
     const Relation& relation, const CfdDiscoveryOptions& options) {
   int nc = relation.num_columns();
-  if (nc > 63) return Status::Invalid("CFD discovery supports up to 63 attributes");
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "CFD discovery"));
   ThreadPool* pool = options.pool;
   std::unique_ptr<EncodedRelation> local_encoding;
   FAMTREE_ASSIGN_OR_RETURN(

@@ -57,6 +57,7 @@ Result<std::vector<DiscoveredSfd>> DiscoverSfdsCords(
   // The per-pair analyses only read the shared sample, so the sweep runs
   // one pair per ParallelFor iteration, each writing its pre-assigned slot.
   int nc = relation.num_columns();
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "CORDS discovery"));
   std::vector<std::pair<int, int>> column_pairs;
   column_pairs.reserve(static_cast<size_t>(nc) * std::max(0, nc - 1));
   for (int a = 0; a < nc; ++a) {

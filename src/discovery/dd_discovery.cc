@@ -142,6 +142,7 @@ Result<std::vector<DiscoveredDd>> DiscoverDds(
   }
   const Relation& relation = *source;
   int nc = relation.num_columns();
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "DD discovery"));
   int n = relation.num_rows();
   if (n > 3000) {
     return Status::Invalid(

@@ -32,7 +32,7 @@ std::vector<double> Cutpoints(const Relation& relation, int attr,
 Result<std::vector<DiscoveredEcfd>> DiscoverEcfds(
     const Relation& relation, const EcfdDiscoveryOptions& options) {
   int nc = relation.num_columns();
-  if (nc > 63) return Status::Invalid("eCFD discovery supports up to 63 attributes");
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "eCFD discovery"));
   std::vector<DiscoveredEcfd> out;
   auto is_numeric = [&relation](int a) {
     ValueType t = relation.schema().column(a).type;

@@ -542,6 +542,7 @@ Result<std::vector<DiscoveredDc>> DiscoverConstantDcs(
     const Relation& relation, int min_support) {
   std::vector<DiscoveredDc> out;
   int nc = relation.num_columns();
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "constant DC discovery"));
   auto is_numeric = [&relation](int a) {
     ValueType t = relation.schema().column(a).type;
     return t == ValueType::kInt || t == ValueType::kDouble;

@@ -65,9 +65,7 @@ void FindMinimalCovers(const std::vector<AttrSet>& diffs, AttrSet universe,
 Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
     const Relation& relation, const FastFdOptions& options) {
   int nc = relation.num_columns();
-  if (nc > 63) {
-    return Status::Invalid("FastFDs supports up to 63 attributes");
-  }
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "FastFDs"));
   int n = relation.num_rows();
   // Difference sets of all tuple pairs, deduplicated and reduced to the
   // minimal ones (a superset of a difference set is redundant for covers).
@@ -89,12 +87,12 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
   num_chunks = std::min(num_chunks, std::max(1, n));
   RunContext* ctx = options.context;
   RunContext::BeginRun(ctx, "fastfd");
-  std::vector<std::set<uint64_t>> chunk_masks(num_chunks);
+  std::vector<std::set<AttrSet>> chunk_masks(num_chunks);
   Status diff_status = ParallelFor(options.pool, num_chunks, [&](int64_t c) {
     FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
     int begin = static_cast<int>(static_cast<int64_t>(n) * c / num_chunks);
     int end = static_cast<int>(static_cast<int64_t>(n) * (c + 1) / num_chunks);
-    std::set<uint64_t>& local = chunk_masks[c];
+    std::set<AttrSet>& local = chunk_masks[c];
     for (int i = begin; i < end; ++i) {
       for (int j = i + 1; j < n; ++j) {
         AttrSet d;
@@ -107,7 +105,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
             if (!(relation.Get(i, a) == relation.Get(j, a))) d.Add(a);
           }
         }
-        if (!d.empty()) local.insert(d.mask());
+        if (!d.empty()) local.insert(d);
       }
     }
     return Status::OK();
@@ -119,12 +117,11 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsFastFd(
     return std::vector<DiscoveredFd>{};
   }
   FAMTREE_RETURN_NOT_OK(diff_status);
-  std::set<uint64_t> diff_masks;
-  for (const std::set<uint64_t>& local : chunk_masks) {
+  std::set<AttrSet> diff_masks;
+  for (const std::set<AttrSet>& local : chunk_masks) {
     diff_masks.insert(local.begin(), local.end());
   }
-  std::vector<AttrSet> all_diffs;
-  for (uint64_t m : diff_masks) all_diffs.push_back(AttrSet(m));
+  std::vector<AttrSet> all_diffs(diff_masks.begin(), diff_masks.end());
 
   // Per-RHS cover searches are independent; run them concurrently into
   // per-attribute slots, then concatenate in attribute order (the serial

@@ -1,17 +1,14 @@
 #include "discovery/hybrid/fd_tree.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace famtree {
 
-namespace {
-
-int LowestIndex(uint64_t mask) { return __builtin_ctzll(mask); }
-
-}  // namespace
-
 FdTree::FdTree(int num_bits)
-    : num_bits_(num_bits), root_(std::make_unique<Node>()) {}
+    : num_bits_(num_bits), root_(std::make_unique<Node>()) {
+  assert(num_bits >= 0 && num_bits <= kMaxAttrs);
+}
 
 FdTree::Node* FdTree::ChildOf(Node* node, int bit, bool create) {
   if (node->children.empty()) {
@@ -27,18 +24,16 @@ FdTree::Node* FdTree::ChildOf(Node* node, int bit, bool create) {
 }
 
 void FdTree::Add(AttrSet lhs, int rhs) {
-  const uint64_t rhs_bit = uint64_t{1} << rhs;
   Node* node = root_.get();
-  node->subtree_rhs |= rhs_bit;
-  uint64_t remaining = lhs.mask();
-  while (remaining != 0) {
-    int bit = LowestIndex(remaining);
-    remaining &= remaining - 1;
+  node->subtree_rhs.Add(rhs);
+  AttrSet remaining = lhs;
+  int bit;
+  while ((bit = remaining.PopLowestBit()) >= 0) {
     node = ChildOf(node, bit, /*create=*/true);
-    node->subtree_rhs |= rhs_bit;
+    node->subtree_rhs.Add(rhs);
   }
-  if ((node->entry_rhs & rhs_bit) == 0) {
-    node->entry_rhs |= rhs_bit;
+  if (!node->entry_rhs.Contains(rhs)) {
+    node->entry_rhs.Add(rhs);
     ++num_entries_;
   }
 }
@@ -51,29 +46,27 @@ bool FdTree::AddMinimal(AttrSet lhs, int rhs) {
 }
 
 bool FdTree::Remove(AttrSet lhs, int rhs) {
-  const uint64_t rhs_bit = uint64_t{1} << rhs;
   // Walk the exact path, keeping it so subtree_rhs can be rebuilt upward.
   std::vector<Node*> path;
   path.push_back(root_.get());
-  uint64_t remaining = lhs.mask();
+  AttrSet remaining = lhs;
   Node* node = root_.get();
-  while (remaining != 0) {
-    int bit = LowestIndex(remaining);
-    remaining &= remaining - 1;
+  int bit;
+  while ((bit = remaining.PopLowestBit()) >= 0) {
     node = ChildOf(node, bit, /*create=*/false);
     if (node == nullptr) return false;
     path.push_back(node);
   }
-  if ((node->entry_rhs & rhs_bit) == 0) return false;
-  node->entry_rhs &= ~rhs_bit;
+  if (!node->entry_rhs.Contains(rhs)) return false;
+  node->entry_rhs.Remove(rhs);
   --num_entries_;
   // Rebuild subtree_rhs bottom-up along the path (children elsewhere are
   // untouched, so only the visited chain can change).
   for (size_t i = path.size(); i-- > 0;) {
     Node* n = path[i];
-    uint64_t bits = n->entry_rhs;
+    AttrSet bits = n->entry_rhs;
     for (const std::unique_ptr<Node>& c : n->children) {
-      if (c != nullptr) bits |= c->subtree_rhs;
+      if (c != nullptr) bits = bits.Union(c->subtree_rhs);
     }
     n->subtree_rhs = bits;
   }
@@ -81,84 +74,76 @@ bool FdTree::Remove(AttrSet lhs, int rhs) {
 }
 
 bool FdTree::ContainsGeneralization(AttrSet lhs, int rhs) const {
-  return ContainsGeneralizationAt(root_.get(), lhs.mask(), uint64_t{1} << rhs);
+  return ContainsGeneralizationAt(root_.get(), lhs, rhs);
 }
 
-bool FdTree::ContainsGeneralizationAt(const Node* node, uint64_t lhs_mask,
-                                      uint64_t rhs_bit) const {
-  if ((node->entry_rhs & rhs_bit) != 0) return true;
+bool FdTree::ContainsGeneralizationAt(const Node* node, const AttrSet& lhs,
+                                      int rhs) const {
+  if (node->entry_rhs.Contains(rhs)) return true;
   if (node->children.empty()) return false;
-  uint64_t m = lhs_mask;
-  while (m != 0) {
-    int bit = LowestIndex(m);
-    m &= m - 1;
+  for (int bit : lhs) {
     const Node* child = node->children[bit].get();
-    if (child == nullptr || (child->subtree_rhs & rhs_bit) == 0) continue;
+    if (child == nullptr || !child->subtree_rhs.Contains(rhs)) continue;
     // Children only hold bits greater than `bit`, so passing the full mask
     // down is safe — lower bits can never match again.
-    if (ContainsGeneralizationAt(child, lhs_mask, rhs_bit)) return true;
+    if (ContainsGeneralizationAt(child, lhs, rhs)) return true;
   }
   return false;
 }
 
 bool FdTree::ContainsSpecialization(AttrSet lhs, int rhs) const {
-  return ContainsSpecializationAt(root_.get(), lhs.mask(),
-                                  uint64_t{1} << rhs);
+  return ContainsSpecializationAt(root_.get(), lhs, rhs);
 }
 
-bool FdTree::ContainsSpecializationAt(const Node* node, uint64_t remaining,
-                                      uint64_t rhs_bit) const {
-  if ((node->subtree_rhs & rhs_bit) == 0) return false;
-  if (remaining == 0) return true;  // anything below is a superset
+bool FdTree::ContainsSpecializationAt(const Node* node, AttrSet remaining,
+                                      int rhs) const {
+  if (!node->subtree_rhs.Contains(rhs)) return false;
+  if (remaining.empty()) return true;  // anything below is a superset
   if (node->children.empty()) return false;
-  const int need = LowestIndex(remaining);
+  const int need = remaining.LowestBit();
   // Paths grow in ascending bit order: a child above `need` can never pick
   // the needed bit up later.
   for (int bit = 0; bit <= need; ++bit) {
     const Node* child = node->children[bit].get();
     if (child == nullptr) continue;
-    uint64_t rest = bit == need ? (remaining & (remaining - 1)) : remaining;
-    if (ContainsSpecializationAt(child, rest, rhs_bit)) return true;
+    AttrSet rest = bit == need ? remaining.Without(need) : remaining;
+    if (ContainsSpecializationAt(child, rest, rhs)) return true;
   }
   return false;
 }
 
 void FdTree::RemoveGeneralizations(AttrSet lhs, int rhs,
                                    std::vector<AttrSet>* removed) {
-  RemoveGeneralizationsAt(root_.get(), AttrSet(), lhs.mask(),
-                          uint64_t{1} << rhs, removed);
+  RemoveGeneralizationsAt(root_.get(), AttrSet(), lhs, rhs, removed);
 }
 
-uint64_t FdTree::RemoveGeneralizationsAt(Node* node, AttrSet path,
-                                         uint64_t lhs_mask, uint64_t rhs_bit,
-                                         std::vector<AttrSet>* removed) {
-  if ((node->entry_rhs & rhs_bit) != 0) {
-    node->entry_rhs &= ~rhs_bit;
+AttrSet FdTree::RemoveGeneralizationsAt(Node* node, AttrSet path,
+                                        const AttrSet& lhs, int rhs,
+                                        std::vector<AttrSet>* removed) {
+  if (node->entry_rhs.Contains(rhs)) {
+    node->entry_rhs.Remove(rhs);
     --num_entries_;
     if (removed != nullptr) removed->push_back(path);
   }
-  uint64_t bits = node->entry_rhs;
+  AttrSet bits = node->entry_rhs;
   if (!node->children.empty()) {
-    uint64_t m = lhs_mask;
-    while (m != 0) {
-      int bit = LowestIndex(m);
-      m &= m - 1;
+    for (int bit : lhs) {
       Node* child = node->children[bit].get();
       if (child == nullptr) continue;
-      if ((child->subtree_rhs & rhs_bit) != 0) {
-        child->subtree_rhs = RemoveGeneralizationsAt(
-            child, path.With(bit), lhs_mask, rhs_bit, removed);
-        if (child->subtree_rhs == 0) {
+      if (child->subtree_rhs.Contains(rhs)) {
+        child->subtree_rhs =
+            RemoveGeneralizationsAt(child, path.With(bit), lhs, rhs, removed);
+        if (child->subtree_rhs.empty()) {
           node->children[bit].reset();
           --num_nodes_;
           continue;
         }
       }
-      bits |= child->subtree_rhs;
+      bits = bits.Union(child->subtree_rhs);
     }
     // Children outside lhs were not visited; fold their bits back in.
     for (const std::unique_ptr<Node>& c : node->children) {
-      if (c != nullptr) bits |= c->subtree_rhs;
+      if (c != nullptr) bits = bits.Union(c->subtree_rhs);
     }
   }
   node->subtree_rhs = bits;
@@ -166,52 +151,51 @@ uint64_t FdTree::RemoveGeneralizationsAt(Node* node, AttrSet path,
 }
 
 void FdTree::RemoveSpecializations(AttrSet lhs, int rhs) {
-  root_->subtree_rhs = RemoveSpecializationsAt(root_.get(), lhs.mask(),
-                                               uint64_t{1} << rhs);
+  root_->subtree_rhs = RemoveSpecializationsAt(root_.get(), lhs, rhs);
 }
 
-uint64_t FdTree::RemoveSpecializationsAt(Node* node, uint64_t remaining,
-                                         uint64_t rhs_bit) {
-  if ((node->subtree_rhs & rhs_bit) == 0) return node->subtree_rhs;
-  if (remaining == 0) return ClearRhsInSubtree(node, rhs_bit);
+AttrSet FdTree::RemoveSpecializationsAt(Node* node, AttrSet remaining,
+                                        int rhs) {
+  if (!node->subtree_rhs.Contains(rhs)) return node->subtree_rhs;
+  if (remaining.empty()) return ClearRhsInSubtree(node, rhs);
   if (node->children.empty()) return node->subtree_rhs;
-  const int need = LowestIndex(remaining);
+  const int need = remaining.LowestBit();
   for (int bit = 0; bit <= need; ++bit) {
     Node* child = node->children[bit].get();
     if (child == nullptr) continue;
-    uint64_t rest = bit == need ? (remaining & (remaining - 1)) : remaining;
-    child->subtree_rhs = RemoveSpecializationsAt(child, rest, rhs_bit);
-    if (child->subtree_rhs == 0) {
+    AttrSet rest = bit == need ? remaining.Without(need) : remaining;
+    child->subtree_rhs = RemoveSpecializationsAt(child, rest, rhs);
+    if (child->subtree_rhs.empty()) {
       node->children[bit].reset();
       --num_nodes_;
     }
   }
-  uint64_t bits = node->entry_rhs;
+  AttrSet bits = node->entry_rhs;
   for (const std::unique_ptr<Node>& c : node->children) {
-    if (c != nullptr) bits |= c->subtree_rhs;
+    if (c != nullptr) bits = bits.Union(c->subtree_rhs);
   }
   node->subtree_rhs = bits;
   return bits;
 }
 
-uint64_t FdTree::ClearRhsInSubtree(Node* node, uint64_t rhs_bit) {
-  if ((node->entry_rhs & rhs_bit) != 0) {
-    node->entry_rhs &= ~rhs_bit;
+AttrSet FdTree::ClearRhsInSubtree(Node* node, int rhs) {
+  if (node->entry_rhs.Contains(rhs)) {
+    node->entry_rhs.Remove(rhs);
     --num_entries_;
   }
-  uint64_t bits = node->entry_rhs;
+  AttrSet bits = node->entry_rhs;
   for (size_t i = 0; i < node->children.size(); ++i) {
     Node* child = node->children[i].get();
     if (child == nullptr) continue;
-    if ((child->subtree_rhs & rhs_bit) != 0) {
-      child->subtree_rhs = ClearRhsInSubtree(child, rhs_bit);
-      if (child->subtree_rhs == 0) {
+    if (child->subtree_rhs.Contains(rhs)) {
+      child->subtree_rhs = ClearRhsInSubtree(child, rhs);
+      if (child->subtree_rhs.empty()) {
         node->children[i].reset();
         --num_nodes_;
         continue;
       }
     }
-    bits |= child->subtree_rhs;
+    bits = bits.Union(child->subtree_rhs);
   }
   node->subtree_rhs = bits;
   return bits;
@@ -221,9 +205,7 @@ void FdTree::CollectLevel(int level, std::vector<Entry>* out) const {
   size_t start = out->size();
   CollectAt(root_.get(), AttrSet(), level, out);
   std::sort(out->begin() + start, out->end(),
-            [](const Entry& a, const Entry& b) {
-              return a.lhs.mask() < b.lhs.mask();
-            });
+            [](const Entry& a, const Entry& b) { return a.lhs < b.lhs; });
 }
 
 void FdTree::CollectAll(std::vector<Entry>* out) const {
@@ -232,7 +214,7 @@ void FdTree::CollectAll(std::vector<Entry>* out) const {
 
 void FdTree::CollectAt(const Node* node, AttrSet path, int level,
                        std::vector<Entry>* out) const {
-  if (node->entry_rhs != 0 && (level < 0 || path.size() == level)) {
+  if (!node->entry_rhs.empty() && (level < 0 || path.size() == level)) {
     out->push_back(Entry{path, node->entry_rhs});
   }
   if (level >= 0 && path.size() >= level) return;  // paths only grow

@@ -12,9 +12,9 @@ namespace famtree {
 
 /// Cover tree of the hybrid sampling + induction engine (the FDTreeElement
 /// of FDep / HyFD): a prefix trie over bit indices in ascending order, where
-/// every stored entry is a (lhs, rhs) pair — `lhs` a 63-bit AttrSet of
-/// generic bits and `rhs` one of up to 63 consequent slots, kept as a
-/// bitmask per node so one tree holds the covers of every RHS at once.
+/// every stored entry is a (lhs, rhs) pair — `lhs` an AttrSet of generic
+/// bits and `rhs` one of up to kMaxAttrs consequent slots, kept as an
+/// AttrSet per node so one tree holds the covers of every RHS at once.
 ///
 /// The bits are *generic* on purpose: the FD consumer stores attribute
 /// indices directly, while the MD consumer stores similarity-predicate bits
@@ -37,11 +37,11 @@ class FdTree {
   /// An entry with every rhs slot it is stored under.
   struct Entry {
     AttrSet lhs;
-    uint64_t rhs_bits = 0;
+    AttrSet rhs_bits;
   };
 
-  /// `num_bits` generic bit slots (<= 63) for lhs sets; rhs slots are
-  /// always addressed 0..62.
+  /// `num_bits` generic bit slots (<= kMaxAttrs) for lhs sets; rhs slots
+  /// are addressed 0..kMaxAttrs-1.
   explicit FdTree(int num_bits);
 
   int num_bits() const { return num_bits_; }
@@ -71,11 +71,11 @@ class FdTree {
   /// Removes every stored lhs' ⊇ lhs carrying `rhs`.
   void RemoveSpecializations(AttrSet lhs, int rhs);
 
-  /// All entries with |lhs| == `level`, sorted by (lhs.mask, then rhs bits
-  /// ascending within the entry's rhs_bits mask).
+  /// All entries with |lhs| == `level`, sorted by (lhs mask order, then rhs
+  /// bits ascending within the entry's rhs_bits set).
   void CollectLevel(int level, std::vector<Entry>* out) const;
 
-  /// Every stored entry, sorted by lhs.mask.
+  /// Every stored entry, sorted by lhs mask order.
   void CollectAll(std::vector<Entry>* out) const;
 
   /// Number of stored (lhs, rhs) pairs.
@@ -90,24 +90,23 @@ class FdTree {
     /// allocated, so leaf-heavy covers stay compact.
     std::vector<std::unique_ptr<Node>> children;
     /// RHS slots for which the path bit set is a stored lhs.
-    uint64_t entry_rhs = 0;
+    AttrSet entry_rhs;
     /// Union of entry_rhs over this node and its subtree (search pruning).
-    uint64_t subtree_rhs = 0;
+    AttrSet subtree_rhs;
   };
 
   Node* ChildOf(Node* node, int bit, bool create);
 
-  bool ContainsGeneralizationAt(const Node* node, uint64_t lhs_mask,
-                                uint64_t rhs_bit) const;
-  bool ContainsSpecializationAt(const Node* node, uint64_t remaining,
-                                uint64_t rhs_bit) const;
+  bool ContainsGeneralizationAt(const Node* node, const AttrSet& lhs,
+                                int rhs) const;
+  bool ContainsSpecializationAt(const Node* node, AttrSet remaining,
+                                int rhs) const;
   /// Returns the recomputed subtree_rhs of `node`.
-  uint64_t RemoveGeneralizationsAt(Node* node, AttrSet path, uint64_t lhs_mask,
-                                   uint64_t rhs_bit,
-                                   std::vector<AttrSet>* removed);
-  uint64_t RemoveSpecializationsAt(Node* node, uint64_t remaining,
-                                   uint64_t rhs_bit);
-  uint64_t ClearRhsInSubtree(Node* node, uint64_t rhs_bit);
+  AttrSet RemoveGeneralizationsAt(Node* node, AttrSet path,
+                                  const AttrSet& lhs, int rhs,
+                                  std::vector<AttrSet>* removed);
+  AttrSet RemoveSpecializationsAt(Node* node, AttrSet remaining, int rhs);
+  AttrSet ClearRhsInSubtree(Node* node, int rhs);
   void CollectAt(const Node* node, AttrSet path, int level,
                  std::vector<Entry>* out) const;
 

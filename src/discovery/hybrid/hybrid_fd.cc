@@ -22,13 +22,11 @@ void InductAgreeSet(AttrSet agree, int nc, int max_lhs_size,
                     NegativeCover* negative, Inductor* inductor,
                     std::vector<AttrSet>* ext_scratch) {
   auto keep = [max_lhs_size](AttrSet s) { return s.size() <= max_lhs_size; };
-  uint64_t outside = AttrSet::Full(nc).Minus(agree).mask();
-  for (uint64_t rm = outside; rm != 0; rm &= rm - 1) {
-    int rhs = __builtin_ctzll(rm);
+  const AttrSet outside = AttrSet::Full(nc).Minus(agree);
+  for (int rhs : outside) {
     if (!negative->AddMaximal(agree, rhs)) continue;
     ext_scratch->clear();
-    for (uint64_t bm = outside; bm != 0; bm &= bm - 1) {
-      int b = __builtin_ctzll(bm);
+    for (int b : outside) {
       if (b != rhs) ext_scratch->push_back(AttrSet::Single(b));
     }
     inductor->SpecializeAgainst(agree, rhs, *ext_scratch, keep);
@@ -42,6 +40,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsHybridImpl(
     const Relation* relation, const HybridFdOptions& options) {
   int nc = relation != nullptr ? relation->num_columns()
                                : options.cache->num_columns();
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "hybrid FD discovery"));
   RunContext* ctx = options.context;
   RunContext::BeginRun(ctx, "hybrid_fd");
   // Units: the sampling stage plus one per frontier level; a stop returns
@@ -130,10 +129,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsHybridImpl(
     // feed their violating pair's agree set back through the inductor,
     // which removes them and plants specializations on deeper levels.
     for (size_t e = 0; e < entries.size(); ++e) {
-      uint64_t valid_bits = results[e].valid_rhs;
-      while (valid_bits != 0) {
-        int a = __builtin_ctzll(valid_bits);
-        valid_bits &= valid_bits - 1;
+      for (int a : results[e].valid_rhs) {
         out.push_back(DiscoveredFd{entries[e].lhs, a, 0.0});
         if (static_cast<int>(out.size()) >= options.max_results) {
           RunContext::MarkComplete(ctx, completed_units);

@@ -21,6 +21,7 @@ Result<std::vector<DiscoveredMd>> DiscoverMdsHybrid(
     const Relation& relation, AttrSet rhs, const MdDiscoveryOptions& options,
     HybridMdStats* stats) {
   int nc = relation.num_columns();
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "MD discovery"));
   if (!AttrSet::Full(nc).ContainsAll(rhs) || rhs.empty()) {
     return Status::Invalid("MD discovery needs a valid RHS attribute set");
   }
@@ -76,9 +77,9 @@ Result<std::vector<DiscoveredMd>> DiscoverMdsHybrid(
     pbit_base[a] = pbits;
     pbits += static_cast<int>(attr_th[a].size());
   }
-  if (!supported || pbits > 63) {
-    // The evidence kernel (or the 63-bit cover tree) cannot carry this
-    // configuration; the oracle handles it with identical output.
+  if (!supported || pbits > kMaxAttrs) {
+    // The cover tree cannot carry more predicate bits than the AttrSet
+    // capacity; the oracle handles it with identical output.
     return DiscoverMds(relation, rhs, options);
   }
 
@@ -167,7 +168,7 @@ Result<std::vector<DiscoveredMd>> DiscoverMdsHybrid(
   }
   FAMTREE_RETURN_NOT_OK(barrier);
   Status charged = RunContext::ChargeAlloc(
-      ctx, words.size() * sizeof(uint64_t), "hybrid_sample");
+      ctx, words.size() * sizeof(AttrSet), "hybrid_sample");
   if (RunContext::IsStop(charged)) {
     return exhausted_early(charged, num_candidates);
   }
@@ -176,9 +177,9 @@ Result<std::vector<DiscoveredMd>> DiscoverMdsHybrid(
   // bits [pbit_base + ti, pbit_base + #thresholds).
   auto closure = [&](int a, int ti) {
     int nth = static_cast<int>(attr_th[a].size());
-    return ((uint64_t{1} << (nth - ti)) - 1) << (pbit_base[a] + ti);
+    return AttrSet::Range(pbit_base[a] + ti, pbit_base[a] + nth);
   };
-  std::vector<uint64_t> attr_pred_mask(nc, 0);
+  std::vector<AttrSet> attr_pred_mask(nc);
   for (int a = 0; a < nc; ++a) {
     if (cfg_of[a] >= 0 && !attr_th[a].empty()) {
       attr_pred_mask[a] = closure(a, 0);
@@ -188,7 +189,7 @@ Result<std::vector<DiscoveredMd>> DiscoverMdsHybrid(
   auto keep = [&](AttrSet s) {
     int attrs = 0;
     for (int a = 0; a < nc; ++a) {
-      if ((s.mask() & attr_pred_mask[a]) != 0) ++attrs;
+      if (s.Intersects(attr_pred_mask[a])) ++attrs;
     }
     return attrs <= lhs_cap;
   };
@@ -201,33 +202,33 @@ Result<std::vector<DiscoveredMd>> DiscoverMdsHybrid(
   for (size_t wi = 0; wi < words.size(); ++wi) {
     if (identified[wi]) continue;
     ++violating_words;
-    uint64_t sat = 0;
+    AttrSet sat;
     exts.clear();
     for (int a = 0; a < nc; ++a) {
       if (cfg_of[a] < 0 || attr_th[a].empty()) continue;
       int bucket = set->BucketOf(words[wi].bits, cfg_of[a]);
       int nth = static_cast<int>(attr_th[a].size());
-      if (bucket < nth) sat |= closure(a, bucket);
+      if (bucket < nth) sat = sat.Union(closure(a, bucket));
       // The loosest unsatisfied threshold is the minimal way to exclude
       // this word via attribute a.
-      if (bucket >= 1) exts.push_back(AttrSet(closure(a, bucket - 1)));
+      if (bucket >= 1) exts.push_back(closure(a, bucket - 1));
     }
-    if (!negative.AddMaximal(AttrSet(sat), 0)) continue;
-    inductor.SpecializeAgainst(AttrSet(sat), 0, exts, keep);
+    if (!negative.AddMaximal(sat, 0)) continue;
+    inductor.SpecializeAgainst(sat, 0, exts, keep);
   }
 
   // --- Candidate evaluation: validity is one cover-tree lookup; only the
   // support fold still walks the words (identified == similar for valid
   // candidates, and invalid ones are filtered on confidence below).
   std::vector<std::vector<std::pair<int, int>>> lhs_buckets(lhs_sets.size());
-  std::vector<uint64_t> cand_bits(lhs_sets.size(), 0);
+  std::vector<AttrSet> cand_bits(lhs_sets.size());
   for (size_t c = 0; c < lhs_sets.size(); ++c) {
     for (const auto& p : lhs_sets[c]) {
       const std::vector<double>& th = attr_th[p.attr];
       int ti = static_cast<int>(std::find(th.begin(), th.end(), p.threshold) -
                                 th.begin());
       lhs_buckets[c].push_back({cfg_of[p.attr], ti});
-      cand_bits[c] |= closure(p.attr, ti);
+      cand_bits[c] = cand_bits[c].Union(closure(p.attr, ti));
     }
   }
   charged = RunContext::ChargeAlloc(
@@ -245,7 +246,7 @@ Result<std::vector<DiscoveredMd>> DiscoverMdsHybrid(
       AnytimeParallelFor(ctx, pool, num_candidates, [&](int64_t c) {
         // The tree is immutable here; concurrent lookups are pure reads.
         valid[c] =
-            positive.ContainsGeneralization(AttrSet(cand_bits[c]), 0) ? 1 : 0;
+            positive.ContainsGeneralization(cand_bits[c], 0) ? 1 : 0;
         Md::Stats& st = cstats[c];
         st.total_pairs = set->total_pairs();
         for (size_t wi = 0; wi < words.size(); ++wi) {

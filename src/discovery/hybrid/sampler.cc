@@ -15,9 +15,12 @@ Result<std::unique_ptr<HybridSampler>> HybridSampler::Make(
     columns[a].attr = a;
     columns[a].cmp = EvidenceColumn::Cmp::kEquality;
   }
-  FAMTREE_ASSIGN_OR_RETURN(sampler->comparator_,
-                           PairComparator::Make(encoded, std::move(columns),
-                                                pool));
+  if (EvidenceWordBits(columns) <= 64) {
+    FAMTREE_ASSIGN_OR_RETURN(sampler->comparator_,
+                             PairComparator::Make(encoded, std::move(columns),
+                                                  pool));
+  }
+  // else: wide schema — AgreeSetOf uses the column-by-column code path.
   sampler->plis_.resize(nc);
   for (int a = 0; a < nc; ++a) {
     if (cache != nullptr) {
@@ -38,18 +41,33 @@ Result<std::unique_ptr<HybridSampler>> HybridSampler::Make(
   return sampler;
 }
 
-AttrSet HybridSampler::AgreeSetOf(int i, int j) const {
-  uint64_t word = comparator_->Word(i, j);
-  const std::vector<EvidenceSet::ColumnLayout>& layout = comparator_->layout();
+AttrSet HybridSampler::AgreeFromWord(uint64_t word) const {
   AttrSet agree;
+  const std::vector<EvidenceSet::ColumnLayout>& layout = comparator_->layout();
   for (const EvidenceSet::ColumnLayout& col : layout) {
     if (((word >> col.cmp_shift) & 1u) == 0) agree.Add(col.attr);
   }
   return agree;
 }
 
+AttrSet HybridSampler::AgreeSetOf(int i, int j) const {
+  if (comparator_ != nullptr) {
+    return AgreeFromWord(comparator_->Word(i, j));
+  }
+  AttrSet agree;
+  // Wide schema: the packed word cannot carry one equality facet per
+  // column, so compare the dictionary codes directly (bit-identical to the
+  // comparator path — both test code equality per column).
+  int nc = encoded_.num_columns();
+  for (int a = 0; a < nc; ++a) {
+    const std::vector<uint32_t>& codes = encoded_.codes(a);
+    if (codes[i] == codes[j]) agree.Add(a);
+  }
+  return agree;
+}
+
 bool HybridSampler::MarkSeen(AttrSet agree) {
-  return seen_.insert(agree.mask()).second;
+  return seen_.insert(agree).second;
 }
 
 Result<int64_t> HybridSampler::RunPass(int attr, int window,
@@ -64,8 +82,17 @@ Result<int64_t> HybridSampler::RunPass(int attr, int window,
         FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx_));
       }
       ++pairs;
-      AttrSet agree = AgreeSetOf(rows[k], rows[k + window]);
-      if (MarkSeen(agree)) out->push_back(agree);
+      if (comparator_ != nullptr) {
+        // Word-level prefilter: a word seen before decodes to an agree set
+        // seen before, so only fresh words pay the unpack + set probe.
+        uint64_t word = comparator_->Word(rows[k], rows[k + window]);
+        if (!seen_words_.insert(word).second) continue;
+        AttrSet agree = AgreeFromWord(word);
+        if (MarkSeen(agree)) out->push_back(agree);
+      } else {
+        AttrSet agree = AgreeSetOf(rows[k], rows[k + window]);
+        if (MarkSeen(agree)) out->push_back(agree);
+      }
     }
   }
   return pairs;

@@ -10,10 +10,7 @@ Status FrontierValidator::ValidateEntry(const FdTree::Entry& entry,
   if (entry.lhs.empty()) {
     // Level 0: {} -> a holds iff column a is constant (one class of all
     // rows; trivially valid on an empty relation).
-    uint64_t rhs_bits = entry.rhs_bits;
-    while (rhs_bits != 0) {
-      int a = __builtin_ctzll(rhs_bits);
-      rhs_bits &= rhs_bits - 1;
+    for (int a : entry.rhs_bits) {
       const std::vector<uint32_t>& codes = encoded_.codes(a);
       int bad = -1;
       for (int row = 1; row < num_rows; ++row) {
@@ -23,7 +20,7 @@ Status FrontierValidator::ValidateEntry(const FdTree::Entry& entry,
         }
       }
       if (bad < 0) {
-        result->valid_rhs |= uint64_t{1} << a;
+        result->valid_rhs.Add(a);
       } else {
         result->violations.push_back(Violation{a, 0, bad});
       }
@@ -46,10 +43,7 @@ Status FrontierValidator::ValidateEntry(const FdTree::Entry& entry,
         StrippedPartition::ForAttributeSet(encoded_, entry.lhs));
     pli = owned.get();
   }
-  uint64_t rhs_bits = entry.rhs_bits;
-  while (rhs_bits != 0) {
-    int a = __builtin_ctzll(rhs_bits);
-    rhs_bits &= rhs_bits - 1;
+  for (int a : entry.rhs_bits) {
     const std::vector<uint32_t>& codes = encoded_.codes(a);
     Violation violation;
     bool valid = true;
@@ -66,7 +60,7 @@ Status FrontierValidator::ValidateEntry(const FdTree::Entry& entry,
       }
     }
     if (valid) {
-      result->valid_rhs |= uint64_t{1} << a;
+      result->valid_rhs.Add(a);
     } else {
       result->violations.push_back(violation);
     }
@@ -96,7 +90,7 @@ Status FrontierValidator::ValidateLevel(const FdTree& tree, int level,
       }));
   if (stats != nullptr) {
     for (size_t e = 0; e < entries->size(); ++e) {
-      stats->checks += __builtin_popcountll((*entries)[e].rhs_bits);
+      stats->checks += (*entries)[e].rhs_bits.size();
       stats->violations +=
           static_cast<int64_t>((*results)[e].violations.size());
     }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/attr_set.h"
 #include "common/run_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -35,10 +36,10 @@ class FrontierValidator {
     int row_j = 0;
   };
 
-  /// Per-entry outcome, rhs slots split into the valid mask and the
+  /// Per-entry outcome, rhs slots split into the valid set and the
   /// violations (ascending rhs within the entry).
   struct EntryResult {
-    uint64_t valid_rhs = 0;
+    AttrSet valid_rhs;
     std::vector<Violation> violations;
   };
 

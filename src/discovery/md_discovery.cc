@@ -49,6 +49,7 @@ Result<std::vector<DiscoveredMd>> DiscoverMds(
     const Relation& relation, AttrSet rhs,
     const MdDiscoveryOptions& options) {
   int nc = relation.num_columns();
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "MD discovery"));
   if (!AttrSet::Full(nc).ContainsAll(rhs) || rhs.empty()) {
     return Status::Invalid("MD discovery needs a valid RHS attribute set");
   }

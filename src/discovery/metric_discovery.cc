@@ -63,7 +63,7 @@ double GlobalDiameterFromCodes(const EncodedRelation& encoded, int attr,
 Result<std::vector<DiscoveredMfd>> DiscoverMfds(
     const Relation& relation, const MfdDiscoveryOptions& options) {
   int nc = relation.num_columns();
-  if (nc > 63) return Status::Invalid("MFD discovery supports up to 63 attributes");
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "MFD discovery"));
   if (options.max_delta_ratio <= 0 || options.max_delta_ratio > 1) {
     return Status::Invalid("max_delta_ratio must be in (0, 1]");
   }
@@ -164,10 +164,10 @@ Result<std::vector<DiscoveredMfd>> DiscoverMfds(
       // Per-word attribute-agreement masks, shared by every candidate:
       // the word's pairs lie in one LHS group exactly when the mask covers
       // the LHS.
-      std::vector<uint64_t> agree(words.size(), 0);
+      std::vector<AttrSet> agree(words.size());
       for (size_t wi = 0; wi < words.size(); ++wi) {
         for (int a = 0; a < nc; ++a) {
-          if (set->AgreesOn(words[wi].bits, a)) agree[wi] |= uint64_t{1} << a;
+          if (set->AgreesOn(words[wi].bits, a)) agree[wi].Add(a);
         }
       }
       FAMTREE_ASSIGN_OR_RETURN(
@@ -177,9 +177,8 @@ Result<std::vector<DiscoveredMfd>> DiscoverMfds(
               [&](int64_t i) {
                 Candidate& c = candidates[i];
                 double diameter = 0.0;
-                uint64_t lhs_mask = c.lhs.mask();
                 for (size_t wi = 0; wi < words.size(); ++wi) {
-                  if ((agree[wi] & lhs_mask) != lhs_mask) continue;
+                  if (!agree[wi].ContainsAll(c.lhs)) continue;
                   diameter = std::max(diameter, set->agg(wi, c.attr).max_all);
                 }
                 c.diameter = diameter;

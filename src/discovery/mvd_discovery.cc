@@ -46,14 +46,15 @@ Result<std::vector<DiscoveredMvd>> DiscoverMvds(
       AttrSet others = rest.Without(anchor);
       // Canonical RHS: anchor plus any subset of the remaining attributes,
       // leaving Z non-empty (enumerating both X ->> Y and its complement
-      // X ->> Z would double-report the same constraint).
-      std::vector<int> ov = others.ToVector();
-      uint64_t limit = 1ULL << ov.size();
-      for (uint64_t m = 0; m < limit; ++m) {
-        AttrSet rhs = AttrSet::Single(anchor);
-        for (size_t i = 0; i < ov.size(); ++i) {
-          if ((m >> i) & 1) rhs.Add(ov[i]);
-        }
+      // X ->> Z would double-report the same constraint). Subsets run in
+      // increasing mask order — the historical enumeration order — via the
+      // width-safe helper instead of a raw shifted-mask loop.
+      std::vector<AttrSet> extras = ProperNonEmptySubsets(others);
+      std::reverse(extras.begin(), extras.end());
+      extras.insert(extras.begin(), AttrSet());
+      if (!others.empty()) extras.push_back(others);
+      for (const AttrSet& extra : extras) {
+        AttrSet rhs = extra.With(anchor);
         if (full.Minus(lhs).Minus(rhs).empty()) continue;  // Z empty
         candidates.push_back(Candidate{lhs, rhs, 0.0});
       }

@@ -101,6 +101,7 @@ Result<std::vector<DiscoveredOd>> DiscoverUnaryOds(
     const Relation& relation, const OdDiscoveryOptions& options) {
   std::vector<DiscoveredOd> out;
   int nc = relation.num_columns();
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "OD discovery"));
   ThreadPool* pool = options.pool;
   RunContext* ctx = options.context;
   RunContext::BeginRun(ctx, "unary_ods");

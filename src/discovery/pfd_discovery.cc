@@ -43,7 +43,7 @@ bool IsMinimal(const std::vector<DiscoveredPfd>& out, AttrSet lhs, int rhs) {
 Result<std::vector<DiscoveredPfd>> DiscoverPfds(
     const Relation& relation, const PfdDiscoveryOptions& options) {
   int nc = relation.num_columns();
-  if (nc > 63) return Status::Invalid("PFD discovery supports up to 63 attributes");
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "PFD discovery"));
   if (options.min_probability < 0 || options.min_probability > 1) {
     return Status::Invalid("min_probability must be in [0, 1]");
   }

@@ -32,7 +32,7 @@ struct Node {
   AttrSet cplus;  // RHS candidates C+(X)
 };
 
-using Level = std::map<uint64_t, Node>;
+using Level = std::map<AttrSet, Node>;
 
 /// e(X) in TANE terms: rows in stripped classes minus class count.
 int PartitionCost(const StrippedPartition& p) {
@@ -70,7 +70,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTaneImpl(
                                : cache->num_columns();
   int num_rows = relation != nullptr ? relation->num_rows()
                                      : cache->num_rows();
-  if (nc > 63) return Status::Invalid("TANE supports up to 63 attributes");
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "TANE"));
   if (options.max_error < 0 || options.max_error > 1) {
     return Status::Invalid("max_error must be in [0, 1]");
   }
@@ -84,6 +84,15 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTaneImpl(
   const int64_t total_levels = options.max_lhs_size + 1;
   int64_t levels_done = 0;
   std::vector<DiscoveredFd> out;
+  // Per-RHS index over `out` for the key-pruning minimality consult below:
+  // scanning the whole output list per emitted FD is quadratic in the
+  // output size, which wide schemas (hundreds of key columns emitting
+  // nc - 1 FDs each) turn into the dominant cost.
+  std::unordered_map<int, std::vector<AttrSet>> lhs_by_rhs;
+  auto emit = [&](const AttrSet& lhs, int rhs, double error) {
+    out.push_back(DiscoveredFd{lhs, rhs, error});
+    lhs_by_rhs[rhs].push_back(lhs);
+  };
   const bool exact = options.max_error == 0.0;
   const AttrSet full = AttrSet::Full(nc);
 
@@ -135,14 +144,12 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTaneImpl(
   FAMTREE_RETURN_NOT_OK(singles_status);
   Level level;
   for (int a = 0; a < nc; ++a) {
-    level.emplace(AttrSet::Single(a).mask(),
-                  Node{std::move(singles[a]), full});
+    level.emplace(AttrSet::Single(a), Node{std::move(singles[a]), full});
   }
 
   // Level 0's C+ is the full set; dependencies {} -> A (constant columns)
   // are reported from level 1 with an empty LHS.
-  for (auto& [mask, node] : level) {
-    AttrSet x(mask);
+  for (auto& [x, node] : level) {
     int a = x.ToVector()[0];
     // {} -> A holds iff column A is constant; its g3 error is one minus
     // the plurality fraction of the column.
@@ -150,14 +157,14 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTaneImpl(
     double err = num_rows == 0 ? 0.0
                                : 1.0 - static_cast<double>(largest) / num_rows;
     if (err <= options.max_error) {
-      out.push_back(DiscoveredFd{AttrSet(), a, err});
+      emit(AttrSet(), a, err);
       node.cplus.Remove(a);
     }
   }
 
   // Partitions of the previous level, used by the validity test
   // e(X \ A) == e(X) (exact) / g3 from pi(X \ A) (approximate).
-  std::unordered_map<uint64_t, Pli> prev_plis;
+  std::unordered_map<AttrSet, Pli, AttrSetHash> prev_plis;
 
   // Level `depth` holds attribute sets X with |X| = depth; the FDs tested
   // there have LHS size depth - 1, so the walk runs to max_lhs_size + 1.
@@ -182,8 +189,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTaneImpl(
     std::vector<CandidateTest> tests;
     {
       size_t node_index = 0;
-      for (auto& [mask, node] : level) {
-        AttrSet x(mask);
+      for (auto& [x, node] : level) {
         nodes.push_back(&node);
         for (int a : x.Intersect(node.cplus).ToVector()) {
           AttrSet lhs = x.Without(a);
@@ -199,7 +205,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTaneImpl(
         ParallelFor(pool, static_cast<int64_t>(tests.size()), [&](int64_t t) {
           FAMTREE_RETURN_NOT_OK(RunContext::Poll(ctx));
           CandidateTest& test = tests[t];
-          auto prev = prev_plis.find(test.lhs.mask());
+          auto prev = prev_plis.find(test.lhs);
           if (prev == prev_plis.end()) return Status::OK();  // lhs pruned
           test.tested = true;
           if (exact) {
@@ -229,7 +235,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTaneImpl(
       if (!test.tested || test.error > options.max_error) continue;
       Node& node = *nodes[test.node_index];
       AttrSet x = test.lhs.With(test.rhs);
-      out.push_back(DiscoveredFd{test.lhs, test.rhs, test.error});
+      emit(test.lhs, test.rhs, test.error);
       if (static_cast<int>(out.size()) >= options.max_results) {
         RunContext::MarkComplete(ctx, levels_done);
         return out;
@@ -241,7 +247,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTaneImpl(
     }
     // PRUNE.
     for (auto it = level.begin(); it != level.end();) {
-      AttrSet x(it->first);
+      const AttrSet& x = it->first;
       Node& node = it->second;
       bool erase = node.cplus.empty();
       if (!erase && exact && node.pli->IsKey() &&
@@ -251,14 +257,17 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTaneImpl(
           // C+(X u {A} \ {B}) over B in X; approximate conservatively by
           // checking no subset of X already determines A.
           bool minimal = true;
-          for (const DiscoveredFd& fd : out) {
-            if (fd.rhs == a && x.ContainsAll(fd.lhs)) {
-              minimal = false;
-              break;
+          auto prior = lhs_by_rhs.find(a);
+          if (prior != lhs_by_rhs.end()) {
+            for (const AttrSet& lhs : prior->second) {
+              if (x.ContainsAll(lhs)) {
+                minimal = false;
+                break;
+              }
             }
           }
           if (minimal) {
-            out.push_back(DiscoveredFd{x, a, 0.0});
+            emit(x, a, 0.0);
           }
         }
         erase = true;
@@ -269,26 +278,25 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTaneImpl(
     if (depth == options.max_lhs_size + 1) break;
     // Retain this level's partitions for the next level's validity tests.
     prev_plis.clear();
-    for (const auto& [mask, node] : level) {
-      prev_plis.emplace(mask, node.pli);
+    for (const auto& [attrs, node] : level) {
+      prev_plis.emplace(attrs, node.pli);
     }
     // GENERATE next level via prefix join: enumerate the surviving
     // candidate sets serially (cheap bit tricks), then compute the
     // expensive partition products in parallel.
     std::vector<PendingNode> pending;
-    std::set<uint64_t> seen;
+    std::set<AttrSet> seen;
     for (auto it1 = level.begin(); it1 != level.end(); ++it1) {
       for (auto it2 = std::next(it1); it2 != level.end(); ++it2) {
-        AttrSet a(it1->first), b(it2->first);
-        AttrSet u = a.Union(b);
+        AttrSet u = it1->first.Union(it2->first);
         if (u.size() != depth + 1) continue;
-        if (!seen.insert(u.mask()).second) continue;
+        if (!seen.insert(u).second) continue;
         // All depth-size subsets must be alive (Apriori condition).
         bool ok = true;
         AttrSet cplus = it1->second.cplus.Intersect(it2->second.cplus);
         for (int drop : u.ToVector()) {
           AttrSet sub = u.Without(drop);
-          auto found = level.find(sub.mask());
+          auto found = level.find(sub);
           if (found == level.end()) {
             ok = false;
             break;
@@ -319,7 +327,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTaneImpl(
     FAMTREE_RETURN_NOT_OK(products_status);
     Level next;
     for (PendingNode& p : pending) {
-      next.emplace(p.attrs.mask(), Node{std::move(p.pli), p.cplus});
+      next.emplace(p.attrs, Node{std::move(p.pli), p.cplus});
     }
     level = std::move(next);
   }
@@ -353,7 +361,7 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsTane(PliCache* cache,
 Result<std::vector<DiscoveredFd>> DiscoverFdsNaive(const Relation& relation,
                                                    const TaneOptions& options) {
   int nc = relation.num_columns();
-  if (nc > 63) return Status::Invalid("naive FD search supports up to 63 attributes");
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "naive FD search"));
   std::vector<DiscoveredFd> out;
   for (int size = 0; size <= options.max_lhs_size; ++size) {
     for (AttrSet lhs : AllSubsetsOfSize(nc, size)) {

@@ -122,8 +122,8 @@ Result<std::vector<DiscoveredFd>> DiscoveryEngine::Fds(
               if (a.lhs.size() != b.lhs.size()) {
                 return a.lhs.size() < b.lhs.size();
               }
-              if (a.lhs.mask() != b.lhs.mask()) {
-                return a.lhs.mask() < b.lhs.mask();
+              if (a.lhs != b.lhs) {
+                return a.lhs < b.lhs;
               }
               return a.rhs < b.rhs;
             });

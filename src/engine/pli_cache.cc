@@ -52,7 +52,7 @@ std::shared_ptr<const StrippedPartition> PliCache::Get(AttrSet attrs,
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(attrs.mask());
+    auto it = entries_.find(attrs);
     if (it != entries_.end()) {
       ++stats_.hits;
       if (!it->second.pinned) {  // touch: move to the front of the LRU list
@@ -122,7 +122,7 @@ std::shared_ptr<const StrippedPartition> PliCache::Compute(AttrSet attrs,
 std::shared_ptr<const StrippedPartition> PliCache::Insert(
     AttrSet attrs, std::shared_ptr<const StrippedPartition> pli) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(attrs.mask());
+  auto it = entries_.find(attrs);
   if (it != entries_.end()) return it->second.pli;  // lost a benign race
   Entry entry;
   entry.bytes = FootprintOf(*pli);
@@ -130,12 +130,12 @@ std::shared_ptr<const StrippedPartition> PliCache::Insert(
   entry.pli = std::move(pli);
   stats_.bytes += entry.bytes;
   if (!entry.pinned) {
-    lru_.push_front(attrs.mask());
+    lru_.push_front(attrs);
     entry.lru_pos = lru_.begin();
     // Evict least-recently-used unpinned partitions beyond the budget, but
     // never the entry just inserted.
     while (stats_.bytes > options_.max_bytes && lru_.size() > 1) {
-      uint64_t victim = lru_.back();
+      AttrSet victim = lru_.back();
       lru_.pop_back();
       auto vit = entries_.find(victim);
       stats_.bytes -= vit->second.bytes;
@@ -144,7 +144,7 @@ std::shared_ptr<const StrippedPartition> PliCache::Insert(
     }
   }
   auto result = entry.pli;
-  entries_.emplace(attrs.mask(), std::move(entry));
+  entries_.emplace(attrs, std::move(entry));
   return result;
 }
 

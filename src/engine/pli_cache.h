@@ -133,7 +133,7 @@ class PliCache {
     size_t bytes = 0;
     bool pinned = false;
     /// Position in lru_ (unpinned entries only).
-    std::list<uint64_t>::iterator lru_pos;
+    std::list<AttrSet>::iterator lru_pos;
   };
 
   /// Approximate heap footprint of a partition.
@@ -164,9 +164,9 @@ class PliCache {
   /// Set in the constructor (in-memory) or by EnsureEncoded (out-of-core;
   /// guarded by mu_ until set, stable afterwards).
   std::shared_ptr<const EncodedRelation> encoded_;
-  std::unordered_map<uint64_t, Entry> entries_;
+  std::unordered_map<AttrSet, Entry, AttrSetHash> entries_;
   /// Unpinned keys, most recently used first.
-  std::list<uint64_t> lru_;
+  std::list<AttrSet> lru_;
   Stats stats_;
 };
 

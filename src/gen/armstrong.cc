@@ -18,12 +18,16 @@ Result<Relation> BuildArmstrongRelation(int num_attrs,
   }
   // Closed sets: closures of every subset, deduplicated. The full set is
   // always closed; skip it (a row agreeing everywhere is a duplicate).
-  std::set<uint64_t> closed;
-  uint64_t limit = 1ULL << num_attrs;
-  for (uint64_t mask = 0; mask < limit; ++mask) {
-    closed.insert(Closure(AttrSet(mask), fds).mask());
+  // Subset order (empty, then ProperNonEmptySubsets descending) only
+  // affects insertion order into the std::set, not its contents.
+  std::set<AttrSet> closed;
+  const AttrSet full = AttrSet::Full(num_attrs);
+  closed.insert(Closure(AttrSet(), fds));
+  closed.insert(Closure(full, fds));
+  for (AttrSet sub : ProperNonEmptySubsets(full)) {
+    closed.insert(Closure(sub, fds));
   }
-  closed.erase(AttrSet::Full(num_attrs).mask());
+  closed.erase(full);
 
   std::vector<std::string> names;
   for (int a = 0; a < num_attrs; ++a) names.push_back("a" + std::to_string(a));
@@ -34,8 +38,7 @@ Result<Relation> BuildArmstrongRelation(int num_attrs,
   // One row per closed set, with globally fresh disagreement values so
   // rows for different closed sets never accidentally agree.
   int64_t fresh = 1;
-  for (uint64_t mask : closed) {
-    AttrSet agree(mask);
+  for (const AttrSet& agree : closed) {
     std::vector<Value> row(num_attrs);
     for (int a = 0; a < num_attrs; ++a) {
       row[a] = agree.Contains(a) ? Value(0) : Value(fresh++);

@@ -16,6 +16,7 @@ namespace {
 
 Status CheckQuery(const Relation& relation, const SelectionQuery& query) {
   int nc = relation.num_columns();
+  FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "consistent query answering"));
   if (query.attr < 0 || query.attr >= nc) {
     return Status::Invalid("selection attribute outside the schema");
   }

@@ -66,14 +66,14 @@ std::vector<NormalFormViolation> FourthNfViolations(
 
 std::vector<Fd> ProjectFds(AttrSet fragment, const std::vector<Fd>& fds) {
   std::vector<Fd> projected;
-  // For every subset X of the fragment, X -> (X+ intersect fragment) \ X.
-  std::vector<int> attrs = fragment.ToVector();
-  uint64_t limit = 1ULL << attrs.size();
-  for (uint64_t m = 1; m < limit; ++m) {
-    AttrSet x;
-    for (size_t i = 0; i < attrs.size(); ++i) {
-      if ((m >> i) & 1) x.Add(attrs[i]);
-    }
+  // For every non-empty subset X of the fragment (increasing mask order,
+  // the historical enumeration order), X -> (X+ intersect fragment) \ X.
+  // The width-safe subset helper replaces the old `1ULL << size` loop,
+  // which was undefined for fragments of 64+ attributes.
+  std::vector<AttrSet> subsets = ProperNonEmptySubsets(fragment);
+  std::reverse(subsets.begin(), subsets.end());
+  if (!fragment.empty()) subsets.push_back(fragment);
+  for (const AttrSet& x : subsets) {
     AttrSet rhs = Closure(x, fds).Intersect(fragment).Minus(x);
     if (!rhs.empty()) projected.push_back(Fd(x, rhs));
   }

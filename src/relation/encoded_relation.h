@@ -92,16 +92,16 @@ class EncodedRelation {
   /// untouched.
   void SetCode(int row, int col, uint32_t code) {
     columns_[col][row] = code;
-    mutated_ |= uint64_t{1} << col;
+    mutated_.Add(col);
   }
 
  private:
-  bool IsMutated(int col) const { return (mutated_ >> col) & 1; }
+  bool IsMutated(int col) const { return mutated_.Contains(col); }
 
   int num_rows_ = 0;
   std::vector<std::vector<uint32_t>> columns_;
   std::vector<std::vector<Value>> dicts_;
-  uint64_t mutated_ = 0;  // bit per column; AttrSet caps columns at 63
+  AttrSet mutated_;  // one bit per rebound column
 };
 
 }  // namespace famtree

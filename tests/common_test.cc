@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/attr_set.h"
 #include "common/rng.h"
@@ -158,6 +160,142 @@ TEST(AttrSetTest, ProperNonEmptySubsets) {
 TEST(AttrSetTest, ProperNonEmptySubsetsOfThree) {
   auto subs = ProperNonEmptySubsets(AttrSet::Of({0, 1, 2}));
   EXPECT_EQ(subs.size(), 6u);  // 2^3 - 2
+}
+
+// Regression for the pre-widening mask-boundary bug family: every index
+// operation at and around the 64-bit word seams used to be an undefined
+// shift (`1ULL << 64`). This test runs under UBSan via scripts/check.sh.
+TEST(AttrSetTest, WideIndexRoundTrip) {
+  for (int a : {0, 1, 62, 63, 64, 65, 100, 127, 128, 191, 192, 254, 255}) {
+    AttrSet s;
+    s.Add(a);
+    EXPECT_TRUE(s.Contains(a)) << "bit " << a;
+    EXPECT_EQ(s.size(), 1) << "bit " << a;
+    EXPECT_EQ(s, AttrSet::Single(a)) << "bit " << a;
+    EXPECT_EQ(s.ToVector(), (std::vector<int>{a})) << "bit " << a;
+    EXPECT_FALSE(s.Contains(a == 0 ? 255 : a - 1)) << "bit " << a;
+    s.Remove(a);
+    EXPECT_TRUE(s.empty()) << "bit " << a;
+    EXPECT_EQ(AttrSet().With(a).Without(a), AttrSet()) << "bit " << a;
+  }
+}
+
+TEST(AttrSetTest, WideSetAlgebra) {
+  AttrSet a = AttrSet::Of({3, 63, 64, 130, 255});
+  AttrSet b = AttrSet::Of({63, 130, 200});
+  EXPECT_EQ(a.Union(b), AttrSet::Of({3, 63, 64, 130, 200, 255}));
+  EXPECT_EQ(a.Intersect(b), AttrSet::Of({63, 130}));
+  EXPECT_EQ(a.Minus(b), AttrSet::Of({3, 64, 255}));
+  EXPECT_TRUE(a.ContainsAll(AttrSet::Of({63, 255})));
+  EXPECT_FALSE(a.ContainsAll(b));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(AttrSet::Of({64}).Intersects(AttrSet::Of({65, 128})));
+  EXPECT_EQ(a.size(), 5);
+  EXPECT_EQ(a.ToVector(), (std::vector<int>{3, 63, 64, 130, 255}));
+}
+
+TEST(AttrSetTest, WideFullAndRange) {
+  EXPECT_EQ(AttrSet::Full(64).size(), 64);
+  EXPECT_EQ(AttrSet::Full(65).size(), 65);
+  EXPECT_EQ(AttrSet::Full(kMaxAttrs).size(), kMaxAttrs);
+  EXPECT_TRUE(AttrSet::Full(kMaxAttrs).Contains(kMaxAttrs - 1));
+  EXPECT_EQ(AttrSet::Full(100).Minus(AttrSet::Range(0, 64)),
+            AttrSet::Range(64, 100));
+  EXPECT_EQ(AttrSet::Range(60, 70).size(), 10);
+  EXPECT_TRUE(AttrSet::Range(60, 70).Contains(63));
+  EXPECT_TRUE(AttrSet::Range(60, 70).Contains(64));
+  EXPECT_FALSE(AttrSet::Range(60, 70).Contains(70));
+}
+
+TEST(AttrSetTest, WideOrderingComparesHighWordsFirst) {
+  // {200} > {0..63} even though the latter has a larger low word: the
+  // comparator orders by highest word first, matching the historical
+  // single-uint64 order on narrow sets.
+  EXPECT_LT(AttrSet::Full(64), AttrSet::Single(200));
+  EXPECT_LT(AttrSet::Single(63), AttrSet::Single(64));
+  EXPECT_LT(AttrSet::Of({64, 3}), AttrSet::Of({64, 5}));
+  EXPECT_LT(AttrSet::Of({1}), AttrSet::Of({2}));
+  std::set<AttrSet> ordered{AttrSet::Single(128), AttrSet::Single(1),
+                            AttrSet::Single(64)};
+  std::vector<AttrSet> v(ordered.begin(), ordered.end());
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], AttrSet::Single(1));
+  EXPECT_EQ(v[1], AttrSet::Single(64));
+  EXPECT_EQ(v[2], AttrSet::Single(128));
+}
+
+TEST(AttrSetTest, WideIterationAndLowestBit) {
+  AttrSet s = AttrSet::Of({5, 63, 64, 129, 255});
+  std::vector<int> seen;
+  for (int a : s) seen.push_back(a);
+  EXPECT_EQ(seen, (std::vector<int>{5, 63, 64, 129, 255}));
+  EXPECT_EQ(s.LowestBit(), 5);
+  AttrSet t = s;
+  std::vector<int> popped;
+  while (!t.empty()) popped.push_back(t.PopLowestBit());
+  EXPECT_EQ(popped, seen);
+}
+
+TEST(AttrSetTest, WideHashDistinguishesWords) {
+  // Same low word, different high words must hash differently (the old
+  // mask()-based hash would collide everything above bit 63 onto word 0).
+  EXPECT_NE(AttrSet::Of({1, 64}).Hash(), AttrSet::Of({1, 128}).Hash());
+  EXPECT_NE(AttrSet::Single(64).Hash(), AttrSet::Single(65).Hash());
+  EXPECT_EQ(AttrSet::Of({1, 64}).Hash(), AttrSet::Of({64, 1}).Hash());
+}
+
+TEST(AttrSetTest, SubsetsOfSizeWide) {
+  // n > 64 takes the colex combination path instead of Gosper's hack.
+  auto subsets = AllSubsetsOfSize(70, 2);
+  EXPECT_EQ(subsets.size(), 70u * 69 / 2);  // C(70,2)
+  std::set<AttrSet> seen;
+  for (const AttrSet& s : subsets) {
+    EXPECT_EQ(s.size(), 2);
+    EXPECT_TRUE(AttrSet::Full(70).ContainsAll(s));
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), subsets.size());
+  // Both paths agree where they overlap in n, including the exact word
+  // seam (Gosper's step for the final n = 64 combination used to shift by
+  // 64 — UB — and emit a phantom extra subset).
+  auto narrow = AllSubsetsOfSize(64, 1);
+  EXPECT_EQ(narrow.size(), 64u);
+  EXPECT_EQ(narrow.back(), AttrSet::Single(63));
+  EXPECT_EQ(AllSubsetsOfSize(64, 63).size(), 64u);
+  auto full = AllSubsetsOfSize(64, 64);
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full[0], AttrSet::Full(64));
+  auto wide = AllSubsetsOfSize(65, 1);
+  EXPECT_EQ(wide.size(), 65u);
+  EXPECT_EQ(wide.back(), AttrSet::Single(64));
+}
+
+TEST(AttrSetTest, ProperNonEmptySubsetsSpansWords) {
+  AttrSet s = AttrSet::Of({10, 63, 64, 200});
+  auto subs = ProperNonEmptySubsets(s);
+  EXPECT_EQ(subs.size(), 14u);  // 2^4 - 2
+  std::set<AttrSet> seen;
+  for (const AttrSet& sub : subs) {
+    EXPECT_FALSE(sub.empty());
+    EXPECT_NE(sub, s);
+    EXPECT_TRUE(s.ContainsAll(sub));
+    seen.insert(sub);
+  }
+  EXPECT_EQ(seen.size(), subs.size());
+  EXPECT_TRUE(seen.count(AttrSet::Of({63, 64, 200})));
+  EXPECT_TRUE(seen.count(AttrSet::Single(200)));
+}
+
+TEST(AttrSetTest, CheckAttrCapacityBoundary) {
+  EXPECT_TRUE(CheckAttrCapacity(0, "test").ok());
+  EXPECT_TRUE(CheckAttrCapacity(kMaxAttrs, "test").ok());
+  Status st = CheckAttrCapacity(kMaxAttrs + 1, "test");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The one shared message quotes the one real capacity constant.
+  EXPECT_NE(st.message().find("test"), std::string::npos);
+  EXPECT_NE(st.message().find(std::to_string(kMaxAttrs)), std::string::npos);
+  EXPECT_NE(st.message().find("kMaxAttrs"), std::string::npos);
 }
 
 TEST(RngTest, Deterministic) {

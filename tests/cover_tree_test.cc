@@ -29,12 +29,7 @@ std::set<FlatEntry> Flatten(const FdTree& tree) {
   tree.CollectAll(&all);
   std::set<FlatEntry> out;
   for (const FdTree::Entry& e : all) {
-    uint64_t r = e.rhs_bits;
-    while (r) {
-      int b = __builtin_ctzll(r);
-      r &= r - 1;
-      out.insert({e.lhs.mask(), b});
-    }
+    for (int b : e.rhs_bits) out.insert({e.lhs.mask(), b});
   }
   return out;
 }
@@ -226,11 +221,8 @@ TEST(FdTreeTest, RoundTripsAnyFdSet) {
       tree.CollectLevel(level, &entries);
       for (size_t i = 0; i < entries.size(); ++i) {
         EXPECT_EQ(entries[i].lhs.size(), level);
-        if (i > 0) EXPECT_LT(entries[i - 1].lhs.mask(), entries[i].lhs.mask());
-        uint64_t r = entries[i].rhs_bits;
-        while (r) {
-          int b = __builtin_ctzll(r);
-          r &= r - 1;
+        if (i > 0) EXPECT_LT(entries[i - 1].lhs, entries[i].lhs);
+        for (int b : entries[i].rhs_bits) {
           via_levels.insert({entries[i].lhs.mask(), b});
         }
       }

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/attr_set.h"
+#include "deps/fd.h"
+#include "discovery/hybrid/hybrid_fd.h"
+#include "discovery/md_discovery.h"
+#include "discovery/tane.h"
+#include "quality/cqa.h"
+#include "relation/relation.h"
+
+namespace famtree {
+namespace {
+
+// Boundary coverage for the widened AttrSet capacity: every driver must
+// succeed at kMaxAttrs - 1 and kMaxAttrs columns and fail with a clean
+// Status::Invalid (quoting the capacity) at kMaxAttrs + 1 — never a crash
+// or a silently truncated mask, which is what the old `1ULL << nc` guards
+// produced past 63 columns.
+
+/// A relation with `nc` columns and `rows` rows where every column is a
+/// key (all values distinct within each column).
+Relation AllDistinct(int nc, int rows) {
+  std::vector<std::string> names;
+  names.reserve(nc);
+  for (int c = 0; c < nc; ++c) names.push_back("c" + std::to_string(c));
+  RelationBuilder b(names);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    row.reserve(nc);
+    for (int c = 0; c < nc; ++c) row.push_back(Value(r * nc + c));
+    b.AddRow(std::move(row));
+  }
+  return std::move(b.Build()).value();
+}
+
+void ExpectCapacityError(const Status& st) {
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find(std::to_string(kMaxAttrs)), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("kMaxAttrs"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(WideSchemaTest, TaneAtCapacityBoundary) {
+  for (int nc : {kMaxAttrs - 1, kMaxAttrs}) {
+    Relation rel = AllDistinct(nc, 3);
+    TaneOptions options;
+    options.max_lhs_size = 1;
+    auto fds = DiscoverFdsTane(rel, options);
+    ASSERT_TRUE(fds.ok()) << nc << " columns: " << fds.status().ToString();
+    // Every column is a key, so every singleton determines everything.
+    EXPECT_EQ(fds->size(),
+              static_cast<size_t>(nc) * static_cast<size_t>(nc - 1));
+  }
+  Relation over = AllDistinct(kMaxAttrs + 1, 3);
+  TaneOptions options;
+  options.max_lhs_size = 1;
+  auto fds = DiscoverFdsTane(over, options);
+  ASSERT_FALSE(fds.ok());
+  ExpectCapacityError(fds.status());
+}
+
+TEST(WideSchemaTest, HybridFdsAtCapacityBoundary) {
+  for (int nc : {kMaxAttrs - 1, kMaxAttrs}) {
+    Relation rel = AllDistinct(nc, 3);
+    HybridFdOptions options;
+    options.max_lhs_size = 1;
+    auto fds = DiscoverFdsHybrid(rel, options);
+    ASSERT_TRUE(fds.ok()) << nc << " columns: " << fds.status().ToString();
+    EXPECT_EQ(fds->size(),
+              static_cast<size_t>(nc) * static_cast<size_t>(nc - 1));
+  }
+  Relation over = AllDistinct(kMaxAttrs + 1, 3);
+  HybridFdOptions options;
+  options.max_lhs_size = 1;
+  auto fds = DiscoverFdsHybrid(over, options);
+  ASSERT_FALSE(fds.ok());
+  ExpectCapacityError(fds.status());
+}
+
+TEST(WideSchemaTest, MdDiscoveryAtCapacityBoundary) {
+  for (int nc : {kMaxAttrs - 1, kMaxAttrs}) {
+    Relation rel = AllDistinct(nc, 3);
+    MdDiscoveryOptions options;
+    options.max_lhs_attrs = 1;
+    options.numeric_thresholds = {0};
+    auto mds = DiscoverMds(rel, AttrSet::Single(nc - 1), options);
+    ASSERT_TRUE(mds.ok()) << nc << " columns: " << mds.status().ToString();
+  }
+  Relation over = AllDistinct(kMaxAttrs + 1, 3);
+  MdDiscoveryOptions options;
+  options.max_lhs_attrs = 1;
+  auto mds = DiscoverMds(over, AttrSet::Single(kMaxAttrs), options);
+  ASSERT_FALSE(mds.ok());
+  ExpectCapacityError(mds.status());
+}
+
+TEST(WideSchemaTest, CertainAnswersAtCapacityBoundary) {
+  for (int nc : {kMaxAttrs - 1, kMaxAttrs}) {
+    Relation rel = AllDistinct(nc, 3);
+    SelectionQuery query;
+    query.attr = 0;
+    query.op = CmpOp::kGe;
+    query.constant = Value(0);
+    query.projection = AttrSet::Single(nc - 1);
+    Fd fd(AttrSet::Single(0), AttrSet::Single(nc - 1));
+    auto certain = CertainAnswers(rel, fd, query);
+    ASSERT_TRUE(certain.ok())
+        << nc << " columns: " << certain.status().ToString();
+    // Every LHS group is a singleton (column 0 is a key), so every row's
+    // projection is certain.
+    EXPECT_EQ(certain->num_rows(), 3);
+  }
+  Relation over = AllDistinct(kMaxAttrs + 1, 3);
+  SelectionQuery query;
+  query.attr = 0;
+  query.op = CmpOp::kGe;
+  query.constant = Value(0);
+  query.projection = AttrSet::Single(kMaxAttrs);
+  Fd fd(AttrSet::Single(0), AttrSet::Single(kMaxAttrs));
+  auto certain = CertainAnswers(over, fd, query);
+  ASSERT_FALSE(certain.ok());
+  ExpectCapacityError(certain.status());
+}
+
+// The 100-column end-to-end scenario: planted FDs whose attributes span
+// the 64-bit word seam, discovered by both lattice and hybrid drivers.
+// Before the widening, 100 columns were rejected outright.
+
+/// 100 columns, 64 rows. Column 0 cycles over 16 group ids, column 70
+/// copies it (so 0 -> 70 and 70 -> 0 across the word seam), column 99 is
+/// a row key, and every other column holds a constant.
+Relation WideScenario() {
+  const int nc = 100;
+  std::vector<std::string> names;
+  for (int c = 0; c < nc; ++c) names.push_back("c" + std::to_string(c));
+  RelationBuilder b(names);
+  for (int r = 0; r < 64; ++r) {
+    std::vector<Value> row(nc, Value(7));
+    row[0] = Value(r % 16);
+    row[70] = Value(r % 16);
+    row[99] = Value(1000 + r);
+    b.AddRow(std::move(row));
+  }
+  return std::move(b.Build()).value();
+}
+
+TEST(WideSchemaTest, HundredColumnDiscoveryEndToEnd) {
+  Relation rel = WideScenario();
+  ASSERT_EQ(rel.num_columns(), 100);
+
+  TaneOptions tane_options;
+  tane_options.max_lhs_size = 1;
+  auto tane = DiscoverFdsTane(rel, tane_options);
+  ASSERT_TRUE(tane.ok()) << tane.status().ToString();
+
+  std::set<std::pair<AttrSet, int>> found;
+  for (const DiscoveredFd& fd : *tane) found.insert({fd.lhs, fd.rhs});
+  // The planted copy pair straddles the word-0 / word-1 seam.
+  EXPECT_TRUE(found.count({AttrSet::Single(0), 70}));
+  EXPECT_TRUE(found.count({AttrSet::Single(70), 0}));
+  // The key column determines an attribute in each word.
+  EXPECT_TRUE(found.count({AttrSet::Single(99), 0}));
+  EXPECT_TRUE(found.count({AttrSet::Single(99), 70}));
+  // Constant columns do not determine the group id.
+  EXPECT_FALSE(found.count({AttrSet::Single(1), 0}));
+  // Every reported FD actually holds.
+  for (const DiscoveredFd& fd : *tane) {
+    EXPECT_TRUE(Fd(fd.lhs, AttrSet::Single(fd.rhs)).Holds(rel))
+        << fd.lhs.ToString() << " -> " << fd.rhs;
+  }
+
+  // The hybrid sampler + inductor agrees with TANE as a set on the same
+  // 100-column instance.
+  HybridFdOptions hybrid_options;
+  hybrid_options.max_lhs_size = 1;
+  auto hybrid = DiscoverFdsHybrid(rel, hybrid_options);
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status().ToString();
+  std::set<std::pair<AttrSet, int>> hybrid_found;
+  for (const DiscoveredFd& fd : *hybrid) hybrid_found.insert({fd.lhs, fd.rhs});
+  EXPECT_EQ(found, hybrid_found);
+}
+
+TEST(WideSchemaTest, HundredColumnCertainAnswers) {
+  Relation rel = WideScenario();
+  // Group by the (0, 70) pair — spanning the word seam — and ask for the
+  // certain projections of the key column among rows in group 3.
+  SelectionQuery query;
+  query.attr = 70;
+  query.op = CmpOp::kEq;
+  query.constant = Value(3);
+  query.projection = AttrSet::Of({0, 70, 99});
+  Fd fd(AttrSet::Of({0, 70}), AttrSet::Single(99));
+  auto certain = CertainAnswers(rel, fd, query);
+  ASSERT_TRUE(certain.ok()) << certain.status().ToString();
+  // Group 3 holds rows 3, 19, 35, 51 — four distinct keys, so the FD
+  // 0,70 -> 99 is violated and no projection survives every repair.
+  EXPECT_EQ(certain->num_rows(), 0);
+  auto possible = PossibleAnswers(rel, fd, query);
+  ASSERT_TRUE(possible.ok()) << possible.status().ToString();
+  EXPECT_EQ(possible->num_rows(), 4);
+}
+
+}  // namespace
+}  // namespace famtree
