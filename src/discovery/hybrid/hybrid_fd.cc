@@ -36,8 +36,20 @@ void InductAgreeSet(AttrSet agree, int nc, int max_lhs_size,
 /// The shared run behind both public entries. `relation` is nullptr for
 /// the cache-only (out-of-core) entry, in which case `options.cache` is
 /// guaranteed non-null and the encoding comes out of the cache.
+///
+/// `seed_cover`, when non-null, replaces the sampling stage: the positive
+/// cover is planted from a previously discovered minimal cover instead of
+/// the top of the lattice, and only the frontier validation runs. Sound
+/// exactly when the seed is the complete minimal exact cover (same
+/// max_lhs_size) of a *prefix* of the relation: appending rows only breaks
+/// exact FDs — every minimal FD of the appended relation specializes some
+/// seed FD — so re-validating the seed frontier and feeding violations
+/// through the standard inductor repairs the cover to bit-parity with a
+/// cold run. (Exact FDs only: approximate g3 validity is not monotone
+/// under appends.)
 Result<std::vector<DiscoveredFd>> DiscoverFdsHybridImpl(
-    const Relation* relation, const HybridFdOptions& options) {
+    const Relation* relation, const HybridFdOptions& options,
+    const std::vector<DiscoveredFd>* seed_cover = nullptr) {
   int nc = relation != nullptr ? relation->num_columns()
                                : options.cache->num_columns();
   FAMTREE_RETURN_NOT_OK(CheckAttrCapacity(nc, "hybrid FD discovery"));
@@ -75,6 +87,10 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsHybridImpl(
   }
 
   // --- Stage 1: sampling into the negative cover. -----------------------
+  // A seeded (cover-repair) run skips sampling: the seed already is the
+  // induction of every agree set that matters for the prefix, and the
+  // frontier's violation feedback supplies the appended rows' agree sets.
+  // The sampler is still built — AgreeSetOf/MarkSeen serve the feedback.
   Result<std::unique_ptr<HybridSampler>> sampler_result =
       HybridSampler::Make(*encoded, options.cache, options.pool, ctx);
   if (!sampler_result.ok() && RunContext::IsStop(sampler_result.status())) {
@@ -83,26 +99,38 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsHybridImpl(
   FAMTREE_ASSIGN_OR_RETURN(std::unique_ptr<HybridSampler> sampler,
                            std::move(sampler_result));
   std::vector<AttrSet> agree_sets;
-  HybridSampler::Stats sampling_stats;
-  Status sampled = sampler->SampleRounds(options.min_efficiency, &agree_sets,
-                                         &sampling_stats);
-  if (RunContext::IsStop(sampled)) return exhausted(sampled, 0);
-  FAMTREE_RETURN_NOT_OK(sampled);
-  if (options.stats != nullptr) {
-    options.stats->sampling_passes = sampling_stats.passes;
-    options.stats->sampled_pairs = sampling_stats.sampled_pairs;
-    options.stats->sampled_agree_sets = sampling_stats.new_agree_sets;
+  if (seed_cover == nullptr) {
+    HybridSampler::Stats sampling_stats;
+    Status sampled = sampler->SampleRounds(options.min_efficiency, &agree_sets,
+                                           &sampling_stats);
+    if (RunContext::IsStop(sampled)) return exhausted(sampled, 0);
+    FAMTREE_RETURN_NOT_OK(sampled);
+    if (options.stats != nullptr) {
+      options.stats->sampling_passes = sampling_stats.passes;
+      options.stats->sampled_pairs = sampling_stats.sampled_pairs;
+      options.stats->sampled_agree_sets = sampling_stats.new_agree_sets;
+    }
   }
 
-  // --- Stage 2: induct the positive cover. ------------------------------
+  // --- Stage 2: induct (or plant) the positive cover. -------------------
   FdTree positive(nc);
-  for (int a = 0; a < nc; ++a) positive.Add(AttrSet(), a);
   NegativeCover negative(nc);
   Inductor inductor(&positive);
   std::vector<AttrSet> ext_scratch;
-  for (AttrSet agree : agree_sets) {
-    InductAgreeSet(agree, nc, max_lhs_size, &negative, &inductor,
-                   &ext_scratch);
+  if (seed_cover != nullptr) {
+    for (const DiscoveredFd& fd : *seed_cover) {
+      if (fd.lhs.size() > max_lhs_size || fd.rhs < 0 || fd.rhs >= nc ||
+          fd.lhs.Contains(fd.rhs)) {
+        return Status::Invalid("cover repair: seed FD outside the lattice");
+      }
+      positive.Add(fd.lhs, fd.rhs);
+    }
+  } else {
+    for (int a = 0; a < nc; ++a) positive.Add(AttrSet(), a);
+    for (AttrSet agree : agree_sets) {
+      InductAgreeSet(agree, nc, max_lhs_size, &negative, &inductor,
+                     &ext_scratch);
+    }
   }
 
   // --- Stage 3: validate the frontier level by level, feeding violations
@@ -169,6 +197,23 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsHybrid(
   HybridFdOptions opts = options;
   opts.cache = cache;
   return DiscoverFdsHybridImpl(cache->relation_or_null(), opts);
+}
+
+Result<std::vector<DiscoveredFd>> RepairFdCover(
+    const Relation& relation, const std::vector<DiscoveredFd>& cover,
+    const HybridFdOptions& options) {
+  return DiscoverFdsHybridImpl(&relation, options, &cover);
+}
+
+Result<std::vector<DiscoveredFd>> RepairFdCover(
+    PliCache* cache, const std::vector<DiscoveredFd>& cover,
+    const HybridFdOptions& options) {
+  if (cache == nullptr) {
+    return Status::Invalid("cover repair requires a PliCache");
+  }
+  HybridFdOptions opts = options;
+  opts.cache = cache;
+  return DiscoverFdsHybridImpl(cache->relation_or_null(), opts, &cover);
 }
 
 }  // namespace famtree

@@ -73,6 +73,26 @@ Result<std::vector<DiscoveredFd>> DiscoverFdsHybrid(
 Result<std::vector<DiscoveredFd>> DiscoverFdsHybrid(
     PliCache* cache, const HybridFdOptions& options = {});
 
+/// Incremental cover repair after a batch append: re-validates a
+/// previously discovered cover against the (delta-maintained or rebuilt)
+/// PLIs and specializes only the FDs the appended rows broke, skipping the
+/// sampling stage entirely. `cover` must be the complete minimal *exact*
+/// cover of a prefix of `relation` at the same max_lhs_size — appends only
+/// break exact FDs, so every minimal FD of the grown relation specializes
+/// a seed FD and the repair output is bit-identical, as a sorted set, to a
+/// cold DiscoverFdsHybrid of the grown relation. (Approximate covers are
+/// not repairable this way: g3 validity is not monotone under appends.)
+Result<std::vector<DiscoveredFd>> RepairFdCover(
+    const Relation& relation, const std::vector<DiscoveredFd>& cover,
+    const HybridFdOptions& options = {});
+
+/// Cache-backed repair, including the out-of-core backend: pairs with
+/// PliCache::MaintainAppend, which advances the PLIs the frontier
+/// validates against.
+Result<std::vector<DiscoveredFd>> RepairFdCover(
+    PliCache* cache, const std::vector<DiscoveredFd>& cover,
+    const HybridFdOptions& options = {});
+
 }  // namespace famtree
 
 #endif  // FAMTREE_DISCOVERY_HYBRID_HYBRID_FD_H_

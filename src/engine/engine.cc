@@ -31,8 +31,22 @@ Result<PliCache*> DiscoveryEngine::CacheFor(const Relation& relation) {
 }
 
 void DiscoveryEngine::ForgetRelation(const Relation& relation) {
-  std::lock_guard<std::mutex> lock(mu_);
-  caches_.erase(&relation);
+  std::unique_ptr<PliCache> owned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = caches_.find(&relation);
+    if (it == caches_.end()) return;
+    owned = std::move(it->second);
+    caches_.erase(it);
+  }
+  // Evidence entries are keyed by the encoding's content fingerprint, so a
+  // *different* relation can never hit them — but the same bytes
+  // reappearing after the caller mutated and re-ingested this relation
+  // would, and the forget contract promises a clean slate. Hash outside
+  // the engine lock (O(data)).
+  if (const EncodedRelation* encoded = owned->encoded_or_null()) {
+    evidence_.EraseFingerprint(EncodingFingerprint(*encoded));
+  }
 }
 
 Result<PliCache*> DiscoveryEngine::OocCacheFor(
@@ -53,8 +67,110 @@ Result<PliCache*> DiscoveryEngine::OocCacheFor(
 }
 
 void DiscoveryEngine::ForgetSharded(const ShardedEncodedRelation& sharded) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ooc_caches_.erase(&sharded);
+  std::unique_ptr<PliCache> owned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ooc_caches_.find(&sharded);
+    if (it == ooc_caches_.end()) return;
+    owned = std::move(it->second);
+    ooc_caches_.erase(it);
+  }
+  if (const EncodedRelation* encoded = owned->encoded_or_null()) {
+    evidence_.EraseFingerprint(EncodingFingerprint(*encoded));
+  }
+}
+
+Status DiscoveryEngine::AppendRows(Relation& relation,
+                                   std::vector<std::vector<Value>> rows,
+                                   RunContext* ctx) {
+  if (ctx == nullptr) ctx = default_context();
+  PliCache* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = caches_.find(&relation);
+    if (it != caches_.end()) slot = it->second.get();
+  }
+  if (slot == nullptr) return relation.AppendRows(std::move(rows));
+  if (slot->fingerprint() != RelationFingerprint(relation)) {
+    return Status::Invalid(
+        "relation at a remembered address has different content; refusing "
+        "to maintain the stale store (ForgetRelation first)");
+  }
+  const int old_rows = relation.num_rows();
+  const uint64_t old_evidence_fp = EncodingFingerprint(slot->encoded());
+  FAMTREE_RETURN_NOT_OK(relation.AppendRows(std::move(rows)));
+  Status maintained = slot->MaintainAppend(ctx);
+  if (maintained.ok()) {
+    EvidenceOptions ev;
+    ev.pool = &pool_;
+    ev.context = ctx;
+    ev.pli = slot;
+    maintained =
+        evidence_.MaintainAppend(slot->encoded(), old_evidence_fp, old_rows, ev);
+  }
+  if (!maintained.ok()) {
+    // The appended rows are in; the cached state may be partial. Drop it —
+    // the next driver call rebuilds cold — and surface the stop.
+    ForgetRelation(relation);
+    evidence_.EraseFingerprint(old_evidence_fp);
+  }
+  return maintained;
+}
+
+Status DiscoveryEngine::AppendCsv(ShardedEncodedRelation& sharded,
+                                  const std::string& text,
+                                  IngestOptions options) {
+  RunContext* ctx =
+      options.context != nullptr ? options.context : default_context();
+  PliCache* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ooc_caches_.find(&sharded);
+    if (it != ooc_caches_.end()) slot = it->second.get();
+  }
+  if (slot == nullptr) return sharded.AppendCsv(text, std::move(options));
+  if (slot->fingerprint() != sharded.fingerprint()) {
+    return Status::Invalid(
+        "sharded relation at a remembered address has different content; "
+        "refusing to maintain the stale store (ForgetSharded first)");
+  }
+  const int old_rows = sharded.num_rows();
+  const EncodedRelation* old_encoded = slot->encoded_or_null();
+  const uint64_t old_evidence_fp =
+      old_encoded != nullptr ? EncodingFingerprint(*old_encoded) : 0;
+  FAMTREE_RETURN_NOT_OK(sharded.AppendCsv(text, std::move(options)));
+  Status maintained = slot->MaintainAppend(ctx);
+  if (maintained.ok() && old_encoded != nullptr) {
+    EvidenceOptions ev;
+    ev.pool = &pool_;
+    ev.context = ctx;
+    ev.pli = slot;
+    maintained =
+        evidence_.MaintainAppend(slot->encoded(), old_evidence_fp, old_rows, ev);
+  }
+  if (!maintained.ok()) {
+    ForgetSharded(sharded);
+    if (old_encoded != nullptr) evidence_.EraseFingerprint(old_evidence_fp);
+  }
+  return maintained;
+}
+
+Result<std::vector<DiscoveredFd>> DiscoveryEngine::RepairFdCover(
+    const Relation& relation, const std::vector<DiscoveredFd>& cover,
+    HybridFdOptions options) {
+  options.pool = &pool_;
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(options.cache, CacheFor(relation));
+  return famtree::RepairFdCover(relation, cover, options);
+}
+
+Result<std::vector<DiscoveredFd>> DiscoveryEngine::RepairFdCoverOutOfCore(
+    const ShardedEncodedRelation& sharded,
+    const std::vector<DiscoveredFd>& cover, HybridFdOptions options) {
+  options.pool = &pool_;
+  if (options.context == nullptr) options.context = default_context();
+  FAMTREE_ASSIGN_OR_RETURN(PliCache * cache, OocCacheFor(sharded));
+  return famtree::RepairFdCover(cache, cover, options);
 }
 
 Result<std::vector<DiscoveredFd>> DiscoveryEngine::Tane(

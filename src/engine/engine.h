@@ -102,11 +102,50 @@ class DiscoveryEngine {
   /// The engine-wide evidence store serving every pairwise miner.
   EvidenceCache& evidence_cache() { return evidence_; }
 
-  /// Drops the store of a relation that is going away.
+  /// Drops the store of a relation that is going away, including every
+  /// evidence-store entry built from its encoding — a later relation
+  /// reallocated at the same address must never be served stale evidence.
   void ForgetRelation(const Relation& relation);
 
   /// Drops the store of an out-of-core relation that is going away.
   void ForgetSharded(const ShardedEncodedRelation& sharded);
+
+  /// Batch-appends rows to `relation` and incrementally maintains every
+  /// engine-cached structure built from it: the PLI store's partitions are
+  /// delta-merged (PliCache::MaintainAppend), the encoding view advances,
+  /// and cached evidence multisets absorb the new-pair delta
+  /// (EvidenceCache::MaintainAppend) — all bit-identical to forgetting the
+  /// relation and recomputing cold, at O(new pairs) instead of O(all
+  /// pairs). With no store yet, this is just Relation::AppendRows.
+  ///
+  /// Single-writer: quiesce discovery on `relation` for the duration. On a
+  /// maintenance failure (budget stop or injected fault) the appended rows
+  /// stay in the relation but the engine forgets its cached state — the
+  /// next driver call rebuilds cold — and the failure Status is returned.
+  Status AppendRows(Relation& relation, std::vector<std::vector<Value>> rows,
+                    RunContext* ctx = nullptr);
+
+  /// Out-of-core analog: streams an append batch of CSV text into
+  /// `sharded` (ShardedEncodedRelation::AppendCsv) and maintains the PLI
+  /// store the same way. Evidence entries require a materialized encoding
+  /// and are maintained only when one exists. Same failure contract as
+  /// AppendRows.
+  Status AppendCsv(ShardedEncodedRelation& sharded, const std::string& text,
+                   IngestOptions options = {});
+
+  /// Incremental FD cover repair after AppendRows: re-validates `cover`
+  /// (the pre-append minimal exact cover at the same max_lhs_size) against
+  /// the maintained PLIs, specializing only what the appended rows broke.
+  /// Output bit-identical, as a sorted set, to a cold HybridFds / Tane of
+  /// the grown relation.
+  Result<std::vector<DiscoveredFd>> RepairFdCover(
+      const Relation& relation, const std::vector<DiscoveredFd>& cover,
+      HybridFdOptions options = {});
+
+  /// Out-of-core cover repair after AppendCsv.
+  Result<std::vector<DiscoveredFd>> RepairFdCoverOutOfCore(
+      const ShardedEncodedRelation& sharded,
+      const std::vector<DiscoveredFd>& cover, HybridFdOptions options = {});
 
   /// TANE with parallel lattice levels, served from the shared PLI store.
   Result<std::vector<DiscoveredFd>> Tane(const Relation& relation,

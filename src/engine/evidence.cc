@@ -335,7 +335,7 @@ class EvidenceBuilder {
   static Result<std::shared_ptr<const EvidenceSet>> Build(
       const EncodedRelation& encoded,
       const std::vector<EvidenceColumn>& columns,
-      const std::vector<std::pair<int, int>>* pairs,
+      const std::vector<std::pair<int, int>>* pairs, int delta_from_row,
       const EvidenceOptions& options) {
     FAMTREE_ASSIGN_OR_RETURN(
         std::unique_ptr<PairComparator> pc,
@@ -353,10 +353,11 @@ class EvidenceBuilder {
           PairListWalk(*pc, *pairs, chunks, options, &accs));
     } else if (options.prune_all_unequal && PruneEligible(columns)) {
       pruned = true;
-      FAMTREE_RETURN_NOT_OK(
-          PrunedWalk(*pc, encoded, columns, chunks, options, &accs));
+      FAMTREE_RETURN_NOT_OK(PrunedWalk(*pc, encoded, columns, delta_from_row,
+                                       chunks, options, &accs));
     } else {
-      FAMTREE_RETURN_NOT_OK(DenseWalk(*pc, n, chunks, options, &accs));
+      FAMTREE_RETURN_NOT_OK(
+          DenseWalk(*pc, n, delta_from_row, chunks, options, &accs));
     }
 
     std::map<uint64_t,
@@ -368,9 +369,14 @@ class EvidenceBuilder {
     auto set = std::make_shared<EvidenceSet>();
     set->layout_ = pc->layout();
     set->num_tracked_ = tracked;
-    set->total_pairs_ =
-        pairs != nullptr ? static_cast<int64_t>(pairs->size())
-                         : static_cast<int64_t>(n) * (n - 1) / 2;
+    // Delta mode counts only the pairs the append created: all pairs of
+    // the grown relation minus all pairs among the pre-append rows.
+    int64_t all_pairs = static_cast<int64_t>(n) * (n - 1) / 2;
+    int64_t old_pairs = static_cast<int64_t>(delta_from_row) *
+                        (delta_from_row - 1) / 2;
+    set->total_pairs_ = pairs != nullptr
+                            ? static_cast<int64_t>(pairs->size())
+                            : all_pairs - old_pairs;
     if (pruned) {
       // Pairs disagreeing everywhere were never enumerated: their count is
       // the remainder, their word all-unequal, their aggregates zero.
@@ -397,6 +403,74 @@ class EvidenceBuilder {
     return std::shared_ptr<const EvidenceSet>(std::move(set));
   }
 
+  /// Two-way merge of multisets over disjoint pair populations (the
+  /// append's old/new pair partition). Both word lists are sorted
+  /// ascending, so one linear pass merges them; every per-word fold is the
+  /// same commutative fold the chunk merge uses, which is what makes
+  /// base + delta bit-identical to a cold full build.
+  static Result<std::shared_ptr<const EvidenceSet>> Merge(
+      const EvidenceSet& base, const EvidenceSet& delta,
+      const EvidenceOptions& options) {
+    if (base.layout_.size() != delta.layout_.size() ||
+        base.num_tracked_ != delta.num_tracked_) {
+      return Status::Invalid("evidence merge: mismatched configs");
+    }
+    for (size_t c = 0; c < base.layout_.size(); ++c) {
+      const EvidenceSet::ColumnLayout& a = base.layout_[c];
+      const EvidenceSet::ColumnLayout& b = delta.layout_[c];
+      if (a.attr != b.attr || a.cmp != b.cmp || a.cmp_shift != b.cmp_shift ||
+          a.bucket_shift != b.bucket_shift || a.bucket_bits != b.bucket_bits ||
+          a.num_thresholds != b.num_thresholds ||
+          a.track_slot != b.track_slot) {
+        return Status::Invalid("evidence merge: mismatched configs");
+      }
+    }
+    int tracked = base.num_tracked_;
+    auto set = std::make_shared<EvidenceSet>();
+    set->layout_ = base.layout_;
+    set->num_tracked_ = tracked;
+    set->total_pairs_ = base.total_pairs_ + delta.total_pairs_;
+    set->words_.reserve(base.words_.size() + delta.words_.size());
+    set->aggs_.reserve((base.words_.size() + delta.words_.size()) * tracked);
+    size_t bi = 0, di = 0;
+    auto take = [&](const EvidenceSet& src, size_t i) {
+      set->words_.push_back(src.words_[i]);
+      for (int t = 0; t < tracked; ++t) {
+        set->aggs_.push_back(src.aggs_[i * tracked + t]);
+      }
+    };
+    while (bi < base.words_.size() || di < delta.words_.size()) {
+      bool from_base =
+          di >= delta.words_.size() ||
+          (bi < base.words_.size() &&
+           base.words_[bi].bits < delta.words_[di].bits);
+      if (from_base) {
+        take(base, bi++);
+      } else if (bi >= base.words_.size() ||
+                 delta.words_[di].bits < base.words_[bi].bits) {
+        take(delta, di++);
+      } else {
+        // Same word on both sides: sum counts, fold aggregates.
+        EvidenceSet::Word w = base.words_[bi];
+        w.count += delta.words_[di].count;
+        set->words_.push_back(w);
+        for (int t = 0; t < tracked; ++t) {
+          EvidenceSet::Aggregate a = base.aggs_[bi * tracked + t];
+          const EvidenceSet::Aggregate& b = delta.aggs_[di * tracked + t];
+          a.max_all = std::max(a.max_all, b.max_all);
+          a.max_finite = std::max(a.max_finite, b.max_finite);
+          a.saw_nonfinite = a.saw_nonfinite || b.saw_nonfinite;
+          set->aggs_.push_back(a);
+        }
+        ++bi;
+        ++di;
+      }
+    }
+    FAMTREE_RETURN_NOT_OK(RunContext::ChargeAlloc(
+        options.context, set->footprint_bytes(), "evidence_set"));
+    return std::shared_ptr<const EvidenceSet>(std::move(set));
+  }
+
  private:
   static bool PruneEligible(const std::vector<EvidenceColumn>& columns) {
     for (const EvidenceColumn& c : columns) {
@@ -406,8 +480,8 @@ class EvidenceBuilder {
     return !columns.empty();
   }
 
-  static Status DenseWalk(const PairComparator& pc, int n, int chunks,
-                          const EvidenceOptions& options,
+  static Status DenseWalk(const PairComparator& pc, int n, int old_rows,
+                          int chunks, const EvidenceOptions& options,
                           std::vector<Accumulator>* accs) {
     int tile = std::max(1, options.tile_rows);
     int num_tiles = (n + tile - 1) / tile;
@@ -421,8 +495,9 @@ class EvidenceBuilder {
         for (int tj = ti; tj < num_tiles; ++tj) {
           FAMTREE_RETURN_NOT_OK(RunContext::Poll(options.context));
           int j0 = tj * tile, j1 = std::min(n, j0 + tile);
+          if (j1 <= old_rows) continue;  // delta mode: j must be appended
           for (int i = i0; i < i1; ++i) {
-            for (int j = std::max(j0, i + 1); j < j1; ++j) {
+            for (int j = std::max({j0, i + 1, old_rows}); j < j1; ++j) {
               acc.Add(pc.Word(i, j, td.data()), td.data());
             }
           }
@@ -461,7 +536,8 @@ class EvidenceBuilder {
   static Status PrunedWalk(const PairComparator& pc,
                            const EncodedRelation& encoded,
                            const std::vector<EvidenceColumn>& columns,
-                           int chunks, const EvidenceOptions& options,
+                           int old_rows, int chunks,
+                           const EvidenceOptions& options,
                            std::vector<Accumulator>* accs) {
     int nc = static_cast<int>(columns.size());
     // Cluster source per column: borrowed pinned PLI leaves when a cache is
@@ -511,8 +587,16 @@ class EvidenceBuilder {
         const View& v = views[c];
         const int* rows = v.rows + v.offsets[cls];
         int size = v.offsets[cls + 1] - v.offsets[cls];
-        for (int x = 0; x < size; ++x) {
-          for (int y = x + 1; y < size; ++y) {
+        // Delta mode: rows inside a cluster ascend, so the appended tail
+        // starts at the first row >= old_rows; each pair keeps its larger
+        // row in the tail.
+        int y0 = old_rows > 0
+                     ? static_cast<int>(
+                           std::lower_bound(rows, rows + size, old_rows) -
+                           rows)
+                     : 1;
+        for (int y = std::max(y0, 1); y < size; ++y) {
+          for (int x = 0; x < y; ++x) {
             int i = rows[x], j = rows[y];
             // Deduplicate: only the first agreeing column owns the pair.
             bool first = true;
@@ -535,14 +619,29 @@ class EvidenceBuilder {
 Result<std::shared_ptr<const EvidenceSet>> BuildEvidence(
     const EncodedRelation& encoded, const std::vector<EvidenceColumn>& columns,
     const EvidenceOptions& options) {
-  return EvidenceBuilder::Build(encoded, columns, nullptr, options);
+  return EvidenceBuilder::Build(encoded, columns, nullptr, 0, options);
 }
 
 Result<std::shared_ptr<const EvidenceSet>> BuildEvidenceForPairs(
     const EncodedRelation& encoded, const std::vector<EvidenceColumn>& columns,
     const std::vector<std::pair<int, int>>& pairs,
     const EvidenceOptions& options) {
-  return EvidenceBuilder::Build(encoded, columns, &pairs, options);
+  return EvidenceBuilder::Build(encoded, columns, &pairs, 0, options);
+}
+
+Result<std::shared_ptr<const EvidenceSet>> BuildEvidenceDelta(
+    const EncodedRelation& encoded, const std::vector<EvidenceColumn>& columns,
+    int old_rows, const EvidenceOptions& options) {
+  if (old_rows < 0 || old_rows > encoded.num_rows()) {
+    return Status::Invalid("evidence delta: old_rows out of range");
+  }
+  return EvidenceBuilder::Build(encoded, columns, nullptr, old_rows, options);
+}
+
+Result<std::shared_ptr<const EvidenceSet>> MergeEvidenceSets(
+    const EvidenceSet& base, const EvidenceSet& delta,
+    const EvidenceOptions& options) {
+  return EvidenceBuilder::Merge(base, delta, options);
 }
 
 }  // namespace famtree

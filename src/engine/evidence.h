@@ -235,6 +235,25 @@ Result<std::shared_ptr<const EvidenceSet>> BuildEvidenceForPairs(
     const std::vector<std::pair<int, int>>& pairs,
     const EvidenceOptions& options);
 
+/// Builds the evidence multiset over only the pairs an append created:
+/// {i < j : j >= old_rows} — new-vs-all tiles of the dense walk, or the
+/// cluster tails of the pruned walk. `encoded` is the *appended* encoding;
+/// appends never change prefix codes or the relative Value order of
+/// existing codes, so MergeEvidenceSets(base, delta) is bit-identical to a
+/// cold BuildEvidence over the appended relation (the old and new pairs
+/// partition all pairs, and every per-word fold is commutative).
+Result<std::shared_ptr<const EvidenceSet>> BuildEvidenceDelta(
+    const EncodedRelation& encoded, const std::vector<EvidenceColumn>& columns,
+    int old_rows, const EvidenceOptions& options);
+
+/// Merges two evidence multisets built from disjoint pair populations
+/// under the same column config: counts sum, aggregates fold (max / max /
+/// or), total_pairs sum, words re-sorted ascending. Fails on mismatched
+/// layouts. Charges the merged footprint at "evidence_set".
+Result<std::shared_ptr<const EvidenceSet>> MergeEvidenceSets(
+    const EvidenceSet& base, const EvidenceSet& delta,
+    const EvidenceOptions& options);
+
 }  // namespace famtree
 
 #endif  // FAMTREE_ENGINE_EVIDENCE_H_

@@ -24,10 +24,14 @@ uint64_t EncodingFingerprint(const EncodedRelation& encoded) {
 
 std::string EvidenceCache::KeyFor(const EncodedRelation& encoded,
                                   const std::vector<EvidenceColumn>& columns) {
+  return KeyForFingerprint(EncodingFingerprint(encoded), columns);
+}
+
+std::string EvidenceCache::KeyForFingerprint(
+    uint64_t fp, const std::vector<EvidenceColumn>& columns) {
   std::string key;
   key.reserve(32 + columns.size() * 32);
   char buf[32];
-  uint64_t fp = EncodingFingerprint(encoded);
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(fp));
   key += buf;
@@ -63,7 +67,8 @@ std::shared_ptr<const EvidenceSet> EvidenceCache::Lookup(
 }
 
 std::shared_ptr<const EvidenceSet> EvidenceCache::Insert(
-    const std::string& key, std::shared_ptr<const EvidenceSet> set) {
+    const std::string& key, std::shared_ptr<const EvidenceSet> set,
+    std::vector<EvidenceColumn> config, int num_rows) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.builds;
   auto it = entries_.find(key);
@@ -75,6 +80,12 @@ std::shared_ptr<const EvidenceSet> EvidenceCache::Insert(
   Entry entry;
   entry.set = std::move(set);
   entry.bytes = entry.set->footprint_bytes();
+  entry.maintainable = !config.empty();
+  entry.config = std::move(config);
+  entry.num_rows = num_rows;
+  // The stored config must not borrow caller-owned distance tables: the
+  // entry outlives the build call, and MaintainAppend rebuilds from it.
+  for (EvidenceColumn& c : entry.config) c.table = nullptr;
   lru_.push_front(key);
   entry.lru_pos = lru_.begin();
   stats_.bytes += entry.bytes;
@@ -88,6 +99,88 @@ std::shared_ptr<const EvidenceSet> EvidenceCache::Insert(
     lru_.pop_back();
   }
   return result;
+}
+
+std::unordered_map<std::string, EvidenceCache::Entry>::iterator
+EvidenceCache::EraseLocked(
+    std::unordered_map<std::string, Entry>::iterator it) {
+  stats_.bytes -= it->second.bytes;
+  ++stats_.evictions;
+  lru_.erase(it->second.lru_pos);
+  return entries_.erase(it);
+}
+
+namespace {
+
+std::string FingerprintPrefix(uint64_t fingerprint) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return std::string(buf);
+}
+
+}  // namespace
+
+void EvidenceCache::EraseFingerprint(uint64_t fingerprint) {
+  const std::string prefix = FingerprintPrefix(fingerprint);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = EraseLocked(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status EvidenceCache::MaintainAppend(const EncodedRelation& encoded,
+                                     uint64_t old_fingerprint, int old_rows,
+                                     const EvidenceOptions& options) {
+  const uint64_t new_fingerprint = EncodingFingerprint(encoded);
+  if (new_fingerprint == old_fingerprint) return Status::OK();
+  const std::string old_prefix = FingerprintPrefix(old_fingerprint);
+
+  // Snapshot the maintainable entries outside the build work: delta builds
+  // can be expensive and must not hold the cache lock.
+  struct Work {
+    std::string suffix;  // key minus the fingerprint prefix
+    std::vector<EvidenceColumn> config;
+    std::shared_ptr<const EvidenceSet> base;
+  };
+  std::vector<Work> work;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, entry] : entries_) {
+      if (key.compare(0, old_prefix.size(), old_prefix) != 0) continue;
+      if (!entry.maintainable || entry.num_rows != old_rows) continue;
+      work.push_back({key.substr(old_prefix.size()), entry.config, entry.set});
+    }
+  }
+
+  Status status = Status::OK();
+  for (Work& w : work) {
+    auto delta = BuildEvidenceDelta(encoded, w.config, old_rows, options);
+    if (!delta.ok()) {
+      status = delta.status();
+      break;
+    }
+    auto merged = MergeEvidenceSets(*w.base, *delta.value(), options);
+    if (!merged.ok()) {
+      status = merged.status();
+      break;
+    }
+    Insert(FingerprintPrefix(new_fingerprint) + w.suffix,
+           std::move(merged).value(), std::move(w.config),
+           encoded.num_rows());
+  }
+
+  // Whatever happened, nothing may stay keyed by the dead fingerprint —
+  // a later relation hashing to the same content as the *old* state would
+  // otherwise be served sets missing the appended rows' pairs. (It can't:
+  // the fingerprint covers the code matrix. But non-maintainable leftovers
+  // would still be unreachable garbage.)
+  EraseFingerprint(old_fingerprint);
+  return status;
 }
 
 EvidenceCache::Stats EvidenceCache::stats() const {
@@ -106,7 +199,9 @@ Result<std::shared_ptr<const EvidenceSet>> GetOrBuildEvidence(
   }
   FAMTREE_ASSIGN_OR_RETURN(std::shared_ptr<const EvidenceSet> set,
                            BuildEvidence(encoded, columns, options));
-  if (cache != nullptr) return cache->Insert(key, std::move(set));
+  if (cache != nullptr) {
+    return cache->Insert(key, std::move(set), columns, encoded.num_rows());
+  }
   return set;
 }
 

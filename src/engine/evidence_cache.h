@@ -56,12 +56,40 @@ class EvidenceCache {
   static std::string KeyFor(const EncodedRelation& encoded,
                             const std::vector<EvidenceColumn>& columns);
 
+  /// Same key with a precomputed fingerprint. The fingerprint is always the
+  /// first 16 hex characters of the key — EraseFingerprint and
+  /// MaintainAppend select entries by that prefix.
+  static std::string KeyForFingerprint(
+      uint64_t fingerprint, const std::vector<EvidenceColumn>& columns);
+
   std::shared_ptr<const EvidenceSet> Lookup(const std::string& key);
 
   /// Inserts under the lock, evicting LRU entries over budget. Returns the
-  /// winning entry (an earlier racing insert keeps priority).
+  /// winning entry (an earlier racing insert keeps priority). `config`,
+  /// when non-empty, records the column set the entry was built from
+  /// (borrowed table pointers sanitized to null) and makes the entry
+  /// maintainable across appends; `num_rows` is the relation size the set
+  /// ranges over.
   std::shared_ptr<const EvidenceSet> Insert(
-      const std::string& key, std::shared_ptr<const EvidenceSet> set);
+      const std::string& key, std::shared_ptr<const EvidenceSet> set,
+      std::vector<EvidenceColumn> config = {}, int num_rows = 0);
+
+  /// Advances every maintainable entry of the pre-append encoding to the
+  /// appended one: builds the new-pair delta per stored config
+  /// (BuildEvidenceDelta), merges it into the cached multiset, re-inserts
+  /// under the appended fingerprint, and finally drops everything still
+  /// keyed by the old fingerprint (including non-maintainable legacy
+  /// entries — stale sets must not survive under a dead key). Bit-identical
+  /// to evicting and cold-rebuilding, at new-pairs cost.
+  Status MaintainAppend(const EncodedRelation& encoded,
+                        uint64_t old_fingerprint, int old_rows,
+                        const EvidenceOptions& options);
+
+  /// Drops every entry keyed by `fingerprint` (the 16-hex key prefix).
+  /// DiscoveryEngine's forget paths call this so a forgotten relation's
+  /// evidence cannot be served to an unrelated relation that later hashes
+  /// to the same address.
+  void EraseFingerprint(uint64_t fingerprint);
 
   Stats stats() const;
 
@@ -70,7 +98,17 @@ class EvidenceCache {
     std::shared_ptr<const EvidenceSet> set;
     size_t bytes = 0;
     std::list<std::string>::iterator lru_pos;
+    /// Rebuild recipe for MaintainAppend; empty for entries inserted
+    /// without one (then maintainable is false and appends evict instead).
+    std::vector<EvidenceColumn> config;
+    int num_rows = 0;
+    bool maintainable = false;
   };
+
+  /// Erases one entry by iterator, adjusting stats; returns the next
+  /// iterator. Caller holds mu_.
+  std::unordered_map<std::string, Entry>::iterator EraseLocked(
+      std::unordered_map<std::string, Entry>::iterator it);
 
   const Options options_;
   mutable std::mutex mu_;

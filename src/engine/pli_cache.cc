@@ -1,16 +1,51 @@
 #include "engine/pli_cache.h"
 
+#include <algorithm>
+
 #include "relation/ooc/ooc_pli.h"
 
 namespace famtree {
+
+namespace {
+
+/// Streaming PliDeltaIndex build for the out-of-core backend: one pass
+/// over the pre-append shards' column, one shard resident at a time.
+Status BuildDeltaIndexOoc(const ShardedEncodedRelation& sharded, int col,
+                          int old_rows, int dict_size, PliDeltaIndex* index) {
+  index->count.assign(dict_size, 0);
+  index->single_row.assign(dict_size, -1);
+  std::vector<uint32_t> scratch;
+  for (int s = 0; s < sharded.num_shards(); ++s) {
+    int begin = sharded.shard_row_begin(s);
+    if (begin >= old_rows) break;  // shards are in row order
+    FAMTREE_RETURN_NOT_OK(sharded.LoadShardColumn(s, col, &scratch));
+    for (int i = 0; i < sharded.shard_num_rows(s); ++i) {
+      uint32_t code = scratch[i];
+      ++index->count[code];
+      // Last occurrence; demoted to -1 below unless the count stayed 1.
+      index->single_row[code] = begin + i;
+    }
+  }
+  for (int code = 0; code < dict_size; ++code) {
+    if (index->count[code] != 1) index->single_row[code] = -1;
+  }
+  index->rows_indexed = old_rows;
+  return Status::OK();
+}
+
+}  // namespace
 
 PliCache::PliCache(const Relation& relation, Options options)
     : relation_(&relation),
       num_rows_(relation.num_rows()),
       num_columns_(relation.num_columns()),
-      fingerprint_(RelationFingerprint(relation)),
+      fingerprint_(0),
       options_(options),
-      encoded_(std::make_shared<const EncodedRelation>(relation)) {}
+      encoded_(std::make_shared<const EncodedRelation>(relation)) {
+  chain_ = RelationRowChain(relation, 0, num_rows_, kRelationChainSeed);
+  fingerprint_ =
+      FinalizeRelationFingerprint(chain_, relation.schema(), num_rows_);
+}
 
 PliCache::PliCache(const ShardedEncodedRelation& sharded, Options options)
     : sharded_(&sharded),
@@ -146,6 +181,168 @@ std::shared_ptr<const StrippedPartition> PliCache::Insert(
   auto result = entry.pli;
   entries_.emplace(attrs, std::move(entry));
   return result;
+}
+
+Status PliCache::MaintainAppend(RunContext* ctx, MaintainStats* stats) {
+  MaintainStats local;
+  int new_rows =
+      sharded_ != nullptr ? sharded_->num_rows() : relation_->num_rows();
+  int old_rows = num_rows_;
+  int delta_rows = new_rows - old_rows;
+  if (delta_rows == 0) {
+    if (stats != nullptr) *stats = local;
+    return Status::OK();
+  }
+  if (delta_rows < 0) {
+    return Status::Invalid(
+        "relation shrank under maintenance; forget it and re-register");
+  }
+  int nc_now = sharded_ != nullptr ? sharded_->num_columns()
+                                   : relation_->num_columns();
+  if (nc_now != num_columns_) {
+    return Status::Invalid("column count changed under maintenance");
+  }
+  local.appended_rows = delta_rows;
+
+  // --- Advance the encoding view. The appended encoding is built before
+  // any entry changes (a new object, never an in-place mutation: drivers
+  // from before the append may still hold the old shared_ptr).
+  std::shared_ptr<const EncodedRelation> new_encoded;
+  // Out-of-core without a materialized encoding: the appended rows' codes
+  // come straight from the new shards instead.
+  std::vector<std::vector<uint32_t>> ooc_delta;
+  if (sharded_ == nullptr) {
+    FAMTREE_ASSIGN_OR_RETURN(
+        EncodedRelation appended,
+        EncodedRelation::Appended(*encoded_, *relation_));
+    new_encoded =
+        std::make_shared<const EncodedRelation>(std::move(appended));
+  } else {
+    ooc_delta.resize(num_columns_);
+    for (int c = 0; c < num_columns_; ++c) ooc_delta[c].resize(delta_rows);
+    for (int s = 0; s < sharded_->num_shards(); ++s) {
+      int begin = sharded_->shard_row_begin(s);
+      if (begin < old_rows) continue;
+      for (int c = 0; c < num_columns_; ++c) {
+        FAMTREE_RETURN_NOT_OK(sharded_->CopyShardColumn(
+            s, c, ooc_delta[c].data() + (begin - old_rows)));
+      }
+    }
+    std::shared_ptr<const EncodedRelation> old_enc;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      old_enc = encoded_;
+    }
+    if (old_enc != nullptr) {
+      // A sampling driver materialized the flat encoding; extend it so the
+      // next EnsureEncoded stays a no-op.
+      size_t bytes =
+          static_cast<size_t>(delta_rows) * num_columns_ * sizeof(uint32_t);
+      FAMTREE_RETURN_NOT_OK(
+          sharded_->ChargeWithSpill(ctx, bytes, "ingest_codes"));
+      std::vector<std::vector<uint32_t>> cols(num_columns_);
+      std::vector<std::vector<Value>> dicts(num_columns_);
+      for (int c = 0; c < num_columns_; ++c) {
+        cols[c] = old_enc->codes(c);
+        cols[c].insert(cols[c].end(), ooc_delta[c].begin(),
+                       ooc_delta[c].end());
+        dicts[c].reserve(sharded_->dict_size(c));
+        for (int code = 0; code < sharded_->dict_size(c); ++code) {
+          dicts[c].push_back(sharded_->Decode(c, code));
+        }
+      }
+      new_encoded = std::make_shared<const EncodedRelation>(
+          new_rows, std::move(cols), std::move(dicts));
+    }
+  }
+  auto dict_size_now = [&](int c) {
+    return sharded_ != nullptr ? sharded_->dict_size(c)
+                               : new_encoded->dict_size(c);
+  };
+  auto delta_codes = [&](int c) -> const uint32_t* {
+    return sharded_ != nullptr ? ooc_delta[c].data()
+                               : new_encoded->codes(c).data() + old_rows;
+  };
+
+  // --- Merge the pinned single-attribute leaves in place.
+  delta_index_.resize(num_columns_);
+  for (int c = 0; c < num_columns_; ++c) {
+    std::shared_ptr<const StrippedPartition> old_pli;
+    size_t old_bytes = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(AttrSet::Single(c));
+      if (it == entries_.end()) continue;  // never requested; built on
+                                           // demand from the new encoding
+      old_pli = it->second.pli;
+      old_bytes = it->second.bytes;
+    }
+    PliDeltaIndex& index = delta_index_[c];
+    if (!index.built() || index.rows_indexed != old_rows) {
+      if (sharded_ != nullptr) {
+        FAMTREE_RETURN_NOT_OK(BuildDeltaIndexOoc(*sharded_, c, old_rows,
+                                                 dict_size_now(c), &index));
+      } else {
+        BuildPliDeltaIndex(new_encoded->codes(c).data(), old_rows,
+                           dict_size_now(c), &index);
+      }
+    }
+    StrippedPartition merged =
+        MergeAttributePliDelta(*old_pli, delta_codes(c), old_rows, delta_rows,
+                               dict_size_now(c), &index);
+    size_t new_bytes = FootprintOf(merged);
+    if (new_bytes > old_bytes) {
+      size_t grow = new_bytes - old_bytes;
+      Status charged =
+          sharded_ != nullptr
+              ? sharded_->ChargeWithSpill(ctx, grow, "pli_build")
+              : RunContext::ChargeAlloc(ctx, grow, "pli_build");
+      FAMTREE_RETURN_NOT_OK(charged);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Entry& entry = entries_[AttrSet::Single(c)];
+      entry.pli = std::make_shared<StrippedPartition>(std::move(merged));
+      stats_.bytes += new_bytes;
+      stats_.bytes -= entry.bytes;
+      entry.bytes = new_bytes;
+    }
+    ++local.leaves_merged;
+  }
+
+  // --- Commit the new shape and invalidate multi-attribute products.
+  // They are NOT rebuilt here: the next Get recomputes each one on demand
+  // through the ordinary deterministic recipe (lowest-attribute split of
+  // the merged leaves), so only products a consumer actually touches pay
+  // the O(rows) rebuild — cover repair visits a handful of frontier nodes,
+  // while a discovery run may have left dozens cached. A maintained cache
+  // therefore stays bit-identical to a cold one serving the same request
+  // stream.
+  std::vector<AttrSet> products;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (new_encoded != nullptr) encoded_ = new_encoded;
+    num_rows_ = new_rows;
+    if (sharded_ != nullptr) {
+      fingerprint_ = sharded_->fingerprint();
+    } else {
+      chain_ = RelationRowChain(*relation_, old_rows, new_rows, chain_);
+      fingerprint_ = FinalizeRelationFingerprint(chain_, relation_->schema(),
+                                                 new_rows);
+    }
+    for (const auto& [attrs, entry] : entries_) {
+      if (attrs.size() > 1) products.push_back(attrs);
+    }
+    for (const AttrSet& attrs : products) {
+      auto it = entries_.find(attrs);
+      if (!it->second.pinned) lru_.erase(it->second.lru_pos);
+      stats_.bytes -= it->second.bytes;
+      entries_.erase(it);
+      ++local.products_invalidated;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
 }
 
 PliCache::Stats PliCache::stats() const {

@@ -12,6 +12,7 @@
 #include "relation/encoded_relation.h"
 #include "relation/ooc/sharded_relation.h"
 #include "relation/partition.h"
+#include "relation/pli_delta.h"
 #include "relation/relation.h"
 
 namespace famtree {
@@ -122,10 +123,41 @@ class PliCache {
   /// exists. Thread-safe; the pointer is stable once set.
   Status EnsureEncoded(RunContext* ctx);
 
-  /// Content fingerprint of the relation at construction time
-  /// (RelationFingerprint); DiscoveryEngine::CacheFor re-verifies it to
-  /// catch a relation freed and reallocated at the same address.
+  /// Content fingerprint of the relation as of construction or the last
+  /// MaintainAppend (RelationFingerprint); DiscoveryEngine::CacheFor
+  /// re-verifies it to catch a relation freed and reallocated at the same
+  /// address.
   uint64_t fingerprint() const { return fingerprint_; }
+
+  /// What one MaintainAppend did.
+  struct MaintainStats {
+    int appended_rows = 0;
+    /// Single-attribute partitions updated in place via delta merge.
+    int leaves_merged = 0;
+    /// Multi-attribute partitions invalidated; each is rebuilt lazily by
+    /// the next Get that asks for it.
+    int products_invalidated = 0;
+  };
+
+  /// Revalidates the cache after a batch append to the backing relation
+  /// (Relation::AppendRows in-memory, ShardedEncodedRelation::AppendCsv
+  /// out-of-core), instead of dropping it. Single-attribute leaves are
+  /// merged in place from the appended rows' codes (relation/pli_delta.h)
+  /// in O(classes + batch); multi-attribute entries are invalidated and
+  /// recomputed lazily on the next Get through the deterministic product
+  /// recipe from the merged leaves, so only the products a consumer
+  /// actually revisits pay a rebuild. The encoding view and the chained
+  /// fingerprint advance to the appended relation, so a subsequent
+  /// DiscoveryEngine::CacheFor recognizes the grown relation as the same
+  /// cache. Every maintained or lazily rebuilt partition is bit-identical
+  /// (raw CSR arrays) to a cold rebuild of the appended relation.
+  ///
+  /// Single-writer: callers must quiesce discovery on this cache for the
+  /// duration (the same contract as mutating the relation itself). On a
+  /// failed charge or injected fault the cache may be partially
+  /// maintained; discard it via DiscoveryEngine::ForgetRelation.
+  Status MaintainAppend(RunContext* ctx = nullptr,
+                        MaintainStats* stats = nullptr);
 
  private:
   struct Entry {
@@ -152,10 +184,18 @@ class PliCache {
 
   const Relation* relation_ = nullptr;
   const ShardedEncodedRelation* sharded_ = nullptr;
-  const int num_rows_;
+  /// Mutable (unlike the column count): MaintainAppend advances them.
+  int num_rows_;
   const int num_columns_;
-  const uint64_t fingerprint_;
+  uint64_t fingerprint_;
+  /// In-memory backend: the row-major cell chain behind fingerprint_
+  /// (RelationRowChain), extended by each append. Unused out-of-core,
+  /// where the sharded relation owns the chain.
+  uint64_t chain_ = 0;
   const Options options_;
+  /// Per-column side indexes that make the pinned leaves delta-mergeable;
+  /// built lazily on first maintenance (relation/pli_delta.h).
+  std::vector<PliDeltaIndex> delta_index_;
 
   /// Serializes out-of-core materialization in EnsureEncoded.
   std::mutex encode_mu_;

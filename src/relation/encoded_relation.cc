@@ -53,6 +53,62 @@ EncodedRelation::EncodedRelation(const Relation& relation, AttrSet attrs)
   }
 }
 
+Result<EncodedRelation> EncodedRelation::Appended(const EncodedRelation& base,
+                                                  const Relation& relation) {
+  int nc = relation.num_columns();
+  int old_rows = base.num_rows();
+  int new_rows = relation.num_rows();
+  if (base.num_columns() != nc) {
+    return Status::Invalid("appended encoding: column count changed");
+  }
+  if (new_rows < old_rows) {
+    return Status::Invalid("appended encoding: relation shrank");
+  }
+  if (!base.mutated_.empty()) {
+    return Status::Invalid("appended encoding: base was mutated via SetCode");
+  }
+  EncodedRelation out(new_rows, base.columns_, base.dicts_);
+  std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+  for (int c = 0; c < nc; ++c) {
+    std::vector<uint32_t>& codes = out.columns_[c];
+    std::vector<Value>& dict = out.dicts_[c];
+    if (static_cast<int>(codes.size()) != old_rows) {
+      return Status::Invalid(
+          "appended encoding: base is a subset encoding");
+    }
+    // Rebuild the hash buckets from the dictionary: every existing code is
+    // reachable under its representative's hash, exactly as the cold
+    // encoder left them.
+    buckets.clear();
+    buckets.reserve(dict.size() * 2);
+    for (uint32_t code = 0; code < dict.size(); ++code) {
+      buckets[dict[code].Hash()].push_back(code);
+    }
+    codes.resize(new_rows);
+    const std::vector<Value>& cells = relation.column(c);
+    for (int row = old_rows; row < new_rows; ++row) {
+      const Value& v = cells[row];
+      std::vector<uint32_t>& candidates = buckets[v.Hash()];
+      uint32_t code = 0;
+      bool found = false;
+      for (uint32_t cand : candidates) {
+        if (dict[cand] == v) {
+          code = cand;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        code = static_cast<uint32_t>(dict.size());
+        dict.push_back(v);
+        candidates.push_back(code);
+      }
+      codes[row] = code;
+    }
+  }
+  return out;
+}
+
 int EncodedRelation::RowKeys(AttrSet attrs, std::vector<uint32_t>* keys) const {
   std::vector<int> av = attrs.ToVector();
   if (av.empty()) {

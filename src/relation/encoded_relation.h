@@ -48,6 +48,18 @@ class EncodedRelation {
   EncodedRelation(int num_rows, std::vector<std::vector<uint32_t>> columns,
                   std::vector<std::vector<Value>> dicts);
 
+  /// Incremental re-encode after a batch append: `base` must be the full
+  /// encoding of `relation`'s first base.num_rows() rows, and `relation`
+  /// must have grown by pure row appends since. Copies base's code arrays
+  /// and dictionaries, rebuilds the per-column hash buckets from the
+  /// dictionaries (O(distinct values), not O(rows)), and encodes only the
+  /// appended rows under the same dictionary discipline — bit-identical to
+  /// EncodedRelation(relation) built cold. Fails on a subset or mutated
+  /// (SetCode) base, where the dense first-occurrence invariant needed for
+  /// the splice no longer holds.
+  static Result<EncodedRelation> Appended(const EncodedRelation& base,
+                                          const Relation& relation);
+
   int num_rows() const { return num_rows_; }
   int num_columns() const { return static_cast<int>(columns_.size()); }
 

@@ -33,7 +33,8 @@ class ShardedEncodedRelation::Ingester {
  public:
   explicit Ingester(IngestOptions options)
       : options_(std::move(options)),
-        rel_(new ShardedEncodedRelation()),
+        owned_(new ShardedEncodedRelation()),
+        rel_(owned_.get()),
         decoder_(MakeCsvOptions(),
                  [this](std::vector<Value>&& row) {
                    return OnRow(std::move(row));
@@ -45,6 +46,44 @@ class ShardedEncodedRelation::Ingester {
         options_.context ? options_.context->memory_budget() : nullptr;
     rel_->ingest_budget_ = budget;
     if (options_.shard_rows < 1) options_.shard_rows = 1;
+  }
+
+  /// Append-resume mode: continues an existing relation's encoder state —
+  /// dictionaries (hash buckets rebuilt from the dictionaries themselves),
+  /// type fold, row counter, and fingerprint chain — so the delta rows get
+  /// codes exactly as they would have in one uninterrupted ingest.
+  Ingester(ShardedEncodedRelation* existing, IngestOptions options)
+      : options_(std::move(options)),
+        rel_(existing),
+        decoder_(MakeCsvOptions(),
+                 [this](std::vector<Value>&& row) {
+                   return OnRow(std::move(row));
+                 }) {
+    if (options_.shard_rows < 1) options_.shard_rows = 1;
+    // Spill settings stay the relation's own. Adopt the append context's
+    // budget as the residency account only if ingest never had one;
+    // otherwise the append must run under the original budget.
+    if (rel_->ingest_budget_ == nullptr && options_.context != nullptr) {
+      rel_->ingest_budget_ = options_.context->memory_budget();
+    }
+    int nc = rel_->num_columns();
+    num_rows_ = rel_->num_rows_;
+    chain_ = rel_->chain_;
+    if (nc > 0) {
+      initialized_ = true;
+      types_ = rel_->fold_types_;
+      mixed_ = rel_->fold_mixed_;
+      buckets_.resize(nc);
+      for (int c = 0; c < nc; ++c) {
+        const std::vector<Value>& dict = rel_->dicts_[c];
+        buckets_[c].reserve(dict.size() * 2);
+        for (uint32_t code = 0; code < dict.size(); ++code) {
+          buckets_[c][dict[code].Hash()].push_back(code);
+        }
+      }
+      cur_cols_.resize(nc);
+      for (auto& col : cur_cols_) col.reserve(options_.shard_rows);
+    }
   }
 
   Status Run(const std::function<Result<std::string_view>()>& next) {
@@ -88,11 +127,51 @@ class ShardedEncodedRelation::Ingester {
       cols[c].type = mixed_[c] ? ValueType::kNull : types_[c];
     }
     rel_->schema_ = Schema(std::move(cols));
-    rel_->num_rows_ = num_rows_;
-    rel_->stats_.rows = num_rows_;
-    rel_->stats_.shards = rel_->num_shards();
-    FAMTREE_RETURN_NOT_OK(ComputeFingerprint());
-    return std::move(rel_);
+    Seal();
+    return std::move(owned_);
+  }
+
+  /// Append-mode finish: validates the delta's header against the existing
+  /// schema, refreshes the inferred column types (an append can widen
+  /// int -> double or break uniformity), and refinalizes the fingerprint
+  /// from the extended cell chain.
+  Status FinishAppend() {
+    FAMTREE_RETURN_NOT_OK(CloseShard());
+    FAMTREE_RETURN_NOT_OK(FlushDictCharge());
+    int nc = rel_->num_columns();
+    if (nc > 0 && options_.csv.has_header && !decoder_.names().empty()) {
+      if (static_cast<int>(decoder_.names().size()) != nc) {
+        return Status::Invalid("append header has " +
+                               std::to_string(decoder_.names().size()) +
+                               " columns, relation has " + std::to_string(nc));
+      }
+      for (int c = 0; c < nc; ++c) {
+        if (decoder_.names()[c] != rel_->schema_.name(c)) {
+          return Status::Invalid("append header column " + std::to_string(c) +
+                                 " is '" + decoder_.names()[c] +
+                                 "', relation has '" + rel_->schema_.name(c) +
+                                 "'");
+        }
+      }
+    }
+    if (nc == 0 && initialized_) {
+      // Appending onto an empty, schema-less relation is a plain ingest.
+      std::vector<Column> cols(types_.size());
+      for (size_t c = 0; c < types_.size(); ++c) {
+        cols[c].name = decoder_.names()[c];
+      }
+      rel_->schema_ = Schema(std::move(cols));
+      nc = rel_->num_columns();
+    }
+    if (initialized_) {
+      std::vector<Column> cols = rel_->schema_.columns();
+      for (int c = 0; c < nc; ++c) {
+        cols[c].type = mixed_[c] ? ValueType::kNull : types_[c];
+      }
+      rel_->schema_ = Schema(std::move(cols));
+    }
+    Seal();
+    return Status::OK();
   }
 
  private:
@@ -118,6 +197,14 @@ class ShardedEncodedRelation::Ingester {
       return Status::Invalid("relation exceeds 2^31 - 1 rows");
     }
     int nc = static_cast<int>(row.size());
+    if (nc != static_cast<int>(types_.size())) {
+      // Only reachable in append mode: the decoder keeps each parse
+      // internally uniform, but the delta's width must also match the
+      // existing relation.
+      return Status::Invalid("append row has " + std::to_string(nc) +
+                             " values, relation has " +
+                             std::to_string(types_.size()) + " columns");
+    }
     for (int c = 0; c < nc; ++c) {
       const Value& v = row[c];
       // Incremental Relation::InferTypes fold (order-independent: uniform
@@ -136,7 +223,12 @@ class ShardedEncodedRelation::Ingester {
         }
       }
       std::vector<Value>& dict = rel_->dicts_[c];
-      std::vector<uint32_t>& candidates = buckets_[c][v.Hash()];
+      size_t cell_hash = v.Hash();
+      // Row-major fingerprint chain (see RelationRowChain): equal Values
+      // hash equally, so the parsed cell stands in for the dictionary
+      // representative the materialized relation would hold.
+      chain_ = HashCombine(static_cast<size_t>(chain_), cell_hash);
+      std::vector<uint32_t>& candidates = buckets_[c][cell_hash];
       uint32_t code = 0;
       bool found = false;
       for (uint32_t cand : candidates) {
@@ -201,42 +293,33 @@ class ShardedEncodedRelation::Ingester {
     return Status::OK();
   }
 
-  Status ComputeFingerprint() {
-    // Reproduces RelationFingerprint of the materialized relation without
-    // materializing it: same HashCombine chain, cells walked column-major
-    // through the shards, per-cell hashes read from a per-code table (equal
-    // Values hash equally, so the dictionary representative stands in for
-    // every occurrence).
-    const ShardedEncodedRelation& rel = *rel_;
-    size_t h = HashCombine(0x72656c66, static_cast<size_t>(rel.num_rows()));
-    h = HashCombine(h, static_cast<size_t>(rel.num_columns()));
-    std::vector<uint32_t> scratch;
-    std::vector<size_t> code_hash;
-    for (int c = 0; c < rel.num_columns(); ++c) {
-      for (char ch : rel.schema_.name(c)) {
-        h = HashCombine(h, static_cast<size_t>(ch));
-      }
-      h = HashCombine(h, static_cast<size_t>(rel.schema_.column(c).type));
-      code_hash.clear();
-      code_hash.reserve(rel.dicts_[c].size());
-      for (const Value& v : rel.dicts_[c]) code_hash.push_back(v.Hash());
-      for (int s = 0; s < rel.num_shards(); ++s) {
-        scratch.resize(rel.shard_num_rows(s));
-        FAMTREE_RETURN_NOT_OK(rel.CopyShardColumn(s, c, scratch.data()));
-        for (uint32_t code : scratch) h = HashCombine(h, code_hash[code]);
-      }
-    }
-    rel_->fingerprint_ = static_cast<uint64_t>(h);
-    return Status::OK();
+  /// Shared tail of Finish/FinishAppend: commits counters, persists the
+  /// append-resume state (cell chain + type fold), and finalizes the
+  /// fingerprint. The cell hashes were folded row-major during OnRow, so
+  /// the result matches RelationFingerprint of the relation the whole-file
+  /// reader would materialize — with no shard rescan.
+  void Seal() {
+    rel_->num_rows_ = num_rows_;
+    rel_->stats_.rows = num_rows_;
+    rel_->stats_.shards = rel_->num_shards();
+    rel_->chain_ = chain_;
+    rel_->fold_types_ = types_;
+    rel_->fold_mixed_ = mixed_;
+    rel_->fingerprint_ =
+        FinalizeRelationFingerprint(chain_, rel_->schema_, num_rows_);
   }
 
   static constexpr size_t kDictChargeStride = 256 * 1024;
 
   IngestOptions options_;
-  std::shared_ptr<ShardedEncodedRelation> rel_;
+  /// Fresh-ingest mode owns the relation being built; append mode borrows
+  /// the existing one through rel_ and leaves owned_ empty.
+  std::shared_ptr<ShardedEncodedRelation> owned_;
+  ShardedEncodedRelation* rel_;
   CsvRowDecoder decoder_;
   bool initialized_ = false;
   int num_rows_ = 0;
+  uint64_t chain_ = kRelationChainSeed;
   std::vector<std::unordered_map<size_t, std::vector<uint32_t>>> buckets_;
   std::vector<ValueType> types_;
   std::vector<char> mixed_;
@@ -275,6 +358,21 @@ ShardedEncodedRelation::IngestCsvFile(const std::string& path,
         return std::string_view(buf.data(), static_cast<size_t>(in.gcount()));
       }));
   return ingester.Finish();
+}
+
+Status ShardedEncodedRelation::AppendCsv(const std::string& text,
+                                         IngestOptions options) {
+  size_t stride = options.io_chunk_bytes < 1 ? 1 : options.io_chunk_bytes;
+  Ingester ingester(this, std::move(options));
+  size_t pos = 0;
+  FAMTREE_RETURN_NOT_OK(
+      ingester.Run([&text, &pos, stride]() -> Result<std::string_view> {
+        size_t take = std::min(text.size() - pos, stride);
+        std::string_view chunk(text.data() + pos, take);
+        pos += take;
+        return chunk;
+      }));
+  return ingester.FinishAppend();
 }
 
 Status ShardedEncodedRelation::SpillShardLocked(RunContext* ctx,

@@ -75,6 +75,24 @@ class ShardedEncodedRelation {
   static Result<std::shared_ptr<ShardedEncodedRelation>> IngestCsvString(
       const std::string& text, IngestOptions options = {});
 
+  /// Batch append: streams more CSV through the same incremental encoder,
+  /// extending the per-column dictionaries, shard list, and type fold
+  /// exactly as if the delta had been part of the original input — the
+  /// refreshed fingerprint() equals a cold ingest of base + delta. The
+  /// delta text follows the same dialect as the original ingest; with
+  /// `csv.has_header` set (the default) it must repeat the header, which
+  /// is verified against the existing schema. Use
+  /// DiscoveryEngine::AppendCsv instead when the relation is registered
+  /// with an engine so cached PLIs and evidence are maintained.
+  ///
+  /// Not thread-safe against concurrent readers: callers must quiesce
+  /// discovery on this relation for the duration (the same contract as
+  /// mutating a Relation mid-run). Appends should run under the same
+  /// memory budget as the original ingest; a failed append leaves the
+  /// relation partially extended and it should be discarded, like a
+  /// failed ingest.
+  Status AppendCsv(const std::string& text, IngestOptions options = {});
+
   ShardedEncodedRelation(const ShardedEncodedRelation&) = delete;
   ShardedEncodedRelation& operator=(const ShardedEncodedRelation&) = delete;
 
@@ -167,6 +185,12 @@ class ShardedEncodedRelation {
   bool force_spill_ = false;
   std::string spill_dir_;
   uint64_t fingerprint_ = 0;
+  /// Append-resume state: the row-major cell chain behind fingerprint_
+  /// (see RelationRowChain) and the raw per-column type-inference fold,
+  /// kept so AppendCsv can continue both instead of rescanning shards.
+  uint64_t chain_ = 0;
+  std::vector<ValueType> fold_types_;
+  std::vector<char> fold_mixed_;
   IngestStats stats_;
   /// The budget shard residency was charged to (may be null); spills
   /// release to it no matter which context triggers them.

@@ -1,0 +1,79 @@
+#include "relation/pli_delta.h"
+
+namespace famtree {
+
+void BuildPliDeltaIndex(const uint32_t* codes, int num_rows, int dict_size,
+                        PliDeltaIndex* index) {
+  index->count.assign(dict_size, 0);
+  index->single_row.assign(dict_size, -1);
+  for (int r = 0; r < num_rows; ++r) ++index->count[codes[r]];
+  for (int r = 0; r < num_rows; ++r) {
+    if (index->count[codes[r]] == 1) index->single_row[codes[r]] = r;
+  }
+  index->rows_indexed = num_rows;
+}
+
+StrippedPartition MergeAttributePliDelta(const StrippedPartition& old,
+                                         const uint32_t* codes, int old_rows,
+                                         int delta_rows, int new_dict_size,
+                                         PliDeltaIndex* index) {
+  index->count.resize(new_dict_size, 0);
+  index->single_row.resize(new_dict_size, -1);
+
+  // Counting sort of the appended rows by code; scan order keeps rows
+  // ascending inside each code's run. `codes` is delta-local (entry r is
+  // relation row old_rows + r).
+  std::vector<int> delta_count(new_dict_size, 0);
+  for (int r = 0; r < delta_rows; ++r) {
+    ++delta_count[codes[r]];
+  }
+  std::vector<int> delta_off(new_dict_size + 1, 0);
+  for (int code = 0; code < new_dict_size; ++code) {
+    delta_off[code + 1] = delta_off[code] + delta_count[code];
+  }
+  std::vector<int> delta_rows_by_code(delta_rows);
+  {
+    std::vector<int> cursor(delta_off.begin(), delta_off.end() - 1);
+    for (int r = 0; r < delta_rows; ++r) {
+      delta_rows_by_code[cursor[codes[r]]++] = old_rows + r;
+    }
+  }
+
+  std::vector<int> rows;
+  rows.reserve(old.num_rows_in_classes() + delta_rows);
+  std::vector<int> offsets;
+  offsets.push_back(0);
+  // Old classes appear in code-ascending order (one per code with old
+  // count >= 2), so a single cursor pairs each surviving class with its
+  // code as the walk passes it.
+  int old_class = 0;
+  for (int code = 0; code < new_dict_size; ++code) {
+    int old_count = index->count[code];
+    int added = delta_count[code];
+    int merged = old_count + added;
+    int matched_class = (old_count >= 2) ? old_class++ : -1;
+    if (merged >= 2) {
+      if (matched_class >= 0) {
+        const int* begin = old.class_begin(matched_class);
+        rows.insert(rows.end(), begin, begin + old.class_size(matched_class));
+      } else if (old_count == 1) {
+        rows.push_back(index->single_row[code]);
+      }
+      for (int k = delta_off[code]; k < delta_off[code + 1]; ++k) {
+        rows.push_back(delta_rows_by_code[k]);
+      }
+      offsets.push_back(static_cast<int>(rows.size()));
+    }
+    index->count[code] = merged;
+    if (merged == 1 && old_count == 0) {
+      index->single_row[code] = delta_rows_by_code[delta_off[code]];
+    } else if (merged != 1) {
+      index->single_row[code] = -1;
+    }
+  }
+  index->rows_indexed = old_rows + delta_rows;
+  if (rows.empty()) return StrippedPartition();
+  return StrippedPartition::FromCsr(std::move(rows), std::move(offsets));
+}
+
+}  // namespace famtree

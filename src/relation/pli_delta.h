@@ -1,0 +1,55 @@
+#ifndef FAMTREE_RELATION_PLI_DELTA_H_
+#define FAMTREE_RELATION_PLI_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/partition.h"
+
+namespace famtree {
+
+/// Per-column side index that makes single-attribute PLIs maintainable
+/// under batch appends. A stripped partition drops singleton classes, so
+/// the CSR alone cannot answer "which row held code k before the append"
+/// when k occurred exactly once — this index keeps, per code, the
+/// occurrence count and (for count == 1) that lone row. Built lazily with
+/// one scan of the pre-append code array, then updated in O(batch) by
+/// every merge, so a long append stream pays the full scan once.
+struct PliDeltaIndex {
+  /// count[code] over rows [0, rows_indexed).
+  std::vector<int> count;
+  /// single_row[code] is the unique row when count[code] == 1, else -1.
+  std::vector<int> single_row;
+  int rows_indexed = 0;
+
+  bool built() const { return rows_indexed > 0 || !count.empty(); }
+};
+
+/// Builds the index from a column's code array over rows [0, num_rows).
+void BuildPliDeltaIndex(const uint32_t* codes, int num_rows, int dict_size,
+                        PliDeltaIndex* index);
+
+/// Merges the appended rows [old_rows, old_rows + delta_rows) of one
+/// column into that column's single-attribute PLI and updates `index` in
+/// place. `codes` is delta-local — entry r is the code of relation row
+/// old_rows + r (an append never touches prefix codes, so callers pass
+/// either the tail of the full array or a freshly copied delta column);
+/// `new_dict_size` the post-append dictionary size; `old` the pre-append
+/// partition; `index` must cover exactly old_rows rows.
+///
+/// Bit-identical by construction to a cold rebuild: codes are assigned in
+/// first-occurrence row order, so both the counting-sort builder
+/// (StrippedPartition::FromRowKeys) and the out-of-core k-way merge emit
+/// classes in code-ascending order with rows ascending inside each class.
+/// The merge walks codes 0..new_dict_size-1, splicing each code's old rows
+/// (CSR class, or the index's singleton) ahead of its appended rows —
+/// reproducing exactly that order in one linear pass over
+/// O(old CSR + dict + batch) work instead of O(rows).
+StrippedPartition MergeAttributePliDelta(const StrippedPartition& old,
+                                         const uint32_t* codes, int old_rows,
+                                         int delta_rows, int new_dict_size,
+                                         PliDeltaIndex* index);
+
+}  // namespace famtree
+
+#endif  // FAMTREE_RELATION_PLI_DELTA_H_

@@ -36,6 +36,24 @@ Status Relation::AppendRow(std::vector<Value> row) {
   return Status::OK();
 }
 
+Status Relation::AppendRows(std::vector<std::vector<Value>> rows) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (static_cast<int>(rows[i].size()) != num_columns()) {
+      return Status::Invalid("append row " + std::to_string(i) + " has " +
+                             std::to_string(rows[i].size()) +
+                             " values, schema has " +
+                             std::to_string(num_columns()));
+    }
+  }
+  for (auto& row : rows) {
+    for (int c = 0; c < num_columns(); ++c) {
+      columns_[c].push_back(std::move(row[c]));
+    }
+    ++num_rows_;
+  }
+  return Status::OK();
+}
+
 std::vector<Value> Relation::Row(int row) const {
   std::vector<Value> out;
   out.reserve(num_columns());
@@ -187,19 +205,36 @@ std::string Relation::ToPrettyString(int max_rows) const {
   return out;
 }
 
-uint64_t RelationFingerprint(const Relation& relation) {
-  size_t h = HashCombine(0x72656c66, static_cast<size_t>(relation.num_rows()));
-  h = HashCombine(h, static_cast<size_t>(relation.num_columns()));
-  for (int c = 0; c < relation.num_columns(); ++c) {
-    for (char ch : relation.schema().name(c)) {
-      h = HashCombine(h, static_cast<size_t>(ch));
-    }
-    h = HashCombine(h, static_cast<size_t>(relation.schema().column(c).type));
-    for (int r = 0; r < relation.num_rows(); ++r) {
+uint64_t RelationRowChain(const Relation& relation, int from_row, int to_row,
+                          uint64_t chain) {
+  size_t h = static_cast<size_t>(chain);
+  for (int r = from_row; r < to_row; ++r) {
+    for (int c = 0; c < relation.num_columns(); ++c) {
       h = HashCombine(h, relation.Get(r, c).Hash());
     }
   }
   return static_cast<uint64_t>(h);
+}
+
+uint64_t FinalizeRelationFingerprint(uint64_t chain, const Schema& schema,
+                                     int num_rows) {
+  size_t h = HashCombine(static_cast<size_t>(chain),
+                         static_cast<size_t>(num_rows));
+  h = HashCombine(h, static_cast<size_t>(schema.num_columns()));
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    for (char ch : schema.name(c)) {
+      h = HashCombine(h, static_cast<size_t>(ch));
+    }
+    h = HashCombine(h, static_cast<size_t>(schema.column(c).type));
+  }
+  return static_cast<uint64_t>(h);
+}
+
+uint64_t RelationFingerprint(const Relation& relation) {
+  uint64_t chain = RelationRowChain(relation, 0, relation.num_rows(),
+                                    kRelationChainSeed);
+  return FinalizeRelationFingerprint(chain, relation.schema(),
+                                     relation.num_rows());
 }
 
 RelationBuilder& RelationBuilder::AddRow(std::vector<Value> row) {

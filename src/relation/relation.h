@@ -32,6 +32,15 @@ class Relation {
   /// Appends a row; the row must have exactly num_columns() values.
   Status AppendRow(std::vector<Value> row);
 
+  /// Batch append: validates every row's arity up front, then appends all
+  /// of them (all-or-nothing — a bad row leaves the relation untouched).
+  /// Column types are NOT re-inferred; appended cells are expected to fit
+  /// the existing schema, as in a monitoring stream. Use
+  /// DiscoveryEngine::AppendRows instead when the relation is registered
+  /// with an engine, so cached PLIs/evidence are maintained rather than
+  /// silently staled.
+  Status AppendRows(std::vector<std::vector<Value>> rows);
+
   /// Materializes one row (used by pretty-printing and tests).
   std::vector<Value> Row(int row) const;
 
@@ -72,7 +81,30 @@ class Relation {
 /// Two relations with the same fingerprint are, for caching purposes, the
 /// same data; DiscoveryEngine uses it to detect a relation freed and
 /// reallocated at the address of one it still serves.
+///
+/// The fingerprint is *append-chainable*: cell hashes fold row-major into a
+/// running chain (RelationRowChain), and the schema + shape fold in last
+/// (FinalizeRelationFingerprint). A holder of the chain over rows [0, n)
+/// can extend it with only the appended rows' cells and refinalize —
+/// producing the exact fingerprint a cold full pass over the grown
+/// relation would, which is how PliCache recognizes "same base + delta".
 uint64_t RelationFingerprint(const Relation& relation);
+
+/// Seed for the row-major cell chain of RelationFingerprint.
+inline constexpr uint64_t kRelationChainSeed = 0x72656c66;
+
+/// Folds the cell hashes of rows [from_row, to_row), row-major, into
+/// `chain`. RelationRowChain(r, 0, n, kRelationChainSeed) is the full
+/// chain; appending extends it from the previous value.
+uint64_t RelationRowChain(const Relation& relation, int from_row, int to_row,
+                          uint64_t chain);
+
+/// Folds schema names/types and the shape into a finished chain. Schema
+/// folds *after* the cells so an append that widens an inferred column
+/// type (int -> double on the sharded path) can refinalize the same cell
+/// chain under the refreshed schema.
+uint64_t FinalizeRelationFingerprint(uint64_t chain, const Schema& schema,
+                                     int num_rows);
 
 /// Builder with a fluent row API:
 ///   RelationBuilder b({"name", "price"});

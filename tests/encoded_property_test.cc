@@ -149,26 +149,32 @@ TEST(EncodedPropertyTest, FlatCsrProductCommutativeAssociative) {
   }
 }
 
-TEST(EncodedPropertyTest, SixtyThreeAttributeBoundary) {
-  const int cols = 63;
-  Rng rng(7);
-  std::vector<std::string> names;
-  for (int c = 0; c < cols; ++c) names.push_back("c" + std::to_string(c));
-  RelationBuilder b(names);
-  for (int r = 0; r < 40; ++r) {
-    std::vector<Value> row;
-    for (int c = 0; c < cols; ++c) row.push_back(RandomCell(&rng, 3));
-    b.AddRow(std::move(row));
+TEST(EncodedPropertyTest, WordBoundaryAttributeCounts) {
+  // Straddle the 64-bit mask-word boundary from both sides: 63 (the old
+  // single-word cap), 64/65 (first attributes in the second word) and a
+  // few randomized widths beyond.
+  for (int cols : {63, 64, 65, 70, 64 + static_cast<int>(Rng(11).Uniform(0, 5))}) {
+    Rng rng(7 + cols);
+    std::vector<std::string> names;
+    for (int c = 0; c < cols; ++c) names.push_back("c" + std::to_string(c));
+    RelationBuilder b(names);
+    for (int r = 0; r < 40; ++r) {
+      std::vector<Value> row;
+      for (int c = 0; c < cols; ++c) row.push_back(RandomCell(&rng, 3));
+      b.AddRow(std::move(row));
+    }
+    Relation r = std::move(b.Build()).value();
+    EncodedRelation enc(r);
+    AttrSet all = AttrSet::Full(cols);
+    EXPECT_EQ(enc.GroupBy(all), r.GroupBy(all)) << "cols " << cols;
+    EXPECT_EQ(enc.CountDistinct(all), r.CountDistinct(all)) << "cols " << cols;
+    EXPECT_EQ(StrippedPartition::ForAttributeSet(enc, all).classes(),
+              StrippedPartition::ForAttributeSet(r, all).classes())
+        << "cols " << cols;
+    EXPECT_EQ(StrippedPartition::ForAttribute(enc, cols - 1).classes(),
+              StrippedPartition::ForAttribute(r, cols - 1).classes())
+        << "cols " << cols;
   }
-  Relation r = std::move(b.Build()).value();
-  EncodedRelation enc(r);
-  AttrSet all = AttrSet::Full(cols);
-  EXPECT_EQ(enc.GroupBy(all), r.GroupBy(all));
-  EXPECT_EQ(enc.CountDistinct(all), r.CountDistinct(all));
-  EXPECT_EQ(StrippedPartition::ForAttributeSet(enc, all).classes(),
-            StrippedPartition::ForAttributeSet(r, all).classes());
-  EXPECT_EQ(StrippedPartition::ForAttribute(enc, 62).classes(),
-            StrippedPartition::ForAttribute(r, 62).classes());
 }
 
 }  // namespace

@@ -201,29 +201,33 @@ TEST(HybridFdDifferentialTest, ThreadCountsProduceIdenticalCovers) {
   }
 }
 
-TEST(HybridFdDifferentialTest, SixtyThreeAttributeBoundary) {
-  const int cols = 63;
-  Rng rng(7);
-  std::vector<std::string> names;
-  for (int c = 0; c < cols; ++c) names.push_back("c" + std::to_string(c));
-  RelationBuilder b(names);
-  for (int r = 0; r < 30; ++r) {
-    std::vector<Value> row;
-    for (int c = 0; c < cols; ++c) row.push_back(RandomCell(&rng, 3));
-    b.AddRow(std::move(row));
+TEST(HybridFdDifferentialTest, WordBoundaryAttributeCounts) {
+  // 63 was the single-mask-word cap; 64/65 exercise lhs sets and agree
+  // sets whose masks spill into the second word, and the randomized width
+  // goes a bit past it.
+  for (int cols : {63, 64, 65, 64 + static_cast<int>(Rng(13).Uniform(0, 5))}) {
+    Rng rng(7 + cols);
+    std::vector<std::string> names;
+    for (int c = 0; c < cols; ++c) names.push_back("c" + std::to_string(c));
+    RelationBuilder b(names);
+    for (int r = 0; r < 30; ++r) {
+      std::vector<Value> row;
+      for (int c = 0; c < cols; ++c) row.push_back(RandomCell(&rng, 3));
+      b.AddRow(std::move(row));
+    }
+    Relation r = std::move(b.Build()).value();
+
+    TaneOptions tane_options;
+    tane_options.max_lhs_size = 2;
+    auto tane = DiscoverFdsTane(r, tane_options);
+    ASSERT_TRUE(tane.ok()) << tane.status().ToString();
+
+    HybridFdOptions options;
+    options.max_lhs_size = 2;
+    auto hybrid = DiscoverFdsHybrid(r, options);
+    ASSERT_TRUE(hybrid.ok()) << hybrid.status().ToString();
+    EXPECT_EQ(Canon(*hybrid), Canon(*tane)) << "cols " << cols;
   }
-  Relation r = std::move(b.Build()).value();
-
-  TaneOptions tane_options;
-  tane_options.max_lhs_size = 2;
-  auto tane = DiscoverFdsTane(r, tane_options);
-  ASSERT_TRUE(tane.ok()) << tane.status().ToString();
-
-  HybridFdOptions options;
-  options.max_lhs_size = 2;
-  auto hybrid = DiscoverFdsHybrid(r, options);
-  ASSERT_TRUE(hybrid.ok()) << hybrid.status().ToString();
-  EXPECT_EQ(Canon(*hybrid), Canon(*tane));
 }
 
 TEST(HybridMdDifferentialTest, MatchesOracleAtFullConfidence) {

@@ -1,0 +1,582 @@
+// Incremental maintenance under batch appends: after
+// Relation::AppendRows / ShardedEncodedRelation::AppendCsv, every
+// maintained structure — delta-merged PLIs (raw CSR arrays), evidence
+// multisets (words, counts, per-word aggregates), and repaired FD/MD
+// covers — must be bit-identical to a cold recompute of the grown
+// relation, across batch shapes (empty, single row, brand-new dictionary
+// codes, FD-breaking), thread counts {1, 2, 8} and memory budgets. Plus
+// the forget-path regression: a forgotten relation's evidence entries
+// must leave the engine-wide store.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/run_context.h"
+#include "engine/engine.h"
+#include "engine/evidence.h"
+#include "engine/evidence_cache.h"
+#include "engine/pli_cache.h"
+#include "relation/encoded_relation.h"
+#include "relation/ooc/sharded_relation.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+namespace famtree {
+namespace {
+
+Value RandomCell(Rng* rng, int domain) {
+  int64_t v = rng->Uniform(0, domain - 1);
+  switch (rng->Uniform(0, 7)) {
+    case 0: return Value();                              // null
+    case 1: return Value(static_cast<double>(v));        // k.0 == k
+    case 2: return Value(static_cast<double>(v) + 0.5);  // true double
+    case 3: return Value("s" + std::to_string(v));       // string
+    default: return Value(v);                            // int
+  }
+}
+
+std::vector<std::vector<Value>> RandomRows(Rng* rng, int rows, int cols,
+                                           int domain) {
+  std::vector<std::vector<Value>> out;
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    for (int c = 0; c < cols; ++c) row.push_back(RandomCell(rng, domain));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Relation BuildRelation(const std::vector<std::vector<Value>>& rows,
+                       int cols) {
+  std::vector<std::string> names;
+  for (int c = 0; c < cols; ++c) names.push_back("c" + std::to_string(c));
+  RelationBuilder b(names);
+  for (const auto& row : rows) b.AddRow(std::vector<Value>(row));
+  return std::move(b.Build()).value();
+}
+
+/// The append-batch shapes the maintenance paths must survive.
+enum class BatchKind { kEmpty, kSingleRow, kFreshCodes, kFdBreaking };
+
+std::vector<std::vector<Value>> MakeBatch(BatchKind kind, Rng* rng,
+                                          int batch_rows, int cols,
+                                          int domain,
+                                          const std::vector<std::vector<Value>>&
+                                              base_rows) {
+  switch (kind) {
+    case BatchKind::kEmpty:
+      return {};
+    case BatchKind::kSingleRow:
+      return RandomRows(rng, 1, cols, domain);
+    case BatchKind::kFreshCodes:
+      // A domain the base never touched: every cell mints a new
+      // dictionary code, growing every dict past its old size.
+      return RandomRows(rng, batch_rows, cols, domain + 1000000);
+    case BatchKind::kFdBreaking: {
+      // Copies of existing rows with one perturbed cell each: the pair
+      // (original, copy) agrees everywhere but the perturbed column, the
+      // strongest way to violate held FDs.
+      std::vector<std::vector<Value>> out;
+      for (int r = 0; r < batch_rows && !base_rows.empty(); ++r) {
+        std::vector<Value> row =
+            base_rows[rng->Uniform(0, base_rows.size() - 1)];
+        int c = static_cast<int>(rng->Uniform(0, cols - 1));
+        row[c] = Value(static_cast<int64_t>(rng->Uniform(0, domain - 1)) +
+                       5000000);
+        out.push_back(std::move(row));
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+void ExpectSamePartition(const StrippedPartition& got,
+                         const StrippedPartition& want,
+                         const std::string& what) {
+  EXPECT_EQ(got.row_indices(), want.row_indices()) << what;
+  EXPECT_EQ(got.class_offsets(), want.class_offsets()) << what;
+}
+
+void ExpectSameEvidence(const EvidenceSet& got, const EvidenceSet& want,
+                        const std::string& what) {
+  ASSERT_EQ(got.words().size(), want.words().size()) << what;
+  EXPECT_EQ(got.total_pairs(), want.total_pairs()) << what;
+  ASSERT_EQ(got.num_tracked(), want.num_tracked()) << what;
+  for (size_t i = 0; i < got.words().size(); ++i) {
+    EXPECT_EQ(got.words()[i].bits, want.words()[i].bits) << what << " @" << i;
+    EXPECT_EQ(got.words()[i].count, want.words()[i].count) << what << " @" << i;
+    for (int t = 0; t < got.num_tracked(); ++t) {
+      const EvidenceSet::Aggregate& a = got.agg(i, t);
+      const EvidenceSet::Aggregate& b = want.agg(i, t);
+      // Bit-identical doubles, not approximately-equal ones.
+      EXPECT_EQ(a.max_all, b.max_all) << what << " @" << i;
+      EXPECT_EQ(a.max_finite, b.max_finite) << what << " @" << i;
+      EXPECT_EQ(a.saw_nonfinite, b.saw_nonfinite) << what << " @" << i;
+    }
+  }
+}
+
+using FdTuple = std::tuple<uint64_t, uint64_t, int>;
+std::vector<FdTuple> Canon(const std::vector<DiscoveredFd>& fds) {
+  std::vector<FdTuple> out;
+  for (const DiscoveredFd& fd : fds) {
+    AttrSet lhs = fd.lhs;
+    uint64_t lo = 0, hi = 0;
+    for (int a : lhs) {
+      if (a < 64) lo |= uint64_t{1} << (a % 64);
+      else hi |= uint64_t{1} << (a % 64);
+    }
+    out.emplace_back(hi, lo, fd.rhs);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(IncrementalRelationTest, AppendRowsIsAllOrNothing) {
+  Rng rng(1);
+  auto base_rows = RandomRows(&rng, 10, 3, 4);
+  Relation r = BuildRelation(base_rows, 3);
+  uint64_t fp_before = RelationFingerprint(r);
+  std::vector<std::vector<Value>> bad = RandomRows(&rng, 2, 3, 4);
+  bad.push_back({Value(int64_t{1})});  // wrong arity, third row
+  Status st = r.AppendRows(std::move(bad));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(r.num_rows(), 10);
+  EXPECT_EQ(RelationFingerprint(r), fp_before);
+}
+
+TEST(IncrementalRelationTest, AppendedFingerprintMatchesColdBuild) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    int cols = 2 + static_cast<int>(seed % 4);
+    auto base_rows = RandomRows(&rng, 20, cols, 4);
+    auto delta_rows = RandomRows(&rng, 5, cols, 4);
+
+    Relation grown = BuildRelation(base_rows, cols);
+    // The chain of the prefix, extended by the appended suffix, must equal
+    // the one-shot fingerprint — that is what lets the caches revalidate
+    // instead of rehashing everything.
+    uint64_t prefix_chain =
+        RelationRowChain(grown, 0, grown.num_rows(), kRelationChainSeed);
+    ASSERT_TRUE(grown.AppendRows(delta_rows).ok());
+    uint64_t chained = FinalizeRelationFingerprint(
+        RelationRowChain(grown, 20, grown.num_rows(), prefix_chain),
+        grown.schema(), grown.num_rows());
+    EXPECT_EQ(chained, RelationFingerprint(grown)) << "seed " << seed;
+
+    auto all_rows = base_rows;
+    all_rows.insert(all_rows.end(), delta_rows.begin(), delta_rows.end());
+    Relation cold = BuildRelation(all_rows, cols);
+    EXPECT_EQ(RelationFingerprint(grown), RelationFingerprint(cold))
+        << "seed " << seed;
+  }
+}
+
+TEST(IncrementalRelationTest, EncodedAppendedMatchesColdEncode) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed);
+    int cols = 2 + static_cast<int>(seed % 3);
+    auto base_rows = RandomRows(&rng, 25, cols, 3);
+    Relation grown = BuildRelation(base_rows, cols);
+    EncodedRelation base_enc(grown);
+
+    for (BatchKind kind : {BatchKind::kEmpty, BatchKind::kSingleRow,
+                           BatchKind::kFreshCodes, BatchKind::kFdBreaking}) {
+      auto delta = MakeBatch(kind, &rng, 6, cols, 3, base_rows);
+      auto all_rows = base_rows;
+      all_rows.insert(all_rows.end(), delta.begin(), delta.end());
+      Relation full = BuildRelation(all_rows, cols);
+
+      auto appended = EncodedRelation::Appended(base_enc, full);
+      ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+      EncodedRelation cold(full);
+      ASSERT_EQ(appended->num_rows(), cold.num_rows());
+      for (int c = 0; c < cols; ++c) {
+        EXPECT_EQ(appended->codes(c), cold.codes(c)) << "seed " << seed;
+        ASSERT_EQ(appended->dict_size(c), cold.dict_size(c))
+            << "seed " << seed;
+        for (uint32_t code = 0;
+             code < static_cast<uint32_t>(cold.dict_size(c)); ++code) {
+          EXPECT_TRUE(appended->Decode(c, code) == cold.Decode(c, code))
+              << "seed " << seed << " col " << c << " code " << code;
+        }
+      }
+    }
+  }
+}
+
+TEST(IncrementalPliTest, MaintainedPlisBitIdenticalToColdRecompute) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    for (BatchKind kind : {BatchKind::kEmpty, BatchKind::kSingleRow,
+                           BatchKind::kFreshCodes, BatchKind::kFdBreaking}) {
+      for (size_t budget_bytes : {size_t{0}, size_t{8} << 20}) {
+        Rng rng(seed * 101 + static_cast<uint64_t>(kind));
+        int cols = 3 + static_cast<int>(seed % 3);
+        auto base_rows = RandomRows(&rng, 40, cols, 3);
+        auto delta = MakeBatch(kind, &rng, 8, cols, 3, base_rows);
+        auto all_rows = base_rows;
+        all_rows.insert(all_rows.end(), delta.begin(), delta.end());
+
+        Relation grown = BuildRelation(base_rows, cols);
+        PliCache cache(grown);
+        // Warm leaves and a few products so maintenance has real work.
+        std::vector<AttrSet> keys;
+        for (int c = 0; c < cols; ++c) keys.push_back(AttrSet::Single(c));
+        keys.push_back(AttrSet::Of({0, 1}));
+        keys.push_back(AttrSet::Of({1, 2}));
+        if (cols > 3) keys.push_back(AttrSet::Of({0, 2, 3}));
+        for (AttrSet k : keys) ASSERT_NE(cache.Get(k), nullptr);
+
+        ASSERT_TRUE(grown.AppendRows(delta).ok());
+        MemoryBudget budget(budget_bytes == 0 ? size_t{1} << 40
+                                              : budget_bytes);
+        RunContext ctx;
+        ctx.set_memory_budget(&budget);
+        PliCache::MaintainStats mstats;
+        Status maintained = cache.MaintainAppend(&ctx, &mstats);
+        ASSERT_TRUE(maintained.ok())
+            << maintained.ToString() << " seed " << seed;
+        EXPECT_EQ(mstats.appended_rows, static_cast<int>(delta.size()));
+        EXPECT_EQ(cache.num_rows(), grown.num_rows());
+
+        Relation full = BuildRelation(all_rows, cols);
+        EXPECT_EQ(cache.fingerprint(), RelationFingerprint(full));
+        PliCache cold(full);
+        for (AttrSet k : keys) {
+          auto got = cache.Get(k);
+          auto want = cold.Get(k);
+          ASSERT_NE(got, nullptr);
+          ASSERT_NE(want, nullptr);
+          ExpectSamePartition(*got, *want,
+                              "seed " + std::to_string(seed) + " kind " +
+                                  std::to_string(static_cast<int>(kind)) +
+                                  " attrs " + std::to_string(k.mask()));
+        }
+        // The maintained encoding view must match a cold encode too.
+        ASSERT_TRUE(cache.has_encoded());
+        EncodedRelation cold_enc(full);
+        for (int c = 0; c < cols; ++c) {
+          EXPECT_EQ(cache.encoded().codes(c), cold_enc.codes(c));
+        }
+        // A second maintenance call with nothing appended is a no-op.
+        ASSERT_TRUE(cache.MaintainAppend().ok());
+      }
+    }
+  }
+}
+
+TEST(IncrementalEvidenceTest, DeltaPlusMergeMatchesColdBuild) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed + 77);
+    int cols = 3;
+    auto base_rows = RandomRows(&rng, 30, cols, 3);
+    auto delta = MakeBatch(seed % 2 == 0 ? BatchKind::kFreshCodes
+                                         : BatchKind::kFdBreaking,
+                           &rng, 7, cols, 3, base_rows);
+    auto all_rows = base_rows;
+    all_rows.insert(all_rows.end(), delta.begin(), delta.end());
+    Relation base = BuildRelation(base_rows, cols);
+    Relation full = BuildRelation(all_rows, cols);
+    EncodedRelation base_enc(base);
+    EncodedRelation full_enc(full);
+
+    std::vector<EvidenceColumn> config;
+    for (int c = 0; c < cols; ++c) {
+      EvidenceColumn col;
+      col.attr = c;
+      col.cmp = c == 2 ? EvidenceColumn::Cmp::kOrder
+                       : EvidenceColumn::Cmp::kEquality;
+      if (c == 1) {
+        col.metric = GetDiscreteMetric();
+        col.thresholds = {0.0};
+        col.track_max = true;
+      }
+      config.push_back(std::move(col));
+    }
+
+    EvidenceOptions options;
+    auto base_set = BuildEvidence(base_enc, config, options);
+    ASSERT_TRUE(base_set.ok()) << base_set.status().ToString();
+    auto delta_set =
+        BuildEvidenceDelta(full_enc, config, base.num_rows(), options);
+    ASSERT_TRUE(delta_set.ok()) << delta_set.status().ToString();
+    auto merged = MergeEvidenceSets(**base_set, **delta_set, options);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    auto cold = BuildEvidence(full_enc, config, options);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    ExpectSameEvidence(**merged, **cold, "seed " + std::to_string(seed));
+
+    // Old pairs and new pairs partition all pairs.
+    int64_t n = full.num_rows(), n0 = base.num_rows();
+    EXPECT_EQ((*delta_set)->total_pairs(),
+              n * (n - 1) / 2 - n0 * (n0 - 1) / 2);
+  }
+}
+
+TEST(IncrementalEngineTest, AppendRowsMaintainsEvidenceEntries) {
+  for (int threads : {1, 2, 8}) {
+    Rng rng(31 + threads);
+    int cols = 3;
+    auto base_rows = RandomRows(&rng, 30, cols, 3);
+    auto delta = MakeBatch(BatchKind::kFdBreaking, &rng, 6, cols, 3,
+                           base_rows);
+    auto all_rows = base_rows;
+    all_rows.insert(all_rows.end(), delta.begin(), delta.end());
+    Relation r = BuildRelation(base_rows, cols);
+    Relation full = BuildRelation(all_rows, cols);
+
+    EngineOptions eopts;
+    eopts.num_threads = threads;
+    DiscoveryEngine engine(eopts);
+    auto cache = engine.CacheFor(r);
+    ASSERT_TRUE(cache.ok());
+
+    std::vector<EvidenceColumn> config;
+    for (int c = 0; c < cols; ++c) {
+      EvidenceColumn col;
+      col.attr = c;
+      col.cmp = EvidenceColumn::Cmp::kEquality;
+      config.push_back(col);
+    }
+    EvidenceOptions ev;
+    ev.pool = &engine.pool();
+    auto warm = GetOrBuildEvidence(&engine.evidence_cache(),
+                                   (*cache)->encoded(), config, ev);
+    ASSERT_TRUE(warm.ok());
+
+    ASSERT_TRUE(engine.AppendRows(r, delta).ok());
+
+    // The maintained entry must be served as a *hit* under the appended
+    // encoding's key, bit-identical to a cold build.
+    int64_t hits_before = engine.EvidenceStats().hits;
+    auto cache2 = engine.CacheFor(r);
+    ASSERT_TRUE(cache2.ok());
+    auto maintained = GetOrBuildEvidence(&engine.evidence_cache(),
+                                         (*cache2)->encoded(), config, ev);
+    ASSERT_TRUE(maintained.ok());
+    EXPECT_EQ(engine.EvidenceStats().hits, hits_before + 1)
+        << "threads " << threads;
+    EncodedRelation cold_enc(full);
+    auto cold = BuildEvidence(cold_enc, config, {});
+    ASSERT_TRUE(cold.ok());
+    ExpectSameEvidence(**maintained, **cold,
+                       "threads " + std::to_string(threads));
+  }
+}
+
+TEST(IncrementalCoverTest, RepairedFdCoverMatchesColdDiscovery) {
+  for (int threads : {1, 2, 8}) {
+    for (uint64_t seed = 0; seed < 6; ++seed) {
+      for (BatchKind kind : {BatchKind::kSingleRow, BatchKind::kFreshCodes,
+                             BatchKind::kFdBreaking}) {
+        Rng rng(seed * 13 + threads);
+        int cols = 4;
+        auto base_rows = RandomRows(&rng, 40, cols, 3);
+        auto delta = MakeBatch(kind, &rng, 8, cols, 3, base_rows);
+        auto all_rows = base_rows;
+        all_rows.insert(all_rows.end(), delta.begin(), delta.end());
+        Relation r = BuildRelation(base_rows, cols);
+        Relation full = BuildRelation(all_rows, cols);
+
+        EngineOptions eopts;
+        eopts.num_threads = threads;
+        DiscoveryEngine engine(eopts);
+
+        HybridFdOptions fd_opts;
+        fd_opts.max_lhs_size = 3;
+        auto cover = engine.HybridFds(r, fd_opts);
+        ASSERT_TRUE(cover.ok()) << cover.status().ToString();
+
+        ASSERT_TRUE(engine.AppendRows(r, delta).ok());
+        auto repaired = engine.RepairFdCover(r, *cover, fd_opts);
+        ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+
+        auto cold = DiscoverFdsHybrid(full, fd_opts);
+        ASSERT_TRUE(cold.ok());
+        EXPECT_EQ(Canon(*repaired), Canon(*cold))
+            << "threads " << threads << " seed " << seed << " kind "
+            << static_cast<int>(kind);
+        // Close the differential triangle through the lattice engine.
+        TaneOptions tane_opts;
+        tane_opts.max_lhs_size = 3;
+        auto tane = DiscoverFdsTane(full, tane_opts);
+        ASSERT_TRUE(tane.ok());
+        EXPECT_EQ(Canon(*repaired), Canon(*tane)) << "threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(IncrementalCoverTest, MdDiscoveryAfterAppendMatchesColdEngine) {
+  Rng rng(91);
+  int cols = 3;
+  auto base_rows = RandomRows(&rng, 25, cols, 3);
+  auto delta = MakeBatch(BatchKind::kFdBreaking, &rng, 5, cols, 3, base_rows);
+  auto all_rows = base_rows;
+  all_rows.insert(all_rows.end(), delta.begin(), delta.end());
+  Relation r = BuildRelation(base_rows, cols);
+  Relation full = BuildRelation(all_rows, cols);
+
+  DiscoveryEngine engine;
+  MdDiscoveryOptions md_opts;
+  md_opts.min_confidence = 1.0;
+  md_opts.min_support = 0.0;
+  AttrSet rhs = AttrSet::Single(0);
+  auto before = engine.HybridMds(r, rhs, md_opts);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  ASSERT_TRUE(engine.AppendRows(r, delta).ok());
+  auto after = engine.HybridMds(r, rhs, md_opts);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+
+  DiscoveryEngine cold_engine;
+  auto cold = cold_engine.HybridMds(full, rhs, md_opts);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_EQ(after->size(), cold->size());
+  for (size_t i = 0; i < after->size(); ++i) {
+    EXPECT_EQ((*after)[i].md.ToString(), (*cold)[i].md.ToString());
+    EXPECT_EQ((*after)[i].support, (*cold)[i].support);
+    EXPECT_EQ((*after)[i].confidence, (*cold)[i].confidence);
+  }
+}
+
+std::string CsvOf(const std::vector<std::vector<Value>>& rows, int cols,
+                  bool header) {
+  std::string text;
+  if (header) {
+    for (int c = 0; c < cols; ++c) {
+      if (c > 0) text += ',';
+      text += "c" + std::to_string(c);
+    }
+    text += '\n';
+  }
+  for (const auto& row : rows) {
+    for (int c = 0; c < cols; ++c) {
+      if (c > 0) text += ',';
+      const Value& v = row[c];
+      if (v.is_null()) {
+        // empty field
+      } else if (v.type() == ValueType::kInt) {
+        text += std::to_string(v.as_int());
+      } else {
+        text += "s" + std::to_string(c);
+      }
+    }
+    text += '\n';
+  }
+  return text;
+}
+
+std::vector<std::vector<Value>> IntRows(Rng* rng, int rows, int cols,
+                                        int domain) {
+  std::vector<std::vector<Value>> out;
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    for (int c = 0; c < cols; ++c) {
+      row.push_back(Value(rng->Uniform(0, domain - 1)));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+TEST(IncrementalOocTest, AppendCsvMatchesColdIngest) {
+  Rng rng(55);
+  int cols = 3;
+  auto base_rows = IntRows(&rng, 200, cols, 5);
+  auto delta_rows = IntRows(&rng, 20, cols, 50);  // mostly fresh codes
+  std::string base_csv = CsvOf(base_rows, cols, true);
+  std::string delta_csv = CsvOf(delta_rows, cols, true);
+  auto all_rows = base_rows;
+  all_rows.insert(all_rows.end(), delta_rows.begin(), delta_rows.end());
+  std::string full_csv = CsvOf(all_rows, cols, true);
+
+  IngestOptions opts;
+  opts.shard_rows = 64;  // several shards
+  auto grown = ShardedEncodedRelation::IngestCsvString(base_csv, opts);
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  auto cold = ShardedEncodedRelation::IngestCsvString(full_csv, opts);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+
+  DiscoveryEngine engine;
+  ASSERT_TRUE(engine.OocCacheFor(**grown).ok());
+  ASSERT_TRUE(engine.AppendCsv(**grown, delta_csv, opts).ok());
+
+  // Chained ingest fingerprint == cold one-shot ingest fingerprint.
+  EXPECT_EQ((*grown)->num_rows(), (*cold)->num_rows());
+  EXPECT_EQ((*grown)->fingerprint(), (*cold)->fingerprint());
+
+  // The maintained out-of-core PLI store serves partitions bit-identical
+  // to a cold store over the cold ingest.
+  auto cache = engine.OocCacheFor(**grown);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  PliCache cold_cache(**cold);
+  for (int c = 0; c < cols; ++c) {
+    auto got = (*cache)->Get(AttrSet::Single(c));
+    auto want = cold_cache.Get(AttrSet::Single(c));
+    ASSERT_NE(got, nullptr);
+    ASSERT_NE(want, nullptr);
+    ExpectSamePartition(*got, *want, "ooc col " + std::to_string(c));
+  }
+
+  // And full discovery agrees with a fresh engine over the cold ingest.
+  TaneOptions tane_opts;
+  tane_opts.max_lhs_size = 2;
+  auto inc = engine.TaneOutOfCore(**grown, tane_opts);
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  DiscoveryEngine cold_engine;
+  auto cold_fds = cold_engine.TaneOutOfCore(**cold, tane_opts);
+  ASSERT_TRUE(cold_fds.ok());
+  EXPECT_EQ(Canon(*inc), Canon(*cold_fds));
+}
+
+TEST(IncrementalOocTest, AppendCsvRejectsMismatchedHeader) {
+  Rng rng(66);
+  auto base_rows = IntRows(&rng, 30, 2, 4);
+  auto grown = ShardedEncodedRelation::IngestCsvString(
+      CsvOf(base_rows, 2, true));
+  ASSERT_TRUE(grown.ok());
+  uint64_t fp = (*grown)->fingerprint();
+  Status st = (*grown)->AppendCsv("x,y\n1,2\n");
+  EXPECT_FALSE(st.ok());
+  // A failed append is documented as discard-the-relation; but a header
+  // mismatch is detected before any row lands, so the fingerprint of this
+  // particular failure mode is unchanged.
+  EXPECT_EQ((*grown)->fingerprint(), fp);
+}
+
+TEST(IncrementalEngineTest, ForgetRelationDropsEvidenceEntries) {
+  Rng rng(40);
+  auto rows = RandomRows(&rng, 20, 3, 3);
+  Relation r = BuildRelation(rows, 3);
+  DiscoveryEngine engine;
+  auto cache = engine.CacheFor(r);
+  ASSERT_TRUE(cache.ok());
+  std::vector<EvidenceColumn> config;
+  for (int c = 0; c < 3; ++c) {
+    EvidenceColumn col;
+    col.attr = c;
+    col.cmp = EvidenceColumn::Cmp::kEquality;
+    config.push_back(col);
+  }
+  auto built = GetOrBuildEvidence(&engine.evidence_cache(),
+                                  (*cache)->encoded(), config, {});
+  ASSERT_TRUE(built.ok());
+  ASSERT_GT(engine.EvidenceStats().bytes, size_t{0});
+
+  // Regression: forgetting the relation must also drop its evidence
+  // entries — they used to linger keyed by the dead encoding fingerprint.
+  engine.ForgetRelation(r);
+  EXPECT_EQ(engine.EvidenceStats().bytes, size_t{0});
+}
+
+}  // namespace
+}  // namespace famtree
